@@ -1,0 +1,130 @@
+//! Ablations of the design choices called out in DESIGN.md:
+//!
+//! 1. Direct banded LU vs BiCGSTAB FDFD backends (accuracy + runtime).
+//! 2. Projection β-growth schedule: effect on final transmission and
+//!    binarization.
+//! 3. Density-filter radius: effect on the minimum feature size of the
+//!    optimized design.
+
+use maps_bench::calibrated_device;
+use maps_core::FieldSolver;
+use maps_data::DeviceKind;
+use maps_fdfd::{Backend, FdfdSolver, PmlConfig};
+use maps_invdes::{
+    minimum_feature_size, ExactAdjoint, InitStrategy, InverseDesigner, OptimConfig,
+};
+use maps_linalg::IterativeOptions;
+use std::time::Instant;
+
+fn main() {
+    let t0 = Instant::now();
+    println!("=== Ablations ===\n");
+    let device = calibrated_device(DeviceKind::Bending);
+    let problem = &device.problem;
+    let source = problem.source().expect("source");
+    let omega = problem.omega();
+    let eps = problem.eps_for(&InitStrategy::Uniform(0.6).build(
+        problem.design_size.0,
+        problem.design_size.1,
+    ));
+
+    println!("--- (1) solver backend: direct LU vs BiCGSTAB ---");
+    let pml = PmlConfig::auto(device.grid().dl);
+    let direct = FdfdSolver::with_pml(pml);
+    // The indefinite high-contrast Helmholtz system of a silicon device
+    // defeats Jacobi-BiCGSTAB (it diverges) — which is exactly why the
+    // direct banded LU is the default backend. Compare on a moderate-
+    // contrast medium where both converge, and report the robustness
+    // finding for the device system.
+    {
+        use maps_core::{ComplexField2d, Grid2d, RealField2d};
+        let grid = Grid2d::new(40, 40, 0.1);
+        let mild = RealField2d::constant(grid, 2.25);
+        let mut j = ComplexField2d::zeros(grid);
+        j.set(20, 20, maps_linalg::Complex64::ONE);
+        let pml2 = PmlConfig::auto(grid.dl);
+        let d2 = FdfdSolver::with_pml(pml2);
+        let i2 = FdfdSolver::with_pml(pml2).backend(Backend::Iterative(IterativeOptions {
+            tolerance: 1e-8,
+            max_iterations: 400_000,
+        }));
+        let t = Instant::now();
+        let e_direct = d2.solve_ez(&mild, &j, omega).expect("direct");
+        let t_direct = t.elapsed();
+        let t = Instant::now();
+        let e_iter = i2.solve_ez(&mild, &j, omega).expect("bicgstab");
+        let t_iter = t.elapsed();
+        println!(
+            "moderate-contrast medium: direct LU {:?}  BiCGSTAB {:?}  field N-L2 diff {:.2e}",
+            t_direct,
+            t_iter,
+            e_direct.normalized_l2_distance(&e_iter)
+        );
+    }
+    let iterative = FdfdSolver::with_pml(pml).backend(Backend::Iterative(IterativeOptions {
+        tolerance: 1e-8,
+        max_iterations: 20_000,
+    }));
+    let t = Instant::now();
+    let e_direct = direct.solve_ez(&eps, &source, omega).expect("direct");
+    let t_direct = t.elapsed();
+    match iterative.solve_ez(&eps, &source, omega) {
+        Ok(e_iter) => println!(
+            "silicon device: direct LU {:?}  BiCGSTAB converged, field N-L2 diff {:.2e}",
+            t_direct,
+            e_direct.normalized_l2_distance(&e_iter)
+        ),
+        Err(e) => println!(
+            "silicon device: direct LU {:?} (exact); BiCGSTAB FAILS on the indefinite \
+             high-contrast system ({e}) — motivating the direct default",
+            t_direct
+        ),
+    }
+
+    println!("\n--- (2) projection beta schedule ---");
+    println!("{:>12} | {:>13} | {:>11}", "beta growth", "transmission", "gray level");
+    let exact = ExactAdjoint::new(direct.clone());
+    for growth in [1.0, 1.08, 1.25] {
+        let designer = InverseDesigner::new(OptimConfig {
+            iterations: 16,
+            learning_rate: 0.12,
+            beta_start: 1.5,
+            beta_growth: growth,
+            filter_radius: 1.5,
+            symmetry: None,
+            litho: None,
+            init: InitStrategy::Uniform(0.5),
+        });
+        let result = designer.run(problem, &exact).expect("optimize");
+        println!(
+            "{:>12.2} | {:>13.4} | {:>11.4}",
+            growth,
+            result.best_objective(),
+            result.density.gray_level()
+        );
+    }
+
+    println!("\n--- (3) filter radius vs minimum feature size ---");
+    println!("{:>13} | {:>13} | {:>16}", "filter radius", "transmission", "MFS (cells)");
+    for radius in [0.0, 1.5, 3.0] {
+        let designer = InverseDesigner::new(OptimConfig {
+            iterations: 16,
+            learning_rate: 0.12,
+            beta_start: 2.0,
+            beta_growth: 1.2,
+            filter_radius: radius,
+            symmetry: None,
+            litho: None,
+            init: InitStrategy::Uniform(0.5),
+        });
+        let result = designer.run(problem, &exact).expect("optimize");
+        let mfs = minimum_feature_size(&result.density, 0.5, 0.05);
+        println!(
+            "{:>13.1} | {:>13.4} | {:>16}",
+            radius,
+            result.best_objective(),
+            mfs
+        );
+    }
+    println!("\n[ablation completed in {:.1?}]", t0.elapsed());
+}

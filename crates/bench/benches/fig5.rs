@@ -1,0 +1,129 @@
+//! Figure 5 reproduction: sampling-strategy distributions.
+//!
+//! (a) Histogram of transmission efficiency for random, opt-traj, and
+//!     perturbed-opt-traj samples of the bending device — random sampling
+//!     concentrates at low transmission, trajectory sampling covers the
+//!     full range.
+//! (b) t-SNE embedding of the design patterns, labelled by low/high
+//!     performance — the two populations form separate clusters and the
+//!     perturbed-opt-traj samples cover both.
+
+use maps_bench::{ascii_histogram, calibrated_device};
+use maps_data::{
+    label_batch, sample_densities, DeviceKind, GenerateConfig, SamplerConfig, SamplingStrategy,
+};
+use maps_train::{separation_score, tsne, TsneConfig};
+use std::time::Instant;
+
+fn main() {
+    let t0 = Instant::now();
+    println!("=== Figure 5: sampling strategy distributions (bending device) ===\n");
+    let device = calibrated_device(DeviceKind::Bending);
+    let per_strategy = 40;
+    let cfg = GenerateConfig {
+        with_adjoint: false,
+        with_residual: false,
+        ..Default::default()
+    };
+
+    let mut all_patterns: Vec<Vec<f64>> = Vec::new();
+    let mut all_transmissions: Vec<f64> = Vec::new();
+    let mut strategy_of: Vec<SamplingStrategy> = Vec::new();
+
+    println!("--- (a) transmission histograms ---");
+    for strategy in [
+        SamplingStrategy::Random,
+        SamplingStrategy::OptTraj,
+        SamplingStrategy::PerturbedOptTraj,
+    ] {
+        let densities = sample_densities(
+            strategy,
+            &device,
+            &SamplerConfig {
+                count: per_strategy,
+                seed: 13,
+                trajectory_iterations: 12,
+                perturbation: 0.25,
+            },
+        )
+        .expect("sampling");
+        let samples = label_batch(&device, &densities, &cfg).expect("labels");
+        let transmissions: Vec<f64> = samples
+            .iter()
+            .map(|s| s.labels.total_transmission().min(1.0))
+            .collect();
+        println!("\n{}:", strategy.name());
+        for (range, count) in ascii_histogram(&transmissions, 10) {
+            println!("  {range}  {:3}  {}", count, "#".repeat(count));
+        }
+        let low = transmissions.iter().filter(|t| **t < 0.1).count();
+        println!(
+            "  mean T = {:.3}, fraction below 10% = {:.2}",
+            transmissions.iter().sum::<f64>() / transmissions.len() as f64,
+            low as f64 / transmissions.len() as f64
+        );
+        for (d, t) in densities.iter().zip(&transmissions) {
+            all_patterns.push(d.as_slice().to_vec());
+            all_transmissions.push(*t);
+            strategy_of.push(strategy);
+        }
+    }
+
+    println!("\n--- (b) t-SNE of design patterns ---");
+    let embedded = tsne(
+        &all_patterns,
+        &TsneConfig {
+            perplexity: 15.0,
+            iterations: 250,
+            learning_rate: 50.0,
+            seed: 5,
+        },
+    );
+    // Low vs high performance populations.
+    let labels: Vec<bool> = all_transmissions.iter().map(|t| *t >= 0.3).collect();
+    let n_high = labels.iter().filter(|l| **l).count();
+    let score = separation_score(&embedded, &labels);
+    println!(
+        "{} patterns embedded; {} high-performance (T >= 0.3), {} low",
+        embedded.len(),
+        n_high,
+        embedded.len() - n_high
+    );
+    println!("low/high separation score (inter/intra distance ratio): {score:.2}");
+    // Coverage: does perturbed-opt-traj span both clusters?
+    for strategy in [
+        SamplingStrategy::Random,
+        SamplingStrategy::OptTraj,
+        SamplingStrategy::PerturbedOptTraj,
+    ] {
+        let (mut low_cnt, mut high_cnt) = (0, 0);
+        for (s, l) in strategy_of.iter().zip(&labels) {
+            if *s == strategy {
+                if *l {
+                    high_cnt += 1;
+                } else {
+                    low_cnt += 1;
+                }
+            }
+        }
+        println!(
+            "{:18} covers: {:2} low-perf, {:2} high-perf patterns{}",
+            strategy.name(),
+            low_cnt,
+            high_cnt,
+            if low_cnt > 0 && high_cnt > 0 { "  (covers BOTH)" } else { "" }
+        );
+    }
+    // First few embedding coordinates for external plotting.
+    println!("\nsample embedding coordinates (strategy, T, x, y):");
+    for k in (0..embedded.len()).step_by(12) {
+        println!(
+            "  {:18} T={:.3}  ({:+.2}, {:+.2})",
+            strategy_of[k].name(),
+            all_transmissions[k],
+            embedded[k].0,
+            embedded[k].1
+        );
+    }
+    println!("\n[fig5 completed in {:.1?}]", t0.elapsed());
+}

@@ -1,0 +1,153 @@
+//! Criterion micro-benchmarks of the numerical substrates, including the
+//! paper's headline claim that a neural surrogate is orders of magnitude
+//! faster than the numerical solver per field evaluation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use maps_core::{ComplexField2d, FieldSolver, Grid2d, RealField2d};
+use maps_fdfd::{FdfdSolver, PmlConfig};
+use maps_linalg::{fft::fft2, BandedMatrix, Complex64};
+use maps_nn::{Fno, FnoConfig, Model};
+use maps_tensor::{Params, Tape, Tensor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_fdfd_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fdfd_solve");
+    group.sample_size(10);
+    for &n in &[32usize, 48, 64] {
+        let grid = Grid2d::new(n, n, 0.1);
+        let eps = RealField2d::constant(grid, 4.0);
+        let mut j = ComplexField2d::zeros(grid);
+        j.set(n / 2, n / 2, Complex64::ONE);
+        let solver = FdfdSolver::with_pml(PmlConfig::auto(grid.dl));
+        let omega = maps_core::omega_for_wavelength(1.55);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| solver.solve_ez(&eps, &j, omega).expect("solve"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_neural_vs_fdfd(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solver_per_field_eval");
+    group.sample_size(10);
+    let n = 40;
+    let grid = Grid2d::new(n, n, 0.1);
+    let eps = RealField2d::constant(grid, 4.0);
+    let mut j = ComplexField2d::zeros(grid);
+    j.set(n / 2, n / 2, Complex64::ONE);
+    let omega = maps_core::omega_for_wavelength(1.55);
+    let fdfd = FdfdSolver::with_pml(PmlConfig::auto(grid.dl));
+    group.bench_function("fdfd_exact", |b| {
+        b.iter(|| fdfd.solve_ez(&eps, &j, omega).expect("solve"));
+    });
+    let mut params = Params::new();
+    let mut rng = StdRng::seed_from_u64(0);
+    let model = Fno::new(
+        &mut params,
+        &mut rng,
+        FnoConfig {
+            in_channels: 4,
+            out_channels: 2,
+            width: 12,
+            modes: 6,
+            depth: 3,
+        },
+    );
+    let solver = maps_train::NeuralFieldSolver::new(
+        model,
+        params,
+        maps_train::FieldNormalizer::identity(),
+    );
+    group.bench_function("neural_fno", |b| {
+        b.iter(|| solver.solve_ez(&eps, &j, omega).expect("nn solve"));
+    });
+    group.finish();
+}
+
+fn bench_banded_lu(c: &mut Criterion) {
+    let mut group = c.benchmark_group("banded_lu_factorize");
+    group.sample_size(10);
+    for &n in &[1024usize, 2500] {
+        let bw = (n as f64).sqrt() as usize;
+        let mut a = BandedMatrix::zeros(n, bw, bw);
+        for i in 0..n {
+            a.set(i, i, Complex64::new(4.0, 0.4));
+            if i >= 1 {
+                a.set(i, i - 1, Complex64::from_re(-1.0));
+            }
+            if i >= bw {
+                a.set(i, i - bw, Complex64::from_re(-1.0));
+            }
+            if i + 1 < n {
+                a.set(i, i + 1, Complex64::from_re(-1.0));
+            }
+            if i + bw < n {
+                a.set(i, i + bw, Complex64::from_re(-1.0));
+            }
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| a.clone().factorize().expect("factorize"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_fft2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fft2");
+    for &(h, w) in &[(32usize, 32usize), (40, 40), (64, 64)] {
+        let data: Vec<Complex64> = (0..h * w)
+            .map(|k| Complex64::new((k as f64 * 0.1).sin(), 0.0))
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{h}x{w}")),
+            &(h, w),
+            |b, _| {
+                b.iter(|| {
+                    let mut buf = data.clone();
+                    fft2(&mut buf, h, w);
+                    buf
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_fno_forward(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fno_forward");
+    group.sample_size(10);
+    let mut params = Params::new();
+    let mut rng = StdRng::seed_from_u64(0);
+    let model = Fno::new(
+        &mut params,
+        &mut rng,
+        FnoConfig {
+            in_channels: 4,
+            out_channels: 2,
+            width: 12,
+            modes: 6,
+            depth: 3,
+        },
+    );
+    let x = Tensor::zeros(&[1, 4, 40, 40]);
+    group.bench_function("batch1_40x40", |b| {
+        b.iter(|| {
+            let mut tape = Tape::new();
+            let xv = tape.input(x.clone());
+            let y = model.forward(&mut tape, &params, xv);
+            tape.value(y).len()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fdfd_scaling,
+    bench_neural_vs_fdfd,
+    bench_banded_lu,
+    bench_fft2,
+    bench_fno_forward
+);
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! Table III reproduction: main results across all baselines and devices.
+//!
+//! Trains FNO, F-FNO, UNet, and NeurOLight on perturbed-trajectory datasets
+//! of each of the six benchmark devices and reports the paper's triple
+//! `Train N-L2norm / Test N-L2norm / Test gradient similarity` per cell.
+//!
+//! Expected shape (paper Table III): spectral models (FNO/F-FNO/NeurOLight)
+//! beat UNet; everything degrades on the complex multiplexing devices
+//! (MDM/WDM/TOS) relative to bending/crossing.
+
+use maps_bench::{build_dataset, calibrated_device, evaluate, train_baseline, Baseline, EvalRow};
+use maps_data::{DeviceKind, SamplingStrategy};
+use rayon::prelude::*;
+use std::time::Instant;
+
+fn main() {
+    let t0 = Instant::now();
+    println!("=== Table III: baselines x devices (Train N-L2 / Test N-L2 / Grad Sim) ===\n");
+    let epochs = 8;
+    let width = 8;
+    let devices = DeviceKind::all();
+
+    // Generate datasets (parallel across devices), then train each baseline.
+    let results: Vec<(DeviceKind, Vec<(Baseline, EvalRow)>)> = devices
+        .par_iter()
+        .map(|&kind| {
+            let device = calibrated_device(kind);
+            let dataset = build_dataset(&device, SamplingStrategy::PerturbedOptTraj, 16, 6, 31);
+            let rows = Baseline::all()
+                .into_iter()
+                .map(|b| {
+                    let trained = train_baseline(b, &dataset, epochs, width, 5);
+                    (b, evaluate(&trained, &dataset))
+                })
+                .collect();
+            (kind, rows)
+        })
+        .collect();
+
+    // Print in the paper's two-block layout.
+    for block in devices.chunks(3) {
+        print!("{:>16}", "baselines");
+        for kind in block {
+            print!(" | {:>20}", kind.name());
+        }
+        println!();
+        println!("{}", "-".repeat(16 + block.len() * 23));
+        for baseline in Baseline::all() {
+            print!("{:>16}", baseline.label());
+            for kind in block {
+                let (_, rows) = results.iter().find(|(k, _)| k == kind).unwrap();
+                let (_, row) = rows.iter().find(|(b, _)| *b == baseline).unwrap();
+                print!(
+                    " | {:>5.2}/{:>5.2}/{:>6.2}",
+                    row.train_nl2, row.test_nl2, row.grad_similarity
+                );
+            }
+            println!();
+        }
+        println!();
+    }
+
+    // Shape summary.
+    let mean_test = |b: Baseline| -> f64 {
+        let v: Vec<f64> = results
+            .iter()
+            .map(|(_, rows)| rows.iter().find(|(bb, _)| *bb == b).unwrap().1.test_nl2)
+            .collect();
+        v.iter().sum::<f64>() / v.len() as f64
+    };
+    let simple: f64 = results
+        .iter()
+        .filter(|(k, _)| matches!(k, DeviceKind::Bending | DeviceKind::Crossing))
+        .flat_map(|(_, rows)| rows.iter().map(|(_, r)| r.test_nl2))
+        .sum::<f64>()
+        / 8.0;
+    let complex: f64 = results
+        .iter()
+        .filter(|(k, _)| matches!(k, DeviceKind::Mdm | DeviceKind::Wdm | DeviceKind::Tos))
+        .flat_map(|(_, rows)| rows.iter().map(|(_, r)| r.test_nl2))
+        .sum::<f64>()
+        / 12.0;
+    println!("mean test N-L2 per baseline:");
+    for b in Baseline::all() {
+        println!("  {:>16}: {:.3}", b.label(), mean_test(b));
+    }
+    println!(
+        "\nsimple devices (bend/crossing) mean test N-L2 {simple:.3} vs complex (MDM/WDM/TOS) {complex:.3} — degradation on complex devices? {}",
+        if complex > simple { "YES" } else { "no" }
+    );
+    println!("\n[table3 completed in {:.1?}]", t0.elapsed());
+}

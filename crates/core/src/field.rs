@@ -1,0 +1,319 @@
+//! Scalar fields living on a [`Grid2d`].
+
+use crate::grid::Grid2d;
+use maps_linalg::Complex64;
+use serde::{Deserialize, Serialize};
+
+/// A real scalar field (e.g. relative permittivity) on a 2-D grid.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RealField2d {
+    grid: Grid2d,
+    data: Vec<f64>,
+}
+
+impl RealField2d {
+    /// Creates a field filled with `value`.
+    pub fn constant(grid: Grid2d, value: f64) -> Self {
+        RealField2d {
+            grid,
+            data: vec![value; grid.len()],
+        }
+    }
+
+    /// Creates a field of zeros.
+    pub fn zeros(grid: Grid2d) -> Self {
+        Self::constant(grid, 0.0)
+    }
+
+    /// Creates a field from raw row-major data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != grid.len()`.
+    pub fn from_vec(grid: Grid2d, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), grid.len(), "field data length mismatch");
+        RealField2d { grid, data }
+    }
+
+    /// The grid this field lives on.
+    pub fn grid(&self) -> Grid2d {
+        self.grid
+    }
+
+    /// Borrow of the row-major data.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable borrow of the row-major data.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Value at `(ix, iy)`.
+    #[inline]
+    pub fn get(&self, ix: usize, iy: usize) -> f64 {
+        self.data[self.grid.idx(ix, iy)]
+    }
+
+    /// Sets the value at `(ix, iy)`.
+    #[inline]
+    pub fn set(&mut self, ix: usize, iy: usize, v: f64) {
+        let k = self.grid.idx(ix, iy);
+        self.data[k] = v;
+    }
+
+    /// Minimum value over the field.
+    pub fn min(&self) -> f64 {
+        self.data.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Maximum value over the field.
+    pub fn max(&self) -> f64 {
+        self.data.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Mean value over the field.
+    pub fn mean(&self) -> f64 {
+        self.data.iter().sum::<f64>() / self.data.len() as f64
+    }
+
+    /// Downsamples by `factor` with box averaging onto the coarsened grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` does not divide both grid dimensions.
+    pub fn downsample(&self, factor: usize) -> RealField2d {
+        let coarse = self.grid.coarsen(factor);
+        let mut out = RealField2d::zeros(coarse);
+        let inv = 1.0 / (factor * factor) as f64;
+        for iy in 0..coarse.ny {
+            for ix in 0..coarse.nx {
+                let mut acc = 0.0;
+                for dy in 0..factor {
+                    for dx in 0..factor {
+                        acc += self.get(ix * factor + dx, iy * factor + dy);
+                    }
+                }
+                out.set(ix, iy, acc * inv);
+            }
+        }
+        out
+    }
+
+    /// Upsamples by `factor` with nearest-neighbour replication.
+    pub fn upsample(&self, factor: usize) -> RealField2d {
+        let fine = Grid2d::new(
+            self.grid.nx * factor,
+            self.grid.ny * factor,
+            self.grid.dl / factor as f64,
+        );
+        let mut out = RealField2d::zeros(fine);
+        for iy in 0..fine.ny {
+            for ix in 0..fine.nx {
+                out.set(ix, iy, self.get(ix / factor, iy / factor));
+            }
+        }
+        out
+    }
+}
+
+/// A complex scalar field (e.g. the `Ez` phasor or a current density) on a
+/// 2-D grid.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ComplexField2d {
+    grid: Grid2d,
+    data: Vec<Complex64>,
+}
+
+impl ComplexField2d {
+    /// Creates a field of complex zeros.
+    pub fn zeros(grid: Grid2d) -> Self {
+        ComplexField2d {
+            grid,
+            data: vec![Complex64::ZERO; grid.len()],
+        }
+    }
+
+    /// Creates a field from raw row-major data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != grid.len()`.
+    pub fn from_vec(grid: Grid2d, data: Vec<Complex64>) -> Self {
+        assert_eq!(data.len(), grid.len(), "field data length mismatch");
+        ComplexField2d { grid, data }
+    }
+
+    /// The grid this field lives on.
+    pub fn grid(&self) -> Grid2d {
+        self.grid
+    }
+
+    /// Borrow of the row-major data.
+    pub fn as_slice(&self) -> &[Complex64] {
+        &self.data
+    }
+
+    /// Mutable borrow of the row-major data.
+    pub fn as_mut_slice(&mut self) -> &mut [Complex64] {
+        &mut self.data
+    }
+
+    /// Consumes the field, returning the row-major data.
+    pub fn into_vec(self) -> Vec<Complex64> {
+        self.data
+    }
+
+    /// Value at `(ix, iy)`.
+    #[inline]
+    pub fn get(&self, ix: usize, iy: usize) -> Complex64 {
+        self.data[self.grid.idx(ix, iy)]
+    }
+
+    /// Sets the value at `(ix, iy)`.
+    #[inline]
+    pub fn set(&mut self, ix: usize, iy: usize, v: Complex64) {
+        let k = self.grid.idx(ix, iy);
+        self.data[k] = v;
+    }
+
+    /// `L2` norm `‖f‖ = √(Σ|fᵢ|²)`.
+    pub fn norm(&self) -> f64 {
+        self.data.iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt()
+    }
+
+    /// Normalized L2 distance to another field:
+    /// `‖self − other‖ / ‖other‖` — the "N-L2norm" metric of the paper.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the grids differ.
+    pub fn normalized_l2_distance(&self, other: &ComplexField2d) -> f64 {
+        assert_eq!(self.grid, other.grid, "field grids differ");
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for (a, b) in self.data.iter().zip(&other.data) {
+            num += (*a - *b).norm_sqr();
+            den += b.norm_sqr();
+        }
+        if den == 0.0 {
+            if num == 0.0 {
+                0.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            (num / den).sqrt()
+        }
+    }
+
+    /// Field of squared magnitudes `|f|²` (intensity).
+    pub fn intensity(&self) -> RealField2d {
+        RealField2d::from_vec(self.grid, self.data.iter().map(|z| z.norm_sqr()).collect())
+    }
+}
+
+/// The full set of TM-polarized electromagnetic field components.
+///
+/// For `Ez` polarization the magnetic components `Hx`, `Hy` are derived from
+/// `Ez`; MAPS stores all three because they enter the Poynting-flux monitors
+/// and make up the field labels of the dataset.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EmFields {
+    /// Out-of-plane electric field phasor.
+    pub ez: ComplexField2d,
+    /// In-plane magnetic field, x component.
+    pub hx: ComplexField2d,
+    /// In-plane magnetic field, y component.
+    pub hy: ComplexField2d,
+}
+
+impl EmFields {
+    /// The grid the fields live on.
+    pub fn grid(&self) -> Grid2d {
+        self.ez.grid()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_field_statistics() {
+        let g = Grid2d::new(8, 4, 0.1);
+        let f = RealField2d::constant(g, 2.5);
+        assert_eq!(f.min(), 2.5);
+        assert_eq!(f.max(), 2.5);
+        assert!((f.mean() - 2.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn downsample_box_average() {
+        let g = Grid2d::new(4, 2, 1.0);
+        let mut f = RealField2d::zeros(g);
+        // one 2x2 block all 4.0, rest 0
+        f.set(0, 0, 4.0);
+        f.set(1, 0, 4.0);
+        f.set(0, 1, 4.0);
+        f.set(1, 1, 4.0);
+        let c = f.downsample(2);
+        assert_eq!(c.get(0, 0), 4.0);
+        assert_eq!(c.get(1, 0), 0.0);
+    }
+
+    #[test]
+    fn upsample_then_downsample_is_identity() {
+        let g = Grid2d::new(3, 3, 1.0);
+        let mut f = RealField2d::zeros(g);
+        for iy in 0..3 {
+            for ix in 0..3 {
+                f.set(ix, iy, (ix * 3 + iy) as f64);
+            }
+        }
+        let round = f.upsample(2).downsample(2);
+        assert_eq!(round, f);
+    }
+
+    #[test]
+    fn normalized_l2_of_identical_fields_is_zero() {
+        let g = Grid2d::new(5, 5, 0.2);
+        let mut f = ComplexField2d::zeros(g);
+        f.set(2, 2, Complex64::new(1.0, -1.0));
+        assert_eq!(f.normalized_l2_distance(&f), 0.0);
+    }
+
+    #[test]
+    fn normalized_l2_scales_correctly() {
+        let g = Grid2d::new(2, 1, 1.0);
+        let a = ComplexField2d::from_vec(g, vec![Complex64::from_re(2.0), Complex64::ZERO]);
+        let b = ComplexField2d::from_vec(g, vec![Complex64::from_re(1.0), Complex64::ZERO]);
+        // ‖a−b‖/‖b‖ = 1
+        assert!((a.normalized_l2_distance(&b) - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn intensity_is_magnitude_squared() {
+        let g = Grid2d::new(1, 1, 1.0);
+        let f = ComplexField2d::from_vec(g, vec![Complex64::new(3.0, 4.0)]);
+        assert_eq!(f.intensity().get(0, 0), 25.0);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let g = Grid2d::new(2, 2, 0.5);
+        let f = ComplexField2d::from_vec(
+            g,
+            vec![
+                Complex64::new(1.0, 2.0),
+                Complex64::ZERO,
+                Complex64::I,
+                Complex64::ONE,
+            ],
+        );
+        let json = serde_json::to_string(&f).unwrap();
+        let back: ComplexField2d = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, f);
+    }
+}

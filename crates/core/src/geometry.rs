@@ -1,0 +1,201 @@
+//! Geometric primitives used to rasterize device layouts onto a grid.
+
+use crate::field::RealField2d;
+use crate::grid::Grid2d;
+use serde::{Deserialize, Serialize};
+
+/// An axis of the 2-D simulation plane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Axis {
+    /// Horizontal axis.
+    X,
+    /// Vertical axis.
+    Y,
+}
+
+/// Propagation direction along an axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Direction {
+    /// Towards increasing coordinate.
+    Positive,
+    /// Towards decreasing coordinate.
+    Negative,
+}
+
+impl Direction {
+    /// Sign of the direction: `+1.0` or `−1.0`.
+    pub fn sign(self) -> f64 {
+        match self {
+            Direction::Positive => 1.0,
+            Direction::Negative => -1.0,
+        }
+    }
+}
+
+/// An axis-aligned rectangle in physical coordinates (µm).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Rect {
+    /// Lower-left x.
+    pub x0: f64,
+    /// Lower-left y.
+    pub y0: f64,
+    /// Upper-right x.
+    pub x1: f64,
+    /// Upper-right y.
+    pub y1: f64,
+}
+
+impl Rect {
+    /// Creates a rectangle from two corners, normalizing the order.
+    pub fn new(x0: f64, y0: f64, x1: f64, y1: f64) -> Self {
+        Rect {
+            x0: x0.min(x1),
+            y0: y0.min(y1),
+            x1: x0.max(x1),
+            y1: y0.max(y1),
+        }
+    }
+
+    /// Creates a rectangle from centre and size.
+    pub fn centered(cx: f64, cy: f64, width: f64, height: f64) -> Self {
+        Rect::new(
+            cx - width / 2.0,
+            cy - height / 2.0,
+            cx + width / 2.0,
+            cy + height / 2.0,
+        )
+    }
+
+    /// Returns `true` when `(x, y)` lies inside (inclusive).
+    pub fn contains(&self, x: f64, y: f64) -> bool {
+        x >= self.x0 && x <= self.x1 && y >= self.y0 && y <= self.y1
+    }
+
+    /// Rectangle width.
+    pub fn width(&self) -> f64 {
+        self.x1 - self.x0
+    }
+
+    /// Rectangle height.
+    pub fn height(&self) -> f64 {
+        self.y1 - self.y0
+    }
+
+    /// Centre point.
+    pub fn center(&self) -> (f64, f64) {
+        ((self.x0 + self.x1) / 2.0, (self.y0 + self.y1) / 2.0)
+    }
+
+    /// The cell-index bounding box `(ix0..ix1, iy0..iy1)` (exclusive upper
+    /// bounds) covering this rectangle on a grid.
+    pub fn cell_range(&self, grid: Grid2d) -> (std::ops::Range<usize>, std::ops::Range<usize>) {
+        let ix0 = ((self.x0 / grid.dl).floor().max(0.0)) as usize;
+        let iy0 = ((self.y0 / grid.dl).floor().max(0.0)) as usize;
+        let ix1 = ((self.x1 / grid.dl).ceil() as usize).min(grid.nx);
+        let iy1 = ((self.y1 / grid.dl).ceil() as usize).min(grid.ny);
+        (ix0..ix1, iy0..iy1)
+    }
+}
+
+/// A shape that can be rasterized onto a permittivity map.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Shape {
+    /// Axis-aligned rectangle.
+    Rect(Rect),
+    /// Circle with centre `(cx, cy)` and radius `r`.
+    Circle {
+        /// Centre x (µm).
+        cx: f64,
+        /// Centre y (µm).
+        cy: f64,
+        /// Radius (µm).
+        r: f64,
+    },
+}
+
+impl Shape {
+    /// Returns `true` when `(x, y)` lies inside the shape.
+    pub fn contains(&self, x: f64, y: f64) -> bool {
+        match *self {
+            Shape::Rect(r) => r.contains(x, y),
+            Shape::Circle { cx, cy, r } => {
+                let dx = x - cx;
+                let dy = y - cy;
+                dx * dx + dy * dy <= r * r
+            }
+        }
+    }
+}
+
+/// Paints `value` into `field` wherever the shape covers a cell centre.
+pub fn paint(field: &mut RealField2d, shape: &Shape, value: f64) {
+    let grid = field.grid();
+    for iy in 0..grid.ny {
+        for ix in 0..grid.nx {
+            let (x, y) = grid.coord(ix, iy);
+            if shape.contains(x, y) {
+                field.set(ix, iy, value);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rect_normalizes_corners() {
+        let r = Rect::new(2.0, 3.0, 0.0, 1.0);
+        assert_eq!(r.x0, 0.0);
+        assert_eq!(r.y1, 3.0);
+        assert_eq!(r.width(), 2.0);
+    }
+
+    #[test]
+    fn centered_rect_contains_center() {
+        let r = Rect::centered(1.0, 1.0, 0.5, 0.5);
+        assert!(r.contains(1.0, 1.0));
+        assert!(!r.contains(1.3, 1.0));
+    }
+
+    #[test]
+    fn circle_membership() {
+        let c = Shape::Circle {
+            cx: 0.0,
+            cy: 0.0,
+            r: 1.0,
+        };
+        assert!(c.contains(0.5, 0.5));
+        assert!(!c.contains(0.8, 0.8));
+    }
+
+    #[test]
+    fn paint_covers_expected_cells() {
+        let g = Grid2d::new(10, 10, 0.1);
+        let mut f = RealField2d::constant(g, 1.0);
+        paint(
+            &mut f,
+            &Shape::Rect(Rect::new(0.0, 0.0, 0.5, 1.0)),
+            12.0,
+        );
+        // left half painted
+        assert_eq!(f.get(2, 5), 12.0);
+        assert_eq!(f.get(7, 5), 1.0);
+    }
+
+    #[test]
+    fn cell_range_clamps_to_grid() {
+        let g = Grid2d::new(10, 10, 0.1);
+        let r = Rect::new(-1.0, 0.35, 5.0, 0.62);
+        let (xs, ys) = r.cell_range(g);
+        assert_eq!(xs, 0..10);
+        assert_eq!(ys, 3..7);
+    }
+
+    #[test]
+    fn direction_signs() {
+        assert_eq!(Direction::Positive.sign(), 1.0);
+        assert_eq!(Direction::Negative.sign(), -1.0);
+    }
+}

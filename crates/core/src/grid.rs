@@ -1,0 +1,150 @@
+//! Uniform 2-D simulation grids.
+
+use serde::{Deserialize, Serialize};
+
+/// A uniform 2-D grid over the rectangle `[0, nx·dl] × [0, ny·dl]`.
+///
+/// Grid cells are indexed `(ix, iy)` with `ix ∈ [0, nx)` horizontal
+/// (propagation axis for most devices) and `iy ∈ [0, ny)` vertical. Fields
+/// are stored row-major by `iy`, i.e. linear index `iy·nx + ix`.
+///
+/// ```
+/// use maps_core::Grid2d;
+/// let g = Grid2d::new(100, 60, 0.05);
+/// assert_eq!(g.len(), 6000);
+/// assert!((g.width() - 5.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Grid2d {
+    /// Number of cells along x.
+    pub nx: usize,
+    /// Number of cells along y.
+    pub ny: usize,
+    /// Cell size in micrometres.
+    pub dl: f64,
+}
+
+impl Grid2d {
+    /// Creates a grid with `nx × ny` cells of size `dl` (µm).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero or `dl` is not a positive finite
+    /// number.
+    pub fn new(nx: usize, ny: usize, dl: f64) -> Self {
+        assert!(nx > 0 && ny > 0, "grid dimensions must be positive");
+        assert!(dl.is_finite() && dl > 0.0, "grid spacing must be positive");
+        Grid2d { nx, ny, dl }
+    }
+
+    /// Total number of cells.
+    pub fn len(&self) -> usize {
+        self.nx * self.ny
+    }
+
+    /// Returns `true` when the grid contains no cells (never, by
+    /// construction, but included for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Physical width `nx · dl` in µm.
+    pub fn width(&self) -> f64 {
+        self.nx as f64 * self.dl
+    }
+
+    /// Physical height `ny · dl` in µm.
+    pub fn height(&self) -> f64 {
+        self.ny as f64 * self.dl
+    }
+
+    /// Linear index of cell `(ix, iy)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the indices are out of range.
+    #[inline]
+    pub fn idx(&self, ix: usize, iy: usize) -> usize {
+        debug_assert!(ix < self.nx && iy < self.ny, "grid index out of range");
+        iy * self.nx + ix
+    }
+
+    /// Cell-centre coordinate of `(ix, iy)` in µm.
+    #[inline]
+    pub fn coord(&self, ix: usize, iy: usize) -> (f64, f64) {
+        ((ix as f64 + 0.5) * self.dl, (iy as f64 + 0.5) * self.dl)
+    }
+
+    /// Nearest cell to a physical coordinate, clamped into range.
+    pub fn cell_at(&self, x: f64, y: f64) -> (usize, usize) {
+        let ix = ((x / self.dl).floor().max(0.0) as usize).min(self.nx - 1);
+        let iy = ((y / self.dl).floor().max(0.0) as usize).min(self.ny - 1);
+        (ix, iy)
+    }
+
+    /// A grid covering the same physical area with cells `factor`× coarser.
+    ///
+    /// Used by the multi-fidelity data generation: low-fidelity samples are
+    /// simulated on `self.coarsen(2)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is zero or does not divide both dimensions.
+    pub fn coarsen(&self, factor: usize) -> Grid2d {
+        assert!(factor > 0, "coarsening factor must be positive");
+        assert!(
+            self.nx % factor == 0 && self.ny % factor == 0,
+            "coarsening factor {factor} must divide grid dims {}x{}",
+            self.nx,
+            self.ny
+        );
+        Grid2d::new(self.nx / factor, self.ny / factor, self.dl * factor as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indexing_roundtrip() {
+        let g = Grid2d::new(7, 5, 0.1);
+        let mut seen = vec![false; g.len()];
+        for iy in 0..5 {
+            for ix in 0..7 {
+                let k = g.idx(ix, iy);
+                assert!(!seen[k]);
+                seen[k] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn coord_and_cell_at_are_inverse() {
+        let g = Grid2d::new(20, 10, 0.25);
+        let (x, y) = g.coord(13, 7);
+        assert_eq!(g.cell_at(x, y), (13, 7));
+    }
+
+    #[test]
+    fn cell_at_clamps() {
+        let g = Grid2d::new(4, 4, 1.0);
+        assert_eq!(g.cell_at(-3.0, 100.0), (0, 3));
+    }
+
+    #[test]
+    fn coarsen_preserves_extent() {
+        let g = Grid2d::new(64, 32, 0.05);
+        let c = g.coarsen(2);
+        assert_eq!(c.nx, 32);
+        assert!((c.width() - g.width()).abs() < 1e-12);
+        assert!((c.height() - g.height()).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide")]
+    fn coarsen_rejects_nondivisor() {
+        Grid2d::new(10, 10, 0.1).coarsen(3);
+    }
+}

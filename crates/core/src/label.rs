@@ -1,0 +1,161 @@
+//! Rich labels attached to each dataset sample.
+//!
+//! MAPS-Data extracts "rich labels" from every simulation: transmission per
+//! port, reflection, radiation, the full field phasors, the adjoint gradient
+//! under a stated objective, and the Maxwell-operator fingerprint. A single
+//! sample therefore supports many learning tasks (black-box S-parameter
+//! regression, field prediction, gradient supervision, physics-residual
+//! self-supervision).
+
+use crate::field::{ComplexField2d, EmFields, RealField2d};
+use crate::grid::Grid2d;
+use serde::{Deserialize, Serialize};
+
+/// Scattering amplitudes and powers observed at one port.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PortRecord {
+    /// Index of the port in the device's port list.
+    pub port: usize,
+    /// Complex modal amplitude (S-parameter numerator, source-normalized).
+    pub amplitude_re: f64,
+    /// Imaginary part of the modal amplitude.
+    pub amplitude_im: f64,
+    /// Fraction of injected power carried by this port's mode.
+    pub power: f64,
+}
+
+/// The fidelity level a sample was simulated at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Fidelity {
+    /// Coarse-mesh simulation: cheap, less accurate.
+    Low,
+    /// Fine-mesh simulation: the reference quality.
+    High,
+}
+
+/// Everything MAPS-Data records about one simulated design.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RichLabels {
+    /// Fidelity level of the simulation that produced these labels.
+    pub fidelity: Fidelity,
+    /// Vacuum wavelength (µm).
+    pub wavelength: f64,
+    /// Index of the excited input port.
+    pub input_port: usize,
+    /// Eigenmode index launched at the input port.
+    pub input_mode: usize,
+    /// Per-port transmission records (excluding the input port's reflection).
+    pub transmissions: Vec<PortRecord>,
+    /// Power reflected back into the input port's mode.
+    pub reflection: f64,
+    /// Power unaccounted for by guided ports (radiated / absorbed in PML).
+    pub radiation: f64,
+    /// Full TM field solution.
+    pub fields: EmFields,
+    /// Adjoint gradient of the stated objective with respect to the design
+    /// density, restricted to the design region (row-major over its cells).
+    pub adjoint_gradient: Option<RealField2d>,
+    /// Residual norm `‖A e − b‖/‖b‖` of the assembled Maxwell system,
+    /// a self-check and a physics-loss target.
+    pub maxwell_residual: f64,
+}
+
+impl RichLabels {
+    /// Total guided output power (sum over transmission records).
+    pub fn total_transmission(&self) -> f64 {
+        self.transmissions.iter().map(|t| t.power).sum()
+    }
+
+    /// Transmission power into a specific port, or zero when unrecorded.
+    pub fn transmission_into(&self, port: usize) -> f64 {
+        self.transmissions
+            .iter()
+            .find(|t| t.port == port)
+            .map_or(0.0, |t| t.power)
+    }
+
+    /// The grid the labels' fields live on.
+    pub fn grid(&self) -> Grid2d {
+        self.fields.grid()
+    }
+}
+
+/// A complete dataset sample: the design (input) plus its rich labels.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Sample {
+    /// Stable identifier of the device this sample came from; the
+    /// hierarchical loader splits train/test at this level to avoid leakage.
+    pub device_id: String,
+    /// Device family name (e.g. `"bending"`).
+    pub device_kind: String,
+    /// Relative-permittivity map of the design.
+    pub eps_r: RealField2d,
+    /// Design density on the design region (the ρ̄ the optimizer sees),
+    /// if the sample came from an optimization trajectory.
+    pub density: Option<RealField2d>,
+    /// The source current density used for the simulation.
+    pub source: ComplexField2d,
+    /// Labels extracted from the simulation.
+    pub labels: RichLabels,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::field::ComplexField2d;
+
+    fn dummy_labels() -> RichLabels {
+        let g = Grid2d::new(2, 2, 0.1);
+        let z = ComplexField2d::zeros(g);
+        RichLabels {
+            fidelity: Fidelity::High,
+            wavelength: 1.55,
+            input_port: 0,
+            input_mode: 0,
+            transmissions: vec![
+                PortRecord {
+                    port: 1,
+                    amplitude_re: 0.8,
+                    amplitude_im: 0.0,
+                    power: 0.64,
+                },
+                PortRecord {
+                    port: 2,
+                    amplitude_re: 0.1,
+                    amplitude_im: 0.0,
+                    power: 0.01,
+                },
+            ],
+            reflection: 0.05,
+            radiation: 0.30,
+            fields: EmFields {
+                ez: z.clone(),
+                hx: z.clone(),
+                hy: z,
+            },
+            adjoint_gradient: None,
+            maxwell_residual: 1e-12,
+        }
+    }
+
+    #[test]
+    fn total_transmission_sums_ports() {
+        let l = dummy_labels();
+        assert!((l.total_transmission() - 0.65).abs() < 1e-15);
+    }
+
+    #[test]
+    fn transmission_lookup() {
+        let l = dummy_labels();
+        assert_eq!(l.transmission_into(2), 0.01);
+        assert_eq!(l.transmission_into(7), 0.0);
+    }
+
+    #[test]
+    fn labels_serde_roundtrip() {
+        let l = dummy_labels();
+        let s = serde_json::to_string(&l).unwrap();
+        let back: RichLabels = serde_json::from_str(&s).unwrap();
+        assert_eq!(back, l);
+    }
+}

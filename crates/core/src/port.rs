@@ -1,0 +1,52 @@
+//! Optical ports: where light enters and leaves a device.
+
+use crate::geometry::{Axis, Direction};
+use serde::{Deserialize, Serialize};
+
+/// A waveguide port: a line segment perpendicular to the propagation axis
+/// through which an eigenmode is launched or measured.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Port {
+    /// Centre of the port cross-section (µm).
+    pub center: (f64, f64),
+    /// Cross-section width (µm); the mode profile is solved over this span
+    /// plus surrounding cladding.
+    pub width: f64,
+    /// Axis along which the guided mode propagates.
+    pub axis: Axis,
+    /// Direction of positive power flow for this port.
+    pub direction: Direction,
+    /// Waveguide eigenmode index (0 = fundamental).
+    pub mode_index: usize,
+}
+
+impl Port {
+    /// Creates a fundamental-mode port.
+    pub fn new(center: (f64, f64), width: f64, axis: Axis, direction: Direction) -> Self {
+        Port {
+            center,
+            width,
+            axis,
+            direction,
+            mode_index: 0,
+        }
+    }
+
+    /// Returns a copy of the port selecting eigenmode `mode_index`.
+    pub fn with_mode(mut self, mode_index: usize) -> Self {
+        self.mode_index = mode_index;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_sets_mode() {
+        let p = Port::new((1.0, 2.0), 0.5, Axis::X, Direction::Positive).with_mode(1);
+        assert_eq!(p.mode_index, 1);
+        assert_eq!(p.center, (1.0, 2.0));
+    }
+}

@@ -1,0 +1,135 @@
+//! The solver abstraction shared by numerical and neural field solvers.
+//!
+//! MAPS-InvDes drives inverse design through this trait, so swapping the
+//! exact FDFD solver for a trained neural operator (the paper's final case
+//! study, Fig. 6) is a one-line change at the call site.
+
+use crate::field::{ComplexField2d, RealField2d};
+use std::fmt;
+
+/// A frequency-domain field solver for the 2-D `Ez` polarization.
+///
+/// Given a relative-permittivity map, a current-density source `Jz`, and the
+/// angular frequency, the solver returns the complex `Ez` phasor on the same
+/// grid. Implementors include the exact FDFD solver (`maps-fdfd`) and the
+/// neural surrogate (`maps-train::NeuralFieldSolver`).
+pub trait FieldSolver {
+    /// Solves for the `Ez` field phasor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveFieldError`] when the underlying linear system cannot
+    /// be solved or the inputs are inconsistent.
+    fn solve_ez(
+        &self,
+        eps_r: &RealField2d,
+        source: &ComplexField2d,
+        omega: f64,
+    ) -> Result<ComplexField2d, SolveFieldError>;
+
+    /// Solves the adjoint system `Aᵀ·e_adj = rhs` for a given adjoint
+    /// right-hand side (`∂F/∂e` of a power objective).
+    ///
+    /// The default implementation exploits electromagnetic reciprocity:
+    /// away from the PML the FDFD operator is complex symmetric, so the
+    /// adjoint field is obtained by a *forward* solve with the equivalent
+    /// current `J_adj = i·rhs/ω` (since the forward RHS is `−iω·J`). Exact
+    /// solvers override this with a true transpose solve.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveFieldError`] under the same conditions as
+    /// [`FieldSolver::solve_ez`].
+    fn solve_adjoint_ez(
+        &self,
+        eps_r: &RealField2d,
+        rhs: &ComplexField2d,
+        omega: f64,
+    ) -> Result<ComplexField2d, SolveFieldError> {
+        let grid = rhs.grid();
+        let scale = maps_linalg::Complex64::new(0.0, 1.0 / omega);
+        let j = ComplexField2d::from_vec(
+            grid,
+            rhs.as_slice().iter().map(|r| *r * scale).collect(),
+        );
+        self.solve_ez(eps_r, &j, omega)
+    }
+
+    /// Short human-readable name used in logs and benchmark tables.
+    fn name(&self) -> &str {
+        "field-solver"
+    }
+}
+
+/// Error raised by a [`FieldSolver`].
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SolveFieldError {
+    /// The permittivity and source grids disagree.
+    GridMismatch {
+        /// Description of the mismatch.
+        detail: String,
+    },
+    /// The linear system could not be solved.
+    Numerical {
+        /// Description from the numerical backend.
+        detail: String,
+    },
+    /// An input parameter is invalid (e.g. non-positive frequency).
+    InvalidInput {
+        /// Description of the invalid parameter.
+        detail: String,
+    },
+}
+
+impl fmt::Display for SolveFieldError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolveFieldError::GridMismatch { detail } => write!(f, "grid mismatch: {detail}"),
+            SolveFieldError::Numerical { detail } => write!(f, "numerical failure: {detail}"),
+            SolveFieldError::InvalidInput { detail } => write!(f, "invalid input: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for SolveFieldError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::Grid2d;
+    use maps_linalg::Complex64;
+
+    /// A trivial solver used to prove the trait is object safe.
+    struct ZeroSolver;
+
+    impl FieldSolver for ZeroSolver {
+        fn solve_ez(
+            &self,
+            eps_r: &RealField2d,
+            _source: &ComplexField2d,
+            _omega: f64,
+        ) -> Result<ComplexField2d, SolveFieldError> {
+            Ok(ComplexField2d::zeros(eps_r.grid()))
+        }
+    }
+
+    #[test]
+    fn trait_is_object_safe() {
+        let s: Box<dyn FieldSolver> = Box::new(ZeroSolver);
+        let g = Grid2d::new(2, 2, 0.1);
+        let eps = RealField2d::constant(g, 1.0);
+        let j = ComplexField2d::zeros(g);
+        let e = s.solve_ez(&eps, &j, 1.0).unwrap();
+        assert_eq!(e.get(0, 0), Complex64::ZERO);
+        assert_eq!(s.name(), "field-solver");
+    }
+
+    #[test]
+    fn error_display() {
+        let e = SolveFieldError::InvalidInput {
+            detail: "omega must be positive".into(),
+        };
+        assert!(e.to_string().contains("omega"));
+    }
+}

@@ -1,0 +1,94 @@
+//! Property-based tests of the core grid/field types.
+
+use maps_core::{ComplexField2d, Grid2d, RealField2d};
+use maps_linalg::Complex64;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Grid linear indexing is a bijection onto 0..len.
+    #[test]
+    fn grid_indexing_bijective(nx in 1usize..30, ny in 1usize..30) {
+        let g = Grid2d::new(nx, ny, 0.1);
+        let mut seen = vec![false; g.len()];
+        for iy in 0..ny {
+            for ix in 0..nx {
+                let k = g.idx(ix, iy);
+                prop_assert!(k < g.len());
+                prop_assert!(!seen[k]);
+                seen[k] = true;
+            }
+        }
+    }
+
+    /// Coordinates of any cell map back to the same cell.
+    #[test]
+    fn coord_cell_inverse(nx in 2usize..40, ny in 2usize..40, ix_f in 0.0..1.0f64, iy_f in 0.0..1.0f64) {
+        let g = Grid2d::new(nx, ny, 0.07);
+        let ix = ((nx as f64 - 1.0) * ix_f) as usize;
+        let iy = ((ny as f64 - 1.0) * iy_f) as usize;
+        let (x, y) = g.coord(ix, iy);
+        prop_assert_eq!(g.cell_at(x, y), (ix, iy));
+    }
+
+    /// Downsample(upsample(f)) is the identity for any field and factor.
+    #[test]
+    fn up_down_sample_identity(
+        nx in 1usize..8,
+        ny in 1usize..8,
+        factor in 1usize..4,
+        seed in 0u64..100,
+    ) {
+        let g = Grid2d::new(nx, ny, 0.1);
+        let mut f = RealField2d::zeros(g);
+        let mut state = seed.wrapping_mul(0x2545F4914F6CDD1D).max(1);
+        for v in f.as_mut_slice() {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            *v = (state >> 11) as f64 / (1u64 << 53) as f64;
+        }
+        let round = f.upsample(factor).downsample(factor);
+        for (a, b) in round.as_slice().iter().zip(f.as_slice()) {
+            prop_assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    /// The normalized L2 distance is a scaled metric: symmetric in the
+    /// numerator and zero only for identical fields.
+    #[test]
+    fn normalized_l2_definiteness(
+        values in prop::collection::vec((-3.0..3.0f64, -3.0..3.0f64), 6),
+        bump in 0.1..2.0f64,
+    ) {
+        let g = Grid2d::new(3, 2, 0.1);
+        let f = ComplexField2d::from_vec(
+            g,
+            values.iter().map(|(re, im)| Complex64::new(*re, *im)).collect(),
+        );
+        prop_assume!(f.norm() > 1e-6);
+        prop_assert_eq!(f.normalized_l2_distance(&f), 0.0);
+        let mut g2 = f.clone();
+        let v = g2.get(0, 0);
+        g2.set(0, 0, v + Complex64::from_re(bump));
+        prop_assert!(f.normalized_l2_distance(&g2) > 0.0);
+    }
+
+    /// Painting a rectangle never affects cells outside its bounds.
+    #[test]
+    fn paint_is_local(x0 in 0.0..1.0f64, y0 in 0.0..1.0f64, w in 0.05..0.5f64, h in 0.05..0.5f64) {
+        let g = Grid2d::new(20, 20, 0.1);
+        let mut f = RealField2d::constant(g, 1.0);
+        let rect = maps_core::Rect::new(x0, y0, x0 + w, y0 + h);
+        maps_core::paint(&mut f, &maps_core::Shape::Rect(rect), 5.0);
+        for iy in 0..20 {
+            for ix in 0..20 {
+                let (cx, cy) = g.coord(ix, iy);
+                if !rect.contains(cx, cy) {
+                    prop_assert_eq!(f.get(ix, iy), 1.0);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,178 @@
+//! Dataset container with device-level train/test splitting and JSON
+//! persistence.
+
+use maps_core::Sample;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::io::{Read, Write};
+use std::path::Path;
+
+/// A labeled dataset of simulated designs.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Dataset {
+    /// The samples.
+    pub samples: Vec<Sample>,
+}
+
+impl Dataset {
+    /// Creates an empty dataset.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a dataset from samples.
+    pub fn from_samples(samples: Vec<Sample>) -> Self {
+        Dataset { samples }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Returns `true` when the dataset holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Distinct device ids, sorted.
+    pub fn device_ids(&self) -> Vec<String> {
+        let set: BTreeSet<String> = self.samples.iter().map(|s| s.device_id.clone()).collect();
+        set.into_iter().collect()
+    }
+
+    /// Splits **at the device level** (the paper's hierarchical loader rule
+    /// preventing test-set leakage): all samples of one device land on the
+    /// same side. `train_fraction` applies to the device list, which is
+    /// partitioned deterministically by a seeded shuffle.
+    pub fn split_by_device(&self, train_fraction: f64, seed: u64) -> (Dataset, Dataset) {
+        assert!(
+            (0.0..=1.0).contains(&train_fraction),
+            "train fraction must be in [0, 1]"
+        );
+        let mut ids = self.device_ids();
+        // Deterministic Fisher–Yates with an xorshift generator.
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).max(1);
+        for i in (1..ids.len()).rev() {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let j = (state % (i as u64 + 1)) as usize;
+            ids.swap(i, j);
+        }
+        let n_train = ((ids.len() as f64) * train_fraction).round() as usize;
+        let train_ids: BTreeSet<&String> = ids.iter().take(n_train).collect();
+        let (train, test): (Vec<Sample>, Vec<Sample>) = self
+            .samples
+            .iter()
+            .cloned()
+            .partition(|s| train_ids.contains(&s.device_id));
+        (Dataset::from_samples(train), Dataset::from_samples(test))
+    }
+
+    /// Serializes to pretty JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O or serialization error.
+    pub fn save_json(&self, path: impl AsRef<Path>) -> Result<(), Box<dyn std::error::Error>> {
+        let mut file = std::fs::File::create(path)?;
+        let body = serde_json::to_vec(self)?;
+        file.write_all(&body)?;
+        Ok(())
+    }
+
+    /// Loads from a JSON file written by [`Dataset::save_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O or deserialization error.
+    pub fn load_json(path: impl AsRef<Path>) -> Result<Self, Box<dyn std::error::Error>> {
+        let mut body = Vec::new();
+        std::fs::File::open(path)?.read_to_end(&mut body)?;
+        Ok(serde_json::from_slice(&body)?)
+    }
+}
+
+impl FromIterator<Sample> for Dataset {
+    fn from_iter<T: IntoIterator<Item = Sample>>(iter: T) -> Self {
+        Dataset::from_samples(iter.into_iter().collect())
+    }
+}
+
+impl Extend<Sample> for Dataset {
+    fn extend<T: IntoIterator<Item = Sample>>(&mut self, iter: T) {
+        self.samples.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maps_core::{ComplexField2d, EmFields, Fidelity, Grid2d, RealField2d, RichLabels};
+
+    fn dummy_sample(device_id: &str) -> Sample {
+        let g = Grid2d::new(2, 2, 0.1);
+        let z = ComplexField2d::zeros(g);
+        Sample {
+            device_id: device_id.to_string(),
+            device_kind: "bending".to_string(),
+            eps_r: RealField2d::constant(g, 1.0),
+            density: None,
+            source: z.clone(),
+            labels: RichLabels {
+                fidelity: Fidelity::High,
+                wavelength: 1.55,
+                input_port: 0,
+                input_mode: 0,
+                transmissions: vec![],
+                reflection: 0.0,
+                radiation: 0.0,
+                fields: EmFields {
+                    ez: z.clone(),
+                    hx: z.clone(),
+                    hy: z,
+                },
+                adjoint_gradient: None,
+                maxwell_residual: 0.0,
+            },
+        }
+    }
+
+    #[test]
+    fn split_never_leaks_devices() {
+        let samples: Vec<Sample> = (0..10)
+            .flat_map(|d| (0..3).map(move |_| dummy_sample(&format!("dev-{d}"))))
+            .collect();
+        let ds = Dataset::from_samples(samples);
+        let (train, test) = ds.split_by_device(0.7, 11);
+        assert_eq!(train.len() + test.len(), 30);
+        let train_ids: BTreeSet<_> = train.samples.iter().map(|s| &s.device_id).collect();
+        let test_ids: BTreeSet<_> = test.samples.iter().map(|s| &s.device_id).collect();
+        assert!(train_ids.is_disjoint(&test_ids), "device leakage");
+        // All 3 samples of each device stay together.
+        assert_eq!(train.len() % 3, 0);
+        assert_eq!(test.len() % 3, 0);
+    }
+
+    #[test]
+    fn split_is_deterministic_per_seed() {
+        let ds: Dataset = (0..8).map(|d| dummy_sample(&format!("d{d}"))).collect();
+        let (a, _) = ds.split_by_device(0.5, 1);
+        let (b, _) = ds.split_by_device(0.5, 1);
+        assert_eq!(a.device_ids(), b.device_ids());
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let ds: Dataset = (0..2).map(|d| dummy_sample(&format!("d{d}"))).collect();
+        let dir = std::env::temp_dir().join("maps_dataset_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ds.json");
+        ds.save_json(&path).unwrap();
+        let back = Dataset::load_json(&path).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back.samples[0].device_id, "d0");
+        std::fs::remove_file(path).ok();
+    }
+}

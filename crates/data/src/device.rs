@@ -1,0 +1,589 @@
+//! The benchmark device zoo (paper Fig. 2 / Table III).
+//!
+//! Six inverse-designed photonic device families of increasing difficulty:
+//! waveguide bend, crossing, optical diode (asymmetric mode converter),
+//! mode-division multiplexer (MDM), wavelength-division multiplexer (WDM),
+//! and an active thermo-optic switch (TOS). Each builder returns a
+//! [`DesignProblem`] plus the port list and source variations used for rich
+//! labelling.
+
+use maps_core::materials::{SILICA_EPS, SILICON_EPS};
+use maps_core::{Axis, Direction, Grid2d, Port, RealField2d, Rect, Shape};
+use maps_invdes::{DesignProblem, ObjectiveTerm};
+use serde::{Deserialize, Serialize};
+
+/// The device families in the zoo.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DeviceKind {
+    /// 90° waveguide bend.
+    Bending,
+    /// Waveguide crossing.
+    Crossing,
+    /// Optical diode: forward-only transmission via asymmetric mode
+    /// conversion (the standard linear-passive implementation).
+    OpticalDiode,
+    /// Mode-division multiplexer.
+    Mdm,
+    /// Wavelength-division multiplexer.
+    Wdm,
+    /// Active thermo-optic switch.
+    Tos,
+}
+
+impl DeviceKind {
+    /// All device kinds, simplest first.
+    pub fn all() -> [DeviceKind; 6] {
+        [
+            DeviceKind::Bending,
+            DeviceKind::Crossing,
+            DeviceKind::OpticalDiode,
+            DeviceKind::Mdm,
+            DeviceKind::Wdm,
+            DeviceKind::Tos,
+        ]
+    }
+
+    /// Snake-case name used in dataset files and tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DeviceKind::Bending => "bending",
+            DeviceKind::Crossing => "crossing",
+            DeviceKind::OpticalDiode => "optical_diode",
+            DeviceKind::Mdm => "mdm",
+            DeviceKind::Wdm => "wdm",
+            DeviceKind::Tos => "tos",
+        }
+    }
+
+    /// Builds the device at the given resolution.
+    pub fn build(&self, res: DeviceResolution) -> DeviceSpec {
+        match self {
+            DeviceKind::Bending => bending(res),
+            DeviceKind::Crossing => crossing(res),
+            DeviceKind::OpticalDiode => optical_diode(res),
+            DeviceKind::Mdm => mdm(res),
+            DeviceKind::Wdm => wdm(res),
+            DeviceKind::Tos => tos(res),
+        }
+    }
+}
+
+/// Grid resolution of a device build.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeviceResolution {
+    /// Cell size in µm. Must divide the fixed 4.0 µm domain
+    /// (0.05 → 80 cells, 0.10 → 40 cells).
+    pub dl: f64,
+}
+
+impl Default for DeviceResolution {
+    fn default() -> Self {
+        DeviceResolution { dl: 0.05 }
+    }
+}
+
+impl DeviceResolution {
+    /// The high-fidelity default (80 × 80 cells, ~9 points per wavelength
+    /// in silicon).
+    pub fn high() -> Self {
+        Self::default()
+    }
+
+    /// The low-fidelity variant (40 × 40 cells, 2× coarser).
+    pub fn low() -> Self {
+        DeviceResolution { dl: 0.10 }
+    }
+
+    fn cells(&self) -> usize {
+        (DOMAIN / self.dl).round() as usize
+    }
+}
+
+/// Fixed domain edge length in µm.
+const DOMAIN: f64 = 4.0;
+/// Single-mode waveguide width in µm.
+const WG: f64 = 0.48;
+/// Multimode (two-mode) waveguide width in µm.
+const WG_WIDE: f64 = 1.12;
+/// Offset of ports from the domain edge in µm (outside the PML).
+const PORT_INSET: f64 = 1.2;
+
+/// One source variation for dataset generation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SourceVariant {
+    /// Which port of [`DeviceSpec::ports`] is excited.
+    pub input_port: usize,
+    /// Eigenmode launched.
+    pub mode_index: usize,
+    /// Vacuum wavelength (µm).
+    pub wavelength: f64,
+    /// Heater state (TOS only): `true` applies the thermo-optic shift.
+    pub heater_on: bool,
+}
+
+/// A fully specified benchmark device.
+#[derive(Debug, Clone)]
+pub struct DeviceSpec {
+    /// Which family this is.
+    pub kind: DeviceKind,
+    /// The inverse-design problem (base ε, design window, objective).
+    pub problem: DesignProblem,
+    /// All ports, input first.
+    pub ports: Vec<Port>,
+    /// Source variations for rich-label generation.
+    pub variants: Vec<SourceVariant>,
+    /// Heater region and permittivity shift (TOS only).
+    pub heater: Option<(Rect, f64)>,
+}
+
+impl DeviceSpec {
+    /// The simulation grid.
+    pub fn grid(&self) -> Grid2d {
+        self.problem.grid()
+    }
+
+    /// Base permittivity with the heater state applied.
+    pub fn base_eps_for_state(&self, heater_on: bool) -> RealField2d {
+        let mut eps = self.problem.base_eps.clone();
+        if heater_on {
+            self.apply_heater(&mut eps);
+        }
+        eps
+    }
+
+    /// Adds the thermo-optic permittivity shift over the heater region.
+    /// Call this *after* painting a design density — the heater overlaps
+    /// the design window.
+    pub fn apply_heater(&self, eps: &mut RealField2d) {
+        if let Some((rect, delta)) = self.heater {
+            let grid = eps.grid();
+            let (xs, ys) = rect.cell_range(grid);
+            for iy in ys {
+                for ix in xs.clone() {
+                    let v = eps.get(ix, iy);
+                    eps.set(ix, iy, v + delta);
+                }
+            }
+        }
+    }
+}
+
+fn strip_h(eps: &mut RealField2d, y: f64, x0: f64, x1: f64, width: f64) {
+    maps_core::paint(
+        eps,
+        &Shape::Rect(Rect::new(x0, y - width / 2.0, x1, y + width / 2.0)),
+        SILICON_EPS,
+    );
+}
+
+fn strip_v(eps: &mut RealField2d, x: f64, y0: f64, y1: f64, width: f64) {
+    maps_core::paint(
+        eps,
+        &Shape::Rect(Rect::new(x - width / 2.0, y0, x + width / 2.0, y1)),
+        SILICON_EPS,
+    );
+}
+
+/// Design window: centre square of `frac` of the domain, snapped to cells.
+fn center_window(grid: Grid2d, frac: f64) -> ((usize, usize), (usize, usize)) {
+    let cells = (grid.nx as f64 * frac).round() as usize;
+    let origin = (grid.nx - cells) / 2;
+    ((origin, origin), (cells, cells))
+}
+
+fn window_rect(grid: Grid2d, origin: (usize, usize), size: (usize, usize)) -> Rect {
+    Rect::new(
+        origin.0 as f64 * grid.dl,
+        origin.1 as f64 * grid.dl,
+        (origin.0 + size.0) as f64 * grid.dl,
+        (origin.1 + size.1) as f64 * grid.dl,
+    )
+}
+
+fn bending(res: DeviceResolution) -> DeviceSpec {
+    let n = res.cells();
+    let grid = Grid2d::new(n, n, res.dl);
+    let c = DOMAIN / 2.0;
+    let mut eps = RealField2d::constant(grid, SILICA_EPS);
+    let (origin, size) = center_window(grid, 0.25);
+    let win = window_rect(grid, origin, size);
+    strip_h(&mut eps, c, 0.0, win.x0, WG); // input from the left
+    strip_v(&mut eps, c, win.y1, DOMAIN, WG); // output to the top
+    let input = Port::new((PORT_INSET, c), WG, Axis::X, Direction::Positive);
+    let output = Port::new((c, DOMAIN - PORT_INSET), WG, Axis::Y, Direction::Positive);
+    DeviceSpec {
+        kind: DeviceKind::Bending,
+        problem: DesignProblem {
+            base_eps: eps,
+            design_origin: origin,
+            design_size: size,
+            eps_min: SILICA_EPS,
+            eps_max: SILICON_EPS,
+            wavelength: 1.55,
+            input_port: input,
+            terms: vec![ObjectiveTerm {
+                port: output,
+                weight: 1.0,
+            }],
+            normalization: 1.0,
+        },
+        ports: vec![input, output],
+        variants: vec![SourceVariant {
+            input_port: 0,
+            mode_index: 0,
+            wavelength: 1.55,
+            heater_on: false,
+        }],
+        heater: None,
+    }
+}
+
+fn crossing(res: DeviceResolution) -> DeviceSpec {
+    let n = res.cells();
+    let grid = Grid2d::new(n, n, res.dl);
+    let c = DOMAIN / 2.0;
+    let mut eps = RealField2d::constant(grid, SILICA_EPS);
+    let (origin, size) = center_window(grid, 0.25);
+    let win = window_rect(grid, origin, size);
+    strip_h(&mut eps, c, 0.0, win.x0, WG);
+    strip_h(&mut eps, c, win.x1, DOMAIN, WG);
+    strip_v(&mut eps, c, 0.0, win.y0, WG);
+    strip_v(&mut eps, c, win.y1, DOMAIN, WG);
+    let input = Port::new((PORT_INSET, c), WG, Axis::X, Direction::Positive);
+    let through = Port::new((DOMAIN - PORT_INSET, c), WG, Axis::X, Direction::Positive);
+    let up = Port::new((c, DOMAIN - PORT_INSET), WG, Axis::Y, Direction::Positive);
+    let down = Port::new((c, PORT_INSET), WG, Axis::Y, Direction::Negative);
+    DeviceSpec {
+        kind: DeviceKind::Crossing,
+        problem: DesignProblem {
+            base_eps: eps,
+            design_origin: origin,
+            design_size: size,
+            eps_min: SILICA_EPS,
+            eps_max: SILICON_EPS,
+            wavelength: 1.55,
+            input_port: input,
+            terms: vec![
+                ObjectiveTerm {
+                    port: through,
+                    weight: 1.0,
+                },
+                ObjectiveTerm {
+                    port: up,
+                    weight: -0.5, // crosstalk penalty
+                },
+                ObjectiveTerm {
+                    port: down,
+                    weight: -0.5,
+                },
+            ],
+            normalization: 1.0,
+        },
+        ports: vec![input, through, up, down],
+        variants: vec![SourceVariant {
+            input_port: 0,
+            mode_index: 0,
+            wavelength: 1.55,
+            heater_on: false,
+        }],
+        heater: None,
+    }
+}
+
+fn optical_diode(res: DeviceResolution) -> DeviceSpec {
+    let n = res.cells();
+    let grid = Grid2d::new(n, n, res.dl);
+    let c = DOMAIN / 2.0;
+    let mut eps = RealField2d::constant(grid, SILICA_EPS);
+    let (origin, size) = center_window(grid, 0.3);
+    let win = window_rect(grid, origin, size);
+    // Narrow single-mode input; wide two-mode output (asymmetric mode
+    // converter, the linear-passive diode construction).
+    strip_h(&mut eps, c, 0.0, win.x0, WG);
+    maps_core::paint(
+        &mut eps,
+        &Shape::Rect(Rect::new(win.x1, c - WG_WIDE / 2.0, DOMAIN, c + WG_WIDE / 2.0)),
+        SILICON_EPS,
+    );
+    let input = Port::new((PORT_INSET, c), WG, Axis::X, Direction::Positive);
+    let out_mode1 = Port::new((DOMAIN - PORT_INSET, c), WG_WIDE, Axis::X, Direction::Positive)
+        .with_mode(1);
+    let out_mode0 = Port::new((DOMAIN - PORT_INSET, c), WG_WIDE, Axis::X, Direction::Positive);
+    DeviceSpec {
+        kind: DeviceKind::OpticalDiode,
+        problem: DesignProblem {
+            base_eps: eps,
+            design_origin: origin,
+            design_size: size,
+            eps_min: SILICA_EPS,
+            eps_max: SILICON_EPS,
+            wavelength: 1.55,
+            input_port: input,
+            terms: vec![
+                ObjectiveTerm {
+                    port: out_mode1,
+                    weight: 1.0, // convert into the antisymmetric mode
+                },
+                ObjectiveTerm {
+                    port: out_mode0,
+                    weight: -0.5, // suppress the symmetric mode
+                },
+            ],
+            normalization: 1.0,
+        },
+        ports: vec![input, out_mode1, out_mode0],
+        variants: vec![SourceVariant {
+            input_port: 0,
+            mode_index: 0,
+            wavelength: 1.55,
+            heater_on: false,
+        }],
+        heater: None,
+    }
+}
+
+fn mdm(res: DeviceResolution) -> DeviceSpec {
+    let n = res.cells();
+    let grid = Grid2d::new(n, n, res.dl);
+    let c = DOMAIN / 2.0;
+    let mut eps = RealField2d::constant(grid, SILICA_EPS);
+    let (origin, size) = center_window(grid, 0.35);
+    let win = window_rect(grid, origin, size);
+    // Wide two-mode bus in; two single-mode guides out at different heights.
+    maps_core::paint(
+        &mut eps,
+        &Shape::Rect(Rect::new(0.0, c - WG_WIDE / 2.0, win.x0, c + WG_WIDE / 2.0)),
+        SILICON_EPS,
+    );
+    let y_hi = c + 0.8;
+    let y_lo = c - 0.8;
+    strip_h(&mut eps, y_hi, win.x1, DOMAIN, WG);
+    strip_h(&mut eps, y_lo, win.x1, DOMAIN, WG);
+    let input = Port::new((PORT_INSET, c), WG_WIDE, Axis::X, Direction::Positive);
+    let out_hi = Port::new((DOMAIN - PORT_INSET, y_hi), WG, Axis::X, Direction::Positive);
+    let out_lo = Port::new((DOMAIN - PORT_INSET, y_lo), WG, Axis::X, Direction::Positive);
+    DeviceSpec {
+        kind: DeviceKind::Mdm,
+        problem: DesignProblem {
+            base_eps: eps,
+            design_origin: origin,
+            design_size: size,
+            eps_min: SILICA_EPS,
+            eps_max: SILICON_EPS,
+            wavelength: 1.55,
+            input_port: input,
+            // Route the fundamental mode to the upper branch while keeping
+            // the lower branch dark; the mode-1 routing is exercised by the
+            // second source variant in the dataset.
+            terms: vec![
+                ObjectiveTerm {
+                    port: out_hi,
+                    weight: 1.0,
+                },
+                ObjectiveTerm {
+                    port: out_lo,
+                    weight: -0.5,
+                },
+            ],
+            normalization: 1.0,
+        },
+        ports: vec![input, out_hi, out_lo],
+        variants: vec![
+            SourceVariant {
+                input_port: 0,
+                mode_index: 0,
+                wavelength: 1.55,
+                heater_on: false,
+            },
+            SourceVariant {
+                input_port: 0,
+                mode_index: 1,
+                wavelength: 1.55,
+                heater_on: false,
+            },
+        ],
+        heater: None,
+    }
+}
+
+fn wdm(res: DeviceResolution) -> DeviceSpec {
+    let n = res.cells();
+    let grid = Grid2d::new(n, n, res.dl);
+    let c = DOMAIN / 2.0;
+    let mut eps = RealField2d::constant(grid, SILICA_EPS);
+    let (origin, size) = center_window(grid, 0.35);
+    let win = window_rect(grid, origin, size);
+    strip_h(&mut eps, c, 0.0, win.x0, WG);
+    let y_hi = c + 0.8;
+    let y_lo = c - 0.8;
+    strip_h(&mut eps, y_hi, win.x1, DOMAIN, WG);
+    strip_h(&mut eps, y_lo, win.x1, DOMAIN, WG);
+    let input = Port::new((PORT_INSET, c), WG, Axis::X, Direction::Positive);
+    let out_hi = Port::new((DOMAIN - PORT_INSET, y_hi), WG, Axis::X, Direction::Positive);
+    let out_lo = Port::new((DOMAIN - PORT_INSET, y_lo), WG, Axis::X, Direction::Positive);
+    DeviceSpec {
+        kind: DeviceKind::Wdm,
+        problem: DesignProblem {
+            base_eps: eps,
+            design_origin: origin,
+            design_size: size,
+            eps_min: SILICA_EPS,
+            eps_max: SILICON_EPS,
+            wavelength: 1.50, // optimize the short-λ channel to the top arm
+            input_port: input,
+            terms: vec![
+                ObjectiveTerm {
+                    port: out_hi,
+                    weight: 1.0,
+                },
+                ObjectiveTerm {
+                    port: out_lo,
+                    weight: -0.5,
+                },
+            ],
+            normalization: 1.0,
+        },
+        ports: vec![input, out_hi, out_lo],
+        variants: vec![
+            SourceVariant {
+                input_port: 0,
+                mode_index: 0,
+                wavelength: 1.50,
+                heater_on: false,
+            },
+            SourceVariant {
+                input_port: 0,
+                mode_index: 0,
+                wavelength: 1.60,
+                heater_on: false,
+            },
+        ],
+        heater: None,
+    }
+}
+
+fn tos(res: DeviceResolution) -> DeviceSpec {
+    let n = res.cells();
+    let grid = Grid2d::new(n, n, res.dl);
+    let c = DOMAIN / 2.0;
+    let mut eps = RealField2d::constant(grid, SILICA_EPS);
+    let (origin, size) = center_window(grid, 0.35);
+    let win = window_rect(grid, origin, size);
+    strip_h(&mut eps, c, 0.0, win.x0, WG);
+    let y_hi = c + 0.8;
+    let y_lo = c - 0.8;
+    strip_h(&mut eps, y_hi, win.x1, DOMAIN, WG);
+    strip_h(&mut eps, y_lo, win.x1, DOMAIN, WG);
+    let input = Port::new((PORT_INSET, c), WG, Axis::X, Direction::Positive);
+    let out_hi = Port::new((DOMAIN - PORT_INSET, y_hi), WG, Axis::X, Direction::Positive);
+    let out_lo = Port::new((DOMAIN - PORT_INSET, y_lo), WG, Axis::X, Direction::Positive);
+    // A 75 K thermo-optic shift over the upper half of the design window:
+    // Δε = 2·n·(dn/dT)·ΔT ≈ 2·3.48·1.8e−4·75 ≈ 0.094 — scaled up ~10× here
+    // so the 2-D toy device switches visibly (documented substitution).
+    let heater_rect = Rect::new(win.x0, c, win.x1, win.y1);
+    let heater_delta = 0.94;
+    DeviceSpec {
+        kind: DeviceKind::Tos,
+        problem: DesignProblem {
+            base_eps: eps,
+            design_origin: origin,
+            design_size: size,
+            eps_min: SILICA_EPS,
+            eps_max: SILICON_EPS,
+            wavelength: 1.55,
+            input_port: input,
+            terms: vec![
+                ObjectiveTerm {
+                    port: out_hi,
+                    weight: 1.0,
+                },
+                ObjectiveTerm {
+                    port: out_lo,
+                    weight: -0.5,
+                },
+            ],
+            normalization: 1.0,
+        },
+        ports: vec![input, out_hi, out_lo],
+        variants: vec![
+            SourceVariant {
+                input_port: 0,
+                mode_index: 0,
+                wavelength: 1.55,
+                heater_on: false,
+            },
+            SourceVariant {
+                input_port: 0,
+                mode_index: 0,
+                wavelength: 1.55,
+                heater_on: true,
+            },
+        ],
+        heater: Some((heater_rect, heater_delta)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_devices_build_at_both_fidelities() {
+        for kind in DeviceKind::all() {
+            for res in [DeviceResolution::high(), DeviceResolution::low()] {
+                let dev = kind.build(res);
+                let grid = dev.grid();
+                assert_eq!(grid.nx, res.cells(), "{}", kind.name());
+                // Design window inside the grid.
+                let (ox, oy) = dev.problem.design_origin;
+                let (sx, sy) = dev.problem.design_size;
+                assert!(ox + sx <= grid.nx && oy + sy <= grid.ny);
+                assert!(!dev.ports.is_empty());
+                assert!(!dev.variants.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn device_sources_are_buildable() {
+        // Every device's input port must guide the requested mode.
+        for kind in DeviceKind::all() {
+            let dev = kind.build(DeviceResolution::high());
+            for variant in &dev.variants {
+                let port = dev.ports[variant.input_port].with_mode(variant.mode_index);
+                let eps = dev.base_eps_for_state(variant.heater_on);
+                let omega = maps_core::omega_for_wavelength(variant.wavelength);
+                let src = maps_fdfd::ModeSource::new(&eps, &port, omega);
+                assert!(
+                    src.is_ok(),
+                    "{}: variant {variant:?} has no guided mode",
+                    kind.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn heater_shifts_permittivity() {
+        let dev = DeviceKind::Tos.build(DeviceResolution::high());
+        let cold = dev.base_eps_for_state(false);
+        let hot = dev.base_eps_for_state(true);
+        let diff: f64 = hot
+            .as_slice()
+            .iter()
+            .zip(cold.as_slice())
+            .map(|(h, c)| (h - c).abs())
+            .sum();
+        assert!(diff > 0.0, "heater must change the permittivity");
+        // Non-heater devices are state-independent.
+        let bend = DeviceKind::Bending.build(DeviceResolution::high());
+        assert_eq!(bend.base_eps_for_state(false), bend.base_eps_for_state(true));
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let names: std::collections::HashSet<_> =
+            DeviceKind::all().iter().map(|k| k.name()).collect();
+        assert_eq!(names.len(), 6);
+    }
+}

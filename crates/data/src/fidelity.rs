@@ -1,0 +1,107 @@
+//! Multi-fidelity helpers (paper §III-A3).
+//!
+//! Low-fidelity samples are simulated on a 2× coarser grid; Richardson
+//! extrapolation combines a coarse/fine observable pair into a higher-order
+//! estimate, demonstrating how cheap data refines expensive data.
+
+use maps_core::Fidelity;
+
+use crate::device::{DeviceKind, DeviceResolution, DeviceSpec};
+
+/// Resolution for a fidelity level.
+pub fn resolution_for(fidelity: Fidelity) -> DeviceResolution {
+    match fidelity {
+        Fidelity::High => DeviceResolution::high(),
+        Fidelity::Low => DeviceResolution::low(),
+    }
+}
+
+/// Builds the same device at both fidelity levels `(low, high)` — the
+/// paired data MAPS-Data ships for multi-fidelity research.
+pub fn paired_devices(kind: DeviceKind) -> (DeviceSpec, DeviceSpec) {
+    (
+        kind.build(resolution_for(Fidelity::Low)),
+        kind.build(resolution_for(Fidelity::High)),
+    )
+}
+
+/// Richardson extrapolation of a scalar observable from a coarse (2h) and a
+/// fine (h) simulation, assuming order-`p` convergence:
+/// `f* ≈ f_h + (f_h − f_{2h}) / (2^p − 1)`.
+pub fn richardson(coarse: f64, fine: f64, order: f64) -> f64 {
+    fine + (fine - coarse) / (2.0f64.powf(order) - 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn richardson_on_synthetic_h2_sequence() {
+        // f(h) = L + c·h², with L = 1, c = 3: f(2h=0.2) и f(h=0.1).
+        let l = 1.0;
+        let f = |h: f64| l + 3.0 * h * h;
+        let est = richardson(f(0.2), f(0.1), 2.0);
+        assert!((est - l).abs() < 1e-12, "estimate {est}");
+    }
+
+    #[test]
+    fn paired_devices_share_geometry() {
+        let (low, high) = paired_devices(DeviceKind::Crossing);
+        assert_eq!(low.grid().width(), high.grid().width());
+        assert_eq!(low.grid().nx * 2, high.grid().nx);
+        // Design windows cover the same physical area.
+        let area = |d: &DeviceSpec| {
+            let g = d.grid();
+            (d.problem.design_size.0 as f64 * g.dl) * (d.problem.design_size.1 as f64 * g.dl)
+        };
+        assert!((area(&low) - area(&high)).abs() < 0.1);
+    }
+
+    /// End-to-end multi-fidelity check: the coarse and fine transmissions
+    /// of the same structure agree within discretization error, and the
+    /// Richardson estimate lies near the fine value.
+    #[test]
+    fn fidelity_pair_transmissions_are_consistent() {
+        use crate::generate::{label_sample, GenerateConfig};
+        use maps_invdes::InitStrategy;
+
+        // The crossing has colinear input/through ports, so a straight
+        // strip through the window transmits.
+        let (mut low, mut high) = paired_devices(DeviceKind::Crossing);
+        // Calibrate so transmissions read as fractions of injected power.
+        for dev in [&mut low, &mut high] {
+            let solver = maps_fdfd::FdfdSolver::with_pml(maps_fdfd::PmlConfig::auto(
+                dev.grid().dl,
+            ));
+            dev.problem.calibrate(&solver).unwrap();
+        }
+        let (low, high) = (low, high);
+        let strip = |d: &DeviceSpec| {
+            InitStrategy::TransmissionStrip {
+                background: 0.0,
+                strip: 1.0,
+                half_height_frac: 0.3,
+            }
+            .build(d.problem.design_size.0, d.problem.design_size.1)
+        };
+        let cfg = GenerateConfig {
+            with_adjoint: false,
+            with_residual: false,
+            ..Default::default()
+        };
+        let s_low = label_sample(&low, &strip(&low), &low.variants[0], &cfg, 0).unwrap();
+        let s_high = label_sample(&high, &strip(&high), &high.variants[0], &cfg, 0).unwrap();
+        let t_low = s_low.labels.total_transmission();
+        let t_high = s_high.labels.total_transmission();
+        assert!(t_low > 0.0 && t_high > 0.0);
+        // Same physics, coarser mesh: same order of magnitude.
+        let ratio = t_low / t_high;
+        assert!(
+            (0.2..5.0).contains(&ratio),
+            "fidelities should agree roughly: low {t_low}, high {t_high}"
+        );
+        let est = richardson(t_low, t_high, 2.0);
+        assert!(est.is_finite());
+    }
+}

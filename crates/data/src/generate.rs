@@ -1,0 +1,430 @@
+//! Rich-label generation: turning sampled densities into dataset samples.
+//!
+//! Every density is simulated with the exact FDFD solver at the requested
+//! fidelity; the sample records the permittivity, source, full fields,
+//! per-port transmissions, reflection, radiation, the adjoint gradient
+//! under the device objective, and the Maxwell residual self-check.
+
+use crate::device::{DeviceSpec, SourceVariant};
+use maps_core::{
+    Fidelity, FieldSolver, PortRecord, RealField2d, RichLabels, Sample,
+};
+use maps_fdfd::{
+    derive_h_fields, solve_with_adjoint, FdfdSolver, ModeError, ModeMonitor, ModeSource,
+    PowerObjective,
+};
+use maps_invdes::Patch;
+use rayon::prelude::*;
+
+/// Configuration of label generation.
+#[derive(Debug, Clone)]
+pub struct GenerateConfig {
+    /// Fidelity level recorded on the samples (the caller picks the device
+    /// resolution to match).
+    pub fidelity: Fidelity,
+    /// Compute and attach the adjoint gradient label.
+    pub with_adjoint: bool,
+    /// Compute and attach the Maxwell residual self-check.
+    pub with_residual: bool,
+    /// Additionally emit one sample per density whose source is the
+    /// *adjoint* excitation of the device objective (a line source at the
+    /// output ports). Neural solvers that must answer adjoint queries
+    /// during inverse design (§IV-D) need these in their training
+    /// distribution — a forward-only dataset leaves the adjoint solve
+    /// out of distribution.
+    pub with_adjoint_source_samples: bool,
+}
+
+impl Default for GenerateConfig {
+    fn default() -> Self {
+        GenerateConfig {
+            fidelity: Fidelity::High,
+            with_adjoint: true,
+            with_residual: true,
+            with_adjoint_source_samples: false,
+        }
+    }
+}
+
+/// Errors from label generation.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum GenerateError {
+    /// A port guided no eigenmode.
+    Mode(ModeError),
+    /// A field solve failed.
+    Solve(maps_core::SolveFieldError),
+}
+
+impl std::fmt::Display for GenerateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GenerateError::Mode(e) => write!(f, "mode solver: {e}"),
+            GenerateError::Solve(e) => write!(f, "field solver: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for GenerateError {}
+
+impl From<ModeError> for GenerateError {
+    fn from(e: ModeError) -> Self {
+        GenerateError::Mode(e)
+    }
+}
+
+impl From<maps_core::SolveFieldError> for GenerateError {
+    fn from(e: maps_core::SolveFieldError) -> Self {
+        GenerateError::Solve(e)
+    }
+}
+
+/// Simulates one density under one source variant and extracts rich labels.
+///
+/// # Errors
+///
+/// Returns [`GenerateError`] when mode solving or the field solve fails.
+pub fn label_sample(
+    device: &DeviceSpec,
+    density: &Patch,
+    variant: &SourceVariant,
+    config: &GenerateConfig,
+    sample_index: usize,
+) -> Result<Sample, GenerateError> {
+    let solver = FdfdSolver::with_pml(maps_fdfd::PmlConfig::auto(device.grid().dl));
+    let omega = maps_core::omega_for_wavelength(variant.wavelength);
+    // Permittivity: base + painted design, then the heater shift (the
+    // heater overlaps the design window, so it must come last).
+    let mut eps = device.problem.base_eps.clone();
+    paint_density(&mut eps, device, density);
+    if variant.heater_on {
+        device.apply_heater(&mut eps);
+    }
+    // Source on the actual structure.
+    let in_port = device.ports[variant.input_port].with_mode(variant.mode_index);
+    let source_builder = ModeSource::new(&eps, &in_port, omega)?;
+    let source = source_builder.current_density(eps.grid());
+
+    // Forward + adjoint in one factorization when the gradient is wanted.
+    let objective = build_objective(device, &eps, omega)?;
+    let (ez, adjoint_gradient) = if config.with_adjoint {
+        let sol = solve_with_adjoint(&solver, &eps, &source, omega, &objective)?;
+        let patch = device.problem.gradient_to_patch(&sol.gradient);
+        let grad_field = RealField2d::from_vec(
+            maps_core::Grid2d::new(patch.nx(), patch.ny(), eps.grid().dl),
+            patch.as_slice().to_vec(),
+        );
+        (sol.forward, Some(grad_field))
+    } else {
+        (solver.solve_ez(&eps, &source, omega)?, None)
+    };
+
+    // Port records, all normalized by the calibrated injected power
+    // (1.0 if uncalibrated).
+    let injected = device.problem.normalization.max(1e-30);
+    let mut transmissions = Vec::new();
+    let mut reflection = 0.0;
+    let mut total_out = 0.0;
+    for (pi, port) in device.ports.iter().enumerate() {
+        let monitor = ModeMonitor::new(&eps, port, omega)?;
+        if pi == variant.input_port {
+            let amp = monitor.incoming_functional().eval(&ez);
+            reflection = amp.norm_sqr() / injected;
+        } else {
+            let amp = monitor.outgoing_functional().eval(&ez);
+            let power = amp.norm_sqr() / injected;
+            total_out += power;
+            let scale = 1.0 / injected.sqrt();
+            transmissions.push(PortRecord {
+                port: pi,
+                amplitude_re: amp.re * scale,
+                amplitude_im: amp.im * scale,
+                power,
+            });
+        }
+    }
+    // Radiation is the unaccounted remainder of the injected power.
+    let radiation = (1.0 - total_out - reflection).max(0.0);
+
+    let maxwell_residual = if config.with_residual {
+        solver.residual(&eps, &source, omega, &ez)
+    } else {
+        0.0
+    };
+    let (hx, hy) = derive_h_fields(&ez, omega);
+    let density_field = RealField2d::from_vec(
+        maps_core::Grid2d::new(density.nx(), density.ny(), eps.grid().dl),
+        density.as_slice().to_vec(),
+    );
+    Ok(Sample {
+        device_id: format!("{}-{:04}", device.kind.name(), sample_index),
+        device_kind: device.kind.name().to_string(),
+        eps_r: eps,
+        density: Some(density_field),
+        source,
+        labels: RichLabels {
+            fidelity: config.fidelity,
+            wavelength: variant.wavelength,
+            input_port: variant.input_port,
+            input_mode: variant.mode_index,
+            transmissions,
+            reflection,
+            radiation,
+            fields: maps_core::EmFields { ez, hx, hy },
+            adjoint_gradient,
+            maxwell_residual,
+        },
+    })
+}
+
+/// Paints a design density into the device's design window.
+pub fn paint_density(eps: &mut RealField2d, device: &DeviceSpec, density: &Patch) {
+    let (ox, oy) = device.problem.design_origin;
+    let p = &device.problem;
+    for py in 0..density.ny() {
+        for px in 0..density.nx() {
+            let v = p.eps_min + (p.eps_max - p.eps_min) * density.get(px, py);
+            eps.set(ox + px, oy + py, v);
+        }
+    }
+}
+
+fn build_objective(
+    device: &DeviceSpec,
+    eps: &RealField2d,
+    omega: f64,
+) -> Result<PowerObjective, ModeError> {
+    let mut obj = PowerObjective::new();
+    for term in &device.problem.terms {
+        let monitor = ModeMonitor::new(eps, &term.port, omega)?;
+        obj = obj.with_term(
+            monitor.outgoing_functional(),
+            term.weight / device.problem.normalization,
+        );
+    }
+    Ok(obj)
+}
+
+/// Simulates the *adjoint excitation* of a density: the source is the
+/// device objective's adjoint right-hand side (converted to an equivalent
+/// current via `J = i·rhs/ω`), and the recorded field is its forward
+/// solution — which, by the interior reciprocity of the SC-PML operator,
+/// equals the true adjoint field where gradients are consumed.
+///
+/// The emitted sample shares the `device_id` of the corresponding forward
+/// sample so device-level splits keep the pair together.
+///
+/// # Errors
+///
+/// Returns [`GenerateError`] when mode solving or a field solve fails.
+pub fn adjoint_source_sample(
+    device: &DeviceSpec,
+    density: &Patch,
+    variant: &SourceVariant,
+    config: &GenerateConfig,
+    sample_index: usize,
+) -> Result<Sample, GenerateError> {
+    let solver = FdfdSolver::with_pml(maps_fdfd::PmlConfig::auto(device.grid().dl));
+    let omega = maps_core::omega_for_wavelength(variant.wavelength);
+    let mut eps = device.problem.base_eps.clone();
+    paint_density(&mut eps, device, density);
+    if variant.heater_on {
+        device.apply_heater(&mut eps);
+    }
+    // Forward solve to evaluate the adjoint RHS at the actual field.
+    let in_port = device.ports[variant.input_port].with_mode(variant.mode_index);
+    let j_fwd = ModeSource::new(&eps, &in_port, omega)?.current_density(eps.grid());
+    let forward = solver.solve_ez(&eps, &j_fwd, omega)?;
+    let objective = build_objective(device, &eps, omega)?;
+    let rhs = objective.adjoint_rhs(&forward);
+    // Equivalent current for the adjoint excitation: −iω·J = rhs.
+    let scale = maps_linalg::Complex64::new(0.0, 1.0 / omega);
+    let j_adj = maps_core::ComplexField2d::from_vec(
+        eps.grid(),
+        rhs.iter().map(|r| *r * scale).collect(),
+    );
+    let ez = solver.solve_ez(&eps, &j_adj, omega)?;
+    let maxwell_residual = if config.with_residual {
+        solver.residual(&eps, &j_adj, omega, &ez)
+    } else {
+        0.0
+    };
+    let (hx, hy) = derive_h_fields(&ez, omega);
+    let density_field = RealField2d::from_vec(
+        maps_core::Grid2d::new(density.nx(), density.ny(), eps.grid().dl),
+        density.as_slice().to_vec(),
+    );
+    Ok(Sample {
+        device_id: format!("{}-{:04}", device.kind.name(), sample_index),
+        device_kind: device.kind.name().to_string(),
+        eps_r: eps,
+        density: Some(density_field),
+        source: j_adj,
+        labels: RichLabels {
+            fidelity: config.fidelity,
+            wavelength: variant.wavelength,
+            input_port: variant.input_port,
+            input_mode: variant.mode_index,
+            transmissions: Vec::new(), // not meaningful for adjoint drive
+            reflection: 0.0,
+            radiation: 0.0,
+            fields: maps_core::EmFields { ez, hx, hy },
+            adjoint_gradient: None,
+            maxwell_residual,
+        },
+    })
+}
+
+/// Labels a batch of densities in parallel (every source variant of the
+/// device is applied to every density; adjoint-source samples are appended
+/// when configured).
+///
+/// # Errors
+///
+/// Returns the first [`GenerateError`] encountered.
+pub fn label_batch(
+    device: &DeviceSpec,
+    densities: &[Patch],
+    config: &GenerateConfig,
+) -> Result<Vec<Sample>, GenerateError> {
+    let jobs: Vec<(usize, &Patch, &SourceVariant, bool)> = densities
+        .iter()
+        .enumerate()
+        .flat_map(|(i, d)| {
+            device.variants.iter().flat_map(move |v| {
+                let mut kinds = vec![(i, d, v, false)];
+                if config.with_adjoint_source_samples {
+                    kinds.push((i, d, v, true));
+                }
+                kinds
+            })
+        })
+        .collect();
+    jobs.par_iter()
+        .map(|(i, d, v, adjoint)| {
+            if *adjoint {
+                adjoint_source_sample(device, d, v, config, *i)
+            } else {
+                label_sample(device, d, v, config, *i)
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::{DeviceKind, DeviceResolution};
+    use maps_invdes::InitStrategy;
+
+    #[test]
+    fn labels_are_physically_consistent() {
+        let mut dev = DeviceKind::Bending.build(DeviceResolution::low());
+        dev.problem.calibrate(&FdfdSolver::new()).unwrap();
+        let density = InitStrategy::TransmissionStrip {
+            background: 0.0,
+            strip: 1.0,
+            half_height_frac: 0.25,
+        }
+        .build(dev.problem.design_size.0, dev.problem.design_size.1);
+        let sample = label_sample(
+            &dev,
+            &density,
+            &dev.variants[0],
+            &GenerateConfig::default(),
+            0,
+        )
+        .unwrap();
+        // The solve satisfies Maxwell.
+        assert!(sample.labels.maxwell_residual < 1e-9);
+        // Powers are non-negative and bounded (normalized by injection).
+        assert!(sample.labels.reflection >= 0.0);
+        for t in &sample.labels.transmissions {
+            assert!(t.power >= 0.0);
+        }
+        // Adjoint gradient attached and sized like the design window.
+        let g = sample.labels.adjoint_gradient.as_ref().unwrap();
+        assert_eq!(
+            (g.grid().nx, g.grid().ny),
+            (dev.problem.design_size.0, dev.problem.design_size.1)
+        );
+        assert!(g.as_slice().iter().any(|v| *v != 0.0));
+    }
+
+    #[test]
+    fn batch_covers_all_variants() {
+        let dev = DeviceKind::Wdm.build(DeviceResolution::low());
+        let densities = vec![
+            maps_invdes::Patch::constant(
+                dev.problem.design_size.0,
+                dev.problem.design_size.1,
+                0.5,
+            );
+            2
+        ];
+        let cfg = GenerateConfig {
+            with_adjoint: false,
+            with_residual: false,
+            ..Default::default()
+        };
+        let samples = label_batch(&dev, &densities, &cfg).unwrap();
+        // 2 densities × 2 wavelengths.
+        assert_eq!(samples.len(), 4);
+        let wavelengths: std::collections::HashSet<u64> = samples
+            .iter()
+            .map(|s| (s.labels.wavelength * 1000.0) as u64)
+            .collect();
+        assert_eq!(wavelengths.len(), 2);
+    }
+
+    #[test]
+    fn adjoint_source_samples_are_valid_forward_problems() {
+        let dev = DeviceKind::Bending.build(DeviceResolution::low());
+        let density = maps_invdes::Patch::constant(
+            dev.problem.design_size.0,
+            dev.problem.design_size.1,
+            0.6,
+        );
+        let cfg = GenerateConfig {
+            with_adjoint: false,
+            with_residual: true,
+            with_adjoint_source_samples: true,
+            ..Default::default()
+        };
+        let samples = label_batch(&dev, &[density], &cfg).unwrap();
+        // One forward + one adjoint-excitation sample.
+        assert_eq!(samples.len(), 2);
+        let fwd = &samples[0];
+        let adj = &samples[1];
+        assert_eq!(fwd.device_id, adj.device_id, "pair shares the device id");
+        // The adjoint sample's field satisfies Maxwell for its own source.
+        assert!(adj.labels.maxwell_residual < 1e-9, "residual {}", adj.labels.maxwell_residual);
+        // Its source is a line excitation at the objective port, not the
+        // input mode source.
+        assert!(fwd.source != adj.source);
+        assert!(adj.source.norm() > 0.0);
+    }
+
+    #[test]
+    fn tos_states_change_fields() {
+        let dev = DeviceKind::Tos.build(DeviceResolution::low());
+        let density = maps_invdes::Patch::constant(
+            dev.problem.design_size.0,
+            dev.problem.design_size.1,
+            1.0,
+        );
+        let cfg = GenerateConfig {
+            with_adjoint: false,
+            with_residual: false,
+            ..Default::default()
+        };
+        let cold = label_sample(&dev, &density, &dev.variants[0], &cfg, 0).unwrap();
+        let hot = label_sample(&dev, &density, &dev.variants[1], &cfg, 0).unwrap();
+        let dist = cold
+            .labels
+            .fields
+            .ez
+            .normalized_l2_distance(&hot.labels.fields.ez);
+        assert!(dist > 0.01, "heater state should alter the field: {dist}");
+    }
+}

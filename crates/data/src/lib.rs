@@ -1,0 +1,20 @@
+//! # maps-data
+//!
+//! MAPS-Data: the dataset acquisition framework. A zoo of six benchmark
+//! photonic devices (bend, crossing, optical diode, MDM, WDM, thermo-optic
+//! switch), configurable sampling strategies (random, optimization-
+//! trajectory, perturbed-trajectory), multi-fidelity paired generation, and
+//! rich labels — transmission/reflection/radiation, full fields, adjoint
+//! gradients, and Maxwell-residual self-checks — per sample.
+
+pub mod dataset;
+pub mod device;
+pub mod fidelity;
+pub mod generate;
+pub mod sampling;
+
+pub use dataset::Dataset;
+pub use device::{DeviceKind, DeviceResolution, DeviceSpec, SourceVariant};
+pub use fidelity::{paired_devices, resolution_for, richardson};
+pub use generate::{adjoint_source_sample, label_batch, label_sample, paint_density, GenerateConfig, GenerateError};
+pub use sampling::{sample_densities, SamplerConfig, SamplingStrategy};

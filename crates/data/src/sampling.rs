@@ -1,0 +1,259 @@
+//! Data sampling strategies (paper §III-A1, Table I, Fig. 5).
+//!
+//! * **Random** — i.i.d. binarized blob patterns from a predefined design
+//!   space (the prior-work baseline; yields mostly low-FoM devices).
+//! * **Opt-Traj** — densities recorded along adjoint-optimization
+//!   trajectories, covering the soft-to-hard, low-to-high-FoM progression
+//!   an inverse designer actually queries.
+//! * **Perturbed Opt-Traj** — trajectory points plus filtered perturbations,
+//!   re-balancing the FoM distribution.
+
+use maps_invdes::{
+    ConeFilter, ExactAdjoint, InitStrategy, InverseDesigner, OptimConfig, OptimError, Patch,
+    Reparam, ReparamChain, Symmetry, TanhProjection,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::device::DeviceSpec;
+
+/// Which sampling strategy generated a density.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SamplingStrategy {
+    /// Random binarized patterns.
+    Random,
+    /// Raw optimization-trajectory samples.
+    OptTraj,
+    /// Perturbed optimization-trajectory samples.
+    PerturbedOptTraj,
+}
+
+impl SamplingStrategy {
+    /// Snake-case name used in files and tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SamplingStrategy::Random => "random",
+            SamplingStrategy::OptTraj => "opt_traj",
+            SamplingStrategy::PerturbedOptTraj => "perturb_opt_traj",
+        }
+    }
+}
+
+/// Configuration of the density sampler.
+#[derive(Debug, Clone)]
+pub struct SamplerConfig {
+    /// Number of densities to produce.
+    pub count: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Optimization iterations per trajectory run (trajectory strategies).
+    pub trajectory_iterations: usize,
+    /// θ-space perturbation amplitude (perturbed strategy).
+    pub perturbation: f64,
+}
+
+impl Default for SamplerConfig {
+    fn default() -> Self {
+        SamplerConfig {
+            count: 32,
+            seed: 7,
+            trajectory_iterations: 16,
+            perturbation: 0.25,
+        }
+    }
+}
+
+/// Draws design densities for a device according to a strategy.
+///
+/// # Errors
+///
+/// Returns [`OptimError`] when a trajectory run's simulation fails.
+pub fn sample_densities(
+    strategy: SamplingStrategy,
+    device: &DeviceSpec,
+    config: &SamplerConfig,
+) -> Result<Vec<Patch>, OptimError> {
+    match strategy {
+        SamplingStrategy::Random => Ok(random_densities(device, config)),
+        SamplingStrategy::OptTraj => trajectory_densities(device, config, 0.0),
+        SamplingStrategy::PerturbedOptTraj => {
+            trajectory_densities(device, config, config.perturbation)
+        }
+    }
+}
+
+fn random_densities(device: &DeviceSpec, config: &SamplerConfig) -> Vec<Patch> {
+    let (nx, ny) = device.problem.design_size;
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let chain = ReparamChain::new()
+        .then(ConeFilter::new(1.5))
+        .then(TanhProjection::new(15.0));
+    (0..config.count)
+        .map(|_| {
+            let fill: f64 = rng.gen_range(0.3..0.7);
+            let theta = Patch::from_vec(
+                nx,
+                ny,
+                (0..nx * ny)
+                    .map(|_| if rng.gen::<f64>() < fill { 1.0 } else { 0.0 })
+                    .collect(),
+            );
+            chain.forward(&theta)
+        })
+        .collect()
+}
+
+fn trajectory_densities(
+    device: &DeviceSpec,
+    config: &SamplerConfig,
+    perturbation: f64,
+) -> Result<Vec<Patch>, OptimError> {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let exact = ExactAdjoint::new(maps_fdfd::FdfdSolver::with_pml(
+        maps_fdfd::PmlConfig::auto(device.grid().dl),
+    ));
+    let mut out: Vec<Patch> = Vec::with_capacity(config.count);
+    let mut run = 0u64;
+    while out.len() < config.count {
+        let designer = InverseDesigner::new(OptimConfig {
+            iterations: config.trajectory_iterations,
+            learning_rate: 0.1,
+            beta_start: 1.5,
+            beta_growth: 1.12,
+            filter_radius: 1.5,
+            symmetry: trajectory_symmetry(device),
+            litho: None,
+            init: InitStrategy::Random {
+                seed: config.seed.wrapping_add(run),
+                mean: 0.5,
+                amplitude: 0.2,
+            },
+        });
+        let needed = config.count - out.len();
+        let collected = std::cell::RefCell::new(Vec::new());
+        designer.run_with_callback(&device.problem, &exact, |_rec, density, _field| {
+            collected.borrow_mut().push(density.clone());
+        })?;
+        let trajectory = collected.into_inner();
+        // Spread the kept samples across the trajectory so early (soft,
+        // low-FoM) and late (hard, high-FoM) structures are both covered.
+        let keep = needed.min(trajectory.len());
+        for k in 0..keep {
+            let idx = if keep > 1 {
+                k * (trajectory.len() - 1) / (keep - 1)
+            } else {
+                trajectory.len() - 1
+            };
+            let base = &trajectory[idx];
+            let sample = if perturbation > 0.0 && k % 2 == 1 {
+                perturb(base, perturbation, &mut rng)
+            } else {
+                base.clone()
+            };
+            out.push(sample);
+        }
+        run += 1;
+    }
+    out.truncate(config.count);
+    Ok(out)
+}
+
+/// Devices with a mirror-symmetric objective get the matching constraint
+/// on their trajectories.
+fn trajectory_symmetry(device: &DeviceSpec) -> Option<Symmetry> {
+    match device.kind {
+        crate::device::DeviceKind::Crossing => Some(Symmetry::MirrorY),
+        _ => None,
+    }
+}
+
+/// Applies a filtered perturbation to a density, keeping it in `[0, 1]`.
+fn perturb(density: &Patch, amplitude: f64, rng: &mut StdRng) -> Patch {
+    let (nx, ny) = (density.nx(), density.ny());
+    let noise = Patch::from_vec(
+        nx,
+        ny,
+        (0..nx * ny)
+            .map(|_| rng.gen_range(-amplitude..amplitude))
+            .collect(),
+    );
+    let smooth = ConeFilter::new(1.5).forward(&noise);
+    let mut out = density.clone();
+    for (o, n) in out.as_mut_slice().iter_mut().zip(smooth.as_slice()) {
+        *o = (*o + n).clamp(0.0, 1.0);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::{DeviceKind, DeviceResolution};
+
+    #[test]
+    fn random_densities_are_binary_blobs() {
+        let dev = DeviceKind::Bending.build(DeviceResolution::high());
+        let cfg = SamplerConfig {
+            count: 5,
+            ..Default::default()
+        };
+        let samples = sample_densities(SamplingStrategy::Random, &dev, &cfg).unwrap();
+        assert_eq!(samples.len(), 5);
+        for s in &samples {
+            assert_eq!((s.nx(), s.ny()), dev.problem.design_size);
+            // Strongly binarized after β = 15 projection.
+            assert!(s.gray_level() < 0.5, "gray level {}", s.gray_level());
+        }
+        // Samples differ from each other.
+        assert_ne!(samples[0], samples[1]);
+    }
+
+    #[test]
+    fn sampling_is_seeded() {
+        let dev = DeviceKind::Bending.build(DeviceResolution::high());
+        let cfg = SamplerConfig {
+            count: 3,
+            seed: 42,
+            ..Default::default()
+        };
+        let a = sample_densities(SamplingStrategy::Random, &dev, &cfg).unwrap();
+        let b = sample_densities(SamplingStrategy::Random, &dev, &cfg).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn trajectory_sampling_covers_soft_and_hard() {
+        let dev = DeviceKind::Bending.build(DeviceResolution::low());
+        let cfg = SamplerConfig {
+            count: 8,
+            seed: 3,
+            trajectory_iterations: 8,
+            perturbation: 0.0,
+        };
+        let samples = sample_densities(SamplingStrategy::OptTraj, &dev, &cfg).unwrap();
+        assert_eq!(samples.len(), 8);
+        // Early samples are softer (grayer) than late ones.
+        let first_gray = samples.first().unwrap().gray_level();
+        let last_gray = samples.last().unwrap().gray_level();
+        assert!(
+            first_gray > last_gray,
+            "trajectory should binarize: {first_gray} -> {last_gray}"
+        );
+    }
+
+    #[test]
+    fn perturbed_differs_from_plain_trajectory() {
+        let dev = DeviceKind::Bending.build(DeviceResolution::low());
+        let cfg = SamplerConfig {
+            count: 6,
+            seed: 5,
+            trajectory_iterations: 6,
+            perturbation: 0.3,
+        };
+        let plain = sample_densities(SamplingStrategy::OptTraj, &dev, &cfg).unwrap();
+        let perturbed = sample_densities(SamplingStrategy::PerturbedOptTraj, &dev, &cfg).unwrap();
+        assert_eq!(plain.len(), perturbed.len());
+        assert!(plain.iter().zip(&perturbed).any(|(a, b)| a != b));
+    }
+}

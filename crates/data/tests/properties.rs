@@ -1,0 +1,75 @@
+//! Property-based tests of the dataset framework.
+
+use maps_core::Sample;
+use maps_data::Dataset;
+use proptest::prelude::*;
+
+fn dummy_sample(device_id: String) -> Sample {
+    let g = maps_core::Grid2d::new(2, 2, 0.1);
+    let z = maps_core::ComplexField2d::zeros(g);
+    Sample {
+        device_id,
+        device_kind: "bending".to_string(),
+        eps_r: maps_core::RealField2d::constant(g, 1.0),
+        density: None,
+        source: z.clone(),
+        labels: maps_core::RichLabels {
+            fidelity: maps_core::Fidelity::High,
+            wavelength: 1.55,
+            input_port: 0,
+            input_mode: 0,
+            transmissions: vec![],
+            reflection: 0.0,
+            radiation: 0.0,
+            fields: maps_core::EmFields {
+                ez: z.clone(),
+                hx: z.clone(),
+                hy: z,
+            },
+            adjoint_gradient: None,
+            maxwell_residual: 0.0,
+        },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Device-level splits never leak a device across the boundary and
+    /// always partition the sample set, for any fraction and seed.
+    #[test]
+    fn split_partitions_without_leakage(
+        n_devices in 1usize..20,
+        samples_per in 1usize..5,
+        frac in 0.0..1.0f64,
+        seed in 0u64..1000,
+    ) {
+        let samples: Vec<Sample> = (0..n_devices)
+            .flat_map(|d| (0..samples_per).map(move |_| dummy_sample(format!("dev-{d}"))))
+            .collect();
+        let ds = Dataset::from_samples(samples);
+        let (train, test) = ds.split_by_device(frac, seed);
+        prop_assert_eq!(train.len() + test.len(), ds.len());
+        let train_ids: std::collections::BTreeSet<_> =
+            train.samples.iter().map(|s| s.device_id.clone()).collect();
+        let test_ids: std::collections::BTreeSet<_> =
+            test.samples.iter().map(|s| s.device_id.clone()).collect();
+        prop_assert!(train_ids.is_disjoint(&test_ids));
+        // Samples of the same device always travel together.
+        prop_assert_eq!(train.len() % samples_per, 0);
+        prop_assert_eq!(test.len() % samples_per, 0);
+    }
+
+    /// Richardson extrapolation is exact for pure power-law error models.
+    #[test]
+    fn richardson_exact_for_power_law(
+        limit in -10.0..10.0f64,
+        coeff in -5.0..5.0f64,
+        h in 0.01..0.5f64,
+        order in 1.0..3.0f64,
+    ) {
+        let f = |step: f64| limit + coeff * step.powf(order);
+        let est = maps_data::richardson(f(2.0 * h), f(h), order);
+        prop_assert!((est - limit).abs() < 1e-8 * (1.0 + limit.abs() + coeff.abs()));
+    }
+}

@@ -1,0 +1,227 @@
+//! 1-D slab waveguide eigenmode solver.
+//!
+//! A port's cross-section reduces the 2-D Helmholtz equation to the
+//! eigenproblem `(d²/dt² + ω²ε(t)) φ = β² φ` on the transverse line.
+//! Guided modes are the eigenpairs with `β² > ω²·ε_cladding`; `β` is the
+//! propagation constant and `n_eff = β/ω` the effective index.
+
+use maps_core::{Axis, Grid2d, Port, RealField2d};
+use maps_linalg::{symmetric_eigen, DMatrix};
+
+/// A solved slab waveguide mode on a transverse line of the grid.
+#[derive(Debug, Clone)]
+pub struct SlabMode {
+    /// Propagation constant β (rad/µm).
+    pub beta: f64,
+    /// Effective index `β/ω`.
+    pub neff: f64,
+    /// Real transverse profile φ(t), one entry per transverse cell,
+    /// normalized to unit modal power: `(β/2ω)·Σφ²·dl = 1`.
+    pub profile: Vec<f64>,
+    /// Angular frequency the mode was solved at.
+    pub omega: f64,
+    /// Grid spacing along the transverse line (µm).
+    pub dl: f64,
+}
+
+impl SlabMode {
+    /// Modal power carried by an amplitude-`a` excitation: `|a|²` after the
+    /// unit-power normalization applied here.
+    pub fn power_normalization(&self) -> f64 {
+        self.beta / (2.0 * self.omega) * self.profile.iter().map(|p| p * p).sum::<f64>() * self.dl
+    }
+}
+
+/// Error from the mode solver.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ModeError {
+    /// No guided mode exists at the requested index.
+    NotGuided {
+        /// The eigenmode index that was requested.
+        requested: usize,
+        /// How many guided modes the cross-section supports.
+        available: usize,
+    },
+}
+
+impl std::fmt::Display for ModeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ModeError::NotGuided {
+                requested,
+                available,
+            } => write!(
+                f,
+                "eigenmode {requested} is not guided (cross-section supports {available} guided modes)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ModeError {}
+
+/// Solves the guided modes of a 1-D permittivity profile.
+///
+/// `eps_line` is the permittivity sampled along the transverse line with
+/// spacing `dl`. Returns modes sorted by decreasing `β` (fundamental first),
+/// keeping only those guided with respect to the minimum permittivity of the
+/// line (the cladding).
+pub fn solve_slab_modes(eps_line: &[f64], dl: f64, omega: f64) -> Vec<SlabMode> {
+    let n = eps_line.len();
+    assert!(n >= 3, "transverse line too short for mode solving");
+    let inv_dl2 = 1.0 / (dl * dl);
+    let mut m = DMatrix::zeros(n, n);
+    for i in 0..n {
+        m[(i, i)] = -2.0 * inv_dl2 + omega * omega * eps_line[i];
+        if i > 0 {
+            m[(i, i - 1)] = inv_dl2;
+        }
+        if i + 1 < n {
+            m[(i, i + 1)] = inv_dl2;
+        }
+    }
+    let eig = symmetric_eigen(&m);
+    let eps_clad = eps_line.iter().copied().fold(f64::INFINITY, f64::min);
+    let cutoff = omega * omega * eps_clad;
+    let mut modes = Vec::new();
+    for (k, &beta2) in eig.values.iter().enumerate() {
+        if beta2 <= cutoff || beta2 <= 0.0 {
+            break; // eigenvalues are sorted descending; the rest are radiative
+        }
+        let beta = beta2.sqrt();
+        let mut profile: Vec<f64> = (0..n).map(|r| eig.vectors[(r, k)]).collect();
+        // Deterministic sign: peak positive.
+        let (imax, _) = profile
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.abs().partial_cmp(&b.1.abs()).expect("finite"))
+            .expect("non-empty profile");
+        if profile[imax] < 0.0 {
+            for p in profile.iter_mut() {
+                *p = -*p;
+            }
+        }
+        // Normalize to unit modal power.
+        let raw_power = beta / (2.0 * omega) * profile.iter().map(|p| p * p).sum::<f64>() * dl;
+        let scale = 1.0 / raw_power.sqrt();
+        for p in profile.iter_mut() {
+            *p *= scale;
+        }
+        modes.push(SlabMode {
+            beta,
+            neff: beta / omega,
+            profile,
+            omega,
+            dl,
+        });
+    }
+    modes
+}
+
+/// The cells making up a port's transverse cross-section line.
+///
+/// Returns `(cells, eps_line)` where `cells` are `(ix, iy)` pairs ordered
+/// along the transverse axis. The line spans the port width plus one port
+/// width of cladding on each side (clamped to the grid) so evanescent tails
+/// are captured.
+pub fn port_cross_section(
+    port: &Port,
+    eps_r: &RealField2d,
+    along: f64,
+) -> (Vec<(usize, usize)>, Vec<f64>) {
+    let grid: Grid2d = eps_r.grid();
+    let (cx, cy) = port.center;
+    let half_span = port.width * 1.5;
+    match port.axis {
+        Axis::X => {
+            // propagation along x; transverse line is vertical at x = along
+            let (ix, _) = grid.cell_at(along, cy);
+            let (_, iy0) = grid.cell_at(cx, cy - half_span);
+            let (_, iy1) = grid.cell_at(cx, cy + half_span);
+            let cells: Vec<(usize, usize)> = (iy0..=iy1).map(|iy| (ix, iy)).collect();
+            let eps = cells.iter().map(|&(ix, iy)| eps_r.get(ix, iy)).collect();
+            (cells, eps)
+        }
+        Axis::Y => {
+            let (_, iy) = grid.cell_at(cx, along);
+            let (ix0, _) = grid.cell_at(cx - half_span, cy);
+            let (ix1, _) = grid.cell_at(cx + half_span, cy);
+            let cells: Vec<(usize, usize)> = (ix0..=ix1).map(|ix| (ix, iy)).collect();
+            let eps = cells.iter().map(|&(ix, iy)| eps_r.get(ix, iy)).collect();
+            (cells, eps)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn slab(n: usize, core_lo: usize, core_hi: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| if i >= core_lo && i < core_hi { 12.11 } else { 2.07 })
+            .collect()
+    }
+
+    #[test]
+    fn fundamental_mode_of_symmetric_slab() {
+        // 0.5 µm silicon slab in silica at λ = 1.55 µm.
+        let dl = 0.05;
+        let omega = maps_core::omega_for_wavelength(1.55);
+        let eps = slab(60, 25, 35);
+        let modes = solve_slab_modes(&eps, dl, omega);
+        assert!(!modes.is_empty(), "slab must guide at least one mode");
+        let m0 = &modes[0];
+        // Effective index must lie between cladding and core indices.
+        assert!(m0.neff > 2.07f64.sqrt() && m0.neff < 12.11f64.sqrt(), "neff = {}", m0.neff);
+        // Fundamental mode is even: profile peak near the centre.
+        let peak = m0
+            .profile
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert!((25..35).contains(&peak), "peak at {peak}");
+        // Unit-power normalization.
+        assert!((m0.power_normalization() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn modes_sorted_by_decreasing_beta() {
+        let dl = 0.05;
+        let omega = maps_core::omega_for_wavelength(1.55);
+        // Wide slab supports several modes.
+        let eps = slab(80, 20, 60);
+        let modes = solve_slab_modes(&eps, dl, omega);
+        assert!(modes.len() >= 2, "wide slab should be multimode");
+        for w in modes.windows(2) {
+            assert!(w[0].beta > w[1].beta);
+        }
+        // Second mode is odd: profile changes sign.
+        let has_sign_change = modes[1]
+            .profile
+            .windows(2)
+            .any(|p| p[0].signum() != p[1].signum() && p[0].abs() > 1e-6 && p[1].abs() > 1e-6);
+        assert!(has_sign_change);
+    }
+
+    #[test]
+    fn uniform_low_index_line_has_no_guided_mode() {
+        let omega = maps_core::omega_for_wavelength(1.55);
+        let eps = vec![2.07; 50];
+        let modes = solve_slab_modes(&eps, 0.05, omega);
+        assert!(modes.is_empty());
+    }
+
+    #[test]
+    fn mode_profile_decays_into_cladding() {
+        let dl = 0.05;
+        let omega = maps_core::omega_for_wavelength(1.55);
+        let eps = slab(80, 35, 45);
+        let modes = solve_slab_modes(&eps, dl, omega);
+        let p = &modes[0].profile;
+        assert!(p[0].abs() < 1e-3 * p[40].abs(), "tail {} vs peak {}", p[0], p[40]);
+    }
+}

@@ -1,0 +1,219 @@
+//! Full scattering-matrix extraction.
+//!
+//! Loops the eigenmode excitation over every port of a device and records
+//! the complex modal amplitude coupled into every other port — the
+//! S-parameter matrix black-box models are trained on, and a convenient
+//! verification harness (reciprocity `S = Sᵀ`, passivity `‖S·a‖ ≤ ‖a‖`).
+
+use crate::modes::ModeError;
+use crate::monitor::ModeMonitor;
+use crate::simulation::FdfdSolver;
+use crate::source::ModeSource;
+use maps_core::{FieldSolver, Port, RealField2d, SolveFieldError};
+use maps_linalg::ZMatrix;
+
+/// Errors from S-matrix extraction.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum SMatrixError {
+    /// A port guided no eigenmode.
+    Mode(ModeError),
+    /// A field solve failed.
+    Solve(SolveFieldError),
+}
+
+impl std::fmt::Display for SMatrixError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SMatrixError::Mode(e) => write!(f, "mode solver: {e}"),
+            SMatrixError::Solve(e) => write!(f, "field solver: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SMatrixError {}
+
+impl From<ModeError> for SMatrixError {
+    fn from(e: ModeError) -> Self {
+        SMatrixError::Mode(e)
+    }
+}
+
+impl From<SolveFieldError> for SMatrixError {
+    fn from(e: SolveFieldError) -> Self {
+        SMatrixError::Solve(e)
+    }
+}
+
+/// The scattering matrix of a multi-port structure.
+#[derive(Debug, Clone)]
+pub struct SMatrix {
+    /// `s[(q, p)]` is the amplitude leaving port `q` when port `p` is
+    /// excited with unit incident modal power.
+    pub s: ZMatrix,
+    /// The ports, in matrix order.
+    pub ports: Vec<Port>,
+}
+
+impl SMatrix {
+    /// Computes the S-matrix of a structure by exciting each port in turn.
+    ///
+    /// Amplitudes are normalized so that `|S_qp|²` is the power fraction
+    /// coupled from port `p`'s incident mode into port `q`'s outgoing mode
+    /// (the incident power is measured by the port's own monitor just after
+    /// the source).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SMatrixError`] when a port guides no mode or a solve
+    /// fails.
+    pub fn compute(
+        solver: &FdfdSolver,
+        eps_r: &RealField2d,
+        ports: &[Port],
+        omega: f64,
+    ) -> Result<SMatrix, SMatrixError> {
+        let n = ports.len();
+        let grid = eps_r.grid();
+        let monitors: Vec<ModeMonitor> = ports
+            .iter()
+            .map(|p| ModeMonitor::new(eps_r, p, omega))
+            .collect::<Result<_, _>>()?;
+        let mut s = ZMatrix::zeros(n, n);
+        for (p, port) in ports.iter().enumerate() {
+            // Port directions point *out* of the device; the excitation
+            // must launch the opposite way, into it.
+            let inward = Port {
+                direction: match port.direction {
+                    maps_core::Direction::Positive => maps_core::Direction::Negative,
+                    maps_core::Direction::Negative => maps_core::Direction::Positive,
+                },
+                ..*port
+            };
+            let source = ModeSource::new(eps_r, &inward, omega)?;
+            let j = source.current_density(grid);
+            let ez = solver.solve_ez(eps_r, &j, omega)?;
+            // The self-port monitor must sit a few cells inside the device,
+            // away from the source plane where the two injection lines make
+            // the near field non-modal.
+            let offset = 4.0 * grid.dl;
+            let shifted_center = match (port.axis, port.direction) {
+                (maps_core::Axis::X, maps_core::Direction::Negative) => {
+                    (port.center.0 + offset, port.center.1)
+                }
+                (maps_core::Axis::X, maps_core::Direction::Positive) => {
+                    (port.center.0 - offset, port.center.1)
+                }
+                (maps_core::Axis::Y, maps_core::Direction::Negative) => {
+                    (port.center.0, port.center.1 + offset)
+                }
+                (maps_core::Axis::Y, maps_core::Direction::Positive) => {
+                    (port.center.0, port.center.1 - offset)
+                }
+            };
+            let self_monitor = ModeMonitor::new(
+                eps_r,
+                &Port {
+                    center: shifted_center,
+                    ..*port
+                },
+                omega,
+            )?;
+            // Launched amplitude: the wave travelling into the device
+            // (the monitor's "incoming" direction).
+            let launched = self_monitor.incoming_functional().eval(&ez);
+            let norm = launched.abs().max(1e-300);
+            for (q, monitor) in monitors.iter().enumerate() {
+                // Every S_qp (including the reflection S_pp) is the wave
+                // leaving the device through port q.
+                let amp = if q == p {
+                    self_monitor.outgoing_functional().eval(&ez)
+                } else {
+                    monitor.outgoing_functional().eval(&ez)
+                };
+                s[(q, p)] = amp / norm;
+            }
+        }
+        Ok(SMatrix {
+            s,
+            ports: ports.to_vec(),
+        })
+    }
+
+    /// Number of ports.
+    pub fn num_ports(&self) -> usize {
+        self.ports.len()
+    }
+
+    /// Power transmission `|S_qp|²`.
+    pub fn power(&self, q: usize, p: usize) -> f64 {
+        self.s[(q, p)].norm_sqr()
+    }
+
+    /// Maximum asymmetry `|S_qp − S_pq|` over all off-diagonal pairs —
+    /// ideally zero by Lorentz reciprocity.
+    pub fn reciprocity_deficit(&self) -> f64 {
+        let n = self.num_ports();
+        let mut worst: f64 = 0.0;
+        for p in 0..n {
+            for q in (p + 1)..n {
+                worst = worst.max((self.s[(q, p)] - self.s[(p, q)]).abs());
+            }
+        }
+        worst
+    }
+
+    /// Largest column power sum `Σ_q |S_qp|²` — must not exceed 1 for a
+    /// passive device (up to numerical/radiation accounting).
+    pub fn max_column_power(&self) -> f64 {
+        let n = self.num_ports();
+        (0..n)
+            .map(|p| (0..n).map(|q| self.power(q, p)).sum::<f64>())
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pml::PmlConfig;
+    use maps_core::{Axis, Direction, Grid2d, Rect, Shape};
+
+    /// A straight waveguide's 2×2 S-matrix: |S21| ≈ 1, |S11| ≈ 0.
+    #[test]
+    fn straight_waveguide_smatrix() {
+        let grid = Grid2d::new(80, 50, 0.05);
+        let yc = grid.height() / 2.0;
+        let mut eps = RealField2d::constant(grid, 2.07);
+        maps_core::paint(
+            &mut eps,
+            &Shape::Rect(Rect::new(0.0, yc - 0.24, grid.width(), yc + 0.24)),
+            12.11,
+        );
+        let omega = maps_core::omega_for_wavelength(1.55);
+        let ports = vec![
+            Port::new((1.2, yc), 0.48, Axis::X, Direction::Negative), // faces out left
+            Port::new((grid.width() - 1.2, yc), 0.48, Axis::X, Direction::Positive),
+        ];
+        let solver = FdfdSolver::with_pml(PmlConfig::auto(grid.dl));
+        let sm = SMatrix::compute(&solver, &eps, &ports, omega).unwrap();
+        assert!(
+            sm.power(1, 0) > 0.85,
+            "through transmission |S21|² = {}",
+            sm.power(1, 0)
+        );
+        assert!(sm.power(0, 0) < 0.05, "reflection |S11|² = {}", sm.power(0, 0));
+        // Reciprocity within discretization error.
+        assert!(
+            sm.reciprocity_deficit() < 0.1,
+            "reciprocity deficit {}",
+            sm.reciprocity_deficit()
+        );
+        // Passivity (no gain).
+        assert!(
+            sm.max_column_power() < 1.2,
+            "column power {}",
+            sm.max_column_power()
+        );
+    }
+}

@@ -1,0 +1,183 @@
+//! Gradient backends: how `dF/dε` is obtained.
+//!
+//! The exact path factorizes the FDFD operator once and solves forward and
+//! transposed systems. The generic path works with *any* [`FieldSolver`] —
+//! including a trained neural operator — using two solves and the
+//! reciprocity-based default adjoint, which is how the paper drives inverse
+//! design from NN-predicted forward and adjoint fields (§IV-D, Fig. 6).
+
+use maps_core::{ComplexField2d, FieldSolver, RealField2d, SolveFieldError};
+use maps_fdfd::{gradient_from_fields, solve_with_adjoint, FdfdSolver, PowerObjective};
+
+/// Produces the objective value, its permittivity gradient, and the forward
+/// field for a candidate design.
+pub trait GradientSolver {
+    /// Evaluates `F` and `dF/dε` at a permittivity map.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveFieldError`] when the underlying solves fail.
+    fn objective_and_gradient(
+        &self,
+        eps_r: &RealField2d,
+        source: &ComplexField2d,
+        omega: f64,
+        objective: &PowerObjective,
+    ) -> Result<GradientEvaluation, SolveFieldError>;
+
+    /// Backend name for logs and tables.
+    fn name(&self) -> &str;
+}
+
+/// The output of one gradient evaluation.
+#[derive(Debug, Clone)]
+pub struct GradientEvaluation {
+    /// Objective value `F(e)`.
+    pub objective: f64,
+    /// Full-grid `dF/dε_r`.
+    pub grad_eps: RealField2d,
+    /// The forward field (kept for monitors, labels, plots).
+    pub forward: ComplexField2d,
+    /// The adjoint field.
+    pub adjoint: ComplexField2d,
+}
+
+/// Exact adjoint via the FDFD direct solver (one LU, two substitutions).
+#[derive(Debug, Clone)]
+pub struct ExactAdjoint {
+    solver: FdfdSolver,
+}
+
+impl ExactAdjoint {
+    /// Wraps an FDFD solver.
+    pub fn new(solver: FdfdSolver) -> Self {
+        ExactAdjoint { solver }
+    }
+
+    /// The wrapped solver.
+    pub fn solver(&self) -> &FdfdSolver {
+        &self.solver
+    }
+}
+
+impl Default for ExactAdjoint {
+    fn default() -> Self {
+        ExactAdjoint::new(FdfdSolver::new())
+    }
+}
+
+impl GradientSolver for ExactAdjoint {
+    fn objective_and_gradient(
+        &self,
+        eps_r: &RealField2d,
+        source: &ComplexField2d,
+        omega: f64,
+        objective: &PowerObjective,
+    ) -> Result<GradientEvaluation, SolveFieldError> {
+        let sol = solve_with_adjoint(&self.solver, eps_r, source, omega, objective)?;
+        Ok(GradientEvaluation {
+            objective: sol.objective,
+            grad_eps: sol.gradient,
+            forward: sol.forward,
+            adjoint: sol.adjoint,
+        })
+    }
+
+    fn name(&self) -> &str {
+        "exact-adjoint"
+    }
+}
+
+/// Gradient through any [`FieldSolver`]: a forward solve plus an adjoint
+/// solve (exact transpose when the solver provides it, reciprocity
+/// approximation otherwise — e.g. for neural surrogates).
+pub struct FieldGradient<'a> {
+    solver: &'a dyn FieldSolver,
+}
+
+impl<'a> FieldGradient<'a> {
+    /// Wraps a field solver by reference.
+    pub fn new(solver: &'a dyn FieldSolver) -> Self {
+        FieldGradient { solver }
+    }
+}
+
+impl std::fmt::Debug for FieldGradient<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "FieldGradient({})", self.solver.name())
+    }
+}
+
+impl GradientSolver for FieldGradient<'_> {
+    fn objective_and_gradient(
+        &self,
+        eps_r: &RealField2d,
+        source: &ComplexField2d,
+        omega: f64,
+        objective: &PowerObjective,
+    ) -> Result<GradientEvaluation, SolveFieldError> {
+        let forward = self.solver.solve_ez(eps_r, source, omega)?;
+        let objective_value = objective.eval(&forward);
+        let rhs = ComplexField2d::from_vec(eps_r.grid(), objective.adjoint_rhs(&forward));
+        let adjoint = self.solver.solve_adjoint_ez(eps_r, &rhs, omega)?;
+        let grad_eps = gradient_from_fields(&forward, &adjoint, omega);
+        Ok(GradientEvaluation {
+            objective: objective_value,
+            grad_eps,
+            forward,
+            adjoint,
+        })
+    }
+
+    fn name(&self) -> &str {
+        "field-gradient"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maps_core::{Grid2d, Port, Rect, Shape};
+    use maps_fdfd::{ModeMonitor, ModeSource};
+
+    /// The exact adjoint and the trait-based gradient (with the FDFD's
+    /// exact transpose override) must agree to rounding.
+    #[test]
+    fn exact_and_trait_gradients_agree() {
+        let grid = Grid2d::new(56, 40, 0.08);
+        let omega = maps_core::omega_for_wavelength(1.55);
+        let yc = grid.height() / 2.0;
+        let mut eps = RealField2d::constant(grid, 2.07);
+        maps_core::paint(
+            &mut eps,
+            &Shape::Rect(Rect::new(0.0, yc - 0.24, grid.width(), yc + 0.24)),
+            12.11,
+        );
+        let in_port = Port::new((1.2, yc), 0.48, maps_core::Axis::X, maps_core::Direction::Positive);
+        let out_port = Port::new(
+            (grid.width() - 1.2, yc),
+            0.48,
+            maps_core::Axis::X,
+            maps_core::Direction::Positive,
+        );
+        let j = ModeSource::new(&eps, &in_port, omega)
+            .unwrap()
+            .current_density(grid);
+        let monitor = ModeMonitor::new(&eps, &out_port, omega).unwrap();
+        let obj = PowerObjective::new().with_term(monitor.outgoing_functional(), 1.0);
+
+        let exact = ExactAdjoint::default();
+        let e1 = exact.objective_and_gradient(&eps, &j, omega, &obj).unwrap();
+        let fdfd = FdfdSolver::new();
+        let generic = FieldGradient::new(&fdfd);
+        let e2 = generic.objective_and_gradient(&eps, &j, omega, &obj).unwrap();
+        assert!((e1.objective - e2.objective).abs() < 1e-9 * (1.0 + e1.objective.abs()));
+        let mut max_diff: f64 = 0.0;
+        let mut max_mag: f64 = 0.0;
+        for (a, b) in e1.grad_eps.as_slice().iter().zip(e2.grad_eps.as_slice()) {
+            max_diff = max_diff.max((a - b).abs());
+            max_mag = max_mag.max(a.abs());
+        }
+        assert!(max_diff < 1e-9 * max_mag.max(1.0), "diff {max_diff} vs mag {max_mag}");
+    }
+}

@@ -1,0 +1,121 @@
+//! Predefined design-variable initializations (§III-C1 of the paper).
+
+use crate::patch::Patch;
+
+/// How the raw design variables θ are initialized.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum InitStrategy {
+    /// Uniform gray fill — the smooth-convergence default.
+    Uniform(f64),
+    /// Deterministic pseudo-random fill around `mean ± amplitude`
+    /// (seeded; useful for diversity studies and dataset generation).
+    Random {
+        /// RNG seed.
+        seed: u64,
+        /// Mean density.
+        mean: f64,
+        /// Half-range of the perturbation.
+        amplitude: f64,
+    },
+    /// A horizontal core strip through the window centre on a gray
+    /// background — the "encourage light transmission" manual prior.
+    TransmissionStrip {
+        /// Background density.
+        background: f64,
+        /// Strip density.
+        strip: f64,
+        /// Strip half-height as a fraction of the window height.
+        half_height_frac: f64,
+    },
+}
+
+impl InitStrategy {
+    /// Materializes the strategy into a θ patch.
+    pub fn build(&self, nx: usize, ny: usize) -> Patch {
+        match *self {
+            InitStrategy::Uniform(v) => Patch::constant(nx, ny, v),
+            InitStrategy::Random {
+                seed,
+                mean,
+                amplitude,
+            } => {
+                let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+                let mut next = move || {
+                    state ^= state << 13;
+                    state ^= state >> 7;
+                    state ^= state << 17;
+                    (state >> 11) as f64 / (1u64 << 53) as f64
+                };
+                let data = (0..nx * ny)
+                    .map(|_| (mean + amplitude * (2.0 * next() - 1.0)).clamp(0.0, 1.0))
+                    .collect();
+                Patch::from_vec(nx, ny, data)
+            }
+            InitStrategy::TransmissionStrip {
+                background,
+                strip,
+                half_height_frac,
+            } => {
+                let mut p = Patch::constant(nx, ny, background);
+                let cy = ny as f64 / 2.0;
+                let half = half_height_frac * ny as f64;
+                for iy in 0..ny {
+                    if (iy as f64 + 0.5 - cy).abs() <= half {
+                        for ix in 0..nx {
+                            p.set(ix, iy, strip);
+                        }
+                    }
+                }
+                p
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_fill() {
+        let p = InitStrategy::Uniform(0.5).build(4, 4);
+        assert!(p.as_slice().iter().all(|v| *v == 0.5));
+    }
+
+    #[test]
+    fn random_is_seeded_and_bounded() {
+        let a = InitStrategy::Random {
+            seed: 3,
+            mean: 0.5,
+            amplitude: 0.3,
+        }
+        .build(8, 8);
+        let b = InitStrategy::Random {
+            seed: 3,
+            mean: 0.5,
+            amplitude: 0.3,
+        }
+        .build(8, 8);
+        assert_eq!(a, b, "same seed → same init");
+        assert!(a.as_slice().iter().all(|v| (0.2..=0.8).contains(v)));
+        let c = InitStrategy::Random {
+            seed: 4,
+            mean: 0.5,
+            amplitude: 0.3,
+        }
+        .build(8, 8);
+        assert_ne!(a, c, "different seed → different init");
+    }
+
+    #[test]
+    fn strip_runs_through_center() {
+        let p = InitStrategy::TransmissionStrip {
+            background: 0.3,
+            strip: 0.9,
+            half_height_frac: 0.2,
+        }
+        .build(10, 10);
+        assert_eq!(p.get(0, 5), 0.9);
+        assert_eq!(p.get(9, 0), 0.3);
+    }
+}

@@ -1,0 +1,35 @@
+//! # maps-invdes
+//!
+//! MAPS-InvDes: an AI-assisted, fabrication-aware adjoint inverse-design
+//! toolkit. It layers differentiable reparametrizations (symmetry, cone
+//! density filters, tanh binarization projections, a lithography/etch
+//! variation model) over an adjoint gradient engine, and drives Adam ascent
+//! on the design variables. Any [`maps_core::FieldSolver`] — the exact FDFD
+//! solver or a trained neural operator — can supply the fields.
+//!
+//! The core loop (paper Eq. 1): `θ → P → G → ρ̄ → ε(ρ̄) → F(ε)`, with the
+//! adjoint gradient pulled back through every stage.
+
+pub mod gradient;
+pub mod init;
+pub mod litho;
+pub mod mfs;
+pub mod multi;
+pub mod optimizer;
+pub mod patch;
+pub mod problem;
+pub mod reparam;
+pub mod robust;
+
+pub use gradient::{ExactAdjoint, FieldGradient, GradientEvaluation, GradientSolver};
+pub use init::InitStrategy;
+pub use litho::{LithoCorner, LithoModel};
+pub use mfs::{minimum_feature_size, opening_loss};
+pub use multi::{Combine, Excitation, MultiExcitationDesigner};
+pub use optimizer::{
+    InverseDesigner, IterationRecord, OptimConfig, OptimError, OptimResult,
+};
+pub use patch::Patch;
+pub use problem::{DesignProblem, ObjectiveTerm};
+pub use reparam::{ConeFilter, Reparam, ReparamChain, Symmetry, TanhProjection};
+pub use robust::RobustDesigner;

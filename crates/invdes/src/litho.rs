@@ -1,0 +1,360 @@
+//! Differentiable lithography and etch variation model.
+//!
+//! Follows the standard abstraction of GPU inverse-lithography models
+//! (Yang & Ren, ISPD 2025, cited by the paper): the mask density forms an
+//! *aerial image* through a Gaussian point-spread function whose width grows
+//! with defocus, and a smooth sigmoid resist threshold develops the image.
+//! Dose (threshold shift) and etch bias move the effective threshold.
+//! Optimizing across process corners yields fabrication-robust designs.
+
+use crate::patch::Patch;
+use crate::reparam::Reparam;
+
+/// A lithography/etch process corner.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LithoCorner {
+    /// Defocus in µm; widens the aerial-image PSF.
+    pub defocus: f64,
+    /// Relative dose error: positive over-exposes (features grow).
+    pub dose: f64,
+    /// Etch bias in µm: positive over-etches (features shrink).
+    pub etch_bias: f64,
+}
+
+impl LithoCorner {
+    /// The nominal process corner.
+    pub fn nominal() -> Self {
+        LithoCorner {
+            defocus: 0.0,
+            dose: 0.0,
+            etch_bias: 0.0,
+        }
+    }
+
+    /// An over-etch / over-dose corner.
+    pub fn over(defocus: f64, dose: f64, etch_bias: f64) -> Self {
+        LithoCorner {
+            defocus,
+            dose,
+            etch_bias,
+        }
+    }
+
+    /// Standard ±corner triple `(nominal, over, under)` with symmetric
+    /// excursions.
+    pub fn triple(defocus: f64, dose: f64, etch_bias: f64) -> [LithoCorner; 3] {
+        [
+            LithoCorner::nominal(),
+            LithoCorner {
+                defocus,
+                dose,
+                etch_bias,
+            },
+            LithoCorner {
+                defocus,
+                dose: -dose,
+                etch_bias: -etch_bias,
+            },
+        ]
+    }
+}
+
+/// Differentiable lithography model: Gaussian aerial image + sigmoid resist.
+#[derive(Debug, Clone, Copy)]
+pub struct LithoModel {
+    /// Nominal PSF standard deviation in cells.
+    pub sigma_cells: f64,
+    /// Extra PSF widening per µm of defocus, in cells/µm.
+    pub defocus_broadening: f64,
+    /// Resist sigmoid steepness.
+    pub steepness: f64,
+    /// Nominal resist threshold.
+    pub threshold: f64,
+    /// Cell size in µm (converts etch bias to threshold shift).
+    pub dl: f64,
+    /// Process corner being simulated.
+    pub corner: LithoCorner,
+}
+
+impl LithoModel {
+    /// Creates a model with typical defaults for a `dl`-µm grid.
+    pub fn new(dl: f64) -> Self {
+        LithoModel {
+            sigma_cells: 1.0,
+            defocus_broadening: 10.0,
+            steepness: 8.0,
+            threshold: 0.5,
+            dl,
+            corner: LithoCorner::nominal(),
+        }
+    }
+
+    /// Returns a copy at a different process corner.
+    pub fn at_corner(mut self, corner: LithoCorner) -> Self {
+        self.corner = corner;
+        self
+    }
+
+    fn sigma(&self) -> f64 {
+        self.sigma_cells + self.defocus_broadening * self.corner.defocus.abs()
+    }
+
+    /// Effective threshold after dose and etch-bias shifts. Over-dose grows
+    /// features (lower threshold); over-etch shrinks them (higher).
+    fn effective_threshold(&self) -> f64 {
+        self.threshold - 0.5 * self.corner.dose + 0.5 * self.corner.etch_bias / self.dl.max(1e-9)
+    }
+
+    fn gaussian_kernel(&self) -> (Vec<f64>, isize) {
+        let sigma = self.sigma();
+        let e = (3.0 * sigma).ceil().max(1.0) as isize;
+        let mut k = Vec::with_capacity((2 * e + 1) as usize);
+        let mut sum = 0.0;
+        for d in -e..=e {
+            let v = (-(d * d) as f64 / (2.0 * sigma * sigma)).exp();
+            k.push(v);
+            sum += v;
+        }
+        for v in &mut k {
+            *v /= sum;
+        }
+        (k, e)
+    }
+
+    /// Separable Gaussian blur (the aerial image).
+    pub fn aerial_image(&self, mask: &Patch) -> Patch {
+        let (kernel, e) = self.gaussian_kernel();
+        let (nx, ny) = (mask.nx(), mask.ny());
+        // Horizontal pass with edge clamping.
+        let mut tmp = Patch::zeros(nx, ny);
+        for iy in 0..ny {
+            for ix in 0..nx as isize {
+                let mut acc = 0.0;
+                for (ki, d) in (-e..=e).enumerate() {
+                    let jx = (ix + d).clamp(0, nx as isize - 1) as usize;
+                    acc += kernel[ki] * mask.get(jx, iy);
+                }
+                tmp.set(ix as usize, iy, acc);
+            }
+        }
+        let mut out = Patch::zeros(nx, ny);
+        for iy in 0..ny as isize {
+            for ix in 0..nx {
+                let mut acc = 0.0;
+                for (ki, d) in (-e..=e).enumerate() {
+                    let jy = (iy + d).clamp(0, ny as isize - 1) as usize;
+                    acc += kernel[ki] * tmp.get(ix, jy);
+                }
+                out.set(ix, iy as usize, acc);
+            }
+        }
+        out
+    }
+
+    fn aerial_vjp(&self, grad_out: &Patch) -> Patch {
+        // The clamped separable blur's transpose: scatter instead of gather.
+        let (kernel, e) = self.gaussian_kernel();
+        let (nx, ny) = (grad_out.nx(), grad_out.ny());
+        let mut tmp = Patch::zeros(nx, ny);
+        for iy in 0..ny as isize {
+            for ix in 0..nx {
+                let g = grad_out.get(ix, iy as usize);
+                if g == 0.0 {
+                    continue;
+                }
+                for (ki, d) in (-e..=e).enumerate() {
+                    let jy = (iy + d).clamp(0, ny as isize - 1) as usize;
+                    let cur = tmp.get(ix, jy);
+                    tmp.set(ix, jy, cur + kernel[ki] * g);
+                }
+            }
+        }
+        let mut out = Patch::zeros(nx, ny);
+        for iy in 0..ny {
+            for ix in 0..nx as isize {
+                let g = tmp.get(ix as usize, iy);
+                if g == 0.0 {
+                    continue;
+                }
+                for (ki, d) in (-e..=e).enumerate() {
+                    let jx = (ix + d).clamp(0, nx as isize - 1) as usize;
+                    let cur = out.get(jx, iy);
+                    out.set(jx, iy, cur + kernel[ki] * g);
+                }
+            }
+        }
+        out
+    }
+}
+
+impl Reparam for LithoModel {
+    fn forward(&self, input: &Patch) -> Patch {
+        let aerial = self.aerial_image(input);
+        let thr = self.effective_threshold();
+        let k = self.steepness;
+        Patch::from_vec(
+            input.nx(),
+            input.ny(),
+            aerial
+                .as_slice()
+                .iter()
+                .map(|a| 1.0 / (1.0 + (-k * (a - thr)).exp()))
+                .collect(),
+        )
+    }
+
+    fn vjp(&self, input: &Patch, grad_out: &Patch) -> Patch {
+        let aerial = self.aerial_image(input);
+        let thr = self.effective_threshold();
+        let k = self.steepness;
+        let grad_aerial = Patch::from_vec(
+            input.nx(),
+            input.ny(),
+            aerial
+                .as_slice()
+                .iter()
+                .zip(grad_out.as_slice())
+                .map(|(a, g)| {
+                    let s = 1.0 / (1.0 + (-k * (a - thr)).exp());
+                    g * k * s * (1.0 - s)
+                })
+                .collect(),
+        );
+        self.aerial_vjp(&grad_aerial)
+    }
+
+    fn name(&self) -> &str {
+        "lithography"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn checkerboard(n: usize) -> Patch {
+        Patch::from_vec(
+            n,
+            n,
+            (0..n * n)
+                .map(|k| if (k / n + k % n) % 2 == 0 { 1.0 } else { 0.0 })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn nominal_litho_preserves_large_features() {
+        // A half-filled patch survives lithography roughly intact.
+        let mut mask = Patch::zeros(16, 16);
+        for iy in 0..16 {
+            for ix in 0..8 {
+                mask.set(ix, iy, 1.0);
+            }
+        }
+        let printed = LithoModel::new(0.05).forward(&mask);
+        assert!(printed.get(2, 8) > 0.9, "core of feature prints");
+        assert!(printed.get(13, 8) < 0.1, "empty area stays empty");
+    }
+
+    #[test]
+    fn fine_checkerboard_washes_out() {
+        // Sub-resolution features blur to mid-gray before the resist,
+        // so the printed pattern loses the checkerboard contrast.
+        let mask = checkerboard(12);
+        let printed = LithoModel::new(0.05).forward(&mask);
+        let contrast = printed
+            .as_slice()
+            .iter()
+            .map(|v| (v - 0.5).abs())
+            .fold(0.0f64, f64::max);
+        assert!(contrast < 0.45, "checkerboard should lose contrast: {contrast}");
+    }
+
+    #[test]
+    fn defocus_blurs_more() {
+        let mut mask = Patch::zeros(16, 16);
+        for iy in 6..10 {
+            for ix in 6..10 {
+                mask.set(ix, iy, 1.0);
+            }
+        }
+        let nominal = LithoModel::new(0.05).aerial_image(&mask);
+        let defocused = LithoModel::new(0.05)
+            .at_corner(LithoCorner {
+                defocus: 0.2,
+                dose: 0.0,
+                etch_bias: 0.0,
+            })
+            .aerial_image(&mask);
+        // Defocus spreads energy outward: the peak drops.
+        assert!(defocused.get(8, 8) < nominal.get(8, 8));
+    }
+
+    #[test]
+    fn dose_grows_and_shrinks_features() {
+        let mut mask = Patch::zeros(16, 16);
+        for iy in 5..11 {
+            for ix in 5..11 {
+                mask.set(ix, iy, 1.0);
+            }
+        }
+        let area = |p: &Patch| p.as_slice().iter().sum::<f64>();
+        let over = LithoModel::new(0.05)
+            .at_corner(LithoCorner {
+                defocus: 0.0,
+                dose: 0.3,
+                etch_bias: 0.0,
+            })
+            .forward(&mask);
+        let under = LithoModel::new(0.05)
+            .at_corner(LithoCorner {
+                defocus: 0.0,
+                dose: -0.3,
+                etch_bias: 0.0,
+            })
+            .forward(&mask);
+        let nom = LithoModel::new(0.05).forward(&mask);
+        assert!(area(&over) > area(&nom), "over-dose grows features");
+        assert!(area(&under) < area(&nom), "under-dose shrinks features");
+    }
+
+    #[test]
+    fn litho_vjp_matches_finite_difference() {
+        let mask = Patch::from_vec(
+            8,
+            8,
+            (0..64).map(|k| ((k * 23 % 17) as f64) / 17.0).collect(),
+        );
+        let model = LithoModel::new(0.05);
+        let coeffs: Vec<f64> = (0..64).map(|k| ((k % 5) as f64 - 2.0) * 0.2).collect();
+        let grad_out = Patch::from_vec(8, 8, coeffs.clone());
+        let grad_in = model.vjp(&mask, &grad_out);
+        let loss = |p: &Patch| -> f64 {
+            model
+                .forward(p)
+                .as_slice()
+                .iter()
+                .zip(&coeffs)
+                .map(|(o, c)| o * c)
+                .sum()
+        };
+        let h = 1e-6;
+        for probe in [0usize, 27, 63] {
+            let mut pp = mask.clone();
+            pp.as_mut_slice()[probe] += h;
+            let mut pm = mask.clone();
+            pm.as_mut_slice()[probe] -= h;
+            let fd = (loss(&pp) - loss(&pm)) / (2.0 * h);
+            let ad = grad_in.as_slice()[probe];
+            assert!((fd - ad).abs() < 1e-6 * (1.0 + fd.abs()), "probe {probe}: {fd} vs {ad}");
+        }
+    }
+
+    #[test]
+    fn corner_triple_is_symmetric() {
+        let [nom, over, under] = LithoCorner::triple(0.1, 0.2, 0.01);
+        assert_eq!(nom, LithoCorner::nominal());
+        assert_eq!(over.dose, -under.dose);
+        assert_eq!(over.etch_bias, -under.etch_bias);
+    }
+}

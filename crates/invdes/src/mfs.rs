@@ -1,0 +1,153 @@
+//! Minimum-feature-size measurement via morphological opening/closing.
+//!
+//! Used to verify that filtered-and-projected designs actually satisfy the
+//! fabrication constraint the cone filter was supposed to enforce.
+
+use crate::patch::Patch;
+
+fn binarize(p: &Patch, threshold: f64) -> Vec<bool> {
+    p.as_slice().iter().map(|v| *v >= threshold).collect()
+}
+
+fn erode(mask: &[bool], nx: usize, ny: usize, r: usize) -> Vec<bool> {
+    let ri = r as isize;
+    let mut out = vec![false; mask.len()];
+    for iy in 0..ny as isize {
+        for ix in 0..nx as isize {
+            let mut all = true;
+            'scan: for dy in -ri..=ri {
+                for dx in -ri..=ri {
+                    if dx * dx + dy * dy > ri * ri {
+                        continue;
+                    }
+                    let (jx, jy) = (ix + dx, iy + dy);
+                    // Outside the window counts as solid: patterns continue
+                    // into the surrounding waveguides, so the window edge is
+                    // not a real feature boundary.
+                    if jx < 0 || jx >= nx as isize || jy < 0 || jy >= ny as isize {
+                        continue;
+                    }
+                    if !mask[(jy * nx as isize + jx) as usize] {
+                        all = false;
+                        break 'scan;
+                    }
+                }
+            }
+            out[(iy * nx as isize + ix) as usize] = all;
+        }
+    }
+    out
+}
+
+fn dilate(mask: &[bool], nx: usize, ny: usize, r: usize) -> Vec<bool> {
+    let ri = r as isize;
+    let mut out = vec![false; mask.len()];
+    for iy in 0..ny as isize {
+        for ix in 0..nx as isize {
+            let mut any = false;
+            'scan: for dy in -ri..=ri {
+                for dx in -ri..=ri {
+                    if dx * dx + dy * dy > ri * ri {
+                        continue;
+                    }
+                    let (jx, jy) = (ix + dx, iy + dy);
+                    if jx >= 0 && jx < nx as isize && jy >= 0 && jy < ny as isize
+                        && mask[(jy * nx as isize + jx) as usize]
+                    {
+                        any = true;
+                        break 'scan;
+                    }
+                }
+            }
+            out[(iy * nx as isize + ix) as usize] = any;
+        }
+    }
+    out
+}
+
+/// Fraction of solid pixels destroyed by a morphological opening with a
+/// disk of radius `r` cells — high values mean features thinner than `2r`.
+pub fn opening_loss(patch: &Patch, threshold: f64, r: usize) -> f64 {
+    let (nx, ny) = (patch.nx(), patch.ny());
+    let mask = binarize(patch, threshold);
+    let solid = mask.iter().filter(|b| **b).count();
+    if solid == 0 {
+        return 0.0;
+    }
+    let opened = dilate(&erode(&mask, nx, ny, r), nx, ny, r);
+    let lost = mask
+        .iter()
+        .zip(&opened)
+        .filter(|(orig, open)| **orig && !**open)
+        .count();
+    lost as f64 / solid as f64
+}
+
+/// Estimates the minimum feature size (in cells) of the solid phase: the
+/// largest opening diameter `2r` that erases less than `tolerance` of the
+/// pattern. Returns 0 when even `r = 1` destroys it.
+pub fn minimum_feature_size(patch: &Patch, threshold: f64, tolerance: f64) -> usize {
+    let max_r = patch.nx().max(patch.ny()) / 2;
+    let mut best = 0;
+    for r in 1..=max_r {
+        if opening_loss(patch, threshold, r) <= tolerance {
+            best = 2 * r;
+        } else {
+            break;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strip(nx: usize, ny: usize, width: usize) -> Patch {
+        let mut p = Patch::zeros(nx, ny);
+        let y0 = ny / 2 - width / 2;
+        for iy in y0..y0 + width {
+            for ix in 0..nx {
+                p.set(ix, iy, 1.0);
+            }
+        }
+        p
+    }
+
+    #[test]
+    fn wide_strip_has_large_mfs() {
+        let p = strip(20, 20, 8);
+        let mfs = minimum_feature_size(&p, 0.5, 0.05);
+        assert!(mfs >= 6, "8-wide strip should have MFS ≥ 6, got {mfs}");
+    }
+
+    #[test]
+    fn thin_strip_has_small_mfs() {
+        let p = strip(20, 20, 2);
+        let mfs = minimum_feature_size(&p, 0.5, 0.05);
+        assert!(mfs <= 2, "2-wide strip should have small MFS, got {mfs}");
+    }
+
+    #[test]
+    fn empty_pattern_is_trivially_fine() {
+        let p = Patch::zeros(10, 10);
+        assert_eq!(opening_loss(&p, 0.5, 3), 0.0);
+    }
+
+    #[test]
+    fn filtering_increases_mfs() {
+        use crate::reparam::{ConeFilter, Reparam, TanhProjection};
+        // A noisy pattern gains feature size after filter + projection.
+        let mut noisy = Patch::zeros(24, 24);
+        for k in 0..noisy.len() {
+            noisy.as_mut_slice()[k] = if (k * 2654435761) % 97 < 48 { 1.0 } else { 0.0 };
+        }
+        let filtered = TanhProjection::new(8.0).forward(&ConeFilter::new(2.5).forward(&noisy));
+        let mfs_before = minimum_feature_size(&noisy, 0.5, 0.05);
+        let mfs_after = minimum_feature_size(&filtered, 0.5, 0.05);
+        assert!(
+            mfs_after >= mfs_before,
+            "filtering should not shrink MFS: {mfs_before} -> {mfs_after}"
+        );
+    }
+}

@@ -1,0 +1,364 @@
+//! Multi-excitation inverse design.
+//!
+//! Multiplexing devices (WDM, MDM, switches) are specified by *several*
+//! excitations at once — e.g. "λ₁ from the input routes to port A **and**
+//! λ₂ routes to port B". Each excitation is a (frequency, source, objective)
+//! triple; the design maximizes the weighted sum (or the soft minimum) of
+//! the per-excitation figures of merit, with adjoint gradients accumulated
+//! across excitations.
+
+use crate::gradient::GradientSolver;
+use crate::optimizer::{IterationRecord, OptimConfig, OptimError, OptimResult};
+use crate::patch::Patch;
+use crate::problem::DesignProblem;
+use maps_core::ComplexField2d;
+use maps_fdfd::PowerObjective;
+
+/// One excitation of a multi-objective design.
+pub struct Excitation {
+    /// Human-readable label (printed in logs).
+    pub label: String,
+    /// Angular frequency of this excitation.
+    pub omega: f64,
+    /// Source current density.
+    pub source: ComplexField2d,
+    /// Differentiable power objective evaluated under this excitation.
+    pub objective: PowerObjective,
+    /// Weight in the combined figure of merit.
+    pub weight: f64,
+}
+
+impl std::fmt::Debug for Excitation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Excitation({}, omega={:.3}, weight={})",
+            self.label, self.omega, self.weight
+        )
+    }
+}
+
+/// How per-excitation objectives combine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Combine {
+    /// Weighted sum `Σ wᵢ·Fᵢ` — maximizes average performance.
+    WeightedSum,
+    /// Soft minimum `−(1/τ)·ln Σ wᵢ·e^{−τ·Fᵢ}` — pushes up the worst
+    /// excitation (balanced multiplexers).
+    SoftMin {
+        /// Sharpness τ; larger values approximate `min` more closely.
+        tau: f64,
+    },
+}
+
+/// A multi-excitation topology optimizer sharing the reparametrization
+/// pipeline of [`crate::InverseDesigner`].
+#[derive(Debug)]
+pub struct MultiExcitationDesigner {
+    base: crate::optimizer::InverseDesigner,
+    combine: Combine,
+}
+
+impl MultiExcitationDesigner {
+    /// Creates a designer with the given per-iteration configuration and
+    /// combination rule.
+    pub fn new(config: OptimConfig, combine: Combine) -> Self {
+        MultiExcitationDesigner {
+            base: crate::optimizer::InverseDesigner::new(config),
+            combine,
+        }
+    }
+
+    /// Evaluates the combined objective and θ-gradient at raw variables.
+    ///
+    /// Returns `(combined, grad_theta, per_excitation)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OptimError`] if any excitation's solve fails.
+    #[allow(clippy::type_complexity)]
+    pub fn evaluate(
+        &self,
+        problem: &DesignProblem,
+        excitations: &[Excitation],
+        solver: &dyn GradientSolver,
+        theta: &Patch,
+        beta: f64,
+    ) -> Result<(f64, Patch, Vec<f64>), OptimError> {
+        assert!(!excitations.is_empty(), "at least one excitation required");
+        let chain = self.base.chain(beta);
+        let inter = chain.forward_all(theta);
+        let density = inter.last().expect("chain output");
+        let eps = problem.eps_for(density);
+        let mut per = Vec::with_capacity(excitations.len());
+        let mut grads = Vec::with_capacity(excitations.len());
+        for exc in excitations {
+            let eval =
+                solver.objective_and_gradient(&eps, &exc.source, exc.omega, &exc.objective)?;
+            per.push(eval.objective);
+            grads.push(problem.gradient_to_patch(&eval.grad_eps));
+        }
+        // Combined value and per-excitation chain weights dC/dFᵢ.
+        let (combined, dc_df): (f64, Vec<f64>) = match self.combine {
+            Combine::WeightedSum => {
+                let c = per
+                    .iter()
+                    .zip(excitations)
+                    .map(|(f, e)| e.weight * f)
+                    .sum();
+                (c, excitations.iter().map(|e| e.weight).collect())
+            }
+            Combine::SoftMin { tau } => {
+                let z: f64 = per
+                    .iter()
+                    .zip(excitations)
+                    .map(|(f, e)| e.weight * (-tau * f).exp())
+                    .sum();
+                let c = -z.ln() / tau;
+                let d = per
+                    .iter()
+                    .zip(excitations)
+                    .map(|(f, e)| e.weight * (-tau * f).exp() / z)
+                    .collect();
+                (c, d)
+            }
+        };
+        // Accumulate the weighted density gradient, then pull back.
+        let mut grad_density = Patch::zeros(density.nx(), density.ny());
+        for (g, w) in grads.iter().zip(&dc_df) {
+            for (acc, gv) in grad_density.as_mut_slice().iter_mut().zip(g.as_slice()) {
+                *acc += w * gv;
+            }
+        }
+        let grad_theta = chain.backward(&inter, &grad_density);
+        Ok((combined, grad_theta, per))
+    }
+
+    /// Runs the multi-excitation optimization (Adam ascent on the combined
+    /// figure of merit) with a per-iteration callback receiving the
+    /// per-excitation objectives.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OptimError`] if any solve fails.
+    pub fn run_with_callback(
+        &self,
+        problem: &DesignProblem,
+        excitations: &[Excitation],
+        solver: &dyn GradientSolver,
+        mut on_iteration: impl FnMut(&IterationRecord, &[f64]),
+    ) -> Result<OptimResult, OptimError> {
+        let cfg = self.base.config();
+        let (nx, ny) = problem.design_size;
+        let mut theta = cfg.init.build(nx, ny);
+        let mut m = vec![0.0; theta.len()];
+        let mut v = vec![0.0; theta.len()];
+        let mut beta = cfg.beta_start;
+        let mut history = Vec::with_capacity(cfg.iterations);
+        let mut last_density = theta.clone();
+        for iteration in 0..cfg.iterations {
+            let (combined, grad, per) =
+                self.evaluate(problem, excitations, solver, &theta, beta)?;
+            last_density = self.base.chain(beta).forward(&theta);
+            let record = IterationRecord {
+                iteration,
+                objective: combined,
+                gray_level: last_density.gray_level(),
+                beta,
+            };
+            on_iteration(&record, &per);
+            history.push(record);
+            let t = (iteration + 1) as i32;
+            let bc1 = 1.0 - 0.9f64.powi(t);
+            let bc2 = 1.0 - 0.999f64.powi(t);
+            for (k, g) in grad.as_slice().iter().enumerate() {
+                m[k] = 0.9 * m[k] + 0.1 * g;
+                v[k] = 0.999 * v[k] + 0.001 * g * g;
+                theta.as_mut_slice()[k] +=
+                    cfg.learning_rate * (m[k] / bc1) / ((v[k] / bc2).sqrt() + 1e-8);
+            }
+            theta.clamp01();
+            beta *= cfg.beta_growth;
+        }
+        // Final forward field under the first excitation (for inspection).
+        let eps = problem.eps_for(&last_density);
+        let eval = solver.objective_and_gradient(
+            &eps,
+            &excitations[0].source,
+            excitations[0].omega,
+            &excitations[0].objective,
+        )?;
+        Ok(OptimResult {
+            theta,
+            density: last_density,
+            history,
+            final_field: eval.forward,
+        })
+    }
+
+    /// Runs without a callback.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OptimError`] if any solve fails.
+    pub fn run(
+        &self,
+        problem: &DesignProblem,
+        excitations: &[Excitation],
+        solver: &dyn GradientSolver,
+    ) -> Result<OptimResult, OptimError> {
+        self.run_with_callback(problem, excitations, solver, |_, _| {})
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradient::ExactAdjoint;
+    use crate::init::InitStrategy;
+    use maps_core::{Axis, Direction, Grid2d, Port, RealField2d};
+    use maps_fdfd::{FdfdSolver, ModeMonitor, ModeSource, PmlConfig};
+
+    /// A splitter-style problem: input left, two outputs right (top and
+    /// bottom); two objectives reward power in each arm respectively.
+    fn splitter() -> (DesignProblem, Vec<Excitation>) {
+        let grid = Grid2d::new(50, 44, 0.08);
+        let mut base = RealField2d::constant(grid, 2.07);
+        let yc = grid.height() / 2.0;
+        let (y_hi, y_lo) = (yc + 0.8, yc - 0.8);
+        maps_core::paint(
+            &mut base,
+            &maps_core::Shape::Rect(maps_core::Rect::new(0.0, yc - 0.24, 1.7, yc + 0.24)),
+            12.11,
+        );
+        for y in [y_hi, y_lo] {
+            maps_core::paint(
+                &mut base,
+                &maps_core::Shape::Rect(maps_core::Rect::new(
+                    grid.width() - 1.5,
+                    y - 0.24,
+                    grid.width(),
+                    y + 0.24,
+                )),
+                12.11,
+            );
+        }
+        let input = Port::new((1.1, yc), 0.48, Axis::X, Direction::Positive);
+        let out_hi = Port::new((grid.width() - 0.9, y_hi), 0.48, Axis::X, Direction::Positive);
+        let out_lo = Port::new((grid.width() - 0.9, y_lo), 0.48, Axis::X, Direction::Positive);
+        let problem = DesignProblem {
+            base_eps: base.clone(),
+            design_origin: (21, 12),
+            design_size: (10, 20),
+            eps_min: 2.07,
+            eps_max: 12.11,
+            wavelength: 1.55,
+            input_port: input,
+            terms: vec![],
+            normalization: 1.0,
+        };
+        let omega = problem.omega();
+        let source = ModeSource::new(&base, &input, omega)
+            .unwrap()
+            .current_density(grid);
+        let make_obj = |port: &Port| {
+            PowerObjective::new().with_term(
+                ModeMonitor::new(&base, port, omega).unwrap().outgoing_functional(),
+                1.0,
+            )
+        };
+        let excitations = vec![
+            Excitation {
+                label: "to-top".into(),
+                omega,
+                source: source.clone(),
+                objective: make_obj(&out_hi),
+                weight: 1.0,
+            },
+            Excitation {
+                label: "to-bottom".into(),
+                omega,
+                source,
+                objective: make_obj(&out_lo),
+                weight: 1.0,
+            },
+        ];
+        (problem, excitations)
+    }
+
+    #[test]
+    fn weighted_sum_improves_both_arms() {
+        let (problem, excitations) = splitter();
+        let solver = ExactAdjoint::new(FdfdSolver::with_pml(PmlConfig::auto(
+            problem.grid().dl,
+        )));
+        let designer = MultiExcitationDesigner::new(
+            OptimConfig {
+                iterations: 10,
+                learning_rate: 0.15,
+                beta_start: 1.5,
+                beta_growth: 1.15,
+                filter_radius: 1.2,
+                symmetry: Some(crate::reparam::Symmetry::MirrorY),
+                litho: None,
+                init: InitStrategy::Uniform(0.5),
+            },
+            Combine::WeightedSum,
+        );
+        let mut first_per = Vec::new();
+        let mut last_per = Vec::new();
+        designer
+            .run_with_callback(&problem, &excitations, &solver, |rec, per| {
+                if rec.iteration == 0 {
+                    first_per = per.to_vec();
+                }
+                last_per = per.to_vec();
+            })
+            .unwrap();
+        let first: f64 = first_per.iter().sum();
+        let last: f64 = last_per.iter().sum();
+        assert!(last > first, "combined objective should improve: {first} -> {last}");
+        // With mirror symmetry, both arms receive comparable power.
+        let ratio = last_per[0] / last_per[1].max(1e-30);
+        assert!((0.5..2.0).contains(&ratio), "arm balance {ratio}");
+    }
+
+    #[test]
+    fn softmin_tracks_worst_excitation() {
+        let (problem, excitations) = splitter();
+        let solver = ExactAdjoint::new(FdfdSolver::with_pml(PmlConfig::auto(
+            problem.grid().dl,
+        )));
+        let designer = MultiExcitationDesigner::new(
+            OptimConfig {
+                iterations: 1,
+                ..OptimConfig::default()
+            },
+            Combine::SoftMin { tau: 50.0 },
+        );
+        let theta = InitStrategy::Uniform(0.5).build(10, 20);
+        let (combined, _, per) = designer
+            .evaluate(&problem, &excitations, &solver, &theta, 2.0)
+            .unwrap();
+        let worst = per.iter().cloned().fold(f64::INFINITY, f64::min);
+        // The log-sum-exp softmin underestimates the true minimum by at
+        // most ln(Σ wᵢ)/τ.
+        let bound = (2.0f64).ln() / 50.0 + 1e-9;
+        assert!(
+            combined <= worst + 1e-12 && combined >= worst - bound,
+            "soft-min {combined} should lie within [{}, {worst}]",
+            worst - bound
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one excitation")]
+    fn rejects_empty_excitations() {
+        let (problem, _) = splitter();
+        let solver = ExactAdjoint::default();
+        let designer =
+            MultiExcitationDesigner::new(OptimConfig::default(), Combine::WeightedSum);
+        let theta = InitStrategy::Uniform(0.5).build(10, 20);
+        let _ = designer.evaluate(&problem, &[], &solver, &theta, 2.0);
+    }
+}

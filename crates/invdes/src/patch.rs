@@ -1,0 +1,126 @@
+//! Design-region patches: small 2-D density arrays the optimizer works on.
+
+use serde::{Deserialize, Serialize};
+
+/// A rectangular density patch (row-major, `[ny][nx]`), values nominally in
+/// `[0, 1]`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Patch {
+    nx: usize,
+    ny: usize,
+    data: Vec<f64>,
+}
+
+impl Patch {
+    /// Creates a patch filled with `value`.
+    pub fn constant(nx: usize, ny: usize, value: f64) -> Self {
+        Patch {
+            nx,
+            ny,
+            data: vec![value; nx * ny],
+        }
+    }
+
+    /// Creates a patch of zeros.
+    pub fn zeros(nx: usize, ny: usize) -> Self {
+        Self::constant(nx, ny, 0.0)
+    }
+
+    /// Creates a patch from row-major data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != nx * ny`.
+    pub fn from_vec(nx: usize, ny: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), nx * ny, "patch data length mismatch");
+        Patch { nx, ny, data }
+    }
+
+    /// Width in cells.
+    pub fn nx(&self) -> usize {
+        self.nx
+    }
+
+    /// Height in cells.
+    pub fn ny(&self) -> usize {
+        self.ny
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Returns `true` when the patch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Borrow of the row-major data.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable borrow of the row-major data.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Value at `(ix, iy)`.
+    #[inline]
+    pub fn get(&self, ix: usize, iy: usize) -> f64 {
+        self.data[iy * self.nx + ix]
+    }
+
+    /// Sets the value at `(ix, iy)`.
+    #[inline]
+    pub fn set(&mut self, ix: usize, iy: usize, v: f64) {
+        self.data[iy * self.nx + ix] = v;
+    }
+
+    /// Clamps every value into `[0, 1]`.
+    pub fn clamp01(&mut self) {
+        for v in &mut self.data {
+            *v = v.clamp(0.0, 1.0);
+        }
+    }
+
+    /// Mean density (fill factor).
+    pub fn mean(&self) -> f64 {
+        self.data.iter().sum::<f64>() / self.data.len() as f64
+    }
+
+    /// Binarization level: `4·mean(ρ̄·(1−ρ̄))`, 0 for fully binary patterns
+    /// and 1 for a uniform 0.5 gray patch.
+    pub fn gray_level(&self) -> f64 {
+        4.0 * self.data.iter().map(|r| r * (1.0 - r)).sum::<f64>() / self.data.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gray_level_extremes() {
+        let binary = Patch::from_vec(2, 1, vec![0.0, 1.0]);
+        assert_eq!(binary.gray_level(), 0.0);
+        let gray = Patch::constant(3, 3, 0.5);
+        assert!((gray.gray_level() - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn clamp_bounds_values() {
+        let mut p = Patch::from_vec(2, 1, vec![-0.5, 1.7]);
+        p.clamp01();
+        assert_eq!(p.as_slice(), &[0.0, 1.0]);
+    }
+
+    #[test]
+    fn indexing_is_row_major() {
+        let mut p = Patch::zeros(3, 2);
+        p.set(2, 1, 9.0);
+        assert_eq!(p.as_slice()[5], 9.0);
+        assert_eq!(p.get(2, 1), 9.0);
+    }
+}

@@ -1,0 +1,263 @@
+//! Inverse-design problem definition.
+
+use crate::patch::Patch;
+use maps_core::{Axis, ComplexField2d, Direction, Grid2d, Port, RealField2d};
+use maps_fdfd::{FdfdSolver, ModeError, ModeMonitor, ModeSource, PowerObjective};
+
+/// One term of the design objective: reward (or penalize) modal power
+/// leaving through a port.
+#[derive(Debug, Clone, Copy)]
+pub struct ObjectiveTerm {
+    /// The monitored port (its `direction` defines "outgoing").
+    pub port: Port,
+    /// Weight: positive to maximize, negative to penalize.
+    pub weight: f64,
+}
+
+/// A topology-optimization problem: a device template with a rectangular
+/// design window, ports, and a power objective.
+#[derive(Debug, Clone)]
+pub struct DesignProblem {
+    /// Background permittivity (waveguides painted, design window at
+    /// cladding).
+    pub base_eps: RealField2d,
+    /// Cell coordinates of the design window's lower-left corner.
+    pub design_origin: (usize, usize),
+    /// Design window size in cells `(nx, ny)`.
+    pub design_size: (usize, usize),
+    /// Void permittivity (ρ̄ = 0).
+    pub eps_min: f64,
+    /// Solid permittivity (ρ̄ = 1).
+    pub eps_max: f64,
+    /// Vacuum wavelength (µm).
+    pub wavelength: f64,
+    /// The excited input port.
+    pub input_port: Port,
+    /// Objective terms.
+    pub terms: Vec<ObjectiveTerm>,
+    /// Injected-power normalization (1.0 until calibrated).
+    pub normalization: f64,
+}
+
+impl DesignProblem {
+    /// The simulation grid.
+    pub fn grid(&self) -> Grid2d {
+        self.base_eps.grid()
+    }
+
+    /// Angular frequency of the problem.
+    pub fn omega(&self) -> f64 {
+        maps_core::omega_for_wavelength(self.wavelength)
+    }
+
+    /// Paints a design density into the window, returning the full
+    /// permittivity map: `ε = ε_min + (ε_max − ε_min)·ρ̄`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the patch size disagrees with the design window.
+    pub fn eps_for(&self, rho_bar: &Patch) -> RealField2d {
+        assert_eq!(
+            (rho_bar.nx(), rho_bar.ny()),
+            self.design_size,
+            "patch does not match design window"
+        );
+        let mut eps = self.base_eps.clone();
+        let (ox, oy) = self.design_origin;
+        for py in 0..rho_bar.ny() {
+            for px in 0..rho_bar.nx() {
+                let v = self.eps_min + (self.eps_max - self.eps_min) * rho_bar.get(px, py);
+                eps.set(ox + px, oy + py, v);
+            }
+        }
+        eps
+    }
+
+    /// Restricts a full-grid `dF/dε` field to the design window and applies
+    /// the chain rule through the permittivity interpolation
+    /// (`dε/dρ̄ = ε_max − ε_min`).
+    pub fn gradient_to_patch(&self, grad_eps: &RealField2d) -> Patch {
+        let (ox, oy) = self.design_origin;
+        let (nx, ny) = self.design_size;
+        let scale = self.eps_max - self.eps_min;
+        let mut patch = Patch::zeros(nx, ny);
+        for py in 0..ny {
+            for px in 0..nx {
+                patch.set(px, py, grad_eps.get(ox + px, oy + py) * scale);
+            }
+        }
+        patch
+    }
+
+    /// Builds the unidirectional eigenmode source for the input port
+    /// (modes solved on the base permittivity — ports sit on static
+    /// waveguides outside the design window).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModeError`] if the input port guides no mode.
+    pub fn source(&self) -> Result<ComplexField2d, ModeError> {
+        let src = ModeSource::new(&self.base_eps, &self.input_port, self.omega())?;
+        Ok(src.current_density(self.grid()))
+    }
+
+    /// Builds the power objective from the port monitors, folding in the
+    /// calibration normalization so the FoM reads as a transmission
+    /// fraction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModeError`] if any monitored port guides no mode.
+    pub fn objective(&self) -> Result<PowerObjective, ModeError> {
+        let omega = self.omega();
+        let mut obj = PowerObjective::new();
+        for term in &self.terms {
+            let monitor = ModeMonitor::new(&self.base_eps, &term.port, omega)?;
+            obj = obj.with_term(monitor.outgoing_functional(), term.weight / self.normalization);
+        }
+        Ok(obj)
+    }
+
+    /// Calibrates the injected-power normalization by simulating a straight
+    /// reference waveguide matched to the input port and measuring the
+    /// transmitted modal power. After calibration, objective values read
+    /// as fractions of the injected power.
+    ///
+    /// # Errors
+    ///
+    /// Returns a boxed error when the reference simulation fails.
+    pub fn calibrate(&mut self, solver: &FdfdSolver) -> Result<f64, Box<dyn std::error::Error>> {
+        use maps_core::FieldSolver;
+        let grid = self.grid();
+        let omega = self.omega();
+        let port = self.input_port;
+        // Straight waveguide along the port axis through the port centre.
+        let mut eps = RealField2d::constant(grid, self.eps_min);
+        let half = port.width / 2.0;
+        match port.axis {
+            Axis::X => {
+                maps_core::paint(
+                    &mut eps,
+                    &maps_core::Shape::Rect(maps_core::Rect::new(
+                        0.0,
+                        port.center.1 - half,
+                        grid.width(),
+                        port.center.1 + half,
+                    )),
+                    self.eps_max,
+                );
+            }
+            Axis::Y => {
+                maps_core::paint(
+                    &mut eps,
+                    &maps_core::Shape::Rect(maps_core::Rect::new(
+                        port.center.0 - half,
+                        0.0,
+                        port.center.0 + half,
+                        grid.height(),
+                    )),
+                    self.eps_max,
+                );
+            }
+        }
+        let src = ModeSource::new(&eps, &port, omega)?;
+        let j = src.current_density(grid);
+        let ez = solver.solve_ez(&eps, &j, omega)?;
+        // Downstream monitor at 3/4 of the domain along the launch
+        // direction.
+        let out_center = match (port.axis, port.direction) {
+            (Axis::X, Direction::Positive) => (grid.width() * 0.75, port.center.1),
+            (Axis::X, Direction::Negative) => (grid.width() * 0.25, port.center.1),
+            (Axis::Y, Direction::Positive) => (port.center.0, grid.height() * 0.75),
+            (Axis::Y, Direction::Negative) => (port.center.0, grid.height() * 0.25),
+        };
+        let out_port = Port::new(out_center, port.width, port.axis, port.direction);
+        let monitor = ModeMonitor::new(&eps, &out_port, omega)?;
+        let p = monitor.outgoing_power(&ez);
+        assert!(p > 0.0, "calibration produced no transmitted power");
+        self.normalization = p;
+        Ok(p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_problem() -> DesignProblem {
+        let grid = Grid2d::new(60, 44, 0.08);
+        let yc = grid.height() / 2.0;
+        let mut base = RealField2d::constant(grid, 2.07);
+        // Input and output stubs.
+        maps_core::paint(
+            &mut base,
+            &maps_core::Shape::Rect(maps_core::Rect::new(0.0, yc - 0.24, 1.8, yc + 0.24)),
+            12.11,
+        );
+        maps_core::paint(
+            &mut base,
+            &maps_core::Shape::Rect(maps_core::Rect::new(
+                grid.width() - 1.8,
+                yc - 0.24,
+                grid.width(),
+                yc + 0.24,
+            )),
+            12.11,
+        );
+        let out_port = Port::new(
+            (grid.width() - 1.0, yc),
+            0.48,
+            Axis::X,
+            Direction::Positive,
+        );
+        DesignProblem {
+            base_eps: base,
+            design_origin: (24, 12),
+            design_size: (14, 20),
+            eps_min: 2.07,
+            eps_max: 12.11,
+            wavelength: 1.55,
+            input_port: Port::new((1.0, yc), 0.48, Axis::X, Direction::Positive),
+            terms: vec![ObjectiveTerm {
+                port: out_port,
+                weight: 1.0,
+            }],
+            normalization: 1.0,
+        }
+    }
+
+    #[test]
+    fn eps_painting_and_gradient_restriction_are_adjoint() {
+        let p = toy_problem();
+        let rho = Patch::constant(14, 20, 1.0);
+        let eps = p.eps_for(&rho);
+        // Inside the window: eps_max; outside unchanged.
+        assert_eq!(eps.get(25, 13), 12.11);
+        assert_eq!(eps.get(0, 0), 2.07);
+        // gradient_to_patch picks the window and scales by (εmax − εmin).
+        let mut g = RealField2d::zeros(p.grid());
+        g.set(24, 12, 2.0);
+        let gp = p.gradient_to_patch(&g);
+        assert!((gp.get(0, 0) - 2.0 * (12.11 - 2.07)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn calibration_sets_normalization() {
+        let mut p = toy_problem();
+        let solver = FdfdSolver::new();
+        let norm = p.calibrate(&solver).unwrap();
+        assert!(norm > 0.0);
+        assert_eq!(p.normalization, norm);
+        // After calibration the straight-guide transmission is ~1 by
+        // construction, so the normalization is consistent with itself.
+        let obj = p.objective().unwrap();
+        assert_eq!(obj.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match design window")]
+    fn wrong_patch_size_panics() {
+        let p = toy_problem();
+        p.eps_for(&Patch::zeros(3, 3));
+    }
+}

@@ -1,0 +1,460 @@
+//! Differentiable reparametrizations `G ∘ P` of the design density.
+//!
+//! Each transform maps a density [`Patch`] to another patch and provides a
+//! vector–Jacobian product, so the adjoint gradient flows from the
+//! permittivity map back to the raw design variables θ. Chaining blur
+//! filters, binarization projections, symmetry constraints, and lithography
+//! models reproduces the paper's "constraints and reparametrization" layer
+//! (§III-C2).
+
+use crate::patch::Patch;
+
+/// A differentiable patch-to-patch transform.
+pub trait Reparam {
+    /// Applies the transform.
+    fn forward(&self, input: &Patch) -> Patch;
+
+    /// Vector–Jacobian product: gradient with respect to the input, given
+    /// the gradient with respect to the output and the original input.
+    fn vjp(&self, input: &Patch, grad_out: &Patch) -> Patch;
+
+    /// Transform name used in logs.
+    fn name(&self) -> &str;
+}
+
+/// A chain of transforms applied left to right.
+#[derive(Default)]
+pub struct ReparamChain {
+    stages: Vec<Box<dyn Reparam>>,
+}
+
+impl std::fmt::Debug for ReparamChain {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let names: Vec<&str> = self.stages.iter().map(|s| s.name()).collect();
+        write!(f, "ReparamChain({names:?})")
+    }
+}
+
+impl ReparamChain {
+    /// Creates an empty (identity) chain.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a stage, returning the chain.
+    pub fn then(mut self, stage: impl Reparam + 'static) -> Self {
+        self.stages.push(Box::new(stage));
+        self
+    }
+
+    /// Number of stages.
+    pub fn len(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Returns `true` when the chain is the identity.
+    pub fn is_empty(&self) -> bool {
+        self.stages.is_empty()
+    }
+
+    /// Applies every stage, returning all intermediate patches
+    /// (`result[0]` is the input, `result[last]` the final density).
+    pub fn forward_all(&self, theta: &Patch) -> Vec<Patch> {
+        let mut acc = vec![theta.clone()];
+        for stage in &self.stages {
+            let next = stage.forward(acc.last().expect("non-empty"));
+            acc.push(next);
+        }
+        acc
+    }
+
+    /// Applies every stage, returning only the final density.
+    pub fn forward(&self, theta: &Patch) -> Patch {
+        self.forward_all(theta).pop().expect("non-empty")
+    }
+
+    /// Pulls a gradient on the final density back to θ.
+    pub fn backward(&self, intermediates: &[Patch], grad_final: &Patch) -> Patch {
+        assert_eq!(
+            intermediates.len(),
+            self.stages.len() + 1,
+            "intermediate count mismatch"
+        );
+        let mut g = grad_final.clone();
+        for (k, stage) in self.stages.iter().enumerate().rev() {
+            g = stage.vjp(&intermediates[k], &g);
+        }
+        g
+    }
+}
+
+/// Mirror symmetry constraint: averages the density with its reflection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Symmetry {
+    /// Mirror across the vertical centre line (x → nx−1−x).
+    MirrorX,
+    /// Mirror across the horizontal centre line (y → ny−1−y).
+    MirrorY,
+    /// Both mirrors (four-fold for square patches).
+    Both,
+    /// Mirror across the main diagonal (requires a square patch); used by
+    /// 90°-rotation-symmetric devices like crossings.
+    Diagonal,
+}
+
+impl Reparam for Symmetry {
+    fn forward(&self, input: &Patch) -> Patch {
+        let (nx, ny) = (input.nx(), input.ny());
+        let mut out = input.clone();
+        let apply_x = matches!(self, Symmetry::MirrorX | Symmetry::Both);
+        let apply_y = matches!(self, Symmetry::MirrorY | Symmetry::Both);
+        if apply_x {
+            let prev = out.clone();
+            for iy in 0..ny {
+                for ix in 0..nx {
+                    out.set(ix, iy, 0.5 * (prev.get(ix, iy) + prev.get(nx - 1 - ix, iy)));
+                }
+            }
+        }
+        if apply_y {
+            let prev = out.clone();
+            for iy in 0..ny {
+                for ix in 0..nx {
+                    out.set(ix, iy, 0.5 * (prev.get(ix, iy) + prev.get(ix, ny - 1 - iy)));
+                }
+            }
+        }
+        if matches!(self, Symmetry::Diagonal) {
+            assert_eq!(nx, ny, "diagonal symmetry requires a square patch");
+            let prev = out.clone();
+            for iy in 0..ny {
+                for ix in 0..nx {
+                    out.set(ix, iy, 0.5 * (prev.get(ix, iy) + prev.get(iy, ix)));
+                }
+            }
+        }
+        out
+    }
+
+    fn vjp(&self, _input: &Patch, grad_out: &Patch) -> Patch {
+        // Each symmetrization is a self-adjoint linear map.
+        self.forward(grad_out)
+    }
+
+    fn name(&self) -> &str {
+        "symmetry"
+    }
+}
+
+/// Cone (linear hat) density filter enforcing a minimum length scale.
+///
+/// `out_i = Σ_j k(|i−j|)·in_j / Σ_j k(|i−j|)` with `k(r) = max(0, 1 − r/R)`.
+#[derive(Debug, Clone, Copy)]
+pub struct ConeFilter {
+    /// Filter radius in cells; the induced minimum feature size is ≈ 2R·dl.
+    pub radius: f64,
+}
+
+impl ConeFilter {
+    /// Creates a cone filter with radius `radius` cells.
+    pub fn new(radius: f64) -> Self {
+        assert!(radius >= 0.0, "filter radius must be non-negative");
+        ConeFilter { radius }
+    }
+
+    fn kernel_extent(&self) -> isize {
+        self.radius.ceil() as isize
+    }
+
+    fn weight(&self, dx: isize, dy: isize) -> f64 {
+        if self.radius == 0.0 {
+            return if dx == 0 && dy == 0 { 1.0 } else { 0.0 };
+        }
+        let r = ((dx * dx + dy * dy) as f64).sqrt();
+        (1.0 - r / self.radius).max(0.0)
+    }
+
+    fn normalizers(&self, nx: usize, ny: usize) -> Vec<f64> {
+        let e = self.kernel_extent();
+        let mut norms = vec![0.0; nx * ny];
+        for iy in 0..ny as isize {
+            for ix in 0..nx as isize {
+                let mut acc = 0.0;
+                for dy in -e..=e {
+                    for dx in -e..=e {
+                        let (jx, jy) = (ix + dx, iy + dy);
+                        if jx >= 0 && jx < nx as isize && jy >= 0 && jy < ny as isize {
+                            acc += self.weight(dx, dy);
+                        }
+                    }
+                }
+                norms[(iy * nx as isize + ix) as usize] = acc;
+            }
+        }
+        norms
+    }
+}
+
+impl Reparam for ConeFilter {
+    fn forward(&self, input: &Patch) -> Patch {
+        let (nx, ny) = (input.nx(), input.ny());
+        let e = self.kernel_extent();
+        let norms = self.normalizers(nx, ny);
+        let mut out = Patch::zeros(nx, ny);
+        for iy in 0..ny as isize {
+            for ix in 0..nx as isize {
+                let mut acc = 0.0;
+                for dy in -e..=e {
+                    for dx in -e..=e {
+                        let (jx, jy) = (ix + dx, iy + dy);
+                        if jx >= 0 && jx < nx as isize && jy >= 0 && jy < ny as isize {
+                            acc += self.weight(dx, dy) * input.get(jx as usize, jy as usize);
+                        }
+                    }
+                }
+                let k = (iy * nx as isize + ix) as usize;
+                out.as_mut_slice()[k] = acc / norms[k];
+            }
+        }
+        out
+    }
+
+    fn vjp(&self, input: &Patch, grad_out: &Patch) -> Patch {
+        // Transpose: scatter grad_out_i/norm_i through the kernel.
+        let (nx, ny) = (input.nx(), input.ny());
+        let e = self.kernel_extent();
+        let norms = self.normalizers(nx, ny);
+        let mut grad_in = Patch::zeros(nx, ny);
+        for iy in 0..ny as isize {
+            for ix in 0..nx as isize {
+                let k = (iy * nx as isize + ix) as usize;
+                let g = grad_out.as_slice()[k] / norms[k];
+                if g == 0.0 {
+                    continue;
+                }
+                for dy in -e..=e {
+                    for dx in -e..=e {
+                        let (jx, jy) = (ix + dx, iy + dy);
+                        if jx >= 0 && jx < nx as isize && jy >= 0 && jy < ny as isize {
+                            let kj = (jy * nx as isize + jx) as usize;
+                            grad_in.as_mut_slice()[kj] += g * self.weight(dx, dy);
+                        }
+                    }
+                }
+            }
+        }
+        grad_in
+    }
+
+    fn name(&self) -> &str {
+        "cone-filter"
+    }
+}
+
+/// Smoothed Heaviside binarization (the standard tanh projection):
+///
+/// `ρ̄ = (tanh(βη) + tanh(β(ρ−η))) / (tanh(βη) + tanh(β(1−η)))`.
+#[derive(Debug, Clone, Copy)]
+pub struct TanhProjection {
+    /// Projection sharpness; binarization strengthens as β → ∞.
+    pub beta: f64,
+    /// Threshold level, usually 0.5.
+    pub eta: f64,
+}
+
+impl TanhProjection {
+    /// Creates a projection with the given sharpness and a 0.5 threshold.
+    pub fn new(beta: f64) -> Self {
+        TanhProjection { beta, eta: 0.5 }
+    }
+
+    fn denom(&self) -> f64 {
+        (self.beta * self.eta).tanh() + (self.beta * (1.0 - self.eta)).tanh()
+    }
+}
+
+impl Reparam for TanhProjection {
+    fn forward(&self, input: &Patch) -> Patch {
+        let d = self.denom();
+        let t0 = (self.beta * self.eta).tanh();
+        Patch::from_vec(
+            input.nx(),
+            input.ny(),
+            input
+                .as_slice()
+                .iter()
+                .map(|r| (t0 + (self.beta * (r - self.eta)).tanh()) / d)
+                .collect(),
+        )
+    }
+
+    fn vjp(&self, input: &Patch, grad_out: &Patch) -> Patch {
+        let d = self.denom();
+        Patch::from_vec(
+            input.nx(),
+            input.ny(),
+            input
+                .as_slice()
+                .iter()
+                .zip(grad_out.as_slice())
+                .map(|(r, g)| {
+                    let t = (self.beta * (r - self.eta)).tanh();
+                    g * self.beta * (1.0 - t * t) / d
+                })
+                .collect(),
+        )
+    }
+
+    fn name(&self) -> &str {
+        "tanh-projection"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp_patch(nx: usize, ny: usize) -> Patch {
+        Patch::from_vec(
+            nx,
+            ny,
+            (0..nx * ny)
+                .map(|k| ((k * 29 % 13) as f64) / 13.0)
+                .collect(),
+        )
+    }
+
+    fn check_vjp(stage: &dyn Reparam, input: &Patch, probes: &[usize]) {
+        // Compare VJP against finite differences of a random-ish loss
+        // L = Σ c_i out_i.
+        let out = stage.forward(input);
+        let coeffs: Vec<f64> = (0..out.len()).map(|k| ((k * 7 % 5) as f64 - 2.0) * 0.3).collect();
+        let grad_out = Patch::from_vec(out.nx(), out.ny(), coeffs.clone());
+        let grad_in = stage.vjp(input, &grad_out);
+        let loss = |p: &Patch| -> f64 {
+            stage
+                .forward(p)
+                .as_slice()
+                .iter()
+                .zip(&coeffs)
+                .map(|(o, c)| o * c)
+                .sum()
+        };
+        let h = 1e-6;
+        for &probe in probes {
+            let mut pp = input.clone();
+            pp.as_mut_slice()[probe] += h;
+            let mut pm = input.clone();
+            pm.as_mut_slice()[probe] -= h;
+            let fd = (loss(&pp) - loss(&pm)) / (2.0 * h);
+            let ad = grad_in.as_slice()[probe];
+            assert!(
+                (fd - ad).abs() < 1e-6 * (1.0 + fd.abs()),
+                "{} probe {probe}: fd {fd} vs vjp {ad}",
+                stage.name()
+            );
+        }
+    }
+
+    #[test]
+    fn symmetry_makes_patterns_symmetric() {
+        let p = ramp_patch(6, 4);
+        let s = Symmetry::MirrorX.forward(&p);
+        for iy in 0..4 {
+            for ix in 0..6 {
+                assert!((s.get(ix, iy) - s.get(5 - ix, iy)).abs() < 1e-15);
+            }
+        }
+        // Idempotent.
+        let s2 = Symmetry::MirrorX.forward(&s);
+        assert_eq!(s, s2);
+    }
+
+    #[test]
+    fn diagonal_symmetry() {
+        let p = ramp_patch(5, 5);
+        let s = Symmetry::Diagonal.forward(&p);
+        for iy in 0..5 {
+            for ix in 0..5 {
+                assert!((s.get(ix, iy) - s.get(iy, ix)).abs() < 1e-15);
+            }
+        }
+    }
+
+    #[test]
+    fn cone_filter_preserves_constants() {
+        let p = Patch::constant(8, 8, 0.7);
+        let f = ConeFilter::new(2.0).forward(&p);
+        for v in f.as_slice() {
+            assert!((v - 0.7).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn cone_filter_smooths_impulse() {
+        let mut p = Patch::zeros(9, 9);
+        p.set(4, 4, 1.0);
+        let f = ConeFilter::new(2.0).forward(&p);
+        assert!(f.get(4, 4) < 1.0);
+        assert!(f.get(5, 4) > 0.0);
+        assert_eq!(f.get(8, 8), 0.0);
+    }
+
+    #[test]
+    fn projection_saturates_with_beta() {
+        let p = Patch::from_vec(3, 1, vec![0.2, 0.5, 0.8]);
+        let soft = TanhProjection::new(1.0).forward(&p);
+        let hard = TanhProjection::new(50.0).forward(&p);
+        assert!(hard.get(0, 0) < soft.get(0, 0));
+        assert!(hard.get(2, 0) > soft.get(2, 0));
+        assert!(hard.get(0, 0) < 1e-6);
+        assert!(hard.get(2, 0) > 1.0 - 1e-6);
+        // Threshold point maps to ~0.5 for symmetric eta.
+        assert!((hard.get(1, 0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn vjp_matches_finite_difference() {
+        let p = ramp_patch(7, 5);
+        check_vjp(&Symmetry::MirrorX, &p, &[0, 12, 30]);
+        check_vjp(&Symmetry::MirrorY, &p, &[3, 17, 33]);
+        check_vjp(&ConeFilter::new(1.5), &p, &[0, 18, 34]);
+        check_vjp(&TanhProjection::new(4.0), &p, &[1, 20, 31]);
+        let sq = ramp_patch(5, 5);
+        check_vjp(&Symmetry::Diagonal, &sq, &[2, 11, 24]);
+    }
+
+    #[test]
+    fn chain_backward_composes() {
+        let chain = ReparamChain::new()
+            .then(Symmetry::MirrorX)
+            .then(ConeFilter::new(1.5))
+            .then(TanhProjection::new(3.0));
+        let theta = ramp_patch(6, 6);
+        let inter = chain.forward_all(&theta);
+        assert_eq!(inter.len(), 4);
+        // FD check through the whole chain.
+        let coeffs: Vec<f64> = (0..36).map(|k| ((k % 4) as f64 - 1.5) * 0.25).collect();
+        let grad_final = Patch::from_vec(6, 6, coeffs.clone());
+        let grad_theta = chain.backward(&inter, &grad_final);
+        let loss = |p: &Patch| -> f64 {
+            chain
+                .forward(p)
+                .as_slice()
+                .iter()
+                .zip(&coeffs)
+                .map(|(o, c)| o * c)
+                .sum()
+        };
+        let h = 1e-6;
+        for probe in [0usize, 14, 35] {
+            let mut pp = theta.clone();
+            pp.as_mut_slice()[probe] += h;
+            let mut pm = theta.clone();
+            pm.as_mut_slice()[probe] -= h;
+            let fd = (loss(&pp) - loss(&pm)) / (2.0 * h);
+            let ad = grad_theta.as_slice()[probe];
+            assert!((fd - ad).abs() < 1e-6 * (1.0 + fd.abs()), "probe {probe}: {fd} vs {ad}");
+        }
+    }
+}

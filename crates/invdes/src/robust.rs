@@ -1,0 +1,228 @@
+//! Variation-aware (robust) inverse design.
+//!
+//! Optimizes the *expected* figure of merit over a set of lithography/etch
+//! process corners: each corner prints a different structure from the same
+//! mask, is simulated separately, and contributes its chain-ruled gradient.
+//! This is the paper's §III-C3 variation-aware loop.
+
+use crate::gradient::GradientSolver;
+use crate::litho::{LithoCorner, LithoModel};
+use crate::optimizer::{InverseDesigner, IterationRecord, OptimConfig, OptimError, OptimResult};
+use crate::patch::Patch;
+use crate::problem::DesignProblem;
+use crate::reparam::ReparamChain;
+
+/// Robust optimization over process corners.
+#[derive(Debug)]
+pub struct RobustDesigner {
+    base: InverseDesigner,
+    litho_template: LithoModel,
+    corners: Vec<LithoCorner>,
+}
+
+impl RobustDesigner {
+    /// Creates a robust designer. `config.litho` is ignored — the corner
+    /// models are built from `litho_template` at each of `corners`.
+    pub fn new(config: OptimConfig, litho_template: LithoModel, corners: Vec<LithoCorner>) -> Self {
+        assert!(!corners.is_empty(), "at least one corner required");
+        RobustDesigner {
+            base: InverseDesigner::new(OptimConfig {
+                litho: None,
+                ..config
+            }),
+            litho_template,
+            corners,
+        }
+    }
+
+    /// The corner list being optimized over.
+    pub fn corners(&self) -> &[LithoCorner] {
+        &self.corners
+    }
+
+    /// Evaluates the corner-averaged objective and θ-gradient at given raw
+    /// variables, returning per-corner objectives too.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OptimError`] if any corner's solve fails.
+    #[allow(clippy::type_complexity)]
+    pub fn evaluate(
+        &self,
+        problem: &DesignProblem,
+        solver: &dyn GradientSolver,
+        theta: &Patch,
+        beta: f64,
+    ) -> Result<(f64, Patch, Vec<f64>), OptimError> {
+        let omega = problem.omega();
+        let source = problem.source()?;
+        let objective = problem.objective()?;
+        let mut mean_grad = Patch::zeros(theta.nx(), theta.ny());
+        let mut mean_obj = 0.0;
+        let mut per_corner = Vec::with_capacity(self.corners.len());
+        let weight = 1.0 / self.corners.len() as f64;
+        for corner in &self.corners {
+            let chain: ReparamChain = self
+                .base
+                .chain(beta)
+                .then(self.litho_template.at_corner(*corner));
+            let inter = chain.forward_all(theta);
+            let density = inter.last().expect("chain output");
+            let eps = problem.eps_for(density);
+            let eval = solver.objective_and_gradient(&eps, &source, omega, &objective)?;
+            let grad_patch = problem.gradient_to_patch(&eval.grad_eps);
+            let grad_theta = chain.backward(&inter, &grad_patch);
+            per_corner.push(eval.objective);
+            mean_obj += weight * eval.objective;
+            for (m, g) in mean_grad.as_mut_slice().iter_mut().zip(grad_theta.as_slice()) {
+                *m += weight * g;
+            }
+        }
+        Ok((mean_obj, mean_grad, per_corner))
+    }
+
+    /// Runs the robust optimization loop (Adam ascent on the corner mean).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OptimError`] if any solve fails.
+    pub fn run(
+        &self,
+        problem: &DesignProblem,
+        solver: &dyn GradientSolver,
+    ) -> Result<OptimResult, OptimError> {
+        let cfg = self.base.config();
+        let (nx, ny) = problem.design_size;
+        let mut theta = cfg.init.build(nx, ny);
+        // Flat Adam state.
+        let mut m = vec![0.0; theta.len()];
+        let mut v = vec![0.0; theta.len()];
+        let mut beta = cfg.beta_start;
+        let mut history = Vec::with_capacity(cfg.iterations);
+        let mut last_density = theta.clone();
+        for iteration in 0..cfg.iterations {
+            let (obj, grad, _) = self.evaluate(problem, solver, &theta, beta)?;
+            let nominal_chain = self
+                .base
+                .chain(beta)
+                .then(self.litho_template.at_corner(LithoCorner::nominal()));
+            last_density = nominal_chain.forward(&theta);
+            history.push(IterationRecord {
+                iteration,
+                objective: obj,
+                gray_level: last_density.gray_level(),
+                beta,
+            });
+            let t = (iteration + 1) as i32;
+            let bc1 = 1.0 - 0.9f64.powi(t);
+            let bc2 = 1.0 - 0.999f64.powi(t);
+            for (k, g) in grad.as_slice().iter().enumerate() {
+                m[k] = 0.9 * m[k] + 0.1 * g;
+                v[k] = 0.999 * v[k] + 0.001 * g * g;
+                theta.as_mut_slice()[k] += cfg.learning_rate * (m[k] / bc1) / ((v[k] / bc2).sqrt() + 1e-8);
+            }
+            theta.clamp01();
+            beta *= cfg.beta_growth;
+        }
+        // Final field at the nominal corner.
+        let omega = problem.omega();
+        let source = problem.source()?;
+        let objective = problem.objective()?;
+        let eps = problem.eps_for(&last_density);
+        let eval = solver.objective_and_gradient(&eps, &source, omega, &objective)?;
+        Ok(OptimResult {
+            theta,
+            density: last_density,
+            history,
+            final_field: eval.forward,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradient::ExactAdjoint;
+    use crate::init::InitStrategy;
+    use maps_core::{Axis, Direction, Grid2d, Port, RealField2d};
+
+    fn bridge_problem() -> DesignProblem {
+        let grid = Grid2d::new(48, 36, 0.08);
+        let yc = grid.height() / 2.0;
+        let mut base = RealField2d::constant(grid, 2.07);
+        maps_core::paint(
+            &mut base,
+            &maps_core::Shape::Rect(maps_core::Rect::new(0.0, yc - 0.24, 1.6, yc + 0.24)),
+            12.11,
+        );
+        maps_core::paint(
+            &mut base,
+            &maps_core::Shape::Rect(maps_core::Rect::new(
+                grid.width() - 1.6,
+                yc - 0.24,
+                grid.width(),
+                yc + 0.24,
+            )),
+            12.11,
+        );
+        DesignProblem {
+            base_eps: base,
+            design_origin: (21, 13),
+            design_size: (7, 10),
+            eps_min: 2.07,
+            eps_max: 12.11,
+            wavelength: 1.55,
+            input_port: Port::new((1.0, yc), 0.48, Axis::X, Direction::Positive),
+            terms: vec![crate::problem::ObjectiveTerm {
+                port: Port::new((grid.width() - 1.0, yc), 0.48, Axis::X, Direction::Positive),
+                weight: 1.0,
+            }],
+            normalization: 1.0,
+        }
+    }
+
+    #[test]
+    fn corner_mean_and_per_corner_values() {
+        let problem = bridge_problem();
+        let exact = ExactAdjoint::default();
+        let designer = RobustDesigner::new(
+            OptimConfig {
+                iterations: 1,
+                init: InitStrategy::Uniform(0.6),
+                ..OptimConfig::default()
+            },
+            LithoModel::new(problem.grid().dl),
+            LithoCorner::triple(0.05, 0.2, 0.008).to_vec(),
+        );
+        let theta = InitStrategy::Uniform(0.6).build(7, 10);
+        let (mean, grad, per_corner) = designer
+            .evaluate(&problem, &exact, &theta, 2.0)
+            .unwrap();
+        assert_eq!(per_corner.len(), 3);
+        let expect: f64 = per_corner.iter().sum::<f64>() / 3.0;
+        assert!((mean - expect).abs() < 1e-12);
+        assert_eq!((grad.nx(), grad.ny()), (7, 10));
+        assert!(grad.as_slice().iter().any(|g| *g != 0.0));
+    }
+
+    #[test]
+    fn robust_run_improves_mean_objective() {
+        let mut problem = bridge_problem();
+        let exact = ExactAdjoint::default();
+        problem.calibrate(exact.solver()).unwrap();
+        let designer = RobustDesigner::new(
+            OptimConfig {
+                iterations: 8,
+                learning_rate: 0.15,
+                init: InitStrategy::Uniform(0.5),
+                ..OptimConfig::default()
+            },
+            LithoModel::new(problem.grid().dl),
+            LithoCorner::triple(0.03, 0.15, 0.005).to_vec(),
+        );
+        let result = designer.run(&problem, &exact).unwrap();
+        let first = result.history.first().unwrap().objective;
+        let best = result.best_objective();
+        assert!(best > first, "robust optimization should improve: {first} -> {best}");
+    }
+}

@@ -1,0 +1,114 @@
+//! Property-based tests of the reparametrization and variation layers.
+
+use maps_invdes::{
+    opening_loss, ConeFilter, LithoModel, Patch, Reparam, Symmetry, TanhProjection,
+};
+use proptest::prelude::*;
+
+fn patch_strategy(max: usize) -> impl Strategy<Value = Patch> {
+    (2..max, 2..max).prop_flat_map(|(nx, ny)| {
+        prop::collection::vec(0.0..1.0f64, nx * ny)
+            .prop_map(move |data| Patch::from_vec(nx, ny, data))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The tanh projection maps [0,1] into [0,1] and preserves ordering.
+    #[test]
+    fn projection_range_and_monotonicity(p in patch_strategy(10), beta in 0.5..30.0f64) {
+        let proj = TanhProjection::new(beta);
+        let out = proj.forward(&p);
+        for v in out.as_slice() {
+            prop_assert!((-1e-12..=1.0 + 1e-12).contains(v), "out of range: {v}");
+        }
+        // Monotone: pointwise larger input → larger output.
+        let bumped = Patch::from_vec(
+            p.nx(),
+            p.ny(),
+            p.as_slice().iter().map(|v| (v + 0.05).min(1.0)).collect(),
+        );
+        let out_b = proj.forward(&bumped);
+        for (a, b) in out.as_slice().iter().zip(out_b.as_slice()) {
+            prop_assert!(b + 1e-12 >= *a);
+        }
+    }
+
+    /// The cone filter preserves the mean of interior-constant patches and
+    /// never exceeds the input range.
+    #[test]
+    fn filter_respects_range(p in patch_strategy(10), radius in 0.5..3.0f64) {
+        let f = ConeFilter::new(radius).forward(&p);
+        let (lo, hi) = p
+            .as_slice()
+            .iter()
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), v| {
+                (lo.min(*v), hi.max(*v))
+            });
+        for v in f.as_slice() {
+            prop_assert!(*v >= lo - 1e-9 && *v <= hi + 1e-9, "filter out of range");
+        }
+    }
+
+    /// Symmetrization is idempotent and self-adjoint (as a VJP).
+    #[test]
+    fn symmetry_idempotent(p in patch_strategy(9)) {
+        for sym in [Symmetry::MirrorX, Symmetry::MirrorY, Symmetry::Both] {
+            let once = sym.forward(&p);
+            let twice = sym.forward(&once);
+            for (a, b) in once.as_slice().iter().zip(twice.as_slice()) {
+                prop_assert!((a - b).abs() < 1e-12);
+            }
+        }
+    }
+
+    /// Lithography output is a valid density and the VJP has matching shape.
+    #[test]
+    fn litho_produces_valid_density(p in patch_strategy(9), defocus in 0.0..0.2f64) {
+        let model = LithoModel::new(0.05).at_corner(maps_invdes::LithoCorner {
+            defocus,
+            dose: 0.0,
+            etch_bias: 0.0,
+        });
+        let printed = model.forward(&p);
+        for v in printed.as_slice() {
+            prop_assert!((0.0..=1.0).contains(v));
+        }
+        let g = model.vjp(&p, &Patch::constant(p.nx(), p.ny(), 1.0));
+        prop_assert_eq!((g.nx(), g.ny()), (p.nx(), p.ny()));
+    }
+
+    /// Opening loss is monotone in the radius.
+    #[test]
+    fn opening_loss_monotone(p in patch_strategy(12)) {
+        let l1 = opening_loss(&p, 0.5, 1);
+        let l2 = opening_loss(&p, 0.5, 2);
+        let l3 = opening_loss(&p, 0.5, 3);
+        prop_assert!(l1 <= l2 + 1e-12);
+        prop_assert!(l2 <= l3 + 1e-12);
+    }
+
+    /// Gray level is zero exactly for binary patterns.
+    #[test]
+    fn gray_level_of_binarized(p in patch_strategy(8)) {
+        let binary = Patch::from_vec(
+            p.nx(),
+            p.ny(),
+            p.as_slice().iter().map(|v| if *v >= 0.5 { 1.0 } else { 0.0 }).collect(),
+        );
+        prop_assert_eq!(binary.gray_level(), 0.0);
+        // Projection with huge β approaches binary — except at the exact
+        // threshold η = 0.5, which is a fixed point; push values off it.
+        let off_threshold = Patch::from_vec(
+            p.nx(),
+            p.ny(),
+            p.as_slice()
+                .iter()
+                .map(|v| if (v - 0.5).abs() < 0.05 { 0.6 } else { *v })
+                .collect(),
+        );
+        let hard = TanhProjection::new(500.0).forward(&off_threshold);
+        prop_assert!(hard.gray_level() < 0.05);
+    }
+}

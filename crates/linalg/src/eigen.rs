@@ -1,0 +1,180 @@
+//! Symmetric eigensolvers.
+//!
+//! The slab-waveguide mode solver in `maps-fdfd` reduces to a small real
+//! symmetric (tridiagonal) eigenproblem; the cyclic Jacobi method here is
+//! exact enough and dependency-free.
+
+use crate::dense::DMatrix;
+
+/// Eigen-decomposition of a real symmetric matrix.
+#[derive(Debug, Clone)]
+pub struct SymmetricEigen {
+    /// Eigenvalues, sorted descending.
+    pub values: Vec<f64>,
+    /// Column `k` of this matrix is the eigenvector of `values[k]`.
+    pub vectors: DMatrix,
+}
+
+/// Computes all eigenpairs of a real symmetric matrix with cyclic Jacobi
+/// rotations.
+///
+/// Eigenvalues are returned sorted in descending order (the mode solver wants
+/// the largest propagation constants first).
+///
+/// # Panics
+///
+/// Panics if the matrix is not square.
+pub fn symmetric_eigen(a: &DMatrix) -> SymmetricEigen {
+    assert_eq!(a.rows(), a.cols(), "symmetric_eigen requires a square matrix");
+    let n = a.rows();
+    let mut m = a.clone();
+    let mut v = DMatrix::identity(n);
+    let max_sweeps = 100;
+    for _ in 0..max_sweeps {
+        let mut off = 0.0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                off += m[(i, j)] * m[(i, j)];
+            }
+        }
+        if off.sqrt() < 1e-14 * (1.0 + frobenius(&m)) {
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = m[(p, q)];
+                if apq.abs() < 1e-300 {
+                    continue;
+                }
+                let app = m[(p, p)];
+                let aqq = m[(q, q)];
+                let theta = (aqq - app) / (2.0 * apq);
+                let t = if theta >= 0.0 {
+                    1.0 / (theta + (1.0 + theta * theta).sqrt())
+                } else {
+                    1.0 / (theta - (1.0 + theta * theta).sqrt())
+                };
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = t * c;
+                // Apply rotation to rows/columns p and q.
+                for k in 0..n {
+                    let mkp = m[(k, p)];
+                    let mkq = m[(k, q)];
+                    m[(k, p)] = c * mkp - s * mkq;
+                    m[(k, q)] = s * mkp + c * mkq;
+                }
+                for k in 0..n {
+                    let mpk = m[(p, k)];
+                    let mqk = m[(q, k)];
+                    m[(p, k)] = c * mpk - s * mqk;
+                    m[(q, k)] = s * mpk + c * mqk;
+                }
+                for k in 0..n {
+                    let vkp = v[(k, p)];
+                    let vkq = v[(k, q)];
+                    v[(k, p)] = c * vkp - s * vkq;
+                    v[(k, q)] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+    // Extract diagonal, sort descending, permute eigenvector columns.
+    let mut order: Vec<usize> = (0..n).collect();
+    let diag: Vec<f64> = (0..n).map(|i| m[(i, i)]).collect();
+    order.sort_by(|&a, &b| diag[b].partial_cmp(&diag[a]).expect("finite eigenvalues"));
+    let values: Vec<f64> = order.iter().map(|&k| diag[k]).collect();
+    let mut vectors = DMatrix::zeros(n, n);
+    for (new_col, &old_col) in order.iter().enumerate() {
+        for r in 0..n {
+            vectors[(r, new_col)] = v[(r, old_col)];
+        }
+    }
+    SymmetricEigen { values, vectors }
+}
+
+fn frobenius(m: &DMatrix) -> f64 {
+    m.as_slice().iter().map(|x| x * x).sum::<f64>().sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diagonal_matrix_eigenvalues() {
+        let mut a = DMatrix::zeros(3, 3);
+        a[(0, 0)] = 1.0;
+        a[(1, 1)] = 5.0;
+        a[(2, 2)] = -2.0;
+        let e = symmetric_eigen(&a);
+        assert!((e.values[0] - 5.0).abs() < 1e-12);
+        assert!((e.values[1] - 1.0).abs() < 1e-12);
+        assert!((e.values[2] + 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn known_2x2() {
+        // [[2,1],[1,2]] has eigenvalues 3 and 1.
+        let mut a = DMatrix::zeros(2, 2);
+        a[(0, 0)] = 2.0;
+        a[(0, 1)] = 1.0;
+        a[(1, 0)] = 1.0;
+        a[(1, 1)] = 2.0;
+        let e = symmetric_eigen(&a);
+        assert!((e.values[0] - 3.0).abs() < 1e-12);
+        assert!((e.values[1] - 1.0).abs() < 1e-12);
+        // Eigenvector of λ=3 is (1,1)/√2 up to sign.
+        let v0 = (e.vectors[(0, 0)], e.vectors[(1, 0)]);
+        assert!((v0.0.abs() - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-10);
+        assert!((v0.0 - v0.1).abs() < 1e-10);
+    }
+
+    #[test]
+    fn residual_of_tridiagonal_laplacian() {
+        let n = 24;
+        let mut a = DMatrix::zeros(n, n);
+        for i in 0..n {
+            a[(i, i)] = 2.0;
+            if i > 0 {
+                a[(i, i - 1)] = -1.0;
+                a[(i - 1, i)] = -1.0;
+            }
+        }
+        let e = symmetric_eigen(&a);
+        // Analytic eigenvalues: 2 − 2cos(kπ/(n+1)), k = 1..n, sorted descending.
+        let mut analytic: Vec<f64> = (1..=n)
+            .map(|k| 2.0 - 2.0 * (k as f64 * std::f64::consts::PI / (n as f64 + 1.0)).cos())
+            .collect();
+        analytic.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        for (got, want) in e.values.iter().zip(&analytic) {
+            assert!((got - want).abs() < 1e-10, "{got} vs {want}");
+        }
+        // Check A v = λ v for the dominant pair.
+        let v0: Vec<f64> = (0..n).map(|r| e.vectors[(r, 0)]).collect();
+        let av = a.matvec(&v0);
+        for i in 0..n {
+            assert!((av[i] - e.values[0] * v0[i]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn eigenvectors_are_orthonormal() {
+        let n = 10;
+        let mut a = DMatrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let v = ((i * 7 + j * 13) % 11) as f64 / 11.0 - 0.5;
+                a[(i, j)] = v;
+                a[(j, i)] = v;
+            }
+        }
+        let e = symmetric_eigen(&a);
+        for c1 in 0..n {
+            for c2 in 0..n {
+                let dot: f64 = (0..n).map(|r| e.vectors[(r, c1)] * e.vectors[(r, c2)]).sum();
+                let expect = if c1 == c2 { 1.0 } else { 0.0 };
+                assert!((dot - expect).abs() < 1e-9, "cols {c1},{c2}: {dot}");
+            }
+        }
+    }
+}

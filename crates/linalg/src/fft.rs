@@ -1,0 +1,257 @@
+//! Fast Fourier transforms.
+//!
+//! Radix-2 Cooley–Tukey for power-of-two lengths with a Bluestein fallback
+//! for arbitrary lengths, plus a row-major 2-D transform used by the spectral
+//! convolutions in the FNO family of models.
+
+use crate::Complex64;
+use std::f64::consts::PI;
+
+/// In-place forward DFT: `X[k] = Σₙ x[n]·e^{−2πi·kn/N}`.
+pub fn fft(data: &mut [Complex64]) {
+    transform(data, false);
+}
+
+/// In-place inverse DFT, normalized by `1/N`.
+pub fn ifft(data: &mut [Complex64]) {
+    transform(data, true);
+    let n = data.len() as f64;
+    for z in data.iter_mut() {
+        *z = *z / n;
+    }
+}
+
+fn transform(data: &mut [Complex64], inverse: bool) {
+    let n = data.len();
+    if n <= 1 {
+        return;
+    }
+    if n.is_power_of_two() {
+        radix2(data, inverse);
+    } else {
+        bluestein(data, inverse);
+    }
+}
+
+fn radix2(data: &mut [Complex64], inverse: bool) {
+    let n = data.len();
+    debug_assert!(n.is_power_of_two());
+    // Bit-reversal permutation.
+    let mut j = 0usize;
+    for i in 1..n {
+        let mut bit = n >> 1;
+        while j & bit != 0 {
+            j ^= bit;
+            bit >>= 1;
+        }
+        j |= bit;
+        if i < j {
+            data.swap(i, j);
+        }
+    }
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * PI / len as f64;
+        let wlen = Complex64::cis(ang);
+        let mut i = 0;
+        while i < n {
+            let mut w = Complex64::ONE;
+            for k in 0..len / 2 {
+                let u = data[i + k];
+                let v = data[i + k + len / 2] * w;
+                data[i + k] = u + v;
+                data[i + k + len / 2] = u - v;
+                w = w * wlen;
+            }
+            i += len;
+        }
+        len <<= 1;
+    }
+}
+
+/// Bluestein's algorithm: expresses an arbitrary-length DFT as a convolution
+/// performed with power-of-two FFTs.
+fn bluestein(data: &mut [Complex64], inverse: bool) {
+    let n = data.len();
+    let sign = if inverse { 1.0 } else { -1.0 };
+    // Chirp: w[k] = e^{sign·πi·k²/n}
+    let mut chirp = vec![Complex64::ZERO; n];
+    for k in 0..n {
+        // k² mod 2n avoids precision loss for large k
+        let kk = (k * k) % (2 * n);
+        chirp[k] = Complex64::cis(sign * PI * kk as f64 / n as f64);
+    }
+    let m = (2 * n - 1).next_power_of_two();
+    let mut a = vec![Complex64::ZERO; m];
+    let mut b = vec![Complex64::ZERO; m];
+    for k in 0..n {
+        a[k] = data[k] * chirp[k];
+        b[k] = chirp[k].conj();
+    }
+    for k in 1..n {
+        b[m - k] = chirp[k].conj();
+    }
+    radix2(&mut a, false);
+    radix2(&mut b, false);
+    for k in 0..m {
+        a[k] = a[k] * b[k];
+    }
+    radix2(&mut a, true);
+    let scale = 1.0 / m as f64;
+    for k in 0..n {
+        data[k] = a[k] * chirp[k] * scale;
+    }
+}
+
+/// Forward 2-D DFT of a row-major `rows × cols` buffer, in place.
+///
+/// # Panics
+///
+/// Panics if `data.len() != rows * cols`.
+pub fn fft2(data: &mut [Complex64], rows: usize, cols: usize) {
+    transform2(data, rows, cols, false);
+}
+
+/// Inverse 2-D DFT of a row-major `rows × cols` buffer, in place
+/// (normalized by `1/(rows·cols)`).
+///
+/// # Panics
+///
+/// Panics if `data.len() != rows * cols`.
+pub fn ifft2(data: &mut [Complex64], rows: usize, cols: usize) {
+    transform2(data, rows, cols, true);
+}
+
+fn transform2(data: &mut [Complex64], rows: usize, cols: usize, inverse: bool) {
+    assert_eq!(data.len(), rows * cols, "fft2 buffer size mismatch");
+    // Transform each row.
+    for r in 0..rows {
+        let row = &mut data[r * cols..(r + 1) * cols];
+        if inverse {
+            ifft(row);
+        } else {
+            fft(row);
+        }
+    }
+    // Transform each column through a scratch buffer.
+    let mut col = vec![Complex64::ZERO; rows];
+    for c in 0..cols {
+        for r in 0..rows {
+            col[r] = data[r * cols + c];
+        }
+        if inverse {
+            ifft(&mut col);
+        } else {
+            fft(&mut col);
+        }
+        for r in 0..rows {
+            data[r * cols + c] = col[r];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::znorm;
+
+    fn naive_dft(x: &[Complex64]) -> Vec<Complex64> {
+        let n = x.len();
+        (0..n)
+            .map(|k| {
+                (0..n)
+                    .map(|t| x[t] * Complex64::cis(-2.0 * PI * (k * t) as f64 / n as f64))
+                    .sum()
+            })
+            .collect()
+    }
+
+    fn signal(n: usize) -> Vec<Complex64> {
+        (0..n)
+            .map(|k| Complex64::new((k as f64 * 0.37).sin(), (k as f64 * 0.11).cos()))
+            .collect()
+    }
+
+    #[test]
+    fn radix2_matches_naive_dft() {
+        for &n in &[1usize, 2, 4, 8, 16, 64] {
+            let x = signal(n);
+            let mut y = x.clone();
+            fft(&mut y);
+            let expect = naive_dft(&x);
+            let d: Vec<Complex64> = y.iter().zip(&expect).map(|(a, b)| *a - *b).collect();
+            assert!(znorm(&d) < 1e-9 * (n as f64).max(1.0), "n={n}");
+        }
+    }
+
+    #[test]
+    fn bluestein_matches_naive_dft() {
+        for &n in &[3usize, 5, 6, 7, 12, 15, 31] {
+            let x = signal(n);
+            let mut y = x.clone();
+            fft(&mut y);
+            let expect = naive_dft(&x);
+            let d: Vec<Complex64> = y.iter().zip(&expect).map(|(a, b)| *a - *b).collect();
+            assert!(znorm(&d) < 1e-8 * n as f64, "n={n}, err={}", znorm(&d));
+        }
+    }
+
+    #[test]
+    fn roundtrip_is_identity() {
+        for &n in &[8usize, 9, 16, 21] {
+            let x = signal(n);
+            let mut y = x.clone();
+            fft(&mut y);
+            ifft(&mut y);
+            let d: Vec<Complex64> = y.iter().zip(&x).map(|(a, b)| *a - *b).collect();
+            assert!(znorm(&d) < 1e-10, "n={n}");
+        }
+    }
+
+    #[test]
+    fn parseval_energy_is_preserved() {
+        let x = signal(32);
+        let mut y = x.clone();
+        fft(&mut y);
+        let ex: f64 = x.iter().map(|z| z.norm_sqr()).sum();
+        let ey: f64 = y.iter().map(|z| z.norm_sqr()).sum::<f64>() / 32.0;
+        assert!((ex - ey).abs() < 1e-9 * ex);
+    }
+
+    #[test]
+    fn fft2_roundtrip() {
+        let (rows, cols) = (8, 12);
+        let x = signal(rows * cols);
+        let mut y = x.clone();
+        fft2(&mut y, rows, cols);
+        ifft2(&mut y, rows, cols);
+        let d: Vec<Complex64> = y.iter().zip(&x).map(|(a, b)| *a - *b).collect();
+        assert!(znorm(&d) < 1e-10);
+    }
+
+    #[test]
+    fn fft2_of_constant_concentrates_dc() {
+        let (rows, cols) = (4, 4);
+        let mut y = vec![Complex64::ONE; rows * cols];
+        fft2(&mut y, rows, cols);
+        assert!((y[0] - Complex64::from_re(16.0)).abs() < 1e-12);
+        assert!(y[1..].iter().all(|z| z.abs() < 1e-12));
+    }
+
+    #[test]
+    fn single_frequency_bin() {
+        let n = 16;
+        let x: Vec<Complex64> = (0..n)
+            .map(|t| Complex64::cis(2.0 * PI * 3.0 * t as f64 / n as f64))
+            .collect();
+        let mut y = x.clone();
+        fft(&mut y);
+        assert!((y[3] - Complex64::from_re(n as f64)).abs() < 1e-9);
+        for (k, z) in y.iter().enumerate() {
+            if k != 3 {
+                assert!(z.abs() < 1e-9, "leakage at bin {k}");
+            }
+        }
+    }
+}

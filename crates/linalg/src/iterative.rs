@@ -1,0 +1,206 @@
+//! Iterative Krylov solvers for large FDFD systems.
+//!
+//! The direct banded LU in [`crate::banded`] is exact but its cost grows as
+//! `O(n·b²)`; for very large grids MAPS falls back to BiCGSTAB with Jacobi
+//! preconditioning. The ablation bench compares both.
+
+use crate::dense::{zdotc, znorm};
+use crate::sparse::CsrMatrix;
+use crate::{Complex64, LinalgError};
+
+/// Convergence report for an iterative solve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IterativeStats {
+    /// Number of iterations performed.
+    pub iterations: usize,
+    /// Final relative residual `‖b − A x‖ / ‖b‖`.
+    pub residual: f64,
+}
+
+/// Options controlling [`bicgstab`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IterativeOptions {
+    /// Relative residual tolerance.
+    pub tolerance: f64,
+    /// Maximum number of iterations.
+    pub max_iterations: usize,
+}
+
+impl Default for IterativeOptions {
+    fn default() -> Self {
+        IterativeOptions {
+            tolerance: 1e-8,
+            max_iterations: 10_000,
+        }
+    }
+}
+
+/// Solves `A x = b` with Jacobi-preconditioned BiCGSTAB.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::NoConvergence`] when the relative residual does not
+/// drop below `options.tolerance` within `options.max_iterations`, or when
+/// the recurrence breaks down.
+///
+/// # Panics
+///
+/// Panics if `b.len() != a.rows()` or `a` is not square.
+pub fn bicgstab(
+    a: &CsrMatrix,
+    b: &[Complex64],
+    options: IterativeOptions,
+) -> Result<(Vec<Complex64>, IterativeStats), LinalgError> {
+    assert_eq!(a.rows(), a.cols(), "bicgstab requires a square matrix");
+    assert_eq!(b.len(), a.rows(), "bicgstab dimension mismatch");
+    let n = b.len();
+    let bnorm = znorm(b);
+    if bnorm == 0.0 {
+        return Ok((
+            vec![Complex64::ZERO; n],
+            IterativeStats {
+                iterations: 0,
+                residual: 0.0,
+            },
+        ));
+    }
+    // Jacobi preconditioner: M⁻¹ = diag(A)⁻¹ (identity for zero diagonals).
+    let minv: Vec<Complex64> = a
+        .diagonal()
+        .iter()
+        .map(|d| {
+            if d.abs() > 0.0 {
+                d.recip()
+            } else {
+                Complex64::ONE
+            }
+        })
+        .collect();
+    let precond = |v: &[Complex64]| -> Vec<Complex64> {
+        v.iter().zip(&minv).map(|(x, m)| *x * *m).collect()
+    };
+
+    let mut x = vec![Complex64::ZERO; n];
+    let mut r: Vec<Complex64> = b.to_vec();
+    let r0 = r.clone();
+    let mut rho = Complex64::ONE;
+    let mut alpha = Complex64::ONE;
+    let mut omega = Complex64::ONE;
+    let mut v = vec![Complex64::ZERO; n];
+    let mut p = vec![Complex64::ZERO; n];
+
+    for it in 1..=options.max_iterations {
+        let rho_next = zdotc(&r0, &r);
+        if rho_next.abs() < 1e-300 {
+            return Err(LinalgError::NoConvergence {
+                iterations: it,
+                residual: znorm(&r) / bnorm,
+            });
+        }
+        let beta = (rho_next / rho) * (alpha / omega);
+        rho = rho_next;
+        for i in 0..n {
+            p[i] = r[i] + beta * (p[i] - omega * v[i]);
+        }
+        let phat = precond(&p);
+        v = a.matvec(&phat);
+        alpha = rho / zdotc(&r0, &v);
+        let s: Vec<Complex64> = (0..n).map(|i| r[i] - alpha * v[i]).collect();
+        if znorm(&s) / bnorm < options.tolerance {
+            for i in 0..n {
+                x[i] += alpha * phat[i];
+            }
+            return Ok((
+                x,
+                IterativeStats {
+                    iterations: it,
+                    residual: znorm(&s) / bnorm,
+                },
+            ));
+        }
+        let shat = precond(&s);
+        let t = a.matvec(&shat);
+        let tt = zdotc(&t, &t);
+        if tt.abs() < 1e-300 {
+            return Err(LinalgError::NoConvergence {
+                iterations: it,
+                residual: znorm(&s) / bnorm,
+            });
+        }
+        omega = zdotc(&t, &s) / tt;
+        for i in 0..n {
+            x[i] += alpha * phat[i] + omega * shat[i];
+            r[i] = s[i] - omega * t[i];
+        }
+        let rel = znorm(&r) / bnorm;
+        if rel < options.tolerance {
+            return Ok((
+                x,
+                IterativeStats {
+                    iterations: it,
+                    residual: rel,
+                },
+            ));
+        }
+    }
+    Err(LinalgError::NoConvergence {
+        iterations: options.max_iterations,
+        residual: znorm(&r) / bnorm,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sparse::CooMatrix;
+
+    fn laplacian_plus_shift(n: usize, shift: Complex64) -> CsrMatrix {
+        let mut coo = CooMatrix::new(n, n);
+        for i in 0..n {
+            coo.push(i, i, Complex64::from_re(2.0) + shift);
+            if i > 0 {
+                coo.push(i, i - 1, Complex64::from_re(-1.0));
+            }
+            if i + 1 < n {
+                coo.push(i, i + 1, Complex64::from_re(-1.0));
+            }
+        }
+        coo.to_csr()
+    }
+
+    #[test]
+    fn converges_on_complex_shifted_laplacian() {
+        let n = 120;
+        let a = laplacian_plus_shift(n, Complex64::new(0.3, 0.4));
+        let b: Vec<Complex64> = (0..n)
+            .map(|k| Complex64::new((k as f64 * 0.1).sin(), (k as f64 * 0.07).cos()))
+            .collect();
+        let (x, stats) = bicgstab(&a, &b, IterativeOptions::default()).unwrap();
+        let r: Vec<Complex64> = a.matvec(&x).iter().zip(&b).map(|(p, q)| *p - *q).collect();
+        assert!(znorm(&r) / znorm(&b) < 1e-7, "residual {}", stats.residual);
+    }
+
+    #[test]
+    fn zero_rhs_returns_zero() {
+        let a = laplacian_plus_shift(8, Complex64::ZERO);
+        let b = vec![Complex64::ZERO; 8];
+        let (x, stats) = bicgstab(&a, &b, IterativeOptions::default()).unwrap();
+        assert!(x.iter().all(|z| *z == Complex64::ZERO));
+        assert_eq!(stats.iterations, 0);
+    }
+
+    #[test]
+    fn iteration_cap_is_enforced() {
+        let a = laplacian_plus_shift(64, Complex64::new(0.0, 0.01));
+        let b = vec![Complex64::ONE; 64];
+        let res = bicgstab(
+            &a,
+            &b,
+            IterativeOptions {
+                tolerance: 1e-16,
+                max_iterations: 1,
+            },
+        );
+        assert!(matches!(res, Err(LinalgError::NoConvergence { .. })));
+    }
+}

@@ -1,0 +1,94 @@
+//! # maps-linalg
+//!
+//! Dependency-free numerical kernels underpinning the MAPS photonic
+//! simulation stack: complex arithmetic, dense/banded/sparse matrices, a
+//! banded LU direct solver (with transpose solves for adjoint systems),
+//! BiCGSTAB, FFTs, and a symmetric eigensolver.
+//!
+//! ```
+//! use maps_linalg::{BandedMatrix, Complex64};
+//!
+//! # fn main() -> Result<(), maps_linalg::LinalgError> {
+//! let mut a = BandedMatrix::zeros(3, 1, 1);
+//! for i in 0..3 {
+//!     a.set(i, i, Complex64::from_re(2.0));
+//! }
+//! let lu = a.factorize()?;
+//! let x = lu.solve(&[Complex64::ONE; 3]);
+//! assert!((x[0].re - 0.5).abs() < 1e-12);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod banded;
+pub mod complex;
+pub mod dense;
+pub mod eigen;
+pub mod fft;
+pub mod iterative;
+pub mod sparse;
+
+pub use banded::{BandedLu, BandedMatrix};
+pub use complex::Complex64;
+pub use dense::{DMatrix, ZMatrix};
+pub use eigen::{symmetric_eigen, SymmetricEigen};
+pub use iterative::{bicgstab, IterativeOptions, IterativeStats};
+pub use sparse::{CooMatrix, CsrMatrix};
+
+use std::fmt;
+
+/// Errors produced by the numerical kernels.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum LinalgError {
+    /// A factorization hit an exactly zero pivot at the given elimination
+    /// step; the matrix is singular (or numerically so).
+    Singular {
+        /// Elimination step at which the zero pivot appeared.
+        index: usize,
+    },
+    /// An iterative method failed to reach the requested tolerance.
+    NoConvergence {
+        /// Iterations performed before giving up.
+        iterations: usize,
+        /// Relative residual at the final iterate.
+        residual: f64,
+    },
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::Singular { index } => {
+                write!(f, "matrix is singular (zero pivot at step {index})")
+            }
+            LinalgError::NoConvergence {
+                iterations,
+                residual,
+            } => write!(
+                f,
+                "iterative solver did not converge after {iterations} iterations (residual {residual:.3e})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<LinalgError>();
+    }
+
+    #[test]
+    fn error_display_is_lowercase() {
+        let e = LinalgError::Singular { index: 3 };
+        let s = e.to_string();
+        assert!(s.starts_with("matrix"));
+    }
+}

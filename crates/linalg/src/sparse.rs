@@ -1,0 +1,230 @@
+//! Compressed sparse row matrices over [`Complex64`].
+//!
+//! Used for operator assembly inspection ("Maxwell equation matrices" in the
+//! MAPS-Data rich labels) and as the operator format for the iterative
+//! BiCGSTAB solver.
+
+use crate::Complex64;
+
+/// A coordinate-format triplet builder for [`CsrMatrix`].
+#[derive(Debug, Clone, Default)]
+pub struct CooMatrix {
+    rows: usize,
+    cols: usize,
+    entries: Vec<(usize, usize, Complex64)>,
+}
+
+impl CooMatrix {
+    /// Creates an empty `rows × cols` COO matrix.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        CooMatrix {
+            rows,
+            cols,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Appends `v` at `(i, j)`; duplicates are summed on conversion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of range.
+    pub fn push(&mut self, i: usize, j: usize, v: Complex64) {
+        assert!(i < self.rows && j < self.cols, "coo index out of range");
+        if v != Complex64::ZERO {
+            self.entries.push((i, j, v));
+        }
+    }
+
+    /// Number of stored triplets (before duplicate merging).
+    pub fn nnz(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Converts to CSR, summing duplicate entries.
+    pub fn to_csr(&self) -> CsrMatrix {
+        let mut entries = self.entries.clone();
+        entries.sort_by_key(|&(i, j, _)| (i, j));
+        let mut row_counts = vec![0usize; self.rows];
+        let mut col_idx = Vec::with_capacity(entries.len());
+        let mut values: Vec<Complex64> = Vec::with_capacity(entries.len());
+        let mut last: Option<(usize, usize)> = None;
+        for &(i, j, v) in &entries {
+            if last == Some((i, j)) {
+                *values.last_mut().expect("merge follows a push") += v;
+            } else {
+                col_idx.push(j);
+                values.push(v);
+                row_counts[i] += 1;
+                last = Some((i, j));
+            }
+        }
+        let mut row_ptr = vec![0usize; self.rows + 1];
+        for i in 0..self.rows {
+            row_ptr[i + 1] = row_ptr[i] + row_counts[i];
+        }
+        CsrMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+}
+
+/// A compressed sparse row matrix of [`Complex64`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    rows: usize,
+    cols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<usize>,
+    values: Vec<Complex64>,
+}
+
+impl CsrMatrix {
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored non-zeros.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Iterates over `(row, col, value)` triplets in row order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, Complex64)> + '_ {
+        (0..self.rows).flat_map(move |i| {
+            (self.row_ptr[i]..self.row_ptr[i + 1])
+                .map(move |k| (i, self.col_idx[k], self.values[k]))
+        })
+    }
+
+    /// Returns `A[i][j]`, or zero when not stored.
+    pub fn get(&self, i: usize, j: usize) -> Complex64 {
+        let lo = self.row_ptr[i];
+        let hi = self.row_ptr[i + 1];
+        match self.col_idx[lo..hi].binary_search(&j) {
+            Ok(k) => self.values[lo + k],
+            Err(_) => Complex64::ZERO,
+        }
+    }
+
+    /// Matrix–vector product `A x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.cols()`.
+    pub fn matvec(&self, x: &[Complex64]) -> Vec<Complex64> {
+        assert_eq!(x.len(), self.cols, "csr matvec dimension mismatch");
+        let mut y = vec![Complex64::ZERO; self.rows];
+        for i in 0..self.rows {
+            let mut acc = Complex64::ZERO;
+            for k in self.row_ptr[i]..self.row_ptr[i + 1] {
+                acc += self.values[k] * x[self.col_idx[k]];
+            }
+            y[i] = acc;
+        }
+        y
+    }
+
+    /// Transposed matrix–vector product `Aᵀ x` (unconjugated).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.rows()`.
+    pub fn matvec_transposed(&self, x: &[Complex64]) -> Vec<Complex64> {
+        assert_eq!(x.len(), self.rows, "csr matvec dimension mismatch");
+        let mut y = vec![Complex64::ZERO; self.cols];
+        for i in 0..self.rows {
+            let xi = x[i];
+            if xi == Complex64::ZERO {
+                continue;
+            }
+            for k in self.row_ptr[i]..self.row_ptr[i + 1] {
+                y[self.col_idx[k]] += self.values[k] * xi;
+            }
+        }
+        y
+    }
+
+    /// Extracts the diagonal as a vector (missing entries are zero).
+    pub fn diagonal(&self) -> Vec<Complex64> {
+        (0..self.rows.min(self.cols)).map(|i| self.get(i, i)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CsrMatrix {
+        let mut coo = CooMatrix::new(3, 3);
+        coo.push(0, 0, Complex64::from_re(2.0));
+        coo.push(0, 2, Complex64::new(0.0, 1.0));
+        coo.push(1, 1, Complex64::from_re(3.0));
+        coo.push(2, 0, Complex64::from_re(-1.0));
+        coo.push(2, 2, Complex64::from_re(4.0));
+        coo.to_csr()
+    }
+
+    #[test]
+    fn matvec_matches_hand_computed() {
+        let a = sample();
+        let x = vec![Complex64::ONE, Complex64::from_re(2.0), Complex64::I];
+        let y = a.matvec(&x);
+        assert_eq!(y[0], Complex64::new(2.0 - 1.0, 0.0)); // 2·1 + i·i
+        assert_eq!(y[1], Complex64::from_re(6.0));
+        assert_eq!(y[2], Complex64::new(-1.0, 4.0));
+    }
+
+    #[test]
+    fn transpose_matvec_consistent_with_get() {
+        let a = sample();
+        let x = vec![Complex64::ONE, Complex64::ONE, Complex64::ONE];
+        let yt = a.matvec_transposed(&x);
+        for j in 0..3 {
+            let expect: Complex64 = (0..3).map(|i| a.get(i, j)).sum();
+            assert_eq!(yt[j], expect);
+        }
+    }
+
+    #[test]
+    fn duplicates_are_summed() {
+        let mut coo = CooMatrix::new(2, 2);
+        coo.push(0, 0, Complex64::from_re(1.0));
+        coo.push(0, 0, Complex64::from_re(2.5));
+        let csr = coo.to_csr();
+        assert_eq!(csr.nnz(), 1);
+        assert_eq!(csr.get(0, 0), Complex64::from_re(3.5));
+    }
+
+    #[test]
+    fn empty_rows_have_valid_pointers() {
+        let mut coo = CooMatrix::new(4, 4);
+        coo.push(3, 3, Complex64::ONE);
+        let csr = coo.to_csr();
+        let x = vec![Complex64::ONE; 4];
+        let y = csr.matvec(&x);
+        assert_eq!(y[0], Complex64::ZERO);
+        assert_eq!(y[3], Complex64::ONE);
+    }
+
+    #[test]
+    fn diagonal_extraction() {
+        let a = sample();
+        let d = a.diagonal();
+        assert_eq!(d, vec![
+            Complex64::from_re(2.0),
+            Complex64::from_re(3.0),
+            Complex64::from_re(4.0)
+        ]);
+    }
+}

@@ -1,0 +1,118 @@
+//! Property-based tests of the numerical kernels.
+
+use maps_linalg::dense::znorm;
+use maps_linalg::fft::{fft, ifft};
+use maps_linalg::{BandedMatrix, Complex64, CooMatrix};
+use proptest::prelude::*;
+
+fn complex_strategy() -> impl Strategy<Value = Complex64> {
+    (-5.0..5.0f64, -5.0..5.0f64).prop_map(|(re, im)| Complex64::new(re, im))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any diagonally dominant banded system is solved to tiny residual.
+    #[test]
+    fn banded_solve_has_small_residual(
+        n in 3usize..24,
+        kl in 0usize..3,
+        ku in 0usize..3,
+        seed in 0u64..1000,
+    ) {
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        let mut a = BandedMatrix::zeros(n, kl, ku);
+        for i in 0..n {
+            for j in i.saturating_sub(kl)..(i + ku + 1).min(n) {
+                let v = if i == j {
+                    Complex64::new(5.0 + next(), next())
+                } else {
+                    Complex64::new(next(), next())
+                };
+                a.set(i, j, v);
+            }
+        }
+        let b: Vec<Complex64> = (0..n).map(|_| Complex64::new(next(), next())).collect();
+        let lu = a.clone().factorize().unwrap();
+        let x = lu.solve(&b);
+        let r: Vec<Complex64> = a.matvec(&x).iter().zip(&b).map(|(p, q)| *p - *q).collect();
+        prop_assert!(znorm(&r) <= 1e-9 * (1.0 + znorm(&b)));
+        // Transposed solve too.
+        let xt = lu.solve_transposed(&b);
+        let rt: Vec<Complex64> = a.matvec_transposed(&xt).iter().zip(&b).map(|(p, q)| *p - *q).collect();
+        prop_assert!(znorm(&rt) <= 1e-9 * (1.0 + znorm(&b)));
+    }
+
+    /// FFT followed by inverse FFT is the identity for any length.
+    #[test]
+    fn fft_roundtrip(data in prop::collection::vec(complex_strategy(), 1..64)) {
+        let mut buf = data.clone();
+        fft(&mut buf);
+        ifft(&mut buf);
+        let d: Vec<Complex64> = buf.iter().zip(&data).map(|(a, b)| *a - *b).collect();
+        prop_assert!(znorm(&d) <= 1e-9 * (1.0 + znorm(&data)));
+    }
+
+    /// Parseval: the DFT preserves energy up to the 1/N convention.
+    #[test]
+    fn fft_parseval(data in prop::collection::vec(complex_strategy(), 1..48)) {
+        let n = data.len() as f64;
+        let mut buf = data.clone();
+        fft(&mut buf);
+        let e_time: f64 = data.iter().map(|z| z.norm_sqr()).sum();
+        let e_freq: f64 = buf.iter().map(|z| z.norm_sqr()).sum::<f64>() / n;
+        prop_assert!((e_time - e_freq).abs() <= 1e-9 * (1.0 + e_time));
+    }
+
+    /// CSR matvec is linear: A(αx + βy) = αAx + βAy.
+    #[test]
+    fn csr_matvec_linearity(
+        n in 2usize..16,
+        alpha in -3.0..3.0f64,
+        beta in -3.0..3.0f64,
+        seed in 0u64..500,
+    ) {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        let mut coo = CooMatrix::new(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                if (i + j) % 3 == 0 {
+                    coo.push(i, j, Complex64::new(next(), next()));
+                }
+            }
+        }
+        let a = coo.to_csr();
+        let x: Vec<Complex64> = (0..n).map(|_| Complex64::new(next(), next())).collect();
+        let y: Vec<Complex64> = (0..n).map(|_| Complex64::new(next(), next())).collect();
+        let combo: Vec<Complex64> = x.iter().zip(&y).map(|(a, b)| *a * alpha + *b * beta).collect();
+        let lhs = a.matvec(&combo);
+        let ax = a.matvec(&x);
+        let ay = a.matvec(&y);
+        let rhs: Vec<Complex64> = ax.iter().zip(&ay).map(|(p, q)| *p * alpha + *q * beta).collect();
+        let d: Vec<Complex64> = lhs.iter().zip(&rhs).map(|(p, q)| *p - *q).collect();
+        prop_assert!(znorm(&d) <= 1e-9 * (1.0 + znorm(&rhs)));
+    }
+
+    /// Complex field axioms: |z·w| = |z|·|w| and conj distributes.
+    #[test]
+    fn complex_axioms(z in complex_strategy(), w in complex_strategy()) {
+        prop_assert!(((z * w).abs() - z.abs() * w.abs()).abs() < 1e-10 * (1.0 + z.abs() * w.abs()));
+        let lhs = (z * w).conj();
+        let rhs = z.conj() * w.conj();
+        prop_assert!((lhs - rhs).abs() < 1e-12 * (1.0 + lhs.abs()));
+        // Triangle inequality.
+        prop_assert!((z + w).abs() <= z.abs() + w.abs() + 1e-12);
+    }
+}

@@ -1,0 +1,46 @@
+//! Weight initializers.
+
+use maps_tensor::Tensor;
+use rand::Rng;
+
+/// Kaiming/He-style uniform initialization with the given fan-in.
+pub fn kaiming_uniform(rng: &mut impl Rng, shape: &[usize], fan_in: usize) -> Tensor {
+    let bound = (1.0 / fan_in.max(1) as f64).sqrt();
+    let n: usize = shape.iter().product();
+    Tensor::from_vec(shape, (0..n).map(|_| rng.gen_range(-bound..bound)).collect())
+}
+
+/// Scaled initialization for complex spectral weights: FNO convention is
+/// `scale = 1/(cin·cout)` uniform.
+pub fn spectral_uniform(rng: &mut impl Rng, shape: &[usize], cin: usize, cout: usize) -> Tensor {
+    let scale = 1.0 / (cin * cout) as f64;
+    let n: usize = shape.iter().product();
+    Tensor::from_vec(shape, (0..n).map(|_| rng.gen_range(-scale..scale)).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn kaiming_respects_bound() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = kaiming_uniform(&mut rng, &[16, 8, 3, 3], 8 * 9);
+        let bound = (1.0 / 72.0f64).sqrt();
+        assert!(t.as_slice().iter().all(|v| v.abs() <= bound));
+        // Not all zero.
+        assert!(t.norm_sqr() > 0.0);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        assert_eq!(
+            kaiming_uniform(&mut a, &[4, 4], 4),
+            kaiming_uniform(&mut b, &[4, 4], 4)
+        );
+    }
+}

@@ -1,0 +1,43 @@
+//! # maps-nn
+//!
+//! The neural-operator model zoo of MAPS-Train: FNO, Factorized-FNO, UNet,
+//! and NeurOLight field predictors, a black-box response regressor, weight
+//! initializers, and SGD/Adam optimizers — all built on the `maps-tensor`
+//! autodiff tape.
+//!
+//! ```
+//! use maps_nn::{Fno, FnoConfig, Model};
+//! use maps_tensor::{Params, Tape, Tensor};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut params = Params::new();
+//! let mut rng = StdRng::seed_from_u64(0);
+//! let model = Fno::new(&mut params, &mut rng, FnoConfig::default());
+//! let mut tape = Tape::new();
+//! let x = tape.input(Tensor::zeros(&[1, 4, 16, 16]));
+//! let field = model.forward(&mut tape, &params, x);
+//! assert_eq!(tape.value(field).shape(), &[1, 2, 16, 16]);
+//! ```
+
+pub mod blackbox;
+pub mod ffno;
+pub mod fno;
+pub mod init;
+pub mod layers;
+pub mod model;
+pub mod neurolight;
+pub mod optim;
+pub mod schedule;
+pub mod tandem;
+pub mod unet;
+
+pub use blackbox::{BlackBoxConfig, BlackBoxNet};
+pub use ffno::{Ffno, FfnoConfig};
+pub use fno::{Fno, FnoConfig};
+pub use layers::{Conv2d, Linear, SpectralConv2d};
+pub use model::Model;
+pub use neurolight::{NeurOLight, NeurOLightConfig};
+pub use optim::{collect_param_grads, Adam, Sgd};
+pub use schedule::LrSchedule;
+pub use tandem::{Generator, GeneratorConfig, Tandem};
+pub use unet::{UNet, UNetConfig};

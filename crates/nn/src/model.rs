@@ -1,0 +1,23 @@
+//! The model abstraction shared by all predictive baselines.
+
+use maps_tensor::{Params, Tape, Var};
+
+/// A neural field/response predictor usable by MAPS-Train.
+///
+/// Inputs are `[N, in_channels, H, W]` feature maps (permittivity, source,
+/// wavelength encoding, optional physics priors); outputs are either
+/// `[N, 2, H, W]` field phasors (re/im of `Ez`) or `[N, 1]` scalar responses
+/// for black-box models.
+pub trait Model {
+    /// Runs the forward pass on the tape.
+    fn forward(&self, tape: &mut Tape, params: &Params, x: Var) -> Var;
+    /// Number of expected input channels.
+    fn in_channels(&self) -> usize;
+    /// Short name used in benchmark tables (e.g. `"FNO"`).
+    fn name(&self) -> &str;
+    /// Whether the model consumes the physics wave-prior channels
+    /// (NeurOLight does; the others use the plain encoding).
+    fn wants_wave_prior(&self) -> bool {
+        false
+    }
+}

@@ -1,0 +1,201 @@
+//! First-order optimizers over a [`Params`] store.
+
+use maps_tensor::{Gradients, ParamId, Params, Tensor};
+use std::collections::HashMap;
+
+/// Accumulates (possibly duplicated) parameter gradients from a backward
+/// pass into one tensor per parameter.
+pub fn collect_param_grads(grads: &Gradients) -> HashMap<ParamId, Tensor> {
+    let mut out: HashMap<ParamId, Tensor> = HashMap::new();
+    for (id, g) in grads.param_grads() {
+        out.entry(id)
+            .and_modify(|acc| acc.accumulate(g))
+            .or_insert_with(|| g.clone());
+    }
+    out
+}
+
+/// Plain stochastic gradient descent with optional momentum.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    /// Learning rate.
+    pub lr: f64,
+    /// Momentum coefficient (0 disables).
+    pub momentum: f64,
+    velocity: HashMap<ParamId, Tensor>,
+}
+
+impl Sgd {
+    /// Creates an SGD optimizer.
+    pub fn new(lr: f64, momentum: f64) -> Self {
+        Sgd {
+            lr,
+            momentum,
+            velocity: HashMap::new(),
+        }
+    }
+
+    /// Applies one update step. Gradients for parameters of *other* stores
+    /// (e.g. a frozen forward model in a tandem) are ignored.
+    pub fn step(&mut self, params: &mut Params, grads: &Gradients) {
+        for (id, g) in collect_param_grads(grads) {
+            if !params.owns(id) {
+                continue;
+            }
+            let update = if self.momentum > 0.0 {
+                let v = self
+                    .velocity
+                    .entry(id)
+                    .or_insert_with(|| Tensor::zeros(g.shape()));
+                for (vv, gv) in v.as_mut_slice().iter_mut().zip(g.as_slice()) {
+                    *vv = self.momentum * *vv + gv;
+                }
+                v.clone()
+            } else {
+                g
+            };
+            let p = params.get_mut(id);
+            for (pv, uv) in p.as_mut_slice().iter_mut().zip(update.as_slice()) {
+                *pv -= self.lr * uv;
+            }
+        }
+    }
+}
+
+/// Adam (Kingma & Ba, 2015).
+#[derive(Debug, Clone)]
+pub struct Adam {
+    /// Learning rate.
+    pub lr: f64,
+    /// First-moment decay.
+    pub beta1: f64,
+    /// Second-moment decay.
+    pub beta2: f64,
+    /// Numerical floor.
+    pub eps: f64,
+    t: u64,
+    m: HashMap<ParamId, Tensor>,
+    v: HashMap<ParamId, Tensor>,
+}
+
+impl Adam {
+    /// Creates an Adam optimizer with standard betas.
+    pub fn new(lr: f64) -> Self {
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            m: HashMap::new(),
+            v: HashMap::new(),
+        }
+    }
+
+    /// Applies one update step.
+    pub fn step(&mut self, params: &mut Params, grads: &Gradients) {
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for (id, g) in collect_param_grads(grads) {
+            if !params.owns(id) {
+                continue;
+            }
+            let m = self
+                .m
+                .entry(id)
+                .or_insert_with(|| Tensor::zeros(g.shape()));
+            let v = self
+                .v
+                .entry(id)
+                .or_insert_with(|| Tensor::zeros(g.shape()));
+            let p = params.get_mut(id);
+            for k in 0..g.len() {
+                let gv = g.as_slice()[k];
+                let mv = self.beta1 * m.as_slice()[k] + (1.0 - self.beta1) * gv;
+                let vv = self.beta2 * v.as_slice()[k] + (1.0 - self.beta2) * gv * gv;
+                m.as_mut_slice()[k] = mv;
+                v.as_mut_slice()[k] = vv;
+                let mhat = mv / bc1;
+                let vhat = vv / bc2;
+                p.as_mut_slice()[k] -= self.lr * mhat / (vhat.sqrt() + self.eps);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maps_tensor::Tape;
+
+    fn quadratic_step(params: &mut Params, id: ParamId, opt: &mut dyn FnMut(&mut Params, &Gradients)) -> f64 {
+        // loss = Σ (p − 3)²
+        let mut tape = Tape::new();
+        let p = tape.param(params, id);
+        let t = tape.input(Tensor::full(params.get(id).shape(), 3.0));
+        let d = tape.sub(p, t);
+        let d2 = tape.mul(d, d);
+        let loss = tape.sum(d2);
+        let l = tape.value(loss).item();
+        let grads = tape.backward(loss);
+        opt(params, &grads);
+        l
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut params = Params::new();
+        let id = params.alloc(Tensor::from_vec(&[2], vec![0.0, 10.0]));
+        let mut sgd = Sgd::new(0.1, 0.0);
+        let mut last = f64::INFINITY;
+        for _ in 0..50 {
+            last = quadratic_step(&mut params, id, &mut |p, g| sgd.step(p, g));
+        }
+        assert!(last < 1e-4, "final loss {last}");
+        assert!((params.get(id).as_slice()[0] - 3.0).abs() < 0.02);
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut params = Params::new();
+        let id = params.alloc(Tensor::from_vec(&[3], vec![-5.0, 0.0, 8.0]));
+        let mut adam = Adam::new(0.3);
+        let mut last = f64::INFINITY;
+        for _ in 0..200 {
+            last = quadratic_step(&mut params, id, &mut |p, g| adam.step(p, g));
+        }
+        assert!(last < 1e-3, "final loss {last}");
+    }
+
+    #[test]
+    fn momentum_accelerates_sgd() {
+        let run = |momentum: f64| -> f64 {
+            let mut params = Params::new();
+            let id = params.alloc(Tensor::from_vec(&[1], vec![10.0]));
+            let mut sgd = Sgd::new(0.02, momentum);
+            let mut last = 0.0;
+            for _ in 0..30 {
+                last = quadratic_step(&mut params, id, &mut |p, g| sgd.step(p, g));
+            }
+            last
+        };
+        assert!(run(0.9) < run(0.0), "momentum should converge faster here");
+    }
+
+    #[test]
+    fn duplicate_leaves_accumulate() {
+        // The same parameter registered twice on the tape must receive the
+        // sum of both leaf gradients.
+        let mut params = Params::new();
+        let id = params.alloc(Tensor::from_vec(&[1], vec![2.0]));
+        let mut tape = Tape::new();
+        let a = tape.param(&params, id);
+        let b = tape.param(&params, id);
+        let s = tape.add(a, b); // 2p → d/dp = 2
+        let loss = tape.sum(s);
+        let grads = tape.backward(loss);
+        let collected = collect_param_grads(&grads);
+        assert_eq!(collected[&id].item(), 2.0);
+    }
+}

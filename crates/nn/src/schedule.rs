@@ -1,0 +1,103 @@
+//! Learning-rate schedules for the customizable training procedures of
+//! MAPS-Train (§III-B: pretraining/fine-tuning and multi-stage learning
+//! all lean on LR scheduling).
+
+/// A learning-rate schedule: maps a step index to a multiplier of the base
+/// learning rate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LrSchedule {
+    /// Constant multiplier 1.
+    Constant,
+    /// Linear warmup over `warmup_steps`, then constant.
+    Warmup {
+        /// Steps to ramp from 0 to 1.
+        warmup_steps: usize,
+    },
+    /// Cosine decay from 1 to `floor` over `total_steps`.
+    Cosine {
+        /// Total steps of the decay.
+        total_steps: usize,
+        /// Final multiplier.
+        floor: f64,
+    },
+    /// Step decay: multiply by `gamma` every `every` steps.
+    Step {
+        /// Steps between decays.
+        every: usize,
+        /// Decay factor per stage.
+        gamma: f64,
+    },
+}
+
+impl LrSchedule {
+    /// The multiplier at `step` (0-based).
+    pub fn multiplier(&self, step: usize) -> f64 {
+        match *self {
+            LrSchedule::Constant => 1.0,
+            LrSchedule::Warmup { warmup_steps } => {
+                if warmup_steps == 0 || step >= warmup_steps {
+                    1.0
+                } else {
+                    (step + 1) as f64 / warmup_steps as f64
+                }
+            }
+            LrSchedule::Cosine { total_steps, floor } => {
+                if total_steps == 0 || step >= total_steps {
+                    floor
+                } else {
+                    let progress = step as f64 / total_steps as f64;
+                    floor + (1.0 - floor) * 0.5 * (1.0 + (std::f64::consts::PI * progress).cos())
+                }
+            }
+            LrSchedule::Step { every, gamma } => gamma.powi((step / every.max(1)) as i32),
+        }
+    }
+
+    /// Effective learning rate for a base rate.
+    pub fn lr(&self, base: f64, step: usize) -> f64 {
+        base * self.multiplier(step)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn warmup_ramps_then_holds() {
+        let s = LrSchedule::Warmup { warmup_steps: 4 };
+        assert!((s.multiplier(0) - 0.25).abs() < 1e-12);
+        assert!((s.multiplier(3) - 1.0).abs() < 1e-12);
+        assert_eq!(s.multiplier(100), 1.0);
+    }
+
+    #[test]
+    fn cosine_decays_to_floor() {
+        let s = LrSchedule::Cosine {
+            total_steps: 10,
+            floor: 0.1,
+        };
+        assert!((s.multiplier(0) - 1.0).abs() < 0.05);
+        assert!(s.multiplier(5) < s.multiplier(1));
+        assert!((s.multiplier(10) - 0.1).abs() < 1e-12);
+        assert_eq!(s.multiplier(50), 0.1);
+    }
+
+    #[test]
+    fn step_decay_is_piecewise_constant() {
+        let s = LrSchedule::Step {
+            every: 3,
+            gamma: 0.5,
+        };
+        assert_eq!(s.multiplier(0), 1.0);
+        assert_eq!(s.multiplier(2), 1.0);
+        assert_eq!(s.multiplier(3), 0.5);
+        assert_eq!(s.multiplier(6), 0.25);
+    }
+
+    #[test]
+    fn lr_scales_base() {
+        let s = LrSchedule::Constant;
+        assert_eq!(s.lr(3e-3, 7), 3e-3);
+    }
+}

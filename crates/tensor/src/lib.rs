@@ -1,0 +1,26 @@
+//! # maps-tensor
+//!
+//! Minimal n-dimensional tensors with tape-based reverse-mode autodiff —
+//! the training substrate of MAPS-Train. Supports the ops needed by the
+//! FNO / F-FNO / UNet / NeurOLight reference models: dense and
+//! convolutional layers, activations, pooling/upsampling, channel
+//! plumbing, spectral (Fourier) convolutions with analytic backward, and
+//! data/physics loss heads.
+//!
+//! ```
+//! use maps_tensor::{Tape, Tensor};
+//!
+//! let mut tape = Tape::new();
+//! let x = tape.input(Tensor::from_vec(&[2], vec![1.0, 2.0]));
+//! let y = tape.mul(x, x);
+//! let loss = tape.sum(y);
+//! let grads = tape.backward(loss);
+//! assert_eq!(grads.wrt(x).unwrap().as_slice(), &[2.0, 4.0]);
+//! ```
+
+pub mod spectral;
+pub mod tape;
+pub mod tensor;
+
+pub use tape::{Gradients, ParamId, Params, Tape, Var};
+pub use tensor::{Conv2dSpec, Tensor};

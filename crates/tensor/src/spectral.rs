@@ -1,0 +1,225 @@
+//! Fourier-space convolution kernels for the FNO model family.
+//!
+//! The forward pass transforms each input channel with a 2-D FFT, multiplies
+//! the `2·mh × 2·mw` lowest-frequency "corner" modes by a learned complex
+//! weight per (input-channel, output-channel) pair, and inverse-transforms,
+//! keeping the real part. The backward pass is derived analytically (the
+//! DFT matrix is symmetric, so its adjoint is a conjugated inverse FFT).
+
+use crate::tensor::Tensor;
+use maps_linalg::fft::{fft2, ifft2};
+use maps_linalg::Complex64;
+
+/// Indices of the kept frequency rows/cols: the `m` lowest positive and `m`
+/// lowest negative frequencies.
+fn kept(n: usize, m: usize) -> Vec<usize> {
+    assert!(2 * m <= n, "mode count 2×{m} exceeds extent {n}");
+    (0..m).chain(n - m..n).collect()
+}
+
+fn unpack4(shape: &[usize], what: &str) -> (usize, usize, usize, usize) {
+    assert_eq!(shape.len(), 4, "{what} must be rank 4, got {shape:?}");
+    (shape[0], shape[1], shape[2], shape[3])
+}
+
+/// Forward spectral convolution.
+///
+/// * `x`: `[N, Cin, H, W]` real input.
+/// * `w_re`, `w_im`: `[Cin, Cout, 2mh, 2mw]` complex weight halves.
+///
+/// Returns `[N, Cout, H, W]`.
+pub fn spectral_conv_forward(
+    x: &Tensor,
+    w_re: &Tensor,
+    w_im: &Tensor,
+    mh: usize,
+    mw: usize,
+) -> Tensor {
+    let (n, cin, h, w) = unpack4(x.shape(), "spectral input");
+    let (cin2, cout, kh, kw) = unpack4(w_re.shape(), "spectral weight");
+    assert_eq!(cin, cin2, "spectral channel mismatch");
+    assert_eq!(w_re.shape(), w_im.shape(), "weight halves differ");
+    assert_eq!((kh, kw), (2 * mh, 2 * mw), "weight mode dims mismatch");
+    let rows = kept(h, mh);
+    let cols = kept(w, mw);
+    let hw = h * w;
+
+    // FFT of every input channel.
+    let mut xhat = vec![Complex64::ZERO; n * cin * hw];
+    for nc in 0..n * cin {
+        let src = &x.as_slice()[nc * hw..(nc + 1) * hw];
+        let dst = &mut xhat[nc * hw..(nc + 1) * hw];
+        for (d, s) in dst.iter_mut().zip(src) {
+            *d = Complex64::from_re(*s);
+        }
+        fft2(dst, h, w);
+    }
+
+    let mut out = Tensor::zeros(&[n, cout, h, w]);
+    let wr = w_re.as_slice();
+    let wi = w_im.as_slice();
+    let mut yhat = vec![Complex64::ZERO; hw];
+    for in_ in 0..n {
+        for co in 0..cout {
+            for z in yhat.iter_mut() {
+                *z = Complex64::ZERO;
+            }
+            for ci in 0..cin {
+                let xoff = (in_ * cin + ci) * hw;
+                let woff = (ci * cout + co) * kh * kw;
+                for (ri, &r) in rows.iter().enumerate() {
+                    for (ci2, &c) in cols.iter().enumerate() {
+                        let widx = woff + ri * kw + ci2;
+                        let wv = Complex64::new(wr[widx], wi[widx]);
+                        yhat[r * w + c] += xhat[xoff + r * w + c] * wv;
+                    }
+                }
+            }
+            ifft2(&mut yhat, h, w);
+            let dst = &mut out.as_mut_slice()[(in_ * cout + co) * hw..(in_ * cout + co + 1) * hw];
+            for (d, z) in dst.iter_mut().zip(&yhat) {
+                *d = z.re;
+            }
+        }
+    }
+    out
+}
+
+/// Backward pass of [`spectral_conv_forward`].
+///
+/// Returns `(grad_x, grad_w_re, grad_w_im)`.
+pub fn spectral_conv_backward(
+    grad_out: &Tensor,
+    x: &Tensor,
+    w_re: &Tensor,
+    w_im: &Tensor,
+    mh: usize,
+    mw: usize,
+) -> (Tensor, Tensor, Tensor) {
+    let (n, cin, h, w) = unpack4(x.shape(), "spectral input");
+    let (_, cout, kh, kw) = unpack4(w_re.shape(), "spectral weight");
+    let rows = kept(h, mh);
+    let cols = kept(w, mw);
+    let hw = h * w;
+    let scale = (h * w) as f64;
+
+    // Recompute the forward FFTs of x (cheap relative to storing them).
+    let mut xhat = vec![Complex64::ZERO; n * cin * hw];
+    for nc in 0..n * cin {
+        let src = &x.as_slice()[nc * hw..(nc + 1) * hw];
+        let dst = &mut xhat[nc * hw..(nc + 1) * hw];
+        for (d, s) in dst.iter_mut().zip(src) {
+            *d = Complex64::from_re(*s);
+        }
+        fft2(dst, h, w);
+    }
+
+    // Gradient carrier G_Y = conj(IFFT2(g)) per output channel.
+    let mut gy = vec![Complex64::ZERO; n * cout * hw];
+    for nc in 0..n * cout {
+        let src = &grad_out.as_slice()[nc * hw..(nc + 1) * hw];
+        let dst = &mut gy[nc * hw..(nc + 1) * hw];
+        for (d, s) in dst.iter_mut().zip(src) {
+            *d = Complex64::from_re(*s);
+        }
+        ifft2(dst, h, w);
+        for z in dst.iter_mut() {
+            *z = z.conj();
+        }
+    }
+
+    let wr = w_re.as_slice();
+    let wi = w_im.as_slice();
+    let mut grad_wr = Tensor::zeros(w_re.shape());
+    let mut grad_wi = Tensor::zeros(w_im.shape());
+    let mut grad_x = Tensor::zeros(x.shape());
+    let mut gx_hat = vec![Complex64::ZERO; hw];
+
+    for in_ in 0..n {
+        for ci in 0..cin {
+            for z in gx_hat.iter_mut() {
+                *z = Complex64::ZERO;
+            }
+            let xoff = (in_ * cin + ci) * hw;
+            for co in 0..cout {
+                let goff = (in_ * cout + co) * hw;
+                let woff = (ci * cout + co) * kh * kw;
+                for (ri, &r) in rows.iter().enumerate() {
+                    for (ci2, &c) in cols.iter().enumerate() {
+                        let widx = woff + ri * kw + ci2;
+                        let wv = Complex64::new(wr[widx], wi[widx]);
+                        let g = gy[goff + r * w + c];
+                        // G_X += conj(W)·G_Y ; G_W += conj(X)·G_Y
+                        gx_hat[r * w + c] += wv.conj() * g;
+                        let gw = xhat[xoff + r * w + c].conj() * g;
+                        grad_wr.as_mut_slice()[widx] += gw.re;
+                        grad_wi.as_mut_slice()[widx] += gw.im;
+                    }
+                }
+            }
+            // dL/dx = Re(H·W·IFFT2(G_X))
+            ifft2(&mut gx_hat, h, w);
+            let dst = &mut grad_x.as_mut_slice()[xoff..xoff + hw];
+            for (d, z) in dst.iter_mut().zip(&gx_hat) {
+                *d = z.re * scale;
+            }
+        }
+    }
+    (grad_x, grad_wr, grad_wi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_weight_on_all_modes_is_identity_map() {
+        // Keeping every mode (2m = extent) with weight 1+0i reproduces x.
+        let (h, w) = (4, 4);
+        let x = Tensor::from_vec(
+            &[1, 1, h, w],
+            (0..h * w).map(|k| (k as f64 * 0.37).sin()).collect(),
+        );
+        let wr = Tensor::full(&[1, 1, h, w], 1.0);
+        let wi = Tensor::zeros(&[1, 1, h, w]);
+        let y = spectral_conv_forward(&x, &wr, &wi, h / 2, w / 2);
+        for (a, b) in x.as_slice().iter().zip(y.as_slice()) {
+            assert!((a - b).abs() < 1e-10, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn truncation_removes_high_frequencies() {
+        // A pure Nyquist-frequency signal is outside the kept corner modes
+        // when m is small, so the output is (nearly) zero.
+        let (h, w) = (8, 8);
+        let x = Tensor::from_vec(
+            &[1, 1, h, w],
+            (0..h * w)
+                .map(|k| if (k / w + k % w) % 2 == 0 { 1.0 } else { -1.0 })
+                .collect(),
+        );
+        let wr = Tensor::full(&[1, 1, 2, 2], 1.0);
+        let wi = Tensor::zeros(&[1, 1, 2, 2]);
+        let y = spectral_conv_forward(&x, &wr, &wi, 1, 1);
+        assert!(y.norm_sqr() < 1e-18, "residual {}", y.norm_sqr());
+    }
+
+    #[test]
+    fn output_shape_has_cout_channels() {
+        let x = Tensor::zeros(&[2, 3, 8, 8]);
+        let wr = Tensor::zeros(&[3, 5, 4, 4]);
+        let wi = Tensor::zeros(&[3, 5, 4, 4]);
+        let y = spectral_conv_forward(&x, &wr, &wi, 2, 2);
+        assert_eq!(y.shape(), &[2, 5, 8, 8]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds extent")]
+    fn too_many_modes_panics() {
+        let x = Tensor::zeros(&[1, 1, 4, 4]);
+        let wr = Tensor::zeros(&[1, 1, 6, 6]);
+        let wi = Tensor::zeros(&[1, 1, 6, 6]);
+        spectral_conv_forward(&x, &wr, &wi, 3, 3);
+    }
+}

@@ -1,0 +1,583 @@
+//! Dense n-dimensional tensors of `f64`.
+//!
+//! The layout is row-major ("C order"); convolutional tensors use the
+//! `[N, C, H, W]` convention. These are the raw values the autodiff tape in
+//! [`crate::tape`] differentiates through.
+
+use std::fmt;
+
+/// A dense row-major tensor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor {
+    shape: Vec<usize>,
+    data: Vec<f64>,
+}
+
+impl Tensor {
+    /// Creates a tensor of zeros.
+    pub fn zeros(shape: &[usize]) -> Self {
+        let len = shape.iter().product();
+        Tensor {
+            shape: shape.to_vec(),
+            data: vec![0.0; len],
+        }
+    }
+
+    /// Creates a tensor filled with `value`.
+    pub fn full(shape: &[usize], value: f64) -> Self {
+        let len = shape.iter().product();
+        Tensor {
+            shape: shape.to_vec(),
+            data: vec![value; len],
+        }
+    }
+
+    /// Creates a tensor from a shape and row-major data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the element count does not match the shape.
+    pub fn from_vec(shape: &[usize], data: Vec<f64>) -> Self {
+        assert_eq!(
+            shape.iter().product::<usize>(),
+            data.len(),
+            "tensor shape/data mismatch"
+        );
+        Tensor {
+            shape: shape.to_vec(),
+            data,
+        }
+    }
+
+    /// A scalar (rank-0) tensor.
+    pub fn scalar(value: f64) -> Self {
+        Tensor {
+            shape: vec![],
+            data: vec![value],
+        }
+    }
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Returns `true` when the tensor has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Borrow of the row-major data.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable borrow of the row-major data.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor, returning the data.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// The single value of a scalar or one-element tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor has more than one element.
+    pub fn item(&self) -> f64 {
+        assert_eq!(self.data.len(), 1, "item() requires a single-element tensor");
+        self.data[0]
+    }
+
+    /// Returns a reshaped view copy with the same number of elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the element counts disagree.
+    pub fn reshape(&self, shape: &[usize]) -> Tensor {
+        Tensor::from_vec(shape, self.data.clone())
+    }
+
+    /// Elementwise binary map against a same-shape tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn zip_map(&self, other: &Tensor, f: impl Fn(f64, f64) -> f64) -> Tensor {
+        assert_eq!(self.shape, other.shape, "zip_map shape mismatch");
+        Tensor {
+            shape: self.shape.clone(),
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(a, b)| f(*a, *b))
+                .collect(),
+        }
+    }
+
+    /// Elementwise unary map.
+    pub fn map(&self, f: impl Fn(f64) -> f64) -> Tensor {
+        Tensor {
+            shape: self.shape.clone(),
+            data: self.data.iter().map(|a| f(*a)).collect(),
+        }
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f64 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all elements.
+    pub fn mean(&self) -> f64 {
+        self.sum() / self.data.len() as f64
+    }
+
+    /// Squared L2 norm.
+    pub fn norm_sqr(&self) -> f64 {
+        self.data.iter().map(|x| x * x).sum()
+    }
+
+    /// In-place accumulation `self += other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn accumulate(&mut self, other: &Tensor) {
+        assert_eq!(self.shape, other.shape, "accumulate shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+}
+
+impl fmt::Display for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor{:?} ({} elements)", self.shape, self.data.len())
+    }
+}
+
+/// 2-D matrix multiply: `[m, k] × [k, n] → [m, n]`.
+///
+/// # Panics
+///
+/// Panics if either input is not rank-2 or inner dimensions disagree.
+pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.shape().len(), 2, "matmul lhs must be rank 2");
+    assert_eq!(b.shape().len(), 2, "matmul rhs must be rank 2");
+    let (m, k) = (a.shape()[0], a.shape()[1]);
+    let (k2, n) = (b.shape()[0], b.shape()[1]);
+    assert_eq!(k, k2, "matmul inner dimension mismatch");
+    let mut out = vec![0.0; m * n];
+    let ad = a.as_slice();
+    let bd = b.as_slice();
+    for i in 0..m {
+        for p in 0..k {
+            let av = ad[i * k + p];
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &bd[p * n..(p + 1) * n];
+            let orow = &mut out[i * n..(i + 1) * n];
+            for (o, bv) in orow.iter_mut().zip(brow) {
+                *o += av * bv;
+            }
+        }
+    }
+    Tensor::from_vec(&[m, n], out)
+}
+
+/// Parameters of a 2-D convolution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Conv2dSpec {
+    /// Zero padding applied symmetrically to H and W.
+    pub padding: usize,
+    /// Stride along both spatial dimensions.
+    pub stride: usize,
+}
+
+impl Default for Conv2dSpec {
+    fn default() -> Self {
+        Conv2dSpec {
+            padding: 1,
+            stride: 1,
+        }
+    }
+}
+
+impl Conv2dSpec {
+    /// Output spatial size for an input extent `n` and kernel extent `k`.
+    pub fn out_extent(&self, n: usize, k: usize) -> usize {
+        (n + 2 * self.padding - k) / self.stride + 1
+    }
+}
+
+/// Direct 2-D convolution (cross-correlation): input `[N, Cin, H, W]`,
+/// weight `[Cout, Cin, Kh, Kw]` → `[N, Cout, Ho, Wo]`.
+///
+/// # Panics
+///
+/// Panics on rank or channel mismatches.
+pub fn conv2d(x: &Tensor, w: &Tensor, spec: Conv2dSpec) -> Tensor {
+    let (n, cin, h, wd) = unpack4(x.shape(), "conv2d input");
+    let (cout, cin2, kh, kw) = unpack4(w.shape(), "conv2d weight");
+    assert_eq!(cin, cin2, "conv2d channel mismatch");
+    let ho = spec.out_extent(h, kh);
+    let wo = spec.out_extent(wd, kw);
+    let mut out = Tensor::zeros(&[n, cout, ho, wo]);
+    let xd = x.as_slice();
+    let wdat = w.as_slice();
+    let od = out.as_mut_slice();
+    let pad = spec.padding as isize;
+    for in_ in 0..n {
+        for co in 0..cout {
+            for ci in 0..cin {
+                let xoff = (in_ * cin + ci) * h * wd;
+                let woff = (co * cin + ci) * kh * kw;
+                for oy in 0..ho {
+                    let base_iy = (oy * spec.stride) as isize - pad;
+                    for ky in 0..kh {
+                        let iy = base_iy + ky as isize;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        let xrow = xoff + iy as usize * wd;
+                        let wrow = woff + ky * kw;
+                        let orow = ((in_ * cout + co) * ho + oy) * wo;
+                        for ox in 0..wo {
+                            let base_ix = (ox * spec.stride) as isize - pad;
+                            let mut acc = 0.0;
+                            for kx in 0..kw {
+                                let ix = base_ix + kx as isize;
+                                if ix < 0 || ix >= wd as isize {
+                                    continue;
+                                }
+                                acc += xd[xrow + ix as usize] * wdat[wrow + kx];
+                            }
+                            od[orow + ox] += acc;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Gradient of [`conv2d`] with respect to the input.
+pub fn conv2d_backward_input(
+    grad_out: &Tensor,
+    w: &Tensor,
+    input_shape: &[usize],
+    spec: Conv2dSpec,
+) -> Tensor {
+    let (n, cin, h, wd) = unpack4(input_shape, "conv2d input");
+    let (cout, _cin, kh, kw) = unpack4(w.shape(), "conv2d weight");
+    let (gn, gcout, ho, wo) = unpack4(grad_out.shape(), "conv2d grad");
+    assert_eq!((gn, gcout), (n, cout), "conv2d grad shape mismatch");
+    let mut gx = Tensor::zeros(input_shape);
+    let gxd = gx.as_mut_slice();
+    let god = grad_out.as_slice();
+    let wdat = w.as_slice();
+    let pad = spec.padding as isize;
+    for in_ in 0..n {
+        for co in 0..cout {
+            for ci in 0..cin {
+                let xoff = (in_ * cin + ci) * h * wd;
+                let woff = (co * cin + ci) * kh * kw;
+                for oy in 0..ho {
+                    let base_iy = (oy * spec.stride) as isize - pad;
+                    let orow = ((in_ * cout + co) * ho + oy) * wo;
+                    for ky in 0..kh {
+                        let iy = base_iy + ky as isize;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        let xrow = xoff + iy as usize * wd;
+                        let wrow = woff + ky * kw;
+                        for ox in 0..wo {
+                            let g = god[orow + ox];
+                            if g == 0.0 {
+                                continue;
+                            }
+                            let base_ix = (ox * spec.stride) as isize - pad;
+                            for kx in 0..kw {
+                                let ix = base_ix + kx as isize;
+                                if ix < 0 || ix >= wd as isize {
+                                    continue;
+                                }
+                                gxd[xrow + ix as usize] += g * wdat[wrow + kx];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    gx
+}
+
+/// Gradient of [`conv2d`] with respect to the weight.
+pub fn conv2d_backward_weight(
+    grad_out: &Tensor,
+    x: &Tensor,
+    weight_shape: &[usize],
+    spec: Conv2dSpec,
+) -> Tensor {
+    let (n, cin, h, wd) = unpack4(x.shape(), "conv2d input");
+    let (cout, _cin, kh, kw) = unpack4(weight_shape, "conv2d weight");
+    let (_, _, ho, wo) = unpack4(grad_out.shape(), "conv2d grad");
+    let mut gw = Tensor::zeros(weight_shape);
+    let gwd = gw.as_mut_slice();
+    let god = grad_out.as_slice();
+    let xd = x.as_slice();
+    let pad = spec.padding as isize;
+    for in_ in 0..n {
+        for co in 0..cout {
+            for ci in 0..cin {
+                let xoff = (in_ * cin + ci) * h * wd;
+                let woff = (co * cin + ci) * kh * kw;
+                for oy in 0..ho {
+                    let base_iy = (oy * spec.stride) as isize - pad;
+                    let orow = ((in_ * cout + co) * ho + oy) * wo;
+                    for ky in 0..kh {
+                        let iy = base_iy + ky as isize;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        let xrow = xoff + iy as usize * wd;
+                        let wrow = woff + ky * kw;
+                        for ox in 0..wo {
+                            let g = god[orow + ox];
+                            if g == 0.0 {
+                                continue;
+                            }
+                            let base_ix = (ox * spec.stride) as isize - pad;
+                            for kx in 0..kw {
+                                let ix = base_ix + kx as isize;
+                                if ix < 0 || ix >= wd as isize {
+                                    continue;
+                                }
+                                gwd[wrow + kx] += g * xd[xrow + ix as usize];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    gw
+}
+
+fn unpack4(shape: &[usize], what: &str) -> (usize, usize, usize, usize) {
+    assert_eq!(shape.len(), 4, "{what} must be rank 4, got {shape:?}");
+    (shape[0], shape[1], shape[2], shape[3])
+}
+
+/// 2×2 average pooling on `[N, C, H, W]` (H and W must be even).
+pub fn avg_pool2(x: &Tensor) -> Tensor {
+    let (n, c, h, w) = unpack4(x.shape(), "avg_pool2 input");
+    assert!(h % 2 == 0 && w % 2 == 0, "avg_pool2 requires even extents");
+    let (ho, wo) = (h / 2, w / 2);
+    let mut out = Tensor::zeros(&[n, c, ho, wo]);
+    let xd = x.as_slice();
+    let od = out.as_mut_slice();
+    for nc in 0..n * c {
+        let xoff = nc * h * w;
+        let ooff = nc * ho * wo;
+        for oy in 0..ho {
+            for ox in 0..wo {
+                let i0 = xoff + (2 * oy) * w + 2 * ox;
+                let s = xd[i0] + xd[i0 + 1] + xd[i0 + w] + xd[i0 + w + 1];
+                od[ooff + oy * wo + ox] = s * 0.25;
+            }
+        }
+    }
+    out
+}
+
+/// Gradient of [`avg_pool2`].
+pub fn avg_pool2_backward(grad_out: &Tensor, input_shape: &[usize]) -> Tensor {
+    let (n, c, h, w) = unpack4(input_shape, "avg_pool2 input");
+    let (ho, wo) = (h / 2, w / 2);
+    let mut gx = Tensor::zeros(input_shape);
+    let gd = grad_out.as_slice();
+    let gxd = gx.as_mut_slice();
+    for nc in 0..n * c {
+        let xoff = nc * h * w;
+        let ooff = nc * ho * wo;
+        for oy in 0..ho {
+            for ox in 0..wo {
+                let g = gd[ooff + oy * wo + ox] * 0.25;
+                let i0 = xoff + (2 * oy) * w + 2 * ox;
+                gxd[i0] += g;
+                gxd[i0 + 1] += g;
+                gxd[i0 + w] += g;
+                gxd[i0 + w + 1] += g;
+            }
+        }
+    }
+    gx
+}
+
+/// Nearest-neighbour 2× upsampling on `[N, C, H, W]`.
+pub fn upsample2(x: &Tensor) -> Tensor {
+    let (n, c, h, w) = unpack4(x.shape(), "upsample2 input");
+    let (ho, wo) = (h * 2, w * 2);
+    let mut out = Tensor::zeros(&[n, c, ho, wo]);
+    let xd = x.as_slice();
+    let od = out.as_mut_slice();
+    for nc in 0..n * c {
+        let xoff = nc * h * w;
+        let ooff = nc * ho * wo;
+        for oy in 0..ho {
+            for ox in 0..wo {
+                od[ooff + oy * wo + ox] = xd[xoff + (oy / 2) * w + ox / 2];
+            }
+        }
+    }
+    out
+}
+
+/// Gradient of [`upsample2`].
+pub fn upsample2_backward(grad_out: &Tensor, input_shape: &[usize]) -> Tensor {
+    let (n, c, h, w) = unpack4(input_shape, "upsample2 input");
+    let (ho, wo) = (h * 2, w * 2);
+    let mut gx = Tensor::zeros(input_shape);
+    let gd = grad_out.as_slice();
+    let gxd = gx.as_mut_slice();
+    for nc in 0..n * c {
+        let xoff = nc * h * w;
+        let ooff = nc * ho * wo;
+        for oy in 0..ho {
+            for ox in 0..wo {
+                gxd[xoff + (oy / 2) * w + ox / 2] += gd[ooff + oy * wo + ox];
+            }
+        }
+    }
+    gx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_identity() {
+        let a = Tensor::from_vec(&[2, 2], vec![1.0, 0.0, 0.0, 1.0]);
+        let b = Tensor::from_vec(&[2, 3], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(matmul(&a, &b), b);
+    }
+
+    #[test]
+    fn conv2d_identity_kernel() {
+        // 1×1 kernel of value 1 is the identity map.
+        let x = Tensor::from_vec(&[1, 1, 2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        let w = Tensor::from_vec(&[1, 1, 1, 1], vec![1.0]);
+        let y = conv2d(&x, &w, Conv2dSpec { padding: 0, stride: 1 });
+        assert_eq!(y.as_slice(), x.as_slice());
+    }
+
+    #[test]
+    fn conv2d_3x3_sum_kernel() {
+        // All-ones 3×3 kernel with same padding computes neighbourhood sums.
+        let x = Tensor::from_vec(&[1, 1, 3, 3], (1..=9).map(|v| v as f64).collect());
+        let w = Tensor::full(&[1, 1, 3, 3], 1.0);
+        let y = conv2d(&x, &w, Conv2dSpec { padding: 1, stride: 1 });
+        // Centre output = sum of all 9 = 45.
+        assert_eq!(y.as_slice()[4], 45.0);
+        // Corner output = 1+2+4+5 = 12.
+        assert_eq!(y.as_slice()[0], 12.0);
+    }
+
+    #[test]
+    fn conv2d_stride_two_shape() {
+        let x = Tensor::zeros(&[2, 3, 8, 8]);
+        let w = Tensor::zeros(&[4, 3, 3, 3]);
+        let y = conv2d(&x, &w, Conv2dSpec { padding: 1, stride: 2 });
+        assert_eq!(y.shape(), &[2, 4, 4, 4]);
+    }
+
+    /// Finite-difference check of the convolution gradients.
+    #[test]
+    fn conv2d_gradients_match_finite_difference() {
+        let spec = Conv2dSpec { padding: 1, stride: 1 };
+        let xs = [1usize, 2, 5, 4];
+        let ws = [3usize, 2, 3, 3];
+        let mut x = Tensor::zeros(&xs);
+        let mut w = Tensor::zeros(&ws);
+        for (k, v) in x.as_mut_slice().iter_mut().enumerate() {
+            *v = ((k * 37 % 11) as f64 - 5.0) * 0.1;
+        }
+        for (k, v) in w.as_mut_slice().iter_mut().enumerate() {
+            *v = ((k * 53 % 13) as f64 - 6.0) * 0.07;
+        }
+        // Loss = sum of outputs, so grad_out = ones.
+        let y = conv2d(&x, &w, spec);
+        let go = Tensor::full(y.shape(), 1.0);
+        let gx = conv2d_backward_input(&go, &w, x.shape(), spec);
+        let gw = conv2d_backward_weight(&go, &x, w.shape(), spec);
+        let h = 1e-6;
+        for probe in [0usize, 7, 19] {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[probe] += h;
+            let fp = conv2d(&xp, &w, spec).sum();
+            let mut xm = x.clone();
+            xm.as_mut_slice()[probe] -= h;
+            let fm = conv2d(&xm, &w, spec).sum();
+            let fd = (fp - fm) / (2.0 * h);
+            assert!((fd - gx.as_slice()[probe]).abs() < 1e-6, "input grad at {probe}");
+        }
+        for probe in [0usize, 10, 26] {
+            let mut wp = w.clone();
+            wp.as_mut_slice()[probe] += h;
+            let fp = conv2d(&x, &wp, spec).sum();
+            let mut wm = w.clone();
+            wm.as_mut_slice()[probe] -= h;
+            let fm = conv2d(&x, &wm, spec).sum();
+            let fd = (fp - fm) / (2.0 * h);
+            assert!((fd - gw.as_slice()[probe]).abs() < 1e-6, "weight grad at {probe}");
+        }
+    }
+
+    #[test]
+    fn pool_and_upsample_roundtrip_shapes() {
+        let x = Tensor::from_vec(&[1, 1, 2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        let p = avg_pool2(&x);
+        assert_eq!(p.shape(), &[1, 1, 1, 1]);
+        assert_eq!(p.item(), 2.5);
+        let u = upsample2(&p);
+        assert_eq!(u.shape(), &[1, 1, 2, 2]);
+        assert!(u.as_slice().iter().all(|v| *v == 2.5));
+    }
+
+    #[test]
+    fn pool_backward_distributes_evenly() {
+        let g = Tensor::from_vec(&[1, 1, 1, 1], vec![4.0]);
+        let gx = avg_pool2_backward(&g, &[1, 1, 2, 2]);
+        assert!(gx.as_slice().iter().all(|v| *v == 1.0));
+    }
+
+    #[test]
+    fn upsample_backward_sums_children() {
+        let g = Tensor::full(&[1, 1, 2, 2], 1.0);
+        let gx = upsample2_backward(&g, &[1, 1, 1, 1]);
+        assert_eq!(gx.item(), 4.0);
+    }
+
+    #[test]
+    fn accumulate_adds() {
+        let mut a = Tensor::full(&[3], 1.0);
+        a.accumulate(&Tensor::full(&[3], 2.0));
+        assert_eq!(a.as_slice(), &[3.0, 3.0, 3.0]);
+    }
+}

@@ -1,0 +1,97 @@
+//! Property-based tests of tensor ops and the autodiff tape.
+
+use maps_tensor::{Tape, Tensor};
+use proptest::prelude::*;
+
+fn tensor_strategy(len: usize) -> impl Strategy<Value = Tensor> {
+    prop::collection::vec(-3.0..3.0f64, len).prop_map(move |v| Tensor::from_vec(&[len], v))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// d(sum(a ⊙ b))/da = b for any tensors.
+    #[test]
+    fn mul_gradient_is_other_operand(
+        a in tensor_strategy(12),
+        b in tensor_strategy(12),
+    ) {
+        let mut tape = Tape::new();
+        let av = tape.input(a);
+        let bv = tape.input(b.clone());
+        let prod = tape.mul(av, bv);
+        let loss = tape.sum(prod);
+        let grads = tape.backward(loss);
+        let ga = grads.wrt(av).unwrap();
+        for (g, bb) in ga.as_slice().iter().zip(b.as_slice()) {
+            prop_assert!((g - bb).abs() < 1e-12);
+        }
+    }
+
+    /// The gradient of a linear graph is independent of the input value.
+    #[test]
+    fn linear_graph_gradient_constant(
+        a in tensor_strategy(8),
+        k in -5.0..5.0f64,
+    ) {
+        let grad_of = |t: &Tensor| -> Vec<f64> {
+            let mut tape = Tape::new();
+            let x = tape.input(t.clone());
+            let y = tape.scale(x, k);
+            let z = tape.add_scalar(y, 1.0);
+            let loss = tape.sum(z);
+            tape.backward(loss).wrt(x).unwrap().as_slice().to_vec()
+        };
+        let g1 = grad_of(&a);
+        let g2 = grad_of(&a.map(|v| v + 1.0));
+        for (p, q) in g1.iter().zip(&g2) {
+            prop_assert!((p - q).abs() < 1e-12);
+            prop_assert!((p - k).abs() < 1e-12);
+        }
+    }
+
+    /// NMSE is zero iff prediction equals target, and equals 1 for the zero
+    /// predictor.
+    #[test]
+    fn nmse_fixed_points(t in tensor_strategy(10)) {
+        prop_assume!(t.norm_sqr() > 1e-6);
+        let mut tape = Tape::new();
+        let pred = tape.input(t.clone());
+        let target = tape.input(t.clone());
+        let loss = tape.nmse(pred, target);
+        prop_assert!(tape.value(loss).item().abs() < 1e-12);
+
+        let mut tape2 = Tape::new();
+        let zero = tape2.input(Tensor::zeros(t.shape()));
+        let target2 = tape2.input(t.clone());
+        let loss2 = tape2.nmse(zero, target2);
+        prop_assert!((tape2.value(loss2).item() - 1.0).abs() < 1e-9);
+    }
+
+    /// relu + neg-relu reconstructs the input: relu(x) − relu(−x) = x.
+    #[test]
+    fn relu_decomposition(t in tensor_strategy(9)) {
+        let mut tape = Tape::new();
+        let x = tape.input(t.clone());
+        let neg = tape.scale(x, -1.0);
+        let pos_part = tape.relu(x);
+        let neg_part = tape.relu(neg);
+        let reconstructed = tape.sub(pos_part, neg_part);
+        for (a, b) in tape.value(reconstructed).as_slice().iter().zip(t.as_slice()) {
+            prop_assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    /// Gradient accumulation: using a variable twice doubles its gradient.
+    #[test]
+    fn fanout_gradient_accumulates(t in tensor_strategy(6)) {
+        let mut tape = Tape::new();
+        let x = tape.input(t.clone());
+        let doubled = tape.add(x, x);
+        let loss = tape.sum(doubled);
+        let g = tape.backward(loss);
+        for v in g.wrt(x).unwrap().as_slice() {
+            prop_assert!((v - 2.0).abs() < 1e-12);
+        }
+    }
+}

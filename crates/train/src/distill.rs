@@ -1,0 +1,219 @@
+//! Knowledge distillation and fine-tuning workflows (paper §III-B:
+//! "flexible training workflows … such as multi-task learning,
+//! distillation, pretraining and fine-tuning").
+
+use crate::featurize::{encode_input, FieldNormalizer};
+use crate::loader::LoaderConfig;
+use crate::metrics::mean;
+use crate::trainer::{EpochRecord, TrainReport};
+use maps_core::Sample;
+use maps_nn::{Adam, Model};
+use maps_tensor::{Params, Tape};
+
+/// Distillation configuration.
+#[derive(Debug, Clone)]
+pub struct DistillConfig {
+    /// Epochs of student training.
+    pub epochs: usize,
+    /// Adam learning rate for the student.
+    pub learning_rate: f64,
+    /// Weight of the hard (ground-truth) loss; the soft (teacher) loss
+    /// gets `1 − hard_weight`.
+    pub hard_weight: f64,
+    /// Loader settings.
+    pub loader: LoaderConfig,
+}
+
+impl Default for DistillConfig {
+    fn default() -> Self {
+        DistillConfig {
+            epochs: 10,
+            learning_rate: 2e-3,
+            hard_weight: 0.5,
+            loader: LoaderConfig::default(),
+        }
+    }
+}
+
+/// Trains a student field model against a frozen teacher plus ground-truth
+/// labels: `L = w·NMSE(student, truth) + (1−w)·NMSE(student, teacher)`.
+///
+/// Teacher and student may have different input encodings (e.g. a
+/// NeurOLight teacher with wave priors distilled into a plain FNO student);
+/// each sees its own featurization of the same sample.
+///
+/// # Panics
+///
+/// Panics if `samples` is empty.
+pub fn distill_field_model(
+    teacher: &dyn Model,
+    teacher_params: &Params,
+    student: &dyn Model,
+    student_params: &mut Params,
+    samples: &[Sample],
+    config: &DistillConfig,
+) -> TrainReport {
+    assert!(!samples.is_empty(), "empty distillation set");
+    let normalizer = FieldNormalizer::fit(samples);
+    let mut adam = Adam::new(config.learning_rate);
+    let mut epochs = Vec::with_capacity(config.epochs);
+    // Precompute teacher predictions once (the teacher is frozen).
+    let teacher_preds: Vec<maps_tensor::Tensor> = samples
+        .iter()
+        .map(|s| {
+            let omega = maps_core::omega_for_wavelength(s.labels.wavelength);
+            let input = encode_input(&s.eps_r, &s.source, omega, teacher.wants_wave_prior());
+            let mut tape = Tape::new();
+            let x = tape.input(input);
+            let y = teacher.forward(&mut tape, teacher_params, x);
+            tape.value(y).clone()
+        })
+        .collect();
+
+    for epoch in 0..config.epochs {
+        let mut losses = Vec::new();
+        // Per-sample steps keep the teacher-prediction pairing simple.
+        for (sample, soft_target) in samples.iter().zip(&teacher_preds) {
+            let (input, hard_target) =
+                crate::featurize::encode_sample(sample, student.wants_wave_prior(), normalizer);
+            let mut tape = Tape::new();
+            let x = tape.input(input);
+            let pred = student.forward(&mut tape, student_params, x);
+            let hard = tape.input(hard_target);
+            let l_hard = tape.nmse(pred, hard);
+            // Teacher predictions share the student's target convention
+            // only if their normalizers match; rescale via the sample's
+            // source peak exactly like encode_sample does.
+            let soft = tape.input(soft_target.clone());
+            let l_soft = tape.nmse(pred, soft);
+            let wh = tape.scale(l_hard, config.hard_weight);
+            let ws = tape.scale(l_soft, 1.0 - config.hard_weight);
+            let loss = tape.add(wh, ws);
+            losses.push(tape.value(loss).item());
+            let grads = tape.backward(loss);
+            adam.step(student_params, &grads);
+        }
+        epochs.push(EpochRecord {
+            epoch,
+            loss: mean(&losses),
+        });
+    }
+    TrainReport { epochs, normalizer }
+}
+
+/// Fine-tunes a pretrained model on a new sample set with a reduced
+/// learning rate — the pretrain-then-adapt workflow (e.g. pretrain on
+/// cheap low-fidelity data, fine-tune on scarce high-fidelity data).
+pub fn fine_tune(
+    model: &dyn Model,
+    params: &mut Params,
+    samples: &[Sample],
+    epochs: usize,
+    learning_rate: f64,
+) -> TrainReport {
+    crate::trainer::train_field_model(
+        model,
+        params,
+        samples,
+        &crate::trainer::TrainConfig {
+            epochs,
+            learning_rate,
+            ..Default::default()
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maps_core::{ComplexField2d, EmFields, Fidelity, Grid2d, RealField2d, RichLabels};
+    use maps_linalg::Complex64;
+    use maps_nn::{Fno, FnoConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn samples(n: usize) -> Vec<Sample> {
+        let g = Grid2d::new(12, 12, 0.1);
+        (0..n)
+            .map(|k| {
+                let mut src = ComplexField2d::zeros(g);
+                src.set(3 + (k % 3), 6, Complex64::ONE);
+                let mut ez = ComplexField2d::zeros(g);
+                for iy in 0..12 {
+                    for ix in 0..12 {
+                        let d = (ix as f64 - 6.0).hypot(iy as f64 - 6.0);
+                        ez.set(ix, iy, Complex64::new((-d * 0.4).exp(), 0.0));
+                    }
+                }
+                Sample {
+                    device_id: format!("d{k}"),
+                    device_kind: "synthetic".into(),
+                    eps_r: RealField2d::constant(g, 2.0),
+                    density: None,
+                    source: src,
+                    labels: RichLabels {
+                        fidelity: Fidelity::Low,
+                        wavelength: 1.55,
+                        input_port: 0,
+                        input_mode: 0,
+                        transmissions: vec![],
+                        reflection: 0.0,
+                        radiation: 0.0,
+                        fields: EmFields {
+                            ez,
+                            hx: ComplexField2d::zeros(g),
+                            hy: ComplexField2d::zeros(g),
+                        },
+                        adjoint_gradient: None,
+                        maxwell_residual: 0.0,
+                    },
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn distillation_reduces_student_loss() {
+        let data = samples(4);
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut tp = Params::new();
+        let teacher = Fno::new(&mut tp, &mut rng, FnoConfig {
+            in_channels: 4, out_channels: 2, width: 6, modes: 3, depth: 2,
+        });
+        let mut sp = Params::new();
+        let student = Fno::new(&mut sp, &mut rng, FnoConfig {
+            in_channels: 4, out_channels: 2, width: 4, modes: 2, depth: 1,
+        });
+        let report = distill_field_model(
+            &teacher,
+            &tp,
+            &student,
+            &mut sp,
+            &data,
+            &DistillConfig {
+                epochs: 8,
+                learning_rate: 5e-3,
+                hard_weight: 0.7,
+                ..Default::default()
+            },
+        );
+        assert!(
+            report.final_loss() < report.epochs[0].loss,
+            "distillation should reduce the student loss: {:?}",
+            (report.epochs[0].loss, report.final_loss())
+        );
+    }
+
+    #[test]
+    fn fine_tuning_continues_training() {
+        let data = samples(4);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut params = Params::new();
+        let model = Fno::new(&mut params, &mut rng, FnoConfig {
+            in_channels: 4, out_channels: 2, width: 4, modes: 2, depth: 1,
+        });
+        let pre = fine_tune(&model, &mut params, &data, 4, 4e-3);
+        let post = fine_tune(&model, &mut params, &data, 4, 1e-3);
+        assert!(post.final_loss() <= pre.epochs[0].loss);
+    }
+}

@@ -1,0 +1,223 @@
+//! Exact t-SNE for dataset-distribution visualization (paper Fig. 5b).
+//!
+//! O(N²) implementation — ample for the few hundred design patterns the
+//! figure embeds.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// t-SNE hyper-parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct TsneConfig {
+    /// Target perplexity of the input-space affinities.
+    pub perplexity: f64,
+    /// Gradient-descent iterations.
+    pub iterations: usize,
+    /// Learning rate.
+    pub learning_rate: f64,
+    /// RNG seed for the initial layout.
+    pub seed: u64,
+}
+
+impl Default for TsneConfig {
+    fn default() -> Self {
+        TsneConfig {
+            perplexity: 12.0,
+            iterations: 300,
+            learning_rate: 60.0,
+            seed: 5,
+        }
+    }
+}
+
+/// Embeds high-dimensional points into 2-D with t-SNE.
+///
+/// # Panics
+///
+/// Panics if fewer than 3 points are given or dimensions disagree.
+pub fn tsne(points: &[Vec<f64>], config: &TsneConfig) -> Vec<(f64, f64)> {
+    let n = points.len();
+    assert!(n >= 3, "t-SNE needs at least 3 points");
+    let dim = points[0].len();
+    assert!(points.iter().all(|p| p.len() == dim), "dimension mismatch");
+
+    // Pairwise squared distances.
+    let mut d2 = vec![0.0; n * n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let dist: f64 = points[i]
+                .iter()
+                .zip(&points[j])
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum();
+            d2[i * n + j] = dist;
+            d2[j * n + i] = dist;
+        }
+    }
+
+    // Per-point conditional affinities with binary-searched bandwidth.
+    let target_entropy = config.perplexity.ln();
+    let mut p = vec![0.0; n * n];
+    for i in 0..n {
+        let mut beta = 1.0; // 1/(2σ²)
+        let (mut lo, mut hi) = (0.0f64, f64::INFINITY);
+        for _ in 0..50 {
+            let mut sum = 0.0;
+            for j in 0..n {
+                if j != i {
+                    sum += (-beta * d2[i * n + j]).exp();
+                }
+            }
+            let sum = sum.max(1e-300);
+            let mut entropy = 0.0;
+            for j in 0..n {
+                if j != i {
+                    let pj = (-beta * d2[i * n + j]).exp() / sum;
+                    if pj > 1e-300 {
+                        entropy -= pj * pj.ln();
+                    }
+                }
+            }
+            if (entropy - target_entropy).abs() < 1e-5 {
+                break;
+            }
+            if entropy > target_entropy {
+                lo = beta;
+                beta = if hi.is_finite() { (beta + hi) / 2.0 } else { beta * 2.0 };
+            } else {
+                hi = beta;
+                beta = (beta + lo) / 2.0;
+            }
+        }
+        let mut sum = 0.0;
+        for j in 0..n {
+            if j != i {
+                sum += (-beta * d2[i * n + j]).exp();
+            }
+        }
+        let sum = sum.max(1e-300);
+        for j in 0..n {
+            if j != i {
+                p[i * n + j] = (-beta * d2[i * n + j]).exp() / sum;
+            }
+        }
+    }
+    // Symmetrize.
+    let mut pij = vec![0.0; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            pij[i * n + j] = ((p[i * n + j] + p[j * n + i]) / (2.0 * n as f64)).max(1e-12);
+        }
+    }
+
+    // Initial layout.
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut y: Vec<(f64, f64)> = (0..n)
+        .map(|_| (rng.gen_range(-1e-2..1e-2), rng.gen_range(-1e-2..1e-2)))
+        .collect();
+    let mut vel = vec![(0.0, 0.0); n];
+
+    for it in 0..config.iterations {
+        let exaggeration = if it < config.iterations / 4 { 4.0 } else { 1.0 };
+        // Student-t affinities in the embedding.
+        let mut qnum = vec![0.0; n * n];
+        let mut qsum = 0.0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let dx = y[i].0 - y[j].0;
+                let dy = y[i].1 - y[j].1;
+                let q = 1.0 / (1.0 + dx * dx + dy * dy);
+                qnum[i * n + j] = q;
+                qnum[j * n + i] = q;
+                qsum += 2.0 * q;
+            }
+        }
+        let qsum = qsum.max(1e-300);
+        let momentum = if it < 60 { 0.5 } else { 0.8 };
+        for i in 0..n {
+            let mut gx = 0.0;
+            let mut gy = 0.0;
+            for j in 0..n {
+                if j == i {
+                    continue;
+                }
+                let q = qnum[i * n + j];
+                let coeff = (exaggeration * pij[i * n + j] - q / qsum) * q;
+                gx += 4.0 * coeff * (y[i].0 - y[j].0);
+                gy += 4.0 * coeff * (y[i].1 - y[j].1);
+            }
+            vel[i].0 = momentum * vel[i].0 - config.learning_rate * gx;
+            vel[i].1 = momentum * vel[i].1 - config.learning_rate * gy;
+        }
+        for i in 0..n {
+            y[i].0 += vel[i].0;
+            y[i].1 += vel[i].1;
+        }
+    }
+    y
+}
+
+/// Average silhouette-like separation score between two labelled groups of
+/// embedded points: mean inter-group distance over mean intra-group
+/// distance. Values well above 1 mean the groups separate.
+pub fn separation_score(embedded: &[(f64, f64)], labels: &[bool]) -> f64 {
+    assert_eq!(embedded.len(), labels.len(), "label count mismatch");
+    let mut intra = Vec::new();
+    let mut inter = Vec::new();
+    for i in 0..embedded.len() {
+        for j in (i + 1)..embedded.len() {
+            let dx = embedded[i].0 - embedded[j].0;
+            let dy = embedded[i].1 - embedded[j].1;
+            let d = (dx * dx + dy * dy).sqrt();
+            if labels[i] == labels[j] {
+                intra.push(d);
+            } else {
+                inter.push(d);
+            }
+        }
+    }
+    let m = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    if intra.is_empty() || inter.is_empty() {
+        return 1.0;
+    }
+    m(&inter) / m(&intra).max(1e-12)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn separates_two_gaussian_clusters() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut points = Vec::new();
+        let mut labels = Vec::new();
+        for _ in 0..20 {
+            points.push((0..10).map(|_| rng.gen_range(-0.1..0.1)).collect::<Vec<f64>>());
+            labels.push(false);
+        }
+        for _ in 0..20 {
+            points.push((0..10).map(|_| 5.0 + rng.gen_range(-0.1..0.1)).collect::<Vec<f64>>());
+            labels.push(true);
+        }
+        let emb = tsne(&points, &TsneConfig::default());
+        let score = separation_score(&emb, &labels);
+        assert!(score > 2.0, "clusters should separate: score {score}");
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let points: Vec<Vec<f64>> = (0..10)
+            .map(|k| vec![k as f64, (k * k) as f64 * 0.1, 1.0])
+            .collect();
+        let a = tsne(&points, &TsneConfig::default());
+        let b = tsne(&points, &TsneConfig::default());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3")]
+    fn rejects_tiny_inputs() {
+        tsne(&[vec![0.0], vec![1.0]], &TsneConfig::default());
+    }
+}

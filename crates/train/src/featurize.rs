@@ -1,0 +1,278 @@
+//! Standardized model input/target encoding (paper Fig. 3).
+//!
+//! Every model sees the same inputs — permittivity ε and source `J` plus a
+//! wavelength encoding — and predicts the `Ez` phasor as two real channels.
+//! NeurOLight-style models additionally receive a *wave prior*: cos/sin of
+//! the accumulated optical path `ω·∫√ε·dx`.
+
+use maps_core::{ComplexField2d, RealField2d, Sample};
+use maps_tensor::Tensor;
+
+/// Channel count of the standard encoding.
+pub const BASE_CHANNELS: usize = 4;
+/// Channel count with the wave prior appended.
+pub const WAVE_PRIOR_CHANNELS: usize = 6;
+
+/// Dataset-level field scaling so targets are O(1) for training.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FieldNormalizer {
+    /// Multiplier applied to physical fields to get training targets.
+    pub scale: f64,
+}
+
+impl FieldNormalizer {
+    /// Identity normalizer.
+    pub fn identity() -> Self {
+        FieldNormalizer { scale: 1.0 }
+    }
+
+    /// Fits the scale to a set of samples: `1 / rms(Ez / ‖J‖∞)` over the
+    /// set. Fields are referenced to their sample's peak source amplitude
+    /// because the input encoding normalizes sources the same way — by
+    /// linearity of Maxwell's equations the pair `(J/‖J‖∞, E/‖J‖∞)` is the
+    /// scale-consistent training view.
+    pub fn fit(samples: &[Sample]) -> Self {
+        let mut acc = 0.0;
+        let mut n = 0usize;
+        for s in samples {
+            let jmax = source_peak(&s.source);
+            acc += s
+                .labels
+                .fields
+                .ez
+                .as_slice()
+                .iter()
+                .map(|z| z.norm_sqr() / (jmax * jmax))
+                .sum::<f64>();
+            n += s.labels.fields.ez.as_slice().len();
+        }
+        let rms = (acc / n.max(1) as f64).sqrt();
+        FieldNormalizer {
+            scale: if rms > 0.0 { 1.0 / rms } else { 1.0 },
+        }
+    }
+}
+
+/// Peak source magnitude `‖J‖∞` used for the scale-consistent encoding.
+pub fn source_peak(source: &ComplexField2d) -> f64 {
+    source
+        .as_slice()
+        .iter()
+        .map(|z| z.abs())
+        .fold(0.0f64, f64::max)
+        .max(1e-12)
+}
+
+/// Builds the input feature map for one permittivity/source/frequency
+/// triple. Channel layout: `[ε_norm, J_re, J_im, λ_enc]`, plus
+/// `[cos φ, sin φ]` when `wave_prior` is set.
+pub fn encode_input(
+    eps_r: &RealField2d,
+    source: &ComplexField2d,
+    omega: f64,
+    wave_prior: bool,
+) -> Tensor {
+    let grid = eps_r.grid();
+    let (h, w) = (grid.ny, grid.nx);
+    let channels = if wave_prior {
+        WAVE_PRIOR_CHANNELS
+    } else {
+        BASE_CHANNELS
+    };
+    let mut t = Tensor::zeros(&[1, channels, h, w]);
+    let hw = h * w;
+    {
+        let d = t.as_mut_slice();
+        // Source channels are rescaled so typical mode amplitudes are O(1).
+        let jmax = source_peak(source);
+        for iy in 0..h {
+            for ix in 0..w {
+                let k = iy * w + ix;
+                d[k] = (eps_r.get(ix, iy) - 1.0) / 11.0; // ε ∈ [1, 12] → [0, 1]
+                let j = source.get(ix, iy);
+                d[hw + k] = j.re / jmax;
+                d[2 * hw + k] = j.im / jmax;
+                d[3 * hw + k] = (2.0 * std::f64::consts::PI / omega - 1.55) / 0.1;
+            }
+        }
+        if wave_prior {
+            // Accumulated optical path along +x per row.
+            for iy in 0..h {
+                let mut phase = 0.0;
+                for ix in 0..w {
+                    phase += omega * eps_r.get(ix, iy).max(0.0).sqrt() * grid.dl;
+                    let k = iy * w + ix;
+                    d[4 * hw + k] = phase.cos();
+                    d[5 * hw + k] = phase.sin();
+                }
+            }
+        }
+    }
+    t
+}
+
+/// Builds the `[1, 2, H, W]` training target from an `Ez` phasor.
+pub fn encode_target(ez: &ComplexField2d, normalizer: FieldNormalizer) -> Tensor {
+    let grid = ez.grid();
+    let (h, w) = (grid.ny, grid.nx);
+    let mut t = Tensor::zeros(&[1, 2, h, w]);
+    let hw = h * w;
+    {
+        let d = t.as_mut_slice();
+        for iy in 0..h {
+            for ix in 0..w {
+                let k = iy * w + ix;
+                let z = ez.get(ix, iy);
+                d[k] = z.re * normalizer.scale;
+                d[hw + k] = z.im * normalizer.scale;
+            }
+        }
+    }
+    t
+}
+
+/// Converts a `[1, 2, H, W]` (or `[2, H, W]`-equivalent) prediction back
+/// into a physical `Ez` field on `grid`.
+pub fn decode_field(
+    pred: &Tensor,
+    grid: maps_core::Grid2d,
+    normalizer: FieldNormalizer,
+) -> ComplexField2d {
+    let (h, w) = (grid.ny, grid.nx);
+    assert_eq!(pred.len(), 2 * h * w, "prediction size mismatch");
+    let hw = h * w;
+    let inv = 1.0 / normalizer.scale;
+    let d = pred.as_slice();
+    let mut out = ComplexField2d::zeros(grid);
+    for iy in 0..h {
+        for ix in 0..w {
+            let k = iy * w + ix;
+            out.set(
+                ix,
+                iy,
+                maps_linalg::Complex64::new(d[k] * inv, d[hw + k] * inv),
+            );
+        }
+    }
+    out
+}
+
+/// Encodes a dataset sample into `(input, target)` tensors.
+///
+/// Targets are referenced to the sample's peak source amplitude, matching
+/// the input-side source normalization (see [`FieldNormalizer::fit`]).
+pub fn encode_sample(sample: &Sample, wave_prior: bool, normalizer: FieldNormalizer) -> (Tensor, Tensor) {
+    let omega = maps_core::omega_for_wavelength(sample.labels.wavelength);
+    let jmax = source_peak(&sample.source);
+    let per_sample = FieldNormalizer {
+        scale: normalizer.scale / jmax,
+    };
+    (
+        encode_input(&sample.eps_r, &sample.source, omega, wave_prior),
+        encode_target(&sample.labels.fields.ez, per_sample),
+    )
+}
+
+/// Stacks `[1, C, H, W]` tensors into one `[N, C, H, W]` batch.
+///
+/// # Panics
+///
+/// Panics if shapes differ or `items` is empty.
+pub fn stack_batch(items: &[Tensor]) -> Tensor {
+    assert!(!items.is_empty(), "empty batch");
+    let shape = items[0].shape().to_vec();
+    let per = items[0].len();
+    let mut out = Tensor::zeros(&[items.len(), shape[1], shape[2], shape[3]]);
+    for (i, item) in items.iter().enumerate() {
+        assert_eq!(item.shape(), &shape[..], "batch shape mismatch");
+        out.as_mut_slice()[i * per..(i + 1) * per].copy_from_slice(item.as_slice());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maps_core::Grid2d;
+    use maps_linalg::Complex64;
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let grid = Grid2d::new(6, 4, 0.1);
+        let mut ez = ComplexField2d::zeros(grid);
+        for iy in 0..4 {
+            for ix in 0..6 {
+                ez.set(ix, iy, Complex64::new(ix as f64 * 0.1, -(iy as f64) * 0.2));
+            }
+        }
+        let norm = FieldNormalizer { scale: 3.0 };
+        let t = encode_target(&ez, norm);
+        let back = decode_field(&t, grid, norm);
+        assert!(back.normalized_l2_distance(&ez) < 1e-12);
+    }
+
+    #[test]
+    fn input_channel_count_follows_wave_prior() {
+        let grid = Grid2d::new(8, 8, 0.1);
+        let eps = RealField2d::constant(grid, 4.0);
+        let j = ComplexField2d::zeros(grid);
+        let plain = encode_input(&eps, &j, 4.0, false);
+        let prior = encode_input(&eps, &j, 4.0, true);
+        assert_eq!(plain.shape()[1], BASE_CHANNELS);
+        assert_eq!(prior.shape()[1], WAVE_PRIOR_CHANNELS);
+        // Wave prior channels stay on the unit circle.
+        let hw = 64;
+        let d = prior.as_slice();
+        for k in 0..hw {
+            let c = d[4 * hw + k];
+            let s = d[5 * hw + k];
+            assert!((c * c + s * s - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn stacking_preserves_order() {
+        let a = Tensor::full(&[1, 1, 2, 2], 1.0);
+        let b = Tensor::full(&[1, 1, 2, 2], 2.0);
+        let batch = stack_batch(&[a, b]);
+        assert_eq!(batch.shape(), &[2, 1, 2, 2]);
+        assert_eq!(batch.as_slice()[0], 1.0);
+        assert_eq!(batch.as_slice()[4], 2.0);
+    }
+
+    #[test]
+    fn normalizer_fit_gives_unit_rms() {
+        let grid = Grid2d::new(4, 4, 0.1);
+        let mut ez = ComplexField2d::zeros(grid);
+        for k in 0..16 {
+            ez.set(k % 4, k / 4, Complex64::new(2.0, 0.0));
+        }
+        let mut src = ComplexField2d::zeros(grid);
+        src.set(1, 1, Complex64::ONE); // unit peak → jmax = 1
+        let sample = Sample {
+            device_id: "d".into(),
+            device_kind: "bending".into(),
+            eps_r: RealField2d::constant(grid, 1.0),
+            density: None,
+            source: src,
+            labels: maps_core::RichLabels {
+                fidelity: maps_core::Fidelity::High,
+                wavelength: 1.55,
+                input_port: 0,
+                input_mode: 0,
+                transmissions: vec![],
+                reflection: 0.0,
+                radiation: 0.0,
+                fields: maps_core::EmFields {
+                    ez: ez.clone(),
+                    hx: ComplexField2d::zeros(grid),
+                    hy: ComplexField2d::zeros(grid),
+                },
+                adjoint_gradient: None,
+                maxwell_residual: 0.0,
+            },
+        };
+        let norm = FieldNormalizer::fit(&[sample]);
+        assert!((norm.scale - 0.5).abs() < 1e-12);
+    }
+}

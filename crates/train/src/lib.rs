@@ -1,0 +1,39 @@
+//! # maps-train
+//!
+//! MAPS-Train: the training infrastructure for AI-assisted photonic
+//! simulation. Standardized input/target encodings, a hierarchical
+//! (device-level-split) data loader with physically exact superposition
+//! mixup, data-driven (NMSE) and physics-driven (Maxwell residual) losses,
+//! standardized metrics (N-L2norm, gradient similarity, S-parameter error),
+//! a trainer, the three gradient-computation methods of the paper's
+//! Table II, a neural [`maps_core::FieldSolver`] for MAPS-InvDes
+//! integration, and t-SNE for dataset-distribution plots.
+
+pub mod distill;
+pub mod embed;
+pub mod featurize;
+pub mod gradmethods;
+pub mod loader;
+pub mod loss;
+pub mod metrics;
+pub mod neural_solver;
+pub mod trainer;
+
+pub use distill::{distill_field_model, fine_tune, DistillConfig};
+pub use embed::{separation_score, tsne, TsneConfig};
+pub use featurize::{
+    decode_field, encode_input, encode_sample, encode_target, stack_batch, FieldNormalizer,
+    BASE_CHANNELS, WAVE_PRIOR_CHANNELS,
+};
+pub use gradmethods::{
+    ad_black_box_gradient, ad_pred_field_gradient, differentiable_modal_power,
+    fwd_adj_field_gradient, GRAD_METHOD_NAMES,
+};
+pub use loader::{make_batches, mixup_samples, superpose, Batch, LoaderConfig};
+pub use loss::{interior_mask, physics_residual_loss, source_term_tensor, LossKind};
+pub use metrics::{cosine, gradient_similarity, mean, n_l2norm, s_param_error};
+pub use neural_solver::NeuralFieldSolver;
+pub use trainer::{
+    evaluate_n_l2, predict_field, probe_encoding, scalar_targets, train_field_model, EpochRecord,
+    TrainConfig, TrainReport,
+};

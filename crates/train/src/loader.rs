@@ -1,0 +1,257 @@
+//! Hierarchical data loading (paper §III-B feature 1).
+//!
+//! Samples are split at the *device* level (delegated to
+//! [`maps_data::Dataset::split_by_device`]), batched deterministically, and
+//! optionally augmented with superposition mixup: for a **linear** system
+//! `A(ε)·e = b`, any linear combination of sources of the *same* structure
+//! yields the matching combination of fields — free, physically exact
+//! augmentation.
+
+use crate::featurize::{encode_sample, stack_batch, FieldNormalizer};
+use maps_core::{ComplexField2d, Sample};
+use maps_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Batches of encoded `(input, target)` tensors plus the raw physics
+/// context needed by the Maxwell-residual loss.
+#[derive(Debug, Clone)]
+pub struct Batch {
+    /// `[N, C, H, W]` model input.
+    pub input: Tensor,
+    /// `[N, 2, H, W]` field target.
+    pub target: Tensor,
+    /// `[N, 1, H, W]` raw relative permittivity.
+    pub eps: Tensor,
+    /// Raw complex source of each sample.
+    pub sources: Vec<ComplexField2d>,
+    /// Angular frequency of each sample.
+    pub omegas: Vec<f64>,
+}
+
+/// Configuration of the loader.
+#[derive(Debug, Clone)]
+pub struct LoaderConfig {
+    /// Batch size.
+    pub batch_size: usize,
+    /// Shuffle seed.
+    pub seed: u64,
+    /// Encode the NeurOLight wave prior.
+    pub wave_prior: bool,
+    /// Number of extra mixup samples to synthesize (0 disables).
+    pub mixup: usize,
+}
+
+impl Default for LoaderConfig {
+    fn default() -> Self {
+        LoaderConfig {
+            batch_size: 4,
+            seed: 17,
+            wave_prior: false,
+            mixup: 0,
+        }
+    }
+}
+
+/// Builds shuffled batches from samples.
+pub fn make_batches(
+    samples: &[Sample],
+    normalizer: FieldNormalizer,
+    config: &LoaderConfig,
+) -> Vec<Batch> {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let enriched = |s: &Sample| -> (Tensor, Tensor, Tensor, ComplexField2d, f64) {
+        let (i, t) = encode_sample(s, config.wave_prior, normalizer);
+        let grid = s.eps_r.grid();
+        let mut eps = Tensor::zeros(&[1, 1, grid.ny, grid.nx]);
+        for iy in 0..grid.ny {
+            for ix in 0..grid.nx {
+                eps.as_mut_slice()[iy * grid.nx + ix] = s.eps_r.get(ix, iy);
+            }
+        }
+        let omega = maps_core::omega_for_wavelength(s.labels.wavelength);
+        (i, t, eps, s.source.clone(), omega)
+    };
+    let mut encoded: Vec<(Tensor, Tensor, Tensor, ComplexField2d, f64)> =
+        samples.iter().map(enriched).collect();
+    // Superposition mixup over same-structure sample pairs.
+    for m in mixup_samples(samples, config.mixup, &mut rng) {
+        encoded.push(enriched(&m));
+    }
+    // Shuffle.
+    for i in (1..encoded.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        encoded.swap(i, j);
+    }
+    encoded
+        .chunks(config.batch_size)
+        .map(|chunk| {
+            let inputs: Vec<Tensor> = chunk.iter().map(|e| e.0.clone()).collect();
+            let targets: Vec<Tensor> = chunk.iter().map(|e| e.1.clone()).collect();
+            let eps: Vec<Tensor> = chunk.iter().map(|e| e.2.clone()).collect();
+            Batch {
+                input: stack_batch(&inputs),
+                target: stack_batch(&targets),
+                eps: stack_batch(&eps),
+                sources: chunk.iter().map(|e| e.3.clone()).collect(),
+                omegas: chunk.iter().map(|e| e.4).collect(),
+            }
+        })
+        .collect()
+}
+
+/// Synthesizes mixup samples from pairs sharing the same permittivity map
+/// (different ports/modes of the same structure). Returns fewer than
+/// `count` when no valid pair exists.
+pub fn mixup_samples(samples: &[Sample], count: usize, rng: &mut StdRng) -> Vec<Sample> {
+    if count == 0 {
+        return Vec::new();
+    }
+    // Group indices by identical permittivity.
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    'outer: for (i, s) in samples.iter().enumerate() {
+        for g in groups.iter_mut() {
+            if samples[g[0]].eps_r == s.eps_r {
+                g.push(i);
+                continue 'outer;
+            }
+        }
+        groups.push(vec![i]);
+    }
+    let pairs: Vec<(usize, usize)> = groups
+        .iter()
+        .filter(|g| g.len() >= 2)
+        .flat_map(|g| {
+            (0..g.len())
+                .flat_map(move |a| ((a + 1)..g.len()).map(move |b| (g[a], g[b])))
+        })
+        .collect();
+    if pairs.is_empty() {
+        return Vec::new();
+    }
+    (0..count)
+        .map(|_| {
+            let (a, b) = pairs[rng.gen_range(0..pairs.len())];
+            let alpha: f64 = rng.gen_range(0.2..0.8);
+            superpose(&samples[a], &samples[b], alpha, 1.0 - alpha)
+        })
+        .collect()
+}
+
+/// Exact superposition of two same-structure samples:
+/// `J = ca·J_a + cb·J_b`, `E = ca·E_a + cb·E_b`.
+///
+/// # Panics
+///
+/// Panics if the permittivity maps differ (superposition would be invalid).
+pub fn superpose(a: &Sample, b: &Sample, ca: f64, cb: f64) -> Sample {
+    assert_eq!(a.eps_r, b.eps_r, "superposition requires identical structures");
+    let mix = |fa: &ComplexField2d, fb: &ComplexField2d| -> ComplexField2d {
+        ComplexField2d::from_vec(
+            fa.grid(),
+            fa.as_slice()
+                .iter()
+                .zip(fb.as_slice())
+                .map(|(x, y)| *x * ca + *y * cb)
+                .collect(),
+        )
+    };
+    let mut out = a.clone();
+    out.source = mix(&a.source, &b.source);
+    out.labels.fields.ez = mix(&a.labels.fields.ez, &b.labels.fields.ez);
+    out.labels.fields.hx = mix(&a.labels.fields.hx, &b.labels.fields.hx);
+    out.labels.fields.hy = mix(&a.labels.fields.hy, &b.labels.fields.hy);
+    // Scalar power labels are no longer meaningful for a mixture.
+    out.labels.transmissions.clear();
+    out.labels.adjoint_gradient = None;
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maps_core::{EmFields, Fidelity, Grid2d, RealField2d, RichLabels};
+    use maps_linalg::Complex64;
+
+    fn sample_with(eps_val: f64, src_val: f64) -> Sample {
+        let g = Grid2d::new(4, 4, 0.1);
+        let mut src = ComplexField2d::zeros(g);
+        src.set(1, 1, Complex64::from_re(src_val));
+        let mut ez = ComplexField2d::zeros(g);
+        ez.set(2, 2, Complex64::from_re(src_val * 2.0));
+        Sample {
+            device_id: format!("d{eps_val}"),
+            device_kind: "bending".into(),
+            eps_r: RealField2d::constant(g, eps_val),
+            density: None,
+            source: src,
+            labels: RichLabels {
+                fidelity: Fidelity::High,
+                wavelength: 1.55,
+                input_port: 0,
+                input_mode: 0,
+                transmissions: vec![],
+                reflection: 0.0,
+                radiation: 0.0,
+                fields: EmFields {
+                    ez,
+                    hx: ComplexField2d::zeros(g),
+                    hy: ComplexField2d::zeros(g),
+                },
+                adjoint_gradient: None,
+                maxwell_residual: 0.0,
+            },
+        }
+    }
+
+    #[test]
+    fn batches_cover_all_samples() {
+        let samples: Vec<Sample> = (0..7).map(|k| sample_with(k as f64 + 1.0, 1.0)).collect();
+        let batches = make_batches(
+            &samples,
+            FieldNormalizer::identity(),
+            &LoaderConfig {
+                batch_size: 3,
+                ..Default::default()
+            },
+        );
+        let total: usize = batches.iter().map(|b| b.input.shape()[0]).sum();
+        assert_eq!(total, 7);
+        assert_eq!(batches.len(), 3); // 3 + 3 + 1
+    }
+
+    #[test]
+    fn superposition_is_linear() {
+        let a = sample_with(2.0, 1.0);
+        let b = sample_with(2.0, 3.0);
+        let m = superpose(&a, &b, 0.5, 0.5);
+        assert_eq!(m.source.get(1, 1), Complex64::from_re(2.0));
+        assert_eq!(m.labels.fields.ez.get(2, 2), Complex64::from_re(4.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "identical structures")]
+    fn superposition_rejects_different_structures() {
+        let a = sample_with(2.0, 1.0);
+        let b = sample_with(3.0, 1.0);
+        superpose(&a, &b, 0.5, 0.5);
+    }
+
+    #[test]
+    fn mixup_only_pairs_same_structure() {
+        let samples = vec![
+            sample_with(2.0, 1.0),
+            sample_with(2.0, 3.0),
+            sample_with(5.0, 1.0),
+        ];
+        let mut rng = StdRng::seed_from_u64(1);
+        let mixed = mixup_samples(&samples, 4, &mut rng);
+        assert_eq!(mixed.len(), 4);
+        for m in &mixed {
+            assert_eq!(m.eps_r, samples[0].eps_r);
+        }
+        // No pair available → no mixup.
+        let lonely = vec![sample_with(2.0, 1.0), sample_with(5.0, 1.0)];
+        assert!(mixup_samples(&lonely, 3, &mut rng).is_empty());
+    }
+}

@@ -1,0 +1,108 @@
+//! Standardized evaluation metrics (paper §III-B2).
+//!
+//! * **N-L2norm** — normalized L2 field error `‖ê − e‖/‖e‖`.
+//! * **Gradient similarity** — cosine similarity between a model-derived
+//!   adjoint gradient and the exact FDFD adjoint gradient over the design
+//!   region; the paper's key metric for inverse-design readiness.
+//! * **S-parameter error** — error of modal transmission amplitudes
+//!   computed from predicted fields.
+
+use maps_core::{ComplexField2d, RealField2d};
+
+/// Normalized L2 distance between predicted and reference complex fields.
+pub fn n_l2norm(pred: &ComplexField2d, truth: &ComplexField2d) -> f64 {
+    pred.normalized_l2_distance(truth)
+}
+
+/// Cosine similarity between two real gradient fields (flattened).
+///
+/// Returns 0 when either gradient is identically zero.
+pub fn gradient_similarity(a: &RealField2d, b: &RealField2d) -> f64 {
+    cosine(a.as_slice(), b.as_slice())
+}
+
+/// Cosine similarity of two flat vectors.
+pub fn cosine(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "cosine length mismatch");
+    let dot: f64 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+    let na: f64 = a.iter().map(|x| x * x).sum::<f64>().sqrt();
+    let nb: f64 = b.iter().map(|x| x * x).sum::<f64>().sqrt();
+    if na == 0.0 || nb == 0.0 {
+        0.0
+    } else {
+        dot / (na * nb)
+    }
+}
+
+/// Relative S-parameter (modal amplitude) error:
+/// `|â − a| / max(|a|, ε)` averaged over the given functional evaluations.
+pub fn s_param_error(
+    pred: &ComplexField2d,
+    truth: &ComplexField2d,
+    functionals: &[maps_fdfd::LinearFunctional],
+) -> f64 {
+    if functionals.is_empty() {
+        return 0.0;
+    }
+    let mut acc = 0.0;
+    for f in functionals {
+        let a_hat = f.eval(pred);
+        let a = f.eval(truth);
+        acc += (a_hat - a).abs() / a.abs().max(1e-12);
+    }
+    acc / functionals.len() as f64
+}
+
+/// Aggregates a metric over samples: mean of the per-sample values.
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maps_core::Grid2d;
+    use maps_linalg::Complex64;
+
+    #[test]
+    fn cosine_basics() {
+        assert!((cosine(&[1.0, 0.0], &[1.0, 0.0]) - 1.0).abs() < 1e-15);
+        assert!((cosine(&[1.0, 0.0], &[0.0, 1.0])).abs() < 1e-15);
+        assert!((cosine(&[1.0, 0.0], &[-2.0, 0.0]) + 1.0).abs() < 1e-15);
+        assert_eq!(cosine(&[0.0, 0.0], &[1.0, 1.0]), 0.0);
+    }
+
+    #[test]
+    fn n_l2_of_perfect_prediction_is_zero() {
+        let g = Grid2d::new(3, 3, 0.1);
+        let mut f = ComplexField2d::zeros(g);
+        f.set(1, 1, Complex64::new(1.0, -2.0));
+        assert_eq!(n_l2norm(&f, &f), 0.0);
+    }
+
+    #[test]
+    fn s_param_error_scales_with_amplitude_error() {
+        let g = Grid2d::new(2, 2, 0.1);
+        let mut truth = ComplexField2d::zeros(g);
+        truth.set(0, 0, Complex64::from_re(2.0));
+        let mut pred = ComplexField2d::zeros(g);
+        pred.set(0, 0, Complex64::from_re(1.0)); // 50% low
+        let f = maps_fdfd::LinearFunctional {
+            weights: vec![(0, Complex64::ONE)],
+        };
+        let err = s_param_error(&pred, &truth, &[f]);
+        assert!((err - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gradient_similarity_is_scale_invariant() {
+        let g = Grid2d::new(2, 2, 0.1);
+        let a = RealField2d::from_vec(g, vec![1.0, -2.0, 3.0, 0.5]);
+        let b = RealField2d::from_vec(g, vec![10.0, -20.0, 30.0, 5.0]);
+        assert!((gradient_similarity(&a, &b) - 1.0).abs() < 1e-12);
+    }
+}

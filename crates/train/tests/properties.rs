@@ -1,0 +1,80 @@
+//! Property-based tests of the training framework's encodings and metrics.
+
+use maps_core::{ComplexField2d, Grid2d, RealField2d};
+use maps_linalg::Complex64;
+use maps_train::{cosine, decode_field, encode_input, encode_target, FieldNormalizer};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Target encoding/decoding is a lossless roundtrip for any scale.
+    #[test]
+    fn target_roundtrip(
+        scale in 0.01..100.0f64,
+        values in prop::collection::vec((-5.0..5.0f64, -5.0..5.0f64), 12),
+    ) {
+        let grid = Grid2d::new(4, 3, 0.1);
+        let ez = ComplexField2d::from_vec(
+            grid,
+            values.iter().map(|(re, im)| Complex64::new(*re, *im)).collect(),
+        );
+        let norm = FieldNormalizer { scale };
+        let t = encode_target(&ez, norm);
+        let back = decode_field(&t, grid, norm);
+        for (a, b) in back.as_slice().iter().zip(ez.as_slice()) {
+            prop_assert!((*a - *b).abs() < 1e-9 * (1.0 + b.abs()));
+        }
+    }
+
+    /// The permittivity channel of the encoding is an affine map of ε,
+    /// independent of the source.
+    #[test]
+    fn eps_channel_is_affine(eps_val in 1.0..12.0f64, src_amp in 0.1..10.0f64) {
+        let grid = Grid2d::new(6, 6, 0.1);
+        let eps = RealField2d::constant(grid, eps_val);
+        let mut j = ComplexField2d::zeros(grid);
+        j.set(3, 3, Complex64::from_re(src_amp));
+        let enc = encode_input(&eps, &j, 4.0, false);
+        let expect = (eps_val - 1.0) / 11.0;
+        for k in 0..36 {
+            prop_assert!((enc.as_slice()[k] - expect).abs() < 1e-12);
+        }
+        // Source channels are amplitude-normalized: peak magnitude 1.
+        let peak = enc.as_slice()[36..108]
+            .iter()
+            .map(|v| v.abs())
+            .fold(0.0f64, f64::max);
+        prop_assert!((peak - 1.0).abs() < 1e-9);
+    }
+
+    /// Cosine similarity is bounded in [−1, 1] and scale-invariant.
+    #[test]
+    fn cosine_properties(
+        a in prop::collection::vec(-10.0..10.0f64, 3..20),
+        k in 0.1..10.0f64,
+    ) {
+        let b: Vec<f64> = a.iter().map(|v| v * k).collect();
+        let c = cosine(&a, &b);
+        prop_assert!((-1.0 - 1e-12..=1.0 + 1e-12).contains(&c));
+        if a.iter().any(|v| *v != 0.0) {
+            prop_assert!((c - 1.0).abs() < 1e-9, "positive scaling keeps cosine 1: {c}");
+        }
+    }
+
+    /// Wave-prior channels always lie on the unit circle and accumulate
+    /// monotonically in phase along x for positive permittivity.
+    #[test]
+    fn wave_prior_unit_circle(eps_val in 1.0..12.0f64) {
+        let grid = Grid2d::new(8, 4, 0.05);
+        let eps = RealField2d::constant(grid, eps_val);
+        let j = ComplexField2d::zeros(grid);
+        let enc = encode_input(&eps, &j, maps_core::omega_for_wavelength(1.55), true);
+        let hw = 32;
+        for k in 0..hw {
+            let c = enc.as_slice()[4 * hw + k];
+            let s = enc.as_slice()[5 * hw + k];
+            prop_assert!((c * c + s * s - 1.0).abs() < 1e-9);
+        }
+    }
+}

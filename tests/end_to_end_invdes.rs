@@ -1,0 +1,134 @@
+//! End-to-end inverse design across device families and constraint
+//! configurations.
+
+use maps::data::{DeviceKind, DeviceResolution};
+use maps::fdfd::{FdfdSolver, PmlConfig};
+use maps::invdes::{
+    ExactAdjoint, InitStrategy, InverseDesigner, LithoCorner, LithoModel, OptimConfig, Symmetry,
+};
+
+fn solver_for(device: &maps::data::DeviceSpec) -> ExactAdjoint {
+    ExactAdjoint::new(FdfdSolver::with_pml(PmlConfig::auto(device.grid().dl)))
+}
+
+#[test]
+fn bend_optimization_reaches_high_transmission() {
+    let mut device = DeviceKind::Bending.build(DeviceResolution::low());
+    let solver = solver_for(&device);
+    device.problem.calibrate(solver.solver()).unwrap();
+    let designer = InverseDesigner::new(OptimConfig {
+        iterations: 18,
+        learning_rate: 0.12,
+        beta_start: 1.5,
+        beta_growth: 1.15,
+        filter_radius: 1.5,
+        symmetry: None,
+        litho: None,
+        init: InitStrategy::Uniform(0.5),
+    });
+    let result = designer.run(&device.problem, &solver).unwrap();
+    let best = result.best_objective();
+    assert!(best > 0.5, "bend should exceed 50% transmission, got {best:.3}");
+    // Binarization progressed.
+    let start_gray = result.history.first().unwrap().gray_level;
+    let end_gray = result.history.last().unwrap().gray_level;
+    assert!(end_gray < start_gray, "gray level should drop: {start_gray} -> {end_gray}");
+}
+
+#[test]
+fn crossing_optimization_with_symmetry() {
+    let mut device = DeviceKind::Crossing.build(DeviceResolution::low());
+    let solver = solver_for(&device);
+    device.problem.calibrate(solver.solver()).unwrap();
+    let designer = InverseDesigner::new(OptimConfig {
+        iterations: 14,
+        learning_rate: 0.12,
+        beta_start: 2.0,
+        beta_growth: 1.15,
+        filter_radius: 1.2,
+        symmetry: Some(Symmetry::MirrorY),
+        litho: None,
+        init: InitStrategy::TransmissionStrip {
+            background: 0.3,
+            strip: 0.9,
+            half_height_frac: 0.25,
+        },
+    });
+    let result = designer.run(&device.problem, &solver).unwrap();
+    assert!(
+        result.best_objective() > result.history[0].objective,
+        "crossing optimization should improve"
+    );
+    // Symmetry constraint held: density mirror-symmetric in y.
+    let d = &result.density;
+    for iy in 0..d.ny() {
+        for ix in 0..d.nx() {
+            let a = d.get(ix, iy);
+            let b = d.get(ix, d.ny() - 1 - iy);
+            assert!((a - b).abs() < 1e-9, "asymmetry at ({ix},{iy})");
+        }
+    }
+}
+
+#[test]
+fn litho_in_the_loop_changes_design_but_still_optimizes() {
+    let mut device = DeviceKind::Bending.build(DeviceResolution::low());
+    let solver = solver_for(&device);
+    device.problem.calibrate(solver.solver()).unwrap();
+    let base = OptimConfig {
+        iterations: 10,
+        learning_rate: 0.12,
+        beta_start: 2.0,
+        beta_growth: 1.2,
+        filter_radius: 1.2,
+        symmetry: None,
+        litho: None,
+        init: InitStrategy::Uniform(0.5),
+    };
+    let plain = InverseDesigner::new(base.clone())
+        .run(&device.problem, &solver)
+        .unwrap();
+    let with_litho = InverseDesigner::new(OptimConfig {
+        litho: Some(LithoModel::new(device.grid().dl)),
+        ..base
+    })
+    .run(&device.problem, &solver)
+    .unwrap();
+    assert!(with_litho.best_objective() > with_litho.history[0].objective);
+    // The printed design differs from the mask-only design.
+    assert_ne!(plain.density, with_litho.density);
+}
+
+#[test]
+fn corner_objectives_differ_without_robustness() {
+    // A sanity check of the variation model itself: evaluating the same θ
+    // at different corners gives different transmissions.
+    let mut device = DeviceKind::Bending.build(DeviceResolution::low());
+    let solver = solver_for(&device);
+    device.problem.calibrate(solver.solver()).unwrap();
+    let robust = maps::invdes::RobustDesigner::new(
+        OptimConfig {
+            iterations: 1,
+            init: InitStrategy::Uniform(0.5),
+            ..OptimConfig::default()
+        },
+        LithoModel::new(device.grid().dl),
+        LithoCorner::triple(0.06, 0.25, 0.01).to_vec(),
+    );
+    let theta = InitStrategy::TransmissionStrip {
+        background: 0.1,
+        strip: 0.95,
+        half_height_frac: 0.25,
+    }
+    .build(device.problem.design_size.0, device.problem.design_size.1);
+    let (_, _, per_corner) = robust.evaluate(&device.problem, &solver, &theta, 10.0).unwrap();
+    let spread = per_corner
+        .iter()
+        .cloned()
+        .fold(f64::NEG_INFINITY, f64::max)
+        - per_corner.iter().cloned().fold(f64::INFINITY, f64::min);
+    assert!(
+        spread > 1e-6,
+        "process corners should change the objective, spread {spread}"
+    );
+}

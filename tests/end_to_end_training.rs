@@ -1,0 +1,131 @@
+//! End-to-end MAPS-Data → MAPS-Train pipeline tests.
+
+use maps::core::Fidelity;
+use maps::data::{
+    label_batch, sample_densities, Dataset, DeviceKind, DeviceResolution, GenerateConfig,
+    SamplerConfig, SamplingStrategy,
+};
+use maps::nn::{Fno, FnoConfig};
+use maps::tensor::Params;
+use maps::train::{evaluate_n_l2, train_field_model, LoaderConfig, TrainConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn small_dataset(kind: DeviceKind, count: usize, seed: u64) -> (maps::data::DeviceSpec, Vec<maps::core::Sample>) {
+    let device = kind.build(DeviceResolution::low());
+    let densities = sample_densities(
+        SamplingStrategy::Random,
+        &device,
+        &SamplerConfig {
+            count,
+            seed,
+            trajectory_iterations: 4,
+            perturbation: 0.2,
+        },
+    )
+    .unwrap();
+    let samples = label_batch(
+        &device,
+        &densities,
+        &GenerateConfig {
+            fidelity: Fidelity::Low,
+            with_adjoint: false,
+            with_residual: true,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    (device, samples)
+}
+
+#[test]
+fn generated_samples_satisfy_maxwell() {
+    let (_, samples) = small_dataset(DeviceKind::Crossing, 3, 5);
+    for s in &samples {
+        assert!(
+            s.labels.maxwell_residual < 1e-9,
+            "sample {} residual {}",
+            s.device_id,
+            s.labels.maxwell_residual
+        );
+    }
+}
+
+#[test]
+fn training_beats_trivial_predictor() {
+    let (_, samples) = small_dataset(DeviceKind::Bending, 6, 7);
+    let mut params = Params::new();
+    let mut rng = StdRng::seed_from_u64(0);
+    let model = Fno::new(
+        &mut params,
+        &mut rng,
+        FnoConfig {
+            in_channels: 4,
+            out_channels: 2,
+            width: 6,
+            modes: 4,
+            depth: 2,
+        },
+    );
+    let report = train_field_model(
+        &model,
+        &mut params,
+        &samples,
+        &TrainConfig {
+            epochs: 8,
+            learning_rate: 5e-3,
+            loader: LoaderConfig {
+                batch_size: 3,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    );
+    // The zero predictor scores N-L2 = 1; training must beat it in-sample.
+    let nl2 = evaluate_n_l2(&model, &params, &samples, report.normalizer);
+    assert!(nl2 < 1.0, "train N-L2 {nl2} should beat trivial 1.0");
+    // Loss decreased.
+    assert!(report.final_loss() < report.epochs[0].loss);
+}
+
+#[test]
+fn dataset_roundtrip_with_real_samples() {
+    let (_, samples) = small_dataset(DeviceKind::Wdm, 2, 9);
+    let ds = Dataset::from_samples(samples);
+    let dir = std::env::temp_dir().join("maps_integration");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("wdm.json");
+    ds.save_json(&path).unwrap();
+    let back = Dataset::load_json(&path).unwrap();
+    assert_eq!(back.len(), ds.len());
+    assert_eq!(back.samples[0].labels.wavelength, ds.samples[0].labels.wavelength);
+    assert_eq!(
+        back.samples[0].labels.fields.ez,
+        ds.samples[0].labels.fields.ez
+    );
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn multi_wavelength_device_varies_by_source() {
+    let (_, samples) = small_dataset(DeviceKind::Wdm, 2, 11);
+    // WDM emits two variants per density.
+    assert_eq!(samples.len(), 4);
+    let wavelengths: std::collections::BTreeSet<u64> = samples
+        .iter()
+        .map(|s| (s.labels.wavelength * 100.0).round() as u64)
+        .collect();
+    assert_eq!(wavelengths.len(), 2, "two wavelength channels expected");
+    // Fields at the two wavelengths differ for the same structure.
+    let same_structure: Vec<&maps::core::Sample> = samples
+        .iter()
+        .filter(|s| s.eps_r == samples[0].eps_r)
+        .collect();
+    assert!(same_structure.len() >= 2);
+    let d = same_structure[0]
+        .labels
+        .fields
+        .ez
+        .normalized_l2_distance(&same_structure[1].labels.fields.ez);
+    assert!(d > 0.01, "wavelength change should alter the field: {d}");
+}

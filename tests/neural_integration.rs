@@ -1,0 +1,115 @@
+//! Integration of the neural solver with the inverse-design toolkit (the
+//! paper's §IV-D loop, in miniature).
+
+use maps::core::FieldSolver;
+use maps::data::{
+    label_batch, sample_densities, DeviceKind, DeviceResolution, GenerateConfig, SamplerConfig,
+    SamplingStrategy,
+};
+use maps::fdfd::{FdfdSolver, PmlConfig};
+use maps::invdes::{FieldGradient, GradientSolver, InitStrategy, InverseDesigner, OptimConfig};
+use maps::nn::{Fno, FnoConfig};
+use maps::tensor::Params;
+use maps::train::{train_field_model, NeuralFieldSolver, TrainConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn trained_surrogate(
+    device: &maps::data::DeviceSpec,
+) -> NeuralFieldSolver<Fno> {
+    let densities = sample_densities(
+        SamplingStrategy::PerturbedOptTraj,
+        device,
+        &SamplerConfig {
+            count: 6,
+            seed: 3,
+            trajectory_iterations: 5,
+            perturbation: 0.25,
+        },
+    )
+    .unwrap();
+    let samples = label_batch(
+        device,
+        &densities,
+        &GenerateConfig {
+            with_adjoint: false,
+            with_residual: false,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let mut params = Params::new();
+    let mut rng = StdRng::seed_from_u64(1);
+    let model = Fno::new(
+        &mut params,
+        &mut rng,
+        FnoConfig {
+            in_channels: 4,
+            out_channels: 2,
+            width: 6,
+            modes: 4,
+            depth: 2,
+        },
+    );
+    let report = train_field_model(
+        &model,
+        &mut params,
+        &samples,
+        &TrainConfig {
+            epochs: 4,
+            learning_rate: 4e-3,
+            ..Default::default()
+        },
+    );
+    NeuralFieldSolver::new(model, params, report.normalizer)
+}
+
+#[test]
+fn neural_gradient_loop_runs_end_to_end() {
+    let mut device = DeviceKind::Bending.build(DeviceResolution::low());
+    let fdfd = FdfdSolver::with_pml(PmlConfig::auto(device.grid().dl));
+    device.problem.calibrate(&fdfd).unwrap();
+    let neural = trained_surrogate(&device);
+
+    // The neural solver slots into the generic gradient backend.
+    let grad = FieldGradient::new(&neural);
+    let source = device.problem.source().unwrap();
+    let objective = device.problem.objective().unwrap();
+    let omega = device.problem.omega();
+    let density = InitStrategy::Uniform(0.5).build(
+        device.problem.design_size.0,
+        device.problem.design_size.1,
+    );
+    let eps = device.problem.eps_for(&density);
+    let eval = grad
+        .objective_and_gradient(&eps, &source, omega, &objective)
+        .unwrap();
+    assert!(eval.objective.is_finite());
+    assert!(eval.grad_eps.as_slice().iter().any(|g| *g != 0.0));
+
+    // A short optimization run completes and records history.
+    let designer = InverseDesigner::new(OptimConfig {
+        iterations: 3,
+        ..OptimConfig::default()
+    });
+    let result = designer.run(&device.problem, &grad).unwrap();
+    assert_eq!(result.history.len(), 3);
+    assert!(result.history.iter().all(|r| r.objective.is_finite()));
+}
+
+#[test]
+fn neural_and_exact_solvers_share_the_interface() {
+    let device = DeviceKind::Bending.build(DeviceResolution::low());
+    let neural = trained_surrogate(&device);
+    let fdfd = FdfdSolver::with_pml(PmlConfig::auto(device.grid().dl));
+    let solvers: Vec<&dyn FieldSolver> = vec![&neural, &fdfd];
+    let source = device.problem.source().unwrap();
+    let omega = device.problem.omega();
+    for s in solvers {
+        let ez = s
+            .solve_ez(&device.problem.base_eps, &source, omega)
+            .unwrap();
+        assert_eq!(ez.grid(), device.grid(), "{} grid mismatch", s.name());
+        assert!(ez.norm() > 0.0, "{} returned an empty field", s.name());
+    }
+}
