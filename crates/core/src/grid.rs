@@ -93,7 +93,7 @@ impl Grid2d {
     pub fn coarsen(&self, factor: usize) -> Grid2d {
         assert!(factor > 0, "coarsening factor must be positive");
         assert!(
-            self.nx % factor == 0 && self.ny % factor == 0,
+            self.nx.is_multiple_of(factor) && self.ny.is_multiple_of(factor),
             "coarsening factor {factor} must divide grid dims {}x{}",
             self.nx,
             self.ny

@@ -21,6 +21,7 @@
 pub mod field;
 pub mod geometry;
 pub mod grid;
+pub mod instrument;
 pub mod label;
 pub mod port;
 pub mod solver;
@@ -28,6 +29,7 @@ pub mod solver;
 pub use field::{ComplexField2d, EmFields, RealField2d};
 pub use geometry::{paint, Axis, Direction, Rect, Shape};
 pub use grid::Grid2d;
+pub use instrument::InstrumentedSolver;
 pub use label::{Fidelity, PortRecord, RichLabels, Sample};
 pub use port::Port;
 pub use solver::{FieldSolver, SolveFieldError};

@@ -300,7 +300,15 @@ pub fn label_batch(
             })
         })
         .collect();
-    jobs.par_iter()
+    let fidelity = match config.fidelity {
+        Fidelity::Low => "low",
+        Fidelity::High => "high",
+    };
+    let span = maps_obs::span("data.label_batch")
+        .field("jobs", jobs.len())
+        .field("fidelity", fidelity);
+    let result: Result<Vec<Sample>, GenerateError> = jobs
+        .par_iter()
         .map(|(i, d, v, adjoint)| {
             if *adjoint {
                 adjoint_source_sample(device, d, v, config, *i)
@@ -308,7 +316,20 @@ pub fn label_batch(
                 label_sample(device, d, v, config, *i)
             }
         })
-        .collect()
+        .collect();
+    if let Ok(samples) = &result {
+        let elapsed = span.elapsed().as_secs_f64();
+        maps_obs::counter(&format!("data.samples.{fidelity}")).add(samples.len() as u64);
+        if elapsed > 0.0 {
+            maps_obs::histogram(&format!("data.samples_per_sec.{fidelity}"))
+                .record(samples.len() as f64 / elapsed);
+        }
+        maps_obs::info!(
+            "labeled {} {fidelity}-fidelity samples in {elapsed:.2}s",
+            samples.len()
+        );
+    }
+    result
 }
 
 #[cfg(test)]

@@ -111,20 +111,29 @@ pub fn solve_with_adjoint(
             detail: "omega must be positive and finite".into(),
         });
     }
+    let _span = maps_obs::span("fdfd.solve_with_adjoint").field("cells", eps_r.grid().len());
+    maps_obs::counter("fdfd.forward_solves").inc();
+    maps_obs::counter("fdfd.adjoint_solves").inc();
     let op = solver.operator(eps_r, omega);
-    let lu = op
-        .to_banded()
-        .factorize()
-        .map_err(|e| SolveFieldError::Numerical {
-            detail: e.to_string(),
-        })?;
+    let lu = {
+        let _s = maps_obs::span("fdfd.factorize");
+        op.to_banded()
+            .factorize()
+            .map_err(|e| SolveFieldError::Numerical {
+                detail: e.to_string(),
+            })?
+    };
     let b = FdfdSolver::rhs(source, omega);
-    let e = lu.solve(&b);
-    let forward = ComplexField2d::from_vec(eps_r.grid(), e);
+    let forward = {
+        let _s = maps_obs::span("fdfd.backsub");
+        ComplexField2d::from_vec(eps_r.grid(), lu.solve(&b))
+    };
     let objective_value = objective.eval(&forward);
     let rhs = objective.adjoint_rhs(&forward);
-    let e_adj = lu.solve_transposed(&rhs);
-    let adjoint = ComplexField2d::from_vec(eps_r.grid(), e_adj);
+    let adjoint = {
+        let _s = maps_obs::span("fdfd.backsub").field("transposed", true);
+        ComplexField2d::from_vec(eps_r.grid(), lu.solve_transposed(&rhs))
+    };
     let gradient = gradient_from_fields(&forward, &adjoint, omega);
     Ok(AdjointSolution {
         forward,

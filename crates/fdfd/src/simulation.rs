@@ -130,6 +130,22 @@ impl FdfdSolver {
     }
 }
 
+/// Formats an iterative-backend failure with its full convergence record so
+/// callers of [`FieldSolver::solve_ez`] see how close the solve got.
+fn convergence_detail(e: &maps_linalg::LinalgError, opts: IterativeOptions) -> String {
+    match e {
+        maps_linalg::LinalgError::NoConvergence {
+            iterations,
+            residual,
+        } => format!(
+            "bicgstab stalled after {iterations} iterations: relative residual \
+             {residual:.3e} did not reach tolerance {:.3e} (max_iterations {})",
+            opts.tolerance, opts.max_iterations
+        ),
+        other => other.to_string(),
+    }
+}
+
 impl FieldSolver for FdfdSolver {
     fn solve_ez(
         &self,
@@ -151,23 +167,34 @@ impl FieldSolver for FdfdSolver {
                 detail: "omega must be positive and finite".into(),
             });
         }
+        let _span = maps_obs::span("fdfd.solve_ez")
+            .field("backend", self.name())
+            .field("cells", eps_r.grid().len());
+        maps_obs::counter("fdfd.forward_solves").inc();
         let op = self.operator(eps_r, omega);
         let b = Self::rhs(source, omega);
         let x = match self.backend {
             Backend::Direct => {
-                let lu = op.to_banded().factorize().map_err(|e| {
-                    SolveFieldError::Numerical {
-                        detail: e.to_string(),
-                    }
-                })?;
+                let lu = {
+                    let _s = maps_obs::span("fdfd.factorize");
+                    op.to_banded().factorize().map_err(|e| {
+                        SolveFieldError::Numerical {
+                            detail: e.to_string(),
+                        }
+                    })?
+                };
+                let _s = maps_obs::span("fdfd.backsub");
                 lu.solve(&b)
             }
             Backend::Iterative(opts) => {
-                let (x, _stats) = bicgstab(&op.to_csr(), &b, opts).map_err(|e| {
+                let _s = maps_obs::span("fdfd.bicgstab");
+                let (x, stats) = bicgstab(&op.to_csr(), &b, opts).map_err(|e| {
                     SolveFieldError::Numerical {
-                        detail: e.to_string(),
+                        detail: convergence_detail(&e, opts),
                     }
                 })?;
+                maps_obs::histogram("fdfd.bicgstab.iterations").record(stats.iterations as f64);
+                maps_obs::histogram("fdfd.bicgstab.residual").record(stats.residual);
                 x
             }
         };
@@ -186,13 +213,20 @@ impl FieldSolver for FdfdSolver {
                 detail: "eps and adjoint-rhs grids differ".into(),
             });
         }
+        let _span = maps_obs::span("fdfd.solve_adjoint_ez")
+            .field("backend", self.name())
+            .field("cells", eps_r.grid().len());
+        maps_obs::counter("fdfd.adjoint_solves").inc();
         let op = self.operator(eps_r, omega);
-        let lu = op
-            .to_banded()
-            .factorize()
-            .map_err(|e| SolveFieldError::Numerical {
-                detail: e.to_string(),
-            })?;
+        let lu = {
+            let _s = maps_obs::span("fdfd.factorize");
+            op.to_banded()
+                .factorize()
+                .map_err(|e| SolveFieldError::Numerical {
+                    detail: e.to_string(),
+                })?
+        };
+        let _s = maps_obs::span("fdfd.backsub");
         Ok(ComplexField2d::from_vec(
             eps_r.grid(),
             lu.solve_transposed(rhs.as_slice()),

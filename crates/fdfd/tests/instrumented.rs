@@ -1,0 +1,141 @@
+//! The `InstrumentedSolver` wrapper must be invisible to the physics:
+//! fields come out bit-identical to the bare solver while the global
+//! telemetry counters advance.
+
+use maps_core::{
+    ComplexField2d, FieldSolver, Grid2d, InstrumentedSolver, RealField2d, SolveFieldError,
+};
+use maps_fdfd::{Backend, FdfdSolver};
+use maps_linalg::{Complex64, IterativeOptions};
+
+fn point_source(grid: Grid2d, ix: usize, iy: usize) -> ComplexField2d {
+    let mut j = ComplexField2d::zeros(grid);
+    j.set(ix, iy, Complex64::ONE);
+    j
+}
+
+#[test]
+fn wrapper_is_bit_identical_to_bare_fdfd() {
+    let grid = Grid2d::new(48, 40, 0.08);
+    let eps = RealField2d::constant(grid, 2.25);
+    let j = point_source(grid, 24, 20);
+    let omega = maps_core::omega_for_wavelength(1.55);
+
+    let bare = FdfdSolver::new();
+    let wrapped = InstrumentedSolver::new(FdfdSolver::new());
+    assert_eq!(wrapped.name(), "instrumented(fdfd-direct)");
+
+    let reg = maps_obs::global();
+    let solves_before = reg
+        .counter_value("solver.fdfd-direct.solves")
+        .unwrap_or(0);
+
+    let ez_bare = bare.solve_ez(&eps, &j, omega).expect("bare solve");
+    let ez_wrapped = wrapped.solve_ez(&eps, &j, omega).expect("wrapped solve");
+
+    // Bit-identical, not just approximately equal: the wrapper must not
+    // touch the numerics at all.
+    let a = ez_bare.as_slice();
+    let b = ez_wrapped.as_slice();
+    assert_eq!(a.len(), b.len());
+    for (k, (x, y)) in a.iter().zip(b).enumerate() {
+        assert!(
+            x.re.to_bits() == y.re.to_bits() && x.im.to_bits() == y.im.to_bits(),
+            "cell {k}: {x:?} != {y:?}"
+        );
+    }
+
+    // Telemetry advanced: one more solve, and a latency sample recorded.
+    let solves_after = reg
+        .counter_value("solver.fdfd-direct.solves")
+        .expect("solve counter registered");
+    assert_eq!(solves_after, solves_before + 1);
+    let latency = reg
+        .histogram_snapshot("solver.fdfd-direct.solve_seconds")
+        .expect("latency histogram registered");
+    assert!(latency.count >= 1);
+    assert!(latency.p50 > 0.0);
+}
+
+#[test]
+fn wrapper_counts_failures_and_preserves_errors() {
+    let grid = Grid2d::new(32, 32, 0.08);
+    let eps = RealField2d::constant(grid, 2.25);
+    // Mismatched grid between eps and source must error identically
+    // through the wrapper.
+    let j = point_source(Grid2d::new(16, 16, 0.08), 8, 8);
+    let omega = maps_core::omega_for_wavelength(1.55);
+
+    let wrapped = InstrumentedSolver::new(FdfdSolver::new());
+    let reg = maps_obs::global();
+    let failures_before = reg
+        .counter_value("solver.fdfd-direct.failures")
+        .unwrap_or(0);
+
+    let err = wrapped.solve_ez(&eps, &j, omega).unwrap_err();
+    assert!(matches!(err, SolveFieldError::GridMismatch { .. }));
+
+    let failures_after = reg
+        .counter_value("solver.fdfd-direct.failures")
+        .expect("failure counter registered");
+    assert_eq!(failures_after, failures_before + 1);
+}
+
+#[test]
+fn iterative_backend_records_convergence_telemetry() {
+    let grid = Grid2d::new(40, 32, 0.08);
+    let eps = RealField2d::constant(grid, 1.0);
+    let j = point_source(grid, 20, 16);
+    let omega = maps_core::omega_for_wavelength(1.55);
+
+    let solver = FdfdSolver::new().backend(Backend::Iterative(IterativeOptions {
+        max_iterations: 4000,
+        tolerance: 1e-8,
+    }));
+    let wrapped = InstrumentedSolver::new(solver);
+    assert_eq!(wrapped.name(), "instrumented(fdfd-bicgstab)");
+
+    let ez = wrapped.solve_ez(&eps, &j, omega).expect("iterative solve");
+    assert!(ez.norm() > 0.0);
+
+    let reg = maps_obs::global();
+    // The solve must have left residual + iteration telemetry behind.
+    let residual = reg
+        .histogram_snapshot("fdfd.bicgstab.residual")
+        .expect("residual histogram registered");
+    assert!(residual.count >= 1);
+    assert!(residual.max <= 1e-8 * 1.01, "residual {:.3e}", residual.max);
+    let iters = reg
+        .histogram_snapshot("fdfd.bicgstab.iterations")
+        .expect("iteration histogram registered");
+    assert!(iters.min >= 1.0);
+}
+
+#[test]
+fn nonconvergence_error_carries_iteration_and_residual_detail() {
+    let grid = Grid2d::new(48, 40, 0.08);
+    // A high-contrast structure with a starved iteration budget cannot
+    // converge; the error must say how far it got.
+    let mut eps = RealField2d::constant(grid, 2.07);
+    for iy in 12..28 {
+        for ix in 8..40 {
+            eps.set(ix, iy, 12.11);
+        }
+    }
+    let j = point_source(grid, 24, 20);
+    let omega = maps_core::omega_for_wavelength(1.55);
+
+    let solver = FdfdSolver::new().backend(Backend::Iterative(IterativeOptions {
+        max_iterations: 3,
+        tolerance: 1e-14,
+    }));
+    let err = solver.solve_ez(&eps, &j, omega).unwrap_err();
+    match err {
+        SolveFieldError::Numerical { detail } => {
+            assert!(detail.contains("3 iterations"), "detail: {detail}");
+            assert!(detail.contains("tolerance"), "detail: {detail}");
+            assert!(detail.contains("relative residual"), "detail: {detail}");
+        }
+        other => panic!("expected Numerical error, got {other:?}"),
+    }
+}

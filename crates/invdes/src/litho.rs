@@ -237,7 +237,7 @@ mod tests {
             n,
             n,
             (0..n * n)
-                .map(|k| if (k / n + k % n) % 2 == 0 { 1.0 } else { 0.0 })
+                .map(|k| if (k / n + k % n).is_multiple_of(2) { 1.0 } else { 0.0 })
                 .collect(),
         )
     }

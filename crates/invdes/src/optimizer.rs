@@ -206,6 +206,9 @@ impl InverseDesigner {
         mut on_iteration: impl FnMut(&IterationRecord, &Patch, &ComplexField2d),
     ) -> Result<OptimResult, OptimError> {
         let (nx, ny) = problem.design_size;
+        let _span = maps_obs::span("invdes.run")
+            .field("design", format!("{nx}x{ny}"))
+            .field("iterations", self.config.iterations);
         let mut theta = self.config.init.build(nx, ny);
         let mut adam = PatchAdam::new(theta.len(), self.config.learning_rate);
         let omega = problem.omega();
@@ -216,6 +219,7 @@ impl InverseDesigner {
         let mut last_density = theta.clone();
         let mut beta = self.config.beta_start;
         for iteration in 0..self.config.iterations {
+            let iter_span = maps_obs::span("invdes.iteration").field("iteration", iteration);
             let chain = self.chain(beta);
             let inter = chain.forward_all(&theta);
             let density = inter.last().expect("chain output").clone();
@@ -223,12 +227,29 @@ impl InverseDesigner {
             let eval = solver.objective_and_gradient(&eps, &source, omega, &objective)?;
             let grad_patch = problem.gradient_to_patch(&eval.grad_eps);
             let grad_theta = chain.backward(&inter, &grad_patch);
+            let grad_norm = grad_theta
+                .as_slice()
+                .iter()
+                .map(|g| g * g)
+                .sum::<f64>()
+                .sqrt();
             let record = IterationRecord {
                 iteration,
                 objective: eval.objective,
                 gray_level: density.gray_level(),
                 beta,
             };
+            maps_obs::counter("invdes.iterations").inc();
+            maps_obs::gauge("invdes.objective").set(record.objective);
+            maps_obs::gauge("invdes.gray_level").set(record.gray_level);
+            maps_obs::histogram("invdes.grad_norm").record(grad_norm);
+            maps_obs::info!(
+                "invdes iter {iteration}: objective {:.4} gray {:.3} |grad| {grad_norm:.3e} \
+                 beta {beta:.2} ({:.2}s)",
+                record.objective,
+                record.gray_level,
+                iter_span.elapsed().as_secs_f64()
+            );
             on_iteration(&record, &density, &eval.forward);
             history.push(record);
             adam.ascend(&mut theta, &grad_theta);

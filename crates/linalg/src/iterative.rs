@@ -51,6 +51,34 @@ pub fn bicgstab(
     b: &[Complex64],
     options: IterativeOptions,
 ) -> Result<(Vec<Complex64>, IterativeStats), LinalgError> {
+    let _span = maps_obs::span("linalg.bicgstab").field("n", b.len());
+    let result = bicgstab_inner(a, b, options);
+    match &result {
+        Ok((_, stats)) => {
+            maps_obs::counter("bicgstab.solves").inc();
+            maps_obs::histogram("bicgstab.iterations").record(stats.iterations as f64);
+            maps_obs::histogram("bicgstab.residual").record(stats.residual);
+        }
+        Err(LinalgError::NoConvergence {
+            iterations,
+            residual,
+        }) => {
+            maps_obs::counter("bicgstab.failures").inc();
+            maps_obs::histogram("bicgstab.iterations").record(*iterations as f64);
+            maps_obs::histogram("bicgstab.residual").record(*residual);
+        }
+        Err(_) => {
+            maps_obs::counter("bicgstab.failures").inc();
+        }
+    }
+    result
+}
+
+fn bicgstab_inner(
+    a: &CsrMatrix,
+    b: &[Complex64],
+    options: IterativeOptions,
+) -> Result<(Vec<Complex64>, IterativeStats), LinalgError> {
     assert_eq!(a.rows(), a.cols(), "bicgstab requires a square matrix");
     assert_eq!(b.len(), a.rows(), "bicgstab dimension mismatch");
     let n = b.len();

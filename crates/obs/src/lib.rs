@@ -1,0 +1,67 @@
+//! # maps-obs — zero-dependency observability for the MAPS stack
+//!
+//! Tracing spans, a metrics registry, and convergence telemetry built
+//! entirely on `std`, so every crate in the workspace — down to
+//! `maps-linalg` at the bottom of the dependency graph — can be instrumented
+//! without pulling in external crates or creating dependency cycles.
+//!
+//! Three pieces:
+//!
+//! - **Spans** ([`span`]): RAII wall-clock timers over [`std::time::Instant`].
+//!   Nesting is tracked per thread; when `MAPS_LOG=debug`, entry/exit lines
+//!   are printed to stderr with indentation matching the nesting depth. Every
+//!   completed span also records its duration into the global registry
+//!   (histogram `span.<name>.seconds`) and, when enabled, the in-memory
+//!   [`recorder`] used by tests.
+//! - **Metrics** ([`Registry`]): named [`Counter`]s, [`Gauge`]s, and
+//!   log-bucketed [`Histogram`]s with p50/p90/p99 estimation. A process-wide
+//!   registry is available via [`global`], and [`Registry::to_json`]
+//!   serializes a snapshot with a hand-rolled writer (no serde).
+//! - **Logging** ([`Level`], [`error!`], [`info!`], [`debug!`]): an
+//!   env-controlled stderr sink. `MAPS_LOG=off|error|info|debug` selects the
+//!   level; unset means off, and the level check happens before any
+//!   formatting, so instrumented hot paths do no I/O and no allocation for
+//!   log calls when observability is off.
+//!
+//! ```
+//! let _guard = maps_obs::span("solve").field("grid", 64);
+//! maps_obs::counter("solver.calls").inc();
+//! maps_obs::histogram("solver.residual").record(1.3e-9);
+//! let snapshot = maps_obs::global().to_json();
+//! assert!(snapshot.contains("solver.calls"));
+//! ```
+
+mod level;
+mod metrics;
+pub mod recorder;
+mod span;
+
+pub use level::{emit, enabled, level, set_level, Level};
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, Registry};
+pub use span::{span, Span, SpanRecord};
+
+use std::sync::OnceLock;
+
+/// The process-wide metrics registry.
+///
+/// All module-level conveniences ([`counter`], [`gauge`], [`histogram`],
+/// [`span`]) operate on this registry.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+/// Get-or-create a counter in the [`global`] registry.
+pub fn counter(name: &str) -> Counter {
+    global().counter(name)
+}
+
+/// Get-or-create a gauge in the [`global`] registry.
+pub fn gauge(name: &str) -> Gauge {
+    global().gauge(name)
+}
+
+/// Get-or-create a histogram in the [`global`] registry.
+pub fn histogram(name: &str) -> Histogram {
+    global().histogram(name)
+}

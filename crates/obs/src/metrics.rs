@@ -1,0 +1,506 @@
+//! Named counters, gauges, and log-bucketed histograms, plus a hand-rolled
+//! JSON snapshot writer.
+//!
+//! All instruments are lock-free on the record path (atomics only); the
+//! registry's maps are locked only on get-or-create and on snapshot.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+// --- histogram bucket layout -----------------------------------------------
+//
+// Log-spaced buckets, 4 per decade, spanning 1e-18 .. 1e+6. That covers both
+// sub-nanosecond span timings and iterative-solver residuals down to machine
+// epsilon squared, with a worst-case relative error of 10^(1/4) ≈ 1.78× on
+// percentile estimates (tightened further by clamping to the observed
+// min/max).
+
+const DECADE_LO: f64 = -18.0;
+const DECADE_HI: f64 = 6.0;
+const BUCKETS_PER_DECADE: f64 = 4.0;
+/// Interior buckets between the under- and overflow buckets.
+const INTERIOR: usize = ((DECADE_HI - DECADE_LO) as usize) * 4;
+/// Total buckets: underflow + interior + overflow.
+const NBUCKETS: usize = INTERIOR + 2;
+
+fn bucket_index(v: f64) -> usize {
+    // Zero, negatives, NaN, and subnormals-of-interest all land in the
+    // underflow bucket; min/max stay exact.
+    if v.is_nan() || v <= 1e-18 {
+        return 0;
+    }
+    let z = (v.log10() - DECADE_LO) * BUCKETS_PER_DECADE;
+    if z < 0.0 {
+        0
+    } else if z >= INTERIOR as f64 {
+        NBUCKETS - 1
+    } else {
+        z as usize + 1
+    }
+}
+
+/// Geometric midpoint of an interior bucket, used as its representative
+/// value in percentile estimation.
+fn bucket_mid(index: usize) -> f64 {
+    let lo_exp = DECADE_LO + (index as f64 - 1.0) / BUCKETS_PER_DECADE;
+    10f64.powf(lo_exp + 0.5 / BUCKETS_PER_DECADE)
+}
+
+// --- atomic f64 helpers ----------------------------------------------------
+
+fn atomic_f64_update(cell: &AtomicU64, combine: impl Fn(f64, f64) -> f64, v: f64) {
+    let mut current = cell.load(Ordering::Relaxed);
+    loop {
+        let next = combine(f64::from_bits(current), v);
+        match cell.compare_exchange_weak(
+            current,
+            next.to_bits(),
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+        ) {
+            Ok(_) => return,
+            Err(actual) => current = actual,
+        }
+    }
+}
+
+// --- instruments -----------------------------------------------------------
+
+/// Monotonically increasing event count. Cheap to clone; clones share state.
+#[derive(Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Last-write-wins floating-point value. Cheap to clone; clones share state.
+#[derive(Clone)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Replaces the value.
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+struct HistogramInner {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    /// f64 bits; combined with CAS loops.
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl HistogramInner {
+    fn new() -> Self {
+        Self {
+            buckets: (0..NBUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0f64.to_bits()),
+            min: AtomicU64::new(f64::INFINITY.to_bits()),
+            max: AtomicU64::new(f64::NEG_INFINITY.to_bits()),
+        }
+    }
+}
+
+/// Log-bucketed distribution of non-negative samples (latencies, residuals,
+/// iteration counts). Cheap to clone; clones share state.
+#[derive(Clone)]
+pub struct Histogram(Arc<HistogramInner>);
+
+impl Histogram {
+    /// Records one sample. NaN is ignored.
+    pub fn record(&self, v: f64) {
+        if v.is_nan() {
+            return;
+        }
+        let inner = &self.0;
+        inner.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        inner.count.fetch_add(1, Ordering::Relaxed);
+        atomic_f64_update(&inner.sum, |a, b| a + b, v);
+        atomic_f64_update(&inner.min, f64::min, v);
+        atomic_f64_update(&inner.max, f64::max, v);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Arithmetic mean of recorded samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            f64::from_bits(self.0.sum.load(Ordering::Relaxed)) / n as f64
+        }
+    }
+
+    /// Smallest recorded sample (exact; 0 when empty).
+    pub fn min(&self) -> f64 {
+        let v = f64::from_bits(self.0.min.load(Ordering::Relaxed));
+        if v.is_finite() {
+            v
+        } else {
+            0.0
+        }
+    }
+
+    /// Largest recorded sample (exact; 0 when empty).
+    pub fn max(&self) -> f64 {
+        let v = f64::from_bits(self.0.max.load(Ordering::Relaxed));
+        if v.is_finite() {
+            v
+        } else {
+            0.0
+        }
+    }
+
+    /// Estimates the `p`-th percentile (`p` in 0..=100) from the bucket
+    /// cumulative distribution. Accurate to one bucket width
+    /// (≈1.78× relative), then clamped to the exact observed min/max.
+    pub fn percentile(&self, p: f64) -> f64 {
+        let total = self.count();
+        if total == 0 {
+            return 0.0;
+        }
+        let rank = ((p / 100.0) * total as f64).ceil().max(1.0) as u64;
+        let mut cumulative = 0u64;
+        for (i, b) in self.0.buckets.iter().enumerate() {
+            cumulative += b.load(Ordering::Relaxed);
+            if cumulative >= rank {
+                let raw = if i == 0 {
+                    self.min()
+                } else if i == NBUCKETS - 1 {
+                    self.max()
+                } else {
+                    bucket_mid(i)
+                };
+                return raw.clamp(self.min(), self.max());
+            }
+        }
+        self.max()
+    }
+
+    /// Consistent point-in-time summary used by snapshots.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count(),
+            mean: self.mean(),
+            min: self.min(),
+            max: self.max(),
+            p50: self.percentile(50.0),
+            p90: self.percentile(90.0),
+            p99: self.percentile(99.0),
+        }
+    }
+}
+
+/// Point-in-time histogram summary.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Number of samples.
+    pub count: u64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Exact observed minimum.
+    pub min: f64,
+    /// Exact observed maximum.
+    pub max: f64,
+    /// Estimated median.
+    pub p50: f64,
+    /// Estimated 90th percentile.
+    pub p90: f64,
+    /// Estimated 99th percentile.
+    pub p99: f64,
+}
+
+// --- registry --------------------------------------------------------------
+
+/// A namespace of instruments addressable by string name.
+///
+/// `counter`/`gauge`/`histogram` get-or-create, so call sites never need
+/// registration boilerplate and repeated lookups return the same instrument.
+#[derive(Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+    gauges: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+    histograms: Mutex<BTreeMap<String, Arc<HistogramInner>>>,
+}
+
+impl Registry {
+    /// An empty registry (prefer [`crate::global`] outside tests).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Get-or-create the counter `name`.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut map = self.counters.lock().expect("counter map");
+        Counter(Arc::clone(
+            map.entry(name.to_string()).or_insert_with(|| Arc::new(AtomicU64::new(0))),
+        ))
+    }
+
+    /// Get-or-create the gauge `name`.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut map = self.gauges.lock().expect("gauge map");
+        Gauge(Arc::clone(map.entry(name.to_string()).or_insert_with(|| {
+            Arc::new(AtomicU64::new(0f64.to_bits()))
+        })))
+    }
+
+    /// Get-or-create the histogram `name`.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let mut map = self.histograms.lock().expect("histogram map");
+        Histogram(Arc::clone(
+            map.entry(name.to_string()).or_insert_with(|| Arc::new(HistogramInner::new())),
+        ))
+    }
+
+    /// Value of counter `name`, if it exists.
+    pub fn counter_value(&self, name: &str) -> Option<u64> {
+        let map = self.counters.lock().expect("counter map");
+        map.get(name).map(|c| c.load(Ordering::Relaxed))
+    }
+
+    /// Value of gauge `name`, if it exists.
+    pub fn gauge_value(&self, name: &str) -> Option<f64> {
+        let map = self.gauges.lock().expect("gauge map");
+        map.get(name).map(|g| f64::from_bits(g.load(Ordering::Relaxed)))
+    }
+
+    /// Snapshot of histogram `name`, if it exists.
+    pub fn histogram_snapshot(&self, name: &str) -> Option<HistogramSnapshot> {
+        let map = self.histograms.lock().expect("histogram map");
+        map.get(name).map(|h| Histogram(Arc::clone(h)).snapshot())
+    }
+
+    /// Drops every instrument (test isolation; outstanding handles keep
+    /// working but detach from the registry).
+    pub fn reset(&self) {
+        self.counters.lock().expect("counter map").clear();
+        self.gauges.lock().expect("gauge map").clear();
+        self.histograms.lock().expect("histogram map").clear();
+    }
+
+    /// Compact JSON snapshot of every instrument, keys sorted.
+    pub fn to_json(&self) -> String {
+        self.write_json(false)
+    }
+
+    /// Human-readable (indented) JSON snapshot.
+    pub fn to_json_pretty(&self) -> String {
+        self.write_json(true)
+    }
+
+    fn write_json(&self, pretty: bool) -> String {
+        let counters: Vec<(String, u64)> = {
+            let map = self.counters.lock().expect("counter map");
+            map.iter().map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed))).collect()
+        };
+        let gauges: Vec<(String, f64)> = {
+            let map = self.gauges.lock().expect("gauge map");
+            map.iter()
+                .map(|(k, v)| (k.clone(), f64::from_bits(v.load(Ordering::Relaxed))))
+                .collect()
+        };
+        let histograms: Vec<(String, HistogramSnapshot)> = {
+            let map = self.histograms.lock().expect("histogram map");
+            map.iter()
+                .map(|(k, v)| (k.clone(), Histogram(Arc::clone(v)).snapshot()))
+                .collect()
+        };
+
+        let mut w = JsonWriter::new(pretty);
+        w.open_obj();
+        w.key("counters");
+        w.open_obj();
+        for (name, v) in &counters {
+            w.key(name);
+            w.raw(&v.to_string());
+        }
+        w.close_obj();
+        w.key("gauges");
+        w.open_obj();
+        for (name, v) in &gauges {
+            w.key(name);
+            w.number(*v);
+        }
+        w.close_obj();
+        w.key("histograms");
+        w.open_obj();
+        for (name, s) in &histograms {
+            w.key(name);
+            w.open_obj();
+            w.key("count");
+            w.raw(&s.count.to_string());
+            w.key("mean");
+            w.number(s.mean);
+            w.key("min");
+            w.number(s.min);
+            w.key("max");
+            w.number(s.max);
+            w.key("p50");
+            w.number(s.p50);
+            w.key("p90");
+            w.number(s.p90);
+            w.key("p99");
+            w.number(s.p99);
+            w.close_obj();
+        }
+        w.close_obj();
+        w.close_obj();
+        w.finish()
+    }
+}
+
+// --- minimal JSON writer ---------------------------------------------------
+
+struct JsonWriter {
+    out: String,
+    pretty: bool,
+    depth: usize,
+    /// Whether the current container already has at least one entry.
+    need_comma: Vec<bool>,
+}
+
+impl JsonWriter {
+    fn new(pretty: bool) -> Self {
+        Self {
+            out: String::new(),
+            pretty,
+            depth: 0,
+            need_comma: Vec::new(),
+        }
+    }
+
+    fn newline_indent(&mut self) {
+        if self.pretty {
+            self.out.push('\n');
+            for _ in 0..self.depth {
+                self.out.push_str("  ");
+            }
+        }
+    }
+
+    fn before_entry(&mut self) {
+        if let Some(last) = self.need_comma.last_mut() {
+            if *last {
+                self.out.push(',');
+            }
+            *last = true;
+        }
+        self.newline_indent();
+    }
+
+    fn open_obj(&mut self) {
+        self.out.push('{');
+        self.depth += 1;
+        self.need_comma.push(false);
+    }
+
+    fn close_obj(&mut self) {
+        let had_entries = self.need_comma.pop().unwrap_or(false);
+        self.depth -= 1;
+        if had_entries {
+            self.newline_indent();
+        }
+        self.out.push('}');
+    }
+
+    fn key(&mut self, k: &str) {
+        self.before_entry();
+        self.string(k);
+        self.out.push(':');
+        if self.pretty {
+            self.out.push(' ');
+        }
+    }
+
+    fn string(&mut self, s: &str) {
+        self.out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => self.out.push_str("\\\""),
+                '\\' => self.out.push_str("\\\\"),
+                '\n' => self.out.push_str("\\n"),
+                '\r' => self.out.push_str("\\r"),
+                '\t' => self.out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    let _ = write!(self.out, "\\u{:04x}", c as u32);
+                }
+                c => self.out.push(c),
+            }
+        }
+        self.out.push('"');
+    }
+
+    fn number(&mut self, v: f64) {
+        if v.is_finite() {
+            let _ = write!(self.out, "{v}");
+        } else {
+            // JSON has no Infinity/NaN; null keeps the document parseable.
+            self.out.push_str("null");
+        }
+    }
+
+    fn raw(&mut self, s: &str) {
+        self.out.push_str(s);
+    }
+
+    fn finish(self) -> String {
+        self.out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_monotone() {
+        let values = [0.0, 1e-19, 1e-12, 3.3e-7, 1e-3, 0.5, 1.0, 17.0, 1e5, 1e7];
+        let mut last = 0;
+        for v in values {
+            let idx = bucket_index(v);
+            assert!(idx >= last, "bucket index decreased at {v}");
+            assert!(idx < NBUCKETS);
+            last = idx;
+        }
+    }
+
+    #[test]
+    fn bucket_mid_lies_inside_bucket() {
+        for v in [1e-9, 2.5e-4, 0.7, 42.0] {
+            let i = bucket_index(v);
+            let mid = bucket_mid(i);
+            // Same bucket: the representative value round-trips.
+            assert_eq!(bucket_index(mid), i, "mid {mid} escaped bucket of {v}");
+        }
+    }
+}

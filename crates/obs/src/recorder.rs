@@ -1,0 +1,41 @@
+//! In-memory span recorder for tests.
+//!
+//! Disabled by default so production paths pay only a relaxed atomic load
+//! per span. Tests call [`enable`], run instrumented code, then [`take`] the
+//! captured [`SpanRecord`]s for assertions.
+
+use crate::span::SpanRecord;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static RECORDS: Mutex<Vec<SpanRecord>> = Mutex::new(Vec::new());
+
+/// Starts capturing completed spans (clears any previous capture).
+pub fn enable() {
+    RECORDS.lock().expect("span recorder").clear();
+    ENABLED.store(true, Ordering::Release);
+}
+
+/// Stops capturing and discards anything captured so far.
+pub fn disable() {
+    ENABLED.store(false, Ordering::Release);
+    RECORDS.lock().expect("span recorder").clear();
+}
+
+/// True while the recorder is capturing.
+pub fn is_enabled() -> bool {
+    ENABLED.load(Ordering::Acquire)
+}
+
+/// Drains and returns the spans captured since [`enable`] (capture
+/// continues).
+pub fn take() -> Vec<SpanRecord> {
+    std::mem::take(&mut *RECORDS.lock().expect("span recorder"))
+}
+
+pub(crate) fn record_span(record: SpanRecord) {
+    if is_enabled() {
+        RECORDS.lock().expect("span recorder").push(record);
+    }
+}

@@ -1,0 +1,128 @@
+//! RAII tracing spans with per-thread nesting.
+
+use crate::level::{emit, enabled, Level};
+use crate::recorder;
+use std::cell::Cell;
+use std::fmt::Display;
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+thread_local! {
+    static DEPTH: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Opens a span named `name` on the current thread.
+///
+/// The returned guard measures wall-clock time until it is dropped. On drop
+/// the duration is recorded into the global registry (histogram
+/// `span.<name>.seconds`), appended to the in-memory [`recorder`] when that
+/// is enabled, and — at `MAPS_LOG=debug` — an exit line with the timing and
+/// any fields is printed to stderr, indented by nesting depth.
+pub fn span(name: impl Into<String>) -> Span {
+    let name = name.into();
+    let depth = DEPTH.with(|d| {
+        let v = d.get();
+        d.set(v + 1);
+        v
+    });
+    if enabled(Level::Debug) {
+        emit(Level::Debug, &format!("{:indent$}-> {name}", "", indent = 2 * depth));
+    }
+    Span {
+        name,
+        fields: Vec::new(),
+        depth,
+        start: Instant::now(),
+    }
+}
+
+/// Guard created by [`span`]; timing stops when it drops.
+pub struct Span {
+    name: String,
+    fields: Vec<(String, String)>,
+    depth: usize,
+    start: Instant,
+}
+
+impl Span {
+    /// Attaches a `key=value` annotation (builder form).
+    pub fn field(mut self, key: &str, value: impl Display) -> Self {
+        self.add_field(key, value);
+        self
+    }
+
+    /// Attaches a `key=value` annotation after creation.
+    pub fn add_field(&mut self, key: &str, value: impl Display) {
+        self.fields.push((key.to_string(), value.to_string()));
+    }
+
+    /// Time elapsed since the span opened.
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// The span's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let duration = self.start.elapsed();
+        DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+        crate::global()
+            .histogram(&format!("span.{}.seconds", self.name))
+            .record(duration.as_secs_f64());
+        let record = SpanRecord {
+            name: std::mem::take(&mut self.name),
+            fields: std::mem::take(&mut self.fields),
+            depth: self.depth,
+            duration,
+        };
+        if enabled(Level::Debug) {
+            emit(Level::Debug, &format_exit(&record));
+        }
+        recorder::record_span(record);
+    }
+}
+
+/// One completed span, as captured by the in-memory [`recorder`].
+#[derive(Clone, Debug)]
+pub struct SpanRecord {
+    /// Span name.
+    pub name: String,
+    /// `key=value` annotations in attachment order.
+    pub fields: Vec<(String, String)>,
+    /// Nesting depth at open time (0 = top level on its thread).
+    pub depth: usize,
+    /// Wall-clock duration.
+    pub duration: Duration,
+}
+
+impl SpanRecord {
+    /// Looks up a field value by key.
+    pub fn field(&self, key: &str) -> Option<&str> {
+        self.fields
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Debug-log formatting of the exit line (split out so `Drop` stays small).
+pub(crate) fn format_exit(record: &SpanRecord) -> String {
+    let mut line = String::new();
+    let _ = write!(
+        line,
+        "{:indent$}<- {} {:.3?}",
+        "",
+        record.name,
+        record.duration,
+        indent = 2 * record.depth
+    );
+    for (k, v) in &record.fields {
+        let _ = write!(line, " {k}={v}");
+    }
+    line
+}

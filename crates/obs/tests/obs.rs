@@ -1,0 +1,151 @@
+//! Integration tests of the observability crate: percentile math, JSON
+//! snapshot shape, span recording, and thread-safety under contention.
+
+use maps_obs::{recorder, Registry};
+use std::sync::Arc;
+use std::thread;
+
+#[test]
+fn histogram_percentiles_track_known_distribution() {
+    let reg = Registry::new();
+    let h = reg.histogram("latency");
+    // 100 samples: 1ms, 2ms, ..., 100ms.
+    for k in 1..=100 {
+        h.record(k as f64 * 1e-3);
+    }
+    assert_eq!(h.count(), 100);
+    assert!((h.mean() - 0.0505).abs() < 1e-12);
+    assert_eq!(h.min(), 1e-3);
+    assert_eq!(h.max(), 0.1);
+    // Buckets are log-spaced 4 per decade, so estimates carry up to a
+    // 10^(1/4) ≈ 1.78× relative error; check each percentile within that.
+    for (p, expect) in [(50.0, 0.050), (90.0, 0.090), (99.0, 0.099)] {
+        let got = h.percentile(p);
+        assert!(
+            got >= expect / 1.8 && got <= expect * 1.8,
+            "p{p}: got {got}, expected within 1.8x of {expect}"
+        );
+    }
+    // Percentiles are monotone in p and bounded by observed extremes.
+    let (p10, p50, p99) = (h.percentile(10.0), h.percentile(50.0), h.percentile(99.0));
+    assert!(p10 <= p50 && p50 <= p99);
+    assert!(p10 >= h.min() && p99 <= h.max());
+}
+
+#[test]
+fn histogram_handles_tiny_residual_values() {
+    let reg = Registry::new();
+    let h = reg.histogram("residual");
+    for v in [1e-16, 3e-12, 2.5e-9, 1e-8] {
+        h.record(v);
+    }
+    assert_eq!(h.count(), 4);
+    assert_eq!(h.min(), 1e-16);
+    let p50 = h.percentile(50.0);
+    assert!((1e-16..=1e-8).contains(&p50), "p50 {p50}");
+}
+
+#[test]
+fn json_snapshot_has_expected_shape() {
+    let reg = Registry::new();
+    reg.counter("solver.fdfd.solves").add(3);
+    reg.gauge("train.loss").set(0.25);
+    reg.histogram("solver.fdfd.solve_seconds").record(0.012);
+    let json = reg.to_json();
+
+    // Top-level sections in sorted order.
+    assert!(json.starts_with("{\"counters\":{"));
+    assert!(json.contains("\"gauges\":{"));
+    assert!(json.contains("\"histograms\":{"));
+    // Instruments by name with their values.
+    assert!(json.contains("\"solver.fdfd.solves\":3"));
+    assert!(json.contains("\"train.loss\":0.25"));
+    assert!(json.contains("\"solver.fdfd.solve_seconds\":{\"count\":1,"));
+    for key in ["\"mean\":", "\"min\":", "\"max\":", "\"p50\":", "\"p90\":", "\"p99\":"] {
+        assert!(json.contains(key), "missing {key} in {json}");
+    }
+    // Balanced braces (cheap well-formedness check, no parser dependency).
+    let open = json.matches('{').count();
+    let close = json.matches('}').count();
+    assert_eq!(open, close);
+    // Pretty form carries the same content.
+    let pretty = reg.to_json_pretty();
+    assert!(pretty.contains("\"solver.fdfd.solves\": 3"));
+}
+
+#[test]
+fn json_escapes_exotic_names() {
+    let reg = Registry::new();
+    reg.counter("weird\"name\\with\nstuff").inc();
+    let json = reg.to_json();
+    assert!(json.contains("\"weird\\\"name\\\\with\\nstuff\":1"));
+}
+
+#[test]
+fn counters_survive_multithreaded_hammering() {
+    let reg = Arc::new(Registry::new());
+    let threads = 8;
+    let per_thread = 10_000;
+    let mut handles = Vec::new();
+    for _ in 0..threads {
+        let reg = Arc::clone(&reg);
+        handles.push(thread::spawn(move || {
+            // Mix of cached-handle and by-name increments plus histogram
+            // records, to contend on both the atomics and the registry map.
+            let c = reg.counter("hammer");
+            let h = reg.histogram("hammer.values");
+            for k in 0..per_thread {
+                if k % 2 == 0 {
+                    c.inc();
+                } else {
+                    reg.counter("hammer").inc();
+                }
+                h.record((k % 100) as f64 * 1e-4);
+            }
+        }));
+    }
+    for handle in handles {
+        handle.join().expect("hammer thread");
+    }
+    assert_eq!(reg.counter_value("hammer"), Some(threads * per_thread));
+    let snap = reg.histogram_snapshot("hammer.values").unwrap();
+    assert_eq!(snap.count, threads * per_thread);
+}
+
+#[test]
+fn spans_nest_and_record() {
+    recorder::enable();
+    {
+        let _outer = maps_obs::span("outer").field("k", 1);
+        let _inner = maps_obs::span("inner");
+    }
+    let spans = recorder::take();
+    recorder::disable();
+    // Inner drops first.
+    let names: Vec<&str> = spans.iter().map(|s| s.name.as_str()).collect();
+    assert_eq!(names, vec!["inner", "outer"]);
+    assert_eq!(spans[0].depth, 1);
+    assert_eq!(spans[1].depth, 0);
+    assert_eq!(spans[1].field("k"), Some("1"));
+    // Durations recorded into the global registry as well.
+    let snap = maps_obs::global()
+        .histogram_snapshot("span.outer.seconds")
+        .expect("span histogram registered");
+    assert!(snap.count >= 1);
+}
+
+#[test]
+fn gauge_is_last_write_wins() {
+    let reg = Registry::new();
+    let g = reg.gauge("g");
+    g.set(1.5);
+    g.set(-2.25);
+    assert_eq!(g.get(), -2.25);
+    assert_eq!(reg.gauge_value("g"), Some(-2.25));
+}
+
+#[test]
+fn empty_registry_serializes_cleanly() {
+    let reg = Registry::new();
+    assert_eq!(reg.to_json(), "{\"counters\":{},\"gauges\":{},\"histograms\":{}}");
+}

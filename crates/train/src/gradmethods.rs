@@ -119,7 +119,7 @@ fn input_gradient_to_eps(grad_input: &Tensor, eps_r: &RealField2d) -> RealField2
             out.set(ix, iy, d[iy * w + ix] / 11.0);
         }
     }
-    debug_assert!(grad_input.len() % hw == 0);
+    debug_assert!(grad_input.len().is_multiple_of(hw));
     out
 }
 

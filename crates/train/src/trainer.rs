@@ -71,12 +71,17 @@ pub fn train_field_model(
     config: &TrainConfig,
 ) -> TrainReport {
     assert!(!samples.is_empty(), "empty training set");
+    let _span = maps_obs::span("train.fit")
+        .field("model", model.name())
+        .field("samples", samples.len())
+        .field("epochs", config.epochs);
     let normalizer = FieldNormalizer::fit(samples);
     let mut loader_cfg = config.loader.clone();
     loader_cfg.wave_prior = model.wants_wave_prior();
     let mut adam = Adam::new(config.learning_rate);
     let mut epochs = Vec::with_capacity(config.epochs);
     for epoch in 0..config.epochs {
+        let epoch_span = maps_obs::span("train.epoch").field("epoch", epoch);
         adam.lr = config.schedule.lr(config.learning_rate, epoch);
         loader_cfg.seed = config.loader.seed.wrapping_add(epoch as u64);
         let batches = make_batches(samples, normalizer, &loader_cfg);
@@ -127,9 +132,22 @@ pub fn train_field_model(
             let grads = tape.backward(loss);
             adam.step(params, &grads);
         }
+        let epoch_loss = mean(&losses);
+        let elapsed = epoch_span.elapsed().as_secs_f64();
+        maps_obs::counter("train.epochs").inc();
+        maps_obs::gauge("train.loss").set(epoch_loss);
+        maps_obs::histogram("train.epoch_seconds").record(elapsed);
+        if elapsed > 0.0 {
+            maps_obs::histogram("train.samples_per_sec").record(samples.len() as f64 / elapsed);
+        }
+        maps_obs::info!(
+            "train epoch {epoch}: loss {epoch_loss:.4e} ({:.2}s, lr {:.2e})",
+            elapsed,
+            adam.lr
+        );
         epochs.push(EpochRecord {
             epoch,
-            loss: mean(&losses),
+            loss: epoch_loss,
         });
     }
     TrainReport { epochs, normalizer }

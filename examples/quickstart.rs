@@ -1,13 +1,19 @@
-//! Quickstart: simulate a 90° waveguide bend with the exact FDFD solver and
-//! report where the light goes.
+//! Quickstart: simulate a 90° waveguide bend with the exact FDFD solver,
+//! report where the light goes, and dump the telemetry the run produced.
 //!
 //! ```text
-//! cargo run --release --example quickstart
+//! MAPS_LOG=debug cargo run --release --example quickstart
 //! ```
+//!
+//! With `MAPS_LOG=debug` the run prints nested span timings to stderr;
+//! either way it ends with a JSON metrics snapshot (solve counts, latency
+//! percentiles, iterative-solver residuals).
 
+use maps::core::{FieldSolver, InstrumentedSolver};
 use maps::data::{label_sample, DeviceKind, DeviceResolution, GenerateConfig};
-use maps::fdfd::FdfdSolver;
+use maps::fdfd::{Backend, FdfdSolver};
 use maps::invdes::InitStrategy;
+use maps::linalg::IterativeOptions;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Build the benchmark bend device (input left, output top).
@@ -51,5 +57,40 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         sample.labels.maxwell_residual < 1e-9,
         "FDFD solution must satisfy the Maxwell system"
     );
+
+    // 5. Re-run the same physics through the telemetry stack: wrap the
+    //    direct solver to collect per-solve latency, and do one
+    //    iterative-backend solve so convergence telemetry shows up too.
+    let eps = device.problem.eps_for(&density);
+    let source = device.problem.source()?;
+    let omega = device.problem.omega();
+
+    let instrumented = InstrumentedSolver::new(solver);
+    let ez = instrumented.solve_ez(&eps, &source, omega)?;
+    println!(
+        "{}: |Ez| = {:.4e} ({} cells)",
+        instrumented.name(),
+        ez.norm(),
+        grid.len()
+    );
+
+    let iterative = InstrumentedSolver::new(FdfdSolver::with_pml(
+        maps::fdfd::PmlConfig::auto(grid.dl),
+    )
+    .backend(Backend::Iterative(IterativeOptions {
+        max_iterations: 20_000,
+        tolerance: 1e-8,
+    })));
+    let ez_it = iterative.solve_ez(&eps, &source, omega)?;
+    println!(
+        "{}: |Ez| = {:.4e} (vs direct {:.4e})",
+        iterative.name(),
+        ez_it.norm(),
+        ez.norm()
+    );
+
+    // 6. Everything the run measured, as one JSON snapshot.
+    println!("\nmetrics snapshot:");
+    println!("{}", maps::obs::global().to_json_pretty());
     Ok(())
 }

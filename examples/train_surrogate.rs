@@ -10,7 +10,7 @@ use maps::data::{
     label_batch, sample_densities, Dataset, DeviceKind, DeviceResolution, GenerateConfig,
     SamplerConfig, SamplingStrategy,
 };
-use maps::nn::{Fno, FnoConfig, Model};
+use maps::nn::{Fno, FnoConfig};
 use maps::tensor::Params;
 use maps::train::{
     evaluate_n_l2, fwd_adj_field_gradient, gradient_similarity, predict_field, train_field_model,

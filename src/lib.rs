@@ -34,6 +34,8 @@ pub use maps_invdes as invdes;
 pub use maps_linalg as linalg;
 /// Neural operator models and optimizers.
 pub use maps_nn as nn;
+/// Zero-dependency tracing, metrics, and convergence telemetry.
+pub use maps_obs as obs;
 /// Tensors and tape-based autodiff.
 pub use maps_tensor as tensor;
 /// Training framework: loaders, losses, metrics, neural field solver.
@@ -42,8 +44,8 @@ pub use maps_train as train;
 /// The most common types for a quick start.
 pub mod prelude {
     pub use maps_core::{
-        omega_for_wavelength, Axis, ComplexField2d, Direction, FieldSolver, Grid2d, Port,
-        RealField2d, Rect, Shape,
+        omega_for_wavelength, Axis, ComplexField2d, Direction, FieldSolver, Grid2d,
+        InstrumentedSolver, Port, RealField2d, Rect, Shape,
     };
     pub use maps_data::{DeviceKind, DeviceResolution, SamplerConfig, SamplingStrategy};
     pub use maps_fdfd::{FdfdSolver, ModeMonitor, ModeSource, PowerObjective};

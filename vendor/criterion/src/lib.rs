@@ -1,0 +1,214 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Keeps the `criterion_group!`/`criterion_main!`/`benchmark_group` surface
+//! used by `crates/bench` but replaces the statistical machinery with a plain
+//! wall-clock mean. Behaviour matches criterion's two modes:
+//!
+//! - under `cargo bench` (cargo passes `--bench`): each benchmark runs
+//!   `sample_size` timed iterations and prints its mean per-iteration time;
+//! - under `cargo test` (no `--bench` flag): each benchmark body runs exactly
+//!   once as a smoke test, with no timing output.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level harness handle, one per `criterion_group!` run.
+pub struct Criterion {
+    measure: bool,
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            // Cargo appends `--bench` when running bench targets via
+            // `cargo bench`; its absence means we are a `cargo test` smoke run.
+            measure: std::env::args().any(|a| a == "--bench"),
+            default_sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.into(),
+            measure: self.measure,
+            sample_size: self.default_sample_size,
+        }
+    }
+
+    /// Registers a stand-alone benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = BenchmarkGroup {
+            name: String::new(),
+            measure: self.measure,
+            sample_size: self.default_sample_size,
+        };
+        group.bench_function(id, f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing a sample size.
+pub struct BenchmarkGroup {
+    name: String,
+    measure: bool,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup {
+    /// Sets the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs `f` as a benchmark named `id` within this group.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            iters: if self.measure { self.sample_size as u64 } else { 1 },
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        if self.measure {
+            let mean = b.elapsed.checked_div(b.iters as u32).unwrap_or_default();
+            let label = if self.name.is_empty() {
+                format!("{id}")
+            } else {
+                format!("{}/{id}", self.name)
+            };
+            println!("{label:<40} time: {mean:>12.3?}  ({} iters)", b.iters);
+        }
+        self
+    }
+
+    /// Runs `f` with an input value, criterion-style.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (kept for API compatibility; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Passed to benchmark closures; `iter` does the timed work.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over the configured number of iterations.
+    pub fn iter<R, F>(&mut self, mut routine: F)
+    where
+        F: FnMut() -> R,
+    {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed += start.elapsed();
+    }
+}
+
+/// Identifies one benchmark within a group.
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        Self {
+            text: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            text: format!("{parameter}"),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// Bundles benchmark functions into a callable group, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_mode_runs_body_once() {
+        let mut c = Criterion {
+            measure: false,
+            default_sample_size: 20,
+        };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(50);
+        let mut runs = 0u64;
+        group.bench_function("count", |b| b.iter(|| runs += 1));
+        group.finish();
+        assert_eq!(runs, 1);
+    }
+
+    #[test]
+    fn measure_mode_runs_sample_size_iterations() {
+        let mut c = Criterion {
+            measure: true,
+            default_sample_size: 20,
+        };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(7);
+        let mut runs = 0u64;
+        group.bench_with_input(BenchmarkId::from_parameter(42), &42, |b, _| {
+            b.iter(|| runs += 1)
+        });
+        group.finish();
+        assert_eq!(runs, 7);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 10).to_string(), "f/10");
+        assert_eq!(BenchmarkId::from_parameter("32x32").to_string(), "32x32");
+    }
+}

@@ -1,0 +1,205 @@
+//! Offline stand-in for `rayon`.
+//!
+//! Implements the one pattern this workspace uses —
+//! `slice.par_iter().map(f).collect()` — with genuine parallelism: the input
+//! is striped across `std::thread::scope` workers (one per available core)
+//! and results are reassembled in input order. Work stealing, `ParallelIterator`
+//! adaptor chains, and the rest of rayon's surface are intentionally absent.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Everything a caller needs in scope for `.par_iter()`.
+pub mod prelude {
+    pub use crate::IntoParallelRefIterator;
+}
+
+/// Borrowing conversion into a parallel iterator (slice-backed).
+pub trait IntoParallelRefIterator<'a> {
+    /// Element type yielded by reference.
+    type Item: Sync + 'a;
+
+    /// Returns a parallel iterator over `&self`'s elements.
+    fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = T;
+
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = T;
+
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+/// Parallel iterator over a slice.
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Maps every element through `f` (executed on worker threads).
+    pub fn map<R, F>(self, f: F) -> ParMap<'a, T, F>
+    where
+        F: Fn(&'a T) -> R + Sync,
+        R: Send,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Returns `true` when the underlying slice is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+/// The result of [`ParIter::map`], consumed by [`ParMap::collect`].
+pub struct ParMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T: Sync, F> ParMap<'a, T, F> {
+    /// Runs the map on all elements in parallel and gathers the results in
+    /// input order.
+    pub fn collect<R, C>(self) -> C
+    where
+        F: Fn(&'a T) -> R + Sync,
+        R: Send,
+        C: FromParallelResults<R>,
+    {
+        C::from_ordered(parallel_map(self.items, &self.f))
+    }
+}
+
+/// Sink types accepted by [`ParMap::collect`].
+pub trait FromParallelResults<R>: Sized {
+    /// Builds the sink from results in input order.
+    fn from_ordered(results: Vec<R>) -> Self;
+}
+
+impl<R> FromParallelResults<R> for Vec<R> {
+    fn from_ordered(results: Vec<R>) -> Self {
+        results
+    }
+}
+
+impl<R, E> FromParallelResults<Result<R, E>> for Result<Vec<R>, E> {
+    fn from_ordered(results: Vec<Result<R, E>>) -> Self {
+        results.into_iter().collect()
+    }
+}
+
+fn worker_count(jobs: usize) -> usize {
+    let cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    cores.min(jobs).max(1)
+}
+
+fn parallel_map<'a, T: Sync, R: Send>(
+    items: &'a [T],
+    f: &(impl Fn(&'a T) -> R + Sync),
+) -> Vec<R> {
+    let n = items.len();
+    if n <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let workers = worker_count(n);
+    if workers == 1 {
+        return items.iter().map(f).collect();
+    }
+    // Atomic work index so uneven jobs (FDFD solves of varying size) balance
+    // across threads; a mutex-guarded sparse buffer reassembles order.
+    let next = AtomicUsize::new(0);
+    let slots: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let r = f(&items[i]);
+                slots.lock().expect("rayon-stub slot lock")[i] = Some(r);
+            });
+        }
+    });
+    slots
+        .into_inner()
+        .expect("rayon-stub slot lock")
+        .into_iter()
+        .map(|slot| slot.expect("every index filled"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let input: Vec<u64> = (0..500).collect();
+        let out: Vec<u64> = input.par_iter().map(|x| x * 2).collect();
+        assert_eq!(out, (0..500).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn collect_into_result_short_circuits_on_err() {
+        let input: Vec<i64> = (0..100).collect();
+        let ok: Result<Vec<i64>, String> = input.par_iter().map(|x| Ok(x + 1)).collect();
+        assert_eq!(ok.unwrap().len(), 100);
+        let err: Result<Vec<i64>, String> = input
+            .par_iter()
+            .map(|x| if *x == 50 { Err("boom".to_string()) } else { Ok(*x) })
+            .collect();
+        assert_eq!(err.unwrap_err(), "boom");
+    }
+
+    #[test]
+    fn runs_on_multiple_threads_when_available() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let ids: Mutex<HashSet<std::thread::ThreadId>> = Mutex::new(HashSet::new());
+        let input: Vec<usize> = (0..256).collect();
+        let _out: Vec<usize> = input
+            .par_iter()
+            .map(|x| {
+                ids.lock().unwrap().insert(std::thread::current().id());
+                // Small spin so threads overlap.
+                std::hint::black_box((0..1000).sum::<usize>());
+                *x
+            })
+            .collect();
+        let distinct = ids.lock().unwrap().len();
+        let cores = std::thread::available_parallelism().map(|c| c.get()).unwrap_or(1);
+        if cores > 1 {
+            assert!(distinct > 1, "expected parallel execution, saw {distinct} thread(s)");
+        }
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        let empty: Vec<u8> = Vec::new();
+        let out: Vec<u8> = empty.par_iter().map(|x| *x).collect();
+        assert!(out.is_empty());
+        let one = vec![7u8];
+        let out: Vec<u8> = one.par_iter().map(|x| *x + 1).collect();
+        assert_eq!(out, vec![8]);
+    }
+}

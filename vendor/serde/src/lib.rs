@@ -1,0 +1,384 @@
+//! Offline stand-in for `serde`.
+//!
+//! The real `serde` is unreachable in this build environment (crates resolve
+//! offline), so this vendored replacement provides the same *spelling* —
+//! `#[derive(Serialize, Deserialize)]`, `use serde::{Serialize, Deserialize}`
+//! — over a radically simplified data model: every serializable value maps to
+//! a [`Value`] tree, and `serde_json` renders/parses that tree. The full
+//! serde visitor architecture is unnecessary here because the workspace only
+//! serializes plain structs, unit enums, and one shallow mixed enum, always
+//! through JSON.
+//!
+//! Conventions match `serde_json`'s defaults so persisted datasets keep a
+//! familiar shape: structs become objects, unit enum variants become strings,
+//! tuple/struct enum variants become single-key objects.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The universal serialized form: a JSON-like tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Absent / `None`.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Any number (integers are stored exactly up to 2^53).
+    Num(f64),
+    /// String.
+    Str(String),
+    /// Sequence.
+    Arr(Vec<Value>),
+    /// Map with insertion-ordered keys (struct fields, enum variants).
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up a struct field by name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeError`] when `self` is not an object or lacks the field.
+    pub fn field(&self, name: &str) -> Result<&Value, DeError> {
+        match self {
+            Value::Obj(entries) => entries
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v)
+                .ok_or_else(|| DeError::new(format!("missing field `{name}`"))),
+            other => Err(DeError::new(format!(
+                "expected object with field `{name}`, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Interprets the value as a string slice.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeError`] when the value is not a string.
+    pub fn as_str(&self) -> Result<&str, DeError> {
+        match self {
+            Value::Str(s) => Ok(s),
+            other => Err(DeError::new(format!("expected string, found {}", other.kind()))),
+        }
+    }
+
+    /// Interprets the value as a number.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeError`] when the value is not a number.
+    pub fn as_f64(&self) -> Result<f64, DeError> {
+        match self {
+            Value::Num(x) => Ok(*x),
+            other => Err(DeError::new(format!("expected number, found {}", other.kind()))),
+        }
+    }
+
+    /// Interprets the value as a boolean.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeError`] when the value is not a boolean.
+    pub fn as_bool(&self) -> Result<bool, DeError> {
+        match self {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::new(format!("expected bool, found {}", other.kind()))),
+        }
+    }
+
+    /// Interprets the value as an array.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeError`] when the value is not an array.
+    pub fn as_arr(&self) -> Result<&[Value], DeError> {
+        match self {
+            Value::Arr(items) => Ok(items),
+            other => Err(DeError::new(format!("expected array, found {}", other.kind()))),
+        }
+    }
+
+    /// Interprets the value as a single-entry object — the encoding of a
+    /// tuple or struct enum variant — returning `(variant_name, payload)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeError`] when the value is not a single-key object.
+    pub fn as_variant(&self) -> Result<(&str, &Value), DeError> {
+        match self {
+            Value::Obj(entries) if entries.len() == 1 => {
+                Ok((entries[0].0.as_str(), &entries[0].1))
+            }
+            other => Err(DeError::new(format!(
+                "expected single-key variant object, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Num(_) => "number",
+            Value::Str(_) => "string",
+            Value::Arr(_) => "array",
+            Value::Obj(_) => "object",
+        }
+    }
+}
+
+/// Deserialization failure: a human-readable description of the mismatch.
+#[derive(Debug, Clone)]
+pub struct DeError {
+    message: String,
+}
+
+impl DeError {
+    /// Creates an error with the given message.
+    pub fn new(message: impl Into<String>) -> Self {
+        DeError {
+            message: message.into(),
+        }
+    }
+
+    /// The error description.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Conversion into the serialized [`Value`] tree.
+pub trait Serialize {
+    /// Serializes `self` into a [`Value`].
+    fn to_value(&self) -> Value;
+}
+
+/// Reconstruction from the serialized [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Deserializes from a [`Value`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeError`] when the tree does not match `Self`'s shape.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+// --- primitive impls -------------------------------------------------------
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_bool()
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Num(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_f64()
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Num(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.as_f64()? as f32)
+    }
+}
+
+macro_rules! impl_serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Num(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let x = v.as_f64()?;
+                if x.fract() != 0.0 {
+                    return Err(DeError::new(format!(
+                        "expected integer, found fractional number {x}"
+                    )));
+                }
+                Ok(x as $t)
+            }
+        }
+    )*};
+}
+
+impl_serde_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.as_str()?.to_string())
+    }
+}
+
+impl Serialize for &str {
+    fn to_value(&self) -> Value {
+        Value::Str((*self).to_string())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => Ok(Some(T::from_value(other)?)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_arr()?.iter().map(T::from_value).collect()
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(Box::new(T::from_value(v)?))
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        // Keys are rendered through their serialized form; string keys stay
+        // strings, everything else falls back to its JSON rendering.
+        Value::Obj(
+            self.iter()
+                .map(|(k, v)| {
+                    let key = match k.to_value() {
+                        Value::Str(s) => s,
+                        other => format!("{other:?}"),
+                    };
+                    (key, v.to_value())
+                })
+                .collect(),
+        )
+    }
+}
+
+macro_rules! impl_serde_tuple {
+    ($(($($name:ident : $idx:tt),+)),+) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Arr(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let items = v.as_arr()?;
+                let expected = [$($idx,)+].len();
+                if items.len() != expected {
+                    return Err(DeError::new(format!(
+                        "expected {expected}-tuple, found array of {}",
+                        items.len()
+                    )));
+                }
+                Ok(($($name::from_value(&items[$idx])?,)+))
+            }
+        }
+    )+};
+}
+
+impl_serde_tuple!(
+    (A: 0),
+    (A: 0, B: 1),
+    (A: 0, B: 1, C: 2),
+    (A: 0, B: 1, C: 2, D: 3)
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
+        assert_eq!(usize::from_value(&7usize.to_value()).unwrap(), 7);
+        assert!(bool::from_value(&true.to_value()).unwrap());
+        assert_eq!(
+            String::from_value(&"hi".to_string().to_value()).unwrap(),
+            "hi"
+        );
+        let v: Vec<f64> = vec![1.0, 2.0];
+        assert_eq!(Vec::<f64>::from_value(&v.to_value()).unwrap(), v);
+        let t = (1.0f64, 2.0f64);
+        assert_eq!(<(f64, f64)>::from_value(&t.to_value()).unwrap(), t);
+        let o: Option<f64> = None;
+        assert_eq!(Option::<f64>::from_value(&o.to_value()).unwrap(), None);
+        assert_eq!(
+            Option::<f64>::from_value(&Some(3.0).to_value()).unwrap(),
+            Some(3.0)
+        );
+    }
+
+    #[test]
+    fn shape_errors_are_reported() {
+        assert!(f64::from_value(&Value::Str("x".into())).is_err());
+        assert!(usize::from_value(&Value::Num(1.5)).is_err());
+        assert!(Value::Null.field("missing").is_err());
+        let obj = Value::Obj(vec![("a".into(), Value::Num(1.0))]);
+        assert!(obj.field("a").is_ok());
+        assert!(obj.field("b").is_err());
+    }
+}

@@ -1,0 +1,351 @@
+//! Derive macros for the vendored `serde` stand-in.
+//!
+//! `syn`/`quote` are as unreachable as `serde` itself in this offline build
+//! environment, so the input item is parsed directly from the raw
+//! [`proc_macro::TokenStream`] and the generated impls are assembled as
+//! source text. Supported shapes — which cover every derive in this
+//! workspace — are:
+//!
+//! - structs with named fields,
+//! - enums of unit variants,
+//! - enums mixing unit, 1-element tuple, and named-field variants.
+//!
+//! Generics, tuple structs, and `#[serde(...)]` attributes are rejected with
+//! a compile-time panic so that accidental new uses fail loudly instead of
+//! silently mis-serializing.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives the vendored `serde::Serialize` trait.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("generated Serialize impl must parse")
+}
+
+/// Derives the vendored `serde::Deserialize` trait.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item).parse().expect("generated Deserialize impl must parse")
+}
+
+// --- parsed representation -------------------------------------------------
+
+enum Variant {
+    Unit(String),
+    /// One unnamed payload field, e.g. `Rect(Rect)`.
+    Tuple1(String),
+    /// Named payload fields, e.g. `Circle { cx, cy, r }`.
+    Struct(String, Vec<String>),
+}
+
+enum Item {
+    Struct { name: String, fields: Vec<String> },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+// --- token-stream parsing --------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    // Skip outer attributes (`#[...]`, including doc comments) and
+    // visibility (`pub`, `pub(crate)`, ...).
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                i += 2; // '#' + bracket group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1; // pub(crate) / pub(super)
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive stub: expected `struct` or `enum`, found {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive stub: expected type name, found {other:?}"),
+    };
+    i += 1;
+    match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            let body: Vec<TokenTree> = g.stream().into_iter().collect();
+            if kind == "struct" {
+                Item::Struct {
+                    name,
+                    fields: parse_named_fields(&body),
+                }
+            } else {
+                Item::Enum {
+                    name,
+                    variants: parse_variants(&body),
+                }
+            }
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => panic!(
+            "serde_derive stub: generic type `{name}` is not supported; \
+             hand-write the impls or extend vendor/serde_derive"
+        ),
+        other => panic!(
+            "serde_derive stub: `{name}` must have a braced body (tuple/unit \
+             structs unsupported), found {other:?}"
+        ),
+    }
+}
+
+/// Splits a token slice on commas that sit outside `<...>` nesting.
+/// (Parens/brackets/braces are single `Group` tokens, so only angle
+/// brackets need explicit depth tracking.)
+fn split_top_level_commas(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut current = Vec::new();
+    let mut angle_depth = 0i32;
+    for t in tokens {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    out.push(std::mem::take(&mut current));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        current.push(t.clone());
+    }
+    if !current.is_empty() {
+        out.push(current);
+    }
+    out
+}
+
+/// Strips leading attributes and visibility from a field/variant chunk.
+fn strip_attrs_and_vis(chunk: &[TokenTree]) -> &[TokenTree] {
+    let mut i = 0;
+    loop {
+        match chunk.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = chunk.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => return &chunk[i..],
+        }
+    }
+}
+
+fn parse_named_fields(body: &[TokenTree]) -> Vec<String> {
+    split_top_level_commas(body)
+        .iter()
+        .filter(|chunk| !chunk.is_empty())
+        .map(|chunk| {
+            let chunk = strip_attrs_and_vis(chunk);
+            match (chunk.first(), chunk.get(1)) {
+                (Some(TokenTree::Ident(id)), Some(TokenTree::Punct(p))) if p.as_char() == ':' => {
+                    id.to_string()
+                }
+                _ => panic!("serde_derive stub: expected `name: Type` field, found {chunk:?}"),
+            }
+        })
+        .collect()
+}
+
+fn parse_variants(body: &[TokenTree]) -> Vec<Variant> {
+    split_top_level_commas(body)
+        .iter()
+        .filter(|chunk| !chunk.is_empty())
+        .map(|chunk| {
+            let chunk = strip_attrs_and_vis(chunk);
+            let name = match chunk.first() {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                other => panic!("serde_derive stub: expected variant name, found {other:?}"),
+            };
+            match chunk.get(1) {
+                None => Variant::Unit(name),
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    let payload: Vec<TokenTree> = g.stream().into_iter().collect();
+                    let parts = split_top_level_commas(&payload);
+                    if parts.len() != 1 {
+                        panic!(
+                            "serde_derive stub: tuple variant `{name}` must have exactly \
+                             one field, found {}",
+                            parts.len()
+                        );
+                    }
+                    Variant::Tuple1(name)
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    let payload: Vec<TokenTree> = g.stream().into_iter().collect();
+                    Variant::Struct(name, parse_named_fields(&payload))
+                }
+                other => panic!("serde_derive stub: malformed variant `{name}`: {other:?}"),
+            }
+        })
+        .collect()
+}
+
+// --- code generation -------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "obj.push((::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value(&self.{f})));\n"
+                    )
+                })
+                .collect();
+            format!(
+                "#[automatically_derived]\n\
+                 impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         let mut obj = ::std::vec::Vec::new();\n\
+                         {pushes}\
+                         ::serde::Value::Obj(obj)\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| match v {
+                    Variant::Unit(v) => format!(
+                        "{name}::{v} => ::serde::Value::Str(::std::string::String::from(\"{v}\")),\n"
+                    ),
+                    Variant::Tuple1(v) => format!(
+                        "{name}::{v}(f0) => ::serde::Value::Obj(::std::vec![(\
+                         ::std::string::String::from(\"{v}\"), \
+                         ::serde::Serialize::to_value(f0))]),\n"
+                    ),
+                    Variant::Struct(v, fields) => {
+                        let binds = fields.join(", ");
+                        let pushes: String = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "inner.push((::std::string::String::from(\"{f}\"), \
+                                     ::serde::Serialize::to_value({f})));\n"
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "{name}::{v} {{ {binds} }} => {{\n\
+                                 let mut inner = ::std::vec::Vec::new();\n\
+                                 {pushes}\
+                                 ::serde::Value::Obj(::std::vec![(\
+                                 ::std::string::String::from(\"{v}\"), \
+                                 ::serde::Value::Obj(inner))])\n\
+                             }},\n"
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "#[automatically_derived]\n\
+                 impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{\n{arms}\n}}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let inits: String = fields
+                .iter()
+                .map(|f| {
+                    format!("{f}: ::serde::Deserialize::from_value(v.field(\"{f}\")?)?,\n")
+                })
+                .collect();
+            format!(
+                "#[automatically_derived]\n\
+                 impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> \
+                         ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         ::std::result::Result::Ok({name} {{ {inits} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let unit_arms: String = variants
+                .iter()
+                .filter_map(|v| match v {
+                    Variant::Unit(v) => Some(format!(
+                        "\"{v}\" => ::std::result::Result::Ok({name}::{v}),\n"
+                    )),
+                    _ => None,
+                })
+                .collect();
+            let payload_arms: String = variants
+                .iter()
+                .filter_map(|v| match v {
+                    Variant::Unit(_) => None,
+                    Variant::Tuple1(v) => Some(format!(
+                        "\"{v}\" => ::std::result::Result::Ok({name}::{v}(\
+                         ::serde::Deserialize::from_value(_payload)?)),\n"
+                    )),
+                    Variant::Struct(v, fields) => {
+                        let inits: String = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: ::serde::Deserialize::from_value(\
+                                     _payload.field(\"{f}\")?)?,\n"
+                                )
+                            })
+                            .collect();
+                        Some(format!(
+                            "\"{v}\" => ::std::result::Result::Ok({name}::{v} {{ {inits} }}),\n"
+                        ))
+                    }
+                })
+                .collect();
+            format!(
+                "#[automatically_derived]\n\
+                 impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> \
+                         ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         if let ::serde::Value::Str(s) = v {{\n\
+                             return match s.as_str() {{\n\
+                                 {unit_arms}\
+                                 other => ::std::result::Result::Err(::serde::DeError::new(\
+                                     ::std::format!(\"unknown {name} variant `{{other}}`\"))),\n\
+                             }};\n\
+                         }}\n\
+                         let (variant, _payload) = v.as_variant()?;\n\
+                         match variant {{\n\
+                             {payload_arms}\
+                             other => ::std::result::Result::Err(::serde::DeError::new(\
+                                 ::std::format!(\"unknown {name} variant `{{other}}`\"))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    }
+}
