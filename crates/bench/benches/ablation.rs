@@ -94,12 +94,13 @@ fn main() {
             symmetry: None,
             litho: None,
             init: InitStrategy::Uniform(0.5),
+            ..OptimConfig::default()
         });
         let result = designer.run(problem, &exact).expect("optimize");
         println!(
             "{:>12.2} | {:>13.4} | {:>11.4}",
             growth,
-            result.best_objective(),
+            result.best_objective().unwrap_or(f64::NAN),
             result.density.gray_level()
         );
     }
@@ -116,13 +117,14 @@ fn main() {
             symmetry: None,
             litho: None,
             init: InitStrategy::Uniform(0.5),
+            ..OptimConfig::default()
         });
         let result = designer.run(problem, &exact).expect("optimize");
         let mfs = minimum_feature_size(&result.density, 0.5, 0.05);
         println!(
             "{:>13.1} | {:>13.4} | {:>16}",
             radius,
-            result.best_objective(),
+            result.best_objective().unwrap_or(f64::NAN),
             mfs
         );
     }

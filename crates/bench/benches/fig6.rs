@@ -61,6 +61,7 @@ fn main() {
         symmetry: None,
         litho: None,
         init: InitStrategy::Uniform(0.5),
+        ..OptimConfig::default()
     });
     let neural_grad = FieldGradient::new(&neural);
 

@@ -18,21 +18,25 @@
 //! assert_eq!(eps.grid().len(), 120 * 80);
 //! ```
 
+pub mod fault;
 pub mod field;
 pub mod geometry;
 pub mod grid;
 pub mod instrument;
 pub mod label;
 pub mod port;
+pub mod resilience;
 pub mod solver;
 
+pub use fault::{FaultInjectingSolver, FaultPlan, InjectedFault};
 pub use field::{ComplexField2d, EmFields, RealField2d};
 pub use geometry::{paint, Axis, Direction, Rect, Shape};
 pub use grid::Grid2d;
 pub use instrument::InstrumentedSolver;
 pub use label::{Fidelity, PortRecord, RichLabels, Sample};
 pub use port::Port;
-pub use solver::{FieldSolver, SolveFieldError};
+pub use resilience::{RetryPolicy, RobustSolver, RobustStats};
+pub use solver::{ensure_finite, FieldSolver, SolveFieldError};
 
 /// Angular frequency for a vacuum wavelength in µm (normalized `c = 1`).
 ///

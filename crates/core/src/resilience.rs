@@ -1,0 +1,491 @@
+//! Fault-tolerant solving: bounded retries, tolerance relaxation, solver
+//! fallback chains, and mandatory output validation.
+//!
+//! A production inverse-design or dataset-generation run performs thousands
+//! of solves; a single stalled BiCGSTAB or silent NaN field must degrade the
+//! run, not abort it. [`RobustSolver`] wraps any [`FieldSolver`] with a
+//! [`RetryPolicy`]:
+//!
+//! 1. **Validate** — every returned field is scanned for NaN/∞ (unless
+//!    disabled); a non-finite field becomes [`SolveFieldError::NonFinite`]
+//!    and is treated like any other retryable failure.
+//! 2. **Retry with relaxation** — retryable failures are re-attempted up to
+//!    `max_retries` times through [`FieldSolver::solve_ez_relaxed`], with the
+//!    tolerance loosened by `relax_factor` per attempt (capped at
+//!    `max_relax`). Relaxation is per-call only: the next solve starts from
+//!    the tight tolerance again (relax-then-retighten).
+//! 3. **Fall back** — if the primary is exhausted, an optional secondary
+//!    solver (typically the exact direct backend behind an iterative
+//!    primary, or the FDFD solver behind a neural surrogate) gets one
+//!    attempt.
+//!
+//! Every recovery event increments the global `solve.retries` /
+//! `solve.fallbacks` / `solve.nonfinite` counters and a per-instance
+//! [`RobustStats`] snapshot, so telemetry shows *degradation*, not just
+//! success or crash.
+
+use crate::field::{ComplexField2d, RealField2d};
+use crate::solver::{ensure_finite, FieldSolver, SolveFieldError};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Retry/fallback configuration for a [`RobustSolver`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Additional attempts on the primary solver after the first failure.
+    pub max_retries: usize,
+    /// Tolerance relaxation multiplier applied per retry (attempt `k`
+    /// relaxes by `relax_factor^k`). Ignored by solvers without a tolerance.
+    pub relax_factor: f64,
+    /// Cap on the cumulative relaxation factor.
+    pub max_relax: f64,
+    /// Scan every output field for NaN/∞ and convert silent numerical
+    /// breakdowns into [`SolveFieldError::NonFinite`]. On by default; the
+    /// scan is `O(n)` against solves that are `O(n·b²)` or worse.
+    pub validate_output: bool,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 2,
+            relax_factor: 10.0,
+            max_relax: 1e3,
+            validate_output: true,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Builds a policy from environment knobs, falling back to defaults:
+    ///
+    /// - `MAPS_SOLVE_RETRIES` — `max_retries` (usize)
+    /// - `MAPS_SOLVE_RELAX` — `relax_factor` (f64 ≥ 1)
+    /// - `MAPS_SOLVE_VALIDATE` — `0`/`false` disables output validation
+    pub fn from_env() -> Self {
+        let mut policy = RetryPolicy::default();
+        if let Some(n) = env_parse::<usize>("MAPS_SOLVE_RETRIES") {
+            policy.max_retries = n;
+        }
+        if let Some(f) = env_parse::<f64>("MAPS_SOLVE_RELAX") {
+            if f >= 1.0 && f.is_finite() {
+                policy.relax_factor = f;
+            }
+        }
+        if let Ok(v) = std::env::var("MAPS_SOLVE_VALIDATE") {
+            policy.validate_output = !matches!(v.as_str(), "0" | "false" | "off");
+        }
+        policy
+    }
+
+    /// The tolerance factor used on 1-based retry attempt `k`.
+    fn factor_for_attempt(&self, k: usize) -> f64 {
+        self.relax_factor.powi(k as i32).min(self.max_relax)
+    }
+}
+
+fn env_parse<T: std::str::FromStr>(key: &str) -> Option<T> {
+    std::env::var(key).ok().and_then(|v| v.parse().ok())
+}
+
+/// Per-instance recovery counters of a [`RobustSolver`].
+///
+/// These mirror the global `solve.*` metrics but are scoped to one wrapper,
+/// so tests and pipelines can attribute recoveries to a specific solver
+/// without races against other instrumentation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RobustStats {
+    /// Primary re-attempts after a retryable failure.
+    pub retries: u64,
+    /// Solves answered by the fallback solver.
+    pub fallbacks: u64,
+    /// Fields rejected by non-finite output validation.
+    pub nonfinite: u64,
+    /// Solves that failed even after retries and fallback.
+    pub unrecovered: u64,
+    /// Solves that ultimately succeeded after at least one failure.
+    pub recovered: u64,
+}
+
+#[derive(Debug, Default)]
+struct StatCells {
+    retries: AtomicU64,
+    fallbacks: AtomicU64,
+    nonfinite: AtomicU64,
+    unrecovered: AtomicU64,
+    recovered: AtomicU64,
+}
+
+/// A [`FieldSolver`] wrapper that retries, relaxes, falls back, and
+/// validates according to a [`RetryPolicy`]. See the module docs for the
+/// recovery sequence.
+pub struct RobustSolver<S: FieldSolver> {
+    primary: S,
+    fallback: Option<Box<dyn FieldSolver>>,
+    policy: RetryPolicy,
+    label: String,
+    stats: StatCells,
+}
+
+impl<S: FieldSolver> RobustSolver<S> {
+    /// Wraps `primary` with the given policy and no fallback.
+    pub fn new(primary: S, policy: RetryPolicy) -> Self {
+        let label = format!("robust({})", primary.name());
+        RobustSolver {
+            primary,
+            fallback: None,
+            policy,
+            label,
+            stats: StatCells::default(),
+        }
+    }
+
+    /// Adds a secondary solver tried once after the primary is exhausted.
+    pub fn with_fallback(mut self, fallback: Box<dyn FieldSolver>) -> Self {
+        self.label = format!("robust({}->{})", self.primary.name(), fallback.name());
+        self.fallback = Some(fallback);
+        self
+    }
+
+    /// The wrapped primary solver.
+    pub fn primary(&self) -> &S {
+        &self.primary
+    }
+
+    /// The active policy.
+    pub fn policy(&self) -> &RetryPolicy {
+        &self.policy
+    }
+
+    /// A snapshot of this instance's recovery counters.
+    pub fn stats(&self) -> RobustStats {
+        RobustStats {
+            retries: self.stats.retries.load(Ordering::Relaxed),
+            fallbacks: self.stats.fallbacks.load(Ordering::Relaxed),
+            nonfinite: self.stats.nonfinite.load(Ordering::Relaxed),
+            unrecovered: self.stats.unrecovered.load(Ordering::Relaxed),
+            recovered: self.stats.recovered.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Validates a primary/fallback result per the policy, counting
+    /// non-finite rejections.
+    fn check(
+        &self,
+        result: Result<ComplexField2d, SolveFieldError>,
+        producer: &str,
+    ) -> Result<ComplexField2d, SolveFieldError> {
+        let field = result?;
+        if self.policy.validate_output {
+            if let Err(e) = ensure_finite(&field, producer) {
+                self.stats.nonfinite.fetch_add(1, Ordering::Relaxed);
+                maps_obs::counter("solve.nonfinite").inc();
+                return Err(e);
+            }
+        }
+        Ok(field)
+    }
+
+    /// The shared retry→relax→fallback driver. `primary_attempt` runs one
+    /// attempt at a given tolerance factor; `fallback_attempt` runs the
+    /// secondary solver once.
+    fn drive(
+        &self,
+        direction: &str,
+        primary_attempt: impl Fn(f64) -> Result<ComplexField2d, SolveFieldError>,
+        fallback_attempt: impl Fn(&dyn FieldSolver) -> Result<ComplexField2d, SolveFieldError>,
+    ) -> Result<ComplexField2d, SolveFieldError> {
+        let first = self.check(primary_attempt(1.0), self.primary.name());
+        let mut last_err = match first {
+            Ok(field) => return Ok(field),
+            Err(e) => {
+                if !e.is_retryable() {
+                    self.stats.unrecovered.fetch_add(1, Ordering::Relaxed);
+                    return Err(e);
+                }
+                e
+            }
+        };
+        let _span = maps_obs::span("solve.recover")
+            .field("solver", self.primary.name())
+            .field("direction", direction);
+        for attempt in 1..=self.policy.max_retries {
+            let factor = self.policy.factor_for_attempt(attempt);
+            self.stats.retries.fetch_add(1, Ordering::Relaxed);
+            maps_obs::counter("solve.retries").inc();
+            maps_obs::error!(
+                "{} {direction} solve failed ({last_err}); retry {attempt}/{} at tolerance x{factor:.0}",
+                self.primary.name(),
+                self.policy.max_retries
+            );
+            match self.check(primary_attempt(factor), self.primary.name()) {
+                Ok(field) => {
+                    self.stats.recovered.fetch_add(1, Ordering::Relaxed);
+                    maps_obs::counter("solve.recovered").inc();
+                    return Ok(field);
+                }
+                Err(e) => {
+                    if !e.is_retryable() {
+                        self.stats.unrecovered.fetch_add(1, Ordering::Relaxed);
+                        return Err(e);
+                    }
+                    last_err = e;
+                }
+            }
+        }
+        if let Some(fb) = &self.fallback {
+            self.stats.fallbacks.fetch_add(1, Ordering::Relaxed);
+            maps_obs::counter("solve.fallbacks").inc();
+            maps_obs::error!(
+                "{} exhausted ({last_err}); falling back to {}",
+                self.primary.name(),
+                fb.name()
+            );
+            match self.check(fallback_attempt(fb.as_ref()), fb.name()) {
+                Ok(field) => {
+                    self.stats.recovered.fetch_add(1, Ordering::Relaxed);
+                    maps_obs::counter("solve.recovered").inc();
+                    return Ok(field);
+                }
+                Err(e) => last_err = e,
+            }
+        }
+        self.stats.unrecovered.fetch_add(1, Ordering::Relaxed);
+        maps_obs::counter("solve.unrecovered").inc();
+        Err(last_err)
+    }
+}
+
+impl<S: FieldSolver> FieldSolver for RobustSolver<S> {
+    fn solve_ez(
+        &self,
+        eps_r: &RealField2d,
+        source: &ComplexField2d,
+        omega: f64,
+    ) -> Result<ComplexField2d, SolveFieldError> {
+        self.drive(
+            "forward",
+            |factor| {
+                if factor == 1.0 {
+                    self.primary.solve_ez(eps_r, source, omega)
+                } else {
+                    self.primary.solve_ez_relaxed(eps_r, source, omega, factor)
+                }
+            },
+            |fb| fb.solve_ez(eps_r, source, omega),
+        )
+    }
+
+    fn solve_adjoint_ez(
+        &self,
+        eps_r: &RealField2d,
+        rhs: &ComplexField2d,
+        omega: f64,
+    ) -> Result<ComplexField2d, SolveFieldError> {
+        self.drive(
+            "adjoint",
+            |factor| {
+                if factor == 1.0 {
+                    self.primary.solve_adjoint_ez(eps_r, rhs, omega)
+                } else {
+                    self.primary.solve_adjoint_ez_relaxed(eps_r, rhs, omega, factor)
+                }
+            },
+            |fb| fb.solve_adjoint_ez(eps_r, rhs, omega),
+        )
+    }
+
+    fn name(&self) -> &str {
+        &self.label
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::{FaultInjectingSolver, FaultPlan, InjectedFault};
+    use crate::grid::Grid2d;
+    use maps_linalg::Complex64;
+
+    struct EchoSolver;
+
+    impl FieldSolver for EchoSolver {
+        fn solve_ez(
+            &self,
+            _eps_r: &RealField2d,
+            source: &ComplexField2d,
+            _omega: f64,
+        ) -> Result<ComplexField2d, SolveFieldError> {
+            Ok(source.clone())
+        }
+
+        fn name(&self) -> &str {
+            "echo"
+        }
+    }
+
+    fn fixtures() -> (Grid2d, RealField2d, ComplexField2d) {
+        let g = Grid2d::new(4, 4, 0.1);
+        let eps = RealField2d::constant(g, 1.0);
+        let mut j = ComplexField2d::zeros(g);
+        j.set(1, 2, Complex64::new(0.5, -0.25));
+        (g, eps, j)
+    }
+
+    #[test]
+    fn clean_solves_pass_through_untouched() {
+        let (_, eps, j) = fixtures();
+        let robust = RobustSolver::new(EchoSolver, RetryPolicy::default());
+        let out = robust.solve_ez(&eps, &j, 1.0).unwrap();
+        assert_eq!(out.as_slice(), j.as_slice());
+        assert_eq!(robust.stats(), RobustStats::default());
+        assert_eq!(robust.name(), "robust(echo)");
+    }
+
+    #[test]
+    fn transient_error_is_retried() {
+        let (_, eps, j) = fixtures();
+        let faulty = FaultInjectingSolver::new(
+            EchoSolver,
+            FaultPlan::new().fail_at(0, InjectedFault::Error),
+        );
+        let robust = RobustSolver::new(faulty, RetryPolicy::default());
+        let out = robust.solve_ez(&eps, &j, 1.0).unwrap();
+        assert_eq!(out.as_slice(), j.as_slice());
+        let stats = robust.stats();
+        assert_eq!(stats.retries, 1);
+        assert_eq!(stats.recovered, 1);
+        assert_eq!(stats.fallbacks, 0);
+    }
+
+    #[test]
+    fn nan_field_is_caught_and_retried() {
+        let (_, eps, j) = fixtures();
+        let faulty = FaultInjectingSolver::new(
+            EchoSolver,
+            FaultPlan::new().fail_at(0, InjectedFault::NonFinite),
+        );
+        let robust = RobustSolver::new(faulty, RetryPolicy::default());
+        let out = robust.solve_ez(&eps, &j, 1.0).unwrap();
+        assert_eq!(out.as_slice(), j.as_slice());
+        let stats = robust.stats();
+        assert_eq!(stats.nonfinite, 1);
+        assert_eq!(stats.retries, 1);
+        assert_eq!(stats.recovered, 1);
+    }
+
+    #[test]
+    fn validation_can_be_disabled() {
+        let (_, eps, j) = fixtures();
+        let faulty = FaultInjectingSolver::new(
+            EchoSolver,
+            FaultPlan::new().fail_at(0, InjectedFault::NonFinite),
+        );
+        let robust = RobustSolver::new(
+            faulty,
+            RetryPolicy {
+                validate_output: false,
+                ..RetryPolicy::default()
+            },
+        );
+        // With validation off the NaN field sails through (the hazard the
+        // default guards against).
+        let out = robust.solve_ez(&eps, &j, 1.0).unwrap();
+        assert!(out.as_slice().iter().any(|z| z.re.is_nan()));
+        assert_eq!(robust.stats().nonfinite, 0);
+    }
+
+    #[test]
+    fn slow_converge_recovers_under_relaxation() {
+        let (_, eps, j) = fixtures();
+        // Fails at tight tolerance on every call; succeeds once relaxed ≥10×.
+        let faulty = FaultInjectingSolver::new(
+            EchoSolver,
+            FaultPlan::new().always(InjectedFault::SlowConverge { min_relax: 10.0 }),
+        );
+        let robust = RobustSolver::new(faulty, RetryPolicy::default());
+        let out = robust.solve_ez(&eps, &j, 1.0).unwrap();
+        assert_eq!(out.as_slice(), j.as_slice());
+        let stats = robust.stats();
+        assert_eq!(stats.retries, 1, "first relaxed retry (x10) must succeed");
+        assert_eq!(stats.recovered, 1);
+    }
+
+    #[test]
+    fn fallback_rescues_exhausted_primary() {
+        let (_, eps, j) = fixtures();
+        let faulty = FaultInjectingSolver::new(
+            EchoSolver,
+            FaultPlan::new().always(InjectedFault::Error),
+        );
+        let robust = RobustSolver::new(faulty, RetryPolicy::default())
+            .with_fallback(Box::new(EchoSolver));
+        let out = robust.solve_ez(&eps, &j, 1.0).unwrap();
+        assert_eq!(out.as_slice(), j.as_slice());
+        let stats = robust.stats();
+        assert_eq!(stats.retries, 2);
+        assert_eq!(stats.fallbacks, 1);
+        assert_eq!(stats.recovered, 1);
+        assert_eq!(stats.unrecovered, 0);
+        assert_eq!(robust.name(), "robust(fault(echo)->echo)");
+    }
+
+    #[test]
+    fn permanent_errors_are_not_retried() {
+        let (_, eps, _) = fixtures();
+        let j_bad = ComplexField2d::zeros(Grid2d::new(3, 3, 0.1));
+        struct Mismatch;
+        impl FieldSolver for Mismatch {
+            fn solve_ez(
+                &self,
+                eps_r: &RealField2d,
+                source: &ComplexField2d,
+                _omega: f64,
+            ) -> Result<ComplexField2d, SolveFieldError> {
+                if eps_r.grid() != source.grid() {
+                    return Err(SolveFieldError::GridMismatch {
+                        detail: "test".into(),
+                    });
+                }
+                Ok(source.clone())
+            }
+        }
+        let robust = RobustSolver::new(Mismatch, RetryPolicy::default())
+            .with_fallback(Box::new(EchoSolver));
+        let err = robust.solve_ez(&eps, &j_bad, 1.0).unwrap_err();
+        assert!(matches!(err, SolveFieldError::GridMismatch { .. }));
+        let stats = robust.stats();
+        assert_eq!(stats.retries, 0, "GridMismatch must not be retried");
+        assert_eq!(stats.fallbacks, 0);
+        assert_eq!(stats.unrecovered, 1);
+    }
+
+    #[test]
+    fn everything_failing_reports_last_error() {
+        let (_, eps, j) = fixtures();
+        let faulty = FaultInjectingSolver::new(
+            EchoSolver,
+            FaultPlan::new().always(InjectedFault::Error),
+        );
+        let fallback = FaultInjectingSolver::new(
+            EchoSolver,
+            FaultPlan::new().always(InjectedFault::Error),
+        );
+        let robust = RobustSolver::new(faulty, RetryPolicy::default())
+            .with_fallback(Box::new(fallback));
+        let err = robust.solve_ez(&eps, &j, 1.0).unwrap_err();
+        assert!(matches!(err, SolveFieldError::Numerical { .. }));
+        let stats = robust.stats();
+        assert_eq!(stats.unrecovered, 1);
+        assert_eq!(stats.recovered, 0);
+    }
+
+    #[test]
+    fn retry_policy_env_parsing() {
+        // from_env falls back to defaults when the knobs are unset; the
+        // factor schedule relaxes then caps.
+        let p = RetryPolicy::default();
+        assert_eq!(p.factor_for_attempt(1), 10.0);
+        assert_eq!(p.factor_for_attempt(2), 100.0);
+        assert_eq!(p.factor_for_attempt(5), 1e3, "capped at max_relax");
+    }
+}

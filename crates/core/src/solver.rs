@@ -59,6 +59,72 @@ pub trait FieldSolver {
     fn name(&self) -> &str {
         "field-solver"
     }
+
+    /// Solves `solve_ez` with the backend's convergence tolerance relaxed by
+    /// `tol_factor` (> 1 loosens). Retry policies use this to rescue
+    /// slow-converging iterative solves; the relaxation applies to this one
+    /// call only and is never sticky.
+    ///
+    /// The default implementation ignores the factor — direct solvers and
+    /// neural surrogates have no tolerance to relax.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveFieldError`] under the same conditions as
+    /// [`FieldSolver::solve_ez`].
+    fn solve_ez_relaxed(
+        &self,
+        eps_r: &RealField2d,
+        source: &ComplexField2d,
+        omega: f64,
+        tol_factor: f64,
+    ) -> Result<ComplexField2d, SolveFieldError> {
+        let _ = tol_factor;
+        self.solve_ez(eps_r, source, omega)
+    }
+
+    /// Solves `solve_adjoint_ez` with a relaxed tolerance (see
+    /// [`FieldSolver::solve_ez_relaxed`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveFieldError`] under the same conditions as
+    /// [`FieldSolver::solve_adjoint_ez`].
+    fn solve_adjoint_ez_relaxed(
+        &self,
+        eps_r: &RealField2d,
+        rhs: &ComplexField2d,
+        omega: f64,
+        tol_factor: f64,
+    ) -> Result<ComplexField2d, SolveFieldError> {
+        let _ = tol_factor;
+        self.solve_adjoint_ez(eps_r, rhs, omega)
+    }
+}
+
+/// Checks every component of a solved field for NaN/∞ and converts a silent
+/// numerical breakdown into [`SolveFieldError::NonFinite`].
+///
+/// `context` names the producing solver in the error detail.
+///
+/// # Errors
+///
+/// Returns [`SolveFieldError::NonFinite`] when any real or imaginary part is
+/// not finite.
+pub fn ensure_finite(field: &ComplexField2d, context: &str) -> Result<(), SolveFieldError> {
+    for (idx, z) in field.as_slice().iter().enumerate() {
+        if !(z.re.is_finite() && z.im.is_finite()) {
+            let grid = field.grid();
+            let (ix, iy) = (idx % grid.nx, idx / grid.nx);
+            return Err(SolveFieldError::NonFinite {
+                detail: format!(
+                    "{context} produced a non-finite field value {:?} at cell ({ix}, {iy})",
+                    (z.re, z.im)
+                ),
+            });
+        }
+    }
+    Ok(())
 }
 
 /// Error raised by a [`FieldSolver`].
@@ -80,6 +146,26 @@ pub enum SolveFieldError {
         /// Description of the invalid parameter.
         detail: String,
     },
+    /// The solver returned a field containing NaN or ∞ components — a
+    /// numerically silent failure mode that output validation converts
+    /// into a hard error.
+    NonFinite {
+        /// Where the non-finite value appeared.
+        detail: String,
+    },
+}
+
+impl SolveFieldError {
+    /// True when a retry (possibly with relaxed tolerance) or a fallback
+    /// solver could plausibly succeed. Input inconsistencies
+    /// ([`SolveFieldError::GridMismatch`], [`SolveFieldError::InvalidInput`])
+    /// are permanent; numerical breakdowns are worth another attempt.
+    pub fn is_retryable(&self) -> bool {
+        !matches!(
+            self,
+            SolveFieldError::GridMismatch { .. } | SolveFieldError::InvalidInput { .. }
+        )
+    }
 }
 
 impl fmt::Display for SolveFieldError {
@@ -88,6 +174,7 @@ impl fmt::Display for SolveFieldError {
             SolveFieldError::GridMismatch { detail } => write!(f, "grid mismatch: {detail}"),
             SolveFieldError::Numerical { detail } => write!(f, "numerical failure: {detail}"),
             SolveFieldError::InvalidInput { detail } => write!(f, "invalid input: {detail}"),
+            SolveFieldError::NonFinite { detail } => write!(f, "non-finite output: {detail}"),
         }
     }
 }
@@ -131,5 +218,39 @@ mod tests {
             detail: "omega must be positive".into(),
         };
         assert!(e.to_string().contains("omega"));
+    }
+
+    #[test]
+    fn ensure_finite_localizes_the_bad_cell() {
+        let g = Grid2d::new(4, 3, 0.1);
+        let mut f = ComplexField2d::zeros(g);
+        assert!(ensure_finite(&f, "test").is_ok());
+        f.set(2, 1, Complex64::new(f64::NAN, 0.0));
+        let err = ensure_finite(&f, "test-solver").unwrap_err();
+        match &err {
+            SolveFieldError::NonFinite { detail } => {
+                assert!(detail.contains("test-solver"), "{detail}");
+                assert!(detail.contains("(2, 1)"), "{detail}");
+            }
+            other => panic!("expected NonFinite, got {other:?}"),
+        }
+        assert!(err.is_retryable());
+    }
+
+    #[test]
+    fn retryability_classification() {
+        assert!(!SolveFieldError::GridMismatch { detail: String::new() }.is_retryable());
+        assert!(!SolveFieldError::InvalidInput { detail: String::new() }.is_retryable());
+        assert!(SolveFieldError::Numerical { detail: String::new() }.is_retryable());
+        assert!(SolveFieldError::NonFinite { detail: String::new() }.is_retryable());
+    }
+
+    #[test]
+    fn relaxed_default_ignores_factor() {
+        let g = Grid2d::new(2, 2, 0.1);
+        let eps = RealField2d::constant(g, 1.0);
+        let j = ComplexField2d::zeros(g);
+        let e = ZeroSolver.solve_ez_relaxed(&eps, &j, 1.0, 100.0).unwrap();
+        assert_eq!(e.get(0, 0), Complex64::ZERO);
     }
 }

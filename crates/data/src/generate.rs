@@ -189,7 +189,7 @@ pub fn paint_density(eps: &mut RealField2d, device: &DeviceSpec, density: &Patch
     }
 }
 
-fn build_objective(
+pub(crate) fn build_objective(
     device: &DeviceSpec,
     eps: &RealField2d,
     omega: f64,

@@ -129,6 +129,7 @@ fn trajectory_densities(
                 mean: 0.5,
                 amplitude: 0.2,
             },
+            ..OptimConfig::default()
         });
         let needed = config.count - out.len();
         let collected = std::cell::RefCell::new(Vec::new());

@@ -1,0 +1,149 @@
+//! Checkpoint/resume of optimizer state.
+//!
+//! A long inverse-design run (the opt-traj sweeps of MAPS-Data run many of
+//! them back to back) should survive a crash or preemption. An
+//! [`OptimCheckpoint`] captures everything the loop needs to continue
+//! deterministically — raw design variables, Adam moments, the projection-β
+//! schedule position, the learning rate (which recovery backoff may have
+//! reduced), and the full history — and round-trips through JSON via the
+//! vendored serde.
+//!
+//! A run resumed from a checkpoint reproduces the uninterrupted run's
+//! remaining iterations bit-for-bit when the solver is deterministic.
+
+use crate::optimizer::IterationRecord;
+use crate::patch::Patch;
+use serde::{Deserialize, Serialize};
+
+/// One recovered solve failure inside an optimization run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RecoveryRecord {
+    /// Iteration at which the solve failed.
+    pub iteration: usize,
+    /// The failure, stringified.
+    pub error: String,
+}
+
+/// Serializable optimizer state at an iteration boundary.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OptimCheckpoint {
+    /// Next iteration to execute (iterations `0..iteration` are done).
+    pub iteration: usize,
+    /// Raw design variables θ.
+    pub theta: Patch,
+    /// Projection sharpness at `iteration`.
+    pub beta: f64,
+    /// Adam first moments.
+    pub adam_m: Vec<f64>,
+    /// Adam second moments.
+    pub adam_v: Vec<f64>,
+    /// Adam step counter.
+    pub adam_t: u64,
+    /// Current learning rate (recovery backoff halves it per failure).
+    pub adam_lr: f64,
+    /// History of iterations completed so far.
+    pub history: Vec<IterationRecord>,
+    /// Solve failures recovered so far (counts against the failure budget
+    /// after resume too).
+    pub recoveries: Vec<RecoveryRecord>,
+}
+
+impl OptimCheckpoint {
+    /// Serializes to pretty JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when serialization fails (it does not for this
+    /// type).
+    pub fn to_json(&self) -> Result<String, String> {
+        serde_json::to_string_pretty(self).map_err(|e| e.to_string())
+    }
+
+    /// Parses a checkpoint from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the JSON is malformed or fields are missing.
+    pub fn from_json(s: &str) -> Result<Self, String> {
+        serde_json::from_str(s).map_err(|e| e.to_string())
+    }
+
+    /// Writes the checkpoint to a file as JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on serialization or I/O failure.
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> Result<(), String> {
+        let json = self.to_json()?;
+        std::fs::write(path.as_ref(), json).map_err(|e| e.to_string())
+    }
+
+    /// Reads a checkpoint from a JSON file.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on I/O or parse failure.
+    pub fn load(path: impl AsRef<std::path::Path>) -> Result<Self, String> {
+        let json = std::fs::read_to_string(path.as_ref()).map_err(|e| e.to_string())?;
+        Self::from_json(&json)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checkpoint_roundtrips_through_json() {
+        let cp = OptimCheckpoint {
+            iteration: 7,
+            theta: Patch::constant(3, 2, 0.25),
+            beta: 2.5,
+            adam_m: vec![0.1, -0.2, 0.0, 0.5, 1.0, -1.0],
+            adam_v: vec![0.01; 6],
+            adam_t: 7,
+            adam_lr: 0.04,
+            history: vec![IterationRecord {
+                iteration: 6,
+                objective: 0.62,
+                gray_level: 0.11,
+                beta: 2.3,
+                recovered: false,
+            }],
+            recoveries: vec![RecoveryRecord {
+                iteration: 3,
+                error: "numerical failure: injected".into(),
+            }],
+        };
+        let json = cp.to_json().unwrap();
+        let back = OptimCheckpoint::from_json(&json).unwrap();
+        assert_eq!(back, cp);
+    }
+
+    #[test]
+    fn checkpoint_file_roundtrip() {
+        let cp = OptimCheckpoint {
+            iteration: 1,
+            theta: Patch::constant(2, 2, 0.5),
+            beta: 1.5,
+            adam_m: vec![0.0; 4],
+            adam_v: vec![0.0; 4],
+            adam_t: 1,
+            adam_lr: 0.08,
+            history: Vec::new(),
+            recoveries: Vec::new(),
+        };
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("maps-ckpt-test-{}.json", std::process::id()));
+        cp.save(&path).unwrap();
+        let back = OptimCheckpoint::load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(back, cp);
+    }
+
+    #[test]
+    fn malformed_json_is_an_error() {
+        assert!(OptimCheckpoint::from_json("{not json").is_err());
+        assert!(OptimCheckpoint::from_json("{}").is_err());
+    }
+}

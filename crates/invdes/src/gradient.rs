@@ -117,9 +117,14 @@ impl GradientSolver for FieldGradient<'_> {
         objective: &PowerObjective,
     ) -> Result<GradientEvaluation, SolveFieldError> {
         let forward = self.solver.solve_ez(eps_r, source, omega)?;
+        // Defense in depth: the objective and rhs only sample the field at
+        // the port monitors, so a solver returning Ok with poisoned values
+        // elsewhere would otherwise corrupt the gradient silently.
+        maps_core::ensure_finite(&forward, self.solver.name())?;
         let objective_value = objective.eval(&forward);
         let rhs = ComplexField2d::from_vec(eps_r.grid(), objective.adjoint_rhs(&forward));
         let adjoint = self.solver.solve_adjoint_ez(eps_r, &rhs, omega)?;
+        maps_core::ensure_finite(&adjoint, self.solver.name())?;
         let grad_eps = gradient_from_fields(&forward, &adjoint, omega);
         Ok(GradientEvaluation {
             objective: objective_value,

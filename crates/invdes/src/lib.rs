@@ -10,6 +10,7 @@
 //! The core loop (paper Eq. 1): `θ → P → G → ρ̄ → ε(ρ̄) → F(ε)`, with the
 //! adjoint gradient pulled back through every stage.
 
+pub mod checkpoint;
 pub mod gradient;
 pub mod init;
 pub mod litho;
@@ -21,6 +22,7 @@ pub mod problem;
 pub mod reparam;
 pub mod robust;
 
+pub use checkpoint::{OptimCheckpoint, RecoveryRecord};
 pub use gradient::{ExactAdjoint, FieldGradient, GradientEvaluation, GradientSolver};
 pub use init::InitStrategy;
 pub use litho::{LithoCorner, LithoModel};

@@ -165,6 +165,7 @@ impl MultiExcitationDesigner {
                 objective: combined,
                 gray_level: last_density.gray_level(),
                 beta,
+                recovered: false,
             };
             on_iteration(&record, &per);
             history.push(record);
@@ -193,6 +194,7 @@ impl MultiExcitationDesigner {
             density: last_density,
             history,
             final_field: eval.forward,
+            recoveries: Vec::new(),
         })
     }
 
@@ -302,6 +304,7 @@ mod tests {
                 symmetry: Some(crate::reparam::Symmetry::MirrorY),
                 litho: None,
                 init: InitStrategy::Uniform(0.5),
+                ..OptimConfig::default()
             },
             Combine::WeightedSum,
         );

@@ -6,6 +6,7 @@
 //! binarize as the optimization converges, exactly the soft-to-hard
 //! trajectory MAPS-Data samples from.
 
+use crate::checkpoint::{OptimCheckpoint, RecoveryRecord};
 use crate::gradient::GradientSolver;
 use crate::init::InitStrategy;
 use crate::litho::LithoModel;
@@ -14,6 +15,7 @@ use crate::problem::DesignProblem;
 use crate::reparam::{ConeFilter, ReparamChain, Symmetry, TanhProjection};
 use maps_core::{ComplexField2d, SolveFieldError};
 use maps_fdfd::ModeError;
+use serde::{Deserialize, Serialize};
 
 /// Configuration of the optimization loop.
 #[derive(Debug, Clone)]
@@ -36,6 +38,13 @@ pub struct OptimConfig {
     pub litho: Option<LithoModel>,
     /// θ initialization.
     pub init: InitStrategy,
+    /// Solve failures tolerated per run before aborting. Each failure is
+    /// recovered by reverting to the last feasible θ and halving the
+    /// learning rate (see [`InverseDesigner::run_resumable`]).
+    pub max_solve_failures: usize,
+    /// Emit a checkpoint every N iterations through the `on_checkpoint`
+    /// callback of [`InverseDesigner::run_resumable`]; 0 disables.
+    pub checkpoint_every: usize,
 }
 
 impl Default for OptimConfig {
@@ -49,12 +58,14 @@ impl Default for OptimConfig {
             symmetry: None,
             litho: None,
             init: InitStrategy::Uniform(0.5),
+            max_solve_failures: 3,
+            checkpoint_every: 0,
         }
     }
 }
 
 /// One recorded optimization step.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct IterationRecord {
     /// Iteration index (0-based).
     pub iteration: usize,
@@ -64,6 +75,10 @@ pub struct IterationRecord {
     pub gray_level: f64,
     /// Projection β used this step.
     pub beta: f64,
+    /// True when this iteration's solve failed and the loop recovered by
+    /// reverting to the last feasible design (the recorded objective and
+    /// gray level are carried forward from that design).
+    pub recovered: bool,
 }
 
 /// The result of an optimization run.
@@ -73,19 +88,24 @@ pub struct OptimResult {
     pub theta: Patch,
     /// Final projected density ρ̄.
     pub density: Patch,
-    /// Per-iteration history.
+    /// Per-iteration history (recovered iterations carry
+    /// [`IterationRecord::recovered`]).
     pub history: Vec<IterationRecord>,
+    /// Solve failures that were recovered during the run.
+    pub recoveries: Vec<RecoveryRecord>,
     /// Forward field of the final design.
     pub final_field: ComplexField2d,
 }
 
 impl OptimResult {
-    /// Best objective reached over the run.
-    pub fn best_objective(&self) -> f64 {
+    /// Best finite objective reached over the run, or `None` when the
+    /// history is empty (or holds no finite objective).
+    pub fn best_objective(&self) -> Option<f64> {
         self.history
             .iter()
             .map(|r| r.objective)
-            .fold(f64::NEG_INFINITY, f64::max)
+            .filter(|o| o.is_finite())
+            .fold(None, |acc, o| Some(acc.map_or(o, |a: f64| a.max(o))))
     }
 }
 
@@ -95,8 +115,22 @@ impl OptimResult {
 pub enum OptimError {
     /// A port guided no eigenmode.
     Mode(ModeError),
-    /// A field solve failed.
+    /// A field solve failed (carries any [`SolveFieldError`] variant,
+    /// including `NonFinite` output-validation rejections).
     Solve(SolveFieldError),
+    /// The per-run failure budget ([`OptimConfig::max_solve_failures`]) was
+    /// exhausted.
+    TooManyFailures {
+        /// Total failed solves in the run.
+        failures: usize,
+        /// The failure that broke the budget.
+        last: SolveFieldError,
+    },
+    /// A resume checkpoint is inconsistent with the problem/configuration.
+    Checkpoint {
+        /// Description of the inconsistency.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for OptimError {
@@ -104,6 +138,11 @@ impl std::fmt::Display for OptimError {
         match self {
             OptimError::Mode(e) => write!(f, "mode solver: {e}"),
             OptimError::Solve(e) => write!(f, "field solver: {e}"),
+            OptimError::TooManyFailures { failures, last } => write!(
+                f,
+                "aborted after {failures} solve failures (last: {last})"
+            ),
+            OptimError::Checkpoint { detail } => write!(f, "bad checkpoint: {detail}"),
         }
     }
 }
@@ -139,6 +178,22 @@ impl PatchAdam {
             t: 0,
             lr,
         }
+    }
+
+    /// Restores optimizer state from a checkpoint.
+    fn from_checkpoint(cp: &OptimCheckpoint) -> Self {
+        PatchAdam {
+            m: cp.adam_m.clone(),
+            v: cp.adam_v.clone(),
+            t: cp.adam_t,
+            lr: cp.adam_lr,
+        }
+    }
+
+    /// Halves the learning rate after a recovered solve failure, so the
+    /// retried step from the reverted θ explores a smaller move.
+    fn backoff(&mut self) {
+        self.lr *= 0.5;
     }
 
     /// Ascent step (we maximize the FoM).
@@ -198,70 +253,230 @@ impl InverseDesigner {
     ///
     /// # Errors
     ///
-    /// Returns [`OptimError`] when mode solving or a field solve fails.
+    /// Returns [`OptimError`] when mode solving fails or the solve-failure
+    /// budget is exhausted.
     pub fn run_with_callback(
         &self,
         problem: &DesignProblem,
         solver: &dyn GradientSolver,
+        on_iteration: impl FnMut(&IterationRecord, &Patch, &ComplexField2d),
+    ) -> Result<OptimResult, OptimError> {
+        self.run_resumable(problem, solver, None, on_iteration, |_| {})
+    }
+
+    /// Builds a checkpoint capturing the loop state before `iteration`.
+    #[allow(clippy::too_many_arguments)]
+    fn checkpoint_at(
+        iteration: usize,
+        theta: &Patch,
+        beta: f64,
+        adam: &PatchAdam,
+        history: &[IterationRecord],
+        recoveries: &[RecoveryRecord],
+    ) -> OptimCheckpoint {
+        OptimCheckpoint {
+            iteration,
+            theta: theta.clone(),
+            beta,
+            adam_m: adam.m.clone(),
+            adam_v: adam.v.clone(),
+            adam_t: adam.t,
+            adam_lr: adam.lr,
+            history: history.to_vec(),
+            recoveries: recoveries.to_vec(),
+        }
+    }
+
+    /// Runs the optimization with fault tolerance and checkpoint/resume.
+    ///
+    /// Per-iteration solve failures are *recovered*, not fatal: the failure
+    /// is recorded in [`OptimResult::recoveries`] (and as a
+    /// `recovered: true` history entry), θ reverts to the last design whose
+    /// solve succeeded, the learning rate is halved, and the loop continues.
+    /// The run aborts with [`OptimError::TooManyFailures`] once more than
+    /// [`OptimConfig::max_solve_failures`] failures accumulate.
+    ///
+    /// When `resume` is given, the loop continues from that checkpoint and —
+    /// with a deterministic solver — reproduces the uninterrupted run's
+    /// remaining iterations exactly. When
+    /// [`OptimConfig::checkpoint_every`] is nonzero, `on_checkpoint` is
+    /// invoked at every N-th iteration boundary with the state needed to
+    /// resume there.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OptimError`] when mode solving fails, the failure budget is
+    /// exhausted, or `resume` is inconsistent with the problem.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no iteration completes successfully (e.g. resuming a
+    /// checkpoint whose `iteration` already equals `config.iterations` and
+    /// an empty remaining schedule).
+    pub fn run_resumable(
+        &self,
+        problem: &DesignProblem,
+        solver: &dyn GradientSolver,
+        resume: Option<&OptimCheckpoint>,
         mut on_iteration: impl FnMut(&IterationRecord, &Patch, &ComplexField2d),
+        mut on_checkpoint: impl FnMut(&OptimCheckpoint),
     ) -> Result<OptimResult, OptimError> {
         let (nx, ny) = problem.design_size;
         let _span = maps_obs::span("invdes.run")
             .field("design", format!("{nx}x{ny}"))
             .field("iterations", self.config.iterations);
-        let mut theta = self.config.init.build(nx, ny);
-        let mut adam = PatchAdam::new(theta.len(), self.config.learning_rate);
+        let (mut theta, mut adam, mut beta, start, mut history, mut recoveries) = match resume {
+            Some(cp) => {
+                if (cp.theta.nx(), cp.theta.ny()) != (nx, ny) {
+                    return Err(OptimError::Checkpoint {
+                        detail: format!(
+                            "checkpoint design is {}x{}, problem wants {nx}x{ny}",
+                            cp.theta.nx(),
+                            cp.theta.ny()
+                        ),
+                    });
+                }
+                if cp.iteration > self.config.iterations
+                    || cp.adam_m.len() != cp.theta.len()
+                    || cp.adam_v.len() != cp.theta.len()
+                {
+                    return Err(OptimError::Checkpoint {
+                        detail: "iteration or Adam state inconsistent with design size".into(),
+                    });
+                }
+                maps_obs::info!(
+                    "resuming inverse design at iteration {} of {}",
+                    cp.iteration,
+                    self.config.iterations
+                );
+                (
+                    cp.theta.clone(),
+                    PatchAdam::from_checkpoint(cp),
+                    cp.beta,
+                    cp.iteration,
+                    cp.history.clone(),
+                    cp.recoveries.clone(),
+                )
+            }
+            None => {
+                let theta = self.config.init.build(nx, ny);
+                let adam = PatchAdam::new(theta.len(), self.config.learning_rate);
+                (
+                    theta,
+                    adam,
+                    self.config.beta_start,
+                    0,
+                    Vec::with_capacity(self.config.iterations),
+                    Vec::new(),
+                )
+            }
+        };
         let omega = problem.omega();
         let source = problem.source()?;
         let objective = problem.objective()?;
-        let mut history = Vec::with_capacity(self.config.iterations);
         let mut last_field = None;
         let mut last_density = theta.clone();
-        let mut beta = self.config.beta_start;
-        for iteration in 0..self.config.iterations {
+        // The last θ whose solve succeeded — the revert target on failure.
+        let mut feasible_theta: Option<Patch> = None;
+        for iteration in start..self.config.iterations {
             let iter_span = maps_obs::span("invdes.iteration").field("iteration", iteration);
             let chain = self.chain(beta);
             let inter = chain.forward_all(&theta);
             let density = inter.last().expect("chain output").clone();
             let eps = problem.eps_for(&density);
-            let eval = solver.objective_and_gradient(&eps, &source, omega, &objective)?;
-            let grad_patch = problem.gradient_to_patch(&eval.grad_eps);
-            let grad_theta = chain.backward(&inter, &grad_patch);
-            let grad_norm = grad_theta
-                .as_slice()
-                .iter()
-                .map(|g| g * g)
-                .sum::<f64>()
-                .sqrt();
-            let record = IterationRecord {
-                iteration,
-                objective: eval.objective,
-                gray_level: density.gray_level(),
-                beta,
-            };
-            maps_obs::counter("invdes.iterations").inc();
-            maps_obs::gauge("invdes.objective").set(record.objective);
-            maps_obs::gauge("invdes.gray_level").set(record.gray_level);
-            maps_obs::histogram("invdes.grad_norm").record(grad_norm);
-            maps_obs::info!(
-                "invdes iter {iteration}: objective {:.4} gray {:.3} |grad| {grad_norm:.3e} \
-                 beta {beta:.2} ({:.2}s)",
-                record.objective,
-                record.gray_level,
-                iter_span.elapsed().as_secs_f64()
-            );
-            on_iteration(&record, &density, &eval.forward);
-            history.push(record);
-            adam.ascend(&mut theta, &grad_theta);
-            beta *= self.config.beta_growth;
-            last_field = Some(eval.forward);
-            last_density = density;
+            match solver.objective_and_gradient(&eps, &source, omega, &objective) {
+                Ok(eval) => {
+                    let grad_patch = problem.gradient_to_patch(&eval.grad_eps);
+                    let grad_theta = chain.backward(&inter, &grad_patch);
+                    let grad_norm = grad_theta
+                        .as_slice()
+                        .iter()
+                        .map(|g| g * g)
+                        .sum::<f64>()
+                        .sqrt();
+                    let record = IterationRecord {
+                        iteration,
+                        objective: eval.objective,
+                        gray_level: density.gray_level(),
+                        beta,
+                        recovered: false,
+                    };
+                    maps_obs::counter("invdes.iterations").inc();
+                    maps_obs::gauge("invdes.objective").set(record.objective);
+                    maps_obs::gauge("invdes.gray_level").set(record.gray_level);
+                    maps_obs::histogram("invdes.grad_norm").record(grad_norm);
+                    maps_obs::info!(
+                        "invdes iter {iteration}: objective {:.4} gray {:.3} |grad| {grad_norm:.3e} \
+                         beta {beta:.2} ({:.2}s)",
+                        record.objective,
+                        record.gray_level,
+                        iter_span.elapsed().as_secs_f64()
+                    );
+                    on_iteration(&record, &density, &eval.forward);
+                    history.push(record);
+                    feasible_theta = Some(theta.clone());
+                    adam.ascend(&mut theta, &grad_theta);
+                    beta *= self.config.beta_growth;
+                    last_field = Some(eval.forward);
+                    last_density = density;
+                }
+                Err(e) if e.is_retryable() => {
+                    maps_obs::counter("invdes.solve_failures").inc();
+                    maps_obs::error!(
+                        "invdes iter {iteration}: solve failed ({e}); reverting to last \
+                         feasible design"
+                    );
+                    recoveries.push(RecoveryRecord {
+                        iteration,
+                        error: e.to_string(),
+                    });
+                    if recoveries.len() > self.config.max_solve_failures {
+                        return Err(OptimError::TooManyFailures {
+                            failures: recoveries.len(),
+                            last: e,
+                        });
+                    }
+                    // Fall back to the previous feasible design and take a
+                    // smaller step from there; β does not advance (the
+                    // design made no progress this iteration).
+                    if let Some(prev) = &feasible_theta {
+                        theta = prev.clone();
+                    }
+                    adam.backoff();
+                    if let Some(prev_rec) = history.last().copied() {
+                        let record = IterationRecord {
+                            iteration,
+                            objective: prev_rec.objective,
+                            gray_level: prev_rec.gray_level,
+                            beta,
+                            recovered: true,
+                        };
+                        history.push(record);
+                    }
+                    maps_obs::counter("invdes.recoveries").inc();
+                }
+                Err(other) => return Err(other.into()),
+            }
+            if self.config.checkpoint_every > 0
+                && (iteration + 1) % self.config.checkpoint_every == 0
+                && iteration + 1 < self.config.iterations
+            {
+                on_checkpoint(&Self::checkpoint_at(
+                    iteration + 1,
+                    &theta,
+                    beta,
+                    &adam,
+                    &history,
+                    &recoveries,
+                ));
+            }
         }
         Ok(OptimResult {
             theta,
             density: last_density,
             history,
-            final_field: last_field.expect("at least one iteration"),
+            recoveries,
+            final_field: last_field.expect("at least one successful iteration"),
         })
     }
 
@@ -336,10 +551,11 @@ mod tests {
             symmetry: Some(Symmetry::MirrorY),
             litho: None,
             init: InitStrategy::Uniform(0.5),
+            ..OptimConfig::default()
         });
         let result = designer.run(&problem, &exact).unwrap();
         let first = result.history.first().unwrap().objective;
-        let best = result.best_objective();
+        let best = result.best_objective().unwrap();
         assert!(
             best > first * 1.2,
             "optimization should improve transmission: {first:.4} -> {best:.4}"

@@ -112,6 +112,7 @@ impl RobustDesigner {
                 objective: obj,
                 gray_level: last_density.gray_level(),
                 beta,
+                recovered: false,
             });
             let t = (iteration + 1) as i32;
             let bc1 = 1.0 - 0.9f64.powi(t);
@@ -135,6 +136,7 @@ impl RobustDesigner {
             density: last_density,
             history,
             final_field: eval.forward,
+            recoveries: Vec::new(),
         })
     }
 }
@@ -222,7 +224,7 @@ mod tests {
         );
         let result = designer.run(&problem, &exact).unwrap();
         let first = result.history.first().unwrap().objective;
-        let best = result.best_objective();
+        let best = result.best_objective().unwrap();
         assert!(best > first, "robust optimization should improve: {first} -> {best}");
     }
 }

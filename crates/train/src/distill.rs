@@ -98,7 +98,11 @@ pub fn distill_field_model(
             loss: mean(&losses),
         });
     }
-    TrainReport { epochs, normalizer }
+    TrainReport {
+        epochs,
+        normalizer,
+        skipped_batches: 0,
+    }
 }
 
 /// Fine-tunes a pretrained model on a new sample set with a reduced

@@ -36,7 +36,7 @@ impl FieldNormalizer {
         let mut n = 0usize;
         for s in samples {
             let jmax = source_peak(&s.source);
-            acc += s
+            let contribution = s
                 .labels
                 .fields
                 .ez
@@ -44,6 +44,12 @@ impl FieldNormalizer {
                 .iter()
                 .map(|z| z.norm_sqr() / (jmax * jmax))
                 .sum::<f64>();
+            // A single corrupted sample must not poison the global scale —
+            // skip it here; the training loop skips its batch separately.
+            if !contribution.is_finite() {
+                continue;
+            }
+            acc += contribution;
             n += s.labels.fields.ez.as_slice().len();
         }
         let rms = (acc / n.max(1) as f64).sqrt();

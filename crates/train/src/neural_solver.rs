@@ -71,10 +71,14 @@ impl<M: Model> FieldSolver for NeuralFieldSolver<M> {
             .map(|z| z.abs())
             .fold(0.0f64, f64::max);
         let field = decode_field(tape.value(pred), eps_r.grid(), self.normalizer);
-        Ok(ComplexField2d::from_vec(
+        let out = ComplexField2d::from_vec(
             eps_r.grid(),
             field.as_slice().iter().map(|z| *z * jmax).collect(),
-        ))
+        );
+        // A poisoned weight tensor silently predicts NaN everywhere; surface
+        // that as a solver error instead of feeding it to the adjoint loop.
+        maps_core::ensure_finite(&out, &self.name)?;
+        Ok(out)
     }
 
     fn name(&self) -> &str {
@@ -124,5 +128,38 @@ mod tests {
         let adj = solver.solve_adjoint_ez(&eps, &j, omega).unwrap();
         assert_eq!(adj.grid(), grid);
         assert!(solver.name().starts_with("neural-"));
+    }
+
+    #[test]
+    fn poisoned_weights_surface_as_nonfinite_error() {
+        let mut params = Params::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let model = Fno::new(
+            &mut params,
+            &mut rng,
+            FnoConfig {
+                in_channels: 4,
+                out_channels: 2,
+                width: 4,
+                modes: 2,
+                depth: 1,
+            },
+        );
+        // Poison every parameter tensor.
+        let ids: Vec<_> = params.ids().collect();
+        for id in ids {
+            for v in params.get_mut(id).as_mut_slice() {
+                *v = f64::NAN;
+            }
+        }
+        let solver = NeuralFieldSolver::new(model, params, FieldNormalizer::identity());
+        let grid = Grid2d::new(16, 16, 0.1);
+        let eps = RealField2d::constant(grid, 2.0);
+        let mut j = ComplexField2d::zeros(grid);
+        j.set(8, 8, Complex64::ONE);
+        let err = solver
+            .solve_ez(&eps, &j, maps_core::omega_for_wavelength(1.55))
+            .unwrap_err();
+        assert!(matches!(err, SolveFieldError::NonFinite { .. }), "{err:?}");
     }
 }

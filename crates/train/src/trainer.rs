@@ -54,6 +54,9 @@ pub struct TrainReport {
     pub epochs: Vec<EpochRecord>,
     /// Field normalizer fitted on the training set (needed at inference).
     pub normalizer: FieldNormalizer,
+    /// Batches whose loss was NaN/∞ and were skipped without an optimizer
+    /// step (a corrupted batch must not poison the model weights).
+    pub skipped_batches: usize,
 }
 
 impl TrainReport {
@@ -80,6 +83,7 @@ pub fn train_field_model(
     loader_cfg.wave_prior = model.wants_wave_prior();
     let mut adam = Adam::new(config.learning_rate);
     let mut epochs = Vec::with_capacity(config.epochs);
+    let mut skipped_batches = 0usize;
     for epoch in 0..config.epochs {
         let epoch_span = maps_obs::span("train.epoch").field("epoch", epoch);
         adam.lr = config.schedule.lr(config.learning_rate, epoch);
@@ -128,7 +132,16 @@ pub fn train_field_model(
                     loss = tape.add(loss, phys_scaled);
                 }
             }
-            losses.push(tape.value(loss).item());
+            let loss_value = tape.value(loss).item();
+            if !loss_value.is_finite() {
+                skipped_batches += 1;
+                maps_obs::counter("train.batches_skipped").inc();
+                maps_obs::error!(
+                    "train epoch {epoch}: skipping batch with non-finite loss {loss_value}"
+                );
+                continue;
+            }
+            losses.push(loss_value);
             let grads = tape.backward(loss);
             adam.step(params, &grads);
         }
@@ -150,7 +163,11 @@ pub fn train_field_model(
             loss: epoch_loss,
         });
     }
-    TrainReport { epochs, normalizer }
+    TrainReport {
+        epochs,
+        normalizer,
+        skipped_batches,
+    }
 }
 
 /// Predicts the field of one sample and returns it in physical units.
@@ -292,6 +309,62 @@ mod tests {
         // And the N-L2 metric beats the trivial zero predictor (= 1.0).
         let nl2 = evaluate_n_l2(&model, &params, &samples, report.normalizer);
         assert!(nl2 < 1.0, "N-L2 {nl2}");
+    }
+
+    #[test]
+    fn corrupted_batch_is_skipped_without_poisoning_weights() {
+        let mut samples = synthetic_samples(8);
+        // Corrupt one sample's label field with a NaN; with batch_size 1
+        // exactly its batch becomes non-finite each epoch.
+        samples[3]
+            .labels
+            .fields
+            .ez
+            .set(0, 0, Complex64::new(f64::NAN, 0.0));
+        let mut params = Params::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let model = Fno::new(
+            &mut params,
+            &mut rng,
+            FnoConfig {
+                in_channels: 4,
+                out_channels: 2,
+                width: 8,
+                modes: 4,
+                depth: 2,
+            },
+        );
+        let epochs = 5;
+        let report = train_field_model(
+            &model,
+            &mut params,
+            &samples,
+            &TrainConfig {
+                epochs,
+                learning_rate: 8e-3,
+                loader: LoaderConfig {
+                    batch_size: 1,
+                    ..LoaderConfig::default()
+                },
+                ..Default::default()
+            },
+        );
+        assert_eq!(report.skipped_batches, epochs, "one skip per epoch");
+        // Every recorded epoch loss stayed finite and the weights were
+        // never poisoned.
+        for e in &report.epochs {
+            assert!(e.loss.is_finite(), "epoch {} loss {}", e.epoch, e.loss);
+        }
+        for id in params.ids() {
+            assert!(
+                params.get(id).as_slice().iter().all(|v| v.is_finite()),
+                "weights must stay finite"
+            );
+        }
+        // And training still learned from the clean batches.
+        let first = report.epochs.first().unwrap().loss;
+        let last = report.final_loss();
+        assert!(last < first, "loss should drop: {first:.4} -> {last:.4}");
     }
 
     #[test]

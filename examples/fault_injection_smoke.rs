@@ -1,0 +1,110 @@
+//! Deterministic fault-injection smoke run: drive a full inverse-design
+//! loop and a resilient dataset batch against a solver with scheduled
+//! failures, and assert the stack recovers.
+//!
+//! ```text
+//! cargo run --release --example fault_injection_smoke
+//! ```
+//!
+//! Exit code 0 means every injected fault was either retried away, caught
+//! and recovered by the optimizer, or quarantined by the data pipeline.
+
+use maps::core::{
+    FaultInjectingSolver, FaultPlan, FieldSolver, InjectedFault, RetryPolicy, RobustSolver,
+};
+use maps::data::{DeviceKind, DeviceResolution, GenerateConfig};
+use maps::fdfd::{FdfdSolver, PmlConfig};
+use maps::invdes::{FieldGradient, InitStrategy, InverseDesigner, OptimConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut device = DeviceKind::Bending.build(DeviceResolution::low());
+    let exact = FdfdSolver::with_pml(PmlConfig::auto(device.grid().dl));
+    device.problem.calibrate(&exact)?;
+
+    // --- 1. Solver-level retry: transient faults hidden by RobustSolver.
+    let flaky = FaultInjectingSolver::new(
+        FdfdSolver::with_pml(PmlConfig::auto(device.grid().dl)),
+        FaultPlan::new()
+            .fail_at(0, InjectedFault::Error)
+            .fail_at(3, InjectedFault::NonFinite),
+    );
+    let robust = RobustSolver::new(flaky, RetryPolicy::default());
+    let source = device.problem.source()?;
+    let omega = device.problem.omega();
+    for _ in 0..3 {
+        robust.solve_ez(&device.problem.base_eps, &source, omega)?;
+    }
+    let stats = robust.stats();
+    println!(
+        "robust solver: {} retries, {} non-finite catches, {} recovered",
+        stats.retries, stats.nonfinite, stats.recovered
+    );
+    assert!(stats.recovered >= 2, "both injected faults must be recovered");
+    assert_eq!(stats.unrecovered, 0);
+
+    // --- 2. Optimizer-level recovery: failures the solver cannot hide.
+    let faulty = FaultInjectingSolver::new(
+        FdfdSolver::with_pml(PmlConfig::auto(device.grid().dl)),
+        FaultPlan::new()
+            .fail_at(2, InjectedFault::Error)
+            .fail_at(5, InjectedFault::NonFinite),
+    );
+    let designer = InverseDesigner::new(OptimConfig {
+        iterations: 8,
+        learning_rate: 0.12,
+        beta_start: 1.5,
+        beta_growth: 1.15,
+        filter_radius: 1.5,
+        init: InitStrategy::Uniform(0.5),
+        ..OptimConfig::default()
+    });
+    let result = designer.run(&device.problem, &FieldGradient::new(&faulty))?;
+    println!(
+        "inverse design: {} iterations, {} recoveries, final objective {:.4}",
+        result.history.len(),
+        result.recoveries.len(),
+        result.history.last().map(|r| r.objective).unwrap_or(f64::NAN),
+    );
+    for r in &result.recoveries {
+        println!("  recovered at iteration {}: {}", r.iteration, r.error);
+    }
+    assert!(!result.recoveries.is_empty(), "faults must be recorded as recoveries");
+    assert!(result.density.as_slice().iter().all(|v| v.is_finite()));
+    assert!(result.best_objective().expect("history").is_finite());
+
+    // --- 3. Data-pipeline quarantine: bad samples isolated, batch survives.
+    let densities: Vec<maps::invdes::Patch> = (0..5)
+        .map(|k| {
+            maps::invdes::Patch::constant(
+                device.problem.design_size.0,
+                device.problem.design_size.1,
+                0.3 + 0.1 * k as f64,
+            )
+        })
+        .collect();
+    let gen_faulty = FaultInjectingSolver::new(
+        FdfdSolver::with_pml(PmlConfig::auto(device.grid().dl)),
+        FaultPlan::new().fail_at(1, InjectedFault::Error),
+    );
+    let report = maps::data::label_batch_resilient_with(
+        &gen_faulty,
+        &device,
+        &densities,
+        &GenerateConfig {
+            with_adjoint: false,
+            with_residual: false,
+            ..Default::default()
+        },
+    );
+    println!(
+        "dataset batch: {} ok, {} quarantined ({:.0}%)",
+        report.ok.len(),
+        report.quarantined.len(),
+        report.quarantine_rate() * 100.0
+    );
+    assert_eq!(report.quarantined.len(), 1);
+    assert_eq!(report.ok.len(), 4);
+
+    println!("fault-injection smoke: all recoveries verified");
+    Ok(())
+}

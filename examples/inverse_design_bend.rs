@@ -27,6 +27,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         symmetry: None,
         litho: None,
         init: InitStrategy::Uniform(0.5),
+        ..OptimConfig::default()
     });
 
     println!("iter |  transmission |  gray level |  beta");
@@ -40,7 +41,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     })?;
 
     let first = result.history.first().expect("history").objective;
-    let best = result.best_objective();
+    let best = result.best_objective().expect("non-empty history");
     println!("\ntransmission: {first:.4} -> {best:.4} over {} iterations", result.history.len());
     let mfs = minimum_feature_size(&result.density, 0.5, 0.05);
     println!(

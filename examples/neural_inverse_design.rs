@@ -85,6 +85,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         symmetry: None,
         litho: None,
         init: InitStrategy::Uniform(0.5),
+        ..OptimConfig::default()
     });
 
     // 3. FDFD-verify each iterate (Fig. 6a: NN-predicted vs FDFD-true).

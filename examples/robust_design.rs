@@ -31,6 +31,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         symmetry: None,
         litho: None,
         init: InitStrategy::Uniform(0.5),
+        ..OptimConfig::default()
     };
 
     // 1. Nominal-only optimization (litho applied at the nominal corner).

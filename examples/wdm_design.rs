@@ -59,6 +59,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             symmetry: None,
             litho: None,
             init: InitStrategy::Uniform(0.5),
+            ..OptimConfig::default()
         },
         Combine::SoftMin { tau: 5.0 },
     );

@@ -12,4 +12,7 @@ cargo test --workspace -q
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> fault-injection smoke (deterministic schedules, must recover)"
+cargo run --release --example fault_injection_smoke
+
 echo "==> all checks passed"

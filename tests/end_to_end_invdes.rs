@@ -25,9 +25,10 @@ fn bend_optimization_reaches_high_transmission() {
         symmetry: None,
         litho: None,
         init: InitStrategy::Uniform(0.5),
+        ..OptimConfig::default()
     });
     let result = designer.run(&device.problem, &solver).unwrap();
-    let best = result.best_objective();
+    let best = result.best_objective().unwrap();
     assert!(best > 0.5, "bend should exceed 50% transmission, got {best:.3}");
     // Binarization progressed.
     let start_gray = result.history.first().unwrap().gray_level;
@@ -53,10 +54,11 @@ fn crossing_optimization_with_symmetry() {
             strip: 0.9,
             half_height_frac: 0.25,
         },
+        ..OptimConfig::default()
     });
     let result = designer.run(&device.problem, &solver).unwrap();
     assert!(
-        result.best_objective() > result.history[0].objective,
+        result.best_objective().unwrap() > result.history[0].objective,
         "crossing optimization should improve"
     );
     // Symmetry constraint held: density mirror-symmetric in y.
@@ -84,6 +86,7 @@ fn litho_in_the_loop_changes_design_but_still_optimizes() {
         symmetry: None,
         litho: None,
         init: InitStrategy::Uniform(0.5),
+        ..OptimConfig::default()
     };
     let plain = InverseDesigner::new(base.clone())
         .run(&device.problem, &solver)
@@ -94,7 +97,7 @@ fn litho_in_the_loop_changes_design_but_still_optimizes() {
     })
     .run(&device.problem, &solver)
     .unwrap();
-    assert!(with_litho.best_objective() > with_litho.history[0].objective);
+    assert!(with_litho.best_objective().unwrap() > with_litho.history[0].objective);
     // The printed design differs from the mask-only design.
     assert_ne!(plain.density, with_litho.density);
 }

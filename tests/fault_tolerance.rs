@@ -1,0 +1,218 @@
+//! End-to-end fault tolerance: injected solver failures through the full
+//! inverse-design loop, checkpoint/resume determinism, resilient dataset
+//! generation, and telemetry consistency.
+
+use maps::core::{
+    FaultInjectingSolver, FaultPlan, FieldSolver, InjectedFault, InstrumentedSolver, RetryPolicy,
+    RobustSolver,
+};
+use maps::data::{DeviceKind, DeviceResolution, GenerateConfig};
+use maps::fdfd::{FdfdSolver, PmlConfig};
+use maps::invdes::{FieldGradient, InitStrategy, InverseDesigner, OptimCheckpoint, OptimConfig};
+
+fn bend_setup() -> (maps::data::DeviceSpec, FdfdSolver) {
+    let mut device = DeviceKind::Bending.build(DeviceResolution::low());
+    let solver = FdfdSolver::with_pml(PmlConfig::auto(device.grid().dl));
+    device.problem.calibrate(&solver).unwrap();
+    (device, solver)
+}
+
+fn config(iterations: usize) -> OptimConfig {
+    OptimConfig {
+        iterations,
+        learning_rate: 0.12,
+        beta_start: 1.5,
+        beta_growth: 1.15,
+        filter_radius: 1.5,
+        init: InitStrategy::Uniform(0.5),
+        ..OptimConfig::default()
+    }
+}
+
+/// An inverse-design run whose solver fails on two iterations completes,
+/// records both recoveries, and still produces a finite, binarizing design.
+#[test]
+fn invdes_recovers_from_injected_solve_failures() {
+    let (device, solver) = bend_setup();
+    // FieldGradient issues one forward + one adjoint call per iteration;
+    // a failed forward skips the adjoint. Call indices: it0 = {0, 1},
+    // it1 = {2} (forward fails), it2 = {3, 4}, it3 = {5} (fails), …
+    let faulty = FaultInjectingSolver::new(
+        solver,
+        FaultPlan::new()
+            .fail_at(2, InjectedFault::Error)
+            .fail_at(5, InjectedFault::NonFinite),
+    );
+    let designer = InverseDesigner::new(config(8));
+    let result = designer
+        .run(&device.problem, &FieldGradient::new(&faulty))
+        .expect("run must survive two injected failures");
+
+    assert_eq!(result.recoveries.len(), 2, "{:?}", result.recoveries);
+    assert_eq!(result.recoveries[0].iteration, 1);
+    assert_eq!(result.recoveries[1].iteration, 3);
+    assert!(result.recoveries[1].error.contains("non-finite"));
+    assert_eq!(result.history.iter().filter(|r| r.recovered).count(), 2);
+    assert_eq!(faulty.injected(), 2);
+
+    // The design is untouched by the poisoned solves.
+    assert!(result.density.as_slice().iter().all(|v| v.is_finite()));
+    assert!(result
+        .density
+        .as_slice()
+        .iter()
+        .all(|v| (0.0..=1.0).contains(v)));
+    let start_gray = result.history.first().unwrap().gray_level;
+    let end_gray = result.history.last().unwrap().gray_level;
+    assert!(end_gray < start_gray, "binarization must still progress");
+    assert!(result.best_objective().unwrap().is_finite());
+}
+
+/// Exhausting the failure budget aborts instead of looping forever.
+#[test]
+fn failure_budget_aborts_the_run() {
+    let (device, solver) = bend_setup();
+    let faulty = FaultInjectingSolver::new(solver, FaultPlan::new().always(InjectedFault::Error));
+    let designer = InverseDesigner::new(OptimConfig {
+        max_solve_failures: 2,
+        ..config(10)
+    });
+    let err = designer
+        .run(&device.problem, &FieldGradient::new(&faulty))
+        .unwrap_err();
+    assert!(
+        matches!(err, maps::invdes::OptimError::TooManyFailures { failures: 3, .. }),
+        "{err}"
+    );
+}
+
+/// Resuming from a mid-run checkpoint reproduces the uninterrupted run.
+#[test]
+fn checkpoint_resume_matches_uninterrupted_run() {
+    let (device, solver) = bend_setup();
+    let grad = FieldGradient::new(&solver);
+    let designer = InverseDesigner::new(OptimConfig {
+        checkpoint_every: 3,
+        ..config(6)
+    });
+
+    let mut checkpoints: Vec<OptimCheckpoint> = Vec::new();
+    let full = designer
+        .run_resumable(&device.problem, &grad, None, |_, _, _| {}, |cp| {
+            checkpoints.push(cp.clone())
+        })
+        .unwrap();
+    let cp = checkpoints
+        .iter()
+        .find(|cp| cp.iteration == 3)
+        .expect("checkpoint at the 3-iteration boundary");
+
+    // Round-trip through JSON like a crash/restart would.
+    let restored = OptimCheckpoint::from_json(&cp.to_json().unwrap()).unwrap();
+    let resumed = designer
+        .run_resumable(&device.problem, &grad, Some(&restored), |_, _, _| {}, |_| {})
+        .unwrap();
+
+    let full_obj = full.history.last().unwrap().objective;
+    let resumed_obj = resumed.history.last().unwrap().objective;
+    assert!(
+        (full_obj - resumed_obj).abs() < 1e-9,
+        "resume must reproduce the final objective: {full_obj} vs {resumed_obj}"
+    );
+    assert_eq!(resumed.history.len(), full.history.len());
+    for (a, b) in full.theta.as_slice().iter().zip(resumed.theta.as_slice()) {
+        assert!((a - b).abs() < 1e-12, "θ must match after resume");
+    }
+}
+
+/// A resilient generation batch with ~20% injected failures quarantines
+/// exactly the failed jobs and leaves the surviving samples byte-identical
+/// to a fault-free run.
+#[test]
+fn resilient_generation_quarantines_and_preserves_good_samples() {
+    let device = DeviceKind::Bending.build(DeviceResolution::low());
+    let densities: Vec<maps::invdes::Patch> = (0..5)
+        .map(|k| {
+            maps::invdes::Patch::constant(
+                device.problem.design_size.0,
+                device.problem.design_size.1,
+                0.3 + 0.1 * k as f64,
+            )
+        })
+        .collect();
+    let cfg = GenerateConfig {
+        with_adjoint: false,
+        with_residual: false,
+        ..Default::default()
+    };
+    // One solve per job (no adjoint) → call index == density index.
+    // Failing index 1 of 5 jobs = a 20% failure rate.
+    let faulty = FaultInjectingSolver::new(
+        FdfdSolver::with_pml(PmlConfig::auto(device.grid().dl)),
+        FaultPlan::new().fail_at(1, InjectedFault::Error),
+    );
+    let report = maps::data::label_batch_resilient_with(&faulty, &device, &densities, &cfg);
+    assert_eq!(report.total_jobs(), 5);
+    assert_eq!(report.quarantined.len(), 1);
+    assert_eq!(report.quarantined[0].density_index, 1);
+    assert_eq!(report.ok.len(), 4);
+    assert!((report.quarantine_rate() - 0.2).abs() < 1e-12);
+
+    let clean = maps::data::label_batch_resilient(&device, &densities, &cfg);
+    assert!(clean.quarantined.is_empty());
+    let surviving: Vec<&maps::core::Sample> = clean
+        .ok
+        .iter()
+        .filter(|s| s.device_id != clean.ok[1].device_id)
+        .collect();
+    assert_eq!(surviving.len(), report.ok.len());
+    for (a, b) in surviving.iter().zip(&report.ok) {
+        assert_eq!(a.device_id, b.device_id);
+        assert_eq!(
+            a.labels.fields.ez.as_slice(),
+            b.labels.fields.ez.as_slice(),
+            "surviving samples must be byte-identical to the fault-free run"
+        );
+    }
+}
+
+/// The InstrumentedSolver's failure counter and the RobustSolver's retry
+/// stats must tell the same story when they wrap the same faulty solver.
+#[test]
+fn instrumented_failures_agree_with_robust_retry_stats() {
+    let grid = maps::core::Grid2d::new(36, 32, 0.05);
+    let eps = maps::core::RealField2d::constant(grid, 1.0);
+    let mut j = maps::core::ComplexField2d::zeros(grid);
+    j.set(18, 16, maps::linalg::Complex64::ONE);
+    let omega = maps::core::omega_for_wavelength(1.55);
+
+    // Unique name so the global `solver.<name>.failures` counter is not
+    // shared with other (possibly parallel) tests.
+    let faulty = FaultInjectingSolver::new(
+        FdfdSolver::new(),
+        FaultPlan::new()
+            .fail_at(0, InjectedFault::Error)
+            .fail_at(3, InjectedFault::Error),
+    )
+    .with_name("fault-obs-consistency");
+    let robust = RobustSolver::new(InstrumentedSolver::new(faulty), RetryPolicy::default());
+
+    // Calls 0 and 3 fail and are retried (the retry consumes the next
+    // fault-free index); calls in between succeed first try.
+    for _ in 0..3 {
+        robust.solve_ez(&eps, &j, omega).unwrap();
+    }
+    let stats = robust.stats();
+    assert_eq!(stats.retries, 2);
+    assert_eq!(stats.recovered, 2);
+    assert_eq!(stats.fallbacks, 0);
+    assert_eq!(stats.unrecovered, 0);
+    let instrumented_failures =
+        maps::obs::counter("solver.fault-obs-consistency.failures").get();
+    assert_eq!(
+        instrumented_failures, stats.retries,
+        "telemetry failure count must equal the retries that hid them"
+    );
+    assert_eq!(robust.primary().inner().injected(), 2);
+    assert_eq!(robust.primary().inner().calls(), 5);
+}
