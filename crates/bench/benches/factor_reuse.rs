@@ -1,0 +1,208 @@
+//! Perf-regression harness for factorization reuse (PR 3).
+//!
+//! Not a criterion bench: this harness emits a machine-readable JSON file
+//! (`BENCH_pr3.json` by default) with median timings so CI can diff runs.
+//!
+//! Usage (via `scripts/bench.sh` or directly):
+//!
+//! ```text
+//! cargo bench --bench factor_reuse -- [--smoke] [--out PATH]
+//! ```
+//!
+//! `--smoke` shrinks the grid and repetition counts so the harness finishes
+//! in seconds (wired into `scripts/check.sh`); the default full mode runs at
+//! the default bending-device grid (80×80, dl = 0.05).
+//!
+//! Reported medians (nanoseconds):
+//!
+//! - `factorize_ns` — assemble + banded-LU factorize (what a cache miss pays)
+//! - `solve_cold_ns` — full `solve_ez` with an empty cache (factorize + sweep)
+//! - `solve_cached_ns` — `solve_ez` answered from the cache (sweep only)
+//! - `invdes_iteration_ns` — one inverse-design iteration (forward + adjoint
+//!   sharing one factorization)
+//! - `label_batch_per_sample_ns` — resilient batch labeling, per sample
+
+use maps_core::{omega_for_wavelength, ComplexField2d, FieldSolver, RealField2d};
+use maps_data::{
+    label_batch_resilient_par, sample_densities, DeviceKind, DeviceResolution, GenerateConfig,
+    SamplerConfig, SamplingStrategy,
+};
+use maps_fdfd::{factor_cache, FdfdSolver, PmlConfig};
+use maps_invdes::{ExactAdjoint, InitStrategy, InverseDesigner, OptimConfig};
+use maps_linalg::Complex64;
+use std::time::Instant;
+
+struct Mode {
+    smoke: bool,
+    out: String,
+}
+
+fn parse_args() -> Mode {
+    let mut mode = Mode {
+        smoke: false,
+        out: "BENCH_pr3.json".to_string(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--smoke" => mode.smoke = true,
+            "--out" => {
+                mode.out = args.next().expect("--out needs a path");
+            }
+            // cargo bench passes `--bench`; ignore it and anything unknown.
+            _ => {}
+        }
+    }
+    mode
+}
+
+fn median_ns(mut samples: Vec<u128>) -> u128 {
+    assert!(!samples.is_empty());
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let mode = parse_args();
+    let res = if mode.smoke {
+        DeviceResolution::low()
+    } else {
+        DeviceResolution::default()
+    };
+    let reps = if mode.smoke { 3 } else { 11 };
+    let invdes_iters = if mode.smoke { 4 } else { 20 };
+    let label_count = if mode.smoke { 2 } else { 4 };
+
+    let mut device = DeviceKind::Bending.build(res);
+    let grid = device.grid();
+    let dl = grid.dl;
+    let solver = FdfdSolver::with_pml(PmlConfig::auto(dl));
+    let omega = omega_for_wavelength(1.55);
+    let eps = RealField2d::constant(grid, 4.0);
+    let mut j = ComplexField2d::zeros(grid);
+    j.set(grid.nx / 2, grid.ny / 2, Complex64::ONE);
+    let cache = factor_cache::global();
+
+    eprintln!(
+        "factor_reuse: {}x{} grid (dl={dl}), {reps} reps, mode={}",
+        grid.nx,
+        grid.ny,
+        if mode.smoke { "smoke" } else { "full" }
+    );
+
+    // Assemble + factorize: the cost a cache miss pays beyond the sweep.
+    let factorize_ns = median_ns(
+        (0..reps)
+            .map(|_| {
+                let t = Instant::now();
+                let lu = solver
+                    .operator(&eps, omega)
+                    .to_banded()
+                    .factorize()
+                    .expect("factorize");
+                let ns = t.elapsed().as_nanos();
+                std::hint::black_box(&lu);
+                ns
+            })
+            .collect(),
+    );
+
+    // Full solve with an empty cache: factorize + substitution sweeps.
+    let solve_cold_ns = median_ns(
+        (0..reps)
+            .map(|_| {
+                cache.clear();
+                let t = Instant::now();
+                let ez = solver.solve_ez(&eps, &j, omega).expect("cold solve");
+                let ns = t.elapsed().as_nanos();
+                std::hint::black_box(&ez);
+                ns
+            })
+            .collect(),
+    );
+
+    // Cached re-solve: the factorization is shared, only the sweeps run.
+    solver.solve_ez(&eps, &j, omega).expect("prime cache");
+    let solve_cached_ns = median_ns(
+        (0..reps)
+            .map(|_| {
+                let t = Instant::now();
+                let ez = solver.solve_ez(&eps, &j, omega).expect("cached solve");
+                let ns = t.elapsed().as_nanos();
+                std::hint::black_box(&ez);
+                ns
+            })
+            .collect(),
+    );
+
+    // Inverse-design iterations: per-iteration wall time from the run
+    // callback (each iteration is a distinct design, so each pays one
+    // factorization plus the adjoint reuse).
+    let adjoint = ExactAdjoint::new(FdfdSolver::with_pml(PmlConfig::auto(dl)));
+    device
+        .problem
+        .calibrate(adjoint.solver())
+        .expect("calibrate");
+    let designer = InverseDesigner::new(OptimConfig {
+        iterations: invdes_iters,
+        learning_rate: 0.12,
+        beta_start: 1.5,
+        beta_growth: 1.15,
+        filter_radius: 1.5,
+        symmetry: None,
+        litho: None,
+        init: InitStrategy::Uniform(0.5),
+        ..OptimConfig::default()
+    });
+    let mut iter_ns = Vec::with_capacity(invdes_iters);
+    let mut last = Instant::now();
+    designer
+        .run_with_callback(&device.problem, &adjoint, |_, _, _| {
+            iter_ns.push(last.elapsed().as_nanos());
+            last = Instant::now();
+        })
+        .expect("invdes run");
+    let invdes_iteration_ns = median_ns(iter_ns);
+
+    // Resilient batch labeling, per produced sample.
+    let densities = sample_densities(
+        SamplingStrategy::Random,
+        &device,
+        &SamplerConfig {
+            count: label_count,
+            seed: 7,
+            trajectory_iterations: 4,
+            perturbation: 0.25,
+        },
+    )
+    .expect("densities");
+    let config = GenerateConfig::default();
+    let label_per_sample_ns = median_ns(
+        (0..3)
+            .map(|_| {
+                cache.clear();
+                let t = Instant::now();
+                let report = label_batch_resilient_par(&device, &densities, &config);
+                let ns = t.elapsed().as_nanos();
+                assert!(!report.ok.is_empty(), "labeling produced no samples");
+                ns / report.ok.len() as u128
+            })
+            .collect(),
+    );
+
+    let speedup = solve_cold_ns as f64 / solve_cached_ns.max(1) as f64;
+    let json = format!(
+        "{{\n  \"bench\": \"factor_reuse\",\n  \"mode\": \"{mode_s}\",\n  \"grid\": {{ \"nx\": {nx}, \"ny\": {ny}, \"dl\": {dl} }},\n  \"reps\": {reps},\n  \"medians_ns\": {{\n    \"factorize\": {factorize_ns},\n    \"solve_cold\": {solve_cold_ns},\n    \"solve_cached\": {solve_cached_ns},\n    \"invdes_iteration\": {invdes_iteration_ns},\n    \"label_batch_per_sample\": {label_per_sample_ns}\n  }},\n  \"speedup_cached_resolve\": {speedup:.2}\n}}\n",
+        mode_s = if mode.smoke { "smoke" } else { "full" },
+        nx = grid.nx,
+        ny = grid.ny,
+    );
+    std::fs::write(&mode.out, &json).expect("write bench json");
+    eprintln!("{json}");
+    eprintln!("wrote {}", mode.out);
+
+    assert!(
+        speedup >= 3.0,
+        "cached re-solve must be >= 3x faster than cold factorize+solve, got {speedup:.2}x"
+    );
+}

@@ -93,6 +93,49 @@ fn bench_banded_lu(c: &mut Criterion) {
     group.finish();
 }
 
+/// Matvec vs. substitution solve vs. factorize on Helmholtz-shaped banded
+/// systems at the device-zoo grid sizes (40×40 low-res → n=1600, bw=40;
+/// 80×80 default → n=6400, bw=80). The factorize/solve gap is the headroom
+/// the factorization cache converts into cached re-solve speedup.
+fn bench_banded_ops_at_device_sizes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("banded_ops_device_grids");
+    group.sample_size(10);
+    for &nx in &[40usize, 80] {
+        let n = nx * nx;
+        let bw = nx;
+        let mut a = BandedMatrix::zeros(n, bw, bw);
+        for i in 0..n {
+            a.set(i, i, Complex64::new(4.0, 0.4));
+            if i >= 1 {
+                a.set(i, i - 1, Complex64::from_re(-1.0));
+            }
+            if i >= bw {
+                a.set(i, i - bw, Complex64::from_re(-1.0));
+            }
+            if i + 1 < n {
+                a.set(i, i + 1, Complex64::from_re(-1.0));
+            }
+            if i + bw < n {
+                a.set(i, i + bw, Complex64::from_re(-1.0));
+            }
+        }
+        let x: Vec<Complex64> = (0..n)
+            .map(|k| Complex64::new((k as f64 * 0.01).sin(), (k as f64 * 0.02).cos()))
+            .collect();
+        let lu = a.clone().factorize().expect("factorize");
+        group.bench_with_input(BenchmarkId::new("matvec", nx), &nx, |b, _| {
+            b.iter(|| a.matvec(&x));
+        });
+        group.bench_with_input(BenchmarkId::new("solve", nx), &nx, |b, _| {
+            b.iter(|| lu.solve(&x));
+        });
+        group.bench_with_input(BenchmarkId::new("factorize", nx), &nx, |b, _| {
+            b.iter(|| a.clone().factorize().expect("factorize"));
+        });
+    }
+    group.finish();
+}
+
 fn bench_fft2(c: &mut Criterion) {
     let mut group = c.benchmark_group("fft2");
     for &(h, w) in &[(32usize, 32usize), (40, 40), (64, 64)] {
@@ -147,6 +190,7 @@ criterion_group!(
     bench_fdfd_scaling,
     bench_neural_vs_fdfd,
     bench_banded_lu,
+    bench_banded_ops_at_device_sizes,
     bench_fft2,
     bench_fno_forward
 );

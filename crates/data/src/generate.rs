@@ -4,6 +4,11 @@
 //! fidelity; the sample records the permittivity, source, full fields,
 //! per-port transmissions, reflection, radiation, the adjoint gradient
 //! under the device objective, and the Maxwell residual self-check.
+//!
+//! All source variants and adjoint-excitation solves of one density share
+//! the same permittivity map, so they reuse a single banded LU through the
+//! `maps_fdfd::factor_cache` — one factorization per (density, fidelity)
+//! rather than per solve.
 
 use crate::device::{DeviceSpec, SourceVariant};
 use maps_core::{

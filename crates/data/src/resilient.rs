@@ -7,15 +7,20 @@
 //! path runs every job, keeps the successes, and quarantines the failures
 //! with enough metadata to retry them later.
 //!
-//! Jobs run **sequentially** here (unlike the parallel `label_batch`):
-//! a deterministic solve order is what makes fault-injection tests and
-//! retry-by-index reproducible. Throughput-critical fault-free sweeps
-//! should keep using `label_batch`.
+//! Jobs run **sequentially** in [`label_batch_resilient_with`]: a
+//! deterministic solve order is what makes call-indexed fault-injection
+//! tests and retry-by-index reproducible. The parallel variant
+//! [`label_batch_resilient_par_with`] stripes densities across worker
+//! threads and reassembles outcomes in input order, so its
+//! [`GenerateReport`] is identical to the sequential one whenever the
+//! injected solver's behavior is a deterministic function of the job's
+//! *inputs* (rather than of global call order).
 
 use crate::device::{DeviceSpec, SourceVariant};
 use crate::generate::{build_objective, paint_density, GenerateConfig, GenerateError};
 use maps_core::{ComplexField2d, FieldSolver, PortRecord, RealField2d, RichLabels, Sample};
 use maps_fdfd::{derive_h_fields, gradient_from_fields, FdfdSolver, ModeMonitor, ModeSource};
+use rayon::prelude::*;
 
 /// One generation job that failed, with what's needed to retry it.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -237,44 +242,126 @@ pub fn label_batch_resilient_with(
         .field("solver", solver.name());
     let mut report = GenerateReport::default();
     for (di, density) in densities.iter().enumerate() {
-        for (vi, variant) in device.variants.iter().enumerate() {
-            let mut jobs = vec![false];
-            if config.with_adjoint_source_samples {
-                jobs.push(true);
-            }
-            for adjoint_excitation in jobs {
-                let result = if adjoint_excitation {
-                    adjoint_source_sample_with(solver, device, density, variant, config, di)
-                } else {
-                    label_sample_with(solver, device, density, variant, config, di)
-                };
-                match result {
-                    Ok(sample) => report.ok.push(sample),
-                    Err(e) => {
-                        maps_obs::counter("samples.quarantined").inc();
-                        maps_obs::error!(
-                            "quarantined density {di} variant {vi} \
-                             (adjoint_excitation={adjoint_excitation}): {e}"
-                        );
-                        report.quarantined.push(QuarantinedSample {
-                            density_index: di,
-                            variant_index: vi,
-                            adjoint_excitation,
-                            error: e.to_string(),
-                        });
-                    }
-                }
-            }
+        for outcome in density_jobs(solver, device, density, config, di) {
+            absorb_outcome(&mut report, outcome);
         }
     }
+    log_report(&report, span.elapsed().as_secs_f64());
+    report
+}
+
+/// Outcome of one labeling job, tagged for deterministic reassembly.
+/// The sample is boxed: it carries full fields, so the Ok variant dwarfs
+/// the quarantine record.
+enum JobOutcome {
+    Ok(Box<Sample>),
+    Failed(QuarantinedSample),
+}
+
+/// Runs every job of one density (variants × forward/adjoint-excitation)
+/// in the canonical sequential order, capturing failures as quarantine
+/// records instead of aborting.
+fn density_jobs(
+    solver: &dyn FieldSolver,
+    device: &DeviceSpec,
+    density: &maps_invdes::Patch,
+    config: &GenerateConfig,
+    di: usize,
+) -> Vec<JobOutcome> {
+    let mut outcomes = Vec::new();
+    for (vi, variant) in device.variants.iter().enumerate() {
+        let mut kinds = vec![false];
+        if config.with_adjoint_source_samples {
+            kinds.push(true);
+        }
+        for adjoint_excitation in kinds {
+            let result = if adjoint_excitation {
+                adjoint_source_sample_with(solver, device, density, variant, config, di)
+            } else {
+                label_sample_with(solver, device, density, variant, config, di)
+            };
+            outcomes.push(match result {
+                Ok(sample) => JobOutcome::Ok(Box::new(sample)),
+                Err(e) => JobOutcome::Failed(QuarantinedSample {
+                    density_index: di,
+                    variant_index: vi,
+                    adjoint_excitation,
+                    error: e.to_string(),
+                }),
+            });
+        }
+    }
+    outcomes
+}
+
+fn absorb_outcome(report: &mut GenerateReport, outcome: JobOutcome) {
+    match outcome {
+        JobOutcome::Ok(sample) => report.ok.push(*sample),
+        JobOutcome::Failed(q) => {
+            maps_obs::counter("samples.quarantined").inc();
+            maps_obs::error!(
+                "quarantined density {} variant {} (adjoint_excitation={}): {}",
+                q.density_index,
+                q.variant_index,
+                q.adjoint_excitation,
+                q.error
+            );
+            report.quarantined.push(q);
+        }
+    }
+}
+
+fn log_report(report: &GenerateReport, elapsed: f64) {
     maps_obs::info!(
-        "resilient batch: {} ok, {} quarantined ({:.0}%) in {:.2}s",
+        "resilient batch: {} ok, {} quarantined ({:.0}%) in {elapsed:.2}s",
         report.ok.len(),
         report.quarantined.len(),
         report.quarantine_rate() * 100.0,
-        span.elapsed().as_secs_f64()
     );
+}
+
+/// Parallel [`label_batch_resilient_with`]: densities are striped across
+/// worker threads (each worker runs one density's jobs in canonical order)
+/// and outcomes are reassembled in input order, so the returned
+/// [`GenerateReport`] lists `ok` samples and `quarantined` jobs in exactly
+/// the order the sequential path produces.
+///
+/// Determinism contract: with a solver whose success/failure and output
+/// bits depend only on the job inputs (true for the exact FDFD solver and
+/// for content-keyed fault injection), the parallel report is
+/// **byte-identical** to the sequential one. A *call-indexed* fault plan
+/// ([`maps_core::FaultPlan`]) is scheduled by arrival order and therefore
+/// maps onto different jobs under parallel execution — use the sequential
+/// path to reproduce those schedules exactly.
+pub fn label_batch_resilient_par_with(
+    solver: &(dyn FieldSolver + Sync),
+    device: &DeviceSpec,
+    densities: &[maps_invdes::Patch],
+    config: &GenerateConfig,
+) -> GenerateReport {
+    let span = maps_obs::span("data.label_batch_resilient_par")
+        .field("densities", densities.len())
+        .field("solver", solver.name());
+    let per_density: Vec<Vec<JobOutcome>> = densities
+        .par_iter()
+        .map_indexed(|di, density| density_jobs(solver, device, density, config, di))
+        .collect();
+    let mut report = GenerateReport::default();
+    for outcome in per_density.into_iter().flatten() {
+        absorb_outcome(&mut report, outcome);
+    }
+    log_report(&report, span.elapsed().as_secs_f64());
     report
+}
+
+/// [`label_batch_resilient_par_with`] using the exact FDFD solver.
+pub fn label_batch_resilient_par(
+    device: &DeviceSpec,
+    densities: &[maps_invdes::Patch],
+    config: &GenerateConfig,
+) -> GenerateReport {
+    let solver = FdfdSolver::with_pml(maps_fdfd::PmlConfig::auto(device.grid().dl));
+    label_batch_resilient_par_with(&solver, device, densities, config)
 }
 
 /// [`label_batch_resilient_with`] using the exact FDFD solver.
@@ -318,6 +405,103 @@ mod tests {
         for s in &report.ok {
             assert!(s.labels.maxwell_residual < 1e-9);
         }
+    }
+
+    /// Fails deterministically as a function of the *job inputs* (eps,
+    /// source, omega), so sequential and parallel schedules fault the same
+    /// jobs — the property a call-indexed [`FaultPlan`] cannot provide
+    /// under parallel execution.
+    struct ContentKeyedFaultSolver {
+        inner: FdfdSolver,
+        modulus: u64,
+    }
+
+    impl ContentKeyedFaultSolver {
+        fn job_hash(eps: &RealField2d, source: &ComplexField2d, omega: f64) -> u64 {
+            let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+            let mut mix = |bits: u64| {
+                h = (h ^ bits).wrapping_mul(0x0000_0100_0000_01B3);
+            };
+            for v in eps.as_slice() {
+                mix(v.to_bits());
+            }
+            for z in source.as_slice() {
+                mix(z.re.to_bits());
+                mix(z.im.to_bits());
+            }
+            mix(omega.to_bits());
+            h
+        }
+
+        fn should_fail(&self, eps: &RealField2d, source: &ComplexField2d, omega: f64) -> bool {
+            Self::job_hash(eps, source, omega).is_multiple_of(self.modulus)
+        }
+    }
+
+    impl FieldSolver for ContentKeyedFaultSolver {
+        fn solve_ez(
+            &self,
+            eps_r: &RealField2d,
+            source: &ComplexField2d,
+            omega: f64,
+        ) -> Result<ComplexField2d, maps_core::SolveFieldError> {
+            if self.should_fail(eps_r, source, omega) {
+                return Err(maps_core::SolveFieldError::Numerical {
+                    detail: "content-keyed injected fault".into(),
+                });
+            }
+            self.inner.solve_ez(eps_r, source, omega)
+        }
+
+        fn solve_adjoint_ez(
+            &self,
+            eps_r: &RealField2d,
+            rhs: &ComplexField2d,
+            omega: f64,
+        ) -> Result<ComplexField2d, maps_core::SolveFieldError> {
+            self.inner.solve_adjoint_ez(eps_r, rhs, omega)
+        }
+
+        fn name(&self) -> &str {
+            "content-keyed-fault"
+        }
+    }
+
+    #[test]
+    fn parallel_report_is_byte_identical_to_sequential_under_fault_injection() {
+        let dev = DeviceKind::Bending.build(DeviceResolution::low());
+        // Distinct densities so jobs have distinct fingerprints and the
+        // fault hash spreads.
+        let densities: Vec<maps_invdes::Patch> = (0..8)
+            .map(|i| {
+                maps_invdes::Patch::constant(
+                    dev.problem.design_size.0,
+                    dev.problem.design_size.1,
+                    0.2 + 0.08 * i as f64,
+                )
+            })
+            .collect();
+        let cfg = GenerateConfig {
+            with_adjoint: false,
+            with_residual: false,
+            with_adjoint_source_samples: true,
+            ..Default::default()
+        };
+        let solver = ContentKeyedFaultSolver {
+            inner: FdfdSolver::with_pml(maps_fdfd::PmlConfig::auto(dev.grid().dl)),
+            modulus: 5, // ≈20% of jobs fault
+        };
+        let sequential = label_batch_resilient_with(&solver, &dev, &densities, &cfg);
+        let parallel = label_batch_resilient_par_with(&solver, &dev, &densities, &cfg);
+        assert!(
+            !sequential.quarantined.is_empty(),
+            "fault plan must actually fire for the test to mean anything"
+        );
+        assert!(!sequential.ok.is_empty());
+        // Byte-identity: every sample and every quarantine record matches
+        // field-for-field, in the same deterministic job order.
+        assert_eq!(sequential.ok, parallel.ok);
+        assert_eq!(sequential.quarantined, parallel.quarantined);
     }
 
     #[test]

@@ -114,15 +114,16 @@ pub fn solve_with_adjoint(
     let _span = maps_obs::span("fdfd.solve_with_adjoint").field("cells", eps_r.grid().len());
     maps_obs::counter("fdfd.forward_solves").inc();
     maps_obs::counter("fdfd.adjoint_solves").inc();
-    let op = solver.operator(eps_r, omega);
-    let lu = {
-        let _s = maps_obs::span("fdfd.factorize");
-        op.to_banded()
-            .factorize()
-            .map_err(|e| SolveFieldError::Numerical {
-                detail: e.to_string(),
-            })?
-    };
+    // Shared via the factorization cache: within this call the forward and
+    // transposed solves reuse one LU, and across calls a repeated design
+    // (e.g. an S-param sweep after an invdes iteration) skips the
+    // factorization entirely.
+    let lu = crate::factor_cache::factor(eps_r, omega, solver.pml(), || {
+        solver.operator(eps_r, omega).to_banded()
+    })
+    .map_err(|e| SolveFieldError::Numerical {
+        detail: e.to_string(),
+    })?;
     let b = FdfdSolver::rhs(source, omega);
     let forward = {
         let _s = maps_obs::span("fdfd.backsub");

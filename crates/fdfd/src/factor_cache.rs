@@ -1,0 +1,467 @@
+//! Factorization reuse: one banded LU per (design, frequency, PML).
+//!
+//! The banded LU factorization is `O(n·nx²)` — the dominant cost of every
+//! direct solve — while a substitution sweep is only `O(n·nx)`. Forward,
+//! adjoint, repeated monitor, and S-parameter solves against the *same*
+//! discretized operator therefore want to share one factorization. This
+//! module provides that sharing:
+//!
+//! - a cheap 128-bit [`Fingerprint`] of the operator inputs (permittivity
+//!   bits, `omega`, grid dims, spacing, PML config) identifies "the same
+//!   operator" without retaining the inputs;
+//! - a process-wide [`FactorCache`] maps fingerprints to `Arc<BandedLu>`
+//!   with bounded capacity and LRU eviction;
+//! - independent of the LRU ring, the cache always retains the **most
+//!   recent** factorization, so an adjoint solve immediately following the
+//!   forward solve of the same design reuses its factor even when the cache
+//!   is disabled (`MAPS_FACTOR_CACHE=0`).
+//!
+//! Reuse is bit-identical by construction: a hit returns the *same*
+//! factorization a cold call would recompute (the factorization is a
+//! deterministic function of the fingerprinted inputs), so `solve` /
+//! `solve_transposed` produce exactly the same bits either way.
+//!
+//! Telemetry: `fdfd.factor_cache.{hit,miss,evict}` counters in the
+//! [`maps_obs`] global registry, plus per-instance [`CacheStats`].
+//!
+//! The capacity knob is the `MAPS_FACTOR_CACHE` environment variable:
+//! unset/empty keeps the default (4 entries), `0`/`off` disables the LRU
+//! ring (the last-factor slot stays active), any other integer sets the
+//! capacity. A cached factor for an `nx × ny` grid holds
+//! `(3·nx + 1)·nx·ny` complex doubles (~25 MB at the default 80×80 device
+//! grid), so capacities stay small.
+
+use crate::pml::PmlConfig;
+use maps_core::RealField2d;
+use maps_linalg::{BandedLu, BandedMatrix, LinalgError};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Default LRU capacity when `MAPS_FACTOR_CACHE` is unset.
+pub const DEFAULT_CAPACITY: usize = 4;
+
+/// A cheap identity of one assembled Helmholtz operator.
+///
+/// Two FNV-1a passes with independent offset bases over the raw bit
+/// patterns of every input that reaches the operator assembly: permittivity
+/// cells, `omega`, grid dims and spacing, and the PML configuration. With
+/// 128 independent hash bits, an accidental collision between two *distinct*
+/// operators in a cache of single-digit capacity is vanishingly unlikely
+/// (birthday bound ≪ 1e-30), and any intentional inputs that differ in even
+/// one bit fingerprint differently — which is exactly the invalidation rule
+/// bit-identical reuse needs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fingerprint {
+    h: [u64; 2],
+    cells: usize,
+}
+
+const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+const FNV_OFFSET_A: u64 = 0xCBF2_9CE4_8422_2325;
+// Second pass starts from an unrelated offset so the two 64-bit digests are
+// independent functions of the input stream.
+const FNV_OFFSET_B: u64 = 0x6C62_272E_07BB_0142;
+
+#[derive(Clone, Copy)]
+struct Fnv2 {
+    a: u64,
+    b: u64,
+}
+
+impl Fnv2 {
+    fn new() -> Self {
+        Fnv2 {
+            a: FNV_OFFSET_A,
+            b: FNV_OFFSET_B,
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        // Hash byte-wise: FNV-1a mixes per octet. Pass B sees each byte
+        // XOR-masked so the two digests are independent functions of the
+        // input stream, not a shared value from two offsets.
+        for shift in (0..64).step_by(8) {
+            let byte = (v >> shift) & 0xFF;
+            self.a = (self.a ^ byte).wrapping_mul(FNV_PRIME);
+            self.b = (self.b ^ (byte ^ 0xA5)).wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    #[inline]
+    fn write_f64(&mut self, v: f64) {
+        self.write_u64(v.to_bits());
+    }
+}
+
+/// Computes the [`Fingerprint`] of the operator assembled from these inputs.
+pub fn fingerprint(eps_r: &RealField2d, omega: f64, pml: &PmlConfig) -> Fingerprint {
+    let grid = eps_r.grid();
+    let mut h = Fnv2::new();
+    h.write_u64(grid.nx as u64);
+    h.write_u64(grid.ny as u64);
+    h.write_f64(grid.dl);
+    h.write_f64(omega);
+    h.write_u64(pml.thickness as u64);
+    h.write_f64(pml.order);
+    h.write_f64(pml.target_reflection);
+    for v in eps_r.as_slice() {
+        h.write_f64(*v);
+    }
+    Fingerprint {
+        h: [h.a, h.b],
+        cells: grid.len(),
+    }
+}
+
+/// Hit/miss/eviction counts of one [`FactorCache`] instance.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to factorize.
+    pub misses: u64,
+    /// Entries dropped from the LRU ring to respect capacity.
+    pub evictions: u64,
+}
+
+struct Entry {
+    key: Fingerprint,
+    lu: Arc<BandedLu>,
+    used: u64,
+}
+
+struct Inner {
+    /// Most recent factorization — always retained, even at capacity 0,
+    /// so forward → adjoint pairs on one design share a factor
+    /// unconditionally.
+    last: Option<(Fingerprint, Arc<BandedLu>)>,
+    ring: Vec<Entry>,
+    capacity: usize,
+    clock: u64,
+}
+
+/// A bounded LRU cache of banded LU factorizations.
+///
+/// The process-wide instance is [`global`]; independent instances are
+/// constructible for tests and special-purpose pipelines.
+pub struct FactorCache {
+    inner: Mutex<Inner>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl std::fmt::Debug for FactorCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.stats();
+        f.debug_struct("FactorCache")
+            .field("capacity", &self.capacity())
+            .field("stats", &s)
+            .finish()
+    }
+}
+
+impl FactorCache {
+    /// Creates a cache with an LRU ring of `capacity` entries (0 disables
+    /// the ring; the last-factor slot is always active).
+    pub fn new(capacity: usize) -> Self {
+        FactorCache {
+            inner: Mutex::new(Inner {
+                last: None,
+                ring: Vec::new(),
+                capacity,
+                clock: 0,
+            }),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Current LRU capacity.
+    pub fn capacity(&self) -> usize {
+        self.inner.lock().expect("factor cache lock").capacity
+    }
+
+    /// Resizes the LRU ring, evicting least-recently-used entries if the
+    /// new capacity is smaller. The last-factor slot is unaffected.
+    pub fn set_capacity(&self, capacity: usize) {
+        let mut inner = self.inner.lock().expect("factor cache lock");
+        inner.capacity = capacity;
+        while inner.ring.len() > capacity {
+            evict_lru(&mut inner);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+            maps_obs::counter("fdfd.factor_cache.evict").inc();
+        }
+    }
+
+    /// Drops every cached factorization (including the last-factor slot)
+    /// without touching the counters.
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock().expect("factor cache lock");
+        inner.last = None;
+        inner.ring.clear();
+    }
+
+    /// Instance counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Looks up a factorization without counting a miss (used by
+    /// [`FactorCache::factorize_with`]; exposed for diagnostics).
+    pub fn get(&self, key: &Fingerprint) -> Option<Arc<BandedLu>> {
+        let mut inner = self.inner.lock().expect("factor cache lock");
+        inner.clock += 1;
+        let now = inner.clock;
+        if let Some((k, lu)) = &inner.last {
+            if k == key {
+                let lu = Arc::clone(lu);
+                // Refresh the ring entry too, if present.
+                if let Some(e) = inner.ring.iter_mut().find(|e| e.key == *key) {
+                    e.used = now;
+                }
+                return Some(lu);
+            }
+        }
+        if let Some(e) = inner.ring.iter_mut().find(|e| e.key == *key) {
+            e.used = now;
+            let lu = Arc::clone(&e.lu);
+            inner.last = Some((*key, Arc::clone(&lu)));
+            return Some(lu);
+        }
+        None
+    }
+
+    /// Inserts a factorization, evicting the least-recently-used ring entry
+    /// when over capacity.
+    pub fn insert(&self, key: Fingerprint, lu: Arc<BandedLu>) {
+        let mut inner = self.inner.lock().expect("factor cache lock");
+        inner.clock += 1;
+        let now = inner.clock;
+        inner.last = Some((key, Arc::clone(&lu)));
+        if inner.capacity == 0 {
+            return;
+        }
+        if let Some(e) = inner.ring.iter_mut().find(|e| e.key == key) {
+            e.used = now;
+            e.lu = lu;
+            return;
+        }
+        while inner.ring.len() >= inner.capacity {
+            evict_lru(&mut inner);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+            maps_obs::counter("fdfd.factor_cache.evict").inc();
+        }
+        inner.ring.push(Entry {
+            key,
+            lu,
+            used: now,
+        });
+    }
+
+    /// The factorization for `key`, computing it with `assemble` +
+    /// [`BandedMatrix::factorize`] on a miss. The factorization runs
+    /// *outside* the cache lock (concurrent misses of the same key both
+    /// factorize and insert bit-identical results — wasteful but correct).
+    ///
+    /// Only a miss emits the `fdfd.factorize` span, so span-recorder tests
+    /// can count actual factorizations.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`LinalgError`] from the factorization.
+    pub fn factorize_with(
+        &self,
+        key: Fingerprint,
+        assemble: impl FnOnce() -> BandedMatrix,
+    ) -> Result<Arc<BandedLu>, LinalgError> {
+        if let Some(lu) = self.get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            maps_obs::counter("fdfd.factor_cache.hit").inc();
+            return Ok(lu);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        maps_obs::counter("fdfd.factor_cache.miss").inc();
+        let lu = {
+            let _s = maps_obs::span("fdfd.factorize").field("cells", key.cells);
+            Arc::new(assemble().factorize()?)
+        };
+        self.insert(key, Arc::clone(&lu));
+        Ok(lu)
+    }
+}
+
+fn evict_lru(inner: &mut Inner) {
+    if let Some(pos) = inner
+        .ring
+        .iter()
+        .enumerate()
+        .min_by_key(|(_, e)| e.used)
+        .map(|(i, _)| i)
+    {
+        inner.ring.swap_remove(pos);
+    }
+}
+
+/// Parses the `MAPS_FACTOR_CACHE` knob into an LRU capacity.
+fn capacity_from_env() -> usize {
+    match std::env::var("MAPS_FACTOR_CACHE") {
+        Ok(v) => {
+            let v = v.trim();
+            if v.is_empty() {
+                DEFAULT_CAPACITY
+            } else if v.eq_ignore_ascii_case("off") || v.eq_ignore_ascii_case("false") {
+                0
+            } else {
+                v.parse().unwrap_or(DEFAULT_CAPACITY)
+            }
+        }
+        Err(_) => DEFAULT_CAPACITY,
+    }
+}
+
+/// The process-wide factorization cache (capacity from `MAPS_FACTOR_CACHE`
+/// at first use; adjustable later via [`FactorCache::set_capacity`]).
+pub fn global() -> &'static FactorCache {
+    static GLOBAL: OnceLock<FactorCache> = OnceLock::new();
+    GLOBAL.get_or_init(|| FactorCache::new(capacity_from_env()))
+}
+
+/// One-call convenience over the [`global`] cache: fingerprint the inputs
+/// and return the shared factorization, assembling and factoring on a miss.
+///
+/// # Errors
+///
+/// Propagates [`LinalgError`] from the factorization.
+pub fn factor(
+    eps_r: &RealField2d,
+    omega: f64,
+    pml: &PmlConfig,
+    assemble: impl FnOnce() -> BandedMatrix,
+) -> Result<Arc<BandedLu>, LinalgError> {
+    global().factorize_with(fingerprint(eps_r, omega, pml), assemble)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maps_core::Grid2d;
+    use maps_linalg::Complex64;
+
+    fn toy_banded(seed: f64) -> BandedMatrix {
+        let mut a = BandedMatrix::zeros(4, 1, 1);
+        for i in 0..4 {
+            a.set(i, i, Complex64::new(3.0 + seed, 0.2));
+        }
+        a
+    }
+
+    fn key_for(tag: f64) -> Fingerprint {
+        let grid = Grid2d::new(3, 3, 0.1);
+        let eps = RealField2d::constant(grid, tag);
+        fingerprint(&eps, 4.0, &PmlConfig::default())
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_every_input() {
+        let grid = Grid2d::new(8, 6, 0.1);
+        let eps = RealField2d::constant(grid, 2.0);
+        let pml = PmlConfig {
+            thickness: 2,
+            ..Default::default()
+        };
+        let base = fingerprint(&eps, 4.0, &pml);
+        assert_eq!(base, fingerprint(&eps, 4.0, &pml), "deterministic");
+        // One-ULP permittivity change.
+        let mut eps2 = eps.clone();
+        eps2.set(3, 3, f64::from_bits(2.0f64.to_bits() + 1));
+        assert_ne!(base, fingerprint(&eps2, 4.0, &pml));
+        // Frequency change.
+        assert_ne!(base, fingerprint(&eps, 4.0 + 1e-12, &pml));
+        // PML change.
+        let pml2 = PmlConfig {
+            thickness: 3,
+            ..pml
+        };
+        assert_ne!(base, fingerprint(&eps, 4.0, &pml2));
+        // Grid spacing change (same dims and values).
+        let eps3 = RealField2d::constant(Grid2d::new(8, 6, 0.05), 2.0);
+        assert_ne!(base, fingerprint(&eps3, 4.0, &pml));
+        // Transposed dims with identical cell count.
+        let eps4 = RealField2d::constant(Grid2d::new(6, 8, 0.1), 2.0);
+        assert_ne!(base, fingerprint(&eps4, 4.0, &pml));
+    }
+
+    #[test]
+    fn hit_returns_the_same_factorization() {
+        let cache = FactorCache::new(2);
+        let key = key_for(1.0);
+        let a = cache.factorize_with(key, || toy_banded(0.0)).unwrap();
+        let b = cache
+            .factorize_with(key, || panic!("must not refactorize on a hit"))
+            .unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "hit must share the factorization");
+        assert_eq!(cache.stats().hits, 1);
+        assert_eq!(cache.stats().misses, 1);
+    }
+
+    #[test]
+    fn lru_eviction_respects_capacity_and_recency() {
+        let cache = FactorCache::new(2);
+        let (k1, k2, k3) = (key_for(1.0), key_for(2.0), key_for(3.0));
+        cache.factorize_with(k1, || toy_banded(0.1)).unwrap();
+        cache.factorize_with(k2, || toy_banded(0.2)).unwrap();
+        // Touch k1 so k2 is the LRU entry when k3 arrives.
+        assert!(cache.get(&k1).is_some());
+        cache.factorize_with(k3, || toy_banded(0.3)).unwrap();
+        assert_eq!(cache.stats().evictions, 1);
+        assert!(cache.get(&k1).is_some(), "recently used entry survives");
+        assert!(cache.get(&k2).is_none(), "LRU entry was evicted");
+        assert!(cache.get(&k3).is_some());
+    }
+
+    #[test]
+    fn capacity_zero_still_retains_the_last_factor() {
+        let cache = FactorCache::new(0);
+        let key = key_for(4.0);
+        let a = cache.factorize_with(key, || toy_banded(0.0)).unwrap();
+        // The immediately following lookup (the adjoint solve of the same
+        // design) hits the last-factor slot.
+        let b = cache
+            .factorize_with(key, || panic!("adjoint must reuse the forward factor"))
+            .unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        // A different design displaces it; the old key is gone.
+        cache.factorize_with(key_for(5.0), || toy_banded(0.5)).unwrap();
+        assert!(cache.get(&key).is_none(), "capacity 0 keeps only the last factor");
+        assert_eq!(cache.stats().evictions, 0, "last-slot turnover is not an eviction");
+    }
+
+    #[test]
+    fn shrinking_capacity_evicts() {
+        let cache = FactorCache::new(3);
+        for t in 0..3 {
+            cache
+                .factorize_with(key_for(10.0 + t as f64), || toy_banded(t as f64))
+                .unwrap();
+        }
+        cache.set_capacity(1);
+        assert_eq!(cache.stats().evictions, 2);
+        assert_eq!(cache.capacity(), 1);
+    }
+
+    #[test]
+    fn clear_drops_everything() {
+        let cache = FactorCache::new(2);
+        let key = key_for(6.0);
+        cache.factorize_with(key, || toy_banded(0.0)).unwrap();
+        cache.clear();
+        assert!(cache.get(&key).is_none());
+    }
+}

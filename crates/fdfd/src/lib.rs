@@ -33,6 +33,7 @@
 //! ```
 
 pub mod adjoint;
+pub mod factor_cache;
 pub mod farfield;
 pub mod modes;
 pub mod monitor;
@@ -43,6 +44,7 @@ pub mod source;
 pub mod sparams;
 
 pub use adjoint::{gradient_from_fields, solve_with_adjoint, AdjointSolution, PowerObjective};
+pub use factor_cache::{CacheStats, FactorCache, Fingerprint};
 pub use farfield::FarFieldProjector;
 pub use modes::{solve_slab_modes, ModeError, SlabMode};
 pub use monitor::{derive_h_fields, FluxMonitor, LinearFunctional, ModeMonitor};

@@ -181,22 +181,23 @@ impl FieldSolver for FdfdSolver {
             .field("backend", self.name())
             .field("cells", eps_r.grid().len());
         maps_obs::counter("fdfd.forward_solves").inc();
-        let op = self.operator(eps_r, omega);
         let b = Self::rhs(source, omega);
         let x = match self.backend {
             Backend::Direct => {
-                let lu = {
-                    let _s = maps_obs::span("fdfd.factorize");
-                    op.to_banded().factorize().map_err(|e| {
-                        SolveFieldError::Numerical {
-                            detail: e.to_string(),
-                        }
-                    })?
-                };
+                // One factorization per distinct (eps, omega, PML): the
+                // process-wide cache shares the LU across forward, adjoint,
+                // and repeated monitor/S-param solves of the same design.
+                let lu = crate::factor_cache::factor(eps_r, omega, &self.pml, || {
+                    self.operator(eps_r, omega).to_banded()
+                })
+                .map_err(|e| SolveFieldError::Numerical {
+                    detail: e.to_string(),
+                })?;
                 let _s = maps_obs::span("fdfd.backsub");
                 lu.solve(&b)
             }
             Backend::Iterative(opts) => {
+                let op = self.operator(eps_r, omega);
                 let _s = maps_obs::span("fdfd.bicgstab");
                 // Relax-then-retighten: the factor applies to this call
                 // only; the solver's stored options stay tight.
@@ -236,15 +237,16 @@ impl FieldSolver for FdfdSolver {
             .field("backend", self.name())
             .field("cells", eps_r.grid().len());
         maps_obs::counter("fdfd.adjoint_solves").inc();
-        let op = self.operator(eps_r, omega);
-        let lu = {
-            let _s = maps_obs::span("fdfd.factorize");
-            op.to_banded()
-                .factorize()
-                .map_err(|e| SolveFieldError::Numerical {
-                    detail: e.to_string(),
-                })?
-        };
+        // Reuses the factor of the immediately preceding forward solve of
+        // the same design (the cache retains at least the most recent
+        // factorization even when disabled), so a forward/adjoint pair
+        // costs one factorization plus two substitution sweeps.
+        let lu = crate::factor_cache::factor(eps_r, omega, &self.pml, || {
+            self.operator(eps_r, omega).to_banded()
+        })
+        .map_err(|e| SolveFieldError::Numerical {
+            detail: e.to_string(),
+        })?;
         let _s = maps_obs::span("fdfd.backsub");
         let field = ComplexField2d::from_vec(eps_r.grid(), lu.solve_transposed(rhs.as_slice()));
         maps_core::ensure_finite(&field, self.name())?;

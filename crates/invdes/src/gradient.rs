@@ -1,7 +1,10 @@
 //! Gradient backends: how `dF/dε` is obtained.
 //!
-//! The exact path factorizes the FDFD operator once and solves forward and
-//! transposed systems. The generic path works with *any* [`FieldSolver`] —
+//! The exact path factorizes the FDFD operator once per design — through
+//! the process-wide `maps_fdfd::factor_cache`, so the forward and
+//! transposed (adjoint) solves share one banded LU, and re-evaluations of
+//! the same design skip the factorization entirely. The generic path works
+//! with *any* [`FieldSolver`] —
 //! including a trained neural operator — using two solves and the
 //! reciprocity-based default adjoint, which is how the paper drives inverse
 //! design from NN-predicted forward and adjoint fields (§IV-D, Fig. 6).

@@ -239,12 +239,43 @@ impl BandedLu {
 
     /// Solves `A x = b`, returning `x`.
     ///
+    /// Takes `&self`: one factorization serves any number of right-hand
+    /// sides (forward + adjoint + multi-source sweeps), which is the
+    /// amortization the factorization cache in `maps-fdfd` is built on.
+    ///
     /// # Panics
     ///
     /// Panics if `b.len() != self.dim()`.
     pub fn solve(&self, b: &[Complex64]) -> Vec<Complex64> {
         assert_eq!(b.len(), self.n, "solve dimension mismatch");
         let mut x = b.to_vec();
+        self.solve_in_place(&mut x);
+        x
+    }
+
+    /// Solves `A X = B` for a batch of right-hand sides, returning one
+    /// solution per input. The factorization is traversed once per RHS but
+    /// paid for only once — the batched entry point for multi-source
+    /// problems (S-parameter columns, multi-excitation objectives).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any `rhs.len() != self.dim()`.
+    pub fn solve_many(&self, rhs: &[impl AsRef<[Complex64]>]) -> Vec<Vec<Complex64>> {
+        rhs.iter().map(|b| self.solve(b.as_ref())).collect()
+    }
+
+    /// Solves `Aᵀ X = B` for a batch of right-hand sides (see
+    /// [`BandedLu::solve_transposed`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any `rhs.len() != self.dim()`.
+    pub fn solve_transposed_many(&self, rhs: &[impl AsRef<[Complex64]>]) -> Vec<Vec<Complex64>> {
+        rhs.iter().map(|b| self.solve_transposed(b.as_ref())).collect()
+    }
+
+    fn solve_in_place(&self, x: &mut [Complex64]) {
         let (n, kl, ldab) = (self.n, self.kl, self.ldab);
         let kv = self.kl + self.ku;
         // Forward: apply L⁻¹ with the recorded pivots.
@@ -280,7 +311,6 @@ impl BandedLu {
                 x[i] -= u * xj;
             }
         }
-        x
     }
 
     /// Solves `Aᵀ x = b` (unconjugated transpose), returning `x`.
@@ -412,6 +442,26 @@ mod tests {
         let x = lu.solve_transposed(&b);
         let r: Vec<Complex64> = band.matvec_transposed(&x).iter().zip(&b).map(|(a, b)| *a - *b).collect();
         assert!(znorm(&r) < 1e-10, "transpose residual {}", znorm(&r));
+    }
+
+    #[test]
+    fn batched_solves_match_individual_solves_bitwise() {
+        let n = 20;
+        let (band, _) = random_banded(n, 3, 3, 42);
+        let lu = band.factorize().unwrap();
+        let rhs: Vec<Vec<Complex64>> = (0..3)
+            .map(|r| {
+                (0..n)
+                    .map(|k| Complex64::new((k + r) as f64, (k * r) as f64 * 0.1))
+                    .collect()
+            })
+            .collect();
+        for (batched, b) in lu.solve_many(&rhs).iter().zip(&rhs) {
+            assert_eq!(batched, &lu.solve(b), "batched solve must be bit-identical");
+        }
+        for (batched, b) in lu.solve_transposed_many(&rhs).iter().zip(&rhs) {
+            assert_eq!(batched, &lu.solve_transposed(b));
+        }
     }
 
     #[test]

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Perf-regression harness: runs the factor_reuse bench and writes a
+# machine-readable BENCH_pr3.json at the repo root.
+#
+# Usage:
+#   scripts/bench.sh            # full mode (default bending-device grid)
+#   scripts/bench.sh --smoke    # small grid + few reps, finishes in seconds
+#
+# The bench itself asserts the headline invariant (cached re-solve >= 3x
+# faster than a cold factorize+solve), so a perf regression fails the script.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+ROOT="$(pwd)"
+
+# Smoke runs are a gate, not a measurement: write them under target/ so the
+# committed full-mode BENCH_pr3.json is never clobbered by scripts/check.sh.
+OUT="$ROOT/BENCH_pr3.json"
+for arg in "$@"; do
+  if [ "$arg" = "--smoke" ]; then
+    OUT="$ROOT/target/BENCH_pr3.smoke.json"
+  fi
+done
+
+cargo bench -p maps-bench --bench factor_reuse -- "$@" --out "$OUT"

@@ -15,4 +15,7 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> fault-injection smoke (deterministic schedules, must recover)"
 cargo run --release --example fault_injection_smoke
 
+echo "==> factor-reuse perf smoke (cached re-solve must stay >= 3x faster)"
+bash scripts/bench.sh --smoke
+
 echo "==> all checks passed"

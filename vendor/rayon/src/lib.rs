@@ -1,10 +1,27 @@
 //! Offline stand-in for `rayon`.
 //!
-//! Implements the one pattern this workspace uses —
-//! `slice.par_iter().map(f).collect()` — with genuine parallelism: the input
-//! is striped across `std::thread::scope` workers (one per available core)
-//! and results are reassembled in input order. Work stealing, `ParallelIterator`
-//! adaptor chains, and the rest of rayon's surface are intentionally absent.
+//! Implements the two patterns this workspace uses with genuine
+//! parallelism: the input is striped across `std::thread::scope` workers
+//! (one per available core) and results are reassembled in input order.
+//! Work stealing, `ParallelIterator` adaptor chains, and the rest of
+//! rayon's surface are intentionally absent.
+//!
+//! Supported surface:
+//!
+//! - `slice.par_iter().map(f).collect::<C>()` — plain parallel map; `C` is
+//!   `Vec<R>` or `Result<Vec<R>, E>` (the latter short-circuits to the
+//!   first error *in input order*).
+//! - `slice.par_iter().map_indexed(f).collect::<C>()` — like `map`, but
+//!   `f(index, &item)` also receives the item's input position. The
+//!   closure may return any `Send` type, including per-item `Result`s or
+//!   outcome enums collected into `Vec` — the pattern the resilient
+//!   labeling path uses to quarantine failures deterministically while
+//!   solving in parallel.
+//! - `par_iter().len()` / `is_empty()`.
+//!
+//! Result ordering is always the input order, regardless of which worker
+//! finished first; that invariant is what lets callers produce
+//! byte-identical reports from parallel and sequential runs.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -57,6 +74,21 @@ impl<'a, T: Sync> ParIter<'a, T> {
         }
     }
 
+    /// Maps every element through `f(index, &item)`, where `index` is the
+    /// element's position in the input. Indexed mapping lets callers that
+    /// need provenance (which job produced this outcome?) run in parallel
+    /// without materializing `(index, item)` pairs first.
+    pub fn map_indexed<R, F>(self, f: F) -> ParMapIndexed<'a, T, F>
+    where
+        F: Fn(usize, &'a T) -> R + Sync,
+        R: Send,
+    {
+        ParMapIndexed {
+            items: self.items,
+            f,
+        }
+    }
+
     /// Number of elements.
     pub fn len(&self) -> usize {
         self.items.len()
@@ -84,6 +116,26 @@ impl<'a, T: Sync, F> ParMap<'a, T, F> {
         C: FromParallelResults<R>,
     {
         C::from_ordered(parallel_map(self.items, &self.f))
+    }
+}
+
+/// The result of [`ParIter::map_indexed`], consumed by
+/// [`ParMapIndexed::collect`].
+pub struct ParMapIndexed<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T: Sync, F> ParMapIndexed<'a, T, F> {
+    /// Runs the indexed map on all elements in parallel and gathers the
+    /// results in input order.
+    pub fn collect<R, C>(self) -> C
+    where
+        F: Fn(usize, &'a T) -> R + Sync,
+        R: Send,
+        C: FromParallelResults<R>,
+    {
+        C::from_ordered(parallel_map_indexed(self.items, &self.f))
     }
 }
 
@@ -116,13 +168,17 @@ fn parallel_map<'a, T: Sync, R: Send>(
     items: &'a [T],
     f: &(impl Fn(&'a T) -> R + Sync),
 ) -> Vec<R> {
+    parallel_map_indexed(items, &|_, item| f(item))
+}
+
+fn parallel_map_indexed<'a, T: Sync, R: Send>(
+    items: &'a [T],
+    f: &(impl Fn(usize, &'a T) -> R + Sync),
+) -> Vec<R> {
     let n = items.len();
-    if n <= 1 {
-        return items.iter().map(f).collect();
-    }
     let workers = worker_count(n);
-    if workers == 1 {
-        return items.iter().map(f).collect();
+    if n <= 1 || workers == 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
     }
     // Atomic work index so uneven jobs (FDFD solves of varying size) balance
     // across threads; a mutex-guarded sparse buffer reassembles order.
@@ -135,7 +191,7 @@ fn parallel_map<'a, T: Sync, R: Send>(
                 if i >= n {
                     break;
                 }
-                let r = f(&items[i]);
+                let r = f(i, &items[i]);
                 slots.lock().expect("rayon-stub slot lock")[i] = Some(r);
             });
         }
@@ -167,6 +223,37 @@ mod tests {
         let err: Result<Vec<i64>, String> = input
             .par_iter()
             .map(|x| if *x == 50 { Err("boom".to_string()) } else { Ok(*x) })
+            .collect();
+        assert_eq!(err.unwrap_err(), "boom");
+    }
+
+    #[test]
+    fn map_indexed_sees_input_positions_and_preserves_order() {
+        #[derive(Debug, PartialEq)]
+        enum Outcome {
+            Ok(usize),
+            Failed(usize),
+        }
+        let input: Vec<u64> = (0..300).map(|x| x * 10).collect();
+        let out: Vec<Outcome> = input
+            .par_iter()
+            .map_indexed(|i, x| {
+                assert_eq!(*x, i as u64 * 10, "index must match input position");
+                if i % 7 == 0 {
+                    Outcome::Failed(i)
+                } else {
+                    Outcome::Ok(i)
+                }
+            })
+            .collect();
+        for (i, o) in out.iter().enumerate() {
+            let expect = if i % 7 == 0 { Outcome::Failed(i) } else { Outcome::Ok(i) };
+            assert_eq!(*o, expect);
+        }
+        // Indexed maps also collect into Result like plain maps.
+        let err: Result<Vec<usize>, String> = input
+            .par_iter()
+            .map_indexed(|i, _| if i == 250 { Err("boom".to_string()) } else { Ok(i) })
             .collect();
         assert_eq!(err.unwrap_err(), "boom");
     }
