@@ -10,9 +10,7 @@ use maps_bench::calibrated_device;
 use maps_core::FieldSolver;
 use maps_data::DeviceKind;
 use maps_fdfd::{Backend, FdfdSolver, PmlConfig};
-use maps_invdes::{
-    minimum_feature_size, ExactAdjoint, InitStrategy, InverseDesigner, OptimConfig,
-};
+use maps_invdes::{minimum_feature_size, ExactAdjoint, InitStrategy, InverseDesigner, OptimConfig};
 use maps_linalg::IterativeOptions;
 use std::time::Instant;
 
@@ -23,10 +21,8 @@ fn main() {
     let problem = &device.problem;
     let source = problem.source().expect("source");
     let omega = problem.omega();
-    let eps = problem.eps_for(&InitStrategy::Uniform(0.6).build(
-        problem.design_size.0,
-        problem.design_size.1,
-    ));
+    let eps = problem
+        .eps_for(&InitStrategy::Uniform(0.6).build(problem.design_size.0, problem.design_size.1));
 
     println!("--- (1) solver backend: direct LU vs BiCGSTAB ---");
     let pml = PmlConfig::auto(device.grid().dl);
@@ -82,7 +78,10 @@ fn main() {
     }
 
     println!("\n--- (2) projection beta schedule ---");
-    println!("{:>12} | {:>13} | {:>11}", "beta growth", "transmission", "gray level");
+    println!(
+        "{:>12} | {:>13} | {:>11}",
+        "beta growth", "transmission", "gray level"
+    );
     let exact = ExactAdjoint::new(direct.clone());
     for growth in [1.0, 1.08, 1.25] {
         let designer = InverseDesigner::new(OptimConfig {
@@ -106,7 +105,10 @@ fn main() {
     }
 
     println!("\n--- (3) filter radius vs minimum feature size ---");
-    println!("{:>13} | {:>13} | {:>16}", "filter radius", "transmission", "MFS (cells)");
+    println!(
+        "{:>13} | {:>13} | {:>16}",
+        "filter radius", "transmission", "MFS (cells)"
+    );
     for radius in [0.0, 1.5, 3.0] {
         let designer = InverseDesigner::new(OptimConfig {
             iterations: 16,

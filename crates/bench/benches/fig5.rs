@@ -111,7 +111,11 @@ fn main() {
             strategy.name(),
             low_cnt,
             high_cnt,
-            if low_cnt > 0 && high_cnt > 0 { "  (covers BOTH)" } else { "" }
+            if low_cnt > 0 && high_cnt > 0 {
+                "  (covers BOTH)"
+            } else {
+                ""
+            }
         );
     }
     // First few embedding coordinates for external plotting.

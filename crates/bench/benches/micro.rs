@@ -54,11 +54,8 @@ fn bench_neural_vs_fdfd(c: &mut Criterion) {
             depth: 3,
         },
     );
-    let solver = maps_train::NeuralFieldSolver::new(
-        model,
-        params,
-        maps_train::FieldNormalizer::identity(),
-    );
+    let solver =
+        maps_train::NeuralFieldSolver::new(model, params, maps_train::FieldNormalizer::identity());
     group.bench_function("neural_fno", |b| {
         b.iter(|| solver.solve_ez(&eps, &j, omega).expect("nn solve"));
     });

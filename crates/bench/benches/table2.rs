@@ -26,7 +26,11 @@ use rand::SeedableRng;
 use std::time::Instant;
 
 /// Trains a black-box transmission regressor on the dataset's samples.
-fn train_black_box(dataset: &maps_bench::BenchDataset, epochs: usize, seed: u64) -> (BlackBoxNet, Params) {
+fn train_black_box(
+    dataset: &maps_bench::BenchDataset,
+    epochs: usize,
+    seed: u64,
+) -> (BlackBoxNet, Params) {
     let mut params = Params::new();
     let mut rng = StdRng::seed_from_u64(seed);
     let model = BlackBoxNet::new(
@@ -98,7 +102,11 @@ fn score_methods(
             self.0.model.wants_wave_prior()
         }
     }
-    let solver = NeuralFieldSolver::new(Borrowed(trained), trained.params.clone(), trained.normalizer);
+    let solver = NeuralFieldSolver::new(
+        Borrowed(trained),
+        trained.params.clone(),
+        trained.normalizer,
+    );
 
     let (mut s_bb, mut s_pf, mut s_fa) = (Vec::new(), Vec::new(), Vec::new());
     for sample in &dataset.test {
@@ -110,7 +118,13 @@ fn score_methods(
             let p = device.problem.gradient_to_patch(g);
             RealField2d::from_vec(exact.grid(), p.as_slice().to_vec())
         };
-        let g_bb = ad_black_box_gradient(&blackbox.0, &blackbox.1, &sample.eps_r, &sample.source, omega);
+        let g_bb = ad_black_box_gradient(
+            &blackbox.0,
+            &blackbox.1,
+            &sample.eps_r,
+            &sample.source,
+            omega,
+        );
         s_bb.push(gradient_similarity(&to_patch(&g_bb), exact));
         let g_pf = ad_pred_field_gradient(
             trained.model.as_ref(),
@@ -156,7 +170,12 @@ fn main() {
             ("AD-Pred Field", scores.pred_field),
             ("Fwd & Adj Field", scores.fwd_adj),
         ] {
-            println!("{:>10} | {:>16} | {:>15.4}", trained.model.name(), method, value);
+            println!(
+                "{:>10} | {:>16} | {:>15.4}",
+                trained.model.name(),
+                method,
+                value
+            );
         }
         summary.push((baseline, scores));
     }

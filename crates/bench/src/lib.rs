@@ -11,7 +11,9 @@ use maps_data::{
     SamplerConfig, SamplingStrategy,
 };
 use maps_fdfd::{FdfdSolver, PmlConfig};
-use maps_nn::{Ffno, FfnoConfig, Fno, FnoConfig, Model, NeurOLight, NeurOLightConfig, UNet, UNetConfig};
+use maps_nn::{
+    Ffno, FfnoConfig, Fno, FnoConfig, Model, NeurOLight, NeurOLightConfig, UNet, UNetConfig,
+};
 use maps_tensor::Params;
 use maps_train::{
     evaluate_n_l2, fwd_adj_field_gradient, gradient_similarity, train_field_model, FieldNormalizer,
@@ -36,7 +38,12 @@ pub enum Baseline {
 impl Baseline {
     /// All baselines in the paper's row order.
     pub fn all() -> [Baseline; 4] {
-        [Baseline::Fno, Baseline::Ffno, Baseline::UNet, Baseline::NeurOLight]
+        [
+            Baseline::Fno,
+            Baseline::Ffno,
+            Baseline::UNet,
+            Baseline::NeurOLight,
+        ]
     }
 
     /// Paper-style row label.
@@ -340,7 +347,11 @@ pub fn ascii_histogram(values: &[f64], bins: usize) -> Vec<(String, usize)> {
         .enumerate()
         .map(|(b, c)| {
             (
-                format!("{:.2}-{:.2}", b as f64 / bins as f64, (b + 1) as f64 / bins as f64),
+                format!(
+                    "{:.2}-{:.2}",
+                    b as f64 / bins as f64,
+                    (b + 1) as f64 / bins as f64
+                ),
                 c,
             )
         })

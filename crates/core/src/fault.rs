@@ -187,7 +187,9 @@ impl<S: FieldSolver> FieldSolver for FaultInjectingSolver<S> {
     ) -> Result<ComplexField2d, SolveFieldError> {
         match self.next_fault(tol_factor) {
             Some(fault) => self.apply(fault, eps_r.grid(), tol_factor),
-            None => self.inner.solve_ez_relaxed(eps_r, source, omega, tol_factor),
+            None => self
+                .inner
+                .solve_ez_relaxed(eps_r, source, omega, tol_factor),
         }
     }
 

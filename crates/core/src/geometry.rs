@@ -174,11 +174,7 @@ mod tests {
     fn paint_covers_expected_cells() {
         let g = Grid2d::new(10, 10, 0.1);
         let mut f = RealField2d::constant(g, 1.0);
-        paint(
-            &mut f,
-            &Shape::Rect(Rect::new(0.0, 0.0, 0.5, 1.0)),
-            12.0,
-        );
+        paint(&mut f, &Shape::Rect(Rect::new(0.0, 0.0, 0.5, 1.0)), 12.0);
         // left half painted
         assert_eq!(f.get(2, 5), 12.0);
         assert_eq!(f.get(7, 5), 1.0);

@@ -15,7 +15,7 @@
 //! nested inside whatever pipeline invoked them.
 
 use crate::field::{ComplexField2d, RealField2d};
-use crate::solver::{FieldSolver, SolveFieldError};
+use crate::solver::{FieldSolver, SolveFieldError, SolveKind, SolveRequest};
 
 /// Wraps a [`FieldSolver`], counting calls and timing solves.
 pub struct InstrumentedSolver<S: FieldSolver> {
@@ -103,7 +103,9 @@ impl<S: FieldSolver> FieldSolver for InstrumentedSolver<S> {
             .field("solver", self.inner.name())
             .field("cells", eps_r.grid().len())
             .field("tol_factor", format!("{tol_factor:.0}"));
-        let result = self.inner.solve_ez_relaxed(eps_r, source, omega, tol_factor);
+        let result = self
+            .inner
+            .solve_ez_relaxed(eps_r, source, omega, tol_factor);
         self.solve_seconds.record(span.elapsed().as_secs_f64());
         match &result {
             Ok(_) => self.solves.inc(),
@@ -132,6 +134,44 @@ impl<S: FieldSolver> FieldSolver for InstrumentedSolver<S> {
             Err(_) => self.failures.inc(),
         }
         result
+    }
+
+    /// Forwards the whole batch to the inner solver (keeping its grouping
+    /// and factorization amortization intact) under a `solver.solve_batch`
+    /// span, then books each request into the same per-direction counters
+    /// the scalar paths use.
+    fn solve_ez_batch(
+        &self,
+        eps_r: &RealField2d,
+        requests: &[SolveRequest<'_>],
+    ) -> Vec<Result<ComplexField2d, SolveFieldError>> {
+        let forward_count = requests
+            .iter()
+            .filter(|r| r.kind == SolveKind::Forward)
+            .count();
+        let span = maps_obs::span("solver.solve_batch")
+            .field("solver", self.inner.name())
+            .field("cells", eps_r.grid().len())
+            .field("requests", requests.len())
+            .field("forward", forward_count)
+            .field("adjoint", requests.len() - forward_count);
+        let results = self.inner.solve_ez_batch(eps_r, requests);
+        let elapsed = span.elapsed().as_secs_f64();
+        if !requests.is_empty() {
+            let per_request = elapsed / requests.len() as f64;
+            for (req, result) in requests.iter().zip(&results) {
+                match req.kind {
+                    SolveKind::Forward => self.solve_seconds.record(per_request),
+                    SolveKind::Adjoint => self.adjoint_seconds.record(per_request),
+                }
+                match (result, req.kind) {
+                    (Ok(_), SolveKind::Forward) => self.solves.inc(),
+                    (Ok(_), SolveKind::Adjoint) => self.adjoint_solves.inc(),
+                    (Err(_), _) => self.failures.inc(),
+                }
+            }
+        }
+        results
     }
 
     fn name(&self) -> &str {
@@ -173,8 +213,31 @@ mod tests {
         let wrapped = InstrumentedSolver::new(EchoSolver);
         let before = wrapped.solves.get();
         let observed = wrapped.solve_ez(&eps, &j, 1.0).unwrap();
-        assert_eq!(observed.as_slice(), plain.as_slice(), "fields must be bit-identical");
+        assert_eq!(
+            observed.as_slice(),
+            plain.as_slice(),
+            "fields must be bit-identical"
+        );
         assert_eq!(wrapped.solves.get(), before + 1);
         assert_eq!(wrapped.name(), "instrumented(echo)");
+    }
+
+    #[test]
+    fn batch_counts_each_request_by_direction() {
+        let g = Grid2d::new(4, 4, 0.1);
+        let eps = RealField2d::constant(g, 1.0);
+        let mut j = ComplexField2d::zeros(g);
+        j.set(2, 2, Complex64::ONE);
+        let wrapped = InstrumentedSolver::new(EchoSolver);
+        let (solves0, adjoint0) = (wrapped.solves.get(), wrapped.adjoint_solves.get());
+        let requests = [
+            SolveRequest::forward(&j, 1.0),
+            SolveRequest::forward(&j, 1.0),
+            SolveRequest::adjoint(&j, 1.0),
+        ];
+        let out = wrapped.solve_ez_batch(&eps, &requests);
+        assert!(out.iter().all(Result::is_ok));
+        assert_eq!(wrapped.solves.get(), solves0 + 2);
+        assert_eq!(wrapped.adjoint_solves.get(), adjoint0 + 1);
     }
 }

@@ -36,7 +36,7 @@ pub use instrument::InstrumentedSolver;
 pub use label::{Fidelity, PortRecord, RichLabels, Sample};
 pub use port::Port;
 pub use resilience::{RetryPolicy, RobustSolver, RobustStats};
-pub use solver::{ensure_finite, FieldSolver, SolveFieldError};
+pub use solver::{ensure_finite, FieldSolver, SolveFieldError, SolveKind, SolveRequest};
 
 /// Angular frequency for a vacuum wavelength in µm (normalized `c = 1`).
 ///

@@ -25,7 +25,7 @@
 //! success or crash.
 
 use crate::field::{ComplexField2d, RealField2d};
-use crate::solver::{ensure_finite, FieldSolver, SolveFieldError};
+use crate::solver::{ensure_finite, FieldSolver, SolveFieldError, SolveKind, SolveRequest};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Retry/fallback configuration for a [`RobustSolver`].
@@ -194,7 +194,23 @@ impl<S: FieldSolver> RobustSolver<S> {
         primary_attempt: impl Fn(f64) -> Result<ComplexField2d, SolveFieldError>,
         fallback_attempt: impl Fn(&dyn FieldSolver) -> Result<ComplexField2d, SolveFieldError>,
     ) -> Result<ComplexField2d, SolveFieldError> {
-        let first = self.check(primary_attempt(1.0), self.primary.name());
+        let first = primary_attempt(1.0);
+        self.drive_from(first, direction, primary_attempt, fallback_attempt)
+    }
+
+    /// Like [`RobustSolver::drive`], but seeded with an already-obtained
+    /// first-attempt result. This is the batch recovery path: the primary's
+    /// `solve_ez_batch` runs all first attempts together (amortizing one
+    /// factorization per frequency group), and only the requests that failed
+    /// re-enter the scalar retry→relax→fallback sequence.
+    fn drive_from(
+        &self,
+        first: Result<ComplexField2d, SolveFieldError>,
+        direction: &str,
+        primary_attempt: impl Fn(f64) -> Result<ComplexField2d, SolveFieldError>,
+        fallback_attempt: impl Fn(&dyn FieldSolver) -> Result<ComplexField2d, SolveFieldError>,
+    ) -> Result<ComplexField2d, SolveFieldError> {
+        let first = self.check(first, self.primary.name());
         let mut last_err = match first {
             Ok(field) => return Ok(field),
             Err(e) => {
@@ -287,11 +303,58 @@ impl<S: FieldSolver> FieldSolver for RobustSolver<S> {
                 if factor == 1.0 {
                     self.primary.solve_adjoint_ez(eps_r, rhs, omega)
                 } else {
-                    self.primary.solve_adjoint_ez_relaxed(eps_r, rhs, omega, factor)
+                    self.primary
+                        .solve_adjoint_ez_relaxed(eps_r, rhs, omega, factor)
                 }
             },
             |fb| fb.solve_adjoint_ez(eps_r, rhs, omega),
         )
+    }
+
+    /// Batched solves keep the primary's batch amortization (one
+    /// factorization per frequency group) for the first attempt, then
+    /// recover each failed request individually through the full
+    /// retry→relax→fallback sequence. One poisoned excitation therefore
+    /// costs only its own recovery — the rest of the batch is untouched.
+    fn solve_ez_batch(
+        &self,
+        eps_r: &RealField2d,
+        requests: &[SolveRequest<'_>],
+    ) -> Vec<Result<ComplexField2d, SolveFieldError>> {
+        let firsts = self.primary.solve_ez_batch(eps_r, requests);
+        debug_assert_eq!(firsts.len(), requests.len());
+        firsts
+            .into_iter()
+            .zip(requests)
+            .map(|(first, req)| match req.kind {
+                SolveKind::Forward => self.drive_from(
+                    first,
+                    "forward",
+                    |factor| {
+                        if factor == 1.0 {
+                            self.primary.solve_ez(eps_r, req.source, req.omega)
+                        } else {
+                            self.primary
+                                .solve_ez_relaxed(eps_r, req.source, req.omega, factor)
+                        }
+                    },
+                    |fb| fb.solve_ez(eps_r, req.source, req.omega),
+                ),
+                SolveKind::Adjoint => self.drive_from(
+                    first,
+                    "adjoint",
+                    |factor| {
+                        if factor == 1.0 {
+                            self.primary.solve_adjoint_ez(eps_r, req.source, req.omega)
+                        } else {
+                            self.primary
+                                .solve_adjoint_ez_relaxed(eps_r, req.source, req.omega, factor)
+                        }
+                    },
+                    |fb| fb.solve_adjoint_ez(eps_r, req.source, req.omega),
+                ),
+            })
+            .collect()
     }
 
     fn name(&self) -> &str {
@@ -413,12 +476,10 @@ mod tests {
     #[test]
     fn fallback_rescues_exhausted_primary() {
         let (_, eps, j) = fixtures();
-        let faulty = FaultInjectingSolver::new(
-            EchoSolver,
-            FaultPlan::new().always(InjectedFault::Error),
-        );
-        let robust = RobustSolver::new(faulty, RetryPolicy::default())
-            .with_fallback(Box::new(EchoSolver));
+        let faulty =
+            FaultInjectingSolver::new(EchoSolver, FaultPlan::new().always(InjectedFault::Error));
+        let robust =
+            RobustSolver::new(faulty, RetryPolicy::default()).with_fallback(Box::new(EchoSolver));
         let out = robust.solve_ez(&eps, &j, 1.0).unwrap();
         assert_eq!(out.as_slice(), j.as_slice());
         let stats = robust.stats();
@@ -449,8 +510,8 @@ mod tests {
                 Ok(source.clone())
             }
         }
-        let robust = RobustSolver::new(Mismatch, RetryPolicy::default())
-            .with_fallback(Box::new(EchoSolver));
+        let robust =
+            RobustSolver::new(Mismatch, RetryPolicy::default()).with_fallback(Box::new(EchoSolver));
         let err = robust.solve_ez(&eps, &j_bad, 1.0).unwrap_err();
         assert!(matches!(err, SolveFieldError::GridMismatch { .. }));
         let stats = robust.stats();
@@ -462,21 +523,68 @@ mod tests {
     #[test]
     fn everything_failing_reports_last_error() {
         let (_, eps, j) = fixtures();
-        let faulty = FaultInjectingSolver::new(
-            EchoSolver,
-            FaultPlan::new().always(InjectedFault::Error),
-        );
-        let fallback = FaultInjectingSolver::new(
-            EchoSolver,
-            FaultPlan::new().always(InjectedFault::Error),
-        );
-        let robust = RobustSolver::new(faulty, RetryPolicy::default())
-            .with_fallback(Box::new(fallback));
+        let faulty =
+            FaultInjectingSolver::new(EchoSolver, FaultPlan::new().always(InjectedFault::Error));
+        let fallback =
+            FaultInjectingSolver::new(EchoSolver, FaultPlan::new().always(InjectedFault::Error));
+        let robust =
+            RobustSolver::new(faulty, RetryPolicy::default()).with_fallback(Box::new(fallback));
         let err = robust.solve_ez(&eps, &j, 1.0).unwrap_err();
         assert!(matches!(err, SolveFieldError::Numerical { .. }));
         let stats = robust.stats();
         assert_eq!(stats.unrecovered, 1);
         assert_eq!(stats.recovered, 0);
+    }
+
+    #[test]
+    fn batch_recovers_only_the_failed_request() {
+        let (_, eps, j) = fixtures();
+        // Call 1 (the second request's first attempt) fails; the retry
+        // (call 2) succeeds. Requests 0 and 2 never see a failure.
+        let faulty = FaultInjectingSolver::new(
+            EchoSolver,
+            FaultPlan::new().fail_at(1, InjectedFault::Error),
+        );
+        let robust = RobustSolver::new(faulty, RetryPolicy::default());
+        let requests = [
+            SolveRequest::forward(&j, 1.0),
+            SolveRequest::forward(&j, 1.0),
+            SolveRequest::adjoint(&j, 1.0),
+        ];
+        let out = robust.solve_ez_batch(&eps, &requests);
+        assert_eq!(out.len(), 3);
+        assert!(out.iter().all(Result::is_ok));
+        let stats = robust.stats();
+        assert_eq!(stats.retries, 1, "only the injected failure retries");
+        assert_eq!(stats.recovered, 1);
+    }
+
+    #[test]
+    fn batch_quarantines_an_unrecoverable_request() {
+        let (_, eps, j) = fixtures();
+        // The batch's first attempts are calls 0..=2; the second request's
+        // retries run after the whole batch, as calls 3 and 4. Failing 1, 3
+        // and 4 keeps it failed while its neighbors pass untouched.
+        let faulty = FaultInjectingSolver::new(
+            EchoSolver,
+            FaultPlan::new()
+                .fail_at(1, InjectedFault::Error)
+                .fail_at(3, InjectedFault::Error)
+                .fail_at(4, InjectedFault::Error),
+        );
+        let robust = RobustSolver::new(faulty, RetryPolicy::default());
+        let requests = [
+            SolveRequest::forward(&j, 1.0),
+            SolveRequest::forward(&j, 1.0),
+            SolveRequest::forward(&j, 1.0),
+        ];
+        let out = robust.solve_ez_batch(&eps, &requests);
+        assert!(out[0].is_ok());
+        assert!(out[1].is_err(), "the poisoned request stays quarantined");
+        assert!(out[2].is_ok());
+        let stats = robust.stats();
+        assert_eq!(stats.retries, 2);
+        assert_eq!(stats.unrecovered, 1);
     }
 
     #[test]

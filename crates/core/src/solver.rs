@@ -7,6 +7,54 @@
 use crate::field::{ComplexField2d, RealField2d};
 use std::fmt;
 
+/// Which linear system a [`SolveRequest`] targets.
+///
+/// Forward requests solve `A·e = −iω·J` for a current density `J`; adjoint
+/// requests solve `Aᵀ·e_adj = rhs` for an objective sensitivity `∂F/∂e`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolveKind {
+    /// Forward solve: the request's field is the current density `Jz`.
+    Forward,
+    /// Adjoint solve: the request's field is the adjoint right-hand side.
+    Adjoint,
+}
+
+/// One excitation in a batched solve: a source (or adjoint RHS), its angular
+/// frequency, and the direction of the solve.
+///
+/// Requests borrow their source fields so batching N excitations costs no
+/// clones; batches are short-lived views assembled at the call site.
+#[derive(Debug, Clone, Copy)]
+pub struct SolveRequest<'a> {
+    /// Current density `Jz` ([`SolveKind::Forward`]) or adjoint right-hand
+    /// side `∂F/∂e` ([`SolveKind::Adjoint`]).
+    pub source: &'a ComplexField2d,
+    /// Angular frequency of the excitation.
+    pub omega: f64,
+    /// Forward or adjoint system.
+    pub kind: SolveKind,
+}
+
+impl<'a> SolveRequest<'a> {
+    /// A forward request for the current density `source` at `omega`.
+    pub fn forward(source: &'a ComplexField2d, omega: f64) -> Self {
+        SolveRequest {
+            source,
+            omega,
+            kind: SolveKind::Forward,
+        }
+    }
+
+    /// An adjoint request for the right-hand side `rhs` at `omega`.
+    pub fn adjoint(rhs: &'a ComplexField2d, omega: f64) -> Self {
+        SolveRequest {
+            source: rhs,
+            omega,
+            kind: SolveKind::Adjoint,
+        }
+    }
+}
+
 /// A frequency-domain field solver for the 2-D `Ez` polarization.
 ///
 /// Given a relative-permittivity map, a current-density source `Jz`, and the
@@ -48,16 +96,41 @@ pub trait FieldSolver {
     ) -> Result<ComplexField2d, SolveFieldError> {
         let grid = rhs.grid();
         let scale = maps_linalg::Complex64::new(0.0, 1.0 / omega);
-        let j = ComplexField2d::from_vec(
-            grid,
-            rhs.as_slice().iter().map(|r| *r * scale).collect(),
-        );
+        let j = ComplexField2d::from_vec(grid, rhs.as_slice().iter().map(|r| *r * scale).collect());
         self.solve_ez(eps_r, &j, omega)
     }
 
     /// Short human-readable name used in logs and benchmark tables.
     fn name(&self) -> &str {
         "field-solver"
+    }
+
+    /// Solves a batch of forward/adjoint excitations against one
+    /// permittivity map, returning one result per request in input order.
+    ///
+    /// The default implementation dispatches each request sequentially
+    /// through [`FieldSolver::solve_ez`] / [`FieldSolver::solve_adjoint_ez`],
+    /// so every existing implementor (neural surrogates, third-party
+    /// solvers) batches correctly with no changes. Direct solvers override
+    /// this to group requests by frequency and amortize one factorization
+    /// over all of a group's substitution sweeps; overrides must stay
+    /// bit-identical to this sequential reference.
+    ///
+    /// Unlike the scalar entry points, a failed request does not abort the
+    /// batch: each request carries its own `Result`, which is what gives
+    /// callers per-request quarantine granularity.
+    fn solve_ez_batch(
+        &self,
+        eps_r: &RealField2d,
+        requests: &[SolveRequest<'_>],
+    ) -> Vec<Result<ComplexField2d, SolveFieldError>> {
+        requests
+            .iter()
+            .map(|req| match req.kind {
+                SolveKind::Forward => self.solve_ez(eps_r, req.source, req.omega),
+                SolveKind::Adjoint => self.solve_adjoint_ez(eps_r, req.source, req.omega),
+            })
+            .collect()
     }
 
     /// Solves `solve_ez` with the backend's convergence tolerance relaxed by
@@ -210,6 +283,31 @@ mod tests {
         let e = s.solve_ez(&eps, &j, 1.0).unwrap();
         assert_eq!(e.get(0, 0), Complex64::ZERO);
         assert_eq!(s.name(), "field-solver");
+        // The batched entry point must also be callable through the object.
+        let batch = s.solve_ez_batch(&eps, &[SolveRequest::forward(&j, 1.0)]);
+        assert_eq!(batch.len(), 1);
+        assert!(batch[0].is_ok());
+    }
+
+    /// The default batch implementation is the sequential reference: each
+    /// request routes to the matching scalar entry point in input order.
+    #[test]
+    fn default_batch_matches_scalar_calls() {
+        let g = Grid2d::new(3, 3, 0.1);
+        let eps = RealField2d::constant(g, 1.0);
+        let mut j = ComplexField2d::zeros(g);
+        j.set(1, 1, Complex64::ONE);
+        let omega = 2.0;
+        let requests = [
+            SolveRequest::forward(&j, omega),
+            SolveRequest::adjoint(&j, omega),
+        ];
+        let batch = ZeroSolver.solve_ez_batch(&eps, &requests);
+        assert_eq!(batch.len(), 2);
+        let fwd = ZeroSolver.solve_ez(&eps, &j, omega).unwrap();
+        let adj = ZeroSolver.solve_adjoint_ez(&eps, &j, omega).unwrap();
+        assert_eq!(batch[0].as_ref().unwrap().as_slice(), fwd.as_slice());
+        assert_eq!(batch[1].as_ref().unwrap().as_slice(), adj.as_slice());
     }
 
     #[test]
@@ -239,10 +337,22 @@ mod tests {
 
     #[test]
     fn retryability_classification() {
-        assert!(!SolveFieldError::GridMismatch { detail: String::new() }.is_retryable());
-        assert!(!SolveFieldError::InvalidInput { detail: String::new() }.is_retryable());
-        assert!(SolveFieldError::Numerical { detail: String::new() }.is_retryable());
-        assert!(SolveFieldError::NonFinite { detail: String::new() }.is_retryable());
+        assert!(!SolveFieldError::GridMismatch {
+            detail: String::new()
+        }
+        .is_retryable());
+        assert!(!SolveFieldError::InvalidInput {
+            detail: String::new()
+        }
+        .is_retryable());
+        assert!(SolveFieldError::Numerical {
+            detail: String::new()
+        }
+        .is_retryable());
+        assert!(SolveFieldError::NonFinite {
+            detail: String::new()
+        }
+        .is_retryable());
     }
 
     #[test]

@@ -302,13 +302,28 @@ fn optical_diode(res: DeviceResolution) -> DeviceSpec {
     strip_h(&mut eps, c, 0.0, win.x0, WG);
     maps_core::paint(
         &mut eps,
-        &Shape::Rect(Rect::new(win.x1, c - WG_WIDE / 2.0, DOMAIN, c + WG_WIDE / 2.0)),
+        &Shape::Rect(Rect::new(
+            win.x1,
+            c - WG_WIDE / 2.0,
+            DOMAIN,
+            c + WG_WIDE / 2.0,
+        )),
         SILICON_EPS,
     );
     let input = Port::new((PORT_INSET, c), WG, Axis::X, Direction::Positive);
-    let out_mode1 = Port::new((DOMAIN - PORT_INSET, c), WG_WIDE, Axis::X, Direction::Positive)
-        .with_mode(1);
-    let out_mode0 = Port::new((DOMAIN - PORT_INSET, c), WG_WIDE, Axis::X, Direction::Positive);
+    let out_mode1 = Port::new(
+        (DOMAIN - PORT_INSET, c),
+        WG_WIDE,
+        Axis::X,
+        Direction::Positive,
+    )
+    .with_mode(1);
+    let out_mode0 = Port::new(
+        (DOMAIN - PORT_INSET, c),
+        WG_WIDE,
+        Axis::X,
+        Direction::Positive,
+    );
     DeviceSpec {
         kind: DeviceKind::OpticalDiode,
         problem: DesignProblem {
@@ -360,8 +375,18 @@ fn mdm(res: DeviceResolution) -> DeviceSpec {
     strip_h(&mut eps, y_hi, win.x1, DOMAIN, WG);
     strip_h(&mut eps, y_lo, win.x1, DOMAIN, WG);
     let input = Port::new((PORT_INSET, c), WG_WIDE, Axis::X, Direction::Positive);
-    let out_hi = Port::new((DOMAIN - PORT_INSET, y_hi), WG, Axis::X, Direction::Positive);
-    let out_lo = Port::new((DOMAIN - PORT_INSET, y_lo), WG, Axis::X, Direction::Positive);
+    let out_hi = Port::new(
+        (DOMAIN - PORT_INSET, y_hi),
+        WG,
+        Axis::X,
+        Direction::Positive,
+    );
+    let out_lo = Port::new(
+        (DOMAIN - PORT_INSET, y_lo),
+        WG,
+        Axis::X,
+        Direction::Positive,
+    );
     DeviceSpec {
         kind: DeviceKind::Mdm,
         problem: DesignProblem {
@@ -419,8 +444,18 @@ fn wdm(res: DeviceResolution) -> DeviceSpec {
     strip_h(&mut eps, y_hi, win.x1, DOMAIN, WG);
     strip_h(&mut eps, y_lo, win.x1, DOMAIN, WG);
     let input = Port::new((PORT_INSET, c), WG, Axis::X, Direction::Positive);
-    let out_hi = Port::new((DOMAIN - PORT_INSET, y_hi), WG, Axis::X, Direction::Positive);
-    let out_lo = Port::new((DOMAIN - PORT_INSET, y_lo), WG, Axis::X, Direction::Positive);
+    let out_hi = Port::new(
+        (DOMAIN - PORT_INSET, y_hi),
+        WG,
+        Axis::X,
+        Direction::Positive,
+    );
+    let out_lo = Port::new(
+        (DOMAIN - PORT_INSET, y_lo),
+        WG,
+        Axis::X,
+        Direction::Positive,
+    );
     DeviceSpec {
         kind: DeviceKind::Wdm,
         problem: DesignProblem {
@@ -475,8 +510,18 @@ fn tos(res: DeviceResolution) -> DeviceSpec {
     strip_h(&mut eps, y_hi, win.x1, DOMAIN, WG);
     strip_h(&mut eps, y_lo, win.x1, DOMAIN, WG);
     let input = Port::new((PORT_INSET, c), WG, Axis::X, Direction::Positive);
-    let out_hi = Port::new((DOMAIN - PORT_INSET, y_hi), WG, Axis::X, Direction::Positive);
-    let out_lo = Port::new((DOMAIN - PORT_INSET, y_lo), WG, Axis::X, Direction::Positive);
+    let out_hi = Port::new(
+        (DOMAIN - PORT_INSET, y_hi),
+        WG,
+        Axis::X,
+        Direction::Positive,
+    );
+    let out_lo = Port::new(
+        (DOMAIN - PORT_INSET, y_lo),
+        WG,
+        Axis::X,
+        Direction::Positive,
+    );
     // A 75 K thermo-optic shift over the upper half of the design window:
     // Δε = 2·n·(dn/dT)·ΔT ≈ 2·3.48·1.8e−4·75 ≈ 0.094 — scaled up ~10× here
     // so the 2-D toy device switches visibly (documented substitution).
@@ -577,7 +622,10 @@ mod tests {
         assert!(diff > 0.0, "heater must change the permittivity");
         // Non-heater devices are state-independent.
         let bend = DeviceKind::Bending.build(DeviceResolution::high());
-        assert_eq!(bend.base_eps_for_state(false), bend.base_eps_for_state(true));
+        assert_eq!(
+            bend.base_eps_for_state(false),
+            bend.base_eps_for_state(true)
+        );
     }
 
     #[test]

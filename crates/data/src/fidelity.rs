@@ -71,9 +71,7 @@ mod tests {
         let (mut low, mut high) = paired_devices(DeviceKind::Crossing);
         // Calibrate so transmissions read as fractions of injected power.
         for dev in [&mut low, &mut high] {
-            let solver = maps_fdfd::FdfdSolver::with_pml(maps_fdfd::PmlConfig::auto(
-                dev.grid().dl,
-            ));
+            let solver = maps_fdfd::FdfdSolver::with_pml(maps_fdfd::PmlConfig::auto(dev.grid().dl));
             dev.problem.calibrate(&solver).unwrap();
         }
         let (low, high) = (low, high);

@@ -11,13 +11,8 @@
 //! rather than per solve.
 
 use crate::device::{DeviceSpec, SourceVariant};
-use maps_core::{
-    Fidelity, FieldSolver, PortRecord, RealField2d, RichLabels, Sample,
-};
-use maps_fdfd::{
-    derive_h_fields, solve_with_adjoint, FdfdSolver, ModeError, ModeMonitor, ModeSource,
-    PowerObjective,
-};
+use maps_core::{Fidelity, RealField2d, Sample};
+use maps_fdfd::{FdfdSolver, ModeError, ModeMonitor, PowerObjective};
 use maps_invdes::Patch;
 use rayon::prelude::*;
 
@@ -86,6 +81,11 @@ impl From<maps_core::SolveFieldError> for GenerateError {
 
 /// Simulates one density under one source variant and extracts rich labels.
 ///
+/// Delegates to [`crate::resilient::label_sample_with`] with the exact FDFD
+/// solver, so the sample's forward and adjoint solves flow through the
+/// batched solve plane (grouped substitution sweeps against one cached
+/// factorization per density and frequency).
+///
 /// # Errors
 ///
 /// Returns [`GenerateError`] when mode solving or the field solve fails.
@@ -97,89 +97,7 @@ pub fn label_sample(
     sample_index: usize,
 ) -> Result<Sample, GenerateError> {
     let solver = FdfdSolver::with_pml(maps_fdfd::PmlConfig::auto(device.grid().dl));
-    let omega = maps_core::omega_for_wavelength(variant.wavelength);
-    // Permittivity: base + painted design, then the heater shift (the
-    // heater overlaps the design window, so it must come last).
-    let mut eps = device.problem.base_eps.clone();
-    paint_density(&mut eps, device, density);
-    if variant.heater_on {
-        device.apply_heater(&mut eps);
-    }
-    // Source on the actual structure.
-    let in_port = device.ports[variant.input_port].with_mode(variant.mode_index);
-    let source_builder = ModeSource::new(&eps, &in_port, omega)?;
-    let source = source_builder.current_density(eps.grid());
-
-    // Forward + adjoint in one factorization when the gradient is wanted.
-    let objective = build_objective(device, &eps, omega)?;
-    let (ez, adjoint_gradient) = if config.with_adjoint {
-        let sol = solve_with_adjoint(&solver, &eps, &source, omega, &objective)?;
-        let patch = device.problem.gradient_to_patch(&sol.gradient);
-        let grad_field = RealField2d::from_vec(
-            maps_core::Grid2d::new(patch.nx(), patch.ny(), eps.grid().dl),
-            patch.as_slice().to_vec(),
-        );
-        (sol.forward, Some(grad_field))
-    } else {
-        (solver.solve_ez(&eps, &source, omega)?, None)
-    };
-
-    // Port records, all normalized by the calibrated injected power
-    // (1.0 if uncalibrated).
-    let injected = device.problem.normalization.max(1e-30);
-    let mut transmissions = Vec::new();
-    let mut reflection = 0.0;
-    let mut total_out = 0.0;
-    for (pi, port) in device.ports.iter().enumerate() {
-        let monitor = ModeMonitor::new(&eps, port, omega)?;
-        if pi == variant.input_port {
-            let amp = monitor.incoming_functional().eval(&ez);
-            reflection = amp.norm_sqr() / injected;
-        } else {
-            let amp = monitor.outgoing_functional().eval(&ez);
-            let power = amp.norm_sqr() / injected;
-            total_out += power;
-            let scale = 1.0 / injected.sqrt();
-            transmissions.push(PortRecord {
-                port: pi,
-                amplitude_re: amp.re * scale,
-                amplitude_im: amp.im * scale,
-                power,
-            });
-        }
-    }
-    // Radiation is the unaccounted remainder of the injected power.
-    let radiation = (1.0 - total_out - reflection).max(0.0);
-
-    let maxwell_residual = if config.with_residual {
-        solver.residual(&eps, &source, omega, &ez)
-    } else {
-        0.0
-    };
-    let (hx, hy) = derive_h_fields(&ez, omega);
-    let density_field = RealField2d::from_vec(
-        maps_core::Grid2d::new(density.nx(), density.ny(), eps.grid().dl),
-        density.as_slice().to_vec(),
-    );
-    Ok(Sample {
-        device_id: format!("{}-{:04}", device.kind.name(), sample_index),
-        device_kind: device.kind.name().to_string(),
-        eps_r: eps,
-        density: Some(density_field),
-        source,
-        labels: RichLabels {
-            fidelity: config.fidelity,
-            wavelength: variant.wavelength,
-            input_port: variant.input_port,
-            input_mode: variant.mode_index,
-            transmissions,
-            reflection,
-            radiation,
-            fields: maps_core::EmFields { ez, hx, hy },
-            adjoint_gradient,
-            maxwell_residual,
-        },
-    })
+    crate::resilient::label_sample_with(&solver, device, density, variant, config, sample_index)
 }
 
 /// Paints a design density into the device's design window.
@@ -230,54 +148,14 @@ pub fn adjoint_source_sample(
     sample_index: usize,
 ) -> Result<Sample, GenerateError> {
     let solver = FdfdSolver::with_pml(maps_fdfd::PmlConfig::auto(device.grid().dl));
-    let omega = maps_core::omega_for_wavelength(variant.wavelength);
-    let mut eps = device.problem.base_eps.clone();
-    paint_density(&mut eps, device, density);
-    if variant.heater_on {
-        device.apply_heater(&mut eps);
-    }
-    // Forward solve to evaluate the adjoint RHS at the actual field.
-    let in_port = device.ports[variant.input_port].with_mode(variant.mode_index);
-    let j_fwd = ModeSource::new(&eps, &in_port, omega)?.current_density(eps.grid());
-    let forward = solver.solve_ez(&eps, &j_fwd, omega)?;
-    let objective = build_objective(device, &eps, omega)?;
-    let rhs = objective.adjoint_rhs(&forward);
-    // Equivalent current for the adjoint excitation: −iω·J = rhs.
-    let scale = maps_linalg::Complex64::new(0.0, 1.0 / omega);
-    let j_adj = maps_core::ComplexField2d::from_vec(
-        eps.grid(),
-        rhs.iter().map(|r| *r * scale).collect(),
-    );
-    let ez = solver.solve_ez(&eps, &j_adj, omega)?;
-    let maxwell_residual = if config.with_residual {
-        solver.residual(&eps, &j_adj, omega, &ez)
-    } else {
-        0.0
-    };
-    let (hx, hy) = derive_h_fields(&ez, omega);
-    let density_field = RealField2d::from_vec(
-        maps_core::Grid2d::new(density.nx(), density.ny(), eps.grid().dl),
-        density.as_slice().to_vec(),
-    );
-    Ok(Sample {
-        device_id: format!("{}-{:04}", device.kind.name(), sample_index),
-        device_kind: device.kind.name().to_string(),
-        eps_r: eps,
-        density: Some(density_field),
-        source: j_adj,
-        labels: RichLabels {
-            fidelity: config.fidelity,
-            wavelength: variant.wavelength,
-            input_port: variant.input_port,
-            input_mode: variant.mode_index,
-            transmissions: Vec::new(), // not meaningful for adjoint drive
-            reflection: 0.0,
-            radiation: 0.0,
-            fields: maps_core::EmFields { ez, hx, hy },
-            adjoint_gradient: None,
-            maxwell_residual,
-        },
-    })
+    crate::resilient::adjoint_source_sample_with(
+        &solver,
+        device,
+        density,
+        variant,
+        config,
+        sample_index,
+    )
 }
 
 /// Labels a batch of densities in parallel (every source variant of the
@@ -406,11 +284,8 @@ mod tests {
     #[test]
     fn adjoint_source_samples_are_valid_forward_problems() {
         let dev = DeviceKind::Bending.build(DeviceResolution::low());
-        let density = maps_invdes::Patch::constant(
-            dev.problem.design_size.0,
-            dev.problem.design_size.1,
-            0.6,
-        );
+        let density =
+            maps_invdes::Patch::constant(dev.problem.design_size.0, dev.problem.design_size.1, 0.6);
         let cfg = GenerateConfig {
             with_adjoint: false,
             with_residual: true,
@@ -424,7 +299,11 @@ mod tests {
         let adj = &samples[1];
         assert_eq!(fwd.device_id, adj.device_id, "pair shares the device id");
         // The adjoint sample's field satisfies Maxwell for its own source.
-        assert!(adj.labels.maxwell_residual < 1e-9, "residual {}", adj.labels.maxwell_residual);
+        assert!(
+            adj.labels.maxwell_residual < 1e-9,
+            "residual {}",
+            adj.labels.maxwell_residual
+        );
         // Its source is a line excitation at the objective port, not the
         // input mode source.
         assert!(fwd.source != adj.source);
@@ -434,11 +313,8 @@ mod tests {
     #[test]
     fn tos_states_change_fields() {
         let dev = DeviceKind::Tos.build(DeviceResolution::low());
-        let density = maps_invdes::Patch::constant(
-            dev.problem.design_size.0,
-            dev.problem.design_size.1,
-            1.0,
-        );
+        let density =
+            maps_invdes::Patch::constant(dev.problem.design_size.0, dev.problem.design_size.1, 1.0);
         let cfg = GenerateConfig {
             with_adjoint: false,
             with_residual: false,

@@ -17,10 +17,12 @@ pub mod sampling;
 pub use dataset::Dataset;
 pub use device::{DeviceKind, DeviceResolution, DeviceSpec, SourceVariant};
 pub use fidelity::{paired_devices, resolution_for, richardson};
-pub use generate::{adjoint_source_sample, label_batch, label_sample, paint_density, GenerateConfig, GenerateError};
+pub use generate::{
+    adjoint_source_sample, label_batch, label_sample, paint_density, GenerateConfig, GenerateError,
+};
 pub use resilient::{
     adjoint_source_sample_with, label_batch_resilient, label_batch_resilient_par,
-    label_batch_resilient_par_with, label_batch_resilient_with, label_sample_with,
-    GenerateReport, QuarantinedSample,
+    label_batch_resilient_par_with, label_batch_resilient_with, label_sample_with, GenerateReport,
+    QuarantinedSample,
 };
 pub use sampling::{sample_densities, SamplerConfig, SamplingStrategy};

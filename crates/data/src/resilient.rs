@@ -18,9 +18,27 @@
 
 use crate::device::{DeviceSpec, SourceVariant};
 use crate::generate::{build_objective, paint_density, GenerateConfig, GenerateError};
-use maps_core::{ComplexField2d, FieldSolver, PortRecord, RealField2d, RichLabels, Sample};
+use maps_core::{
+    ComplexField2d, FieldSolver, PortRecord, RealField2d, RichLabels, Sample, SolveRequest,
+};
 use maps_fdfd::{derive_h_fields, gradient_from_fields, FdfdSolver, ModeMonitor, ModeSource};
 use rayon::prelude::*;
+
+/// Unwraps a single-request batch. Rich-label solves flow through
+/// [`FieldSolver::solve_ez_batch`] so direct solvers answer them from the
+/// grouped substitution path; dependent stages (the adjoint RHS needs the
+/// forward field) keep the stages as separate one-request batches, which
+/// preserves the scalar call sequence for call-indexed fault injection.
+fn solve_one(
+    solver: &dyn FieldSolver,
+    eps: &RealField2d,
+    request: SolveRequest<'_>,
+) -> Result<ComplexField2d, maps_core::SolveFieldError> {
+    solver
+        .solve_ez_batch(eps, &[request])
+        .pop()
+        .expect("a batch of one request returns one result")
+}
 
 /// One generation job that failed, with what's needed to retry it.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -87,11 +105,11 @@ pub fn label_sample_with(
     let in_port = device.ports[variant.input_port].with_mode(variant.mode_index);
     let source = ModeSource::new(&eps, &in_port, omega)?.current_density(eps.grid());
 
-    let ez = solver.solve_ez(&eps, &source, omega)?;
+    let ez = solve_one(solver, &eps, SolveRequest::forward(&source, omega))?;
     let objective = build_objective(device, &eps, omega)?;
     let adjoint_gradient = if config.with_adjoint {
         let rhs = ComplexField2d::from_vec(eps.grid(), objective.adjoint_rhs(&ez));
-        let adjoint = solver.solve_adjoint_ez(&eps, &rhs, omega)?;
+        let adjoint = solve_one(solver, &eps, SolveRequest::adjoint(&rhs, omega))?;
         let grad = gradient_from_fields(&ez, &adjoint, omega);
         let patch = device.problem.gradient_to_patch(&grad);
         Some(RealField2d::from_vec(
@@ -179,15 +197,12 @@ pub fn adjoint_source_sample_with(
     }
     let in_port = device.ports[variant.input_port].with_mode(variant.mode_index);
     let j_fwd = ModeSource::new(&eps, &in_port, omega)?.current_density(eps.grid());
-    let forward = solver.solve_ez(&eps, &j_fwd, omega)?;
+    let forward = solve_one(solver, &eps, SolveRequest::forward(&j_fwd, omega))?;
     let objective = build_objective(device, &eps, omega)?;
     let rhs = objective.adjoint_rhs(&forward);
     let scale = maps_linalg::Complex64::new(0.0, 1.0 / omega);
-    let j_adj = ComplexField2d::from_vec(
-        eps.grid(),
-        rhs.iter().map(|r| *r * scale).collect(),
-    );
-    let ez = solver.solve_ez(&eps, &j_adj, omega)?;
+    let j_adj = ComplexField2d::from_vec(eps.grid(), rhs.iter().map(|r| *r * scale).collect());
+    let ez = solve_one(solver, &eps, SolveRequest::forward(&j_adj, omega))?;
     let maxwell_residual = if config.with_residual {
         reference_solver(&eps).residual(&eps, &j_adj, omega, &ez)
     } else {
@@ -400,7 +415,9 @@ mod tests {
         assert!(report.quarantined.is_empty(), "{:?}", report.quarantined);
         assert_eq!(
             report.ok.len(),
-            crate::generate::label_batch(&dev, &densities, &cfg).unwrap().len()
+            crate::generate::label_batch(&dev, &densities, &cfg)
+                .unwrap()
+                .len()
         );
         for s in &report.ok {
             assert!(s.labels.maxwell_residual < 1e-9);

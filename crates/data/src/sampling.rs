@@ -110,9 +110,9 @@ fn trajectory_densities(
     perturbation: f64,
 ) -> Result<Vec<Patch>, OptimError> {
     let mut rng = StdRng::seed_from_u64(config.seed);
-    let exact = ExactAdjoint::new(maps_fdfd::FdfdSolver::with_pml(
-        maps_fdfd::PmlConfig::auto(device.grid().dl),
-    ));
+    let exact = ExactAdjoint::new(maps_fdfd::FdfdSolver::with_pml(maps_fdfd::PmlConfig::auto(
+        device.grid().dl,
+    )));
     let mut out: Vec<Patch> = Vec::with_capacity(config.count);
     let mut run = 0u64;
     while out.len() < config.count {

@@ -223,7 +223,11 @@ mod tests {
         let mut ez = ComplexField2d::zeros(grid);
         for iy in 0..8 {
             for ix in 0..8 {
-                ez.set(ix, iy, Complex64::new(ix as f64 * 0.2, iy as f64 * 0.1 - 0.3));
+                ez.set(
+                    ix,
+                    iy,
+                    Complex64::new(ix as f64 * 0.2, iy as f64 * 0.1 - 0.3),
+                );
             }
         }
         let w = LinearFunctional {
@@ -235,11 +239,7 @@ mod tests {
         let obj = PowerObjective::new().with_term(w, 2.0);
         let f = obj.eval(&ez);
         let rhs = obj.adjoint_rhs(&ez);
-        let dot: Complex64 = rhs
-            .iter()
-            .zip(ez.as_slice())
-            .map(|(r, e)| *r * *e)
-            .sum();
+        let dot: Complex64 = rhs.iter().zip(ez.as_slice()).map(|(r, e)| *r * *e).sum();
         assert!((dot.re - f).abs() < 1e-12, "{} vs {}", dot.re, f);
     }
 

@@ -258,11 +258,7 @@ impl FactorCache {
             self.evictions.fetch_add(1, Ordering::Relaxed);
             maps_obs::counter("fdfd.factor_cache.evict").inc();
         }
-        inner.ring.push(Entry {
-            key,
-            lu,
-            used: now,
-        });
+        inner.ring.push(Entry { key, lu, used: now });
     }
 
     /// The factorization for `key`, computing it with `assemble` +
@@ -438,9 +434,18 @@ mod tests {
             .unwrap();
         assert!(Arc::ptr_eq(&a, &b));
         // A different design displaces it; the old key is gone.
-        cache.factorize_with(key_for(5.0), || toy_banded(0.5)).unwrap();
-        assert!(cache.get(&key).is_none(), "capacity 0 keeps only the last factor");
-        assert_eq!(cache.stats().evictions, 0, "last-slot turnover is not an eviction");
+        cache
+            .factorize_with(key_for(5.0), || toy_banded(0.5))
+            .unwrap();
+        assert!(
+            cache.get(&key).is_none(),
+            "capacity 0 keeps only the last factor"
+        );
+        assert_eq!(
+            cache.stats().evictions,
+            0,
+            "last-slot turnover is not an eviction"
+        );
     }
 
     #[test]

@@ -141,10 +141,8 @@ mod tests {
         let omega = maps_core::omega_for_wavelength(1.55);
         let mut j = ComplexField2d::zeros(grid);
         j.set(14, 24, Complex64::ONE);
-        let proj =
-            FarFieldProjector::vertical(grid, 2.9, 0.9, grid.height() - 0.9, omega, 1.0);
-        let objective =
-            PowerObjective::new().with_term(proj.angular_functional(0.2), 1.0);
+        let proj = FarFieldProjector::vertical(grid, 2.9, 0.9, grid.height() - 0.9, omega, 1.0);
+        let objective = PowerObjective::new().with_term(proj.angular_functional(0.2), 1.0);
         let solver = FdfdSolver::with_pml(crate::pml::PmlConfig::auto(grid.dl));
         let sol = solve_with_adjoint(&solver, &eps, &j, omega, &objective).unwrap();
         assert!(sol.objective > 0.0);

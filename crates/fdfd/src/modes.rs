@@ -160,7 +160,13 @@ mod tests {
 
     fn slab(n: usize, core_lo: usize, core_hi: usize) -> Vec<f64> {
         (0..n)
-            .map(|i| if i >= core_lo && i < core_hi { 12.11 } else { 2.07 })
+            .map(|i| {
+                if i >= core_lo && i < core_hi {
+                    12.11
+                } else {
+                    2.07
+                }
+            })
             .collect()
     }
 
@@ -174,7 +180,11 @@ mod tests {
         assert!(!modes.is_empty(), "slab must guide at least one mode");
         let m0 = &modes[0];
         // Effective index must lie between cladding and core indices.
-        assert!(m0.neff > 2.07f64.sqrt() && m0.neff < 12.11f64.sqrt(), "neff = {}", m0.neff);
+        assert!(
+            m0.neff > 2.07f64.sqrt() && m0.neff < 12.11f64.sqrt(),
+            "neff = {}",
+            m0.neff
+        );
         // Fundamental mode is even: profile peak near the centre.
         let peak = m0
             .profile
@@ -222,6 +232,11 @@ mod tests {
         let eps = slab(80, 35, 45);
         let modes = solve_slab_modes(&eps, dl, omega);
         let p = &modes[0].profile;
-        assert!(p[0].abs() < 1e-3 * p[40].abs(), "tail {} vs peak {}", p[0], p[40]);
+        assert!(
+            p[0].abs() < 1e-3 * p[40].abs(),
+            "tail {} vs peak {}",
+            p[0],
+            p[40]
+        );
     }
 }

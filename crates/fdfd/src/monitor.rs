@@ -20,20 +20,13 @@ impl LinearFunctional {
     /// Evaluates the functional on a field.
     pub fn eval(&self, ez: &ComplexField2d) -> Complex64 {
         let data = ez.as_slice();
-        self.weights
-            .iter()
-            .map(|&(k, w)| w * data[k])
-            .sum()
+        self.weights.iter().map(|&(k, w)| w * data[k]).sum()
     }
 
     /// Scales all weights by a complex factor, returning the result.
     pub fn scaled(&self, factor: Complex64) -> LinearFunctional {
         LinearFunctional {
-            weights: self
-                .weights
-                .iter()
-                .map(|&(k, w)| (k, w * factor))
-                .collect(),
+            weights: self.weights.iter().map(|&(k, w)| (k, w * factor)).collect(),
         }
     }
 }
@@ -109,11 +102,19 @@ impl ModeMonitor {
         for (&(ix, iy), &phi) in self.cells.iter().zip(&self.mode.profile) {
             let (next, prev) = match self.port.axis {
                 Axis::X => (
-                    if ix + 1 < self.grid.nx { Some((ix + 1, iy)) } else { None },
+                    if ix + 1 < self.grid.nx {
+                        Some((ix + 1, iy))
+                    } else {
+                        None
+                    },
                     ix.checked_sub(1).map(|x| (x, iy)),
                 ),
                 Axis::Y => (
-                    if iy + 1 < self.grid.ny { Some((ix, iy + 1)) } else { None },
+                    if iy + 1 < self.grid.ny {
+                        Some((ix, iy + 1))
+                    } else {
+                        None
+                    },
                     iy.checked_sub(1).map(|y| (ix, y)),
                 ),
             };
@@ -241,15 +242,31 @@ impl FluxMonitor {
 
 fn central_diff_x(f: &ComplexField2d, ix: usize, iy: usize) -> Complex64 {
     let grid = f.grid();
-    let e = if ix + 1 < grid.nx { f.get(ix + 1, iy) } else { Complex64::ZERO };
-    let w = if ix > 0 { f.get(ix - 1, iy) } else { Complex64::ZERO };
+    let e = if ix + 1 < grid.nx {
+        f.get(ix + 1, iy)
+    } else {
+        Complex64::ZERO
+    };
+    let w = if ix > 0 {
+        f.get(ix - 1, iy)
+    } else {
+        Complex64::ZERO
+    };
     e - w
 }
 
 fn central_diff_y(f: &ComplexField2d, ix: usize, iy: usize) -> Complex64 {
     let grid = f.grid();
-    let n = if iy + 1 < grid.ny { f.get(ix, iy + 1) } else { Complex64::ZERO };
-    let s = if iy > 0 { f.get(ix, iy - 1) } else { Complex64::ZERO };
+    let n = if iy + 1 < grid.ny {
+        f.get(ix, iy + 1)
+    } else {
+        Complex64::ZERO
+    };
+    let s = if iy > 0 {
+        f.get(ix, iy - 1)
+    } else {
+        Complex64::ZERO
+    };
     n - s
 }
 
@@ -285,7 +302,12 @@ mod tests {
         let yc = grid.height() / 2.0;
         maps_core::paint(
             &mut eps,
-            &maps_core::Shape::Rect(maps_core::Rect::new(0.0, yc - 0.25, grid.width(), yc + 0.25)),
+            &maps_core::Shape::Rect(maps_core::Rect::new(
+                0.0,
+                yc - 0.25,
+                grid.width(),
+                yc + 0.25,
+            )),
             12.11,
         );
         let port = Port::new((1.6, yc), 0.5, Axis::X, Direction::Positive);
@@ -324,7 +346,12 @@ mod tests {
         let yc = grid.height() / 2.0;
         maps_core::paint(
             &mut eps,
-            &maps_core::Shape::Rect(maps_core::Rect::new(0.0, yc - 0.25, grid.width(), yc + 0.25)),
+            &maps_core::Shape::Rect(maps_core::Rect::new(
+                0.0,
+                yc - 0.25,
+                grid.width(),
+                yc + 0.25,
+            )),
             12.11,
         );
         let port = Port::new((1.0, yc), 0.5, Axis::X, Direction::Positive);
@@ -333,7 +360,11 @@ mod tests {
         let mut ez = ComplexField2d::zeros(grid);
         for iy in 0..grid.ny {
             for ix in 0..grid.nx {
-                ez.set(ix, iy, Complex64::new((ix as f64 * 0.3).sin(), (iy as f64 * 0.2).cos()));
+                ez.set(
+                    ix,
+                    iy,
+                    Complex64::new((ix as f64 * 0.3).sin(), (iy as f64 * 0.2).cos()),
+                );
             }
         }
         let (a, b) = monitor.amplitudes(&ez);

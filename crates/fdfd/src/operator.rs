@@ -75,13 +75,21 @@ impl HelmholtzOperator {
                 } else {
                     Complex64::ZERO
                 };
-                let west = if ix > 0 { cx * inv_sxb[ix] } else { Complex64::ZERO };
+                let west = if ix > 0 {
+                    cx * inv_sxb[ix]
+                } else {
+                    Complex64::ZERO
+                };
                 let north = if iy + 1 < grid.ny {
                     cy * inv_syb[iy + 1]
                 } else {
                     Complex64::ZERO
                 };
-                let south = if iy > 0 { cy * inv_syb[iy] } else { Complex64::ZERO };
+                let south = if iy > 0 {
+                    cy * inv_syb[iy]
+                } else {
+                    Complex64::ZERO
+                };
                 // Diagonal keeps the full stencil weight even at walls
                 // (Dirichlet: the neighbour field is zero, not the coupling).
                 let mut center = Complex64::ZERO;
@@ -219,7 +227,11 @@ mod tests {
         let grid = Grid2d::new(32, 28, 0.05);
         let mut eps = RealField2d::constant(grid, 1.0);
         eps.set(16, 14, 12.0);
-        HelmholtzOperator::new(&eps, maps_core::omega_for_wavelength(1.55), &PmlConfig::default())
+        HelmholtzOperator::new(
+            &eps,
+            maps_core::omega_for_wavelength(1.55),
+            &PmlConfig::default(),
+        )
     }
 
     #[test]
@@ -232,8 +244,16 @@ mod tests {
         let via_apply = op.apply(&x);
         let via_banded = op.to_banded().matvec(&x);
         let via_csr = op.to_csr().matvec(&x);
-        let d1: Vec<Complex64> = via_apply.iter().zip(&via_banded).map(|(a, b)| *a - *b).collect();
-        let d2: Vec<Complex64> = via_apply.iter().zip(&via_csr).map(|(a, b)| *a - *b).collect();
+        let d1: Vec<Complex64> = via_apply
+            .iter()
+            .zip(&via_banded)
+            .map(|(a, b)| *a - *b)
+            .collect();
+        let d2: Vec<Complex64> = via_apply
+            .iter()
+            .zip(&via_csr)
+            .map(|(a, b)| *a - *b)
+            .collect();
         assert!(znorm(&d1) < 1e-10);
         assert!(znorm(&d2) < 1e-10);
     }

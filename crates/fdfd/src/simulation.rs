@@ -3,7 +3,9 @@
 use crate::monitor::derive_h_fields;
 use crate::operator::HelmholtzOperator;
 use crate::pml::PmlConfig;
-use maps_core::{ComplexField2d, EmFields, FieldSolver, RealField2d, SolveFieldError};
+use maps_core::{
+    ComplexField2d, EmFields, FieldSolver, RealField2d, SolveFieldError, SolveKind, SolveRequest,
+};
 use maps_linalg::{bicgstab, Complex64, IterativeOptions};
 
 /// Which linear-algebra backend performs the solve.
@@ -206,11 +208,10 @@ impl FieldSolver for FdfdSolver {
                 } else {
                     opts
                 };
-                let (x, stats) = bicgstab(&op.to_csr(), &b, opts).map_err(|e| {
-                    SolveFieldError::Numerical {
+                let (x, stats) =
+                    bicgstab(&op.to_csr(), &b, opts).map_err(|e| SolveFieldError::Numerical {
                         detail: convergence_detail(&e, opts),
-                    }
-                })?;
+                    })?;
                 maps_obs::histogram("fdfd.bicgstab.iterations").record(stats.iterations as f64);
                 maps_obs::histogram("fdfd.bicgstab.residual").record(stats.residual);
                 x
@@ -251,6 +252,139 @@ impl FieldSolver for FdfdSolver {
         let field = ComplexField2d::from_vec(eps_r.grid(), lu.solve_transposed(rhs.as_slice()));
         maps_core::ensure_finite(&field, self.name())?;
         Ok(field)
+    }
+
+    /// Batched solves, grouped to amortize factorizations.
+    ///
+    /// The whole batch shares one permittivity map, so the (ε-fingerprint,
+    /// ω) grouping key reduces to ω: requests are bucketed by exact `omega`
+    /// bits, each bucket is answered by a single banded LU from the factor
+    /// cache, and the bucket's forward/adjoint right-hand sides sweep that
+    /// factorization in place through
+    /// [`maps_linalg::BandedLu::solve_in_place`] /
+    /// `solve_transposed_in_place` (the primitives behind
+    /// `solve_many_into`). A K-excitation batch over G distinct
+    /// frequencies therefore pays G factorizations (fewer on cache hits)
+    /// instead of K.
+    ///
+    /// The substitution sweeps are the exact operations of the scalar path,
+    /// so batched fields are bit-identical to one-by-one `solve_ez` /
+    /// `solve_adjoint_ez` calls. Validation is per request: a bad grid or
+    /// frequency fails only its own slot.
+    fn solve_ez_batch(
+        &self,
+        eps_r: &RealField2d,
+        requests: &[SolveRequest<'_>],
+    ) -> Vec<Result<ComplexField2d, SolveFieldError>> {
+        // The iterative backend has no factorization to amortize; each
+        // request runs its own Krylov solve via the scalar entry points.
+        if matches!(self.backend, Backend::Iterative(_)) {
+            return requests
+                .iter()
+                .map(|req| match req.kind {
+                    SolveKind::Forward => self.solve_ez(eps_r, req.source, req.omega),
+                    SolveKind::Adjoint => self.solve_adjoint_ez(eps_r, req.source, req.omega),
+                })
+                .collect();
+        }
+        let grid = eps_r.grid();
+        let n = grid.len();
+        let mut results: Vec<Option<Result<ComplexField2d, SolveFieldError>>> =
+            requests.iter().map(|_| None).collect();
+        // Bucket valid requests by exact omega bits, first-seen order.
+        let mut groups: Vec<(u64, Vec<usize>)> = Vec::new();
+        for (i, req) in requests.iter().enumerate() {
+            if grid != req.source.grid() {
+                results[i] = Some(Err(SolveFieldError::GridMismatch {
+                    detail: format!(
+                        "eps grid {:?} vs request {i} grid {:?}",
+                        grid,
+                        req.source.grid()
+                    ),
+                }));
+                continue;
+            }
+            if !(req.omega.is_finite() && req.omega > 0.0) {
+                results[i] = Some(Err(SolveFieldError::InvalidInput {
+                    detail: format!("request {i}: omega must be positive and finite"),
+                }));
+                continue;
+            }
+            let key = req.omega.to_bits();
+            match groups.iter_mut().find(|(k, _)| *k == key) {
+                Some((_, members)) => members.push(i),
+                None => groups.push((key, vec![i])),
+            }
+        }
+        let group_sizes = groups
+            .iter()
+            .map(|(k, members)| format!("{:.4}x{}", f64::from_bits(*k), members.len()))
+            .collect::<Vec<_>>()
+            .join(",");
+        let _span = maps_obs::span("fdfd.solve_batch")
+            .field("backend", self.name())
+            .field("cells", n)
+            .field("requests", requests.len())
+            .field("groups", groups.len())
+            .field("group_sizes", group_sizes);
+        maps_obs::counter("fdfd.solve_batch.calls").inc();
+        maps_obs::counter("fdfd.solve_batch.requests").add(requests.len() as u64);
+        for (_, members) in &groups {
+            let omega = requests[members[0]].omega;
+            let lu = match crate::factor_cache::factor(eps_r, omega, &self.pml, || {
+                self.operator(eps_r, omega).to_banded()
+            }) {
+                Ok(lu) => lu,
+                Err(e) => {
+                    for &i in members {
+                        results[i] = Some(Err(SolveFieldError::Numerical {
+                            detail: e.to_string(),
+                        }));
+                    }
+                    continue;
+                }
+            };
+            let forward: Vec<usize> = members
+                .iter()
+                .copied()
+                .filter(|&i| requests[i].kind == SolveKind::Forward)
+                .collect();
+            let adjoint: Vec<usize> = members
+                .iter()
+                .copied()
+                .filter(|&i| requests[i].kind == SolveKind::Adjoint)
+                .collect();
+            maps_obs::counter("fdfd.forward_solves").add(forward.len() as u64);
+            maps_obs::counter("fdfd.adjoint_solves").add(adjoint.len() as u64);
+            // Each request's right-hand-side buffer becomes its solution in
+            // place (`solve_in_place` / `solve_transposed_in_place` are the
+            // primitives behind `solve_many_into`), so the batch pays no
+            // copies the scalar path would not.
+            if !forward.is_empty() {
+                let _s = maps_obs::span("fdfd.backsub");
+                for &i in &forward {
+                    let mut x = Self::rhs(requests[i].source, omega);
+                    lu.solve_in_place(&mut x);
+                    let field = ComplexField2d::from_vec(grid, x);
+                    results[i] =
+                        Some(maps_core::ensure_finite(&field, self.name()).map(|()| field));
+                }
+            }
+            if !adjoint.is_empty() {
+                let _s = maps_obs::span("fdfd.backsub");
+                for &i in &adjoint {
+                    let mut x = requests[i].source.as_slice().to_vec();
+                    lu.solve_transposed_in_place(&mut x);
+                    let field = ComplexField2d::from_vec(grid, x);
+                    results[i] =
+                        Some(maps_core::ensure_finite(&field, self.name()).map(|()| field));
+                }
+            }
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("every batch request must be answered"))
+            .collect()
     }
 
     fn name(&self) -> &str {
@@ -350,6 +484,61 @@ mod tests {
         let ez = solver.solve_ez_relaxed(&eps, &j, omega, 1e3).unwrap();
         let r = solver.residual(&eps, &j, omega, &ez);
         assert!(r < 1e-4, "residual {r}");
+    }
+
+    #[test]
+    fn batch_validation_fails_only_the_bad_slot() {
+        let grid = Grid2d::new(36, 32, 0.05);
+        let eps = RealField2d::constant(grid, 1.0);
+        let omega = maps_core::omega_for_wavelength(1.55);
+        let mut j = ComplexField2d::zeros(grid);
+        j.set(18, 16, Complex64::ONE);
+        let wrong = ComplexField2d::zeros(Grid2d::new(10, 10, 0.05));
+        let solver = FdfdSolver::new();
+        let requests = [
+            SolveRequest::forward(&j, omega),
+            SolveRequest::forward(&wrong, omega),
+            SolveRequest::forward(&j, -3.0),
+            SolveRequest::adjoint(&j, omega),
+        ];
+        let out = solver.solve_ez_batch(&eps, &requests);
+        assert!(out[0].is_ok());
+        assert!(matches!(out[1], Err(SolveFieldError::GridMismatch { .. })));
+        assert!(matches!(out[2], Err(SolveFieldError::InvalidInput { .. })));
+        assert!(out[3].is_ok());
+    }
+
+    #[test]
+    fn batch_is_bit_identical_to_scalar_solves() {
+        let grid = Grid2d::new(36, 32, 0.05);
+        let eps = RealField2d::constant(grid, 2.25);
+        let w1 = maps_core::omega_for_wavelength(1.50);
+        let w2 = maps_core::omega_for_wavelength(1.60);
+        let mut j1 = ComplexField2d::zeros(grid);
+        j1.set(12, 16, Complex64::ONE);
+        let mut j2 = ComplexField2d::zeros(grid);
+        j2.set(24, 16, Complex64::new(0.0, 1.0));
+        let solver = FdfdSolver::new();
+        let requests = [
+            SolveRequest::forward(&j1, w1),
+            SolveRequest::forward(&j2, w2),
+            SolveRequest::adjoint(&j2, w1),
+            SolveRequest::forward(&j2, w1),
+        ];
+        let batch = solver.solve_ez_batch(&eps, &requests);
+        let scalar = [
+            solver.solve_ez(&eps, &j1, w1).unwrap(),
+            solver.solve_ez(&eps, &j2, w2).unwrap(),
+            solver.solve_adjoint_ez(&eps, &j2, w1).unwrap(),
+            solver.solve_ez(&eps, &j2, w1).unwrap(),
+        ];
+        for (b, s) in batch.iter().zip(&scalar) {
+            let b = b.as_ref().unwrap();
+            for (a, e) in b.as_slice().iter().zip(s.as_slice()) {
+                assert_eq!(a.re.to_bits(), e.re.to_bits());
+                assert_eq!(a.im.to_bits(), e.im.to_bits());
+            }
+        }
     }
 
     #[test]

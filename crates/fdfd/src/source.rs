@@ -83,7 +83,12 @@ impl ModeSource {
 
 /// A point dipole source at the cell nearest `(x, y)` with the given
 /// complex amplitude.
-pub fn point_source(grid: maps_core::Grid2d, x: f64, y: f64, amplitude: Complex64) -> ComplexField2d {
+pub fn point_source(
+    grid: maps_core::Grid2d,
+    x: f64,
+    y: f64,
+    amplitude: Complex64,
+) -> ComplexField2d {
     let mut j = ComplexField2d::zeros(grid);
     let (ix, iy) = grid.cell_at(x, y);
     j.set(ix, iy, amplitude);
@@ -99,7 +104,12 @@ mod tests {
         let mut eps = RealField2d::constant(grid, 2.07);
         maps_core::paint(
             &mut eps,
-            &Shape::Rect(Rect::new(0.0, grid.height() / 2.0 - 0.25, grid.width(), grid.height() / 2.0 + 0.25)),
+            &Shape::Rect(Rect::new(
+                0.0,
+                grid.height() / 2.0 - 0.25,
+                grid.width(),
+                grid.height() / 2.0 + 0.25,
+            )),
             12.11,
         );
         eps
@@ -109,7 +119,12 @@ mod tests {
     fn mode_source_stamps_two_lines() {
         let grid = Grid2d::new(80, 60, 0.05);
         let eps = waveguide_eps(grid);
-        let port = Port::new((1.0, grid.height() / 2.0), 0.5, Axis::X, Direction::Positive);
+        let port = Port::new(
+            (1.0, grid.height() / 2.0),
+            0.5,
+            Axis::X,
+            Direction::Positive,
+        );
         let src = ModeSource::new(&eps, &port, maps_core::omega_for_wavelength(1.55)).unwrap();
         let j = src.current_density(grid);
         // Nonzero on exactly two adjacent columns.
@@ -128,8 +143,13 @@ mod tests {
     fn requesting_missing_mode_errors() {
         let grid = Grid2d::new(80, 60, 0.05);
         let eps = waveguide_eps(grid);
-        let port =
-            Port::new((1.0, grid.height() / 2.0), 0.5, Axis::X, Direction::Positive).with_mode(5);
+        let port = Port::new(
+            (1.0, grid.height() / 2.0),
+            0.5,
+            Axis::X,
+            Direction::Positive,
+        )
+        .with_mode(5);
         let err = ModeSource::new(&eps, &port, maps_core::omega_for_wavelength(1.55)).unwrap_err();
         assert!(matches!(err, ModeError::NotGuided { requested: 5, .. }));
     }
@@ -139,7 +159,11 @@ mod tests {
         let grid = Grid2d::new(10, 10, 0.1);
         let j = point_source(grid, 0.55, 0.35, Complex64::I);
         assert_eq!(j.get(5, 3), Complex64::I);
-        let nnz = j.as_slice().iter().filter(|z| **z != Complex64::ZERO).count();
+        let nnz = j
+            .as_slice()
+            .iter()
+            .filter(|z| **z != Complex64::ZERO)
+            .count();
         assert_eq!(nnz, 1);
     }
 }

@@ -202,7 +202,11 @@ mod tests {
             "through transmission |S21|² = {}",
             sm.power(1, 0)
         );
-        assert!(sm.power(0, 0) < 0.05, "reflection |S11|² = {}", sm.power(0, 0));
+        assert!(
+            sm.power(0, 0) < 0.05,
+            "reflection |S11|² = {}",
+            sm.power(0, 0)
+        );
         // Reciprocity within discretization error.
         assert!(
             sm.reciprocity_deficit() < 0.1,

@@ -26,9 +26,7 @@ fn wrapper_is_bit_identical_to_bare_fdfd() {
     assert_eq!(wrapped.name(), "instrumented(fdfd-direct)");
 
     let reg = maps_obs::global();
-    let solves_before = reg
-        .counter_value("solver.fdfd-direct.solves")
-        .unwrap_or(0);
+    let solves_before = reg.counter_value("solver.fdfd-direct.solves").unwrap_or(0);
 
     let ez_bare = bare.solve_ez(&eps, &j, omega).expect("bare solve");
     let ez_wrapped = wrapped.solve_ez(&eps, &j, omega).expect("wrapped solve");

@@ -9,8 +9,20 @@
 //! reciprocity-based default adjoint, which is how the paper drives inverse
 //! design from NN-predicted forward and adjoint fields (§IV-D, Fig. 6).
 
-use maps_core::{ComplexField2d, FieldSolver, RealField2d, SolveFieldError};
+use maps_core::{ComplexField2d, FieldSolver, RealField2d, SolveFieldError, SolveRequest};
 use maps_fdfd::{gradient_from_fields, solve_with_adjoint, FdfdSolver, PowerObjective};
+
+/// One excitation of a batched gradient evaluation: a source, its angular
+/// frequency, and the objective differentiated under that excitation.
+#[derive(Debug, Clone, Copy)]
+pub struct GradientRequest<'a> {
+    /// Source current density of this excitation.
+    pub source: &'a ComplexField2d,
+    /// Angular frequency of this excitation.
+    pub omega: f64,
+    /// Objective evaluated and differentiated under this excitation.
+    pub objective: &'a PowerObjective,
+}
 
 /// Produces the objective value, its permittivity gradient, and the forward
 /// field for a candidate design.
@@ -28,8 +40,91 @@ pub trait GradientSolver {
         objective: &PowerObjective,
     ) -> Result<GradientEvaluation, SolveFieldError>;
 
+    /// Evaluates a batch of excitations against one permittivity map,
+    /// returning one result per request in input order.
+    ///
+    /// The default implementation calls
+    /// [`GradientSolver::objective_and_gradient`] sequentially. Backends
+    /// built on a [`FieldSolver`] override this to issue all forward solves
+    /// as one `solve_ez_batch` and all adjoint solves as a second batch, so
+    /// a K-excitation design iteration factorizes once per distinct ω
+    /// instead of once per solve.
+    fn objective_and_gradient_batch(
+        &self,
+        eps_r: &RealField2d,
+        requests: &[GradientRequest<'_>],
+    ) -> Vec<Result<GradientEvaluation, SolveFieldError>> {
+        requests
+            .iter()
+            .map(|r| self.objective_and_gradient(eps_r, r.source, r.omega, r.objective))
+            .collect()
+    }
+
     /// Backend name for logs and tables.
     fn name(&self) -> &str;
+}
+
+/// The shared two-phase batch: all forward solves in one
+/// [`FieldSolver::solve_ez_batch`], objective evaluation and adjoint RHS
+/// assembly in between, then all adjoint solves in a second batch. A failed
+/// forward drops only its own request from the adjoint phase.
+fn batch_via_field_solver(
+    solver: &dyn FieldSolver,
+    eps_r: &RealField2d,
+    requests: &[GradientRequest<'_>],
+) -> Vec<Result<GradientEvaluation, SolveFieldError>> {
+    let forward_reqs: Vec<SolveRequest<'_>> = requests
+        .iter()
+        .map(|r| SolveRequest::forward(r.source, r.omega))
+        .collect();
+    let forwards = solver.solve_ez_batch(eps_r, &forward_reqs);
+    let mut slots: Vec<Option<Result<GradientEvaluation, SolveFieldError>>> =
+        requests.iter().map(|_| None).collect();
+    // Survivors of the forward phase, with their objective values and
+    // adjoint right-hand sides (kept alive for the adjoint batch borrows).
+    let mut survivors: Vec<(usize, ComplexField2d, f64)> = Vec::new();
+    let mut adjoint_rhs: Vec<ComplexField2d> = Vec::new();
+    for (i, result) in forwards.into_iter().enumerate() {
+        // Defense in depth: the objective and rhs only sample the field at
+        // the port monitors, so a solver returning Ok with poisoned values
+        // elsewhere would otherwise corrupt the gradient silently.
+        let checked = result.and_then(|f| maps_core::ensure_finite(&f, solver.name()).map(|()| f));
+        match checked {
+            Ok(forward) => {
+                let objective_value = requests[i].objective.eval(&forward);
+                adjoint_rhs.push(ComplexField2d::from_vec(
+                    eps_r.grid(),
+                    requests[i].objective.adjoint_rhs(&forward),
+                ));
+                survivors.push((i, forward, objective_value));
+            }
+            Err(e) => slots[i] = Some(Err(e)),
+        }
+    }
+    let adjoint_reqs: Vec<SolveRequest<'_>> = adjoint_rhs
+        .iter()
+        .zip(&survivors)
+        .map(|(rhs, (i, _, _))| SolveRequest::adjoint(rhs, requests[*i].omega))
+        .collect();
+    let adjoints = solver.solve_ez_batch(eps_r, &adjoint_reqs);
+    for ((i, forward, objective_value), result) in survivors.into_iter().zip(adjoints) {
+        let evaluated = result
+            .and_then(|a| maps_core::ensure_finite(&a, solver.name()).map(|()| a))
+            .map(|adjoint| {
+                let grad_eps = gradient_from_fields(&forward, &adjoint, requests[i].omega);
+                GradientEvaluation {
+                    objective: objective_value,
+                    grad_eps,
+                    forward,
+                    adjoint,
+                }
+            });
+        slots[i] = Some(evaluated);
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every gradient request must be answered"))
+        .collect()
 }
 
 /// The output of one gradient evaluation.
@@ -86,6 +181,14 @@ impl GradientSolver for ExactAdjoint {
         })
     }
 
+    fn objective_and_gradient_batch(
+        &self,
+        eps_r: &RealField2d,
+        requests: &[GradientRequest<'_>],
+    ) -> Vec<Result<GradientEvaluation, SolveFieldError>> {
+        batch_via_field_solver(&self.solver, eps_r, requests)
+    }
+
     fn name(&self) -> &str {
         "exact-adjoint"
     }
@@ -137,6 +240,14 @@ impl GradientSolver for FieldGradient<'_> {
         })
     }
 
+    fn objective_and_gradient_batch(
+        &self,
+        eps_r: &RealField2d,
+        requests: &[GradientRequest<'_>],
+    ) -> Vec<Result<GradientEvaluation, SolveFieldError>> {
+        batch_via_field_solver(self.solver, eps_r, requests)
+    }
+
     fn name(&self) -> &str {
         "field-gradient"
     }
@@ -147,6 +258,71 @@ mod tests {
     use super::*;
     use maps_core::{Grid2d, Port, Rect, Shape};
     use maps_fdfd::{ModeMonitor, ModeSource};
+
+    /// Batched evaluation through the FDFD batch plane must reproduce the
+    /// scalar trait path bit-for-bit: the same LU answers both, and the
+    /// substitution sweeps are the same operations.
+    #[test]
+    fn batched_gradients_match_scalar_bitwise() {
+        let grid = Grid2d::new(56, 40, 0.08);
+        let omega = maps_core::omega_for_wavelength(1.55);
+        let yc = grid.height() / 2.0;
+        let mut eps = RealField2d::constant(grid, 2.07);
+        maps_core::paint(
+            &mut eps,
+            &Shape::Rect(Rect::new(0.0, yc - 0.24, grid.width(), yc + 0.24)),
+            12.11,
+        );
+        let in_port = Port::new(
+            (1.2, yc),
+            0.48,
+            maps_core::Axis::X,
+            maps_core::Direction::Positive,
+        );
+        let out_port = Port::new(
+            (grid.width() - 1.2, yc),
+            0.48,
+            maps_core::Axis::X,
+            maps_core::Direction::Positive,
+        );
+        let j = ModeSource::new(&eps, &in_port, omega)
+            .unwrap()
+            .current_density(grid);
+        let monitor = ModeMonitor::new(&eps, &out_port, omega).unwrap();
+        let obj_fwd = PowerObjective::new().with_term(monitor.outgoing_functional(), 1.0);
+        let obj_neg = PowerObjective::new().with_term(monitor.outgoing_functional(), -0.5);
+
+        let fdfd = FdfdSolver::new();
+        let generic = FieldGradient::new(&fdfd);
+        let requests = [
+            GradientRequest {
+                source: &j,
+                omega,
+                objective: &obj_fwd,
+            },
+            GradientRequest {
+                source: &j,
+                omega,
+                objective: &obj_neg,
+            },
+        ];
+        let batch = generic.objective_and_gradient_batch(&eps, &requests);
+        assert_eq!(batch.len(), 2);
+        for (b, r) in batch.iter().zip(&requests) {
+            let b = b.as_ref().unwrap();
+            let s = generic
+                .objective_and_gradient(&eps, r.source, r.omega, r.objective)
+                .unwrap();
+            assert_eq!(b.objective.to_bits(), s.objective.to_bits());
+            for (a, e) in b.grad_eps.as_slice().iter().zip(s.grad_eps.as_slice()) {
+                assert_eq!(a.to_bits(), e.to_bits());
+            }
+            for (a, e) in b.forward.as_slice().iter().zip(s.forward.as_slice()) {
+                assert_eq!(a.re.to_bits(), e.re.to_bits());
+                assert_eq!(a.im.to_bits(), e.im.to_bits());
+            }
+        }
+    }
 
     /// The exact adjoint and the trait-based gradient (with the FDFD's
     /// exact transpose override) must agree to rounding.
@@ -161,7 +337,12 @@ mod tests {
             &Shape::Rect(Rect::new(0.0, yc - 0.24, grid.width(), yc + 0.24)),
             12.11,
         );
-        let in_port = Port::new((1.2, yc), 0.48, maps_core::Axis::X, maps_core::Direction::Positive);
+        let in_port = Port::new(
+            (1.2, yc),
+            0.48,
+            maps_core::Axis::X,
+            maps_core::Direction::Positive,
+        );
         let out_port = Port::new(
             (grid.width() - 1.2, yc),
             0.48,
@@ -178,7 +359,9 @@ mod tests {
         let e1 = exact.objective_and_gradient(&eps, &j, omega, &obj).unwrap();
         let fdfd = FdfdSolver::new();
         let generic = FieldGradient::new(&fdfd);
-        let e2 = generic.objective_and_gradient(&eps, &j, omega, &obj).unwrap();
+        let e2 = generic
+            .objective_and_gradient(&eps, &j, omega, &obj)
+            .unwrap();
         assert!((e1.objective - e2.objective).abs() < 1e-9 * (1.0 + e1.objective.abs()));
         let mut max_diff: f64 = 0.0;
         let mut max_mag: f64 = 0.0;
@@ -186,6 +369,9 @@ mod tests {
             max_diff = max_diff.max((a - b).abs());
             max_mag = max_mag.max(a.abs());
         }
-        assert!(max_diff < 1e-9 * max_mag.max(1.0), "diff {max_diff} vs mag {max_mag}");
+        assert!(
+            max_diff < 1e-9 * max_mag.max(1.0),
+            "diff {max_diff} vs mag {max_mag}"
+        );
     }
 }

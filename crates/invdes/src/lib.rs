@@ -23,14 +23,14 @@ pub mod reparam;
 pub mod robust;
 
 pub use checkpoint::{OptimCheckpoint, RecoveryRecord};
-pub use gradient::{ExactAdjoint, FieldGradient, GradientEvaluation, GradientSolver};
+pub use gradient::{
+    ExactAdjoint, FieldGradient, GradientEvaluation, GradientRequest, GradientSolver,
+};
 pub use init::InitStrategy;
 pub use litho::{LithoCorner, LithoModel};
 pub use mfs::{minimum_feature_size, opening_loss};
 pub use multi::{Combine, Excitation, MultiExcitationDesigner};
-pub use optimizer::{
-    InverseDesigner, IterationRecord, OptimConfig, OptimError, OptimResult,
-};
+pub use optimizer::{InverseDesigner, IterationRecord, OptimConfig, OptimError, OptimResult};
 pub use patch::Patch;
 pub use problem::{DesignProblem, ObjectiveTerm};
 pub use reparam::{ConeFilter, Reparam, ReparamChain, Symmetry, TanhProjection};

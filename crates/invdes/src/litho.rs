@@ -237,7 +237,13 @@ mod tests {
             n,
             n,
             (0..n * n)
-                .map(|k| if (k / n + k % n).is_multiple_of(2) { 1.0 } else { 0.0 })
+                .map(|k| {
+                    if (k / n + k % n).is_multiple_of(2) {
+                        1.0
+                    } else {
+                        0.0
+                    }
+                })
                 .collect(),
         )
     }
@@ -267,7 +273,10 @@ mod tests {
             .iter()
             .map(|v| (v - 0.5).abs())
             .fold(0.0f64, f64::max);
-        assert!(contrast < 0.45, "checkerboard should lose contrast: {contrast}");
+        assert!(
+            contrast < 0.45,
+            "checkerboard should lose contrast: {contrast}"
+        );
     }
 
     #[test]
@@ -346,7 +355,10 @@ mod tests {
             pm.as_mut_slice()[probe] -= h;
             let fd = (loss(&pp) - loss(&pm)) / (2.0 * h);
             let ad = grad_in.as_slice()[probe];
-            assert!((fd - ad).abs() < 1e-6 * (1.0 + fd.abs()), "probe {probe}: {fd} vs {ad}");
+            assert!(
+                (fd - ad).abs() < 1e-6 * (1.0 + fd.abs()),
+                "probe {probe}: {fd} vs {ad}"
+            );
         }
     }
 

@@ -51,7 +51,10 @@ fn dilate(mask: &[bool], nx: usize, ny: usize, r: usize) -> Vec<bool> {
                         continue;
                     }
                     let (jx, jy) = (ix + dx, iy + dy);
-                    if jx >= 0 && jx < nx as isize && jy >= 0 && jy < ny as isize
+                    if jx >= 0
+                        && jx < nx as isize
+                        && jy >= 0
+                        && jy < ny as isize
                         && mask[(jy * nx as isize + jx) as usize]
                     {
                         any = true;

@@ -7,7 +7,7 @@
 //! the per-excitation figures of merit, with adjoint gradients accumulated
 //! across excitations.
 
-use crate::gradient::GradientSolver;
+use crate::gradient::{GradientRequest, GradientSolver};
 use crate::optimizer::{IterationRecord, OptimConfig, OptimError, OptimResult};
 use crate::patch::Patch;
 use crate::problem::DesignProblem;
@@ -90,22 +90,26 @@ impl MultiExcitationDesigner {
         let inter = chain.forward_all(theta);
         let density = inter.last().expect("chain output");
         let eps = problem.eps_for(density);
-        let mut per = Vec::with_capacity(excitations.len());
-        let mut grads = Vec::with_capacity(excitations.len());
-        for exc in excitations {
-            let eval =
-                solver.objective_and_gradient(&eps, &exc.source, exc.omega, &exc.objective)?;
-            per.push(eval.objective);
-            grads.push(problem.gradient_to_patch(&eval.grad_eps));
+        // All excitations go down as one batch: a backend on the FDFD batch
+        // plane issues every forward solve together and every adjoint solve
+        // together, factorizing once per distinct ω for the whole iteration.
+        let requests: Vec<GradientRequest<'_>> = excitations
+            .iter()
+            .map(|exc| GradientRequest {
+                source: &exc.source,
+                omega: exc.omega,
+                objective: &exc.objective,
+            })
+            .collect();
+        let mut evals = Vec::with_capacity(excitations.len());
+        for result in solver.objective_and_gradient_batch(&eps, &requests) {
+            evals.push(result?);
         }
+        let per: Vec<f64> = evals.iter().map(|e| e.objective).collect();
         // Combined value and per-excitation chain weights dC/dFᵢ.
         let (combined, dc_df): (f64, Vec<f64>) = match self.combine {
             Combine::WeightedSum => {
-                let c = per
-                    .iter()
-                    .zip(excitations)
-                    .map(|(f, e)| e.weight * f)
-                    .sum();
+                let c = per.iter().zip(excitations).map(|(f, e)| e.weight * f).sum();
                 (c, excitations.iter().map(|e| e.weight).collect())
             }
             Combine::SoftMin { tau } => {
@@ -123,12 +127,11 @@ impl MultiExcitationDesigner {
                 (c, d)
             }
         };
-        // Accumulate the weighted density gradient, then pull back.
+        // Accumulate the weighted density gradient into one scratch patch
+        // (no per-excitation patch allocation), then pull back.
         let mut grad_density = Patch::zeros(density.nx(), density.ny());
-        for (g, w) in grads.iter().zip(&dc_df) {
-            for (acc, gv) in grad_density.as_mut_slice().iter_mut().zip(g.as_slice()) {
-                *acc += w * gv;
-            }
+        for (eval, w) in evals.iter().zip(&dc_df) {
+            problem.accumulate_gradient_patch(&eval.grad_eps, *w, &mut grad_density);
         }
         let grad_theta = chain.backward(&inter, &grad_density);
         Ok((combined, grad_theta, per))
@@ -246,8 +249,18 @@ mod tests {
             );
         }
         let input = Port::new((1.1, yc), 0.48, Axis::X, Direction::Positive);
-        let out_hi = Port::new((grid.width() - 0.9, y_hi), 0.48, Axis::X, Direction::Positive);
-        let out_lo = Port::new((grid.width() - 0.9, y_lo), 0.48, Axis::X, Direction::Positive);
+        let out_hi = Port::new(
+            (grid.width() - 0.9, y_hi),
+            0.48,
+            Axis::X,
+            Direction::Positive,
+        );
+        let out_lo = Port::new(
+            (grid.width() - 0.9, y_lo),
+            0.48,
+            Axis::X,
+            Direction::Positive,
+        );
         let problem = DesignProblem {
             base_eps: base.clone(),
             design_origin: (21, 12),
@@ -265,7 +278,9 @@ mod tests {
             .current_density(grid);
         let make_obj = |port: &Port| {
             PowerObjective::new().with_term(
-                ModeMonitor::new(&base, port, omega).unwrap().outgoing_functional(),
+                ModeMonitor::new(&base, port, omega)
+                    .unwrap()
+                    .outgoing_functional(),
                 1.0,
             )
         };
@@ -291,9 +306,7 @@ mod tests {
     #[test]
     fn weighted_sum_improves_both_arms() {
         let (problem, excitations) = splitter();
-        let solver = ExactAdjoint::new(FdfdSolver::with_pml(PmlConfig::auto(
-            problem.grid().dl,
-        )));
+        let solver = ExactAdjoint::new(FdfdSolver::with_pml(PmlConfig::auto(problem.grid().dl)));
         let designer = MultiExcitationDesigner::new(
             OptimConfig {
                 iterations: 10,
@@ -320,7 +333,10 @@ mod tests {
             .unwrap();
         let first: f64 = first_per.iter().sum();
         let last: f64 = last_per.iter().sum();
-        assert!(last > first, "combined objective should improve: {first} -> {last}");
+        assert!(
+            last > first,
+            "combined objective should improve: {first} -> {last}"
+        );
         // With mirror symmetry, both arms receive comparable power.
         let ratio = last_per[0] / last_per[1].max(1e-30);
         assert!((0.5..2.0).contains(&ratio), "arm balance {ratio}");
@@ -329,9 +345,7 @@ mod tests {
     #[test]
     fn softmin_tracks_worst_excitation() {
         let (problem, excitations) = splitter();
-        let solver = ExactAdjoint::new(FdfdSolver::with_pml(PmlConfig::auto(
-            problem.grid().dl,
-        )));
+        let solver = ExactAdjoint::new(FdfdSolver::with_pml(PmlConfig::auto(problem.grid().dl)));
         let designer = MultiExcitationDesigner::new(
             OptimConfig {
                 iterations: 1,
@@ -359,8 +373,7 @@ mod tests {
     fn rejects_empty_excitations() {
         let (problem, _) = splitter();
         let solver = ExactAdjoint::default();
-        let designer =
-            MultiExcitationDesigner::new(OptimConfig::default(), Combine::WeightedSum);
+        let designer = MultiExcitationDesigner::new(OptimConfig::default(), Combine::WeightedSum);
         let theta = InitStrategy::Uniform(0.5).build(10, 20);
         let _ = designer.evaluate(&problem, &[], &solver, &theta, 2.0);
     }

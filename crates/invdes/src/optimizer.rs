@@ -138,10 +138,9 @@ impl std::fmt::Display for OptimError {
         match self {
             OptimError::Mode(e) => write!(f, "mode solver: {e}"),
             OptimError::Solve(e) => write!(f, "field solver: {e}"),
-            OptimError::TooManyFailures { failures, last } => write!(
-                f,
-                "aborted after {failures} solve failures (last: {last})"
-            ),
+            OptimError::TooManyFailures { failures, last } => {
+                write!(f, "aborted after {failures} solve failures (last: {last})")
+            }
             OptimError::Checkpoint { detail } => write!(f, "bad checkpoint: {detail}"),
         }
     }

@@ -89,6 +89,31 @@ impl DesignProblem {
         patch
     }
 
+    /// Accumulates `weight · dF/dρ̄` into an existing patch — the same
+    /// restriction and chain rule as [`DesignProblem::gradient_to_patch`],
+    /// but writing into a caller-provided accumulator so multi-excitation
+    /// loops reuse one scratch patch instead of allocating per excitation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `acc` does not match the design window.
+    pub fn accumulate_gradient_patch(&self, grad_eps: &RealField2d, weight: f64, acc: &mut Patch) {
+        let (ox, oy) = self.design_origin;
+        let (nx, ny) = self.design_size;
+        assert_eq!(
+            (acc.nx(), acc.ny()),
+            (nx, ny),
+            "accumulator does not match design window"
+        );
+        let scale = self.eps_max - self.eps_min;
+        for py in 0..ny {
+            for px in 0..nx {
+                let g = grad_eps.get(ox + px, oy + py) * scale;
+                acc.set(px, py, acc.get(px, py) + weight * g);
+            }
+        }
+    }
+
     /// Builds the unidirectional eigenmode source for the input port
     /// (modes solved on the base permittivity — ports sit on static
     /// waveguides outside the design window).
@@ -113,7 +138,10 @@ impl DesignProblem {
         let mut obj = PowerObjective::new();
         for term in &self.terms {
             let monitor = ModeMonitor::new(&self.base_eps, &term.port, omega)?;
-            obj = obj.with_term(monitor.outgoing_functional(), term.weight / self.normalization);
+            obj = obj.with_term(
+                monitor.outgoing_functional(),
+                term.weight / self.normalization,
+            );
         }
         Ok(obj)
     }
@@ -204,12 +232,7 @@ mod tests {
             )),
             12.11,
         );
-        let out_port = Port::new(
-            (grid.width() - 1.0, yc),
-            0.48,
-            Axis::X,
-            Direction::Positive,
-        );
+        let out_port = Port::new((grid.width() - 1.0, yc), 0.48, Axis::X, Direction::Positive);
         DesignProblem {
             base_eps: base,
             design_origin: (24, 12),

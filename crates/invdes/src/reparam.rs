@@ -328,7 +328,9 @@ mod tests {
         // Compare VJP against finite differences of a random-ish loss
         // L = Σ c_i out_i.
         let out = stage.forward(input);
-        let coeffs: Vec<f64> = (0..out.len()).map(|k| ((k * 7 % 5) as f64 - 2.0) * 0.3).collect();
+        let coeffs: Vec<f64> = (0..out.len())
+            .map(|k| ((k * 7 % 5) as f64 - 2.0) * 0.3)
+            .collect();
         let grad_out = Patch::from_vec(out.nx(), out.ny(), coeffs.clone());
         let grad_in = stage.vjp(input, &grad_out);
         let loss = |p: &Patch| -> f64 {
@@ -454,7 +456,10 @@ mod tests {
             pm.as_mut_slice()[probe] -= h;
             let fd = (loss(&pp) - loss(&pm)) / (2.0 * h);
             let ad = grad_theta.as_slice()[probe];
-            assert!((fd - ad).abs() < 1e-6 * (1.0 + fd.abs()), "probe {probe}: {fd} vs {ad}");
+            assert!(
+                (fd - ad).abs() < 1e-6 * (1.0 + fd.abs()),
+                "probe {probe}: {fd} vs {ad}"
+            );
         }
     }
 }

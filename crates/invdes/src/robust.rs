@@ -74,7 +74,11 @@ impl RobustDesigner {
             let grad_theta = chain.backward(&inter, &grad_patch);
             per_corner.push(eval.objective);
             mean_obj += weight * eval.objective;
-            for (m, g) in mean_grad.as_mut_slice().iter_mut().zip(grad_theta.as_slice()) {
+            for (m, g) in mean_grad
+                .as_mut_slice()
+                .iter_mut()
+                .zip(grad_theta.as_slice())
+            {
                 *m += weight * g;
             }
         }
@@ -120,7 +124,8 @@ impl RobustDesigner {
             for (k, g) in grad.as_slice().iter().enumerate() {
                 m[k] = 0.9 * m[k] + 0.1 * g;
                 v[k] = 0.999 * v[k] + 0.001 * g * g;
-                theta.as_mut_slice()[k] += cfg.learning_rate * (m[k] / bc1) / ((v[k] / bc2).sqrt() + 1e-8);
+                theta.as_mut_slice()[k] +=
+                    cfg.learning_rate * (m[k] / bc1) / ((v[k] / bc2).sqrt() + 1e-8);
             }
             theta.clamp01();
             beta *= cfg.beta_growth;
@@ -197,9 +202,7 @@ mod tests {
             LithoCorner::triple(0.05, 0.2, 0.008).to_vec(),
         );
         let theta = InitStrategy::Uniform(0.6).build(7, 10);
-        let (mean, grad, per_corner) = designer
-            .evaluate(&problem, &exact, &theta, 2.0)
-            .unwrap();
+        let (mean, grad, per_corner) = designer.evaluate(&problem, &exact, &theta, 2.0).unwrap();
         assert_eq!(per_corner.len(), 3);
         let expect: f64 = per_corner.iter().sum::<f64>() / 3.0;
         assert!((mean - expect).abs() < 1e-12);
@@ -225,6 +228,9 @@ mod tests {
         let result = designer.run(&problem, &exact).unwrap();
         let first = result.history.first().unwrap().objective;
         let best = result.best_objective().unwrap();
-        assert!(best > first, "robust optimization should improve: {first} -> {best}");
+        assert!(
+            best > first,
+            "robust optimization should improve: {first} -> {best}"
+        );
     }
 }

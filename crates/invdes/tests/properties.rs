@@ -1,8 +1,6 @@
 //! Property-based tests of the reparametrization and variation layers.
 
-use maps_invdes::{
-    opening_loss, ConeFilter, LithoModel, Patch, Reparam, Symmetry, TanhProjection,
-};
+use maps_invdes::{opening_loss, ConeFilter, LithoModel, Patch, Reparam, Symmetry, TanhProjection};
 use proptest::prelude::*;
 
 fn patch_strategy(max: usize) -> impl Strategy<Value = Patch> {

@@ -164,7 +164,7 @@ impl BandedMatrix {
                 }
             }
             let km = kl.min(n - 1 - j); // sub-diagonal count in column j
-            // Partial pivot: the largest entry on or below the diagonal.
+                                        // Partial pivot: the largest entry on or below the diagonal.
             let colj = j * ldab;
             let mut jp = 0usize;
             let mut best = self.data[colj + kv].abs();
@@ -272,10 +272,69 @@ impl BandedLu {
     ///
     /// Panics if any `rhs.len() != self.dim()`.
     pub fn solve_transposed_many(&self, rhs: &[impl AsRef<[Complex64]>]) -> Vec<Vec<Complex64>> {
-        rhs.iter().map(|b| self.solve_transposed(b.as_ref())).collect()
+        rhs.iter()
+            .map(|b| self.solve_transposed(b.as_ref()))
+            .collect()
     }
 
-    fn solve_in_place(&self, x: &mut [Complex64]) {
+    /// Solves `A X = B` for a batch of right-hand sides into a caller-provided
+    /// flat buffer, avoiding the `Vec<Vec<_>>` round trip on hot paths. The
+    /// solution to `rhs[i]` is written to `out[i·n .. (i+1)·n]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any `rhs.len() != self.dim()` or
+    /// `out.len() != rhs.len() * self.dim()`.
+    pub fn solve_many_into(&self, rhs: &[impl AsRef<[Complex64]>], out: &mut [Complex64]) {
+        assert_eq!(
+            out.len(),
+            rhs.len() * self.n,
+            "solve_many_into output buffer length mismatch"
+        );
+        for (b, chunk) in rhs.iter().zip(out.chunks_exact_mut(self.n)) {
+            let b = b.as_ref();
+            assert_eq!(b.len(), self.n, "solve dimension mismatch");
+            chunk.copy_from_slice(b);
+            self.solve_in_place(chunk);
+        }
+    }
+
+    /// Solves `Aᵀ X = B` for a batch of right-hand sides into a
+    /// caller-provided flat buffer (see [`BandedLu::solve_many_into`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any `rhs.len() != self.dim()` or
+    /// `out.len() != rhs.len() * self.dim()`.
+    pub fn solve_transposed_many_into(
+        &self,
+        rhs: &[impl AsRef<[Complex64]>],
+        out: &mut [Complex64],
+    ) {
+        assert_eq!(
+            out.len(),
+            rhs.len() * self.n,
+            "solve_transposed_many_into output buffer length mismatch"
+        );
+        for (b, chunk) in rhs.iter().zip(out.chunks_exact_mut(self.n)) {
+            let b = b.as_ref();
+            assert_eq!(b.len(), self.n, "solve dimension mismatch");
+            chunk.copy_from_slice(b);
+            self.solve_transposed_in_place(chunk);
+        }
+    }
+
+    /// Solves `A x = b` in place: `x` holds the right-hand side on entry
+    /// and the solution on exit. This is the zero-copy primitive behind
+    /// [`BandedLu::solve`] and [`BandedLu::solve_many_into`] — batch loops
+    /// that already own their right-hand-side buffers sweep them in place
+    /// rather than paying a copy per system.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.dim()`.
+    pub fn solve_in_place(&self, x: &mut [Complex64]) {
+        assert_eq!(x.len(), self.n, "solve dimension mismatch");
         let (n, kl, ldab) = (self.n, self.kl, self.ldab);
         let kv = self.kl + self.ku;
         // Forward: apply L⁻¹ with the recorded pivots.
@@ -325,6 +384,19 @@ impl BandedLu {
     pub fn solve_transposed(&self, b: &[Complex64]) -> Vec<Complex64> {
         assert_eq!(b.len(), self.n, "solve dimension mismatch");
         let mut x = b.to_vec();
+        self.solve_transposed_in_place(&mut x);
+        x
+    }
+
+    /// Solves `Aᵀ x = b` in place (unconjugated transpose; see
+    /// [`BandedLu::solve_transposed`]). The zero-copy primitive behind the
+    /// transposed batch entry points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.dim()`.
+    pub fn solve_transposed_in_place(&self, x: &mut [Complex64]) {
+        assert_eq!(x.len(), self.n, "solve dimension mismatch");
         let (n, kl, ldab) = (self.n, self.kl, self.ldab);
         let kv = self.kl + self.ku;
         // Solve Uᵀ y = b by forward substitution.
@@ -354,7 +426,6 @@ impl BandedLu {
                 }
             }
         }
-        x
     }
 }
 
@@ -394,11 +465,20 @@ mod tests {
         x
     }
 
-    fn random_banded(n: usize, kl: usize, ku: usize, seed: u64) -> (BandedMatrix, Vec<Vec<Complex64>>) {
+    fn random_banded(
+        n: usize,
+        kl: usize,
+        ku: usize,
+        seed: u64,
+    ) -> (BandedMatrix, Vec<Vec<Complex64>>) {
         // Tiny deterministic LCG so the test needs no external RNG.
-        let mut state = seed.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+        let mut state = seed
+            .wrapping_mul(2862933555777941757)
+            .wrapping_add(3037000493);
         let mut next = move || {
-            state = state.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+            state = state
+                .wrapping_mul(2862933555777941757)
+                .wrapping_add(3037000493);
             ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
         };
         let mut band = BandedMatrix::zeros(n, kl, ku);
@@ -422,14 +502,25 @@ mod tests {
     fn solve_matches_dense_elimination() {
         let n = 24;
         let (band, dense) = random_banded(n, 3, 2, 7);
-        let b: Vec<Complex64> = (0..n).map(|k| Complex64::new(k as f64, -(k as f64) / 3.0)).collect();
+        let b: Vec<Complex64> = (0..n)
+            .map(|k| Complex64::new(k as f64, -(k as f64) / 3.0))
+            .collect();
         let lu = band.clone().factorize().unwrap();
         let x = lu.solve(&b);
         let x_ref = dense_solve(&dense, &b);
         let diff: Vec<Complex64> = x.iter().zip(&x_ref).map(|(a, b)| *a - *b).collect();
-        assert!(znorm(&diff) < 1e-10, "direct solve mismatch: {}", znorm(&diff));
+        assert!(
+            znorm(&diff) < 1e-10,
+            "direct solve mismatch: {}",
+            znorm(&diff)
+        );
         // Residual check against the original matrix.
-        let r: Vec<Complex64> = band.matvec(&x).iter().zip(&b).map(|(a, b)| *a - *b).collect();
+        let r: Vec<Complex64> = band
+            .matvec(&x)
+            .iter()
+            .zip(&b)
+            .map(|(a, b)| *a - *b)
+            .collect();
         assert!(znorm(&r) < 1e-10);
     }
 
@@ -437,10 +528,17 @@ mod tests {
     fn transpose_solve_residual() {
         let n = 30;
         let (band, _) = random_banded(n, 4, 4, 99);
-        let b: Vec<Complex64> = (0..n).map(|k| Complex64::new((k as f64).sin(), (k as f64).cos())).collect();
+        let b: Vec<Complex64> = (0..n)
+            .map(|k| Complex64::new((k as f64).sin(), (k as f64).cos()))
+            .collect();
         let lu = band.clone().factorize().unwrap();
         let x = lu.solve_transposed(&b);
-        let r: Vec<Complex64> = band.matvec_transposed(&x).iter().zip(&b).map(|(a, b)| *a - *b).collect();
+        let r: Vec<Complex64> = band
+            .matvec_transposed(&x)
+            .iter()
+            .zip(&b)
+            .map(|(a, b)| *a - *b)
+            .collect();
         assert!(znorm(&r) < 1e-10, "transpose residual {}", znorm(&r));
     }
 
@@ -462,6 +560,70 @@ mod tests {
         for (batched, b) in lu.solve_transposed_many(&rhs).iter().zip(&rhs) {
             assert_eq!(batched, &lu.solve_transposed(b));
         }
+    }
+
+    /// Pins the transposed batch against one-by-one `solve_transposed`:
+    /// every component must match bit-for-bit, so a batched adjoint sweep
+    /// can never drift from the scalar path.
+    #[test]
+    fn transposed_batch_matches_one_by_one_bitwise() {
+        let n = 26;
+        let (band, _) = random_banded(n, 4, 2, 1234);
+        let lu = band.factorize().unwrap();
+        let rhs: Vec<Vec<Complex64>> = (0..4)
+            .map(|r| {
+                (0..n)
+                    .map(|k| {
+                        Complex64::new(
+                            (k as f64 + 0.3 * r as f64).sin(),
+                            (k * (r + 1)) as f64 * 0.07,
+                        )
+                    })
+                    .collect()
+            })
+            .collect();
+        let batched = lu.solve_transposed_many(&rhs);
+        assert_eq!(batched.len(), rhs.len());
+        for (x, b) in batched.iter().zip(&rhs) {
+            let one = lu.solve_transposed(b);
+            for (a, e) in x.iter().zip(&one) {
+                assert_eq!(a.re.to_bits(), e.re.to_bits());
+                assert_eq!(a.im.to_bits(), e.im.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn into_variants_match_allocating_batches() {
+        let n = 18;
+        let (band, _) = random_banded(n, 2, 3, 5150);
+        let lu = band.factorize().unwrap();
+        let rhs: Vec<Vec<Complex64>> = (0..3)
+            .map(|r| {
+                (0..n)
+                    .map(|k| Complex64::new((k + 2 * r) as f64, -(k as f64) * 0.2))
+                    .collect()
+            })
+            .collect();
+        let mut flat = vec![Complex64::ZERO; rhs.len() * n];
+        lu.solve_many_into(&rhs, &mut flat);
+        for (chunk, x) in flat.chunks_exact(n).zip(lu.solve_many(&rhs)) {
+            assert_eq!(chunk, &x[..], "solve_many_into must match solve_many");
+        }
+        lu.solve_transposed_many_into(&rhs, &mut flat);
+        for (chunk, x) in flat.chunks_exact(n).zip(lu.solve_transposed_many(&rhs)) {
+            assert_eq!(chunk, &x[..]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "output buffer length mismatch")]
+    fn solve_many_into_rejects_wrong_buffer_length() {
+        let (band, _) = random_banded(8, 1, 1, 3);
+        let lu = band.factorize().unwrap();
+        let rhs = vec![vec![Complex64::ONE; 8]; 2];
+        let mut out = vec![Complex64::ZERO; 8]; // should be 16
+        lu.solve_many_into(&rhs, &mut out);
     }
 
     #[test]

@@ -25,7 +25,11 @@ pub struct SymmetricEigen {
 ///
 /// Panics if the matrix is not square.
 pub fn symmetric_eigen(a: &DMatrix) -> SymmetricEigen {
-    assert_eq!(a.rows(), a.cols(), "symmetric_eigen requires a square matrix");
+    assert_eq!(
+        a.rows(),
+        a.cols(),
+        "symmetric_eigen requires a square matrix"
+    );
     let n = a.rows();
     let mut m = a.clone();
     let mut v = DMatrix::identity(n);
@@ -171,7 +175,9 @@ mod tests {
         let e = symmetric_eigen(&a);
         for c1 in 0..n {
             for c2 in 0..n {
-                let dot: f64 = (0..n).map(|r| e.vectors[(r, c1)] * e.vectors[(r, c2)]).sum();
+                let dot: f64 = (0..n)
+                    .map(|r| e.vectors[(r, c1)] * e.vectors[(r, c2)])
+                    .sum();
                 let expect = if c1 == c2 { 1.0 } else { 0.0 };
                 assert!((dot - expect).abs() < 1e-9, "cols {c1},{c2}: {dot}");
             }

@@ -119,9 +119,8 @@ fn bicgstab_inner(
             }
         })
         .collect();
-    let precond = |v: &[Complex64]| -> Vec<Complex64> {
-        v.iter().zip(&minv).map(|(x, m)| *x * *m).collect()
-    };
+    let precond =
+        |v: &[Complex64]| -> Vec<Complex64> { v.iter().zip(&minv).map(|(x, m)| *x * *m).collect() };
 
     let mut x = vec![Complex64::ZERO; n];
     let mut r: Vec<Complex64> = b.to_vec();

@@ -157,7 +157,9 @@ impl CsrMatrix {
 
     /// Extracts the diagonal as a vector (missing entries are zero).
     pub fn diagonal(&self) -> Vec<Complex64> {
-        (0..self.rows.min(self.cols)).map(|i| self.get(i, i)).collect()
+        (0..self.rows.min(self.cols))
+            .map(|i| self.get(i, i))
+            .collect()
     }
 }
 
@@ -221,10 +223,13 @@ mod tests {
     fn diagonal_extraction() {
         let a = sample();
         let d = a.diagonal();
-        assert_eq!(d, vec![
-            Complex64::from_re(2.0),
-            Complex64::from_re(3.0),
-            Complex64::from_re(4.0)
-        ]);
+        assert_eq!(
+            d,
+            vec![
+                Complex64::from_re(2.0),
+                Complex64::from_re(3.0),
+                Complex64::from_re(4.0)
+            ]
+        );
     }
 }

@@ -63,9 +63,23 @@ impl Ffno {
         let blocks = (0..config.depth)
             .map(|_| FfnoBlock {
                 // Row-factorized: full mode budget along H, minimal along W.
-                spec_h: SpectralConv2d::new(params, rng, config.width, config.width, config.modes, 1),
+                spec_h: SpectralConv2d::new(
+                    params,
+                    rng,
+                    config.width,
+                    config.width,
+                    config.modes,
+                    1,
+                ),
                 // Column-factorized: minimal along H, full along W.
-                spec_w: SpectralConv2d::new(params, rng, config.width, config.width, 1, config.modes),
+                spec_w: SpectralConv2d::new(
+                    params,
+                    rng,
+                    config.width,
+                    config.width,
+                    1,
+                    config.modes,
+                ),
                 mlp1: Conv2d::new(params, rng, config.width, config.width, 1, pw),
                 mlp2: Conv2d::new(params, rng, config.width, config.width, 1, pw),
             })

@@ -155,7 +155,9 @@ mod tests {
         );
         let x_data = Tensor::from_vec(
             &[1, 2, 8, 8],
-            (0..128).map(|k| ((k * 13 % 7) as f64 - 3.0) * 0.1).collect(),
+            (0..128)
+                .map(|k| ((k * 13 % 7) as f64 - 3.0) * 0.1)
+                .collect(),
         );
         let target = Tensor::from_vec(
             &[1, 1, 8, 8],

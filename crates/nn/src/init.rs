@@ -7,7 +7,10 @@ use rand::Rng;
 pub fn kaiming_uniform(rng: &mut impl Rng, shape: &[usize], fan_in: usize) -> Tensor {
     let bound = (1.0 / fan_in.max(1) as f64).sqrt();
     let n: usize = shape.iter().product();
-    Tensor::from_vec(shape, (0..n).map(|_| rng.gen_range(-bound..bound)).collect())
+    Tensor::from_vec(
+        shape,
+        (0..n).map(|_| rng.gen_range(-bound..bound)).collect(),
+    )
 }
 
 /// Scaled initialization for complex spectral weights: FNO convention is
@@ -15,7 +18,10 @@ pub fn kaiming_uniform(rng: &mut impl Rng, shape: &[usize], fan_in: usize) -> Te
 pub fn spectral_uniform(rng: &mut impl Rng, shape: &[usize], cin: usize, cout: usize) -> Tensor {
     let scale = 1.0 / (cin * cout) as f64;
     let n: usize = shape.iter().product();
-    Tensor::from_vec(shape, (0..n).map(|_| rng.gen_range(-scale..scale)).collect())
+    Tensor::from_vec(
+        shape,
+        (0..n).map(|_| rng.gen_range(-scale..scale)).collect(),
+    )
 }
 
 #[cfg(test)]

@@ -101,14 +101,8 @@ impl Adam {
             if !params.owns(id) {
                 continue;
             }
-            let m = self
-                .m
-                .entry(id)
-                .or_insert_with(|| Tensor::zeros(g.shape()));
-            let v = self
-                .v
-                .entry(id)
-                .or_insert_with(|| Tensor::zeros(g.shape()));
+            let m = self.m.entry(id).or_insert_with(|| Tensor::zeros(g.shape()));
+            let v = self.v.entry(id).or_insert_with(|| Tensor::zeros(g.shape()));
             let p = params.get_mut(id);
             for k in 0..g.len() {
                 let gv = g.as_slice()[k];
@@ -129,7 +123,11 @@ mod tests {
     use super::*;
     use maps_tensor::Tape;
 
-    fn quadratic_step(params: &mut Params, id: ParamId, opt: &mut dyn FnMut(&mut Params, &Gradients)) -> f64 {
+    fn quadratic_step(
+        params: &mut Params,
+        id: ParamId,
+        opt: &mut dyn FnMut(&mut Params, &Gradients),
+    ) -> f64 {
         // loss = Σ (p − 3)²
         let mut tape = Tape::new();
         let p = tape.param(params, id);

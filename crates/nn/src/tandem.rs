@@ -197,7 +197,9 @@ mod tests {
         // the random forward weights fall for a given RNG stream.
         let reference_density = Tensor::from_vec(
             &[1, 1, 8, 8],
-            (0..64).map(|k| 0.5 + 0.4 * (k as f64 * 0.7).sin()).collect(),
+            (0..64)
+                .map(|k| 0.5 + 0.4 * (k as f64 * 0.7).sin())
+                .collect(),
         );
         let target_response = {
             let mut tape = Tape::new();

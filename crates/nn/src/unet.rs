@@ -168,8 +168,7 @@ mod tests {
         let y = model.forward(&mut tape, &params, x);
         let loss = tape.mean(y);
         let grads = tape.backward(loss);
-        let reached: std::collections::HashSet<_> =
-            grads.param_grads().map(|(id, _)| id).collect();
+        let reached: std::collections::HashSet<_> = grads.param_grads().map(|(id, _)| id).collect();
         assert_eq!(reached.len(), params.len(), "all parameters must get grads");
     }
 }

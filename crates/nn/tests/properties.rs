@@ -1,6 +1,8 @@
 //! Property-based tests of the model zoo.
 
-use maps_nn::{Ffno, FfnoConfig, Fno, FnoConfig, Model, NeurOLight, NeurOLightConfig, UNet, UNetConfig};
+use maps_nn::{
+    Ffno, FfnoConfig, Fno, FnoConfig, Model, NeurOLight, NeurOLightConfig, UNet, UNetConfig,
+};
 use maps_tensor::{Params, Tape, Tensor};
 use proptest::prelude::*;
 use rand::rngs::StdRng;

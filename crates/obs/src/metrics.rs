@@ -262,23 +262,26 @@ impl Registry {
     pub fn counter(&self, name: &str) -> Counter {
         let mut map = self.counters.lock().expect("counter map");
         Counter(Arc::clone(
-            map.entry(name.to_string()).or_insert_with(|| Arc::new(AtomicU64::new(0))),
+            map.entry(name.to_string())
+                .or_insert_with(|| Arc::new(AtomicU64::new(0))),
         ))
     }
 
     /// Get-or-create the gauge `name`.
     pub fn gauge(&self, name: &str) -> Gauge {
         let mut map = self.gauges.lock().expect("gauge map");
-        Gauge(Arc::clone(map.entry(name.to_string()).or_insert_with(|| {
-            Arc::new(AtomicU64::new(0f64.to_bits()))
-        })))
+        Gauge(Arc::clone(
+            map.entry(name.to_string())
+                .or_insert_with(|| Arc::new(AtomicU64::new(0f64.to_bits()))),
+        ))
     }
 
     /// Get-or-create the histogram `name`.
     pub fn histogram(&self, name: &str) -> Histogram {
         let mut map = self.histograms.lock().expect("histogram map");
         Histogram(Arc::clone(
-            map.entry(name.to_string()).or_insert_with(|| Arc::new(HistogramInner::new())),
+            map.entry(name.to_string())
+                .or_insert_with(|| Arc::new(HistogramInner::new())),
         ))
     }
 
@@ -291,7 +294,8 @@ impl Registry {
     /// Value of gauge `name`, if it exists.
     pub fn gauge_value(&self, name: &str) -> Option<f64> {
         let map = self.gauges.lock().expect("gauge map");
-        map.get(name).map(|g| f64::from_bits(g.load(Ordering::Relaxed)))
+        map.get(name)
+            .map(|g| f64::from_bits(g.load(Ordering::Relaxed)))
     }
 
     /// Snapshot of histogram `name`, if it exists.
@@ -321,7 +325,9 @@ impl Registry {
     fn write_json(&self, pretty: bool) -> String {
         let counters: Vec<(String, u64)> = {
             let map = self.counters.lock().expect("counter map");
-            map.iter().map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed))).collect()
+            map.iter()
+                .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+                .collect()
         };
         let gauges: Vec<(String, f64)> = {
             let map = self.gauges.lock().expect("gauge map");

@@ -26,7 +26,10 @@ pub fn span(name: impl Into<String>) -> Span {
         v
     });
     if enabled(Level::Debug) {
-        emit(Level::Debug, &format!("{:indent$}-> {name}", "", indent = 2 * depth));
+        emit(
+            Level::Debug,
+            &format!("{:indent$}-> {name}", "", indent = 2 * depth),
+        );
     }
     Span {
         name,

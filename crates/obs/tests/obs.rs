@@ -61,7 +61,14 @@ fn json_snapshot_has_expected_shape() {
     assert!(json.contains("\"solver.fdfd.solves\":3"));
     assert!(json.contains("\"train.loss\":0.25"));
     assert!(json.contains("\"solver.fdfd.solve_seconds\":{\"count\":1,"));
-    for key in ["\"mean\":", "\"min\":", "\"max\":", "\"p50\":", "\"p90\":", "\"p99\":"] {
+    for key in [
+        "\"mean\":",
+        "\"min\":",
+        "\"max\":",
+        "\"p50\":",
+        "\"p90\":",
+        "\"p99\":",
+    ] {
         assert!(json.contains(key), "missing {key} in {json}");
     }
     // Balanced braces (cheap well-formedness check, no parser dependency).
@@ -147,5 +154,8 @@ fn gauge_is_last_write_wins() {
 #[test]
 fn empty_registry_serializes_cleanly() {
     let reg = Registry::new();
-    assert_eq!(reg.to_json(), "{\"counters\":{},\"gauges\":{},\"histograms\":{}}");
+    assert_eq!(
+        reg.to_json(),
+        "{\"counters\":{},\"gauges\":{},\"histograms\":{}}"
+    );
 }

@@ -236,7 +236,10 @@ impl Tape {
             v,
             vec![a.0, b.0],
             Some(Box::new(|g, p, _| {
-                vec![g.zip_map(p[1], |gv, bv| gv * bv), g.zip_map(p[0], |gv, av| gv * av)]
+                vec![
+                    g.zip_map(p[1], |gv, bv| gv * bv),
+                    g.zip_map(p[0], |gv, av| gv * av),
+                ]
             })),
             None,
         )
@@ -318,7 +321,9 @@ impl Tape {
         self.push(
             v,
             vec![a.0],
-            Some(Box::new(move |g, _, _| vec![Tensor::full(&shape, g.item())])),
+            Some(Box::new(move |g, _, _| {
+                vec![Tensor::full(&shape, g.item())]
+            })),
             None,
         )
     }
@@ -379,12 +384,7 @@ impl Tape {
         let xv = self.value(x);
         let bv = self.value(b);
         assert_eq!(xv.shape().len(), 4, "add_bias_channel expects NCHW");
-        let (n, c, h, w) = (
-            xv.shape()[0],
-            xv.shape()[1],
-            xv.shape()[2],
-            xv.shape()[3],
-        );
+        let (n, c, h, w) = (xv.shape()[0], xv.shape()[1], xv.shape()[2], xv.shape()[3]);
         assert_eq!(bv.shape(), &[c], "bias length mismatch");
         let hw = h * w;
         let mut out = xv.clone();
@@ -441,9 +441,7 @@ impl Tape {
         self.push(
             v,
             vec![x.0],
-            Some(Box::new(move |g, _, _| {
-                vec![avg_pool2_backward(g, &shape)]
-            })),
+            Some(Box::new(move |g, _, _| vec![avg_pool2_backward(g, &shape)])),
             None,
         )
     }
@@ -455,9 +453,7 @@ impl Tape {
         self.push(
             v,
             vec![x.0],
-            Some(Box::new(move |g, _, _| {
-                vec![upsample2_backward(g, &shape)]
-            })),
+            Some(Box::new(move |g, _, _| vec![upsample2_backward(g, &shape)])),
             None,
         )
     }
@@ -736,7 +732,9 @@ mod tests {
         let n: usize = shape.iter().product();
         Tensor::from_vec(
             shape,
-            (0..n).map(|k| ((k * 31 % 17) as f64 - 8.0) * 0.13).collect(),
+            (0..n)
+                .map(|k| ((k * 31 % 17) as f64 - 8.0) * 0.13)
+                .collect(),
         )
     }
 

@@ -93,7 +93,11 @@ impl Tensor {
     ///
     /// Panics if the tensor has more than one element.
     pub fn item(&self) -> f64 {
-        assert_eq!(self.data.len(), 1, "item() requires a single-element tensor");
+        assert_eq!(
+            self.data.len(),
+            1,
+            "item() requires a single-element tensor"
+        );
         self.data[0]
     }
 
@@ -483,7 +487,14 @@ mod tests {
         // 1×1 kernel of value 1 is the identity map.
         let x = Tensor::from_vec(&[1, 1, 2, 2], vec![1.0, 2.0, 3.0, 4.0]);
         let w = Tensor::from_vec(&[1, 1, 1, 1], vec![1.0]);
-        let y = conv2d(&x, &w, Conv2dSpec { padding: 0, stride: 1 });
+        let y = conv2d(
+            &x,
+            &w,
+            Conv2dSpec {
+                padding: 0,
+                stride: 1,
+            },
+        );
         assert_eq!(y.as_slice(), x.as_slice());
     }
 
@@ -492,7 +503,14 @@ mod tests {
         // All-ones 3×3 kernel with same padding computes neighbourhood sums.
         let x = Tensor::from_vec(&[1, 1, 3, 3], (1..=9).map(|v| v as f64).collect());
         let w = Tensor::full(&[1, 1, 3, 3], 1.0);
-        let y = conv2d(&x, &w, Conv2dSpec { padding: 1, stride: 1 });
+        let y = conv2d(
+            &x,
+            &w,
+            Conv2dSpec {
+                padding: 1,
+                stride: 1,
+            },
+        );
         // Centre output = sum of all 9 = 45.
         assert_eq!(y.as_slice()[4], 45.0);
         // Corner output = 1+2+4+5 = 12.
@@ -503,14 +521,24 @@ mod tests {
     fn conv2d_stride_two_shape() {
         let x = Tensor::zeros(&[2, 3, 8, 8]);
         let w = Tensor::zeros(&[4, 3, 3, 3]);
-        let y = conv2d(&x, &w, Conv2dSpec { padding: 1, stride: 2 });
+        let y = conv2d(
+            &x,
+            &w,
+            Conv2dSpec {
+                padding: 1,
+                stride: 2,
+            },
+        );
         assert_eq!(y.shape(), &[2, 4, 4, 4]);
     }
 
     /// Finite-difference check of the convolution gradients.
     #[test]
     fn conv2d_gradients_match_finite_difference() {
-        let spec = Conv2dSpec { padding: 1, stride: 1 };
+        let spec = Conv2dSpec {
+            padding: 1,
+            stride: 1,
+        };
         let xs = [1usize, 2, 5, 4];
         let ws = [3usize, 2, 3, 3];
         let mut x = Tensor::zeros(&xs);
@@ -535,7 +563,10 @@ mod tests {
             xm.as_mut_slice()[probe] -= h;
             let fm = conv2d(&xm, &w, spec).sum();
             let fd = (fp - fm) / (2.0 * h);
-            assert!((fd - gx.as_slice()[probe]).abs() < 1e-6, "input grad at {probe}");
+            assert!(
+                (fd - gx.as_slice()[probe]).abs() < 1e-6,
+                "input grad at {probe}"
+            );
         }
         for probe in [0usize, 10, 26] {
             let mut wp = w.clone();
@@ -545,7 +576,10 @@ mod tests {
             wm.as_mut_slice()[probe] -= h;
             let fm = conv2d(&x, &wm, spec).sum();
             let fd = (fp - fm) / (2.0 * h);
-            assert!((fd - gw.as_slice()[probe]).abs() < 1e-6, "weight grad at {probe}");
+            assert!(
+                (fd - gw.as_slice()[probe]).abs() < 1e-6,
+                "weight grad at {probe}"
+            );
         }
     }
 

@@ -181,13 +181,29 @@ mod tests {
         let data = samples(4);
         let mut rng = StdRng::seed_from_u64(0);
         let mut tp = Params::new();
-        let teacher = Fno::new(&mut tp, &mut rng, FnoConfig {
-            in_channels: 4, out_channels: 2, width: 6, modes: 3, depth: 2,
-        });
+        let teacher = Fno::new(
+            &mut tp,
+            &mut rng,
+            FnoConfig {
+                in_channels: 4,
+                out_channels: 2,
+                width: 6,
+                modes: 3,
+                depth: 2,
+            },
+        );
         let mut sp = Params::new();
-        let student = Fno::new(&mut sp, &mut rng, FnoConfig {
-            in_channels: 4, out_channels: 2, width: 4, modes: 2, depth: 1,
-        });
+        let student = Fno::new(
+            &mut sp,
+            &mut rng,
+            FnoConfig {
+                in_channels: 4,
+                out_channels: 2,
+                width: 4,
+                modes: 2,
+                depth: 1,
+            },
+        );
         let report = distill_field_model(
             &teacher,
             &tp,
@@ -213,9 +229,17 @@ mod tests {
         let data = samples(4);
         let mut rng = StdRng::seed_from_u64(1);
         let mut params = Params::new();
-        let model = Fno::new(&mut params, &mut rng, FnoConfig {
-            in_channels: 4, out_channels: 2, width: 4, modes: 2, depth: 1,
-        });
+        let model = Fno::new(
+            &mut params,
+            &mut rng,
+            FnoConfig {
+                in_channels: 4,
+                out_channels: 2,
+                width: 4,
+                modes: 2,
+                depth: 1,
+            },
+        );
         let pre = fine_tune(&model, &mut params, &data, 4, 4e-3);
         let post = fine_tune(&model, &mut params, &data, 4, 1e-3);
         assert!(post.final_loss() <= pre.epochs[0].loss);

@@ -83,7 +83,11 @@ pub fn tsne(points: &[Vec<f64>], config: &TsneConfig) -> Vec<(f64, f64)> {
             }
             if entropy > target_entropy {
                 lo = beta;
-                beta = if hi.is_finite() { (beta + hi) / 2.0 } else { beta * 2.0 };
+                beta = if hi.is_finite() {
+                    (beta + hi) / 2.0
+                } else {
+                    beta * 2.0
+                };
             } else {
                 hi = beta;
                 beta = (beta + lo) / 2.0;
@@ -193,11 +197,19 @@ mod tests {
         let mut points = Vec::new();
         let mut labels = Vec::new();
         for _ in 0..20 {
-            points.push((0..10).map(|_| rng.gen_range(-0.1..0.1)).collect::<Vec<f64>>());
+            points.push(
+                (0..10)
+                    .map(|_| rng.gen_range(-0.1..0.1))
+                    .collect::<Vec<f64>>(),
+            );
             labels.push(false);
         }
         for _ in 0..20 {
-            points.push((0..10).map(|_| 5.0 + rng.gen_range(-0.1..0.1)).collect::<Vec<f64>>());
+            points.push(
+                (0..10)
+                    .map(|_| 5.0 + rng.gen_range(-0.1..0.1))
+                    .collect::<Vec<f64>>(),
+            );
             labels.push(true);
         }
         let emb = tsne(&points, &TsneConfig::default());

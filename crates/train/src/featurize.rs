@@ -167,7 +167,11 @@ pub fn decode_field(
 ///
 /// Targets are referenced to the sample's peak source amplitude, matching
 /// the input-side source normalization (see [`FieldNormalizer::fit`]).
-pub fn encode_sample(sample: &Sample, wave_prior: bool, normalizer: FieldNormalizer) -> (Tensor, Tensor) {
+pub fn encode_sample(
+    sample: &Sample,
+    wave_prior: bool,
+    normalizer: FieldNormalizer,
+) -> (Tensor, Tensor) {
     let omega = maps_core::omega_for_wavelength(sample.labels.wavelength);
     let jmax = source_peak(&sample.source);
     let per_sample = FieldNormalizer {

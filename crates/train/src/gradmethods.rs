@@ -11,7 +11,7 @@
 
 use crate::featurize::encode_input;
 use crate::neural_solver::NeuralFieldSolver;
-use maps_core::{ComplexField2d, FieldSolver, RealField2d, SolveFieldError};
+use maps_core::{ComplexField2d, FieldSolver, RealField2d, SolveFieldError, SolveRequest};
 use maps_fdfd::{gradient_from_fields, LinearFunctional, PowerObjective};
 use maps_nn::Model;
 use maps_tensor::{Params, Tape, Tensor, Var};
@@ -90,6 +90,10 @@ pub fn differentiable_modal_power(
 /// Gradient from NN-predicted forward and adjoint fields (method
 /// "Fwd & Adj Field").
 ///
+/// Both probe solves flow through [`FieldSolver::solve_ez_batch`] so a
+/// batching-aware solver can group them; the adjoint stays a second phase
+/// because its right-hand side depends on the forward field.
+///
 /// # Errors
 ///
 /// Returns [`SolveFieldError`] if a neural solve fails.
@@ -100,9 +104,15 @@ pub fn fwd_adj_field_gradient<M: Model>(
     omega: f64,
     objective: &PowerObjective,
 ) -> Result<RealField2d, SolveFieldError> {
-    let forward = solver.solve_ez(eps_r, source, omega)?;
+    let forward = solver
+        .solve_ez_batch(eps_r, &[SolveRequest::forward(source, omega)])
+        .pop()
+        .expect("a batch of one request returns one result")?;
     let rhs = ComplexField2d::from_vec(eps_r.grid(), objective.adjoint_rhs(&forward));
-    let adjoint = solver.solve_adjoint_ez(eps_r, &rhs, omega)?;
+    let adjoint = solver
+        .solve_ez_batch(eps_r, &[SolveRequest::adjoint(&rhs, omega)])
+        .pop()
+        .expect("a batch of one request returns one result")?;
     Ok(gradient_from_fields(&forward, &adjoint, omega))
 }
 
@@ -199,7 +209,10 @@ mod tests {
             *v = ((k * 13 % 7) as f64 - 3.0) * 0.2;
         }
         let functional = LinearFunctional {
-            weights: vec![(5, Complex64::new(1.0, 0.5)), (10, Complex64::new(-0.3, 0.2))],
+            weights: vec![
+                (5, Complex64::new(1.0, 0.5)),
+                (10, Complex64::new(-0.3, 0.2)),
+            ],
         };
         let mut tape = Tape::new();
         let p = tape.input(pred.clone());

@@ -121,10 +121,7 @@ pub fn mixup_samples(samples: &[Sample], count: usize, rng: &mut StdRng) -> Vec<
     let pairs: Vec<(usize, usize)> = groups
         .iter()
         .filter(|g| g.len() >= 2)
-        .flat_map(|g| {
-            (0..g.len())
-                .flat_map(move |a| ((a + 1)..g.len()).map(move |b| (g[a], g[b])))
-        })
+        .flat_map(|g| (0..g.len()).flat_map(move |a| ((a + 1)..g.len()).map(move |b| (g[a], g[b]))))
         .collect();
     if pairs.is_empty() {
         return Vec::new();
@@ -145,7 +142,10 @@ pub fn mixup_samples(samples: &[Sample], count: usize, rng: &mut StdRng) -> Vec<
 ///
 /// Panics if the permittivity maps differ (superposition would be invalid).
 pub fn superpose(a: &Sample, b: &Sample, ca: f64, cb: f64) -> Sample {
-    assert_eq!(a.eps_r, b.eps_r, "superposition requires identical structures");
+    assert_eq!(
+        a.eps_r, b.eps_r,
+        "superposition requires identical structures"
+    );
     let mix = |fa: &ComplexField2d, fb: &ComplexField2d| -> ComplexField2d {
         ComplexField2d::from_vec(
             fa.grid(),

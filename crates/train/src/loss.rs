@@ -46,9 +46,15 @@ pub fn physics_residual_loss(
     let lap_kernel = Tensor::from_vec(
         &[1, 1, 3, 3],
         vec![
-            0.0, inv_dl2, 0.0,
-            inv_dl2, -4.0 * inv_dl2, inv_dl2,
-            0.0, inv_dl2, 0.0,
+            0.0,
+            inv_dl2,
+            0.0,
+            inv_dl2,
+            -4.0 * inv_dl2,
+            inv_dl2,
+            0.0,
+            inv_dl2,
+            0.0,
         ],
     );
     let k = tape.constant(lap_kernel);

@@ -103,8 +103,8 @@ pub fn train_field_model(
                 if batch.omegas.iter().all(|o| (o - omega0).abs() < 1e-12) {
                     let grid = batch.sources[0].grid();
                     let eps_field = RealField2d::constant(grid, 1.0); // mask template
-                    // Per-sample scale: the targets were normalized by each
-                    // sample's peak source amplitude.
+                                                                      // Per-sample scale: the targets were normalized by each
+                                                                      // sample's peak source amplitude.
                     let scaled: Vec<maps_core::ComplexField2d> = batch
                         .sources
                         .iter()
@@ -208,7 +208,11 @@ pub fn evaluate_n_l2(
 /// Cheap shape check that a model accepts the encoding produced for a
 /// sample set; returns the (channels, height, width) seen.
 pub fn probe_encoding(model: &dyn Model, sample: &Sample) -> (usize, usize, usize) {
-    let (input, _) = encode_sample(sample, model.wants_wave_prior(), FieldNormalizer::identity());
+    let (input, _) = encode_sample(
+        sample,
+        model.wants_wave_prior(),
+        FieldNormalizer::identity(),
+    );
     let s = input.shape().to_vec();
     assert_eq!(
         s[1],
@@ -247,7 +251,11 @@ mod tests {
                 for iy in 0..16 {
                     for ix in 0..16 {
                         let d = (ix as f64 - (4 + (k % 4)) as f64).abs() + (iy as f64 - 8.0).abs();
-                        ez.set(ix, iy, Complex64::new((-d * 0.3).exp(), 0.1 * (-d * 0.3).exp()));
+                        ez.set(
+                            ix,
+                            iy,
+                            Complex64::new((-d * 0.3).exp(), 0.1 * (-d * 0.3).exp()),
+                        );
                     }
                 }
                 Sample {
@@ -305,7 +313,10 @@ mod tests {
         );
         let first = report.epochs.first().unwrap().loss;
         let last = report.final_loss();
-        assert!(last < first * 0.7, "loss should drop: {first:.4} -> {last:.4}");
+        assert!(
+            last < first * 0.7,
+            "loss should drop: {first:.4} -> {last:.4}"
+        );
         // And the N-L2 metric beats the trivial zero predictor (= 1.0).
         let nl2 = evaluate_n_l2(&model, &params, &samples, report.normalizer);
         assert!(nl2 < 1.0, "N-L2 {nl2}");

@@ -8,8 +8,8 @@
 
 use maps::core::Fidelity;
 use maps::data::{
-    label_batch, paired_devices, richardson, sample_densities, Dataset, DeviceKind,
-    GenerateConfig, SamplerConfig, SamplingStrategy,
+    label_batch, paired_devices, richardson, sample_densities, Dataset, DeviceKind, GenerateConfig,
+    SamplerConfig, SamplingStrategy,
 };
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -77,6 +77,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let path = std::env::temp_dir().join("maps_bending_dataset.json");
     dataset.save_json(&path)?;
     let reloaded = Dataset::load_json(&path)?;
-    println!("saved + reloaded {} samples at {}", reloaded.len(), path.display());
+    println!(
+        "saved + reloaded {} samples at {}",
+        reloaded.len(),
+        path.display()
+    );
+
+    // Every sample's forward/adjoint solves went through the batched solve
+    // plane; the factor cache amortizes one LU per (density, frequency).
+    let metrics = maps::obs::global();
+    let counter = |name: &str| metrics.counter_value(name).unwrap_or(0);
+    println!(
+        "batched plane: {} batches / {} requests; factor cache {} hits / {} misses",
+        counter("fdfd.solve_batch.calls"),
+        counter("fdfd.solve_batch.requests"),
+        counter("fdfd.factor_cache.hit"),
+        counter("fdfd.factor_cache.miss"),
+    );
     Ok(())
 }

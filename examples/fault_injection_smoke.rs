@@ -39,7 +39,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "robust solver: {} retries, {} non-finite catches, {} recovered",
         stats.retries, stats.nonfinite, stats.recovered
     );
-    assert!(stats.recovered >= 2, "both injected faults must be recovered");
+    assert!(
+        stats.recovered >= 2,
+        "both injected faults must be recovered"
+    );
     assert_eq!(stats.unrecovered, 0);
 
     // --- 2. Optimizer-level recovery: failures the solver cannot hide.
@@ -63,12 +66,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "inverse design: {} iterations, {} recoveries, final objective {:.4}",
         result.history.len(),
         result.recoveries.len(),
-        result.history.last().map(|r| r.objective).unwrap_or(f64::NAN),
+        result
+            .history
+            .last()
+            .map(|r| r.objective)
+            .unwrap_or(f64::NAN),
     );
     for r in &result.recoveries {
         println!("  recovered at iteration {}: {}", r.iteration, r.error);
     }
-    assert!(!result.recoveries.is_empty(), "faults must be recorded as recoveries");
+    assert!(
+        !result.recoveries.is_empty(),
+        "faults must be recorded as recoveries"
+    );
     assert!(result.density.as_slice().iter().all(|v| v.is_finite()));
     assert!(result.best_objective().expect("history").is_finite());
 

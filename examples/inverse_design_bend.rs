@@ -42,7 +42,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let first = result.history.first().expect("history").objective;
     let best = result.best_objective().expect("non-empty history");
-    println!("\ntransmission: {first:.4} -> {best:.4} over {} iterations", result.history.len());
+    println!(
+        "\ntransmission: {first:.4} -> {best:.4} over {} iterations",
+        result.history.len()
+    );
     let mfs = minimum_feature_size(&result.density, 0.5, 0.05);
     println!(
         "final design: gray level {:.4}, minimum feature size ~{} cells ({:.0} nm)",

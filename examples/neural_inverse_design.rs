@@ -100,7 +100,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let eps = problem.eps_for(density);
         let true_field = fdfd_ref.solve_ez(&eps, &source, omega).expect("fdfd");
         let true_t = objective.eval(&true_field);
-        println!("{:4} |         {:.4} |          {:.4}", rec.iteration, rec.objective, true_t);
+        println!(
+            "{:4} |         {:.4} |          {:.4}",
+            rec.iteration, rec.objective, true_t
+        );
     })?;
 
     // 4. Final verification (Fig. 6b): NN field vs FDFD field.

@@ -74,13 +74,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         grid.len()
     );
 
-    let iterative = InstrumentedSolver::new(FdfdSolver::with_pml(
-        maps::fdfd::PmlConfig::auto(grid.dl),
-    )
-    .backend(Backend::Iterative(IterativeOptions {
-        max_iterations: 20_000,
-        tolerance: 1e-8,
-    })));
+    let iterative = InstrumentedSolver::new(
+        FdfdSolver::with_pml(maps::fdfd::PmlConfig::auto(grid.dl)).backend(Backend::Iterative(
+            IterativeOptions {
+                max_iterations: 20_000,
+                tolerance: 1e-8,
+            },
+        )),
+    );
     let ez_it = iterative.solve_ez(&eps, &source, omega)?;
     println!(
         "{}: |Ez| = {:.4e} (vs direct {:.4e})",

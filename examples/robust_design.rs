@@ -47,8 +47,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 3. Evaluate both θ across all corners.
     let spread = |theta: &Patch, label: &str| -> Result<f64, Box<dyn std::error::Error>> {
-        let (_, _, per_corner) =
-            robust_designer.evaluate(&device.problem, &solver, theta, 12.0)?;
+        let (_, _, per_corner) = robust_designer.evaluate(&device.problem, &solver, theta, 12.0)?;
         let min = per_corner.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = per_corner.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         println!(

@@ -35,7 +35,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let samples = label_batch(&device, &densities, &GenerateConfig::default())?;
     let dataset = Dataset::from_samples(samples);
     let (train, test) = dataset.split_by_device(0.75, 9);
-    println!("dataset: {} train / {} test samples", train.len(), test.len());
+    println!(
+        "dataset: {} train / {} test samples",
+        train.len(),
+        test.len()
+    );
 
     // 2. Model + training.
     let mut params = Params::new();
@@ -88,10 +92,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .adjoint_gradient
         .as_ref()
         .expect("dataset carries adjoint labels");
-    let grad_field = maps::core::RealField2d::from_vec(
-        exact.grid(),
-        grad_patch.as_slice().to_vec(),
-    );
+    let grad_field =
+        maps::core::RealField2d::from_vec(exact.grid(), grad_patch.as_slice().to_vec());
     let sim = gradient_similarity(&grad_field, exact);
     println!("gradient similarity (Fwd & Adj Field): {sim:.4}");
 

@@ -1,24 +1,29 @@
 #!/usr/bin/env bash
-# Perf-regression harness: runs the factor_reuse bench and writes a
-# machine-readable BENCH_pr3.json at the repo root.
+# Perf-regression harness: runs the factor_reuse bench and writes
+# machine-readable BENCH_pr3.json (factorization reuse) and BENCH_pr4.json
+# (batched vs sequential multi-RHS) at the repo root.
 #
 # Usage:
 #   scripts/bench.sh            # full mode (default bending-device grid)
 #   scripts/bench.sh --smoke    # small grid + few reps, finishes in seconds
 #
-# The bench itself asserts the headline invariant (cached re-solve >= 3x
-# faster than a cold factorize+solve), so a perf regression fails the script.
+# The bench itself asserts the headline invariants (cached re-solve >= 3x
+# faster than a cold factorize+solve; batched multi-RHS solves no slower
+# than sequential at K=2 and faster at K>=4), so a perf regression fails
+# the script.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 ROOT="$(pwd)"
 
 # Smoke runs are a gate, not a measurement: write them under target/ so the
-# committed full-mode BENCH_pr3.json is never clobbered by scripts/check.sh.
+# committed full-mode JSONs are never clobbered by scripts/check.sh.
 OUT="$ROOT/BENCH_pr3.json"
+OUT_BATCHED="$ROOT/BENCH_pr4.json"
 for arg in "$@"; do
   if [ "$arg" = "--smoke" ]; then
     OUT="$ROOT/target/BENCH_pr3.smoke.json"
+    OUT_BATCHED="$ROOT/target/BENCH_pr4.smoke.json"
   fi
 done
 
-cargo bench -p maps-bench --bench factor_reuse -- "$@" --out "$OUT"
+cargo bench -p maps-bench --bench factor_reuse -- "$@" --out "$OUT" --out-batched "$OUT_BATCHED"

@@ -29,11 +29,17 @@ fn bend_optimization_reaches_high_transmission() {
     });
     let result = designer.run(&device.problem, &solver).unwrap();
     let best = result.best_objective().unwrap();
-    assert!(best > 0.5, "bend should exceed 50% transmission, got {best:.3}");
+    assert!(
+        best > 0.5,
+        "bend should exceed 50% transmission, got {best:.3}"
+    );
     // Binarization progressed.
     let start_gray = result.history.first().unwrap().gray_level;
     let end_gray = result.history.last().unwrap().gray_level;
-    assert!(end_gray < start_gray, "gray level should drop: {start_gray} -> {end_gray}");
+    assert!(
+        end_gray < start_gray,
+        "gray level should drop: {start_gray} -> {end_gray}"
+    );
 }
 
 #[test]
@@ -124,11 +130,10 @@ fn corner_objectives_differ_without_robustness() {
         half_height_frac: 0.25,
     }
     .build(device.problem.design_size.0, device.problem.design_size.1);
-    let (_, _, per_corner) = robust.evaluate(&device.problem, &solver, &theta, 10.0).unwrap();
-    let spread = per_corner
-        .iter()
-        .cloned()
-        .fold(f64::NEG_INFINITY, f64::max)
+    let (_, _, per_corner) = robust
+        .evaluate(&device.problem, &solver, &theta, 10.0)
+        .unwrap();
+    let spread = per_corner.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
         - per_corner.iter().cloned().fold(f64::INFINITY, f64::min);
     assert!(
         spread > 1e-6,

@@ -11,7 +11,11 @@ use maps::train::{evaluate_n_l2, train_field_model, LoaderConfig, TrainConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-fn small_dataset(kind: DeviceKind, count: usize, seed: u64) -> (maps::data::DeviceSpec, Vec<maps::core::Sample>) {
+fn small_dataset(
+    kind: DeviceKind,
+    count: usize,
+    seed: u64,
+) -> (maps::data::DeviceSpec, Vec<maps::core::Sample>) {
     let device = kind.build(DeviceResolution::low());
     let densities = sample_densities(
         SamplingStrategy::Random,
@@ -98,7 +102,10 @@ fn dataset_roundtrip_with_real_samples() {
     ds.save_json(&path).unwrap();
     let back = Dataset::load_json(&path).unwrap();
     assert_eq!(back.len(), ds.len());
-    assert_eq!(back.samples[0].labels.wavelength, ds.samples[0].labels.wavelength);
+    assert_eq!(
+        back.samples[0].labels.wavelength,
+        ds.samples[0].labels.wavelength
+    );
     assert_eq!(
         back.samples[0].labels.fields.ez,
         ds.samples[0].labels.fields.ez

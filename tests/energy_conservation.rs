@@ -26,7 +26,9 @@ fn straight_waveguide_unit_transmission() {
     let omega = maps::core::omega_for_wavelength(1.55);
     let solver = FdfdSolver::with_pml(PmlConfig::auto(grid.dl));
     let input = Port::new((1.2, yc), 0.48, Axis::X, Direction::Positive);
-    let j = ModeSource::new(&eps, &input, omega).unwrap().current_density(grid);
+    let j = ModeSource::new(&eps, &input, omega)
+        .unwrap()
+        .current_density(grid);
     let ez = solver.solve_ez(&eps, &j, omega).unwrap();
 
     let near = ModeMonitor::new(
@@ -66,11 +68,7 @@ fn straight_waveguide_unit_transmission() {
 fn reciprocity_of_point_sources() {
     let grid = Grid2d::new(60, 60, 0.05);
     let mut eps = RealField2d::constant(grid, 2.07);
-    maps::core::paint(
-        &mut eps,
-        &Shape::Rect(Rect::new(1.0, 1.0, 2.0, 2.0)),
-        12.11,
-    );
+    maps::core::paint(&mut eps, &Shape::Rect(Rect::new(1.0, 1.0, 2.0, 2.0)), 12.11);
     let omega = maps::core::omega_for_wavelength(1.55);
     let solver = FdfdSolver::with_pml(PmlConfig::auto(grid.dl));
     let a = (20usize, 30usize);
@@ -136,10 +134,8 @@ fn bend_power_balance() {
     let mut device = DeviceKind::Bending.build(DeviceResolution::high());
     let solver = FdfdSolver::with_pml(PmlConfig::auto(device.grid().dl));
     device.problem.calibrate(&solver).unwrap();
-    let density = InitStrategy::Uniform(1.0).build(
-        device.problem.design_size.0,
-        device.problem.design_size.1,
-    );
+    let density = InitStrategy::Uniform(1.0)
+        .build(device.problem.design_size.0, device.problem.design_size.1);
     let sample = label_sample(
         &device,
         &density,

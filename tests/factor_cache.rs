@@ -107,8 +107,14 @@ fn cache_invalidates_on_eps_omega_and_pml_change() {
     let mut eps2 = eps.clone();
     eps2.set(10, 10, f64::from_bits(2.25f64.to_bits() + 1));
     let m1 = misses(cache);
-    solver.solve_ez(&eps2, &j, omega).expect("eps-changed solve");
-    assert_eq!(misses(cache) - m1, 1, "permittivity change must refactorize");
+    solver
+        .solve_ez(&eps2, &j, omega)
+        .expect("eps-changed solve");
+    assert_eq!(
+        misses(cache) - m1,
+        1,
+        "permittivity change must refactorize"
+    );
 
     // Frequency change must miss.
     let m2 = misses(cache);
@@ -152,14 +158,22 @@ fn global_lru_eviction_respects_capacity() {
     }
     let after = cache.stats();
     assert_eq!(after.misses - before.misses, 3);
-    assert_eq!(after.evictions - before.evictions, 1, "capacity 2 holds two of three");
+    assert_eq!(
+        after.evictions - before.evictions,
+        1,
+        "capacity 2 holds two of three"
+    );
 
     // The evicted (oldest) design misses again; the two survivors hit.
     let m0 = cache.stats().misses;
     solver
         .solve_ez(&RealField2d::constant(grid, 2.0), &j, omega)
         .expect("evicted design");
-    assert_eq!(cache.stats().misses - m0, 1, "evicted design must refactorize");
+    assert_eq!(
+        cache.stats().misses - m0,
+        1,
+        "evicted design must refactorize"
+    );
     let h0 = cache.stats().hits;
     solver
         .solve_ez(&RealField2d::constant(grid, 6.0), &j, omega)
@@ -177,7 +191,10 @@ fn invdes_factorizes_exactly_once_per_design_iteration() {
 
     let mut device = DeviceKind::Bending.build(DeviceResolution::low());
     let solver = ExactAdjoint::new(FdfdSolver::with_pml(PmlConfig::auto(device.grid().dl)));
-    device.problem.calibrate(solver.solver()).expect("calibrate");
+    device
+        .problem
+        .calibrate(solver.solver())
+        .expect("calibrate");
 
     let config = OptimConfig {
         iterations: 20,

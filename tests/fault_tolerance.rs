@@ -81,7 +81,10 @@ fn failure_budget_aborts_the_run() {
         .run(&device.problem, &FieldGradient::new(&faulty))
         .unwrap_err();
     assert!(
-        matches!(err, maps::invdes::OptimError::TooManyFailures { failures: 3, .. }),
+        matches!(
+            err,
+            maps::invdes::OptimError::TooManyFailures { failures: 3, .. }
+        ),
         "{err}"
     );
 }
@@ -98,9 +101,13 @@ fn checkpoint_resume_matches_uninterrupted_run() {
 
     let mut checkpoints: Vec<OptimCheckpoint> = Vec::new();
     let full = designer
-        .run_resumable(&device.problem, &grad, None, |_, _, _| {}, |cp| {
-            checkpoints.push(cp.clone())
-        })
+        .run_resumable(
+            &device.problem,
+            &grad,
+            None,
+            |_, _, _| {},
+            |cp| checkpoints.push(cp.clone()),
+        )
         .unwrap();
     let cp = checkpoints
         .iter()
@@ -110,7 +117,13 @@ fn checkpoint_resume_matches_uninterrupted_run() {
     // Round-trip through JSON like a crash/restart would.
     let restored = OptimCheckpoint::from_json(&cp.to_json().unwrap()).unwrap();
     let resumed = designer
-        .run_resumable(&device.problem, &grad, Some(&restored), |_, _, _| {}, |_| {})
+        .run_resumable(
+            &device.problem,
+            &grad,
+            Some(&restored),
+            |_, _, _| {},
+            |_| {},
+        )
         .unwrap();
 
     let full_obj = full.history.last().unwrap().objective;
@@ -207,8 +220,7 @@ fn instrumented_failures_agree_with_robust_retry_stats() {
     assert_eq!(stats.recovered, 2);
     assert_eq!(stats.fallbacks, 0);
     assert_eq!(stats.unrecovered, 0);
-    let instrumented_failures =
-        maps::obs::counter("solver.fault-obs-consistency.failures").get();
+    let instrumented_failures = maps::obs::counter("solver.fault-obs-consistency.failures").get();
     assert_eq!(
         instrumented_failures, stats.retries,
         "telemetry failure count must equal the retries that hid them"

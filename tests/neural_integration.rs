@@ -14,9 +14,7 @@ use maps::train::{train_field_model, NeuralFieldSolver, TrainConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-fn trained_surrogate(
-    device: &maps::data::DeviceSpec,
-) -> NeuralFieldSolver<Fno> {
+fn trained_surrogate(device: &maps::data::DeviceSpec) -> NeuralFieldSolver<Fno> {
     let densities = sample_densities(
         SamplingStrategy::PerturbedOptTraj,
         device,
@@ -76,10 +74,8 @@ fn neural_gradient_loop_runs_end_to_end() {
     let source = device.problem.source().unwrap();
     let objective = device.problem.objective().unwrap();
     let omega = device.problem.omega();
-    let density = InitStrategy::Uniform(0.5).build(
-        device.problem.design_size.0,
-        device.problem.design_size.1,
-    );
+    let density = InitStrategy::Uniform(0.5)
+        .build(device.problem.design_size.0, device.problem.design_size.1);
     let eps = device.problem.eps_for(&density);
     let eval = grad
         .objective_and_gradient(&eps, &source, omega, &objective)

@@ -76,7 +76,11 @@ impl BenchmarkGroup {
         F: FnMut(&mut Bencher),
     {
         let mut b = Bencher {
-            iters: if self.measure { self.sample_size as u64 } else { 1 },
+            iters: if self.measure {
+                self.sample_size as u64
+            } else {
+                1
+            },
             elapsed: Duration::ZERO,
         };
         f(&mut b);

@@ -164,10 +164,7 @@ fn worker_count(jobs: usize) -> usize {
     cores.min(jobs).max(1)
 }
 
-fn parallel_map<'a, T: Sync, R: Send>(
-    items: &'a [T],
-    f: &(impl Fn(&'a T) -> R + Sync),
-) -> Vec<R> {
+fn parallel_map<'a, T: Sync, R: Send>(items: &'a [T], f: &(impl Fn(&'a T) -> R + Sync)) -> Vec<R> {
     parallel_map_indexed(items, &|_, item| f(item))
 }
 
@@ -222,7 +219,13 @@ mod tests {
         assert_eq!(ok.unwrap().len(), 100);
         let err: Result<Vec<i64>, String> = input
             .par_iter()
-            .map(|x| if *x == 50 { Err("boom".to_string()) } else { Ok(*x) })
+            .map(|x| {
+                if *x == 50 {
+                    Err("boom".to_string())
+                } else {
+                    Ok(*x)
+                }
+            })
             .collect();
         assert_eq!(err.unwrap_err(), "boom");
     }
@@ -247,13 +250,23 @@ mod tests {
             })
             .collect();
         for (i, o) in out.iter().enumerate() {
-            let expect = if i % 7 == 0 { Outcome::Failed(i) } else { Outcome::Ok(i) };
+            let expect = if i % 7 == 0 {
+                Outcome::Failed(i)
+            } else {
+                Outcome::Ok(i)
+            };
             assert_eq!(*o, expect);
         }
         // Indexed maps also collect into Result like plain maps.
         let err: Result<Vec<usize>, String> = input
             .par_iter()
-            .map_indexed(|i, _| if i == 250 { Err("boom".to_string()) } else { Ok(i) })
+            .map_indexed(|i, _| {
+                if i == 250 {
+                    Err("boom".to_string())
+                } else {
+                    Ok(i)
+                }
+            })
             .collect();
         assert_eq!(err.unwrap_err(), "boom");
     }
@@ -274,9 +287,14 @@ mod tests {
             })
             .collect();
         let distinct = ids.lock().unwrap().len();
-        let cores = std::thread::available_parallelism().map(|c| c.get()).unwrap_or(1);
+        let cores = std::thread::available_parallelism()
+            .map(|c| c.get())
+            .unwrap_or(1);
         if cores > 1 {
-            assert!(distinct > 1, "expected parallel execution, saw {distinct} thread(s)");
+            assert!(
+                distinct > 1,
+                "expected parallel execution, saw {distinct} thread(s)"
+            );
         }
     }
 

@@ -64,7 +64,10 @@ impl Value {
     pub fn as_str(&self) -> Result<&str, DeError> {
         match self {
             Value::Str(s) => Ok(s),
-            other => Err(DeError::new(format!("expected string, found {}", other.kind()))),
+            other => Err(DeError::new(format!(
+                "expected string, found {}",
+                other.kind()
+            ))),
         }
     }
 
@@ -76,7 +79,10 @@ impl Value {
     pub fn as_f64(&self) -> Result<f64, DeError> {
         match self {
             Value::Num(x) => Ok(*x),
-            other => Err(DeError::new(format!("expected number, found {}", other.kind()))),
+            other => Err(DeError::new(format!(
+                "expected number, found {}",
+                other.kind()
+            ))),
         }
     }
 
@@ -88,7 +94,10 @@ impl Value {
     pub fn as_bool(&self) -> Result<bool, DeError> {
         match self {
             Value::Bool(b) => Ok(*b),
-            other => Err(DeError::new(format!("expected bool, found {}", other.kind()))),
+            other => Err(DeError::new(format!(
+                "expected bool, found {}",
+                other.kind()
+            ))),
         }
     }
 
@@ -100,7 +109,10 @@ impl Value {
     pub fn as_arr(&self) -> Result<&[Value], DeError> {
         match self {
             Value::Arr(items) => Ok(items),
-            other => Err(DeError::new(format!("expected array, found {}", other.kind()))),
+            other => Err(DeError::new(format!(
+                "expected array, found {}",
+                other.kind()
+            ))),
         }
     }
 
@@ -112,9 +124,7 @@ impl Value {
     /// Returns [`DeError`] when the value is not a single-key object.
     pub fn as_variant(&self) -> Result<(&str, &Value), DeError> {
         match self {
-            Value::Obj(entries) if entries.len() == 1 => {
-                Ok((entries[0].0.as_str(), &entries[0].1))
-            }
+            Value::Obj(entries) if entries.len() == 1 => Ok((entries[0].0.as_str(), &entries[0].1)),
             other => Err(DeError::new(format!(
                 "expected single-key variant object, found {}",
                 other.kind()

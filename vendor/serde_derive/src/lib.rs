@@ -20,14 +20,18 @@ use proc_macro::{Delimiter, TokenStream, TokenTree};
 #[proc_macro_derive(Serialize)]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let item = parse_item(input);
-    gen_serialize(&item).parse().expect("generated Serialize impl must parse")
+    gen_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl must parse")
 }
 
 /// Derives the vendored `serde::Deserialize` trait.
 #[proc_macro_derive(Deserialize)]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let item = parse_item(input);
-    gen_deserialize(&item).parse().expect("generated Deserialize impl must parse")
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl must parse")
 }
 
 // --- parsed representation -------------------------------------------------
@@ -41,8 +45,14 @@ enum Variant {
 }
 
 enum Item {
-    Struct { name: String, fields: Vec<String> },
-    Enum { name: String, variants: Vec<Variant> },
+    Struct {
+        name: String,
+        fields: Vec<String>,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
 }
 
 // --- token-stream parsing --------------------------------------------------
@@ -277,9 +287,7 @@ fn gen_deserialize(item: &Item) -> String {
         Item::Struct { name, fields } => {
             let inits: String = fields
                 .iter()
-                .map(|f| {
-                    format!("{f}: ::serde::Deserialize::from_value(v.field(\"{f}\")?)?,\n")
-                })
+                .map(|f| format!("{f}: ::serde::Deserialize::from_value(v.field(\"{f}\")?)?,\n"))
                 .collect();
             format!(
                 "#[automatically_derived]\n\

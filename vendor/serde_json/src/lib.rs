@@ -311,9 +311,8 @@ impl<'a> Parser<'a> {
                                 self.expect(b'\\')?;
                                 self.expect(b'u')?;
                                 let low = self.parse_hex4()?;
-                                let c = 0x10000
-                                    + ((code - 0xD800) << 10)
-                                    + (low.wrapping_sub(0xDC00));
+                                let c =
+                                    0x10000 + ((code - 0xD800) << 10) + (low.wrapping_sub(0xDC00));
                                 out.push(
                                     char::from_u32(c)
                                         .ok_or_else(|| Error::new("invalid surrogate pair"))?,
@@ -326,10 +325,7 @@ impl<'a> Parser<'a> {
                             }
                         }
                         other => {
-                            return Err(Error::new(format!(
-                                "invalid escape `\\{}`",
-                                other as char
-                            )))
+                            return Err(Error::new(format!("invalid escape `\\{}`", other as char)))
                         }
                     }
                 }
@@ -373,7 +369,12 @@ impl<'a> Parser<'a> {
                     self.pos += 1;
                     return Ok(Value::Arr(items));
                 }
-                _ => return Err(Error::new(format!("expected `,` or `]` at byte {}", self.pos))),
+                _ => {
+                    return Err(Error::new(format!(
+                        "expected `,` or `]` at byte {}",
+                        self.pos
+                    )))
+                }
             }
         }
     }
@@ -401,7 +402,12 @@ impl<'a> Parser<'a> {
                     self.pos += 1;
                     return Ok(Value::Obj(entries));
                 }
-                _ => return Err(Error::new(format!("expected `,` or `}}` at byte {}", self.pos))),
+                _ => {
+                    return Err(Error::new(format!(
+                        "expected `,` or `}}` at byte {}",
+                        self.pos
+                    )))
+                }
             }
         }
     }
