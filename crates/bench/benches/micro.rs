@@ -182,6 +182,26 @@ fn bench_fno_forward(c: &mut Criterion) {
     group.finish();
 }
 
+/// Span guard overhead on the disabled fast path (recorder off, no debug
+/// logging — the cost every production call site pays) versus with the
+/// flight recorder capturing.
+fn bench_span_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("span_overhead");
+    maps_obs::recorder::disable();
+    group.bench_function("disabled", |b| {
+        b.iter(|| maps_obs::span("bench.micro.span"));
+    });
+    group.bench_function("disabled_with_field", |b| {
+        b.iter(|| maps_obs::span("bench.micro.span").field("k", 7));
+    });
+    maps_obs::recorder::enable();
+    group.bench_function("recording", |b| {
+        b.iter(|| maps_obs::span("bench.micro.span").field("k", 7));
+    });
+    maps_obs::recorder::disable();
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_fdfd_scaling,
@@ -189,6 +209,7 @@ criterion_group!(
     bench_banded_lu,
     bench_banded_ops_at_device_sizes,
     bench_fft2,
-    bench_fno_forward
+    bench_fno_forward,
+    bench_span_overhead
 );
 criterion_main!(benches);

@@ -1,0 +1,220 @@
+//! Perf-regression harness for the flight recorder (PR 5).
+//!
+//! Not a criterion bench: this harness emits a machine-readable JSON file
+//! (`BENCH_pr5.json` by default) with median timings so CI can diff runs.
+//!
+//! Usage (via `scripts/bench.sh` or directly):
+//!
+//! ```text
+//! cargo bench --bench obs_overhead -- [--smoke] [--out PATH]
+//! ```
+//!
+//! `--smoke` shrinks the grid and repetition counts so the harness finishes
+//! in seconds (wired into `scripts/check.sh`); the default full mode runs at
+//! the default bending-device grid (80×80, dl = 0.05).
+//!
+//! Reported medians:
+//!
+//! - `span_disabled_ns` — one `span()` create + drop with the recorder off
+//!   (the fast path every production call site pays)
+//! - `span_recording_ns` — the same with the recorder capturing (timestamp,
+//!   fields, ring push)
+//! - `chrome_trace_per_span_ns` / `profile_per_span_ns` — exporter cost per
+//!   captured span, on a synthetic nested span set
+//! - `solve_cached_off_ns` / `solve_cached_on_ns` — a cached `solve_ez`
+//!   with the recorder off vs. on, interleaved so bursty container noise
+//!   hits both sides of a pair; the regression check uses the paired
+//!   median difference
+//!
+//! The harness fails if instrumentation overhead on the cached solve
+//! exceeds 5% — the "observability is free enough to leave on" contract.
+
+use maps_core::{omega_for_wavelength, ComplexField2d, FieldSolver, RealField2d};
+use maps_data::{DeviceKind, DeviceResolution};
+use maps_fdfd::{factor_cache, FdfdSolver, PmlConfig};
+use maps_linalg::Complex64;
+use std::time::Instant;
+
+struct Mode {
+    smoke: bool,
+    out: String,
+}
+
+fn parse_args() -> Mode {
+    let mut mode = Mode {
+        smoke: false,
+        out: "BENCH_pr5.json".to_string(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--smoke" => mode.smoke = true,
+            "--out" => {
+                mode.out = args.next().expect("--out needs a path");
+            }
+            // cargo bench passes `--bench`; ignore it and anything unknown.
+            _ => {}
+        }
+    }
+    mode
+}
+
+fn median_ns(mut samples: Vec<u128>) -> u128 {
+    assert!(!samples.is_empty());
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+/// Per-span cost of `span()` create + drop, measured in batches because a
+/// single guard is tens of nanoseconds.
+fn span_cost_ns(reps: usize, batch: usize) -> u128 {
+    median_ns(
+        (0..reps)
+            .map(|_| {
+                let t = Instant::now();
+                for k in 0..batch {
+                    let s = maps_obs::span("bench.obs.span").field("k", k as u64);
+                    std::hint::black_box(&s);
+                }
+                t.elapsed().as_nanos() / batch as u128
+            })
+            .collect(),
+    )
+}
+
+fn main() {
+    let mode = parse_args();
+    let res = if mode.smoke {
+        DeviceResolution::low()
+    } else {
+        DeviceResolution::default()
+    };
+    let reps = if mode.smoke { 9 } else { 25 };
+    let span_reps = if mode.smoke { 7 } else { 15 };
+    let span_batch = if mode.smoke { 2_000 } else { 20_000 };
+    let export_spans = if mode.smoke { 1_000 } else { 10_000 };
+
+    let device = DeviceKind::Bending.build(res);
+    let grid = device.grid();
+    let dl = grid.dl;
+    eprintln!(
+        "obs_overhead: {}x{} grid (dl={dl}), {reps} reps, mode={}",
+        grid.nx,
+        grid.ny,
+        if mode.smoke { "smoke" } else { "full" }
+    );
+
+    // Span guard cost, recorder off vs. capturing. Drain the ring after the
+    // enabled pass so the captured batches don't leak into later sections.
+    maps_obs::recorder::disable();
+    let span_disabled_ns = span_cost_ns(span_reps, span_batch);
+    maps_obs::recorder::enable();
+    let span_recording_ns = span_cost_ns(span_reps, span_batch);
+    maps_obs::recorder::take();
+    maps_obs::recorder::disable();
+
+    // Exporter cost per span, on a synthetic two-level nested span set.
+    maps_obs::recorder::enable();
+    for k in 0..export_spans / 2 {
+        let _outer = maps_obs::span("bench.obs.outer").field("k", k as u64);
+        let _inner = maps_obs::span("bench.obs.inner");
+    }
+    let spans = maps_obs::recorder::take();
+    maps_obs::recorder::disable();
+    assert!(spans.len() >= export_spans.min(maps_obs::recorder::capacity()));
+    let chrome_trace_per_span_ns = median_ns(
+        (0..span_reps)
+            .map(|_| {
+                let t = Instant::now();
+                let json = maps_obs::chrome_trace(&spans);
+                let ns = t.elapsed().as_nanos();
+                std::hint::black_box(&json);
+                ns / spans.len() as u128
+            })
+            .collect(),
+    );
+    let profile_per_span_ns = median_ns(
+        (0..span_reps)
+            .map(|_| {
+                let t = Instant::now();
+                let prof = maps_obs::profile(&spans);
+                let ns = t.elapsed().as_nanos();
+                std::hint::black_box(&prof);
+                ns / spans.len() as u128
+            })
+            .collect(),
+    );
+
+    // Cached solve with the recorder off vs. on. The factorization is warm,
+    // so the solve is sweeps + instrumentation — the worst case for relative
+    // span overhead. Interleave the two variants so bursty container noise
+    // (context switches, noisy neighbors) hits both sides of a pair; the
+    // regression check runs on the median of the paired per-rep differences.
+    let solver = FdfdSolver::with_pml(PmlConfig::auto(dl));
+    let omega = omega_for_wavelength(1.55);
+    let eps = RealField2d::constant(grid, 4.0);
+    let mut j = ComplexField2d::zeros(grid);
+    j.set(grid.nx / 2, grid.ny / 2, Complex64::ONE);
+    factor_cache::global().clear();
+    solver.solve_ez(&eps, &j, omega).expect("prime cache");
+
+    let mut off_samples = Vec::with_capacity(reps);
+    let mut on_samples = Vec::with_capacity(reps);
+    let mut diffs: Vec<i128> = Vec::with_capacity(reps);
+    for rep in 0..reps + 2 {
+        maps_obs::recorder::disable();
+        let t = Instant::now();
+        let ez = solver.solve_ez(&eps, &j, omega).expect("solve off");
+        let off = t.elapsed().as_nanos();
+        std::hint::black_box(&ez);
+
+        maps_obs::recorder::enable();
+        let t = Instant::now();
+        let ez = solver.solve_ez(&eps, &j, omega).expect("solve on");
+        let on = t.elapsed().as_nanos();
+        std::hint::black_box(&ez);
+        maps_obs::recorder::take();
+        maps_obs::recorder::disable();
+
+        // The first pairs warm caches and branch predictors; discard them.
+        if rep >= 2 {
+            off_samples.push(off);
+            on_samples.push(on);
+            diffs.push(on as i128 - off as i128);
+        }
+    }
+    diffs.sort_unstable();
+    let paired_diff_ns = diffs[diffs.len() / 2];
+    let solve_cached_off_ns = median_ns(off_samples);
+    let solve_cached_on_ns = median_ns(on_samples);
+    let overhead_pct = paired_diff_ns as f64 / solve_cached_off_ns.max(1) as f64 * 100.0;
+
+    let json = format!(
+        "{{\n  \"bench\": \"obs_overhead\",\n  \"mode\": \"{mode_s}\",\n  \"grid\": {{ \"nx\": {nx}, \"ny\": {ny}, \"dl\": {dl} }},\n  \"reps\": {reps},\n  \"span_ns\": {{\n    \"disabled\": {span_disabled_ns},\n    \"recording\": {span_recording_ns}\n  }},\n  \"exporter_per_span_ns\": {{\n    \"chrome_trace\": {chrome_trace_per_span_ns},\n    \"profile\": {profile_per_span_ns},\n    \"spans\": {nspans}\n  }},\n  \"cached_solve_ns\": {{\n    \"recorder_off\": {solve_cached_off_ns},\n    \"recorder_on\": {solve_cached_on_ns},\n    \"paired_diff\": {paired_diff_ns},\n    \"overhead_pct\": {overhead_pct:.3}\n  }}\n}}\n",
+        mode_s = if mode.smoke { "smoke" } else { "full" },
+        nx = grid.nx,
+        ny = grid.ny,
+        nspans = spans.len(),
+    );
+    std::fs::write(&mode.out, &json).expect("write bench json");
+    eprintln!("{json}");
+    eprintln!("wrote {}", mode.out);
+
+    // The 5% contract is defined at the full-mode 80×80 grid; the smoke
+    // solve is ~4× cheaper, so the same absolute instrumentation cost is a
+    // larger fraction of it — the smoke bound only catches
+    // order-of-magnitude regressions.
+    let budget_pct = if mode.smoke { 15.0 } else { 5.0 };
+    assert!(
+        overhead_pct < budget_pct,
+        "flight-recorder overhead on a cached {nx}x{ny} solve must stay under {budget_pct}%: \
+         got {overhead_pct:.3}% ({solve_cached_on_ns} vs {solve_cached_off_ns} ns)",
+        nx = grid.nx,
+        ny = grid.ny,
+    );
+    assert!(
+        span_disabled_ns <= span_recording_ns.max(1) * 4,
+        "disabled span fast path should not cost more than the recording path: \
+         {span_disabled_ns} vs {span_recording_ns} ns"
+    );
+}

@@ -149,12 +149,21 @@ impl<S: FieldSolver> FieldSolver for InstrumentedSolver<S> {
             .iter()
             .filter(|r| r.kind == SolveKind::Forward)
             .count();
+        // Batches may run concurrently from worker threads; the thread id and
+        // a process-wide batch sequence number make interleaved batches
+        // distinguishable in an exported trace.
+        static BATCH_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
         let span = maps_obs::span("solver.solve_batch")
             .field("solver", self.inner.name())
             .field("cells", eps_r.grid().len())
             .field("requests", requests.len())
             .field("forward", forward_count)
-            .field("adjoint", requests.len() - forward_count);
+            .field("adjoint", requests.len() - forward_count)
+            .field("thread", maps_obs::current_thread_id())
+            .field(
+                "batch",
+                BATCH_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+            );
         let results = self.inner.solve_ez_batch(eps_r, requests);
         let elapsed = span.elapsed().as_secs_f64();
         if !requests.is_empty() {

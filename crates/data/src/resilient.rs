@@ -327,6 +327,11 @@ fn absorb_outcome(report: &mut GenerateReport, outcome: JobOutcome) {
 }
 
 fn log_report(report: &GenerateReport, elapsed: f64) {
+    // Per-batch quarantine trajectory: one point per labeled batch, indexed
+    // by a process-wide batch sequence number.
+    static BATCH_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let batch = BATCH_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    maps_obs::series("data.quarantine").push(batch, report.quarantined.len() as f64);
     maps_obs::info!(
         "resilient batch: {} ok, {} quarantined ({:.0}%) in {elapsed:.2}s",
         report.ok.len(),

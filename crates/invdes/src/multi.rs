@@ -159,6 +159,8 @@ impl MultiExcitationDesigner {
         let mut beta = cfg.beta_start;
         let mut history = Vec::with_capacity(cfg.iterations);
         let mut last_density = theta.clone();
+        let objective_series = maps_obs::series("invdes.multi.objective");
+        let gray_series = maps_obs::series("invdes.multi.gray_level");
         for iteration in 0..cfg.iterations {
             let (combined, grad, per) =
                 self.evaluate(problem, excitations, solver, &theta, beta)?;
@@ -170,6 +172,8 @@ impl MultiExcitationDesigner {
                 beta,
                 recovered: false,
             };
+            objective_series.push(iteration as u64, combined);
+            gray_series.push(iteration as u64, record.gray_level);
             on_iteration(&record, &per);
             history.push(record);
             let t = (iteration + 1) as i32;

@@ -373,6 +373,12 @@ impl InverseDesigner {
         let omega = problem.omega();
         let source = problem.source()?;
         let objective = problem.objective()?;
+        // Convergence trajectories: one row per iteration (recovered
+        // iterations repeat the last feasible values so rows stay dense).
+        let objective_series = maps_obs::series("invdes.objective");
+        let gray_series = maps_obs::series("invdes.gray_level");
+        let lr_series = maps_obs::series("invdes.lr");
+        let recovery_series = maps_obs::series("invdes.recoveries");
         let mut last_field = None;
         let mut last_density = theta.clone();
         // The last θ whose solve succeeded — the revert target on failure.
@@ -404,6 +410,10 @@ impl InverseDesigner {
                     maps_obs::gauge("invdes.objective").set(record.objective);
                     maps_obs::gauge("invdes.gray_level").set(record.gray_level);
                     maps_obs::histogram("invdes.grad_norm").record(grad_norm);
+                    let step = iteration as u64;
+                    objective_series.push(step, record.objective);
+                    gray_series.push(step, record.gray_level);
+                    lr_series.push(step, adam.lr);
                     maps_obs::info!(
                         "invdes iter {iteration}: objective {:.4} gray {:.3} |grad| {grad_norm:.3e} \
                          beta {beta:.2} ({:.2}s)",
@@ -451,7 +461,12 @@ impl InverseDesigner {
                             recovered: true,
                         };
                         history.push(record);
+                        let step = iteration as u64;
+                        objective_series.push(step, prev_rec.objective);
+                        gray_series.push(step, prev_rec.gray_level);
+                        lr_series.push(step, adam.lr);
                     }
+                    recovery_series.push(iteration as u64, recoveries.len() as f64);
                     maps_obs::counter("invdes.recoveries").inc();
                 }
                 Err(other) => return Err(other.into()),

@@ -7,6 +7,11 @@
 use crate::dense::{zdotc, znorm};
 use crate::sparse::CsrMatrix;
 use crate::{Complex64, LinalgError};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-wide sequence number distinguishing the residual trajectory of
+/// one BiCGSTAB call from the next in the series registry.
+static SOLVE_SEQ: AtomicU64 = AtomicU64::new(0);
 
 /// Convergence report for an iterative solve.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -67,7 +72,16 @@ pub fn bicgstab(
     options: IterativeOptions,
 ) -> Result<(Vec<Complex64>, IterativeStats), LinalgError> {
     let _span = maps_obs::span("linalg.bicgstab").field("n", b.len());
-    let result = bicgstab_inner(a, b, options);
+    // Per-inner-iteration residual trajectories are hot, so they are only
+    // captured while the flight recorder is on (explicitly or via an export
+    // knob). Each solve gets its own numbered series.
+    let trajectory = if maps_obs::recorder::is_enabled() {
+        let id = SOLVE_SEQ.fetch_add(1, Ordering::Relaxed);
+        Some(maps_obs::series(&format!("bicgstab.residual.{id:04}")))
+    } else {
+        None
+    };
+    let result = bicgstab_inner(a, b, options, trajectory.as_ref());
     match &result {
         Ok((_, stats)) => {
             maps_obs::counter("bicgstab.solves").inc();
@@ -93,7 +107,13 @@ fn bicgstab_inner(
     a: &CsrMatrix,
     b: &[Complex64],
     options: IterativeOptions,
+    trajectory: Option<&maps_obs::Series>,
 ) -> Result<(Vec<Complex64>, IterativeStats), LinalgError> {
+    let record = |it: usize, rel: f64| {
+        if let Some(series) = trajectory {
+            series.push(it as u64, rel);
+        }
+    };
     assert_eq!(a.rows(), a.cols(), "bicgstab requires a square matrix");
     assert_eq!(b.len(), a.rows(), "bicgstab dimension mismatch");
     let n = b.len();
@@ -134,9 +154,11 @@ fn bicgstab_inner(
     for it in 1..=options.max_iterations {
         let rho_next = zdotc(&r0, &r);
         if rho_next.abs() < 1e-300 {
+            let residual = znorm(&r) / bnorm;
+            record(it, residual);
             return Err(LinalgError::NoConvergence {
                 iterations: it,
-                residual: znorm(&r) / bnorm,
+                residual,
             });
         }
         let beta = (rho_next / rho) * (alpha / omega);
@@ -148,15 +170,17 @@ fn bicgstab_inner(
         v = a.matvec(&phat);
         alpha = rho / zdotc(&r0, &v);
         let s: Vec<Complex64> = (0..n).map(|i| r[i] - alpha * v[i]).collect();
-        if znorm(&s) / bnorm < options.tolerance {
+        let s_rel = znorm(&s) / bnorm;
+        if s_rel < options.tolerance {
             for i in 0..n {
                 x[i] += alpha * phat[i];
             }
+            record(it, s_rel);
             return Ok((
                 x,
                 IterativeStats {
                     iterations: it,
-                    residual: znorm(&s) / bnorm,
+                    residual: s_rel,
                 },
             ));
         }
@@ -164,9 +188,10 @@ fn bicgstab_inner(
         let t = a.matvec(&shat);
         let tt = zdotc(&t, &t);
         if tt.abs() < 1e-300 {
+            record(it, s_rel);
             return Err(LinalgError::NoConvergence {
                 iterations: it,
-                residual: znorm(&s) / bnorm,
+                residual: s_rel,
             });
         }
         omega = zdotc(&t, &s) / tt;
@@ -175,6 +200,7 @@ fn bicgstab_inner(
             r[i] = s[i] - omega * t[i];
         }
         let rel = znorm(&r) / bnorm;
+        record(it, rel);
         if rel < options.tolerance {
             return Ok((
                 x,

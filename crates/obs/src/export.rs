@@ -1,0 +1,348 @@
+//! Post-hoc exporters for the flight recorder: Chrome trace-event JSON,
+//! aggregated self-time profiles, and collapsed flamegraph stacks.
+//!
+//! All exporters are pure functions over a slice of captured
+//! [`SpanRecord`]s, hand-rolled on `std` like the registry's JSON snapshot.
+//! Export is *post-hoc* — the recorder accumulates in memory and the
+//! exporters render at the end of the run — rather than streaming, so the
+//! hot path never does I/O and a crash loses at most the trace, never the
+//! run (see DESIGN.md).
+//!
+//! [`export_from_env`] is the one-call exit hook binaries use:
+//!
+//! - `MAPS_TRACE=out.json` — Chrome trace-event JSON (`chrome://tracing`,
+//!   Perfetto `ui.perfetto.dev`)
+//! - `MAPS_PROFILE=out.txt` — aligned self-time table; a path ending in
+//!   `.folded` writes collapsed stacks for `flamegraph.pl` instead
+//! - `MAPS_SERIES=dir/` — one CSV per registered series
+
+use crate::metrics::JsonWriter;
+use crate::recorder;
+use crate::series::write_series_csv;
+use crate::span::SpanRecord;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// Renders spans as Chrome trace-event JSON (complete `"X"` events with
+/// `ts`/`dur` in microseconds, `tid` from the span's thread, and span
+/// fields as `args`). The output opens directly in `chrome://tracing` and
+/// Perfetto. Events are emitted in begin-time order.
+pub fn chrome_trace(spans: &[SpanRecord]) -> String {
+    let mut order: Vec<&SpanRecord> = spans.iter().collect();
+    order.sort_by(|a, b| a.begin.cmp(&b.begin).then(a.depth.cmp(&b.depth)));
+    let mut w = JsonWriter::new(false);
+    w.open_obj();
+    w.key("traceEvents");
+    w.open_arr();
+    for span in order {
+        w.elem();
+        w.open_obj();
+        w.key("name");
+        w.string(&span.name);
+        w.key("cat");
+        w.string("maps");
+        w.key("ph");
+        w.string("X");
+        w.key("ts");
+        w.number(span.begin.as_secs_f64() * 1e6);
+        w.key("dur");
+        w.number(span.duration.as_secs_f64() * 1e6);
+        w.key("pid");
+        w.raw("1");
+        w.key("tid");
+        w.raw(&span.thread_id.to_string());
+        if !span.fields.is_empty() {
+            w.key("args");
+            w.open_obj();
+            for (k, v) in &span.fields {
+                w.key(k);
+                w.string(v);
+            }
+            w.close_obj();
+        }
+        w.close_obj();
+    }
+    w.close_arr();
+    w.key("displayTimeUnit");
+    w.string("ms");
+    w.key("otherData");
+    w.open_obj();
+    w.key("dropped_spans");
+    w.raw(&recorder::dropped().to_string());
+    w.close_obj();
+    w.close_obj();
+    w.finish()
+}
+
+/// Per-span-name aggregate of the profile: call count, total (inclusive)
+/// time, self (exclusive) time, and exact p50/p99 of per-call durations.
+#[derive(Clone, Debug)]
+pub struct ProfileEntry {
+    /// Span name.
+    pub name: String,
+    /// Number of completed spans with this name.
+    pub count: u64,
+    /// Sum of wall-clock durations (children included).
+    pub total: Duration,
+    /// Sum of durations minus time spent in recorded child spans.
+    pub self_time: Duration,
+    /// Median per-call duration (exact over captured calls).
+    pub p50: Duration,
+    /// 99th-percentile per-call duration (exact over captured calls).
+    pub p99: Duration,
+}
+
+/// Self (exclusive) time of each span, parallel to `spans`.
+///
+/// Relies on two invariants the recorder guarantees: RAII spans complete
+/// children-before-parents, and the capture preserves per-thread completion
+/// order. Each span's self time is its duration minus the total duration of
+/// its *recorded* direct children; if the ring evicted children, their time
+/// re-attributes to the parent's self time (the trace metadata carries the
+/// dropped count so this is visible).
+fn self_times(spans: &[SpanRecord]) -> Vec<Duration> {
+    // Per (thread, depth+1): durations of completed children awaiting
+    // their parent.
+    let mut pending: HashMap<(u64, usize), Duration> = HashMap::new();
+    let mut out = Vec::with_capacity(spans.len());
+    for span in spans {
+        let children = pending
+            .remove(&(span.thread_id, span.depth + 1))
+            .unwrap_or(Duration::ZERO);
+        out.push(span.duration.saturating_sub(children));
+        *pending
+            .entry((span.thread_id, span.depth))
+            .or_insert(Duration::ZERO) += span.duration;
+    }
+    out
+}
+
+/// Aggregates spans into per-name [`ProfileEntry`]s, sorted by total time
+/// descending.
+pub fn profile(spans: &[SpanRecord]) -> Vec<ProfileEntry> {
+    let selfs = self_times(spans);
+    let mut by_name: HashMap<&str, (u64, Duration, Duration, Vec<Duration>)> = HashMap::new();
+    for (span, self_time) in spans.iter().zip(&selfs) {
+        let entry =
+            by_name
+                .entry(&span.name)
+                .or_insert((0, Duration::ZERO, Duration::ZERO, Vec::new()));
+        entry.0 += 1;
+        entry.1 += span.duration;
+        entry.2 += *self_time;
+        entry.3.push(span.duration);
+    }
+    let mut entries: Vec<ProfileEntry> = by_name
+        .into_iter()
+        .map(|(name, (count, total, self_time, mut durations))| {
+            durations.sort_unstable();
+            let pick = |p: usize| durations[(durations.len() * p / 100).min(durations.len() - 1)];
+            ProfileEntry {
+                name: name.to_string(),
+                count,
+                total,
+                self_time,
+                p50: pick(50),
+                p99: pick(99),
+            }
+        })
+        .collect();
+    entries.sort_by(|a, b| b.total.cmp(&a.total).then(a.name.cmp(&b.name)));
+    entries
+}
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+/// Renders profile entries as an aligned text table (times in ms).
+pub fn profile_table(entries: &[ProfileEntry]) -> String {
+    let name_width = entries
+        .iter()
+        .map(|e| e.name.len())
+        .chain(std::iter::once("span".len()))
+        .max()
+        .unwrap_or(4);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<name_width$}  {:>8}  {:>12}  {:>12}  {:>10}  {:>10}",
+        "span", "calls", "total_ms", "self_ms", "p50_ms", "p99_ms"
+    );
+    for e in entries {
+        let _ = writeln!(
+            out,
+            "{:<name_width$}  {:>8}  {:>12.3}  {:>12.3}  {:>10.3}  {:>10.3}",
+            e.name,
+            e.count,
+            ms(e.total),
+            ms(e.self_time),
+            ms(e.p50),
+            ms(e.p99)
+        );
+    }
+    out
+}
+
+/// Renders spans as collapsed flamegraph stacks: one
+/// `root;child;leaf <self-time-in-us>` line per distinct stack, ready for
+/// `flamegraph.pl` / speedscope. Stacks are reconstructed per thread from
+/// begin offsets and depths.
+pub fn collapsed_stacks(spans: &[SpanRecord]) -> String {
+    let selfs = self_times(spans);
+    // Chronological open order per thread, parents before children.
+    let mut order: Vec<usize> = (0..spans.len()).collect();
+    order.sort_by(|&a, &b| {
+        spans[a]
+            .thread_id
+            .cmp(&spans[b].thread_id)
+            .then(spans[a].begin.cmp(&spans[b].begin))
+            .then(spans[a].depth.cmp(&spans[b].depth))
+    });
+    let mut totals: HashMap<String, u128> = HashMap::new();
+    let mut stack: Vec<usize> = Vec::new();
+    let mut current_tid = None;
+    for &i in &order {
+        let span = &spans[i];
+        if current_tid != Some(span.thread_id) {
+            stack.clear();
+            current_tid = Some(span.thread_id);
+        }
+        while stack
+            .last()
+            .is_some_and(|&top| spans[top].depth >= span.depth)
+        {
+            stack.pop();
+        }
+        let mut path = String::new();
+        for &frame in stack.iter() {
+            path.push_str(&spans[frame].name);
+            path.push(';');
+        }
+        path.push_str(&span.name);
+        *totals.entry(path).or_insert(0) += selfs[i].as_micros();
+        stack.push(i);
+    }
+    let mut lines: Vec<(String, u128)> = totals.into_iter().collect();
+    lines.sort();
+    let mut out = String::new();
+    for (path, us) in lines {
+        let _ = writeln!(out, "{path} {us}");
+    }
+    out
+}
+
+/// Exports everything the environment asked for, from the current recorder
+/// and series contents: `MAPS_TRACE` (Chrome trace JSON), `MAPS_PROFILE`
+/// (self-time table, or collapsed stacks when the path ends in `.folded`),
+/// and `MAPS_SERIES` (a directory of per-series CSVs). Returns the written
+/// paths. Call at the end of a run — export is post-hoc by design.
+///
+/// # Errors
+///
+/// Returns the first I/O error encountered writing an export target.
+pub fn export_from_env() -> std::io::Result<Vec<PathBuf>> {
+    // Creating parent directories here, not erroring, is deliberate: this
+    // runs at the END of a run, and a missing directory must not discard
+    // an entire flight's telemetry.
+    fn write_creating_dirs(path: &str, contents: String) -> std::io::Result<()> {
+        if let Some(parent) = std::path::Path::new(path).parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        std::fs::write(path, contents)
+    }
+    let mut written = Vec::new();
+    let var = |k: &str| std::env::var(k).ok().filter(|v| !v.is_empty());
+    if let Some(path) = var("MAPS_TRACE") {
+        let spans = recorder::snapshot();
+        write_creating_dirs(&path, chrome_trace(&spans))?;
+        written.push(PathBuf::from(path));
+    }
+    if let Some(path) = var("MAPS_PROFILE") {
+        let spans = recorder::snapshot();
+        let text = if path.ends_with(".folded") {
+            collapsed_stacks(&spans)
+        } else {
+            profile_table(&profile(&spans))
+        };
+        write_creating_dirs(&path, text)?;
+        written.push(PathBuf::from(path));
+    }
+    if let Some(dir) = var("MAPS_SERIES") {
+        written.extend(write_series_csv(dir)?);
+    }
+    Ok(written)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(name: &str, depth: usize, thread_id: u64, begin_us: u64, dur_us: u64) -> SpanRecord {
+        SpanRecord {
+            name: name.to_string(),
+            fields: Vec::new(),
+            depth,
+            begin: Duration::from_micros(begin_us),
+            thread_id,
+            duration: Duration::from_micros(dur_us),
+        }
+    }
+
+    #[test]
+    fn self_time_subtracts_direct_children_only() {
+        // Completion order: grandchild, child, child2, parent.
+        let spans = vec![
+            record("grandchild", 2, 1, 10, 20),
+            record("child", 1, 1, 5, 40),
+            record("child2", 1, 1, 50, 30),
+            record("parent", 0, 1, 0, 100),
+        ];
+        let selfs = self_times(&spans);
+        assert_eq!(selfs[0], Duration::from_micros(20));
+        assert_eq!(selfs[1], Duration::from_micros(20)); // 40 - 20
+        assert_eq!(selfs[2], Duration::from_micros(30));
+        assert_eq!(selfs[3], Duration::from_micros(30)); // 100 - 40 - 30
+    }
+
+    #[test]
+    fn profile_totals_and_percentiles() {
+        let spans = vec![
+            record("solve", 0, 1, 0, 10),
+            record("solve", 0, 1, 20, 30),
+            record("solve", 0, 1, 60, 20),
+        ];
+        let entries = profile(&spans);
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].count, 3);
+        assert_eq!(entries[0].total, Duration::from_micros(60));
+        assert_eq!(entries[0].self_time, Duration::from_micros(60));
+        assert_eq!(entries[0].p50, Duration::from_micros(20));
+        assert_eq!(entries[0].p99, Duration::from_micros(30));
+    }
+
+    #[test]
+    fn collapsed_stacks_join_with_semicolons() {
+        let spans = vec![record("inner", 1, 1, 10, 20), record("outer", 0, 1, 0, 100)];
+        let text = collapsed_stacks(&spans);
+        assert!(text.contains("outer;inner 20\n"), "{text}");
+        assert!(text.contains("outer 80\n"), "{text}");
+    }
+
+    #[test]
+    fn chrome_trace_shape() {
+        let mut span = record("solve", 0, 3, 5, 10);
+        span.fields.push(("grid".into(), "64x64".into()));
+        let json = chrome_trace(&[span]);
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"ts\":5"));
+        assert!(json.contains("\"dur\":10"));
+        assert!(json.contains("\"tid\":3"));
+        assert!(json.contains("\"args\":{\"grid\":\"64x64\"}"));
+    }
+}

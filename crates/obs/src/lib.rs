@@ -23,6 +23,23 @@
 //!   formatting, so instrumented hot paths do no I/O and no allocation for
 //!   log calls when observability is off.
 //!
+//! On top of those, the *flight recorder* adds post-hoc run forensics:
+//!
+//! - **Recorder** ([`recorder`]): a capacity-bounded drop-oldest ring of
+//!   completed [`SpanRecord`]s (knob: `MAPS_RECORDER_CAP`), each stamped
+//!   with a begin offset from the process [`epoch`] and a stable
+//!   [`current_thread_id`]. Auto-enables when an export knob is set.
+//! - **Exporters** ([`chrome_trace`], [`profile`], [`collapsed_stacks`],
+//!   [`export_from_env`]): Chrome trace-event JSON for
+//!   `chrome://tracing`/Perfetto (`MAPS_TRACE=out.json`), and aggregated
+//!   self-time profiles as an aligned table or flamegraph collapsed stacks
+//!   (`MAPS_PROFILE=out.txt|out.folded`).
+//! - **Series** ([`series`], [`write_series_csv`]): append-only
+//!   `(step, value)` convergence trajectories with byte-stable CSV/JSONL
+//!   export (`MAPS_SERIES=dir/`).
+//! - **Reports** ([`RunReport`]): slowest spans, cache hit rates, and
+//!   convergence summaries rendered as text at the end of a run.
+//!
 //! ```
 //! let _guard = maps_obs::span("solve").field("grid", 64);
 //! maps_obs::counter("solver.calls").inc();
@@ -31,14 +48,22 @@
 //! assert!(snapshot.contains("solver.calls"));
 //! ```
 
+mod export;
 mod level;
 mod metrics;
 pub mod recorder;
+mod report;
+mod series;
 mod span;
 
+pub use export::{
+    chrome_trace, collapsed_stacks, export_from_env, profile, profile_table, ProfileEntry,
+};
 pub use level::{emit, enabled, level, set_level, Level};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, Registry};
-pub use span::{span, Span, SpanRecord};
+pub use report::{RunReport, SeriesSummary, SpanStat};
+pub use series::{all_series, series, series_reset, write_series_csv, Series};
+pub use span::{current_thread_id, epoch, span, Span, SpanRecord};
 
 use std::sync::OnceLock;
 

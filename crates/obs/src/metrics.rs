@@ -304,6 +304,30 @@ impl Registry {
         map.get(name).map(|h| Histogram(Arc::clone(h)).snapshot())
     }
 
+    /// Every counter with its current value, in name order.
+    pub fn counters(&self) -> Vec<(String, u64)> {
+        let map = self.counters.lock().expect("counter map");
+        map.iter()
+            .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+            .collect()
+    }
+
+    /// Every gauge with its current value, in name order.
+    pub fn gauges(&self) -> Vec<(String, f64)> {
+        let map = self.gauges.lock().expect("gauge map");
+        map.iter()
+            .map(|(k, v)| (k.clone(), f64::from_bits(v.load(Ordering::Relaxed))))
+            .collect()
+    }
+
+    /// Every histogram with a point-in-time snapshot, in name order.
+    pub fn histograms(&self) -> Vec<(String, HistogramSnapshot)> {
+        let map = self.histograms.lock().expect("histogram map");
+        map.iter()
+            .map(|(k, v)| (k.clone(), Histogram(Arc::clone(v)).snapshot()))
+            .collect()
+    }
+
     /// Drops every instrument (test isolation; outstanding handles keep
     /// working but detach from the registry).
     pub fn reset(&self) {
@@ -323,24 +347,9 @@ impl Registry {
     }
 
     fn write_json(&self, pretty: bool) -> String {
-        let counters: Vec<(String, u64)> = {
-            let map = self.counters.lock().expect("counter map");
-            map.iter()
-                .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
-                .collect()
-        };
-        let gauges: Vec<(String, f64)> = {
-            let map = self.gauges.lock().expect("gauge map");
-            map.iter()
-                .map(|(k, v)| (k.clone(), f64::from_bits(v.load(Ordering::Relaxed))))
-                .collect()
-        };
-        let histograms: Vec<(String, HistogramSnapshot)> = {
-            let map = self.histograms.lock().expect("histogram map");
-            map.iter()
-                .map(|(k, v)| (k.clone(), Histogram(Arc::clone(v)).snapshot()))
-                .collect()
-        };
+        let counters = self.counters();
+        let gauges = self.gauges();
+        let histograms = self.histograms();
 
         let mut w = JsonWriter::new(pretty);
         w.open_obj();
@@ -387,7 +396,9 @@ impl Registry {
 
 // --- minimal JSON writer ---------------------------------------------------
 
-struct JsonWriter {
+/// Hand-rolled JSON emitter shared by the registry snapshot and the trace
+/// exporters (crate-internal: the public surface is the rendered strings).
+pub(crate) struct JsonWriter {
     out: String,
     pretty: bool,
     depth: usize,
@@ -396,7 +407,7 @@ struct JsonWriter {
 }
 
 impl JsonWriter {
-    fn new(pretty: bool) -> Self {
+    pub(crate) fn new(pretty: bool) -> Self {
         Self {
             out: String::new(),
             pretty,
@@ -424,13 +435,13 @@ impl JsonWriter {
         self.newline_indent();
     }
 
-    fn open_obj(&mut self) {
+    pub(crate) fn open_obj(&mut self) {
         self.out.push('{');
         self.depth += 1;
         self.need_comma.push(false);
     }
 
-    fn close_obj(&mut self) {
+    pub(crate) fn close_obj(&mut self) {
         let had_entries = self.need_comma.pop().unwrap_or(false);
         self.depth -= 1;
         if had_entries {
@@ -439,7 +450,30 @@ impl JsonWriter {
         self.out.push('}');
     }
 
-    fn key(&mut self, k: &str) {
+    /// Opens an array *entry* in the current container (call after
+    /// [`JsonWriter::key`] inside objects, or directly inside arrays).
+    pub(crate) fn open_arr(&mut self) {
+        self.out.push('[');
+        self.depth += 1;
+        self.need_comma.push(false);
+    }
+
+    pub(crate) fn close_arr(&mut self) {
+        let had_entries = self.need_comma.pop().unwrap_or(false);
+        self.depth -= 1;
+        if had_entries {
+            self.newline_indent();
+        }
+        self.out.push(']');
+    }
+
+    /// Starts a new element of the enclosing array (comma/indent handling);
+    /// follow with `open_obj`/`string`/`number`/`raw`.
+    pub(crate) fn elem(&mut self) {
+        self.before_entry();
+    }
+
+    pub(crate) fn key(&mut self, k: &str) {
         self.before_entry();
         self.string(k);
         self.out.push(':');
@@ -448,7 +482,7 @@ impl JsonWriter {
         }
     }
 
-    fn string(&mut self, s: &str) {
+    pub(crate) fn string(&mut self, s: &str) {
         self.out.push('"');
         for c in s.chars() {
             match c {
@@ -466,7 +500,7 @@ impl JsonWriter {
         self.out.push('"');
     }
 
-    fn number(&mut self, v: f64) {
+    pub(crate) fn number(&mut self, v: f64) {
         if v.is_finite() {
             let _ = write!(self.out, "{v}");
         } else {
@@ -475,11 +509,11 @@ impl JsonWriter {
         }
     }
 
-    fn raw(&mut self, s: &str) {
+    pub(crate) fn raw(&mut self, s: &str) {
         self.out.push_str(s);
     }
 
-    fn finish(self) -> String {
+    pub(crate) fn finish(self) -> String {
         self.out
     }
 }

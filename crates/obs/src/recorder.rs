@@ -1,41 +1,134 @@
-//! In-memory span recorder for tests.
+//! The flight recorder: a capacity-bounded, in-memory ring of completed
+//! spans.
 //!
-//! Disabled by default so production paths pay only a relaxed atomic load
-//! per span. Tests call [`enable`], run instrumented code, then [`take`] the
-//! captured [`SpanRecord`]s for assertions.
+//! Off by default, so production paths pay only one relaxed atomic load per
+//! span. Recording turns on in two ways:
+//!
+//! - explicitly, via [`enable`] (tests do this, then [`take`] the captured
+//!   [`SpanRecord`]s for assertions);
+//! - implicitly, when any of the export knobs `MAPS_TRACE`, `MAPS_PROFILE`,
+//!   or `MAPS_SERIES` is set in the environment — a run that asked for an
+//!   export needs the spans captured to have something to export.
+//!
+//! The buffer is a drop-oldest ring bounded by `MAPS_RECORDER_CAP` spans
+//! (default [`DEFAULT_CAPACITY`]; `0` means unbounded), so week-long
+//! inverse-design runs keep the most recent window of activity at a fixed
+//! memory ceiling instead of growing without limit. [`dropped`] reports how
+//! many spans the ring has evicted since the last [`enable`]/[`take`] reset,
+//! and the exporters surface that count so a truncated trace is never
+//! mistaken for a complete one.
 
 use crate::span::SpanRecord;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-static ENABLED: AtomicBool = AtomicBool::new(false);
-static RECORDS: Mutex<Vec<SpanRecord>> = Mutex::new(Vec::new());
+/// Ring capacity when `MAPS_RECORDER_CAP` is unset.
+pub const DEFAULT_CAPACITY: usize = 65_536;
 
-/// Starts capturing completed spans (clears any previous capture).
+const STATE_UNSET: u8 = 0;
+const STATE_OFF: u8 = 1;
+const STATE_ON: u8 = 2;
+
+static STATE: AtomicU8 = AtomicU8::new(STATE_UNSET);
+static RECORDS: Mutex<VecDeque<SpanRecord>> = Mutex::new(VecDeque::new());
+static DROPPED: AtomicU64 = AtomicU64::new(0);
+/// Capacity override; `usize::MAX` means "not set, consult the env".
+static CAPACITY: AtomicUsize = AtomicUsize::new(usize::MAX);
+
+fn env_capacity() -> usize {
+    match std::env::var("MAPS_RECORDER_CAP") {
+        Ok(v) => v.trim().parse::<usize>().unwrap_or(DEFAULT_CAPACITY),
+        Err(_) => DEFAULT_CAPACITY,
+    }
+}
+
+/// The ring's span capacity (0 = unbounded). Reads `MAPS_RECORDER_CAP` on
+/// first call unless [`set_capacity`] overrode it.
+pub fn capacity() -> usize {
+    let cap = CAPACITY.load(Ordering::Relaxed);
+    if cap != usize::MAX {
+        return cap;
+    }
+    let parsed = env_capacity();
+    CAPACITY.store(parsed, Ordering::Relaxed);
+    parsed
+}
+
+/// Overrides the ring capacity (wins over `MAPS_RECORDER_CAP`). Existing
+/// excess records are evicted oldest-first on the next record, not eagerly.
+pub fn set_capacity(cap: usize) {
+    CAPACITY.store(cap, Ordering::Relaxed);
+}
+
+/// Starts capturing completed spans (clears any previous capture and the
+/// dropped-span count).
 pub fn enable() {
     RECORDS.lock().expect("span recorder").clear();
-    ENABLED.store(true, Ordering::Release);
+    DROPPED.store(0, Ordering::Relaxed);
+    STATE.store(STATE_ON, Ordering::Release);
 }
 
 /// Stops capturing and discards anything captured so far.
 pub fn disable() {
-    ENABLED.store(false, Ordering::Release);
+    STATE.store(STATE_OFF, Ordering::Release);
     RECORDS.lock().expect("span recorder").clear();
+    DROPPED.store(0, Ordering::Relaxed);
 }
 
-/// True while the recorder is capturing.
+/// True while the recorder is capturing. The first call decides the initial
+/// state from the environment: recording starts enabled when any of
+/// `MAPS_TRACE`, `MAPS_PROFILE`, or `MAPS_SERIES` is set.
 pub fn is_enabled() -> bool {
-    ENABLED.load(Ordering::Acquire)
+    match STATE.load(Ordering::Acquire) {
+        STATE_ON => true,
+        STATE_OFF => false,
+        _ => {
+            let on = ["MAPS_TRACE", "MAPS_PROFILE", "MAPS_SERIES"]
+                .iter()
+                .any(|k| std::env::var_os(k).is_some());
+            STATE.store(if on { STATE_ON } else { STATE_OFF }, Ordering::Release);
+            on
+        }
+    }
 }
 
 /// Drains and returns the spans captured since [`enable`] (capture
-/// continues).
+/// continues; the dropped-span count resets with the drain).
 pub fn take() -> Vec<SpanRecord> {
-    std::mem::take(&mut *RECORDS.lock().expect("span recorder"))
+    DROPPED.store(0, Ordering::Relaxed);
+    let mut guard = RECORDS.lock().expect("span recorder");
+    guard.drain(..).collect()
+}
+
+/// Clones the captured spans without draining them (exporters use this so
+/// the trace, profile, and report can all read the same capture).
+pub fn snapshot() -> Vec<SpanRecord> {
+    RECORDS
+        .lock()
+        .expect("span recorder")
+        .iter()
+        .cloned()
+        .collect()
+}
+
+/// Spans evicted oldest-first since the last [`enable`]/[`take`] because
+/// the ring was full.
+pub fn dropped() -> u64 {
+    DROPPED.load(Ordering::Relaxed)
 }
 
 pub(crate) fn record_span(record: SpanRecord) {
-    if is_enabled() {
-        RECORDS.lock().expect("span recorder").push(record);
+    if !is_enabled() {
+        return;
     }
+    let cap = capacity();
+    let mut guard = RECORDS.lock().expect("span recorder");
+    if cap > 0 {
+        while guard.len() >= cap {
+            guard.pop_front();
+            DROPPED.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+    guard.push_back(record);
 }

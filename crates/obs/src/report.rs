@@ -1,0 +1,227 @@
+//! Human-readable run reports: slowest spans, cache hit rates, and
+//! convergence summaries.
+//!
+//! A [`RunReport`] is a plain data holder so it can be built two ways: from
+//! the live process globals at the end of a run
+//! ([`RunReport::from_globals`]), or from a finished run's exported
+//! artifacts (the `run_report` example parses a registry snapshot JSON and
+//! a series directory back into the same struct). [`RunReport::render`]
+//! turns either into the same text report.
+
+use std::fmt::Write as _;
+
+/// Aggregate timing of one span name.
+#[derive(Clone, Debug)]
+pub struct SpanStat {
+    /// Span name (without the `span.` / `.seconds` wrapping).
+    pub name: String,
+    /// Completed-call count.
+    pub count: u64,
+    /// Total seconds across calls.
+    pub total_seconds: f64,
+}
+
+/// Summary of one convergence series.
+#[derive(Clone, Debug)]
+pub struct SeriesSummary {
+    /// Series name.
+    pub name: String,
+    /// Number of recorded points.
+    pub points: usize,
+    /// Value at the first recorded step.
+    pub first: f64,
+    /// Value at the last recorded step.
+    pub last: f64,
+    /// Smallest recorded value.
+    pub min: f64,
+    /// Largest recorded value.
+    pub max: f64,
+}
+
+impl SeriesSummary {
+    /// Builds a summary from raw points (`None` when empty).
+    pub fn from_points(name: &str, points: &[(u64, f64)]) -> Option<Self> {
+        let (first, last) = (points.first()?.1, points.last()?.1);
+        Some(SeriesSummary {
+            name: name.to_string(),
+            points: points.len(),
+            first,
+            last,
+            min: points.iter().map(|p| p.1).fold(f64::INFINITY, f64::min),
+            max: points.iter().map(|p| p.1).fold(f64::NEG_INFINITY, f64::max),
+        })
+    }
+}
+
+/// Everything the report prints, decoupled from where it came from.
+#[derive(Clone, Debug, Default)]
+pub struct RunReport {
+    /// Per-span-name timing aggregates.
+    pub spans: Vec<SpanStat>,
+    /// Counter values by name.
+    pub counters: Vec<(String, u64)>,
+    /// Convergence series summaries.
+    pub series: Vec<SeriesSummary>,
+}
+
+impl RunReport {
+    /// Builds a report from the process-wide registry (the `span.*.seconds`
+    /// histograms), counters, and series registry.
+    pub fn from_globals() -> Self {
+        let mut spans = Vec::new();
+        for (name, snap) in crate::global().histograms() {
+            if let Some(stripped) = name
+                .strip_prefix("span.")
+                .and_then(|n| n.strip_suffix(".seconds"))
+            {
+                spans.push(SpanStat {
+                    name: stripped.to_string(),
+                    count: snap.count,
+                    total_seconds: snap.mean * snap.count as f64,
+                });
+            }
+        }
+        let series = crate::all_series()
+            .iter()
+            .filter_map(|s| SeriesSummary::from_points(s.name(), &s.points()))
+            .collect();
+        RunReport {
+            spans,
+            counters: crate::global().counters(),
+            series,
+        }
+    }
+
+    /// `X.hit`/`X.miss` counter pairs with at least one event, as
+    /// `(prefix, hits, misses)`. A cache that only ever missed (or only
+    /// ever hit) still shows up, with the absent side counted as zero.
+    fn cache_pairs(&self) -> Vec<(String, u64, u64)> {
+        let value = |name: String| self.counters.iter().find(|(n, _)| *n == name).map(|c| c.1);
+        let mut prefixes: Vec<&str> = self
+            .counters
+            .iter()
+            .filter_map(|(name, _)| {
+                name.strip_suffix(".hit")
+                    .or_else(|| name.strip_suffix(".miss"))
+            })
+            .collect();
+        prefixes.sort_unstable();
+        prefixes.dedup();
+        prefixes
+            .into_iter()
+            .filter_map(|prefix| {
+                let hits = value(format!("{prefix}.hit")).unwrap_or(0);
+                let misses = value(format!("{prefix}.miss")).unwrap_or(0);
+                (hits + misses > 0).then(|| (prefix.to_string(), hits, misses))
+            })
+            .collect()
+    }
+
+    /// Renders the report as aligned text.
+    pub fn render(&self) -> String {
+        let mut out = String::from("== run report ==\n");
+
+        let mut spans = self.spans.clone();
+        spans.sort_by(|a, b| {
+            b.total_seconds
+                .total_cmp(&a.total_seconds)
+                .then(a.name.cmp(&b.name))
+        });
+        out.push_str("\nslowest spans (by total time):\n");
+        if spans.is_empty() {
+            out.push_str("  (no spans recorded)\n");
+        }
+        for s in spans.iter().take(10) {
+            let mean_ms = if s.count > 0 {
+                s.total_seconds / s.count as f64 * 1e3
+            } else {
+                0.0
+            };
+            let _ = writeln!(
+                out,
+                "  {:<28} {:>8} calls  {:>10.3} s total  {:>10.3} ms/call",
+                s.name, s.count, s.total_seconds, mean_ms
+            );
+        }
+
+        let caches = self.cache_pairs();
+        if !caches.is_empty() {
+            out.push_str("\ncache hit rates:\n");
+            for (name, hits, misses) in caches {
+                let rate = hits as f64 / (hits + misses) as f64 * 100.0;
+                let _ = writeln!(
+                    out,
+                    "  {name:<28} {rate:>6.1}%  ({hits} hits / {misses} misses)"
+                );
+            }
+        }
+
+        if !self.series.is_empty() {
+            out.push_str("\nconvergence series:\n");
+            for s in &self.series {
+                let _ = writeln!(
+                    out,
+                    "  {:<28} {:>6} points  first {:>12.6}  last {:>12.6}  min {:>12.6}  max {:>12.6}",
+                    s.name, s.points, s.first, s.last, s.min, s.max
+                );
+            }
+        }
+
+        let interesting = ["quarantined", "failures", "recoveries", "retries"];
+        let flagged: Vec<&(String, u64)> = self
+            .counters
+            .iter()
+            .filter(|(n, v)| *v > 0 && interesting.iter().any(|k| n.contains(k)))
+            .collect();
+        if !flagged.is_empty() {
+            out.push_str("\nincidents:\n");
+            for (name, v) in flagged {
+                let _ = writeln!(out, "  {name:<28} {v}");
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_orders_spans_and_computes_hit_rate() {
+        let report = RunReport {
+            spans: vec![
+                SpanStat {
+                    name: "fast".into(),
+                    count: 100,
+                    total_seconds: 0.5,
+                },
+                SpanStat {
+                    name: "slow".into(),
+                    count: 2,
+                    total_seconds: 3.0,
+                },
+            ],
+            counters: vec![
+                ("fdfd.factor_cache.hit".into(), 9),
+                ("fdfd.factor_cache.miss".into(), 1),
+                ("samples.quarantined".into(), 2),
+            ],
+            series: vec![SeriesSummary::from_points("obj", &[(0, 0.1), (1, 0.4)]).unwrap()],
+        };
+        let text = report.render();
+        let slow_at = text.find("slow").unwrap();
+        let fast_at = text.find("fast").unwrap();
+        assert!(slow_at < fast_at, "slowest span first:\n{text}");
+        assert!(text.contains("90.0%"), "{text}");
+        assert!(text.contains("samples.quarantined"), "{text}");
+        assert!(text.contains("obj"), "{text}");
+    }
+
+    #[test]
+    fn series_summary_tracks_extremes() {
+        let s = SeriesSummary::from_points("t", &[(0, 3.0), (1, -1.0), (2, 2.0)]).unwrap();
+        assert_eq!((s.first, s.last, s.min, s.max), (3.0, 2.0, -1.0, 3.0));
+        assert!(SeriesSummary::from_points("empty", &[]).is_none());
+    }
+}

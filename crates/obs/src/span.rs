@@ -1,49 +1,107 @@
-//! RAII tracing spans with per-thread nesting.
+//! RAII tracing spans with per-thread nesting, monotonic begin offsets, and
+//! stable thread ids.
+//!
+//! Every span is timed against a process-wide epoch (the first instant the
+//! tracing machinery is touched), so completed spans carry a `begin` offset
+//! and a `duration` that together place them on a global timeline — exactly
+//! what the Chrome-trace exporter in [`crate::export`] needs. Thread ids are
+//! small integers handed out in first-use order, stable for the life of each
+//! thread.
+//!
+//! ## Disabled fast path
+//!
+//! When neither the flight [`recorder`] nor `MAPS_LOG=debug` is active, a
+//! span skips the nesting-depth bookkeeping, field storage, and record
+//! construction entirely; the only residual work is the two clock reads and
+//! one histogram record (`span.<name>.seconds`) that keep the metrics
+//! registry authoritative. Names are `Cow<'static, str>`, so the ubiquitous
+//! string-literal call sites never allocate for the name itself.
 
 use crate::level::{emit, enabled, Level};
 use crate::recorder;
+use std::borrow::Cow;
 use std::cell::Cell;
 use std::fmt::Display;
 use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
 use std::time::{Duration, Instant};
 
 thread_local! {
     static DEPTH: Cell<usize> = const { Cell::new(0) };
 }
 
+static NEXT_THREAD_ID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    static THREAD_ID: u64 = NEXT_THREAD_ID.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Stable small-integer id of the calling thread (assigned on first use,
+/// constant for the thread's lifetime). Used as the `tid` of exported trace
+/// events.
+pub fn current_thread_id() -> u64 {
+    THREAD_ID.with(|t| *t)
+}
+
+/// The process trace epoch: the instant the tracing machinery was first
+/// touched. All [`SpanRecord::begin`] offsets are relative to this.
+pub fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
 /// Opens a span named `name` on the current thread.
 ///
 /// The returned guard measures wall-clock time until it is dropped. On drop
 /// the duration is recorded into the global registry (histogram
-/// `span.<name>.seconds`), appended to the in-memory [`recorder`] when that
-/// is enabled, and — at `MAPS_LOG=debug` — an exit line with the timing and
-/// any fields is printed to stderr, indented by nesting depth.
-pub fn span(name: impl Into<String>) -> Span {
+/// `span.<name>.seconds`); when the flight [`recorder`] is enabled a
+/// [`SpanRecord`] with begin offset and thread id is appended to it, and —
+/// at `MAPS_LOG=debug` — entry/exit lines with timings and fields are
+/// printed to stderr, indented by nesting depth.
+pub fn span(name: impl Into<Cow<'static, str>>) -> Span {
     let name = name.into();
-    let depth = DEPTH.with(|d| {
-        let v = d.get();
-        d.set(v + 1);
-        v
-    });
-    if enabled(Level::Debug) {
-        emit(
-            Level::Debug,
-            &format!("{:indent$}-> {name}", "", indent = 2 * depth),
-        );
-    }
+    // The fast path: with the recorder off and debug logging off the span
+    // is only a timer feeding the metrics registry, so skip the per-thread
+    // depth bookkeeping and the entry line. `active` is latched at open so
+    // a recorder toggled mid-span cannot observe a half-initialized record.
+    let active = recorder::is_enabled() || enabled(Level::Debug);
+    let depth = if active {
+        let depth = DEPTH.with(|d| {
+            let v = d.get();
+            d.set(v + 1);
+            v
+        });
+        if enabled(Level::Debug) {
+            emit(
+                Level::Debug,
+                &format!("{:indent$}-> {name}", "", indent = 2 * depth),
+            );
+        }
+        depth
+    } else {
+        0
+    };
+    // Touch the epoch before reading the start clock so `start >= epoch`
+    // always holds and begin offsets never saturate to zero artificially.
+    epoch();
     Span {
         name,
         fields: Vec::new(),
         depth,
+        active,
         start: Instant::now(),
     }
 }
 
 /// Guard created by [`span`]; timing stops when it drops.
 pub struct Span {
-    name: String,
+    name: Cow<'static, str>,
     fields: Vec<(String, String)>,
     depth: usize,
+    /// Latched at open: whether the recorder or debug logging wants the
+    /// full record (fields, depth bookkeeping, exit line).
+    active: bool,
     start: Instant,
 }
 
@@ -54,9 +112,13 @@ impl Span {
         self
     }
 
-    /// Attaches a `key=value` annotation after creation.
+    /// Attaches a `key=value` annotation after creation. A no-op on the
+    /// disabled fast path (nothing will read the fields), so hot call sites
+    /// pay no formatting or allocation when observability is off.
     pub fn add_field(&mut self, key: &str, value: impl Display) {
-        self.fields.push((key.to_string(), value.to_string()));
+        if self.active {
+            self.fields.push((key.to_string(), value.to_string()));
+        }
     }
 
     /// Time elapsed since the span opened.
@@ -73,14 +135,19 @@ impl Span {
 impl Drop for Span {
     fn drop(&mut self) {
         let duration = self.start.elapsed();
-        DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
         crate::global()
             .histogram(&format!("span.{}.seconds", self.name))
             .record(duration.as_secs_f64());
+        if !self.active {
+            return;
+        }
+        DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
         let record = SpanRecord {
-            name: std::mem::take(&mut self.name),
+            name: std::mem::take(&mut self.name).into_owned(),
             fields: std::mem::take(&mut self.fields),
             depth: self.depth,
+            begin: self.start.saturating_duration_since(epoch()),
+            thread_id: current_thread_id(),
             duration,
         };
         if enabled(Level::Debug) {
@@ -90,7 +157,7 @@ impl Drop for Span {
     }
 }
 
-/// One completed span, as captured by the in-memory [`recorder`].
+/// One completed span, as captured by the flight [`recorder`].
 #[derive(Clone, Debug)]
 pub struct SpanRecord {
     /// Span name.
@@ -99,6 +166,12 @@ pub struct SpanRecord {
     pub fields: Vec<(String, String)>,
     /// Nesting depth at open time (0 = top level on its thread).
     pub depth: usize,
+    /// Monotonic offset of the span's open relative to the process
+    /// [`epoch`].
+    pub begin: Duration,
+    /// Stable id of the thread the span ran on (see
+    /// [`current_thread_id`]).
+    pub thread_id: u64,
     /// Wall-clock duration.
     pub duration: Duration,
 }
@@ -110,6 +183,12 @@ impl SpanRecord {
             .iter()
             .find(|(k, _)| k == key)
             .map(|(_, v)| v.as_str())
+    }
+
+    /// Monotonic offset of the span's close relative to the process
+    /// [`epoch`].
+    pub fn end(&self) -> Duration {
+        self.begin + self.duration
     }
 }
 

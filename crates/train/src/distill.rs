@@ -100,6 +100,7 @@ pub fn distill_field_model(
     }
     TrainReport {
         epochs,
+        val_epochs: Vec::new(),
         normalizer,
         skipped_batches: 0,
     }

@@ -34,6 +34,6 @@ pub use loss::{interior_mask, physics_residual_loss, source_term_tensor, LossKin
 pub use metrics::{cosine, gradient_similarity, mean, n_l2norm, s_param_error};
 pub use neural_solver::NeuralFieldSolver;
 pub use trainer::{
-    evaluate_n_l2, predict_field, probe_encoding, scalar_targets, train_field_model, EpochRecord,
-    TrainConfig, TrainReport,
+    evaluate_n_l2, predict_field, probe_encoding, scalar_targets, train_field_model,
+    train_field_model_validated, EpochRecord, TrainConfig, TrainReport,
 };

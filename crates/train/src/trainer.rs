@@ -52,6 +52,9 @@ pub struct EpochRecord {
 pub struct TrainReport {
     /// Loss trajectory.
     pub epochs: Vec<EpochRecord>,
+    /// Per-epoch validation N-L2norm trajectory; empty unless the run went
+    /// through [`train_field_model_validated`] with a non-empty val set.
+    pub val_epochs: Vec<EpochRecord>,
     /// Field normalizer fitted on the training set (needed at inference).
     pub normalizer: FieldNormalizer,
     /// Batches whose loss was NaN/∞ and were skipped without an optimizer
@@ -64,6 +67,11 @@ impl TrainReport {
     pub fn final_loss(&self) -> f64 {
         self.epochs.last().map_or(f64::NAN, |e| e.loss)
     }
+
+    /// Final validation N-L2norm, when validation ran.
+    pub fn final_val(&self) -> Option<f64> {
+        self.val_epochs.last().map(|e| e.loss)
+    }
 }
 
 /// Trains a field model on labeled samples.
@@ -71,6 +79,29 @@ pub fn train_field_model(
     model: &dyn Model,
     params: &mut Params,
     samples: &[Sample],
+    config: &TrainConfig,
+) -> TrainReport {
+    train_impl(model, params, samples, &[], config)
+}
+
+/// Like [`train_field_model`], but additionally evaluates the N-L2norm on a
+/// held-out validation set after every epoch, recording the trajectory in
+/// [`TrainReport::val_epochs`] and the `train.val_nl2` series.
+pub fn train_field_model_validated(
+    model: &dyn Model,
+    params: &mut Params,
+    samples: &[Sample],
+    val_samples: &[Sample],
+    config: &TrainConfig,
+) -> TrainReport {
+    train_impl(model, params, samples, val_samples, config)
+}
+
+fn train_impl(
+    model: &dyn Model,
+    params: &mut Params,
+    samples: &[Sample],
+    val_samples: &[Sample],
     config: &TrainConfig,
 ) -> TrainReport {
     assert!(!samples.is_empty(), "empty training set");
@@ -83,13 +114,22 @@ pub fn train_field_model(
     loader_cfg.wave_prior = model.wants_wave_prior();
     let mut adam = Adam::new(config.learning_rate);
     let mut epochs = Vec::with_capacity(config.epochs);
+    let mut val_epochs = Vec::new();
     let mut skipped_batches = 0usize;
+    let loss_series = maps_obs::series("train.loss");
+    let val_series = maps_obs::series("train.val_nl2");
+    let grad_cos_series = maps_obs::series("train.grad_cosine");
+    // The previous epoch's summed parameter gradient, flattened in leaf
+    // order — compared against the current epoch's to measure how stable
+    // the descent direction is across epochs.
+    let mut prev_epoch_grad: Option<Vec<f64>> = None;
     for epoch in 0..config.epochs {
         let epoch_span = maps_obs::span("train.epoch").field("epoch", epoch);
         adam.lr = config.schedule.lr(config.learning_rate, epoch);
         loader_cfg.seed = config.loader.seed.wrapping_add(epoch as u64);
         let batches = make_batches(samples, normalizer, &loader_cfg);
         let mut losses = Vec::with_capacity(batches.len());
+        let mut epoch_grad: Vec<f64> = Vec::new();
         for batch in &batches {
             let mut tape = Tape::new();
             let x = tape.input(batch.input.clone());
@@ -143,6 +183,20 @@ pub fn train_field_model(
             }
             losses.push(loss_value);
             let grads = tape.backward(loss);
+            // Accumulate the epoch's gradient fingerprint. Parameter leaves
+            // appear in the same (model-forward) order every batch, so
+            // flat concatenation is a consistent coordinate system.
+            let mut offset = 0;
+            for (_, g) in grads.param_grads() {
+                let s = g.as_slice();
+                if epoch_grad.len() < offset + s.len() {
+                    epoch_grad.resize(offset + s.len(), 0.0);
+                }
+                for (acc, v) in epoch_grad[offset..offset + s.len()].iter_mut().zip(s) {
+                    *acc += *v;
+                }
+                offset += s.len();
+            }
             adam.step(params, &grads);
         }
         let epoch_loss = mean(&losses);
@@ -162,9 +216,28 @@ pub fn train_field_model(
             epoch,
             loss: epoch_loss,
         });
+        loss_series.push(epoch as u64, epoch_loss);
+        if let Some(prev) = &prev_epoch_grad {
+            if prev.len() == epoch_grad.len() && !epoch_grad.is_empty() {
+                let sim = crate::metrics::cosine(prev, &epoch_grad);
+                maps_obs::gauge("train.grad_cosine").set(sim);
+                grad_cos_series.push(epoch as u64, sim);
+            }
+        }
+        prev_epoch_grad = Some(epoch_grad);
+        if !val_samples.is_empty() {
+            let val_nl2 = evaluate_n_l2(model, params, val_samples, normalizer);
+            maps_obs::gauge("train.val_nl2").set(val_nl2);
+            val_series.push(epoch as u64, val_nl2);
+            val_epochs.push(EpochRecord {
+                epoch,
+                loss: val_nl2,
+            });
+        }
     }
     TrainReport {
         epochs,
+        val_epochs,
         normalizer,
         skipped_batches,
     }

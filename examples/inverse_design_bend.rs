@@ -54,5 +54,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         mfs as f64 * device.grid().dl * 1000.0
     );
     assert!(best > first, "optimization must improve the bend");
+
+    // Convergence CSVs (invdes.objective / gray_level / lr) and the run
+    // report. MAPS_TRACE/MAPS_PROFILE/MAPS_SERIES export too.
+    maps::obs::export_from_env()?;
+    if std::env::var_os("MAPS_SERIES").is_none() {
+        let dir = "target/series/inverse_design_bend";
+        let written = maps::obs::write_series_csv(dir)?;
+        println!("wrote {} convergence CSVs to {dir}", written.len());
+    }
+    println!("\n{}", maps::obs::RunReport::from_globals().render());
     Ok(())
 }

@@ -1,0 +1,152 @@
+//! Post-hoc run report: slowest spans, cache hit rates, and convergence
+//! summaries for a finished MAPS run.
+//!
+//! Two modes:
+//!
+//! ```text
+//! # Demo: run a small inverse design, export its artifacts, then read
+//! # them back and print the report.
+//! cargo run --release --example run_report
+//!
+//! # Forensics: report on a previous run's exported artifacts.
+//! cargo run --release --example run_report -- snapshot.json [series_dir]
+//! ```
+//!
+//! The snapshot is the registry JSON written by
+//! `maps::obs::global().to_json()` (or `to_json_pretty()`); the series
+//! directory holds the per-series CSVs written under `MAPS_SERIES`.
+
+use maps::obs::{RunReport, SeriesSummary, SpanStat};
+use serde::Value;
+use std::path::Path;
+
+/// Rebuilds a [`RunReport`] from a registry snapshot JSON file.
+fn report_from_snapshot(path: &Path) -> Result<RunReport, Box<dyn std::error::Error>> {
+    let text = std::fs::read_to_string(path)?;
+    let value: Value = serde_json::from_str(&text)?;
+    let mut report = RunReport::default();
+
+    if let Ok(Value::Obj(counters)) = value.field("counters") {
+        for (name, v) in counters {
+            report.counters.push((name.clone(), v.as_f64()? as u64));
+        }
+    }
+    if let Ok(Value::Obj(histograms)) = value.field("histograms") {
+        for (name, h) in histograms {
+            let Some(span_name) = name
+                .strip_prefix("span.")
+                .and_then(|n| n.strip_suffix(".seconds"))
+            else {
+                continue;
+            };
+            let count = h.field("count")?.as_f64()? as u64;
+            let mean = h.field("mean")?.as_f64()?;
+            report.spans.push(SpanStat {
+                name: span_name.to_string(),
+                count,
+                total_seconds: mean * count as f64,
+            });
+        }
+    }
+    Ok(report)
+}
+
+/// Summarizes every `*.csv` series file in a directory.
+fn series_from_dir(dir: &Path) -> Result<Vec<SeriesSummary>, Box<dyn std::error::Error>> {
+    let mut summaries = Vec::new();
+    let mut entries: Vec<_> = std::fs::read_dir(dir)?
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|e| e == "csv"))
+        .collect();
+    entries.sort();
+    for path in entries {
+        let name = path
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        let body = std::fs::read_to_string(&path)?;
+        let mut points = Vec::new();
+        for line in body.lines().skip(1) {
+            let Some((step, value)) = line.split_once(',') else {
+                continue;
+            };
+            points.push((step.trim().parse::<u64>()?, value.trim().parse::<f64>()?));
+        }
+        if let Some(summary) = SeriesSummary::from_points(&name, &points) {
+            summaries.push(summary);
+        }
+    }
+    Ok(summaries)
+}
+
+/// Runs a small instrumented inverse design so the demo has something to
+/// report on, and exports its artifacts to `dir`.
+fn demo_run(dir: &Path) -> Result<(), Box<dyn std::error::Error>> {
+    use maps::fdfd::{FdfdSolver, PmlConfig};
+    use maps::invdes::{ExactAdjoint, InitStrategy, InverseDesigner, OptimConfig};
+
+    maps::obs::recorder::enable();
+    let mut device = maps::data::DeviceKind::Bending.build(maps::data::DeviceResolution::low());
+    let solver = ExactAdjoint::new(FdfdSolver::with_pml(PmlConfig::auto(device.grid().dl)));
+    device.problem.calibrate(solver.solver())?;
+    let designer = InverseDesigner::new(OptimConfig {
+        iterations: 8,
+        learning_rate: 0.12,
+        beta_start: 1.5,
+        beta_growth: 1.15,
+        filter_radius: 1.5,
+        init: InitStrategy::Uniform(0.5),
+        ..OptimConfig::default()
+    });
+    let result = designer.run(&device.problem, &solver)?;
+    println!(
+        "demo design: transmission {:.4} after {} iterations",
+        result.best_objective().unwrap_or(f64::NAN),
+        result.history.len()
+    );
+
+    std::fs::create_dir_all(dir)?;
+    std::fs::write(
+        dir.join("snapshot.json"),
+        maps::obs::global().to_json_pretty(),
+    )?;
+    maps::obs::write_series_csv(dir.join("series"))?;
+    let spans = maps::obs::recorder::snapshot();
+    std::fs::write(dir.join("trace.json"), maps::obs::chrome_trace(&spans))?;
+    std::fs::write(
+        dir.join("profile.txt"),
+        maps::obs::profile_table(&maps::obs::profile(&spans)),
+    )?;
+    maps::obs::recorder::disable();
+    println!("demo artifacts in {}", dir.display());
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (snapshot_path, series_dir) = match args.as_slice() {
+        [] => {
+            // Demo mode: produce a run, then report on its own artifacts —
+            // exercising the same parse path a real post-mortem uses.
+            let dir = std::path::PathBuf::from("target/run_report_demo");
+            demo_run(&dir)?;
+            (dir.join("snapshot.json"), Some(dir.join("series")))
+        }
+        [snapshot] => (snapshot.into(), None),
+        [snapshot, series] => (snapshot.into(), Some(series.into())),
+        _ => {
+            eprintln!("usage: run_report [snapshot.json] [series_dir]");
+            std::process::exit(2);
+        }
+    };
+
+    let mut report = report_from_snapshot(&snapshot_path)?;
+    if let Some(dir) = series_dir {
+        if dir.is_dir() {
+            report.series = series_from_dir(&dir)?;
+        }
+    }
+    println!("\n{}", report.render());
+    Ok(())
+}

@@ -13,8 +13,8 @@ use maps::data::{
 use maps::nn::{Fno, FnoConfig};
 use maps::tensor::Params;
 use maps::train::{
-    evaluate_n_l2, fwd_adj_field_gradient, gradient_similarity, predict_field, train_field_model,
-    LoaderConfig, NeuralFieldSolver, TrainConfig,
+    evaluate_n_l2, fwd_adj_field_gradient, gradient_similarity, predict_field,
+    train_field_model_validated, LoaderConfig, NeuralFieldSolver, TrainConfig,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -55,10 +55,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             depth: 3,
         },
     );
-    let report = train_field_model(
+    let report = train_field_model_validated(
         &model,
         &mut params,
         &train.samples,
+        &test.samples,
         &TrainConfig {
             epochs: 12,
             learning_rate: 3e-3,
@@ -70,8 +71,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             ..Default::default()
         },
     );
-    for e in report.epochs.iter().step_by(3) {
-        println!("epoch {:3}  loss {:.4}", e.epoch, e.loss);
+    for (e, v) in report.epochs.iter().zip(&report.val_epochs).step_by(3) {
+        println!(
+            "epoch {:3}  loss {:.4}  val N-L2 {:.4}",
+            e.epoch, e.loss, v.loss
+        );
     }
 
     // 3. Standardized metrics.
@@ -103,5 +107,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "probe-field N-L2: {:.4}",
         pred.normalized_l2_distance(&probe.labels.fields.ez)
     );
+
+    // 4. Convergence CSVs (train.loss, train.val_nl2, train.grad_cosine)
+    // and the run report. MAPS_TRACE/MAPS_PROFILE/MAPS_SERIES export too.
+    maps::obs::export_from_env()?;
+    if std::env::var_os("MAPS_SERIES").is_none() {
+        let dir = "target/series/train_surrogate";
+        let written = maps::obs::write_series_csv(dir)?;
+        println!("\nwrote {} convergence CSVs to {dir}", written.len());
+    }
+    println!("\n{}", maps::obs::RunReport::from_globals().render());
     Ok(())
 }

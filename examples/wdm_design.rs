@@ -121,5 +121,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "  fdfd.factor_cache.miss    = {}",
         counter("fdfd.factor_cache.miss")
     );
+
+    // Flight-recorder exports: MAPS_TRACE (Chrome/Perfetto trace),
+    // MAPS_PROFILE (self-time profile), MAPS_SERIES (convergence CSVs).
+    let exported = maps::obs::export_from_env()?;
+    for path in &exported {
+        println!("exported {}", path.display());
+    }
     Ok(())
 }

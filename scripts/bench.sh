@@ -1,16 +1,18 @@
 #!/usr/bin/env bash
-# Perf-regression harness: runs the factor_reuse bench and writes
-# machine-readable BENCH_pr3.json (factorization reuse) and BENCH_pr4.json
-# (batched vs sequential multi-RHS) at the repo root.
+# Perf-regression harness: runs the factor_reuse and obs_overhead benches
+# and writes machine-readable BENCH_pr3.json (factorization reuse),
+# BENCH_pr4.json (batched vs sequential multi-RHS), and BENCH_pr5.json
+# (flight-recorder span/exporter overhead) at the repo root.
 #
 # Usage:
 #   scripts/bench.sh            # full mode (default bending-device grid)
 #   scripts/bench.sh --smoke    # small grid + few reps, finishes in seconds
 #
-# The bench itself asserts the headline invariants (cached re-solve >= 3x
-# faster than a cold factorize+solve; batched multi-RHS solves no slower
-# than sequential at K=2 and faster at K>=4), so a perf regression fails
-# the script.
+# The benches themselves assert the headline invariants (cached re-solve
+# >= 3x faster than a cold factorize+solve; batched multi-RHS solves no
+# slower than sequential at K=2 and faster at K>=4; flight-recorder
+# overhead on a cached solve under 5%), so a perf regression fails the
+# script.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 ROOT="$(pwd)"
@@ -19,11 +21,14 @@ ROOT="$(pwd)"
 # committed full-mode JSONs are never clobbered by scripts/check.sh.
 OUT="$ROOT/BENCH_pr3.json"
 OUT_BATCHED="$ROOT/BENCH_pr4.json"
+OUT_OBS="$ROOT/BENCH_pr5.json"
 for arg in "$@"; do
   if [ "$arg" = "--smoke" ]; then
     OUT="$ROOT/target/BENCH_pr3.smoke.json"
     OUT_BATCHED="$ROOT/target/BENCH_pr4.smoke.json"
+    OUT_OBS="$ROOT/target/BENCH_pr5.smoke.json"
   fi
 done
 
 cargo bench -p maps-bench --bench factor_reuse -- "$@" --out "$OUT" --out-batched "$OUT_BATCHED"
+cargo bench -p maps-bench --bench obs_overhead -- "$@" --out "$OUT_OBS"

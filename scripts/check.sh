@@ -18,7 +18,23 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> fault-injection smoke (deterministic schedules, must recover)"
 cargo run --release --example fault_injection_smoke
 
-echo "==> factor-reuse perf smoke (cached re-solve must stay >= 3x faster)"
+echo "==> flight-recorder export smoke (trace + profile + series must parse)"
+TRACE_DIR="target/trace_smoke"
+rm -rf "$TRACE_DIR"
+mkdir -p "$TRACE_DIR"
+MAPS_TRACE="$TRACE_DIR/trace.json" \
+MAPS_PROFILE="$TRACE_DIR/profile.txt" \
+MAPS_SERIES="$TRACE_DIR/series" \
+  cargo run --release --example wdm_design
+test -s "$TRACE_DIR/trace.json" || { echo "missing trace.json"; exit 1; }
+test -s "$TRACE_DIR/profile.txt" || { echo "missing profile.txt"; exit 1; }
+ls "$TRACE_DIR"/series/*.csv > /dev/null || { echo "missing series CSVs"; exit 1; }
+grep -q '"traceEvents"' "$TRACE_DIR/trace.json" || { echo "trace.json is not a Chrome trace"; exit 1; }
+if command -v python3 > /dev/null; then
+  python3 -c "import json,sys; json.load(open(sys.argv[1]))" "$TRACE_DIR/trace.json"
+fi
+
+echo "==> factor-reuse + flight-recorder perf smoke (cached re-solve >= 3x, obs overhead < 5%)"
 bash scripts/bench.sh --smoke
 
 echo "==> all checks passed"

@@ -190,6 +190,20 @@ pub trait Deserialize: Sized {
 
 // --- primitive impls -------------------------------------------------------
 
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+/// Identity deserialization: parse into the raw [`Value`] tree itself,
+/// for callers that inspect dynamic JSON (e.g. exported trace files).
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
 impl Serialize for bool {
     fn to_value(&self) -> Value {
         Value::Bool(*self)
