@@ -28,22 +28,35 @@
 //!
 //! The harness fails if instrumentation overhead on the cached solve
 //! exceeds 5% — the "observability is free enough to leave on" contract.
+//!
+//! The harness additionally measures the **live telemetry plane** (PR 6)
+//! and writes those medians to a second JSON (`BENCH_pr6.json` by default,
+//! `--out-pr6 PATH`):
+//!
+//! - `metrics_render_ns` — one `/metrics` Prometheus render at 10/100/1000
+//!   registered metrics (fresh local registry, so sizes are exact)
+//! - `scraped_solve_ns` — cached-solve batches with the telemetry server
+//!   idle vs scraped at 10 Hz over real TCP, interleaved pairs; the check
+//!   fails if the 10 Hz scraper costs the solve plane more than 5%
 
 use maps_core::{omega_for_wavelength, ComplexField2d, FieldSolver, RealField2d};
 use maps_data::{DeviceKind, DeviceResolution};
 use maps_fdfd::{factor_cache, FdfdSolver, PmlConfig};
 use maps_linalg::Complex64;
-use std::time::Instant;
+use std::io::{Read, Write as _};
+use std::time::{Duration, Instant};
 
 struct Mode {
     smoke: bool,
     out: String,
+    out_pr6: String,
 }
 
 fn parse_args() -> Mode {
     let mut mode = Mode {
         smoke: false,
         out: "BENCH_pr5.json".to_string(),
+        out_pr6: "BENCH_pr6.json".to_string(),
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -51,6 +64,9 @@ fn parse_args() -> Mode {
             "--smoke" => mode.smoke = true,
             "--out" => {
                 mode.out = args.next().expect("--out needs a path");
+            }
+            "--out-pr6" => {
+                mode.out_pr6 = args.next().expect("--out-pr6 needs a path");
             }
             // cargo bench passes `--bench`; ignore it and anything unknown.
             _ => {}
@@ -216,5 +232,139 @@ fn main() {
         span_disabled_ns <= span_recording_ns.max(1) * 4,
         "disabled span fast path should not cost more than the recording path: \
          {span_disabled_ns} vs {span_recording_ns} ns"
+    );
+
+    scrape_bench(&mode, &solver, &eps, &j, omega, reps, span_reps);
+}
+
+/// One GET against the telemetry server, reading the full response.
+fn scrape_once(addr: std::net::SocketAddr) {
+    let mut stream = std::net::TcpStream::connect(addr).expect("connect telemetry server");
+    write!(stream, "GET /metrics HTTP/1.1\r\nHost: bench\r\n\r\n").expect("send scrape");
+    let mut body = String::new();
+    stream.read_to_string(&mut body).expect("read scrape");
+    assert!(
+        body.starts_with("HTTP/1.1 200"),
+        "scrape failed: {body:.64}"
+    );
+    std::hint::black_box(&body);
+}
+
+/// `/metrics` render latency at a given registry size (a fresh local
+/// registry, so the metric count is exact, not whatever the process
+/// accumulated).
+fn metrics_render_ns(n_metrics: usize, reps: usize) -> u128 {
+    let reg = maps_obs::Registry::new();
+    // A representative mix: mostly counters, some gauges, and log-bucketed
+    // histograms (the expensive renders — three quantile estimations each).
+    for i in 0..n_metrics {
+        match i % 10 {
+            0..=6 => reg
+                .counter(&format!("bench.scrape.counter.{i}"))
+                .add(i as u64),
+            7..=8 => reg.gauge(&format!("bench.scrape.gauge.{i}")).set(i as f64),
+            _ => {
+                let h = reg.histogram(&format!("bench.scrape.hist.{i}"));
+                for k in 0..64 {
+                    h.record((k + 1) as f64 * 1e-6);
+                }
+            }
+        }
+    }
+    median_ns(
+        (0..reps)
+            .map(|_| {
+                let t = Instant::now();
+                let text = reg.prometheus_text();
+                let ns = t.elapsed().as_nanos();
+                std::hint::black_box(&text);
+                ns
+            })
+            .collect(),
+    )
+}
+
+/// Measures the live-plane costs and writes `BENCH_pr6.json`.
+#[allow(clippy::too_many_arguments)]
+fn scrape_bench(
+    mode: &Mode,
+    solver: &FdfdSolver,
+    eps: &RealField2d,
+    j: &ComplexField2d,
+    omega: f64,
+    reps: usize,
+    render_reps: usize,
+) {
+    let render_10 = metrics_render_ns(10, render_reps);
+    let render_100 = metrics_render_ns(100, render_reps);
+    let render_1000 = metrics_render_ns(1000, render_reps);
+
+    // Paired cached-solve batches: server idle vs scraped at 10 Hz. A batch
+    // is long enough for the scraper to land mid-measurement, and the two
+    // variants interleave per rep so machine noise hits both sides.
+    let server = maps_obs::serve("127.0.0.1:0").expect("bind bench telemetry server");
+    let addr = server.addr();
+    let batch = if mode.smoke { 8 } else { 40 };
+    let grid = eps.grid();
+    let solve_batch = || {
+        let t = Instant::now();
+        for _ in 0..batch {
+            let ez = solver.solve_ez(eps, j, omega).expect("bench solve");
+            std::hint::black_box(&ez);
+        }
+        t.elapsed().as_nanos() / batch as u128
+    };
+
+    let mut idle_samples = Vec::with_capacity(reps);
+    let mut scraped_samples = Vec::with_capacity(reps);
+    let mut diffs: Vec<i128> = Vec::with_capacity(reps);
+    for rep in 0..reps + 2 {
+        let idle = solve_batch();
+        let scraped = {
+            let stop = std::sync::atomic::AtomicBool::new(false);
+            std::thread::scope(|scope| {
+                scope.spawn(|| {
+                    // 10 Hz scraper over real TCP.
+                    while !stop.load(std::sync::atomic::Ordering::Acquire) {
+                        scrape_once(addr);
+                        std::thread::sleep(Duration::from_millis(100));
+                    }
+                });
+                let ns = solve_batch();
+                stop.store(true, std::sync::atomic::Ordering::Release);
+                ns
+            })
+        };
+        if rep >= 2 {
+            idle_samples.push(idle);
+            scraped_samples.push(scraped);
+            diffs.push(scraped as i128 - idle as i128);
+        }
+    }
+    server.stop();
+    diffs.sort_unstable();
+    let paired_diff_ns = diffs[diffs.len() / 2];
+    let idle_ns = median_ns(idle_samples);
+    let scraped_ns = median_ns(scraped_samples);
+    let overhead_pct = paired_diff_ns as f64 / idle_ns.max(1) as f64 * 100.0;
+
+    let json = format!(
+        "{{\n  \"bench\": \"obs_scrape\",\n  \"mode\": \"{mode_s}\",\n  \"grid\": {{ \"nx\": {nx}, \"ny\": {ny} }},\n  \"reps\": {reps},\n  \"metrics_render_ns\": {{\n    \"n10\": {render_10},\n    \"n100\": {render_100},\n    \"n1000\": {render_1000}\n  }},\n  \"scraped_solve_ns\": {{\n    \"idle\": {idle_ns},\n    \"scraped_10hz\": {scraped_ns},\n    \"paired_diff\": {paired_diff_ns},\n    \"overhead_pct\": {overhead_pct:.3}\n  }}\n}}\n",
+        mode_s = if mode.smoke { "smoke" } else { "full" },
+        nx = grid.nx,
+        ny = grid.ny,
+    );
+    std::fs::write(&mode.out_pr6, &json).expect("write pr6 bench json");
+    eprintln!("{json}");
+    eprintln!("wrote {}", mode.out_pr6);
+
+    // The scrape plane must be invisible to the solve plane: same 5%
+    // full-mode budget as the recorder, relaxed in smoke mode where a
+    // single context switch is a visible fraction of the tiny batches.
+    let budget_pct = if mode.smoke { 20.0 } else { 5.0 };
+    assert!(
+        overhead_pct < budget_pct,
+        "10 Hz scraping must cost the cached solve under {budget_pct}%: \
+         got {overhead_pct:.3}% ({scraped_ns} vs {idle_ns} ns)"
     );
 }

@@ -283,6 +283,11 @@ fn density_jobs(
     config: &GenerateConfig,
     di: usize,
 ) -> Vec<JobOutcome> {
+    // Per-density worker span: on the parallel path this opens on a scoped
+    // worker thread, and because the vendored rayon adopts the spawner's
+    // TaskContext it carries the batch span's flow/parent ids — the
+    // exported trace stitches every worker lane back to the batch.
+    let _span = maps_obs::span("data.label_density").field("di", di);
     let mut outcomes = Vec::new();
     for (vi, variant) in device.variants.iter().enumerate() {
         let mut kinds = vec![false];

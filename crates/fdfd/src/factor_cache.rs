@@ -305,7 +305,10 @@ fn evict_lru(inner: &mut Inner) {
     }
 }
 
-/// Parses the `MAPS_FACTOR_CACHE` knob into an LRU capacity.
+/// Parses the `MAPS_FACTOR_CACHE` knob into an LRU capacity. The `off` /
+/// `false` aliases mean capacity 0; an unparseable value warns once via
+/// the `MAPS_LOG` error sink and keeps the default (the shared warn-once
+/// discipline of [`maps_obs::parse_env_or`]).
 fn capacity_from_env() -> usize {
     match std::env::var("MAPS_FACTOR_CACHE") {
         Ok(v) => {
@@ -315,7 +318,14 @@ fn capacity_from_env() -> usize {
             } else if v.eq_ignore_ascii_case("off") || v.eq_ignore_ascii_case("false") {
                 0
             } else {
-                v.parse().unwrap_or(DEFAULT_CAPACITY)
+                v.parse().unwrap_or_else(|_| {
+                    maps_obs::warn_invalid_env(
+                        "MAPS_FACTOR_CACHE",
+                        v,
+                        "a capacity integer, or off/false",
+                    );
+                    DEFAULT_CAPACITY
+                })
             }
         }
         Err(_) => DEFAULT_CAPACITY,

@@ -7,6 +7,7 @@ use maps_core::{
     ComplexField2d, EmFields, FieldSolver, RealField2d, SolveFieldError, SolveKind, SolveRequest,
 };
 use maps_linalg::{bicgstab, Complex64, IterativeOptions};
+use rayon::prelude::*;
 
 /// Which linear-algebra backend performs the solve.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -329,57 +330,83 @@ impl FieldSolver for FdfdSolver {
             .field("group_sizes", group_sizes);
         maps_obs::counter("fdfd.solve_batch.calls").inc();
         maps_obs::counter("fdfd.solve_batch.requests").add(requests.len() as u64);
-        for (_, members) in &groups {
-            let omega = requests[members[0]].omega;
-            let lu = match crate::factor_cache::factor(eps_r, omega, &self.pml, || {
-                self.operator(eps_r, omega).to_banded()
-            }) {
-                Ok(lu) => lu,
-                Err(e) => {
-                    for &i in members {
-                        results[i] = Some(Err(SolveFieldError::Numerical {
-                            detail: e.to_string(),
-                        }));
+        // ω-buckets are independent (distinct operators, distinct result
+        // slots), so they run in parallel across the vendored-rayon
+        // workers; worker spans adopt this batch's flow, so the exported
+        // trace shows one stitched fan-out. Per-bucket answers come back
+        // as (request index, result) pairs and are scattered into input
+        // order below — the same determinism contract as the sequential
+        // loop.
+        type Answer = (usize, Result<ComplexField2d, SolveFieldError>);
+        let group_answers: Vec<Vec<Answer>> = groups
+            .par_iter()
+            .map(|(_, members)| {
+                let omega = requests[members[0]].omega;
+                let _span = maps_obs::span("fdfd.solve_group")
+                    .field("omega", format!("{omega:.4}"))
+                    .field("requests", members.len());
+                let mut answers: Vec<Answer> = Vec::with_capacity(members.len());
+                let lu = match crate::factor_cache::factor(eps_r, omega, &self.pml, || {
+                    self.operator(eps_r, omega).to_banded()
+                }) {
+                    Ok(lu) => lu,
+                    Err(e) => {
+                        for &i in members {
+                            answers.push((
+                                i,
+                                Err(SolveFieldError::Numerical {
+                                    detail: e.to_string(),
+                                }),
+                            ));
+                        }
+                        return answers;
                     }
-                    continue;
+                };
+                let forward: Vec<usize> = members
+                    .iter()
+                    .copied()
+                    .filter(|&i| requests[i].kind == SolveKind::Forward)
+                    .collect();
+                let adjoint: Vec<usize> = members
+                    .iter()
+                    .copied()
+                    .filter(|&i| requests[i].kind == SolveKind::Adjoint)
+                    .collect();
+                maps_obs::counter("fdfd.forward_solves").add(forward.len() as u64);
+                maps_obs::counter("fdfd.adjoint_solves").add(adjoint.len() as u64);
+                // Each request's right-hand-side buffer becomes its solution
+                // in place (`solve_in_place` / `solve_transposed_in_place`
+                // are the primitives behind `solve_many_into`), so the batch
+                // pays no copies the scalar path would not.
+                if !forward.is_empty() {
+                    let _s = maps_obs::span("fdfd.backsub");
+                    for &i in &forward {
+                        let mut x = Self::rhs(requests[i].source, omega);
+                        lu.solve_in_place(&mut x);
+                        let field = ComplexField2d::from_vec(grid, x);
+                        answers.push((
+                            i,
+                            maps_core::ensure_finite(&field, self.name()).map(|()| field),
+                        ));
+                    }
                 }
-            };
-            let forward: Vec<usize> = members
-                .iter()
-                .copied()
-                .filter(|&i| requests[i].kind == SolveKind::Forward)
-                .collect();
-            let adjoint: Vec<usize> = members
-                .iter()
-                .copied()
-                .filter(|&i| requests[i].kind == SolveKind::Adjoint)
-                .collect();
-            maps_obs::counter("fdfd.forward_solves").add(forward.len() as u64);
-            maps_obs::counter("fdfd.adjoint_solves").add(adjoint.len() as u64);
-            // Each request's right-hand-side buffer becomes its solution in
-            // place (`solve_in_place` / `solve_transposed_in_place` are the
-            // primitives behind `solve_many_into`), so the batch pays no
-            // copies the scalar path would not.
-            if !forward.is_empty() {
-                let _s = maps_obs::span("fdfd.backsub");
-                for &i in &forward {
-                    let mut x = Self::rhs(requests[i].source, omega);
-                    lu.solve_in_place(&mut x);
-                    let field = ComplexField2d::from_vec(grid, x);
-                    results[i] =
-                        Some(maps_core::ensure_finite(&field, self.name()).map(|()| field));
+                if !adjoint.is_empty() {
+                    let _s = maps_obs::span("fdfd.backsub");
+                    for &i in &adjoint {
+                        let mut x = requests[i].source.as_slice().to_vec();
+                        lu.solve_transposed_in_place(&mut x);
+                        let field = ComplexField2d::from_vec(grid, x);
+                        answers.push((
+                            i,
+                            maps_core::ensure_finite(&field, self.name()).map(|()| field),
+                        ));
+                    }
                 }
-            }
-            if !adjoint.is_empty() {
-                let _s = maps_obs::span("fdfd.backsub");
-                for &i in &adjoint {
-                    let mut x = requests[i].source.as_slice().to_vec();
-                    lu.solve_transposed_in_place(&mut x);
-                    let field = ComplexField2d::from_vec(grid, x);
-                    results[i] =
-                        Some(maps_core::ensure_finite(&field, self.name()).map(|()| field));
-                }
-            }
+                answers
+            })
+            .collect();
+        for (i, answer) in group_answers.into_iter().flatten() {
+            results[i] = Some(answer);
         }
         results
             .into_iter()

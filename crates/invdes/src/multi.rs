@@ -102,8 +102,15 @@ impl MultiExcitationDesigner {
             })
             .collect();
         let mut evals = Vec::with_capacity(excitations.len());
-        for result in solver.objective_and_gradient_batch(&eps, &requests) {
-            evals.push(result?);
+        {
+            // Flow root for the whole gradient batch: the FDFD batch plane
+            // fans the ω-buckets across workers under this span, so the
+            // exported trace shows one stitched tree per iteration.
+            let _span =
+                maps_obs::span("invdes.gradient_batch").field("excitations", excitations.len());
+            for result in solver.objective_and_gradient_batch(&eps, &requests) {
+                evals.push(result?);
+            }
         }
         let per: Vec<f64> = evals.iter().map(|e| e.objective).collect();
         // Combined value and per-excitation chain weights dC/dFᵢ.

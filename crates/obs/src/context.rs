@@ -1,0 +1,200 @@
+//! Cross-thread trace stitching: flow ids and parent span ids.
+//!
+//! A single-threaded trace hangs together through per-thread nesting depth
+//! alone, but the moment work fans out over `std::thread::scope` workers
+//! (parallel resilient labeling, batched ω-bucket sweeps) the exported
+//! trace degenerates into disconnected per-thread lanes. This module gives
+//! every *recorded* span two extra coordinates that survive thread hops:
+//!
+//! - a **flow id**: process-unique id of the logical task tree the span
+//!   belongs to. The outermost recorded span on a thread (with no inherited
+//!   context) starts a fresh flow; everything nested under it — on any
+//!   thread — shares it.
+//! - a **parent span id**: the id of the span that was current when this
+//!   span opened, whether that parent lives on the same thread or on the
+//!   spawning thread.
+//!
+//! Propagation is explicit and cheap: a spawner captures
+//! [`current_context`] (two thread-local reads) and each worker installs it
+//! with [`adopt_context`] for the duration of its closure. The vendored
+//! rayon stand-in does this automatically around its scoped workers, so
+//! `par_iter` call sites inherit stitching for free.
+//!
+//! All bookkeeping lives on the *recording* span path; when the recorder,
+//! debug logging, and watchdog are all off, no ids are allocated and the
+//! thread-locals are never touched.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-unique id source for spans and flows. Span and flow ids share a
+/// sequence — a flow id is simply never equal to any other span's id, which
+/// keeps both unique without coordinating two counters. Id 0 means "none".
+static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    /// Flow id the current thread's spans belong to (0 = none yet).
+    static FLOW: Cell<u64> = const { Cell::new(0) };
+    /// Id of the innermost open recorded span (0 = none).
+    static PARENT: Cell<u64> = const { Cell::new(0) };
+}
+
+pub(crate) fn next_id() -> u64 {
+    NEXT_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+/// The coordinates a task carries across a thread hop: which flow it
+/// belongs to and which span spawned it.
+///
+/// Obtained with [`current_context`] on the spawning thread and installed
+/// with [`adopt_context`] on the worker. `Copy`, two words, and safe to
+/// capture by value in `move` closures.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TaskContext {
+    /// Flow id (0 when the spawning thread had no recorded span open).
+    pub flow: u64,
+    /// Span id of the innermost open span on the spawning thread (0 when
+    /// none).
+    pub parent: u64,
+}
+
+impl TaskContext {
+    /// The empty context: adopting it is a no-op beyond masking the
+    /// worker's previous context.
+    pub const NONE: TaskContext = TaskContext { flow: 0, parent: 0 };
+
+    /// True when this context carries no linkage.
+    pub fn is_none(&self) -> bool {
+        self.flow == 0 && self.parent == 0
+    }
+}
+
+/// Captures the calling thread's current flow and parent span id, for
+/// handing to a worker thread. Returns [`TaskContext::NONE`] when nothing
+/// is being recorded.
+pub fn current_context() -> TaskContext {
+    TaskContext {
+        flow: FLOW.with(Cell::get),
+        parent: PARENT.with(Cell::get),
+    }
+}
+
+/// Installs `ctx` as the calling thread's flow/parent until the returned
+/// guard drops (the previous context is restored). Workers call this first
+/// thing so every span they open is stitched to the spawning task.
+pub fn adopt_context(ctx: TaskContext) -> ContextGuard {
+    ContextGuard {
+        flow: FLOW.with(|f| f.replace(ctx.flow)),
+        parent: PARENT.with(|p| p.replace(ctx.parent)),
+    }
+}
+
+/// Restores the pre-[`adopt_context`] thread context on drop.
+pub struct ContextGuard {
+    flow: u64,
+    parent: u64,
+}
+
+impl Drop for ContextGuard {
+    fn drop(&mut self) {
+        FLOW.with(|f| f.set(self.flow));
+        PARENT.with(|p| p.set(self.parent));
+    }
+}
+
+/// Span-open bookkeeping for the recording path: allocates the span's id,
+/// reads its inherited flow/parent, starts a new flow if there is none, and
+/// installs the span as the thread's current parent. Returns
+/// `(id, flow, parent, saved)` where `saved` must be passed back to
+/// [`exit_span`] on close.
+pub(crate) fn enter_span() -> (u64, u64, u64, (u64, u64)) {
+    let id = next_id();
+    let parent = PARENT.with(|p| p.replace(id));
+    let prev_flow = FLOW.with(Cell::get);
+    let flow = if prev_flow != 0 {
+        prev_flow
+    } else {
+        let fresh = next_id();
+        FLOW.with(|f| f.set(fresh));
+        fresh
+    };
+    (id, flow, parent, (prev_flow, parent))
+}
+
+/// Restores the thread's flow/parent saved by [`enter_span`]. A root span
+/// that started a fresh flow ends it here (its saved flow was 0), so
+/// sibling roots on the same thread each get their own flow.
+pub(crate) fn exit_span(saved: (u64, u64)) {
+    let (flow, parent) = saved;
+    FLOW.with(|f| f.set(flow));
+    PARENT.with(|p| p.set(parent));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_unique_and_nonzero() {
+        let a = next_id();
+        let b = next_id();
+        assert_ne!(a, 0);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn adopt_restores_previous_context() {
+        let before = current_context();
+        {
+            let _g = adopt_context(TaskContext {
+                flow: 77,
+                parent: 99,
+            });
+            assert_eq!(
+                current_context(),
+                TaskContext {
+                    flow: 77,
+                    parent: 99
+                }
+            );
+        }
+        assert_eq!(current_context(), before);
+    }
+
+    #[test]
+    fn enter_exit_nest_and_restore() {
+        let base = current_context();
+        let (id1, flow1, parent1, saved1) = enter_span();
+        assert_eq!(parent1, base.parent);
+        assert_ne!(flow1, 0);
+        let (id2, flow2, parent2, saved2) = enter_span();
+        assert_eq!(parent2, id1, "nested span's parent is the outer span");
+        assert_eq!(flow2, flow1, "nested span inherits the flow");
+        assert_ne!(id2, id1);
+        exit_span(saved2);
+        assert_eq!(current_context().parent, id1);
+        exit_span(saved1);
+        assert_eq!(current_context(), base);
+    }
+
+    #[test]
+    fn workers_inherit_flow_across_threads() {
+        let (_id, flow, _parent, saved) = enter_span();
+        let ctx = current_context();
+        assert_eq!(ctx.flow, flow);
+        let seen = std::thread::scope(|s| {
+            s.spawn(move || {
+                let _g = adopt_context(ctx);
+                let (_wid, wflow, wparent, wsaved) = enter_span();
+                let out = (wflow, wparent);
+                exit_span(wsaved);
+                out
+            })
+            .join()
+            .unwrap()
+        });
+        assert_eq!(seen.0, flow, "worker span joined the spawner's flow");
+        assert_eq!(seen.1, ctx.parent, "worker span's parent crosses threads");
+        exit_span(saved);
+    }
+}

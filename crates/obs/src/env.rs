@@ -1,0 +1,105 @@
+//! Hardened environment-knob parsing.
+//!
+//! Every `MAPS_*` knob used to be parsed ad hoc with a silent
+//! `unwrap_or(default)`, so a typo (`MAPS_RECORDER_CAP=64k`) was
+//! indistinguishable from the knob being unset. [`parse_env_or`] centralizes
+//! the pattern: unset (or empty) quietly yields the default, while a value
+//! that *fails to parse* emits one `MAPS_LOG`-gated error line — once per
+//! variable per process, so a knob read on a hot path cannot spam stderr —
+//! and then falls back to the default.
+
+use crate::level::{emit, enabled, Level};
+use std::collections::BTreeSet;
+use std::str::FromStr;
+use std::sync::Mutex;
+
+/// Variables that already warned about an invalid value this process.
+static WARNED: Mutex<BTreeSet<&'static str>> = Mutex::new(BTreeSet::new());
+
+/// Emits the invalid-knob warning for `key` at most once per process.
+///
+/// Public so knobs with bespoke grammars (e.g. `MAPS_FACTOR_CACHE`'s
+/// `off`/`false` aliases, `MAPS_OBS_ADDR`'s socket-address syntax) can share
+/// the warn-once discipline without routing through [`parse_env_or`].
+pub fn warn_invalid_env(key: &'static str, value: &str, expected: &str) {
+    let mut warned = WARNED.lock().expect("env warn set");
+    if !warned.insert(key) {
+        return;
+    }
+    if enabled(Level::Error) {
+        emit(
+            Level::Error,
+            &format!("ignoring invalid {key}={value:?} (expected {expected}); using default"),
+        );
+    }
+}
+
+/// Resets the warn-once bookkeeping (test isolation).
+#[doc(hidden)]
+pub fn reset_env_warnings() {
+    WARNED.lock().expect("env warn set").clear();
+}
+
+/// Parses the environment variable `key` as a `T`, falling back to
+/// `default` when the variable is unset, empty, or invalid. Invalid values
+/// warn once via the `MAPS_LOG` error sink; unset/empty values are silent
+/// (absence is the documented way to ask for the default).
+pub fn parse_env_or<T>(key: &'static str, default: T) -> T
+where
+    T: FromStr,
+{
+    match std::env::var(key) {
+        Ok(raw) => {
+            let trimmed = raw.trim();
+            if trimmed.is_empty() {
+                return default;
+            }
+            match trimmed.parse::<T>() {
+                Ok(v) => v,
+                Err(_) => {
+                    warn_invalid_env(key, trimmed, std::any::type_name::<T>());
+                    default
+                }
+            }
+        }
+        Err(_) => default,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Each test uses a unique variable name: the process environment and the
+    // warn-once set are global, and unit tests run in parallel.
+
+    #[test]
+    fn unset_yields_default_silently() {
+        assert_eq!(parse_env_or("MAPS_TEST_ENV_UNSET", 7usize), 7);
+    }
+
+    #[test]
+    fn valid_value_parses() {
+        std::env::set_var("MAPS_TEST_ENV_VALID", "  42 ");
+        assert_eq!(parse_env_or("MAPS_TEST_ENV_VALID", 7usize), 42);
+        std::env::remove_var("MAPS_TEST_ENV_VALID");
+    }
+
+    #[test]
+    fn empty_value_yields_default() {
+        std::env::set_var("MAPS_TEST_ENV_EMPTY", "   ");
+        assert_eq!(parse_env_or("MAPS_TEST_ENV_EMPTY", 3u64), 3);
+        std::env::remove_var("MAPS_TEST_ENV_EMPTY");
+    }
+
+    #[test]
+    fn invalid_value_falls_back_and_warns_once() {
+        std::env::set_var("MAPS_TEST_ENV_BAD", "64k");
+        // Parsing twice must not warn twice (the set records the key); the
+        // fallback value is returned both times.
+        assert_eq!(parse_env_or("MAPS_TEST_ENV_BAD", 11usize), 11);
+        assert_eq!(parse_env_or("MAPS_TEST_ENV_BAD", 11usize), 11);
+        assert!(WARNED.lock().unwrap().contains("MAPS_TEST_ENV_BAD"));
+        std::env::remove_var("MAPS_TEST_ENV_BAD");
+    }
+}

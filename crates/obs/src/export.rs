@@ -29,14 +29,26 @@ use std::time::Duration;
 /// `ts`/`dur` in microseconds, `tid` from the span's thread, and span
 /// fields as `args`). The output opens directly in `chrome://tracing` and
 /// Perfetto. Events are emitted in begin-time order.
+///
+/// Recorded spans carry their stitching coordinates as `args`
+/// (`span_id`/`flow`/`parent`), and every parent→child edge that *crosses
+/// threads* additionally emits a flow-event pair (`ph:"s"` on the parent's
+/// thread, `ph:"f"` with `bp:"e"` on the child's), which Perfetto renders
+/// as an arrow from the spawning span to the worker span. Same-thread
+/// nesting needs no arrows — lane containment already shows it.
 pub fn chrome_trace(spans: &[SpanRecord]) -> String {
     let mut order: Vec<&SpanRecord> = spans.iter().collect();
     order.sort_by(|a, b| a.begin.cmp(&b.begin).then(a.depth.cmp(&b.depth)));
+    let by_id: HashMap<u64, &SpanRecord> = spans
+        .iter()
+        .filter(|s| s.id != 0)
+        .map(|s| (s.id, s))
+        .collect();
     let mut w = JsonWriter::new(false);
     w.open_obj();
     w.key("traceEvents");
     w.open_arr();
-    for span in order {
+    for span in &order {
         w.elem();
         w.open_obj();
         w.key("name");
@@ -53,9 +65,17 @@ pub fn chrome_trace(spans: &[SpanRecord]) -> String {
         w.raw("1");
         w.key("tid");
         w.raw(&span.thread_id.to_string());
-        if !span.fields.is_empty() {
+        if !span.fields.is_empty() || span.id != 0 {
             w.key("args");
             w.open_obj();
+            if span.id != 0 {
+                w.key("span_id");
+                w.raw(&span.id.to_string());
+                w.key("flow");
+                w.raw(&span.flow.to_string());
+                w.key("parent");
+                w.raw(&span.parent.to_string());
+            }
             for (k, v) in &span.fields {
                 w.key(k);
                 w.string(v);
@@ -63,6 +83,45 @@ pub fn chrome_trace(spans: &[SpanRecord]) -> String {
             w.close_obj();
         }
         w.close_obj();
+    }
+    // Cross-thread parent→child arrows. The flow-start timestamp is the
+    // child's begin clamped into the parent's interval: Chrome requires the
+    // "s" event to lie inside the span it binds to, and the child may have
+    // started after the parent closed (recorded completion skew).
+    for span in &order {
+        let Some(parent) = by_id.get(&span.parent) else {
+            continue;
+        };
+        if parent.thread_id == span.thread_id {
+            continue;
+        }
+        let start = span.begin.clamp(parent.begin, parent.end());
+        for (ph, ts, tid, binding) in [
+            ("s", start, parent.thread_id, None),
+            ("f", span.begin, span.thread_id, Some("e")),
+        ] {
+            w.elem();
+            w.open_obj();
+            w.key("name");
+            w.string("spawn");
+            w.key("cat");
+            w.string("maps.flow");
+            w.key("ph");
+            w.string(ph);
+            w.key("id");
+            w.raw(&span.id.to_string());
+            w.key("ts");
+            w.number(ts.as_secs_f64() * 1e6);
+            w.key("pid");
+            w.raw("1");
+            w.key("tid");
+            w.raw(&tid.to_string());
+            if let Some(bp) = binding {
+                w.key("bp");
+                w.string(bp);
+            }
+            w.close_obj();
+        }
     }
     w.close_arr();
     w.key("displayTimeUnit");
@@ -287,6 +346,9 @@ mod tests {
             name: name.to_string(),
             fields: Vec::new(),
             depth,
+            id: 0,
+            flow: 0,
+            parent: 0,
             begin: Duration::from_micros(begin_us),
             thread_id,
             duration: Duration::from_micros(dur_us),
@@ -344,5 +406,54 @@ mod tests {
         assert!(json.contains("\"dur\":10"));
         assert!(json.contains("\"tid\":3"));
         assert!(json.contains("\"args\":{\"grid\":\"64x64\"}"));
+    }
+
+    #[test]
+    fn chrome_trace_emits_cross_thread_flow_arrows() {
+        let mut parent = record("spawn_batch", 0, 1, 0, 100);
+        parent.id = 10;
+        parent.flow = 5;
+        let mut worker = record("worker_item", 0, 2, 20, 30);
+        worker.id = 11;
+        worker.flow = 5;
+        worker.parent = 10;
+        // A same-thread child must NOT produce arrows.
+        let mut inline_child = record("inline", 1, 1, 40, 10);
+        inline_child.id = 12;
+        inline_child.flow = 5;
+        inline_child.parent = 10;
+        let json = chrome_trace(&[parent, worker, inline_child]);
+        // Stitching coordinates ride on the X events.
+        assert!(
+            json.contains("\"span_id\":11,\"flow\":5,\"parent\":10"),
+            "{json}"
+        );
+        // Exactly one s/f pair, bound to the cross-thread child's id.
+        assert_eq!(json.matches("\"ph\":\"s\"").count(), 1, "{json}");
+        assert_eq!(json.matches("\"ph\":\"f\"").count(), 1, "{json}");
+        assert!(
+            json.contains("\"ph\":\"s\",\"id\":11,\"ts\":20,\"pid\":1,\"tid\":1"),
+            "{json}"
+        );
+        assert!(
+            json.contains("\"ph\":\"f\",\"id\":11,\"ts\":20,\"pid\":1,\"tid\":2,\"bp\":\"e\""),
+            "{json}"
+        );
+    }
+
+    #[test]
+    fn flow_start_clamps_into_parent_interval() {
+        let mut parent = record("short_parent", 0, 1, 0, 10);
+        parent.id = 20;
+        parent.flow = 7;
+        // Worker begins after the parent already closed.
+        let mut late = record("late_worker", 0, 2, 50, 5);
+        late.id = 21;
+        late.flow = 7;
+        late.parent = 20;
+        let json = chrome_trace(&[parent, late]);
+        // "s" lands at the parent's end (10µs), "f" at the child's begin.
+        assert!(json.contains("\"ph\":\"s\",\"id\":21,\"ts\":10"), "{json}");
+        assert!(json.contains("\"ph\":\"f\",\"id\":21,\"ts\":50"), "{json}");
     }
 }

@@ -1,0 +1,340 @@
+//! The live telemetry server: a std-only HTTP/1.1 scrape surface.
+//!
+//! Everything else in this crate renders observability *post hoc*; this
+//! module makes the same state reachable while the process runs, which is
+//! what a long-lived solve service needs to be scraped, health-checked,
+//! and debugged in place. One listener thread ([`serve`], or
+//! [`serve_from_env`] via `MAPS_OBS_ADDR=host:port`) answers:
+//!
+//! | Endpoint          | Body                                                |
+//! |-------------------|-----------------------------------------------------|
+//! | `/metrics`        | Prometheus text exposition of the global registry   |
+//! | `/snapshot`       | The JSON registry snapshot                          |
+//! | `/series/<name>`  | One convergence series as CSV (404 if unknown)      |
+//! | `/trace?last=N`   | Chrome trace JSON of the most recent `N` ring spans |
+//! | `/healthz`        | `200 ok` while the process is alive                 |
+//! | `/readyz`         | `200 ready`, or `503` + stalled spans when wedged   |
+//!
+//! `/trace` reads the flight-recorder ring with [`recorder::snapshot`] —
+//! a clone, never a drain — so a mid-run scrape cannot eat the trace the
+//! process will export at exit.
+//!
+//! The server is deliberately minimal: GET only, one connection at a time,
+//! short read/write timeouts, no keep-alive. A scrape every few seconds is
+//! the design load; anything heavier belongs behind a real daemon
+//! (ROADMAP item 2), which will mount these same renderers. Zero cost when
+//! not enabled: no thread, no socket, and no change to the span fast path.
+//!
+//! Shutdown ([`TelemetryServer::stop`] or drop) flips a flag and
+//! self-connects to unblock `accept`, then joins the thread — no platform
+//! socket tricks required.
+
+use crate::env::warn_invalid_env;
+use crate::recorder;
+use crate::series::series_get;
+use crate::watchdog;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Per-connection socket timeout: a stalled scraper must not wedge the
+/// listener thread (there is exactly one).
+const IO_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// Maximum bytes of request head we will buffer before answering 431.
+const MAX_HEAD: usize = 8 * 1024;
+
+/// Handle to a running telemetry server; the listener stops (and its
+/// thread joins) on [`TelemetryServer::stop`] or drop.
+pub struct TelemetryServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl TelemetryServer {
+    /// The bound address — with port 0 requested, this carries the
+    /// ephemeral port the OS picked.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the listener and joins its thread.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.shutdown.store(true, Ordering::Release);
+        // `accept` has no timeout; a throwaway connection wakes it so it
+        // can observe the flag. Errors are fine — the thread may already
+        // be past the accept.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for TelemetryServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Binds `addr` (e.g. `"127.0.0.1:9102"`, or port `0` for an ephemeral
+/// port) and serves the telemetry endpoints from a background thread until
+/// the returned handle stops or drops.
+///
+/// # Errors
+///
+/// Returns the bind error (address in use, permission, unparseable
+/// address) — the caller decides whether that is fatal.
+pub fn serve(addr: &str) -> std::io::Result<TelemetryServer> {
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let flag = Arc::clone(&shutdown);
+    let handle = std::thread::Builder::new()
+        .name("maps-obs-http".into())
+        .spawn(move || {
+            for stream in listener.incoming() {
+                if flag.load(Ordering::Acquire) {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                // One connection at a time, bounded by the socket
+                // timeouts: a scrape plane, not a web server.
+                let _ = handle_connection(stream);
+            }
+        })
+        .expect("spawn telemetry server thread");
+    crate::info!("telemetry server listening on {addr}");
+    Ok(TelemetryServer {
+        addr,
+        shutdown,
+        handle: Some(handle),
+    })
+}
+
+/// Starts the telemetry server when `MAPS_OBS_ADDR` is set. An address
+/// that fails to bind (or parse) warns once through the `MAPS_LOG` error
+/// sink and yields `None` — an observability knob must never take down
+/// the run it observes.
+pub fn serve_from_env() -> Option<TelemetryServer> {
+    let raw = std::env::var("MAPS_OBS_ADDR").ok()?;
+    let addr = raw.trim();
+    if addr.is_empty() {
+        return None;
+    }
+    match serve(addr) {
+        Ok(server) => Some(server),
+        Err(err) => {
+            warn_invalid_env(
+                "MAPS_OBS_ADDR",
+                addr,
+                "a bindable host:port, e.g. 127.0.0.1:9102",
+            );
+            crate::error!("telemetry server bind failed: {err}");
+            None
+        }
+    }
+}
+
+fn handle_connection(mut stream: TcpStream) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(IO_TIMEOUT))?;
+    stream.set_write_timeout(Some(IO_TIMEOUT))?;
+    let mut head = Vec::with_capacity(512);
+    let mut buf = [0u8; 512];
+    // Read until the end of the request head; the body (GET has none we
+    // care about) is ignored.
+    while !head.windows(4).any(|w| w == b"\r\n\r\n") {
+        if head.len() > MAX_HEAD {
+            return respond(&mut stream, 431, "text/plain", "request head too large\n");
+        }
+        match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => head.extend_from_slice(&buf[..n]),
+            Err(e) => return Err(e),
+        }
+    }
+    let head = String::from_utf8_lossy(&head);
+    let mut parts = head.lines().next().unwrap_or("").split_whitespace();
+    let (method, target) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+    if method != "GET" {
+        return respond(&mut stream, 405, "text/plain", "only GET is supported\n");
+    }
+    crate::counter("obs.http.requests").inc();
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    match path {
+        "/metrics" => respond(
+            &mut stream,
+            200,
+            "text/plain; version=0.0.4",
+            &crate::global().prometheus_text(),
+        ),
+        "/snapshot" => respond(
+            &mut stream,
+            200,
+            "application/json",
+            &crate::global().to_json(),
+        ),
+        "/healthz" => respond(&mut stream, 200, "text/plain", "ok\n"),
+        "/readyz" => {
+            if watchdog::is_ready() {
+                respond(&mut stream, 200, "text/plain", "ready\n")
+            } else {
+                let mut body = String::from("not ready: stalled spans\n");
+                for s in watchdog::stalled_spans() {
+                    body.push_str("  ");
+                    body.push_str(&s);
+                    body.push('\n');
+                }
+                respond(&mut stream, 503, "text/plain", &body)
+            }
+        }
+        "/trace" => {
+            let mut spans = recorder::snapshot();
+            if let Some(last) = query
+                .split('&')
+                .find_map(|kv| kv.strip_prefix("last="))
+                .and_then(|v| v.parse::<usize>().ok())
+            {
+                if spans.len() > last {
+                    spans.drain(..spans.len() - last);
+                }
+            }
+            respond(
+                &mut stream,
+                200,
+                "application/json",
+                &crate::chrome_trace(&spans),
+            )
+        }
+        _ => {
+            if let Some(name) = path.strip_prefix("/series/") {
+                match series_get(name) {
+                    Some(series) => respond(&mut stream, 200, "text/csv", &series.to_csv()),
+                    None => respond(
+                        &mut stream,
+                        404,
+                        "text/plain",
+                        &format!("no series named {name:?}\n"),
+                    ),
+                }
+            } else {
+                respond(&mut stream, 404, "text/plain", "unknown endpoint\n")
+            }
+        }
+    }
+}
+
+fn respond(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &str,
+) -> std::io::Result<()> {
+    let reason = match status {
+        200 => "OK",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        431 => "Request Header Fields Too Large",
+        503 => "Service Unavailable",
+        _ => "Error",
+    };
+    let header = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(header.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimal test-side HTTP client (std-only like everything else).
+    fn get(addr: SocketAddr, path: &str) -> (u16, String) {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        write!(stream, "GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").expect("write request");
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw).expect("read response");
+        let status: u16 = raw
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .expect("status line");
+        let body = raw
+            .split_once("\r\n\r\n")
+            .map(|(_, b)| b.to_string())
+            .unwrap_or_default();
+        (status, body)
+    }
+
+    #[test]
+    fn serves_all_endpoints_on_ephemeral_port() {
+        let server = serve("127.0.0.1:0").expect("bind ephemeral");
+        let addr = server.addr();
+        crate::counter("obs.http.test.hits").add(3);
+        crate::series("obs.http.test.series").push(1, 0.5);
+
+        let (status, body) = get(addr, "/metrics");
+        assert_eq!(status, 200);
+        assert!(body.contains("obs_http_test_hits_total 3"), "{body}");
+
+        let (status, body) = get(addr, "/snapshot");
+        assert_eq!(status, 200);
+        assert!(body.contains("\"obs.http.test.hits\":3"), "{body}");
+
+        let (status, body) = get(addr, "/series/obs.http.test.series");
+        assert_eq!(status, 200);
+        assert!(body.starts_with("step,value\n"), "{body}");
+
+        let (status, _) = get(addr, "/series/no.such.series");
+        assert_eq!(status, 404);
+
+        let (status, body) = get(addr, "/trace?last=5");
+        assert_eq!(status, 200);
+        assert!(body.starts_with("{\"traceEvents\":["), "{body}");
+
+        let (status, body) = get(addr, "/healthz");
+        assert_eq!(status, 200);
+        assert_eq!(body, "ok\n");
+
+        let (status, _) = get(addr, "/readyz");
+        assert_eq!(status, 200);
+
+        let (status, _) = get(addr, "/nope");
+        assert_eq!(status, 404);
+
+        server.stop();
+    }
+
+    #[test]
+    fn post_is_rejected() {
+        let server = serve("127.0.0.1:0").expect("bind ephemeral");
+        let mut stream = TcpStream::connect(server.addr()).expect("connect");
+        write!(stream, "POST /metrics HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw).unwrap();
+        assert!(raw.starts_with("HTTP/1.1 405"), "{raw}");
+    }
+
+    #[test]
+    fn stop_joins_and_frees_the_port() {
+        let server = serve("127.0.0.1:0").expect("bind ephemeral");
+        let addr = server.addr();
+        server.stop();
+        // The listener is gone; a rebind of the same port succeeds.
+        let rebound = TcpListener::bind(addr);
+        assert!(rebound.is_ok(), "port still held after stop");
+    }
+}

@@ -40,6 +40,21 @@
 //! - **Reports** ([`RunReport`]): slowest spans, cache hit rates, and
 //!   convergence summaries rendered as text at the end of a run.
 //!
+//! And the *live telemetry plane* makes a running process observable without
+//! waiting for exit:
+//!
+//! - **Telemetry server** ([`http`], [`serve`], `MAPS_OBS_ADDR`): a std-only
+//!   HTTP/1.1 scrape surface — `/metrics` (Prometheus text exposition),
+//!   `/snapshot` (JSON), `/series/<name>` (CSV), `/trace?last=N` (Chrome
+//!   trace of the recent ring without draining it), `/healthz`, `/readyz`.
+//! - **Trace stitching** ([`TaskContext`], [`current_context`],
+//!   [`adopt_context`]): flow and parent-span ids that survive thread hops,
+//!   propagated automatically by the vendored rayon stand-in, so parallel
+//!   runs export as one coherent flow.
+//! - **Stall watchdog** ([`watchdog`], `MAPS_WATCHDOG_MS`): a sampling
+//!   thread that flags slow and stalled open spans by deadline class,
+//!   detects counter flatlines, and drives `/readyz`.
+//!
 //! ```
 //! let _guard = maps_obs::span("solve").field("grid", 64);
 //! maps_obs::counter("solver.calls").inc();
@@ -48,21 +63,28 @@
 //! assert!(snapshot.contains("solver.calls"));
 //! ```
 
+mod context;
+mod env;
 mod export;
+pub mod http;
 mod level;
 mod metrics;
 pub mod recorder;
 mod report;
 mod series;
 mod span;
+pub mod watchdog;
 
+pub use context::{adopt_context, current_context, ContextGuard, TaskContext};
+pub use env::{parse_env_or, reset_env_warnings, warn_invalid_env};
 pub use export::{
     chrome_trace, collapsed_stacks, export_from_env, profile, profile_table, ProfileEntry,
 };
+pub use http::{serve, serve_from_env, TelemetryServer};
 pub use level::{emit, enabled, level, set_level, Level};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, Registry};
 pub use report::{RunReport, SeriesSummary, SpanStat};
-pub use series::{all_series, series, series_reset, write_series_csv, Series};
+pub use series::{all_series, series, series_get, series_reset, write_series_csv, Series};
 pub use span::{current_thread_id, epoch, span, Span, SpanRecord};
 
 use std::sync::OnceLock;

@@ -346,6 +346,74 @@ impl Registry {
         self.write_json(true)
     }
 
+    /// Renders every instrument in Prometheus text exposition format
+    /// (version 0.0.4, what `GET /metrics` serves).
+    ///
+    /// Counters become `<name>_total`; gauges keep their name; histograms
+    /// are rendered as Prometheus *summaries*: p50/p90/p99 `quantile`
+    /// sample lines plus `_sum` (reconstructed as `mean × count`) and
+    /// `_count`. Metric names are sanitized to the Prometheus grammar
+    /// (`[a-zA-Z_:][a-zA-Z0-9_:]*`) by mapping every other byte to `_`;
+    /// MAPS dot-separated names like `solver.cache.hits` therefore export
+    /// as `solver_cache_hits_total`.
+    pub fn prometheus_text(&self) -> String {
+        fn sanitize(name: &str) -> String {
+            let mut out: String = name
+                .chars()
+                .map(|c| {
+                    if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                        c
+                    } else {
+                        '_'
+                    }
+                })
+                .collect();
+            if out.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+                out.insert(0, '_');
+            }
+            out
+        }
+        // Prometheus floats: the default Display for f64 is accepted
+        // (scientific notation allowed), but non-finite values must be
+        // spelled +Inf/-Inf/NaN.
+        fn num(v: f64) -> String {
+            if v.is_nan() {
+                "NaN".to_string()
+            } else if v == f64::INFINITY {
+                "+Inf".to_string()
+            } else if v == f64::NEG_INFINITY {
+                "-Inf".to_string()
+            } else {
+                format!("{v}")
+            }
+        }
+
+        let mut out = String::new();
+        for (name, v) in self.counters() {
+            let s = sanitize(&name);
+            let _ = writeln!(out, "# HELP {s}_total MAPS counter {name}");
+            let _ = writeln!(out, "# TYPE {s}_total counter");
+            let _ = writeln!(out, "{s}_total {v}");
+        }
+        for (name, v) in self.gauges() {
+            let s = sanitize(&name);
+            let _ = writeln!(out, "# HELP {s} MAPS gauge {name}");
+            let _ = writeln!(out, "# TYPE {s} gauge");
+            let _ = writeln!(out, "{s} {}", num(v));
+        }
+        for (name, snap) in self.histograms() {
+            let s = sanitize(&name);
+            let _ = writeln!(out, "# HELP {s} MAPS histogram {name}");
+            let _ = writeln!(out, "# TYPE {s} summary");
+            for (q, v) in [("0.5", snap.p50), ("0.9", snap.p90), ("0.99", snap.p99)] {
+                let _ = writeln!(out, "{s}{{quantile=\"{q}\"}} {}", num(v));
+            }
+            let _ = writeln!(out, "{s}_sum {}", num(snap.mean * snap.count as f64));
+            let _ = writeln!(out, "{s}_count {}", snap.count);
+        }
+        out
+    }
+
     fn write_json(&self, pretty: bool) -> String {
         let counters = self.counters();
         let gauges = self.gauges();
@@ -531,6 +599,29 @@ mod tests {
             assert!(idx >= last, "bucket index decreased at {v}");
             assert!(idx < NBUCKETS);
             last = idx;
+        }
+    }
+
+    #[test]
+    fn prometheus_text_renders_all_instrument_kinds() {
+        let reg = Registry::new();
+        reg.counter("solver.cache.hits").add(3);
+        reg.gauge("lu.cache.entries").set(2.0);
+        let h = reg.histogram("solver.solve.seconds");
+        h.record(0.5);
+        h.record(1.5);
+        let text = reg.prometheus_text();
+        assert!(text.contains("# TYPE solver_cache_hits_total counter"));
+        assert!(text.contains("solver_cache_hits_total 3"));
+        assert!(text.contains("# TYPE lu_cache_entries gauge"));
+        assert!(text.contains("lu_cache_entries 2"));
+        assert!(text.contains("# TYPE solver_solve_seconds summary"));
+        assert!(text.contains("solver_solve_seconds{quantile=\"0.5\"}"));
+        assert!(text.contains("solver_solve_seconds_count 2"));
+        assert!(text.contains("solver_solve_seconds_sum 2"));
+        // Every non-comment line is `name[{labels}] value`.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            assert_eq!(line.split_whitespace().count(), 2, "tear in {line:?}");
         }
     }
 

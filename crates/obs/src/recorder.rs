@@ -7,8 +7,9 @@
 //! - explicitly, via [`enable`] (tests do this, then [`take`] the captured
 //!   [`SpanRecord`]s for assertions);
 //! - implicitly, when any of the export knobs `MAPS_TRACE`, `MAPS_PROFILE`,
-//!   or `MAPS_SERIES` is set in the environment — a run that asked for an
-//!   export needs the spans captured to have something to export.
+//!   `MAPS_SERIES`, or the telemetry-server knob `MAPS_OBS_ADDR` is set in
+//!   the environment — a run that asked for an export (or a live `/trace`
+//!   endpoint) needs the spans captured to have something to serve.
 //!
 //! The buffer is a drop-oldest ring bounded by `MAPS_RECORDER_CAP` spans
 //! (default [`DEFAULT_CAPACITY`]; `0` means unbounded), so week-long
@@ -37,10 +38,7 @@ static DROPPED: AtomicU64 = AtomicU64::new(0);
 static CAPACITY: AtomicUsize = AtomicUsize::new(usize::MAX);
 
 fn env_capacity() -> usize {
-    match std::env::var("MAPS_RECORDER_CAP") {
-        Ok(v) => v.trim().parse::<usize>().unwrap_or(DEFAULT_CAPACITY),
-        Err(_) => DEFAULT_CAPACITY,
-    }
+    crate::env::parse_env_or("MAPS_RECORDER_CAP", DEFAULT_CAPACITY)
 }
 
 /// The ring's span capacity (0 = unbounded). Reads `MAPS_RECORDER_CAP` on
@@ -78,13 +76,15 @@ pub fn disable() {
 
 /// True while the recorder is capturing. The first call decides the initial
 /// state from the environment: recording starts enabled when any of
-/// `MAPS_TRACE`, `MAPS_PROFILE`, or `MAPS_SERIES` is set.
+/// `MAPS_TRACE`, `MAPS_PROFILE`, `MAPS_SERIES`, or `MAPS_OBS_ADDR` is set
+/// (a telemetry server whose `/trace` endpoint has nothing to serve would
+/// be a confusing default).
 pub fn is_enabled() -> bool {
     match STATE.load(Ordering::Acquire) {
         STATE_ON => true,
         STATE_OFF => false,
         _ => {
-            let on = ["MAPS_TRACE", "MAPS_PROFILE", "MAPS_SERIES"]
+            let on = ["MAPS_TRACE", "MAPS_PROFILE", "MAPS_SERIES", "MAPS_OBS_ADDR"]
                 .iter()
                 .any(|k| std::env::var_os(k).is_some());
             STATE.store(if on { STATE_ON } else { STATE_OFF }, Ordering::Release);

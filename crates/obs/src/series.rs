@@ -141,6 +141,17 @@ pub fn series(name: &str) -> Series {
     )))
 }
 
+/// Looks up the series `name` without creating it (the telemetry server's
+/// `/series/<name>` endpoint uses this so scrapes of unknown names 404
+/// instead of polluting the registry with empty series).
+pub fn series_get(name: &str) -> Option<Series> {
+    registry()
+        .lock()
+        .expect("series registry")
+        .get(name)
+        .map(|inner| Series(Arc::clone(inner)))
+}
+
 /// Every registered series, in name order.
 pub fn all_series() -> Vec<Series> {
     registry()

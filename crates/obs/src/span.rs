@@ -1,5 +1,5 @@
-//! RAII tracing spans with per-thread nesting, monotonic begin offsets, and
-//! stable thread ids.
+//! RAII tracing spans with per-thread nesting, monotonic begin offsets,
+//! stable thread ids, and cross-thread flow stitching.
 //!
 //! Every span is timed against a process-wide epoch (the first instant the
 //! tracing machinery is touched), so completed spans carry a `begin` offset
@@ -8,17 +8,26 @@
 //! small integers handed out in first-use order, stable for the life of each
 //! thread.
 //!
+//! On the recording path every span additionally carries a process-unique
+//! `id`, the `parent` span id that was current when it opened (possibly on
+//! a different thread — see [`crate::context`]), and the `flow` id of the
+//! logical task tree it belongs to, so multi-threaded runs export as one
+//! stitched flow instead of disconnected per-thread lanes.
+//!
 //! ## Disabled fast path
 //!
-//! When neither the flight [`recorder`] nor `MAPS_LOG=debug` is active, a
-//! span skips the nesting-depth bookkeeping, field storage, and record
-//! construction entirely; the only residual work is the two clock reads and
-//! one histogram record (`span.<name>.seconds`) that keep the metrics
-//! registry authoritative. Names are `Cow<'static, str>`, so the ubiquitous
+//! When neither the flight [`recorder`] nor `MAPS_LOG=debug` nor the stall
+//! [`watchdog`](crate::watchdog) is active, a span skips the nesting-depth
+//! bookkeeping, id allocation, field storage, and record construction
+//! entirely; the only residual work is the two clock reads and one
+//! histogram record (`span.<name>.seconds`) that keep the metrics registry
+//! authoritative. Names are `Cow<'static, str>`, so the ubiquitous
 //! string-literal call sites never allocate for the name itself.
 
+use crate::context;
 use crate::level::{emit, enabled, Level};
 use crate::recorder;
+use crate::watchdog;
 use std::borrow::Cow;
 use std::cell::Cell;
 use std::fmt::Display;
@@ -56,17 +65,21 @@ pub fn epoch() -> Instant {
 /// The returned guard measures wall-clock time until it is dropped. On drop
 /// the duration is recorded into the global registry (histogram
 /// `span.<name>.seconds`); when the flight [`recorder`] is enabled a
-/// [`SpanRecord`] with begin offset and thread id is appended to it, and —
-/// at `MAPS_LOG=debug` — entry/exit lines with timings and fields are
-/// printed to stderr, indented by nesting depth.
+/// [`SpanRecord`] with begin offset, thread id, and flow/parent linkage is
+/// appended to it, and — at `MAPS_LOG=debug` — entry/exit lines with
+/// timings and fields are printed to stderr, indented by nesting depth.
+/// While the stall [`watchdog`](crate::watchdog) is running, the span is
+/// also registered in the open-span table it samples.
 pub fn span(name: impl Into<Cow<'static, str>>) -> Span {
     let name = name.into();
-    // The fast path: with the recorder off and debug logging off the span
-    // is only a timer feeding the metrics registry, so skip the per-thread
-    // depth bookkeeping and the entry line. `active` is latched at open so
-    // a recorder toggled mid-span cannot observe a half-initialized record.
-    let active = recorder::is_enabled() || enabled(Level::Debug);
-    let depth = if active {
+    // The fast path: with the recorder, debug logging, and watchdog all off
+    // the span is only a timer feeding the metrics registry, so skip the
+    // per-thread depth/flow bookkeeping and the entry line. `active` is
+    // latched at open so a recorder toggled mid-span cannot observe a
+    // half-initialized record.
+    let tracked = watchdog::is_tracking();
+    let active = recorder::is_enabled() || enabled(Level::Debug) || tracked;
+    let (depth, id, flow, parent, saved) = if active {
         let depth = DEPTH.with(|d| {
             let v = d.get();
             d.set(v + 1);
@@ -78,19 +91,29 @@ pub fn span(name: impl Into<Cow<'static, str>>) -> Span {
                 &format!("{:indent$}-> {name}", "", indent = 2 * depth),
             );
         }
-        depth
+        let (id, flow, parent, saved) = context::enter_span();
+        (depth, id, flow, parent, saved)
     } else {
-        0
+        (0, 0, 0, 0, (0, 0))
     };
     // Touch the epoch before reading the start clock so `start >= epoch`
     // always holds and begin offsets never saturate to zero artificially.
     epoch();
+    let start = Instant::now();
+    if tracked {
+        watchdog::open_span(id, &name, current_thread_id(), start);
+    }
     Span {
         name,
         fields: Vec::new(),
         depth,
+        id,
+        flow,
+        parent,
+        saved,
         active,
-        start: Instant::now(),
+        tracked,
+        start,
     }
 }
 
@@ -99,9 +122,21 @@ pub struct Span {
     name: Cow<'static, str>,
     fields: Vec<(String, String)>,
     depth: usize,
-    /// Latched at open: whether the recorder or debug logging wants the
-    /// full record (fields, depth bookkeeping, exit line).
+    /// Process-unique span id (0 on the disabled fast path).
+    id: u64,
+    /// Flow id inherited from (or started for) the enclosing task.
+    flow: u64,
+    /// Id of the span that was current when this one opened.
+    parent: u64,
+    /// Thread-context state to restore on close.
+    saved: (u64, u64),
+    /// Latched at open: whether the recorder, debug logging, or watchdog
+    /// wants the full record (fields, depth bookkeeping, exit line).
     active: bool,
+    /// Latched at open: whether the watchdog's open-span table holds this
+    /// span (paired so a watchdog started mid-span never sees a remove
+    /// without an insert).
+    tracked: bool,
     start: Instant,
 }
 
@@ -130,6 +165,16 @@ impl Span {
     pub fn name(&self) -> &str {
         &self.name
     }
+
+    /// The span's process-unique id (0 on the disabled fast path).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The flow id this span belongs to (0 on the disabled fast path).
+    pub fn flow(&self) -> u64 {
+        self.flow
+    }
 }
 
 impl Drop for Span {
@@ -138,14 +183,21 @@ impl Drop for Span {
         crate::global()
             .histogram(&format!("span.{}.seconds", self.name))
             .record(duration.as_secs_f64());
+        if self.tracked {
+            watchdog::close_span(self.id);
+        }
         if !self.active {
             return;
         }
         DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+        context::exit_span(self.saved);
         let record = SpanRecord {
             name: std::mem::take(&mut self.name).into_owned(),
             fields: std::mem::take(&mut self.fields),
             depth: self.depth,
+            id: self.id,
+            flow: self.flow,
+            parent: self.parent,
             begin: self.start.saturating_duration_since(epoch()),
             thread_id: current_thread_id(),
             duration,
@@ -166,6 +218,14 @@ pub struct SpanRecord {
     pub fields: Vec<(String, String)>,
     /// Nesting depth at open time (0 = top level on its thread).
     pub depth: usize,
+    /// Process-unique span id.
+    pub id: u64,
+    /// Flow id of the logical task tree the span belongs to. Spans reached
+    /// from one entry point — across every worker thread — share a flow.
+    pub flow: u64,
+    /// Id of the span that was current when this one opened; 0 for flow
+    /// roots. The parent may live on a different thread.
+    pub parent: u64,
     /// Monotonic offset of the span's open relative to the process
     /// [`epoch`].
     pub begin: Duration,

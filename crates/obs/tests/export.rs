@@ -77,8 +77,10 @@ fn chrome_trace_parses_and_nests() {
     tids.dedup();
     assert_eq!(tids.len(), 2, "expected two distinct tids, got {tids:?}");
 
-    // Span fields ride along as args.
-    assert!(json.contains("\"args\":{\"grid\":\"8x8\"}"), "{json}");
+    // Span fields ride along as args, after the stitching coordinates.
+    assert!(json.contains("\"grid\":\"8x8\""), "{json}");
+    assert!(json.contains("\"span_id\":"), "{json}");
+    assert!(json.contains("\"flow\":"), "{json}");
     assert_eq!(
         value
             .field("otherData")

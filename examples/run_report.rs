@@ -1,7 +1,7 @@
 //! Post-hoc run report: slowest spans, cache hit rates, and convergence
 //! summaries for a finished MAPS run.
 //!
-//! Two modes:
+//! Three modes:
 //!
 //! ```text
 //! # Demo: run a small inverse design, export its artifacts, then read
@@ -10,6 +10,10 @@
 //!
 //! # Forensics: report on a previous run's exported artifacts.
 //! cargo run --release --example run_report -- snapshot.json [series_dir]
+//!
+//! # Live: start the telemetry server and keep a workload running so the
+//! # endpoints have something to serve. N ticks, or until killed when 0.
+//! MAPS_OBS_ADDR=127.0.0.1:0 cargo run --release --example run_report -- --serve [N]
 //! ```
 //!
 //! The snapshot is the registry JSON written by
@@ -123,8 +127,64 @@ fn demo_run(dir: &Path) -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
+/// Live mode: serve the telemetry endpoints over a continuously refreshed
+/// workload. `ticks == 0` loops until the process is killed (the smoke
+/// test in `scripts/check.sh` runs with a bounded tick count instead).
+fn serve_mode(ticks: u64) -> Result<(), Box<dyn std::error::Error>> {
+    use maps::core::{ComplexField2d, FieldSolver, Grid2d, RealField2d, SolveRequest};
+    use maps::fdfd::{FdfdSolver, PmlConfig};
+
+    // Honor MAPS_OBS_ADDR when set; default to an ephemeral localhost port
+    // so `--serve` works with zero configuration.
+    let server = match maps::obs::serve_from_env() {
+        Some(server) => server,
+        None => maps::obs::serve("127.0.0.1:0")?,
+    };
+    // The smoke test greps this exact line for the bound address.
+    println!("telemetry: listening on http://{}", server.addr());
+    maps::obs::recorder::enable();
+    let _watchdog = maps::obs::watchdog::start_from_env();
+
+    let grid = Grid2d::new(48, 48, 0.05);
+    let eps = RealField2d::constant(grid, 2.25);
+    let mut j = ComplexField2d::zeros(grid);
+    j.set(24, 24, maps::linalg::Complex64::ONE);
+    let solver = FdfdSolver::with_pml(PmlConfig::auto(grid.dl));
+    let mut k = 0u64;
+    while ticks == 0 || k < ticks {
+        // A multi-ω batch per tick: exercises the factor cache, the
+        // parallel ω-bucket fan-out, and therefore the stitched flows that
+        // /trace serves.
+        let _span = maps::obs::span("serve.tick").field("k", k);
+        let requests = [
+            SolveRequest::forward(&j, 4.0),
+            SolveRequest::forward(&j, 4.3),
+        ];
+        for (i, result) in solver.solve_ez_batch(&eps, &requests).iter().enumerate() {
+            if let Err(e) = result {
+                maps::obs::error!("serve tick {k} request {i} failed: {e}");
+            }
+        }
+        maps::obs::series("serve.tick").push(k, k as f64);
+        k += 1;
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    println!("telemetry: served {k} ticks, shutting down");
+    server.stop();
+    Ok(())
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("--serve") {
+        let ticks = match args.get(1) {
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| format!("invalid tick count {raw:?}"))?,
+            None => 0,
+        };
+        return serve_mode(ticks);
+    }
     let (snapshot_path, series_dir) = match args.as_slice() {
         [] => {
             // Demo mode: produce a run, then report on its own artifacts —

@@ -1,18 +1,21 @@
 #!/usr/bin/env bash
 # Perf-regression harness: runs the factor_reuse and obs_overhead benches
 # and writes machine-readable BENCH_pr3.json (factorization reuse),
-# BENCH_pr4.json (batched vs sequential multi-RHS), and BENCH_pr5.json
-# (flight-recorder span/exporter overhead) at the repo root.
+# BENCH_pr4.json (batched vs sequential multi-RHS), BENCH_pr5.json
+# (flight-recorder span/exporter overhead), and BENCH_pr6.json (telemetry
+# server render + scrape overhead) at the repo root.
 #
 # Usage:
 #   scripts/bench.sh            # full mode (default bending-device grid)
 #   scripts/bench.sh --smoke    # small grid + few reps, finishes in seconds
+#   scripts/bench.sh --compare  # also diff fresh numbers against the
+#                               # committed baselines; warn on >10% drift
 #
 # The benches themselves assert the headline invariants (cached re-solve
 # >= 3x faster than a cold factorize+solve; batched multi-RHS solves no
 # slower than sequential at K=2 and faster at K>=4; flight-recorder
-# overhead on a cached solve under 5%), so a perf regression fails the
-# script.
+# overhead on a cached solve under 5%; a 10 Hz /metrics scrape within 5%
+# of an unscraped cached solve), so a perf regression fails the script.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 ROOT="$(pwd)"
@@ -22,13 +25,81 @@ ROOT="$(pwd)"
 OUT="$ROOT/BENCH_pr3.json"
 OUT_BATCHED="$ROOT/BENCH_pr4.json"
 OUT_OBS="$ROOT/BENCH_pr5.json"
+OUT_SCRAPE="$ROOT/BENCH_pr6.json"
+COMPARE=0
+BENCH_ARGS=()
 for arg in "$@"; do
-  if [ "$arg" = "--smoke" ]; then
-    OUT="$ROOT/target/BENCH_pr3.smoke.json"
-    OUT_BATCHED="$ROOT/target/BENCH_pr4.smoke.json"
-    OUT_OBS="$ROOT/target/BENCH_pr5.smoke.json"
-  fi
+  case "$arg" in
+    --smoke)
+      OUT="$ROOT/target/BENCH_pr3.smoke.json"
+      OUT_BATCHED="$ROOT/target/BENCH_pr4.smoke.json"
+      OUT_OBS="$ROOT/target/BENCH_pr5.smoke.json"
+      OUT_SCRAPE="$ROOT/target/BENCH_pr6.smoke.json"
+      BENCH_ARGS+=("$arg")
+      ;;
+    --compare)
+      COMPARE=1
+      ;;
+    *)
+      BENCH_ARGS+=("$arg")
+      ;;
+  esac
 done
 
-cargo bench -p maps-bench --bench factor_reuse -- "$@" --out "$OUT" --out-batched "$OUT_BATCHED"
-cargo bench -p maps-bench --bench obs_overhead -- "$@" --out "$OUT_OBS"
+cargo bench -p maps-bench --bench factor_reuse -- "${BENCH_ARGS[@]+"${BENCH_ARGS[@]}"}" \
+  --out "$OUT" --out-batched "$OUT_BATCHED"
+cargo bench -p maps-bench --bench obs_overhead -- "${BENCH_ARGS[@]+"${BENCH_ARGS[@]}"}" \
+  --out "$OUT_OBS" --out-pr6 "$OUT_SCRAPE"
+
+# --compare: diff the fresh BENCH_pr6.json numbers against the committed
+# prior baseline. The paired cached-solve measurement appears in both files
+# (BENCH_pr5 cached_solve_ns.recorder_off vs BENCH_pr6 scraped_solve_ns.idle,
+# same grid and solver path), so drift between them is a real regression
+# signal rather than a cross-machine artifact. Warn (not fail) on >10%:
+# the hard perf invariants already gate inside the benches themselves.
+if [ "$COMPARE" = "1" ]; then
+  if ! command -v python3 > /dev/null; then
+    echo "bench compare: python3 unavailable, skipping baseline diff"
+    exit 0
+  fi
+  python3 - "$OUT_SCRAPE" "$ROOT/BENCH_pr5.json" <<'PY'
+import json
+import sys
+
+fresh_path, baseline_path = sys.argv[1], sys.argv[2]
+try:
+    fresh = json.load(open(fresh_path))
+    baseline = json.load(open(baseline_path))
+except OSError as e:
+    print(f"bench compare: skipping ({e})")
+    sys.exit(0)
+
+if fresh.get("mode") != baseline.get("mode"):
+    print(
+        f"bench compare: skipping ({fresh.get('mode')} run vs "
+        f"{baseline.get('mode')} baseline are not comparable)"
+    )
+    sys.exit(0)
+
+idle = fresh["scraped_solve_ns"]["idle"]
+prior = baseline["cached_solve_ns"]["recorder_off"]
+drift = 100.0 * (idle - prior) / prior
+print(
+    f"bench compare: cached solve idle {idle} ns vs prior baseline {prior} ns "
+    f"({drift:+.1f}%)"
+)
+if drift > 10.0:
+    print(
+        f"bench compare: WARNING cached-solve baseline regressed {drift:.1f}% "
+        f"(>10%) against {baseline_path}"
+    )
+
+overhead = fresh["scraped_solve_ns"]["overhead_pct"]
+print(f"bench compare: 10 Hz scrape overhead on a cached solve {overhead:+.1f}%")
+if overhead > 10.0:
+    print(
+        f"bench compare: WARNING scrape overhead {overhead:.1f}% exceeds the "
+        f"10% comparison budget"
+    )
+PY
+fi

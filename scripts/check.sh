@@ -34,7 +34,45 @@ if command -v python3 > /dev/null; then
   python3 -c "import json,sys; json.load(open(sys.argv[1]))" "$TRACE_DIR/trace.json"
 fi
 
-echo "==> factor-reuse + flight-recorder perf smoke (cached re-solve >= 3x, obs overhead < 5%)"
-bash scripts/bench.sh --smoke
+echo "==> telemetry smoke (/metrics + /healthz on an ephemeral port)"
+SERVE_LOG="target/telemetry_smoke.log"
+rm -f "$SERVE_LOG"
+MAPS_OBS_ADDR=127.0.0.1:0 \
+  cargo run --release --example run_report -- --serve 40 > "$SERVE_LOG" 2>&1 &
+SERVE_PID=$!
+trap 'kill "$SERVE_PID" 2> /dev/null || true' EXIT
+# The example prints "telemetry: listening on http://ADDR" once bound.
+ADDR=""
+for _ in $(seq 1 100); do
+  ADDR="$(sed -n 's|^telemetry: listening on http://||p' "$SERVE_LOG" | head -n1)"
+  [ -n "$ADDR" ] && break
+  kill -0 "$SERVE_PID" 2> /dev/null || { cat "$SERVE_LOG"; echo "serve mode died before binding"; exit 1; }
+  sleep 0.1
+done
+test -n "$ADDR" || { cat "$SERVE_LOG"; echo "telemetry server never printed its address"; exit 1; }
+# std-only scrape: bash /dev/tcp works everywhere the build does; curl is
+# used when present for a second opinion on the HTTP framing.
+http_get() {
+  exec 3<> "/dev/tcp/${ADDR%:*}/${ADDR##*:}"
+  printf 'GET %s HTTP/1.1\r\nHost: maps\r\nConnection: close\r\n\r\n' "$1" >&3
+  cat <&3
+  exec 3>&- 3<&-
+}
+sleep 0.5 # let the first workload tick land so counters are non-zero
+METRICS="$(http_get /metrics)"
+echo "$METRICS" | head -n1 | grep -q '200 OK' || { echo "$METRICS" | head -n5; echo "/metrics did not return 200"; exit 1; }
+echo "$METRICS" | grep -q '^fdfd_solve_batch_requests_total ' || { echo "/metrics missing fdfd_solve_batch_requests_total"; exit 1; }
+http_get /healthz | grep -q '200 OK' || { echo "/healthz did not return 200"; exit 1; }
+if command -v curl > /dev/null; then
+  curl -fsS "http://$ADDR/metrics" | grep -q '^fdfd_solve_batch_requests_total ' \
+    || { echo "curl /metrics missing known counter"; exit 1; }
+  curl -fsS "http://$ADDR/healthz" > /dev/null || { echo "curl /healthz failed"; exit 1; }
+fi
+wait "$SERVE_PID" || { cat "$SERVE_LOG"; echo "serve mode exited non-zero"; exit 1; }
+trap - EXIT
+grep -q 'telemetry: served 40 ticks' "$SERVE_LOG" || { cat "$SERVE_LOG"; echo "serve mode did not run to completion"; exit 1; }
+
+echo "==> factor-reuse + flight-recorder perf smoke (cached re-solve >= 3x, obs overhead < 5%, scrape overhead bounded)"
+bash scripts/bench.sh --smoke --compare
 
 echo "==> all checks passed"

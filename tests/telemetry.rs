@@ -1,0 +1,341 @@
+//! End-to-end tests of the live telemetry plane: the `/metrics` endpoint
+//! must agree with the in-process registry, `/trace` must show worker
+//! spans stitched to their spawning flow (without draining the ring),
+//! `/readyz` must follow the stall watchdog, and concurrent scrapes must
+//! never tear while rayon workers hammer the instruments.
+//!
+//! The server, registry, recorder, and watchdog are process-wide; a
+//! file-local mutex serializes these tests.
+
+use maps::core::{ComplexField2d, FieldSolver, Grid2d, RealField2d, SolveRequest};
+use maps::fdfd::{FdfdSolver, PmlConfig};
+use maps::obs::recorder;
+use rayon::prelude::*;
+use serde::Value;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Mutex;
+use std::time::Duration;
+
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    SERIAL.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// Minimal std-only HTTP GET against the telemetry server.
+fn http_get(addr: SocketAddr, path: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect telemetry server");
+    write!(stream, "GET {path} HTTP/1.1\r\nHost: maps\r\n\r\n").expect("send request");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read response");
+    let status = raw
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status code");
+    let body = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+/// Value of one Prometheus sample line (`name value`) in a scrape body.
+fn prom_value(body: &str, name: &str) -> Option<f64> {
+    body.lines().filter(|l| !l.starts_with('#')).find_map(|l| {
+        let (n, v) = l.split_once(' ')?;
+        (n == name).then(|| v.trim().parse().ok())?
+    })
+}
+
+/// Runs one small multi-ω solve batch through the real FDFD plane.
+fn solve_workload() {
+    let grid = Grid2d::new(40, 40, 0.05);
+    let eps = RealField2d::constant(grid, 2.25);
+    let mut j = ComplexField2d::zeros(grid);
+    j.set(20, 20, maps::linalg::Complex64::ONE);
+    let solver = FdfdSolver::with_pml(PmlConfig::auto(grid.dl));
+    let requests = [
+        SolveRequest::forward(&j, 4.0),
+        SolveRequest::forward(&j, 4.25),
+        SolveRequest::forward(&j, 4.5),
+    ];
+    for result in solver.solve_ez_batch(&eps, &requests) {
+        result.expect("workload solve succeeds");
+    }
+}
+
+#[test]
+fn metrics_scrape_matches_in_process_registry() {
+    let _guard = lock();
+    let server = maps::obs::serve("127.0.0.1:0").expect("bind ephemeral");
+    solve_workload();
+
+    // Read the registry first, then scrape: nothing else runs between the
+    // two (the serial lock holds), so the values must agree exactly.
+    let batch_requests = maps::obs::global()
+        .counter_value("fdfd.solve_batch.requests")
+        .expect("workload bumped the batch counter");
+    let forward_solves = maps::obs::global()
+        .counter_value("fdfd.forward_solves")
+        .expect("workload bumped the forward counter");
+
+    let (status, body) = http_get(server.addr(), "/metrics");
+    assert_eq!(status, 200);
+    assert_eq!(
+        prom_value(&body, "fdfd_solve_batch_requests_total"),
+        Some(batch_requests as f64),
+        "scraped batch-request counter disagrees with the registry"
+    );
+    assert_eq!(
+        prom_value(&body, "fdfd_forward_solves_total"),
+        Some(forward_solves as f64),
+        "scraped forward-solve counter disagrees with the registry"
+    );
+    // Span histograms export as summaries with quantiles and _count.
+    assert!(
+        body.contains("span_fdfd_solve_batch_seconds{quantile=\"0.5\"}"),
+        "missing summary quantiles:\n{body}"
+    );
+    assert!(body.contains("span_fdfd_solve_batch_seconds_count"));
+
+    let (status, snapshot) = http_get(server.addr(), "/snapshot");
+    assert_eq!(status, 200);
+    let parsed: Value = serde_json::from_str(&snapshot).expect("snapshot JSON parses");
+    let counted = parsed
+        .field("counters")
+        .and_then(|c| c.field("fdfd.solve_batch.requests"))
+        .and_then(Value::as_f64)
+        .expect("snapshot carries the counter");
+    assert_eq!(counted as u64, batch_requests);
+
+    server.stop();
+}
+
+#[test]
+fn trace_endpoint_shows_stitched_worker_flows_without_draining() {
+    let _guard = lock();
+    recorder::enable();
+    let server = maps::obs::serve("127.0.0.1:0").expect("bind ephemeral");
+
+    // A threaded labeling run: densities fan out over scoped workers.
+    let device = maps::data::DeviceKind::Bending.build(maps::data::DeviceResolution::low());
+    let densities = maps::data::sample_densities(
+        maps::data::SamplingStrategy::Random,
+        &device,
+        &maps::data::SamplerConfig {
+            count: 4,
+            seed: 11,
+            trajectory_iterations: 2,
+            perturbation: 0.25,
+        },
+    )
+    .expect("densities");
+    let report = maps::data::label_batch_resilient_par(&device, &densities, &Default::default());
+    assert!(!report.ok.is_empty(), "labeling produced samples");
+
+    let ring_before = recorder::snapshot().len();
+    let (status, body) = http_get(server.addr(), "/trace?last=4096");
+    assert_eq!(status, 200);
+    assert_eq!(
+        recorder::snapshot().len(),
+        ring_before,
+        "/trace must not drain the ring"
+    );
+
+    let trace: Value = serde_json::from_str(&body).expect("trace JSON parses");
+    let events = trace
+        .field("traceEvents")
+        .and_then(Value::as_arr)
+        .expect("traceEvents array");
+
+    // Locate the batch span and every per-density worker span.
+    let mut batch: Option<(u64, u64, u64)> = None; // (span_id, flow, tid)
+    let mut workers: Vec<(u64, u64, u64)> = Vec::new(); // (flow, parent, tid)
+    for ev in events {
+        let Ok(name) = ev.field("name").and_then(|n| n.as_str()) else {
+            continue;
+        };
+        let arg = |key: &str| {
+            ev.field("args")
+                .and_then(|a| a.field(key))
+                .and_then(Value::as_f64)
+                .map(|v| v as u64)
+        };
+        let tid = ev.field("tid").and_then(Value::as_f64).unwrap() as u64;
+        if name == "data.label_batch_resilient_par" {
+            batch = Some((arg("span_id").unwrap(), arg("flow").unwrap(), tid));
+        } else if name == "data.label_density" {
+            workers.push((arg("flow").unwrap(), arg("parent").unwrap(), tid));
+        }
+    }
+    let (batch_id, batch_flow, batch_tid) = batch.expect("batch span exported");
+    assert!(!workers.is_empty(), "worker spans exported");
+    for (flow, parent, _) in &workers {
+        assert_eq!(*flow, batch_flow, "worker span carries the batch flow id");
+        assert_eq!(*parent, batch_id, "worker span's parent is the batch span");
+    }
+    // With more than one core the fan-out crosses threads and the exporter
+    // emits flow arrows for those edges.
+    let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
+    if cores > 1 && workers.iter().any(|(_, _, tid)| *tid != batch_tid) {
+        assert!(
+            body.contains("\"ph\":\"s\"") && body.contains("\"ph\":\"f\""),
+            "cross-thread fan-out must emit flow arrows:\n{body:.360}"
+        );
+    }
+
+    server.stop();
+    recorder::disable();
+}
+
+#[test]
+fn readyz_follows_the_stall_watchdog() {
+    let _guard = lock();
+    let server = maps::obs::serve("127.0.0.1:0").expect("bind ephemeral");
+    maps::obs::watchdog::set_deadline(
+        "telemetry.test.hang",
+        maps::obs::watchdog::Deadline {
+            slow: Duration::from_millis(5),
+            stall: Duration::from_millis(20),
+        },
+    );
+    let watchdog =
+        maps::obs::watchdog::start(Duration::from_millis(5), 0).expect("watchdog not yet running");
+
+    let (status, body) = http_get(server.addr(), "/readyz");
+    assert_eq!(status, 200, "healthy process is ready: {body}");
+
+    {
+        let _hang = maps::obs::span("telemetry.test.hang");
+        std::thread::sleep(Duration::from_millis(80));
+        let (status, body) = http_get(server.addr(), "/readyz");
+        assert_eq!(status, 503, "stalled span must flip readiness");
+        assert!(body.contains("telemetry.test.hang"), "{body}");
+        let (status, _) = http_get(server.addr(), "/healthz");
+        assert_eq!(status, 200, "liveness stays up during a stall");
+    }
+    // Span closed: readiness recovers within a few samples.
+    let mut recovered = false;
+    for _ in 0..40 {
+        std::thread::sleep(Duration::from_millis(10));
+        if http_get(server.addr(), "/readyz").0 == 200 {
+            recovered = true;
+            break;
+        }
+    }
+    assert!(recovered, "readiness must recover after the stall clears");
+    assert!(
+        maps::obs::global()
+            .counter_value("obs.watchdog.stalls")
+            .unwrap_or(0)
+            >= 1
+    );
+
+    watchdog.stop();
+    server.stop();
+}
+
+#[test]
+fn series_endpoint_serves_csv_and_404s_unknown_names() {
+    let _guard = lock();
+    let server = maps::obs::serve("127.0.0.1:0").expect("bind ephemeral");
+    let series = maps::obs::series("telemetry.test.objective");
+    series.push(0, 0.25);
+    series.push(1, 0.5);
+
+    let (status, body) = http_get(server.addr(), "/series/telemetry.test.objective");
+    assert_eq!(status, 200);
+    let lines: Vec<&str> = body.lines().collect();
+    assert_eq!(lines[0], "step,value");
+    assert!(
+        lines.contains(&"0,0.25") && lines.contains(&"1,0.5"),
+        "{body}"
+    );
+
+    let (status, _) = http_get(server.addr(), "/series/telemetry.test.unknown");
+    assert_eq!(status, 404);
+    // The miss must not have created the series.
+    assert!(maps::obs::series_get("telemetry.test.unknown").is_none());
+
+    server.stop();
+}
+
+#[test]
+fn concurrent_hammer_and_scrape_lose_nothing_and_never_tear() {
+    let _guard = lock();
+    let server = maps::obs::serve("127.0.0.1:0").expect("bind ephemeral");
+    let addr = server.addr();
+
+    const ITEMS: u64 = 2_000;
+    let before = maps::obs::global()
+        .counter_value("telemetry.test.hammer")
+        .unwrap_or(0);
+
+    // Scraper thread: hit /metrics as fast as it will answer while the
+    // workers below hammer every instrument kind.
+    let stop = std::sync::atomic::AtomicBool::new(false);
+    let scrape_count = std::sync::atomic::AtomicU64::new(0);
+    let scrapes = std::thread::scope(|scope| {
+        let scraper = scope.spawn(|| {
+            while !stop.load(std::sync::atomic::Ordering::Acquire) {
+                let (status, body) = http_get(addr, "/metrics");
+                assert_eq!(status, 200);
+                // Tear check: every sample line still splits into exactly
+                // name + value, even mid-hammer.
+                for line in body
+                    .lines()
+                    .filter(|l| !l.is_empty() && !l.starts_with('#'))
+                {
+                    assert_eq!(
+                        line.split_whitespace().count(),
+                        2,
+                        "torn render line: {line:?}"
+                    );
+                }
+                scrape_count.fetch_add(1, std::sync::atomic::Ordering::Release);
+            }
+        });
+
+        let items: Vec<u64> = (0..ITEMS).collect();
+        let _: Vec<()> = items
+            .par_iter()
+            .map(|&k| {
+                maps::obs::counter("telemetry.test.hammer").inc();
+                maps::obs::histogram("telemetry.test.latency").record(k as f64 * 1e-6);
+                maps::obs::series("telemetry.test.progress").push(k, k as f64);
+            })
+            .collect();
+
+        // The hammer can outrun the scraper's first HTTP round trip; keep
+        // the scraper going until it has demonstrably rendered mid-test.
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while scrape_count.load(std::sync::atomic::Ordering::Acquire) < 2
+            && std::time::Instant::now() < deadline
+        {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        stop.store(true, std::sync::atomic::Ordering::Release);
+        scraper.join().expect("scraper thread");
+        scrape_count.load(std::sync::atomic::Ordering::Acquire)
+    });
+    assert!(scrapes > 0, "scraper never completed a request");
+
+    // Nothing lost: the final scrape total equals the exact hammer count.
+    let (_, body) = http_get(addr, "/metrics");
+    assert_eq!(
+        prom_value(&body, "telemetry_test_hammer_total"),
+        Some((before + ITEMS) as f64)
+    );
+    assert_eq!(
+        prom_value(&body, "telemetry_test_latency_count"),
+        Some(ITEMS as f64)
+    );
+    assert_eq!(
+        maps::obs::series("telemetry.test.progress").len() as u64,
+        ITEMS
+    );
+
+    server.stop();
+}

@@ -22,6 +22,13 @@
 //! Result ordering is always the input order, regardless of which worker
 //! finished first; that invariant is what lets callers produce
 //! byte-identical reports from parallel and sequential runs.
+//!
+//! Workers automatically adopt the spawning thread's `maps-obs`
+//! [`TaskContext`](maps_obs::TaskContext) (flow id + parent span id), so
+//! spans opened inside a `par_iter` closure stitch to the span that fanned
+//! the work out instead of starting disconnected per-thread traces. When
+//! nothing is recording, the context is the zero value and adoption is two
+//! thread-local writes per worker.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -177,19 +184,26 @@ fn parallel_map_indexed<'a, T: Sync, R: Send>(
     if n <= 1 || workers == 1 {
         return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
     }
+    // Trace stitching: workers adopt the spawning thread's flow/parent
+    // context so spans they open link back to the span that fanned out
+    // (a no-op TaskContext when nothing is being recorded).
+    let ctx = maps_obs::current_context();
     // Atomic work index so uneven jobs (FDFD solves of varying size) balance
     // across threads; a mutex-guarded sparse buffer reassembles order.
     let next = AtomicUsize::new(0);
     let slots: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
     std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
+            scope.spawn(|| {
+                let _ctx = maps_obs::adopt_context(ctx);
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let r = f(i, &items[i]);
+                    slots.lock().expect("rayon-stub slot lock")[i] = Some(r);
                 }
-                let r = f(i, &items[i]);
-                slots.lock().expect("rayon-stub slot lock")[i] = Some(r);
             });
         }
     });
@@ -296,6 +310,35 @@ mod tests {
                 "expected parallel execution, saw {distinct} thread(s)"
             );
         }
+    }
+
+    #[test]
+    fn workers_inherit_spawning_span_context() {
+        maps_obs::recorder::enable();
+        let flow = {
+            let parent = maps_obs::span("rayon.test.fanout");
+            let flow = parent.flow();
+            assert_ne!(flow, 0);
+            let input: Vec<usize> = (0..64).collect();
+            let flows: Vec<(u64, u64)> = input
+                .par_iter()
+                .map(|_| {
+                    let child = maps_obs::span("rayon.test.item");
+                    (child.flow(), maps_obs::current_context().flow)
+                })
+                .collect();
+            for (child_flow, ctx_flow) in flows {
+                assert_eq!(child_flow, flow, "worker span joined the fanout flow");
+                assert_eq!(ctx_flow, flow);
+            }
+            flow
+        };
+        // After the scope the spawning thread's context is restored; a new
+        // root span starts a fresh flow.
+        let next = maps_obs::span("rayon.test.after");
+        assert_ne!(next.flow(), flow);
+        drop(next);
+        maps_obs::recorder::disable();
     }
 
     #[test]
