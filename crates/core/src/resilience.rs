@@ -27,6 +27,7 @@
 use crate::field::{ComplexField2d, RealField2d};
 use crate::solver::{ensure_finite, FieldSolver, SolveFieldError, SolveKind, SolveRequest};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
 
 /// Retry/fallback configuration for a [`RobustSolver`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -60,19 +61,32 @@ impl RetryPolicy {
     ///
     /// - `MAPS_SOLVE_RETRIES` — `max_retries` (usize)
     /// - `MAPS_SOLVE_RELAX` — `relax_factor` (f64 ≥ 1)
-    /// - `MAPS_SOLVE_VALIDATE` — `0`/`false` disables output validation
+    /// - `MAPS_SOLVE_VALIDATE` — `0`/`false`/`off` disables output
+    ///   validation, `1`/`true`/`on` (the default) keeps it
+    ///
+    /// Malformed values warn once via [`maps_obs::warn_invalid_env`] and
+    /// fall back to the default instead of being silently ignored.
     pub fn from_env() -> Self {
-        let mut policy = RetryPolicy::default();
-        if let Some(n) = env_parse::<usize>("MAPS_SOLVE_RETRIES") {
-            policy.max_retries = n;
+        let defaults = RetryPolicy::default();
+        let mut policy = defaults;
+        policy.max_retries = maps_obs::parse_env_or("MAPS_SOLVE_RETRIES", defaults.max_retries);
+        let relax = maps_obs::parse_env_or("MAPS_SOLVE_RELAX", defaults.relax_factor);
+        if relax >= 1.0 && relax.is_finite() {
+            policy.relax_factor = relax;
+        } else if let Ok(raw) = std::env::var("MAPS_SOLVE_RELAX") {
+            maps_obs::warn_invalid_env("MAPS_SOLVE_RELAX", raw.trim(), "finite factor >= 1");
         }
-        if let Some(f) = env_parse::<f64>("MAPS_SOLVE_RELAX") {
-            if f >= 1.0 && f.is_finite() {
-                policy.relax_factor = f;
+        if let Ok(raw) = std::env::var("MAPS_SOLVE_VALIDATE") {
+            match raw.trim() {
+                "" => {}
+                "0" | "false" | "off" => policy.validate_output = false,
+                "1" | "true" | "on" => policy.validate_output = true,
+                other => maps_obs::warn_invalid_env(
+                    "MAPS_SOLVE_VALIDATE",
+                    other,
+                    "one of 0/false/off/1/true/on",
+                ),
             }
-        }
-        if let Ok(v) = std::env::var("MAPS_SOLVE_VALIDATE") {
-            policy.validate_output = !matches!(v.as_str(), "0" | "false" | "off");
         }
         policy
     }
@@ -81,10 +95,6 @@ impl RetryPolicy {
     fn factor_for_attempt(&self, k: usize) -> f64 {
         self.relax_factor.powi(k as i32).min(self.max_relax)
     }
-}
-
-fn env_parse<T: std::str::FromStr>(key: &str) -> Option<T> {
-    std::env::var(key).ok().and_then(|v| v.parse().ok())
 }
 
 /// Per-instance recovery counters of a [`RobustSolver`].
@@ -104,6 +114,8 @@ pub struct RobustStats {
     pub unrecovered: u64,
     /// Solves that ultimately succeeded after at least one failure.
     pub recovered: u64,
+    /// Recovery sequences abandoned because the caller's deadline passed.
+    pub deadlined: u64,
 }
 
 #[derive(Debug, Default)]
@@ -113,6 +125,7 @@ struct StatCells {
     nonfinite: AtomicU64,
     unrecovered: AtomicU64,
     recovered: AtomicU64,
+    deadlined: AtomicU64,
 }
 
 /// A [`FieldSolver`] wrapper that retries, relaxes, falls back, and
@@ -164,7 +177,26 @@ impl<S: FieldSolver> RobustSolver<S> {
             nonfinite: self.stats.nonfinite.load(Ordering::Relaxed),
             unrecovered: self.stats.unrecovered.load(Ordering::Relaxed),
             recovered: self.stats.recovered.load(Ordering::Relaxed),
+            deadlined: self.stats.deadlined.load(Ordering::Relaxed),
         }
+    }
+
+    /// Raises [`SolveFieldError::DeadlineExceeded`] when `deadline` has
+    /// passed, counting the abandonment.
+    fn check_deadline(
+        &self,
+        deadline: Option<Instant>,
+        stage: &str,
+    ) -> Result<(), SolveFieldError> {
+        let Some(d) = deadline else { return Ok(()) };
+        if Instant::now() < d {
+            return Ok(());
+        }
+        self.stats.deadlined.fetch_add(1, Ordering::Relaxed);
+        maps_obs::counter("solve.deadline_exceeded").inc();
+        Err(SolveFieldError::DeadlineExceeded {
+            detail: format!("deadline passed before {stage}"),
+        })
     }
 
     /// Validates a primary/fallback result per the policy, counting
@@ -191,11 +223,19 @@ impl<S: FieldSolver> RobustSolver<S> {
     fn drive(
         &self,
         direction: &str,
+        deadline: Option<Instant>,
         primary_attempt: impl Fn(f64) -> Result<ComplexField2d, SolveFieldError>,
         fallback_attempt: impl Fn(&dyn FieldSolver) -> Result<ComplexField2d, SolveFieldError>,
     ) -> Result<ComplexField2d, SolveFieldError> {
+        self.check_deadline(deadline, "the first attempt")?;
         let first = primary_attempt(1.0);
-        self.drive_from(first, direction, primary_attempt, fallback_attempt)
+        self.drive_from(
+            first,
+            direction,
+            deadline,
+            primary_attempt,
+            fallback_attempt,
+        )
     }
 
     /// Like [`RobustSolver::drive`], but seeded with an already-obtained
@@ -207,6 +247,7 @@ impl<S: FieldSolver> RobustSolver<S> {
         &self,
         first: Result<ComplexField2d, SolveFieldError>,
         direction: &str,
+        deadline: Option<Instant>,
         primary_attempt: impl Fn(f64) -> Result<ComplexField2d, SolveFieldError>,
         fallback_attempt: impl Fn(&dyn FieldSolver) -> Result<ComplexField2d, SolveFieldError>,
     ) -> Result<ComplexField2d, SolveFieldError> {
@@ -225,6 +266,7 @@ impl<S: FieldSolver> RobustSolver<S> {
             .field("solver", self.primary.name())
             .field("direction", direction);
         for attempt in 1..=self.policy.max_retries {
+            self.check_deadline(deadline, "a relaxed retry")?;
             let factor = self.policy.factor_for_attempt(attempt);
             self.stats.retries.fetch_add(1, Ordering::Relaxed);
             maps_obs::counter("solve.retries").inc();
@@ -249,6 +291,7 @@ impl<S: FieldSolver> RobustSolver<S> {
             }
         }
         if let Some(fb) = &self.fallback {
+            self.check_deadline(deadline, "the fallback attempt")?;
             self.stats.fallbacks.fetch_add(1, Ordering::Relaxed);
             maps_obs::counter("solve.fallbacks").inc();
             maps_obs::error!(
@@ -269,17 +312,30 @@ impl<S: FieldSolver> RobustSolver<S> {
         maps_obs::counter("solve.unrecovered").inc();
         Err(last_err)
     }
-}
 
-impl<S: FieldSolver> FieldSolver for RobustSolver<S> {
-    fn solve_ez(
+    /// [`FieldSolver::solve_ez`] with an optional wall-clock deadline.
+    ///
+    /// The deadline is checked before the first attempt, before every
+    /// relaxed retry, and before the fallback attempt — a recovery sequence
+    /// never outlives the caller's patience. An attempt already in flight
+    /// is not interrupted (the solvers are synchronous), so one attempt's
+    /// worth of overshoot is possible; what the deadline guarantees is that
+    /// no *new* work starts past it.
+    ///
+    /// # Errors
+    ///
+    /// [`SolveFieldError::DeadlineExceeded`] when the deadline passes
+    /// mid-recovery, otherwise as [`FieldSolver::solve_ez`].
+    pub fn solve_ez_by(
         &self,
         eps_r: &RealField2d,
         source: &ComplexField2d,
         omega: f64,
+        deadline: Option<Instant>,
     ) -> Result<ComplexField2d, SolveFieldError> {
         self.drive(
             "forward",
+            deadline,
             |factor| {
                 if factor == 1.0 {
                     self.primary.solve_ez(eps_r, source, omega)
@@ -291,14 +347,23 @@ impl<S: FieldSolver> FieldSolver for RobustSolver<S> {
         )
     }
 
-    fn solve_adjoint_ez(
+    /// [`FieldSolver::solve_adjoint_ez`] with an optional wall-clock
+    /// deadline (see [`RobustSolver::solve_ez_by`]).
+    ///
+    /// # Errors
+    ///
+    /// [`SolveFieldError::DeadlineExceeded`] when the deadline passes
+    /// mid-recovery, otherwise as [`FieldSolver::solve_adjoint_ez`].
+    pub fn solve_adjoint_ez_by(
         &self,
         eps_r: &RealField2d,
         rhs: &ComplexField2d,
         omega: f64,
+        deadline: Option<Instant>,
     ) -> Result<ComplexField2d, SolveFieldError> {
         self.drive(
             "adjoint",
+            deadline,
             |factor| {
                 if factor == 1.0 {
                     self.primary.solve_adjoint_ez(eps_r, rhs, omega)
@@ -309,6 +374,26 @@ impl<S: FieldSolver> FieldSolver for RobustSolver<S> {
             },
             |fb| fb.solve_adjoint_ez(eps_r, rhs, omega),
         )
+    }
+}
+
+impl<S: FieldSolver> FieldSolver for RobustSolver<S> {
+    fn solve_ez(
+        &self,
+        eps_r: &RealField2d,
+        source: &ComplexField2d,
+        omega: f64,
+    ) -> Result<ComplexField2d, SolveFieldError> {
+        self.solve_ez_by(eps_r, source, omega, None)
+    }
+
+    fn solve_adjoint_ez(
+        &self,
+        eps_r: &RealField2d,
+        rhs: &ComplexField2d,
+        omega: f64,
+    ) -> Result<ComplexField2d, SolveFieldError> {
+        self.solve_adjoint_ez_by(eps_r, rhs, omega, None)
     }
 
     /// Batched solves keep the primary's batch amortization (one
@@ -330,6 +415,7 @@ impl<S: FieldSolver> FieldSolver for RobustSolver<S> {
                 SolveKind::Forward => self.drive_from(
                     first,
                     "forward",
+                    None,
                     |factor| {
                         if factor == 1.0 {
                             self.primary.solve_ez(eps_r, req.source, req.omega)
@@ -343,6 +429,7 @@ impl<S: FieldSolver> FieldSolver for RobustSolver<S> {
                 SolveKind::Adjoint => self.drive_from(
                     first,
                     "adjoint",
+                    None,
                     |factor| {
                         if factor == 1.0 {
                             self.primary.solve_adjoint_ez(eps_r, req.source, req.omega)
@@ -585,6 +672,59 @@ mod tests {
         let stats = robust.stats();
         assert_eq!(stats.retries, 2);
         assert_eq!(stats.unrecovered, 1);
+    }
+
+    #[test]
+    fn expired_deadline_short_circuits_before_the_first_attempt() {
+        let (_, eps, j) = fixtures();
+        let robust = RobustSolver::new(EchoSolver, RetryPolicy::default());
+        let err = robust
+            .solve_ez_by(&eps, &j, 1.0, Some(Instant::now()))
+            .unwrap_err();
+        assert!(matches!(err, SolveFieldError::DeadlineExceeded { .. }));
+        assert_eq!(robust.stats().deadlined, 1);
+        assert_eq!(robust.stats().retries, 0);
+    }
+
+    #[test]
+    fn deadline_cuts_a_retry_sequence_short() {
+        let (_, eps, j) = fixtures();
+        /// Fails after sleeping long enough to guarantee the deadline has
+        /// passed by the time the retry loop re-checks it.
+        struct SleepyFail;
+        impl FieldSolver for SleepyFail {
+            fn solve_ez(
+                &self,
+                _eps_r: &RealField2d,
+                _source: &ComplexField2d,
+                _omega: f64,
+            ) -> Result<ComplexField2d, SolveFieldError> {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                Err(SolveFieldError::Numerical {
+                    detail: "injected".into(),
+                })
+            }
+        }
+        let robust = RobustSolver::new(SleepyFail, RetryPolicy::default())
+            .with_fallback(Box::new(EchoSolver));
+        let deadline = Instant::now() + std::time::Duration::from_millis(5);
+        let err = robust
+            .solve_ez_by(&eps, &j, 1.0, Some(deadline))
+            .unwrap_err();
+        assert!(matches!(err, SolveFieldError::DeadlineExceeded { .. }));
+        let stats = robust.stats();
+        assert_eq!(stats.deadlined, 1);
+        assert_eq!(stats.retries, 0, "no retry may start past the deadline");
+        assert_eq!(stats.fallbacks, 0, "the fallback is past-deadline too");
+    }
+
+    #[test]
+    fn no_deadline_means_no_deadline_accounting() {
+        let (_, eps, j) = fixtures();
+        let robust = RobustSolver::new(EchoSolver, RetryPolicy::default());
+        robust.solve_ez_by(&eps, &j, 1.0, None).unwrap();
+        robust.solve_adjoint_ez_by(&eps, &j, 1.0, None).unwrap();
+        assert_eq!(robust.stats().deadlined, 0);
     }
 
     #[test]

@@ -226,17 +226,28 @@ pub enum SolveFieldError {
         /// Where the non-finite value appeared.
         detail: String,
     },
+    /// The caller's deadline passed before a result could be produced.
+    /// Raised by deadline-aware drivers (e.g. `RobustSolver::solve_ez_by`)
+    /// between attempts; the solve is abandoned, never answered late.
+    DeadlineExceeded {
+        /// Which stage of the solve the deadline interrupted.
+        detail: String,
+    },
 }
 
 impl SolveFieldError {
     /// True when a retry (possibly with relaxed tolerance) or a fallback
     /// solver could plausibly succeed. Input inconsistencies
     /// ([`SolveFieldError::GridMismatch`], [`SolveFieldError::InvalidInput`])
-    /// are permanent; numerical breakdowns are worth another attempt.
+    /// are permanent, and a passed deadline
+    /// ([`SolveFieldError::DeadlineExceeded`]) only gets *more* passed;
+    /// numerical breakdowns are worth another attempt.
     pub fn is_retryable(&self) -> bool {
         !matches!(
             self,
-            SolveFieldError::GridMismatch { .. } | SolveFieldError::InvalidInput { .. }
+            SolveFieldError::GridMismatch { .. }
+                | SolveFieldError::InvalidInput { .. }
+                | SolveFieldError::DeadlineExceeded { .. }
         )
     }
 }
@@ -248,6 +259,9 @@ impl fmt::Display for SolveFieldError {
             SolveFieldError::Numerical { detail } => write!(f, "numerical failure: {detail}"),
             SolveFieldError::InvalidInput { detail } => write!(f, "invalid input: {detail}"),
             SolveFieldError::NonFinite { detail } => write!(f, "non-finite output: {detail}"),
+            SolveFieldError::DeadlineExceeded { detail } => {
+                write!(f, "deadline exceeded: {detail}")
+            }
         }
     }
 }
@@ -350,6 +364,10 @@ mod tests {
         }
         .is_retryable());
         assert!(SolveFieldError::NonFinite {
+            detail: String::new()
+        }
+        .is_retryable());
+        assert!(!SolveFieldError::DeadlineExceeded {
             detail: String::new()
         }
         .is_retryable());

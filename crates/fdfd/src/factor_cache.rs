@@ -14,7 +14,14 @@
 //! - independent of the LRU ring, the cache always retains the **most
 //!   recent** factorization, so an adjoint solve immediately following the
 //!   forward solve of the same design reuses its factor even when the cache
-//!   is disabled (`MAPS_FACTOR_CACHE=0`).
+//!   is disabled (`MAPS_FACTOR_CACHE=0`);
+//! - **single-flight coalescing** ([`FactorCache::factorize_coalesced`]):
+//!   concurrent misses of the same fingerprint elect one leader to
+//!   factorize while followers wait and share the result — the mechanism a
+//!   multi-client solve service (`mapsd`) relies on to answer a stampede of
+//!   identical designs with one factorization. In-flight bookkeeping is
+//!   sharded by fingerprint bits ([`FLIGHT_SHARDS`]) to kill lock
+//!   contention between unrelated designs.
 //!
 //! Reuse is bit-identical by construction: a hit returns the *same*
 //! factorization a cold call would recompute (the factorization is a
@@ -35,10 +42,16 @@ use crate::pml::PmlConfig;
 use maps_core::RealField2d;
 use maps_linalg::{BandedLu, BandedMatrix, LinalgError};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
 /// Default LRU capacity when `MAPS_FACTOR_CACHE` is unset.
 pub const DEFAULT_CAPACITY: usize = 4;
+
+/// Number of independent single-flight registries. Concurrent factorizations
+/// of *different* fingerprints coordinate on different shards (selected by
+/// fingerprint bits), so a daemon serving many designs at once never
+/// serializes its in-flight bookkeeping behind one lock.
+pub const FLIGHT_SHARDS: usize = 16;
 
 /// A cheap identity of one assembled Helmholtz operator.
 ///
@@ -54,6 +67,13 @@ pub const DEFAULT_CAPACITY: usize = 4;
 pub struct Fingerprint {
     h: [u64; 2],
     cells: usize,
+}
+
+impl Fingerprint {
+    /// The single-flight shard this fingerprint coordinates on.
+    fn shard(&self) -> usize {
+        (self.h[0] as usize) % FLIGHT_SHARDS
+    }
 }
 
 const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
@@ -119,10 +139,82 @@ pub fn fingerprint(eps_r: &RealField2d, omega: f64, pml: &PmlConfig) -> Fingerpr
 pub struct CacheStats {
     /// Lookups answered from the cache.
     pub hits: u64,
-    /// Lookups that had to factorize.
+    /// Lookups that had to factorize (single-flight leaders included).
     pub misses: u64,
     /// Entries dropped from the LRU ring to respect capacity.
     pub evictions: u64,
+    /// Lookups that joined another thread's in-flight factorization instead
+    /// of computing their own (single-flight followers).
+    pub coalesced: u64,
+}
+
+/// How one coalesced factorization request was answered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FactorOutcome {
+    /// The factorization was already cached.
+    Hit,
+    /// This call computed the factorization (and published it to every
+    /// concurrent follower).
+    Leader,
+    /// This call waited on a concurrent leader's factorization of the same
+    /// fingerprint and shared its result.
+    Follower,
+}
+
+/// One in-flight factorization: followers block on the condvar until the
+/// leader publishes a result (or its abort) into the slot.
+struct Flight {
+    slot: Mutex<Option<Result<Arc<BandedLu>, LinalgError>>>,
+    done: Condvar,
+}
+
+impl Flight {
+    fn new() -> Self {
+        Flight {
+            slot: Mutex::new(None),
+            done: Condvar::new(),
+        }
+    }
+
+    fn publish(&self, result: Result<Arc<BandedLu>, LinalgError>) {
+        let mut slot = self.slot.lock().expect("flight slot");
+        *slot = Some(result);
+        self.done.notify_all();
+    }
+
+    fn wait(&self) -> Result<Arc<BandedLu>, LinalgError> {
+        let mut slot = self.slot.lock().expect("flight slot");
+        while slot.is_none() {
+            slot = self.done.wait(slot).expect("flight wait");
+        }
+        slot.as_ref().expect("published flight result").clone()
+    }
+}
+
+/// Removes the leader's in-flight entry and publishes an abort if the leader
+/// unwinds without publishing a real result — followers must never block on
+/// a leader that panicked mid-factorization.
+/// A registry shard: the in-flight factorizations whose fingerprints hash
+/// into this shard.
+type FlightShard = Vec<(Fingerprint, Arc<Flight>)>;
+
+struct FlightGuard<'a> {
+    shard: &'a Mutex<FlightShard>,
+    key: Fingerprint,
+    flight: &'a Arc<Flight>,
+    published: bool,
+}
+
+impl Drop for FlightGuard<'_> {
+    fn drop(&mut self) {
+        if !self.published {
+            self.flight.publish(Err(LinalgError::Aborted {
+                detail: "single-flight leader panicked before factorizing".into(),
+            }));
+        }
+        let mut inflight = self.shard.lock().expect("flight shard");
+        inflight.retain(|(k, _)| *k != self.key);
+    }
 }
 
 struct Entry {
@@ -147,9 +239,13 @@ struct Inner {
 /// constructible for tests and special-purpose pipelines.
 pub struct FactorCache {
     inner: Mutex<Inner>,
+    /// Single-flight registries, sharded by fingerprint bits so concurrent
+    /// factorizations of unrelated designs never contend on one lock.
+    flights: Vec<Mutex<FlightShard>>,
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    coalesced: AtomicU64,
 }
 
 impl std::fmt::Debug for FactorCache {
@@ -173,9 +269,11 @@ impl FactorCache {
                 capacity,
                 clock: 0,
             }),
+            flights: (0..FLIGHT_SHARDS).map(|_| Mutex::new(Vec::new())).collect(),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
         }
     }
 
@@ -210,6 +308,7 @@ impl FactorCache {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
         }
     }
 
@@ -262,12 +361,8 @@ impl FactorCache {
     }
 
     /// The factorization for `key`, computing it with `assemble` +
-    /// [`BandedMatrix::factorize`] on a miss. The factorization runs
-    /// *outside* the cache lock (concurrent misses of the same key both
-    /// factorize and insert bit-identical results — wasteful but correct).
-    ///
-    /// Only a miss emits the `fdfd.factorize` span, so span-recorder tests
-    /// can count actual factorizations.
+    /// [`BandedMatrix::factorize`] on a miss. See
+    /// [`FactorCache::factorize_coalesced`] for the concurrency contract.
     ///
     /// # Errors
     ///
@@ -277,19 +372,85 @@ impl FactorCache {
         key: Fingerprint,
         assemble: impl FnOnce() -> BandedMatrix,
     ) -> Result<Arc<BandedLu>, LinalgError> {
+        self.factorize_coalesced(key, assemble).map(|(lu, _)| lu)
+    }
+
+    /// Single-flight factorization: concurrent misses of the same `key`
+    /// elect one **leader** that assembles and factorizes; every concurrent
+    /// **follower** blocks until the leader publishes and then shares the
+    /// same `Arc<BandedLu>`. A `N`-way stampede on one fingerprint therefore
+    /// costs exactly one `O(n·b²)` factorization instead of `N`.
+    ///
+    /// Only the leader emits the `fdfd.factorize` span, so span-recorder
+    /// tests can count actual factorizations. A leader that fails (or
+    /// panics) publishes the failure to its followers — the error is a
+    /// deterministic function of the fingerprinted inputs, so re-running it
+    /// per follower would only repeat the same failure N times.
+    ///
+    /// Telemetry: `fdfd.factor_cache.coalesce.{leader,follower}` counters,
+    /// plus the per-instance [`CacheStats::coalesced`] follower count.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`LinalgError`] from the factorization (leaders and
+    /// followers alike), or [`LinalgError::Aborted`] to followers whose
+    /// leader panicked.
+    pub fn factorize_coalesced(
+        &self,
+        key: Fingerprint,
+        assemble: impl FnOnce() -> BandedMatrix,
+    ) -> Result<(Arc<BandedLu>, FactorOutcome), LinalgError> {
         if let Some(lu) = self.get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             maps_obs::counter("fdfd.factor_cache.hit").inc();
-            return Ok(lu);
+            return Ok((lu, FactorOutcome::Hit));
         }
+        let shard = &self.flights[key.shard()];
+        let flight = Arc::new(Flight::new());
+        let joined = {
+            let mut inflight = shard.lock().expect("flight shard");
+            // Re-check under the shard lock: a leader that finished between
+            // our lookup and here has already inserted into the cache.
+            if let Some(lu) = self.get(&key) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                maps_obs::counter("fdfd.factor_cache.hit").inc();
+                return Ok((lu, FactorOutcome::Hit));
+            }
+            match inflight.iter().find(|(k, _)| *k == key) {
+                Some((_, leader)) => Some(Arc::clone(leader)),
+                None => {
+                    inflight.push((key, Arc::clone(&flight)));
+                    None
+                }
+            }
+        };
+        if let Some(leader) = joined {
+            // Follower: wait for the leader's published result.
+            self.coalesced.fetch_add(1, Ordering::Relaxed);
+            maps_obs::counter("fdfd.factor_cache.coalesce.follower").inc();
+            return leader.wait().map(|lu| (lu, FactorOutcome::Follower));
+        }
+        // Leader: factorize outside every lock, publish, then deregister.
+        let mut guard = FlightGuard {
+            shard,
+            key,
+            flight: &flight,
+            published: false,
+        };
         self.misses.fetch_add(1, Ordering::Relaxed);
         maps_obs::counter("fdfd.factor_cache.miss").inc();
-        let lu = {
+        maps_obs::counter("fdfd.factor_cache.coalesce.leader").inc();
+        let result = {
             let _s = maps_obs::span("fdfd.factorize").field("cells", key.cells);
-            Arc::new(assemble().factorize()?)
+            assemble().factorize().map(Arc::new)
         };
-        self.insert(key, Arc::clone(&lu));
-        Ok(lu)
+        if let Ok(lu) = &result {
+            self.insert(key, Arc::clone(lu));
+        }
+        flight.publish(result.clone());
+        guard.published = true;
+        drop(guard);
+        result.map(|lu| (lu, FactorOutcome::Leader))
     }
 }
 
@@ -352,6 +513,22 @@ pub fn factor(
     assemble: impl FnOnce() -> BandedMatrix,
 ) -> Result<Arc<BandedLu>, LinalgError> {
     global().factorize_with(fingerprint(eps_r, omega, pml), assemble)
+}
+
+/// Like [`factor`], but also reports whether this call hit the cache, led
+/// the factorization, or followed a concurrent leader — the signal `mapsd`
+/// uses to account request-level coalescing.
+///
+/// # Errors
+///
+/// Propagates [`LinalgError`] from the factorization.
+pub fn factor_coalesced(
+    eps_r: &RealField2d,
+    omega: f64,
+    pml: &PmlConfig,
+    assemble: impl FnOnce() -> BandedMatrix,
+) -> Result<(Arc<BandedLu>, FactorOutcome), LinalgError> {
+    global().factorize_coalesced(fingerprint(eps_r, omega, pml), assemble)
 }
 
 #[cfg(test)]
@@ -478,5 +655,137 @@ mod tests {
         cache.factorize_with(key, || toy_banded(0.0)).unwrap();
         cache.clear();
         assert!(cache.get(&key).is_none());
+    }
+
+    #[test]
+    fn outcome_reports_hit_and_leader() {
+        let cache = FactorCache::new(2);
+        let key = key_for(7.0);
+        let (a, first) = cache.factorize_coalesced(key, || toy_banded(0.0)).unwrap();
+        assert_eq!(first, FactorOutcome::Leader);
+        let (b, second) = cache
+            .factorize_coalesced(key, || panic!("hit must not refactorize"))
+            .unwrap();
+        assert_eq!(second, FactorOutcome::Hit);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.stats().coalesced, 0);
+    }
+
+    #[test]
+    fn stampede_elects_one_leader_and_shares_the_factor() {
+        let cache = FactorCache::new(4);
+        let key = key_for(8.0);
+        let threads = 8;
+        let barrier = std::sync::Barrier::new(threads);
+        let factorizations = AtomicU64::new(0);
+        let outcomes: Vec<(FactorOutcome, Arc<BandedLu>)> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    s.spawn(|| {
+                        barrier.wait();
+                        let (lu, outcome) = cache
+                            .factorize_coalesced(key, || {
+                                factorizations.fetch_add(1, Ordering::Relaxed);
+                                // Widen the race window so followers really
+                                // do arrive while the leader is working.
+                                std::thread::sleep(std::time::Duration::from_millis(30));
+                                toy_banded(0.0)
+                            })
+                            .unwrap();
+                        (outcome, lu)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert_eq!(
+            factorizations.load(Ordering::Relaxed),
+            1,
+            "exactly one thread may factorize"
+        );
+        let leaders = outcomes
+            .iter()
+            .filter(|(o, _)| *o == FactorOutcome::Leader)
+            .count();
+        assert_eq!(leaders, 1);
+        let reference = &outcomes[0].1;
+        for (_, lu) in &outcomes {
+            assert!(Arc::ptr_eq(reference, lu), "all threads share one factor");
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(
+            stats.coalesced + stats.hits,
+            threads as u64 - 1,
+            "everyone but the leader followed or hit"
+        );
+    }
+
+    #[test]
+    fn leader_failure_propagates_to_followers() {
+        let cache = FactorCache::new(2);
+        let key = key_for(9.0);
+        // A singular matrix: the leader's factorization fails and every
+        // follower must see that failure instead of hanging.
+        let singular = || BandedMatrix::zeros(4, 1, 1);
+        let barrier = std::sync::Barrier::new(3);
+        let errors: Vec<LinalgError> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..3)
+                .map(|_| {
+                    s.spawn(|| {
+                        barrier.wait();
+                        cache
+                            .factorize_coalesced(key, || {
+                                std::thread::sleep(std::time::Duration::from_millis(20));
+                                singular()
+                            })
+                            .unwrap_err()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert_eq!(errors.len(), 3);
+        for e in &errors {
+            assert!(
+                matches!(e, LinalgError::Singular { .. }),
+                "followers see the leader's error: {e:?}"
+            );
+        }
+        assert!(cache.get(&key).is_none(), "failures are not cached");
+    }
+
+    #[test]
+    fn leader_panic_releases_followers_with_aborted() {
+        let cache = Arc::new(FactorCache::new(2));
+        let key = key_for(10.0);
+        let gate = Arc::new(std::sync::Barrier::new(2));
+        let follower = {
+            let cache = Arc::clone(&cache);
+            let gate = Arc::clone(&gate);
+            std::thread::spawn(move || {
+                gate.wait(); // leader is inside its assemble closure
+                cache.factorize_coalesced(key, || toy_banded(0.0))
+            })
+        };
+        let leader = {
+            let cache = Arc::clone(&cache);
+            let gate = Arc::clone(&gate);
+            std::thread::spawn(move || {
+                let _ = cache.factorize_coalesced(key, || {
+                    gate.wait();
+                    std::thread::sleep(std::time::Duration::from_millis(30));
+                    panic!("injected leader panic");
+                });
+            })
+        };
+        assert!(leader.join().is_err(), "leader thread must have panicked");
+        match follower.join().unwrap() {
+            // The follower either joined the doomed flight (Aborted) or
+            // arrived after deregistration and factorized on its own.
+            Err(LinalgError::Aborted { .. }) => {}
+            Ok((_, FactorOutcome::Leader)) => {}
+            other => panic!("unexpected follower outcome: {other:?}"),
+        }
     }
 }

@@ -44,7 +44,9 @@ pub mod source;
 pub mod sparams;
 
 pub use adjoint::{gradient_from_fields, solve_with_adjoint, AdjointSolution, PowerObjective};
-pub use factor_cache::{CacheStats, FactorCache, Fingerprint};
+pub use factor_cache::{
+    factor, factor_coalesced, CacheStats, FactorCache, FactorOutcome, Fingerprint,
+};
 pub use farfield::FarFieldProjector;
 pub use modes::{solve_slab_modes, ModeError, SlabMode};
 pub use monitor::{derive_h_fields, FluxMonitor, LinearFunctional, ModeMonitor};

@@ -54,6 +54,13 @@ pub enum LinalgError {
         /// Relative residual at the final iterate.
         residual: f64,
     },
+    /// A computation was abandoned before producing a result — e.g. a
+    /// coalesced factorization whose leader panicked, leaving its followers
+    /// with no factor to share.
+    Aborted {
+        /// What interrupted the computation.
+        detail: String,
+    },
 }
 
 impl fmt::Display for LinalgError {
@@ -69,6 +76,7 @@ impl fmt::Display for LinalgError {
                 f,
                 "iterative solver did not converge after {iterations} iterations (residual {residual:.3e})"
             ),
+            LinalgError::Aborted { detail } => write!(f, "computation aborted: {detail}"),
         }
     }
 }

@@ -1,0 +1,87 @@
+//! A minimal std-only HTTP/1.1 client for talking to `mapsd` (and the
+//! telemetry server): enough for tests, the load generator, and the
+//! benches — not a general-purpose client.
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Per-request I/O timeout — generous because a cold direct solve on a
+/// large grid can take seconds.
+const CLIENT_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// POSTs `body` as JSON to `http://{addr}{path}`.
+///
+/// # Errors
+///
+/// Transport errors; a malformed response status line maps to
+/// [`io::ErrorKind::InvalidData`].
+pub fn http_post(addr: &str, path: &str, body: &str) -> io::Result<(u16, String)> {
+    request(addr, "POST", path, Some(body))
+}
+
+/// GETs `http://{addr}{path}`.
+///
+/// # Errors
+///
+/// As [`http_post`].
+pub fn http_get(addr: &str, path: &str) -> io::Result<(u16, String)> {
+    request(addr, "GET", path, None)
+}
+
+fn request(addr: &str, method: &str, path: &str, body: Option<&str>) -> io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(CLIENT_TIMEOUT))?;
+    stream.set_write_timeout(Some(CLIENT_TIMEOUT))?;
+    let body = body.unwrap_or("");
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()?;
+
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw)?;
+    parse_response(&raw)
+}
+
+fn parse_response(raw: &str) -> io::Result<(u16, String)> {
+    let (head, rest) = raw
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "no header terminator"))?;
+    let status_line = head.lines().next().unwrap_or("");
+    let status = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("bad status line: {status_line:?}"),
+            )
+        })?;
+    // Connection: close framing — the body is everything after the head.
+    Ok((status, rest.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_response() {
+        let raw = "HTTP/1.1 429 Too Many Requests\r\nContent-Type: application/json\r\n\r\n{\"status\":\"shed\"}";
+        let (status, body) = parse_response(raw).expect("parse");
+        assert_eq!(status, 429);
+        assert_eq!(body, "{\"status\":\"shed\"}");
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_response("not http").is_err());
+        assert!(parse_response("HTTP/1.1 xyz\r\n\r\n").is_err());
+    }
+}

@@ -1,0 +1,396 @@
+//! The daemon: accept loop, worker pool, routing, and lifecycle.
+//!
+//! ```text
+//!   client ──POST /solve──▶ connection thread ──submit──▶ WorkQueue
+//!                                │    ▲                      │ pop
+//!                                │    └──JobResult── worker thread
+//!                                ▼                     (SolveService)
+//!                           HTTP response
+//! ```
+//!
+//! Connection threads do admission and I/O only; workers own the solving
+//! machinery (one [`SolveService`] each, built on the worker's thread by
+//! the [`ServiceFactory`]). The handoff is a bounded channel per request,
+//! so a worker never blocks on a slow client for longer than one send.
+//!
+//! Lifecycle: [`Daemon::stop`] (or a `POST /shutdown`) stops admissions,
+//! drains the queue — every admitted job is answered — then joins the
+//! accept loop, the workers, and waits out in-flight connections.
+//! `GET /readyz` extends the PR 6 watchdog readiness with daemon state:
+//! draining or a saturated queue reports 503 before clients pile on.
+
+use crate::protocol::{parse_envelope, render_job_result, render_shed, JobKind, JobResult};
+use crate::queue::{QueueConfig, WorkQueue};
+use crate::service::{Breaker, ServiceFactory, SolveService};
+use maps_obs::{read_request, readiness_response, telemetry_response, write_response, Request};
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Daemon sizing and bind address.
+#[derive(Debug, Clone)]
+pub struct DaemonConfig {
+    /// Bind address; port 0 picks an ephemeral port (the bound address is
+    /// reported by [`Daemon::local_addr`]).
+    pub addr: String,
+    /// Worker (solver) threads.
+    pub workers: usize,
+    /// Maximum accepted request body, bytes.
+    pub max_body: usize,
+    /// Admission-control sizing.
+    pub queue: QueueConfig,
+}
+
+impl Default for DaemonConfig {
+    fn default() -> Self {
+        DaemonConfig {
+            addr: "127.0.0.1:9103".to_string(),
+            workers: 4,
+            max_body: 4 << 20,
+            queue: QueueConfig::default(),
+        }
+    }
+}
+
+impl DaemonConfig {
+    /// Reads `MAPS_D_ADDR`, `MAPS_D_WORKERS`, `MAPS_D_MAX_BODY`,
+    /// `MAPS_D_QUEUE`, and `MAPS_D_CLIENT_QUOTA`, warning once per
+    /// malformed value and keeping the defaults.
+    pub fn from_env() -> Self {
+        let d = DaemonConfig::default();
+        DaemonConfig {
+            addr: std::env::var("MAPS_D_ADDR").unwrap_or(d.addr),
+            workers: maps_obs::parse_env_or("MAPS_D_WORKERS", d.workers).max(1),
+            max_body: maps_obs::parse_env_or("MAPS_D_MAX_BODY", d.max_body).max(1024),
+            queue: QueueConfig::from_env(),
+        }
+    }
+}
+
+/// A running daemon; dropping it without [`Daemon::stop`] detaches the
+/// threads (they exit with the process).
+pub struct Daemon {
+    addr: SocketAddr,
+    queue: Arc<WorkQueue>,
+    accepting: Arc<AtomicBool>,
+    shutdown: Arc<(Mutex<bool>, Condvar)>,
+    conn_count: Arc<AtomicUsize>,
+    accept_handle: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+/// Starts a daemon with the production [`SolveService`].
+///
+/// # Errors
+///
+/// I/O errors from binding the listen address.
+pub fn serve(config: DaemonConfig) -> io::Result<Daemon> {
+    let breaker = Breaker::from_env();
+    serve_with(
+        config,
+        Arc::new(move || SolveService::from_env(Arc::clone(&breaker))),
+    )
+}
+
+/// Starts a daemon whose workers build their service from `factory` —
+/// the hook tests and chaos harnesses use to inject faulty solvers.
+///
+/// # Errors
+///
+/// I/O errors from binding the listen address.
+pub fn serve_with(config: DaemonConfig, factory: ServiceFactory) -> io::Result<Daemon> {
+    register_counters();
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+    let queue = WorkQueue::new(config.queue);
+    let accepting = Arc::new(AtomicBool::new(true));
+    let shutdown = Arc::new((Mutex::new(false), Condvar::new()));
+    let conn_count = Arc::new(AtomicUsize::new(0));
+
+    let workers = (0..config.workers)
+        .map(|i| {
+            let queue = Arc::clone(&queue);
+            let factory = Arc::clone(&factory);
+            std::thread::Builder::new()
+                .name(format!("mapsd-worker-{i}"))
+                .spawn(move || worker_loop(&queue, &factory()))
+                .expect("spawn worker")
+        })
+        .collect();
+
+    let accept_handle = {
+        let queue = Arc::clone(&queue);
+        let accepting = Arc::clone(&accepting);
+        let shutdown = Arc::clone(&shutdown);
+        let conn_count = Arc::clone(&conn_count);
+        let max_body = config.max_body;
+        std::thread::Builder::new()
+            .name("mapsd-accept".to_string())
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    if !accepting.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    let queue = Arc::clone(&queue);
+                    let accepting = Arc::clone(&accepting);
+                    let shutdown = Arc::clone(&shutdown);
+                    conn_count.fetch_add(1, Ordering::SeqCst);
+                    let conn_counter = Arc::clone(&conn_count);
+                    let spawned = std::thread::Builder::new()
+                        .name("mapsd-conn".to_string())
+                        .spawn(move || {
+                            handle_connection(stream, &queue, &accepting, &shutdown, max_body);
+                            conn_counter.fetch_sub(1, Ordering::SeqCst);
+                        });
+                    if spawned.is_err() {
+                        conn_count.fetch_sub(1, Ordering::SeqCst);
+                    }
+                }
+            })
+            .expect("spawn accept loop")
+    };
+
+    Ok(Daemon {
+        addr,
+        queue,
+        accepting,
+        shutdown,
+        conn_count,
+        accept_handle: Some(accept_handle),
+        workers,
+    })
+}
+
+impl Daemon {
+    /// The actually-bound listen address (resolves ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The daemon's admission queue (for introspection in tests).
+    pub fn queue(&self) -> &Arc<WorkQueue> {
+        &self.queue
+    }
+
+    /// Blocks until a client POSTs `/shutdown` (or `notify_shutdown` is
+    /// called from another thread).
+    pub fn wait_for_shutdown(&self) {
+        let (lock, cvar) = &*self.shutdown;
+        let mut requested = lock.lock().expect("shutdown flag");
+        while !*requested {
+            requested = cvar.wait(requested).expect("shutdown flag");
+        }
+    }
+
+    /// Requests shutdown programmatically (same effect as `POST /shutdown`).
+    pub fn notify_shutdown(&self) {
+        notify(&self.shutdown);
+    }
+
+    /// Graceful stop: refuse new work, answer everything already admitted,
+    /// then join every thread.
+    pub fn stop(mut self) {
+        self.accepting.store(false, Ordering::SeqCst);
+        self.queue.drain();
+        // Unblock the accept loop with a self-connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept_handle.take() {
+            let _ = h.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        self.queue.wait_idle(Duration::from_secs(10));
+        // Let in-flight connection threads finish writing their responses.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while self.conn_count.load(Ordering::SeqCst) > 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+}
+
+fn notify(shutdown: &Arc<(Mutex<bool>, Condvar)>) {
+    let (lock, cvar) = &**shutdown;
+    *lock.lock().expect("shutdown flag") = true;
+    cvar.notify_all();
+}
+
+/// One worker: pop, enforce the deadline at dequeue, solve, respond.
+fn worker_loop(queue: &Arc<WorkQueue>, service: &SolveService) {
+    while let Some(active) = queue.pop() {
+        let job = &active.job;
+        let queue_ms = job.accepted.elapsed().as_secs_f64() * 1e3;
+        maps_obs::histogram("mapsd.queue_ms").record(queue_ms);
+        // A request whose deadline passed while queued is answered (408)
+        // without solving: late results are work nobody will read.
+        if job.deadline.is_some_and(|d| Instant::now() >= d) {
+            maps_obs::counter("mapsd.deadline.dropped_at_dequeue").inc();
+            let rejected = JobResult::rejected(
+                job.envelope.id.clone(),
+                408,
+                queue_ms,
+                "deadline passed while queued".to_string(),
+            );
+            send_result(job.respond.send(rejected));
+            continue;
+        }
+        let result = service.execute(&job.envelope, queue_ms, job.deadline);
+        maps_obs::counter("mapsd.jobs.done").inc();
+        send_result(job.respond.send(result));
+    }
+}
+
+fn send_result(sent: Result<(), std::sync::mpsc::SendError<JobResult>>) {
+    if sent.is_err() {
+        // The connection handler is gone (client hung up); the computed
+        // result is dropped, and counted so operators can see waste.
+        maps_obs::counter("mapsd.response.dropped").inc();
+    }
+}
+
+fn handle_connection(
+    mut stream: TcpStream,
+    queue: &Arc<WorkQueue>,
+    accepting: &Arc<AtomicBool>,
+    shutdown: &Arc<(Mutex<bool>, Condvar)>,
+    max_body: usize,
+) {
+    let client = stream
+        .peer_addr()
+        .map(|a| a.ip().to_string())
+        .unwrap_or_else(|_| "unknown".to_string());
+    // read_request answers malformed/oversized requests itself.
+    let Ok(Some(req)) = read_request(&mut stream, max_body) else {
+        return;
+    };
+    maps_obs::counter("mapsd.requests").inc();
+    let _span = maps_obs::span("mapsd.request");
+
+    match (req.method.as_str(), req.path.as_str()) {
+        ("POST", "/solve") => handle_job(&mut stream, queue, &client, JobKind::Solve, &req),
+        ("POST", "/batch") => handle_job(&mut stream, queue, &client, JobKind::Batch, &req),
+        ("POST", "/label") => handle_job(&mut stream, queue, &client, JobKind::Label, &req),
+        ("POST", "/shutdown") => {
+            notify(shutdown);
+            let _ = write_response(&mut stream, 202, "text/plain", "draining\n");
+        }
+        ("GET", "/readyz") => {
+            let mut extras = Vec::new();
+            if queue.is_draining() || !accepting.load(Ordering::SeqCst) {
+                extras.push("daemon is draining".to_string());
+            } else if queue.is_saturated() {
+                extras.push(format!(
+                    "queue saturated (depth {}/{})",
+                    queue.depth(),
+                    queue.config().depth
+                ));
+            }
+            let (status, ctype, body) = readiness_response(&extras);
+            let _ = write_response(&mut stream, status, ctype, &body);
+        }
+        ("GET", _) => match telemetry_response(&req) {
+            Some((status, ctype, body)) => {
+                let _ = write_response(&mut stream, status, ctype, &body);
+            }
+            None => {
+                let _ = write_response(&mut stream, 404, "text/plain", "not found\n");
+            }
+        },
+        _ => {
+            let _ = write_response(&mut stream, 405, "text/plain", "method not allowed\n");
+        }
+    }
+}
+
+/// Admission + response for the three job routes.
+fn handle_job(
+    stream: &mut TcpStream,
+    queue: &Arc<WorkQueue>,
+    client: &str,
+    kind: JobKind,
+    req: &Request,
+) {
+    let envelope = match parse_envelope(kind, &req.body_str()) {
+        Ok(env) => env,
+        Err(reason) => {
+            maps_obs::counter("mapsd.requests.malformed").inc();
+            let body = render_shed(&format!("invalid request: {reason}"));
+            let _ = write_response(stream, 400, "application/json", &body);
+            return;
+        }
+    };
+    // The deadline clock starts at admission: queue time spends it too.
+    let deadline = envelope
+        .deadline_ms
+        .map(|ms| Instant::now() + Duration::from_millis(ms));
+    match queue.submit_job(client, envelope, deadline) {
+        Err(shed) => {
+            let _ = write_response(
+                stream,
+                shed.http_status(),
+                "application/json",
+                &render_shed(shed.reason()),
+            );
+        }
+        Ok((rx, _permit)) => {
+            // The worker sends exactly one result; if it panics the sender
+            // drops and recv errors out — answer 500, never hang.
+            match rx.recv() {
+                Ok(result) => {
+                    let _ = write_response(
+                        stream,
+                        result.status,
+                        "application/json",
+                        &render_job_result(&result),
+                    );
+                }
+                Err(_) => {
+                    let _ = write_response(
+                        stream,
+                        500,
+                        "application/json",
+                        &render_shed("worker failed"),
+                    );
+                }
+            }
+            // _permit drops here: the client's quota slot covers queueing,
+            // solving, and the response write.
+        }
+    }
+}
+
+/// Registers every `mapsd.*` metric at zero so `/metrics` exposes the
+/// full set from the first scrape — scrapers and the check.sh smoke can
+/// assert on presence, not just on eventual increments.
+fn register_counters() {
+    for name in [
+        "mapsd.requests",
+        "mapsd.requests.malformed",
+        "mapsd.jobs.done",
+        "mapsd.shed",
+        "mapsd.shed.queue_full",
+        "mapsd.shed.client_quota",
+        "mapsd.shed.draining",
+        "mapsd.coalesce.hit",
+        "mapsd.coalesce.leader",
+        "mapsd.coalesce.follower",
+        "mapsd.degraded.relaxed",
+        "mapsd.degraded.fallback",
+        "mapsd.deadline.dropped_at_dequeue",
+        "mapsd.deadline.dropped_mid_job",
+        "mapsd.direct.failed",
+        "mapsd.direct.bypassed",
+        "mapsd.breaker.opened",
+        "mapsd.breaker.probe",
+        "mapsd.breaker.skipped",
+        "mapsd.prewarm.failed",
+        "mapsd.response.dropped",
+    ] {
+        maps_obs::counter(name).add(0);
+    }
+    maps_obs::gauge("mapsd.queue.depth").set(0.0);
+}

@@ -1,0 +1,473 @@
+//! The per-worker solve service: coalesced pre-warm, a direct fast path
+//! behind a circuit breaker, and graceful degradation through the
+//! `RobustSolver` ladder.
+//!
+//! Each worker thread owns one [`SolveService`] (built by a
+//! [`ServiceFactory`]), so the `RobustSolver` stats deltas observed around
+//! a solve are attributable to *that* request — that is how responses are
+//! tagged with the fidelity actually served ("direct", "relaxed", or
+//! "fallback") without racing other workers.
+//!
+//! The request path for one [`SolveSpec`]:
+//!
+//! 1. **Pre-warm** the factorization through the single-flight cache
+//!    ([`maps_fdfd::factor_coalesced`]). Concurrent requests for the same
+//!    (ε, ω) fingerprint elect one leader; the rest share its result. The
+//!    outcome is surfaced per-response (`coalesce`) and in the
+//!    `mapsd.coalesce.*` counters.
+//! 2. **Direct rung**: the exact solver, guarded by a [`Breaker`] shared
+//!    across workers. Consecutive retryable failures open the breaker and
+//!    the rung is skipped (with periodic probes) so a sick backend does
+//!    not pay a doomed full solve per request.
+//! 3. **Degradation ladder**: the PR 2 `RobustSolver` chain — iterative
+//!    primary with retry/relaxation, then the fallback solver — driven
+//!    with the request deadline via `solve_ez_by`, so recovery never
+//!    outlives the caller's patience.
+
+use crate::protocol::{Envelope, ErrorKind, JobResult, SolveResult, SolveSpec};
+use maps_core::{
+    FieldSolver, RealField2d, RetryPolicy, RobustSolver, RobustStats, SolveFieldError, SolveKind,
+};
+use maps_fdfd::{factor_coalesced, Backend, FactorOutcome, FdfdSolver, PmlConfig};
+use maps_linalg::IterativeOptions;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// How many direct-rung probes are skipped per attempt while the breaker
+/// is open.
+const PROBE_PERIOD: u32 = 8;
+
+/// A shared circuit breaker over the direct solve rung.
+///
+/// After `threshold` consecutive retryable failures the rung is skipped;
+/// every [`PROBE_PERIOD`]-th request is still let through as a probe so
+/// the breaker closes again once the backend recovers. All workers share
+/// one breaker: a backend sick for one worker is sick for all of them.
+pub struct Breaker {
+    consecutive: AtomicU32,
+    skipped: AtomicU32,
+    threshold: u32,
+}
+
+impl Breaker {
+    /// A breaker that opens after `threshold` consecutive failures
+    /// (clamped to at least 1).
+    pub fn new(threshold: u32) -> Arc<Self> {
+        Arc::new(Breaker {
+            consecutive: AtomicU32::new(0),
+            skipped: AtomicU32::new(0),
+            threshold: threshold.max(1),
+        })
+    }
+
+    /// Reads `MAPS_D_BREAKER` (default 5) for the failure threshold.
+    pub fn from_env() -> Arc<Self> {
+        Breaker::new(maps_obs::parse_env_or("MAPS_D_BREAKER", 5u32))
+    }
+
+    /// Whether the direct rung should run for this request.
+    pub fn allows(&self) -> bool {
+        if self.consecutive.load(Ordering::Relaxed) < self.threshold {
+            return true;
+        }
+        // Open: admit every PROBE_PERIOD-th request as a probe.
+        let n = self.skipped.fetch_add(1, Ordering::Relaxed);
+        if n % PROBE_PERIOD == PROBE_PERIOD - 1 {
+            maps_obs::counter("mapsd.breaker.probe").inc();
+            true
+        } else {
+            maps_obs::counter("mapsd.breaker.skipped").inc();
+            false
+        }
+    }
+
+    /// Records a successful direct solve, closing the breaker.
+    pub fn record_success(&self) {
+        self.consecutive.store(0, Ordering::Relaxed);
+    }
+
+    /// Records a retryable direct-solve failure; opens the breaker at the
+    /// threshold.
+    pub fn record_failure(&self) {
+        let now = self.consecutive.fetch_add(1, Ordering::Relaxed) + 1;
+        if now == self.threshold {
+            maps_obs::counter("mapsd.breaker.opened").inc();
+        }
+    }
+
+    /// True when the direct rung is currently being skipped.
+    pub fn is_open(&self) -> bool {
+        self.consecutive.load(Ordering::Relaxed) >= self.threshold
+    }
+}
+
+/// Builds one [`SolveService`] per worker thread. The factory is invoked
+/// on the worker's own thread, so the solvers it builds never need to be
+/// `Send` themselves — only the factory does.
+pub type ServiceFactory = Arc<dyn Fn() -> SolveService + Send + Sync>;
+
+/// One worker's solving machinery: direct rung + degradation ladder.
+pub struct SolveService {
+    pml: PmlConfig,
+    /// Pre-warm the factor cache through the single-flight gate before
+    /// solving (off for services whose direct rung is not the FDFD LU).
+    prewarm: bool,
+    direct: Box<dyn FieldSolver>,
+    ladder: RobustSolver<FdfdSolver>,
+    breaker: Arc<Breaker>,
+}
+
+impl SolveService {
+    /// The production service: FDFD direct rung, iterative ladder with a
+    /// direct-LU fallback, retry policy from the `MAPS_SOLVE_*` env knobs.
+    ///
+    /// The fallback rung is where a trained surrogate would be slotted
+    /// once one implements [`FieldSolver`]; the repo ships none, so the
+    /// exact LU stands in — same contract, higher cost.
+    pub fn from_env(breaker: Arc<Breaker>) -> Self {
+        let ladder = RobustSolver::new(
+            FdfdSolver::new().backend(Backend::Iterative(IterativeOptions::default())),
+            RetryPolicy::from_env(),
+        )
+        .with_fallback(Box::new(FdfdSolver::new()));
+        SolveService {
+            pml: PmlConfig::default(),
+            prewarm: true,
+            direct: Box::new(FdfdSolver::new()),
+            ladder,
+            breaker,
+        }
+    }
+
+    /// A service with a custom direct rung and ladder — the hook chaos
+    /// tests use to inject faults.
+    pub fn with_parts(
+        direct: Box<dyn FieldSolver>,
+        ladder: RobustSolver<FdfdSolver>,
+        breaker: Arc<Breaker>,
+        prewarm: bool,
+    ) -> Self {
+        SolveService {
+            pml: PmlConfig::default(),
+            prewarm,
+            direct,
+            ladder,
+            breaker,
+        }
+    }
+
+    /// The shared breaker this service reports to.
+    pub fn breaker(&self) -> &Arc<Breaker> {
+        &self.breaker
+    }
+
+    /// Runs every spec in `envelope`, producing the job's results.
+    ///
+    /// `queue_ms` is the time the job spent queued (accounted by the
+    /// worker); `deadline` is the absolute per-request deadline.
+    pub fn execute(
+        &self,
+        envelope: &Envelope,
+        queue_ms: f64,
+        deadline: Option<Instant>,
+    ) -> JobResult {
+        let mut results = Vec::with_capacity(envelope.specs.len());
+        for spec in &envelope.specs {
+            results.push(self.solve_one(&envelope.eps, spec, deadline, envelope.return_field));
+        }
+        let status = results
+            .iter()
+            .find_map(|r| r.error_kind.map(|k| k.http_status()))
+            .unwrap_or(200);
+        JobResult {
+            id: envelope.id.clone(),
+            status,
+            queue_ms,
+            results,
+            error: None,
+        }
+    }
+
+    fn solve_one(
+        &self,
+        eps: &RealField2d,
+        spec: &SolveSpec,
+        deadline: Option<Instant>,
+        return_field: bool,
+    ) -> SolveResult {
+        let started = Instant::now();
+        // The operator assembly panics on grids the PML cannot fit in; a
+        // daemon answers 400 instead.
+        let grid = eps.grid();
+        if 2 * self.pml.thickness >= grid.nx || 2 * self.pml.thickness >= grid.ny {
+            return SolveResult::failed(
+                ErrorKind::Invalid,
+                format!(
+                    "grid {}x{} too small for pml thickness {} (needs > {} cells per axis)",
+                    grid.nx,
+                    grid.ny,
+                    self.pml.thickness,
+                    2 * self.pml.thickness
+                ),
+                0.0,
+            );
+        }
+        if deadline.is_some_and(|d| Instant::now() >= d) {
+            maps_obs::counter("mapsd.deadline.dropped_mid_job").inc();
+            return SolveResult::failed(
+                ErrorKind::Deadline,
+                "deadline passed before the solve started",
+                0.0,
+            );
+        }
+
+        // Pre-warm through the single-flight gate so concurrent requests
+        // for the same design share one factorization instead of racing.
+        let coalesce = if self.prewarm {
+            match factor_coalesced(eps, spec.omega, &self.pml, || {
+                FdfdSolver::with_pml(self.pml)
+                    .operator(eps, spec.omega)
+                    .to_banded()
+            }) {
+                Ok((_, outcome)) => Some(match outcome {
+                    FactorOutcome::Hit => {
+                        maps_obs::counter("mapsd.coalesce.hit").inc();
+                        "hit"
+                    }
+                    FactorOutcome::Leader => {
+                        maps_obs::counter("mapsd.coalesce.leader").inc();
+                        "leader"
+                    }
+                    FactorOutcome::Follower => {
+                        maps_obs::counter("mapsd.coalesce.follower").inc();
+                        "follower"
+                    }
+                }),
+                // A failed factorization is not fatal to the request: the
+                // iterative ladder solves without an LU. Skip the direct
+                // rung (it would pay the same failure again) and degrade.
+                Err(_) => {
+                    maps_obs::counter("mapsd.prewarm.failed").inc();
+                    return self.run_ladder(eps, spec, deadline, return_field, started, None);
+                }
+            }
+        } else {
+            None
+        };
+
+        let source = spec.source_field(eps.grid());
+
+        // Direct rung, breaker-guarded.
+        if self.breaker.allows() {
+            let direct = match spec.kind {
+                SolveKind::Forward => self.direct.solve_ez(eps, &source, spec.omega),
+                SolveKind::Adjoint => self.direct.solve_adjoint_ez(eps, &source, spec.omega),
+            };
+            match direct {
+                Ok(field) => {
+                    self.breaker.record_success();
+                    return SolveResult {
+                        field_norm: Some(field.norm()),
+                        field: return_field.then(|| interleave(&field)),
+                        fidelity: Some("direct"),
+                        served_by: Some(self.direct.name().to_string()),
+                        coalesce,
+                        solve_ms: ms_since(started),
+                        error_kind: None,
+                        error: None,
+                    };
+                }
+                Err(e) if !e.is_retryable() => {
+                    return SolveResult::failed(
+                        ErrorKind::Invalid,
+                        format!("{e}"),
+                        ms_since(started),
+                    );
+                }
+                Err(_) => {
+                    self.breaker.record_failure();
+                    maps_obs::counter("mapsd.direct.failed").inc();
+                }
+            }
+        } else {
+            maps_obs::counter("mapsd.direct.bypassed").inc();
+        }
+
+        self.run_ladder(eps, spec, deadline, return_field, started, coalesce)
+    }
+
+    /// The degradation ladder: relaxed iterative retries, then fallback,
+    /// tagged with the fidelity actually served via the per-instance
+    /// stats delta (race-free because each worker owns its service).
+    fn run_ladder(
+        &self,
+        eps: &RealField2d,
+        spec: &SolveSpec,
+        deadline: Option<Instant>,
+        return_field: bool,
+        started: Instant,
+        coalesce: Option<&'static str>,
+    ) -> SolveResult {
+        let source = spec.source_field(eps.grid());
+        let before = self.ladder.stats();
+        let solved = match spec.kind {
+            SolveKind::Forward => self.ladder.solve_ez_by(eps, &source, spec.omega, deadline),
+            SolveKind::Adjoint => self
+                .ladder
+                .solve_adjoint_ez_by(eps, &source, spec.omega, deadline),
+        };
+        match solved {
+            Ok(field) => {
+                let fidelity = fidelity_from_delta(before, self.ladder.stats());
+                match fidelity {
+                    "fallback" => maps_obs::counter("mapsd.degraded.fallback").inc(),
+                    "relaxed" => maps_obs::counter("mapsd.degraded.relaxed").inc(),
+                    _ => {}
+                }
+                SolveResult {
+                    field_norm: Some(field.norm()),
+                    field: return_field.then(|| interleave(&field)),
+                    fidelity: Some(fidelity),
+                    served_by: Some(self.ladder.name().to_string()),
+                    coalesce,
+                    solve_ms: ms_since(started),
+                    error_kind: None,
+                    error: None,
+                }
+            }
+            Err(SolveFieldError::DeadlineExceeded { detail }) => {
+                SolveResult::failed(ErrorKind::Deadline, detail, ms_since(started))
+            }
+            Err(e) if !e.is_retryable() => {
+                SolveResult::failed(ErrorKind::Invalid, format!("{e}"), ms_since(started))
+            }
+            Err(e) => SolveResult::failed(ErrorKind::Numerical, format!("{e}"), ms_since(started)),
+        }
+    }
+}
+
+/// Maps a ladder stats delta to the fidelity tag of the response it spans.
+fn fidelity_from_delta(before: RobustStats, after: RobustStats) -> &'static str {
+    if after.fallbacks > before.fallbacks {
+        "fallback"
+    } else if after.retries > before.retries {
+        "relaxed"
+    } else {
+        // Clean first-attempt success: nominal fidelity.
+        "direct"
+    }
+}
+
+fn interleave(field: &maps_core::ComplexField2d) -> Vec<f64> {
+    let mut out = Vec::with_capacity(field.as_slice().len() * 2);
+    for z in field.as_slice() {
+        out.push(z.re);
+        out.push(z.im);
+    }
+    out
+}
+
+fn ms_since(t: Instant) -> f64 {
+    t.elapsed().as_secs_f64() * 1e3
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{parse_envelope, JobKind};
+    use maps_core::fault::{FaultInjectingSolver, FaultPlan, InjectedFault};
+
+    fn envelope(body: &str) -> Envelope {
+        parse_envelope(JobKind::Solve, body).expect("envelope")
+    }
+
+    fn healthy_service(breaker: Arc<Breaker>) -> SolveService {
+        SolveService::from_env(breaker)
+    }
+
+    #[test]
+    fn healthy_request_is_served_direct() {
+        let svc = healthy_service(Breaker::new(5));
+        let env = envelope(r#"{"nx":30,"ny":26,"dx":0.05,"eps":1.0,"omega":4.0}"#);
+        let job = svc.execute(&env, 0.0, None);
+        assert_eq!(job.status, 200);
+        assert_eq!(job.results.len(), 1);
+        let r = &job.results[0];
+        assert!(r.is_ok(), "unexpected error: {:?}", r.error);
+        assert_eq!(r.fidelity, Some("direct"));
+        assert!(r.field_norm.unwrap() > 0.0);
+        assert!(r.coalesce.is_some(), "prewarm outcome is surfaced");
+    }
+
+    #[test]
+    fn return_field_interleaves_re_im() {
+        let svc = healthy_service(Breaker::new(5));
+        let env =
+            envelope(r#"{"nx":30,"ny":26,"dx":0.05,"eps":1.0,"omega":4.0,"return_field":true}"#);
+        let job = svc.execute(&env, 0.0, None);
+        let r = &job.results[0];
+        let field = r.field.as_ref().expect("field returned");
+        assert_eq!(field.len(), 30 * 26 * 2);
+        let norm: f64 = field
+            .chunks_exact(2)
+            .map(|z| z[0] * z[0] + z[1] * z[1])
+            .sum::<f64>()
+            .sqrt();
+        assert!((norm - r.field_norm.unwrap()).abs() < 1e-9 * norm.max(1.0));
+    }
+
+    #[test]
+    fn sick_direct_rung_degrades_and_opens_the_breaker() {
+        let breaker = Breaker::new(2);
+        let direct = FaultInjectingSolver::new(
+            FdfdSolver::new(),
+            FaultPlan::new().always(InjectedFault::Error),
+        )
+        .with_name("chaos-direct");
+        let ladder = RobustSolver::new(
+            FdfdSolver::new().backend(Backend::Iterative(IterativeOptions::default())),
+            RetryPolicy::default(),
+        )
+        .with_fallback(Box::new(FdfdSolver::new()));
+        let svc = SolveService::with_parts(Box::new(direct), ladder, Arc::clone(&breaker), true);
+        let env = envelope(r#"{"nx":30,"ny":26,"dx":0.05,"eps":1.0,"omega":4.0}"#);
+
+        for _ in 0..3 {
+            let job = svc.execute(&env, 0.0, None);
+            let r = &job.results[0];
+            assert!(r.is_ok(), "ladder rescues the request: {:?}", r.error);
+            assert!(r.field_norm.unwrap() > 0.0);
+        }
+        assert!(breaker.is_open(), "consecutive direct failures open it");
+
+        // With the breaker open the rung is bypassed, not re-failed.
+        let before = maps_obs::counter("mapsd.direct.bypassed").get();
+        let job = svc.execute(&env, 0.0, None);
+        assert!(job.results[0].is_ok());
+        assert!(maps_obs::counter("mapsd.direct.bypassed").get() > before);
+    }
+
+    #[test]
+    fn expired_deadline_is_answered_without_solving() {
+        let svc = healthy_service(Breaker::new(5));
+        let env = envelope(r#"{"nx":30,"ny":26,"dx":0.05,"eps":1.0,"omega":4.0}"#);
+        let job = svc.execute(&env, 0.0, Some(Instant::now()));
+        assert_eq!(job.status, 408);
+        let r = &job.results[0];
+        assert_eq!(r.error_kind, Some(ErrorKind::Deadline));
+        assert!(!r.is_ok());
+    }
+
+    #[test]
+    fn breaker_probes_while_open() {
+        let b = Breaker::new(1);
+        b.record_failure();
+        assert!(b.is_open());
+        let admitted = (0..PROBE_PERIOD * 2).filter(|_| b.allows()).count();
+        assert_eq!(admitted as u32, 2, "one probe per PROBE_PERIOD skips");
+        b.record_success();
+        assert!(!b.is_open());
+        assert!(b.allows());
+    }
+}

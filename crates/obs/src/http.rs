@@ -21,9 +21,12 @@
 //!
 //! The server is deliberately minimal: GET only, one connection at a time,
 //! short read/write timeouts, no keep-alive. A scrape every few seconds is
-//! the design load; anything heavier belongs behind a real daemon
-//! (ROADMAP item 2), which will mount these same renderers. Zero cost when
-//! not enabled: no thread, no socket, and no change to the span fast path.
+//! the design load. The *machinery* is shared, though: [`read_request`]
+//! (with `Content-Length` body framing), [`write_response`], and the
+//! [`telemetry_response`] / [`readiness_response`] renderers are public so
+//! the `mapsd` solve daemon mounts the same routes behind its own accept
+//! loop instead of reimplementing the dialect. Zero cost when not enabled:
+//! no thread, no socket, and no change to the span fast path.
 //!
 //! Shutdown ([`TelemetryServer::stop`] or drop) flips a flag and
 //! self-connects to unblock `accept`, then joins the thread — no platform
@@ -41,10 +44,119 @@ use std::time::Duration;
 
 /// Per-connection socket timeout: a stalled scraper must not wedge the
 /// listener thread (there is exactly one).
-const IO_TIMEOUT: Duration = Duration::from_secs(2);
+pub const IO_TIMEOUT: Duration = Duration::from_secs(2);
 
 /// Maximum bytes of request head we will buffer before answering 431.
 const MAX_HEAD: usize = 8 * 1024;
+
+/// One parsed HTTP/1.1 request, as read by [`read_request`].
+///
+/// This is the shared substrate between the telemetry scrape plane here
+/// and the `mapsd` solve daemon: both speak the same minimal HTTP dialect
+/// (no keep-alive, no chunked encoding, `Content-Length`-framed bodies).
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Request method (`GET`, `POST`, …), upper-case as received.
+    pub method: String,
+    /// Path component of the target, without the query string.
+    pub path: String,
+    /// Raw query string (empty when absent), without the leading `?`.
+    pub query: String,
+    /// Request body, exactly `Content-Length` bytes (empty when absent).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// The value of `key` in the query string, if present.
+    pub fn query_param(&self, key: &str) -> Option<&str> {
+        self.query.split('&').find_map(|kv| {
+            let (k, v) = kv.split_once('=').unwrap_or((kv, ""));
+            (k == key).then_some(v)
+        })
+    }
+
+    /// The body decoded as UTF-8 (lossy — protocol bodies are JSON/ASCII).
+    pub fn body_str(&self) -> std::borrow::Cow<'_, str> {
+        String::from_utf8_lossy(&self.body)
+    }
+}
+
+/// Reads and parses one HTTP request from `stream`, enforcing the head cap
+/// and `max_body` byte cap on `Content-Length` bodies.
+///
+/// On a malformed or oversized request this writes the appropriate error
+/// response (400 / 413 / 431) itself and returns `Ok(None)`; the caller
+/// should simply drop the connection. Socket timeouts are applied here, so
+/// callers need no per-stream setup.
+///
+/// # Errors
+///
+/// Propagates socket I/O failures (including read timeouts).
+pub fn read_request(stream: &mut TcpStream, max_body: usize) -> std::io::Result<Option<Request>> {
+    stream.set_read_timeout(Some(IO_TIMEOUT))?;
+    stream.set_write_timeout(Some(IO_TIMEOUT))?;
+    let mut bytes = Vec::with_capacity(512);
+    let mut buf = [0u8; 512];
+    let head_end = loop {
+        if let Some(pos) = bytes.windows(4).position(|w| w == b"\r\n\r\n") {
+            break pos + 4;
+        }
+        if bytes.len() > MAX_HEAD {
+            write_response(stream, 431, "text/plain", "request head too large\n")?;
+            return Ok(None);
+        }
+        match stream.read(&mut buf) {
+            Ok(0) => {
+                if bytes.is_empty() {
+                    return Ok(None); // peer connected and said nothing
+                }
+                write_response(stream, 400, "text/plain", "truncated request head\n")?;
+                return Ok(None);
+            }
+            Ok(n) => bytes.extend_from_slice(&buf[..n]),
+            Err(e) => return Err(e),
+        }
+    };
+    let head = String::from_utf8_lossy(&bytes[..head_end]).into_owned();
+    let mut lines = head.lines();
+    let mut parts = lines.next().unwrap_or("").split_whitespace();
+    let (method, target) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+    if method.is_empty() || target.is_empty() {
+        write_response(stream, 400, "text/plain", "malformed request line\n")?;
+        return Ok(None);
+    }
+    let content_length = lines
+        .filter_map(|l| l.split_once(':'))
+        .find(|(k, _)| k.eq_ignore_ascii_case("content-length"))
+        .and_then(|(_, v)| v.trim().parse::<usize>().ok())
+        .unwrap_or(0);
+    if content_length > max_body {
+        write_response(stream, 413, "text/plain", "request body too large\n")?;
+        return Ok(None);
+    }
+    let mut body = bytes[head_end..].to_vec();
+    while body.len() < content_length {
+        match stream.read(&mut buf) {
+            Ok(0) => {
+                write_response(stream, 400, "text/plain", "truncated request body\n")?;
+                return Ok(None);
+            }
+            Ok(n) => body.extend_from_slice(&buf[..n]),
+            Err(e) => return Err(e),
+        }
+    }
+    body.truncate(content_length);
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    Ok(Some(Request {
+        method: method.to_string(),
+        path: path.to_string(),
+        query: query.to_string(),
+        body,
+    }))
+}
 
 /// Handle to a running telemetry server; the listener stops (and its
 /// thread joins) on [`TelemetryServer::stop`] or drop.
@@ -144,97 +256,89 @@ pub fn serve_from_env() -> Option<TelemetryServer> {
 }
 
 fn handle_connection(mut stream: TcpStream) -> std::io::Result<()> {
-    stream.set_read_timeout(Some(IO_TIMEOUT))?;
-    stream.set_write_timeout(Some(IO_TIMEOUT))?;
-    let mut head = Vec::with_capacity(512);
-    let mut buf = [0u8; 512];
-    // Read until the end of the request head; the body (GET has none we
-    // care about) is ignored.
-    while !head.windows(4).any(|w| w == b"\r\n\r\n") {
-        if head.len() > MAX_HEAD {
-            return respond(&mut stream, 431, "text/plain", "request head too large\n");
-        }
-        match stream.read(&mut buf) {
-            Ok(0) => break,
-            Ok(n) => head.extend_from_slice(&buf[..n]),
-            Err(e) => return Err(e),
-        }
-    }
-    let head = String::from_utf8_lossy(&head);
-    let mut parts = head.lines().next().unwrap_or("").split_whitespace();
-    let (method, target) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
-    if method != "GET" {
-        return respond(&mut stream, 405, "text/plain", "only GET is supported\n");
+    let Some(req) = read_request(&mut stream, 0)? else {
+        return Ok(());
+    };
+    if req.method != "GET" {
+        return write_response(&mut stream, 405, "text/plain", "only GET is supported\n");
     }
     crate::counter("obs.http.requests").inc();
-    let (path, query) = match target.split_once('?') {
-        Some((p, q)) => (p, q),
-        None => (target, ""),
-    };
-    match path {
-        "/metrics" => respond(
-            &mut stream,
+    match telemetry_response(&req) {
+        Some((status, content_type, body)) => {
+            write_response(&mut stream, status, content_type, &body)
+        }
+        None => write_response(&mut stream, 404, "text/plain", "unknown endpoint\n"),
+    }
+}
+
+/// Renders the shared telemetry endpoints for a parsed request, returning
+/// `None` when the path is not a telemetry endpoint (so an embedding server
+/// like `mapsd` can mount these routes *after* its own).
+///
+/// Handles `/metrics`, `/snapshot`, `/healthz`, `/readyz` (watchdog-backed),
+/// `/trace?last=N`, and `/series/<name>`.
+pub fn telemetry_response(req: &Request) -> Option<(u16, &'static str, String)> {
+    match req.path.as_str() {
+        "/metrics" => Some((
             200,
             "text/plain; version=0.0.4",
-            &crate::global().prometheus_text(),
-        ),
-        "/snapshot" => respond(
-            &mut stream,
-            200,
-            "application/json",
-            &crate::global().to_json(),
-        ),
-        "/healthz" => respond(&mut stream, 200, "text/plain", "ok\n"),
-        "/readyz" => {
-            if watchdog::is_ready() {
-                respond(&mut stream, 200, "text/plain", "ready\n")
-            } else {
-                let mut body = String::from("not ready: stalled spans\n");
-                for s in watchdog::stalled_spans() {
-                    body.push_str("  ");
-                    body.push_str(&s);
-                    body.push('\n');
-                }
-                respond(&mut stream, 503, "text/plain", &body)
-            }
-        }
+            crate::global().prometheus_text(),
+        )),
+        "/snapshot" => Some((200, "application/json", crate::global().to_json())),
+        "/healthz" => Some((200, "text/plain", "ok\n".to_string())),
+        "/readyz" => Some(readiness_response(&[])),
         "/trace" => {
             let mut spans = recorder::snapshot();
-            if let Some(last) = query
-                .split('&')
-                .find_map(|kv| kv.strip_prefix("last="))
+            if let Some(last) = req
+                .query_param("last")
                 .and_then(|v| v.parse::<usize>().ok())
             {
                 if spans.len() > last {
                     spans.drain(..spans.len() - last);
                 }
             }
-            respond(
-                &mut stream,
-                200,
-                "application/json",
-                &crate::chrome_trace(&spans),
-            )
+            Some((200, "application/json", crate::chrome_trace(&spans)))
         }
-        _ => {
-            if let Some(name) = path.strip_prefix("/series/") {
-                match series_get(name) {
-                    Some(series) => respond(&mut stream, 200, "text/csv", &series.to_csv()),
-                    None => respond(
-                        &mut stream,
-                        404,
-                        "text/plain",
-                        &format!("no series named {name:?}\n"),
-                    ),
-                }
-            } else {
-                respond(&mut stream, 404, "text/plain", "unknown endpoint\n")
-            }
+        path => {
+            let name = path.strip_prefix("/series/")?;
+            Some(match series_get(name) {
+                Some(series) => (200, "text/csv", series.to_csv()),
+                None => (404, "text/plain", format!("no series named {name:?}\n")),
+            })
         }
     }
 }
 
-fn respond(
+/// The watchdog-backed `/readyz` body, with caller-supplied extra failure
+/// reasons (e.g. `mapsd` passes "queue saturated" while shedding).
+///
+/// Ready (200) only when the watchdog sees no stalled spans *and* no extra
+/// reasons are given; otherwise 503 with one reason per line.
+pub fn readiness_response(extra_reasons: &[String]) -> (u16, &'static str, String) {
+    let stalled = watchdog::stalled_spans();
+    if stalled.is_empty() && extra_reasons.is_empty() {
+        return (200, "text/plain", "ready\n".to_string());
+    }
+    let mut body = String::from("not ready:\n");
+    for s in &stalled {
+        body.push_str("  stalled span: ");
+        body.push_str(s);
+        body.push('\n');
+    }
+    for r in extra_reasons {
+        body.push_str("  ");
+        body.push_str(r);
+        body.push('\n');
+    }
+    (503, "text/plain", body)
+}
+
+/// Writes a complete `Connection: close` HTTP/1.1 response.
+///
+/// # Errors
+///
+/// Propagates socket write failures.
+pub fn write_response(
     stream: &mut TcpStream,
     status: u16,
     content_type: &str,
@@ -242,9 +346,15 @@ fn respond(
 ) -> std::io::Result<()> {
     let reason = match status {
         200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
         431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
         503 => "Service Unavailable",
         _ => "Error",
     };
@@ -326,6 +436,61 @@ mod tests {
         let mut raw = String::new();
         stream.read_to_string(&mut raw).unwrap();
         assert!(raw.starts_with("HTTP/1.1 405"), "{raw}");
+    }
+
+    #[test]
+    fn read_request_parses_a_post_with_body() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let client = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).expect("connect");
+            write!(
+                s,
+                "POST /solve?trace=1 HTTP/1.1\r\nHost: x\r\nContent-Length: 11\r\n\r\nhello world"
+            )
+            .expect("write");
+            s.flush().expect("flush");
+            let mut out = String::new();
+            let _ = s.read_to_string(&mut out);
+            out
+        });
+        let (mut stream, _) = listener.accept().expect("accept");
+        let req = read_request(&mut stream, 1024)
+            .expect("io")
+            .expect("parsed request");
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/solve");
+        assert_eq!(req.query_param("trace"), Some("1"));
+        assert_eq!(req.query_param("missing"), None);
+        assert_eq!(req.body_str(), "hello world");
+        write_response(&mut stream, 200, "text/plain", "done\n").expect("respond");
+        drop(stream); // EOF so the client's read_to_string returns
+        let raw = client.join().expect("client");
+        assert!(raw.starts_with("HTTP/1.1 200"), "{raw}");
+        assert!(raw.ends_with("done\n"), "{raw}");
+    }
+
+    #[test]
+    fn oversized_body_is_rejected_with_413() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let client = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).expect("connect");
+            write!(
+                s,
+                "POST /solve HTTP/1.1\r\nHost: x\r\nContent-Length: 999\r\n\r\n"
+            )
+            .expect("write");
+            let mut out = String::new();
+            let _ = s.read_to_string(&mut out);
+            out
+        });
+        let (mut stream, _) = listener.accept().expect("accept");
+        let parsed = read_request(&mut stream, 100).expect("io");
+        assert!(parsed.is_none(), "oversized body must not parse");
+        drop(stream);
+        let raw = client.join().expect("client");
+        assert!(raw.starts_with("HTTP/1.1 413"), "{raw}");
     }
 
     #[test]

@@ -80,7 +80,10 @@ pub use env::{parse_env_or, reset_env_warnings, warn_invalid_env};
 pub use export::{
     chrome_trace, collapsed_stacks, export_from_env, profile, profile_table, ProfileEntry,
 };
-pub use http::{serve, serve_from_env, TelemetryServer};
+pub use http::{
+    read_request, readiness_response, serve, serve_from_env, telemetry_response, write_response,
+    Request, TelemetryServer,
+};
 pub use level::{emit, enabled, level, set_level, Level};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, Registry};
 pub use report::{RunReport, SeriesSummary, SpanStat};

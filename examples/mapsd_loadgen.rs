@@ -1,0 +1,170 @@
+//! A load generator for `mapsd`: concurrent clients, cold or warm cache,
+//! latency percentiles and shed accounting.
+//!
+//! Against an already-running daemon:
+//!
+//! ```text
+//! MAPS_D_ADDR=127.0.0.1:0 cargo run --bin mapsd &
+//! cargo run --example mapsd_loadgen -- --addr 127.0.0.1:9103 \
+//!     --clients 8 --requests 20 --warm
+//! ```
+//!
+//! Without `--addr` the example starts its own daemon on an ephemeral
+//! port, drives it, and stops it — a self-contained demo of the full
+//! serve/shed/degrade lifecycle.
+
+use maps::mapsd::{http_get, http_post, serve, DaemonConfig, QueueConfig};
+use std::time::Instant;
+
+struct Opts {
+    addr: Option<String>,
+    clients: usize,
+    requests: usize,
+    warm: bool,
+    nx: usize,
+    ny: usize,
+    deadline_ms: u64,
+}
+
+fn parse_opts() -> Opts {
+    let mut opts = Opts {
+        addr: None,
+        clients: 4,
+        requests: 10,
+        warm: false,
+        nx: 64,
+        ny: 48,
+        deadline_ms: 60_000,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let next_usize = |name: &str, args: &mut dyn Iterator<Item = String>| -> usize {
+            args.next()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| panic!("{name} needs a number"))
+        };
+        match a.as_str() {
+            "--addr" => opts.addr = Some(args.next().expect("--addr needs host:port")),
+            "--clients" => opts.clients = next_usize("--clients", &mut args),
+            "--requests" => opts.requests = next_usize("--requests", &mut args),
+            "--nx" => opts.nx = next_usize("--nx", &mut args),
+            "--ny" => opts.ny = next_usize("--ny", &mut args),
+            "--deadline-ms" => opts.deadline_ms = next_usize("--deadline-ms", &mut args) as u64,
+            "--warm" => opts.warm = true,
+            "--cold" => opts.warm = false,
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    opts
+}
+
+fn main() {
+    let opts = parse_opts();
+
+    // No --addr: run a private daemon for a self-contained demo.
+    let own_daemon = if opts.addr.is_none() {
+        let daemon = serve(DaemonConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            max_body: 4 << 20,
+            queue: QueueConfig::default(),
+        })
+        .expect("start daemon");
+        println!("loadgen: started private mapsd on {}", daemon.local_addr());
+        Some(daemon)
+    } else {
+        None
+    };
+    let addr = opts
+        .addr
+        .clone()
+        .unwrap_or_else(|| own_daemon.as_ref().unwrap().local_addr().to_string());
+
+    println!(
+        "loadgen: {} clients x {} requests, {} cache, grid {}x{}",
+        opts.clients,
+        opts.requests,
+        if opts.warm { "warm" } else { "cold" },
+        opts.nx,
+        opts.ny
+    );
+    let wall = Instant::now();
+    let handles: Vec<_> = (0..opts.clients)
+        .map(|c| {
+            let addr = addr.clone();
+            let (warm, requests, nx, ny, deadline_ms) =
+                (opts.warm, opts.requests, opts.nx, opts.ny, opts.deadline_ms);
+            std::thread::spawn(move || {
+                let mut latencies_ms = Vec::with_capacity(requests);
+                let (mut ok, mut degraded, mut shed, mut deadline, mut other) = (0, 0, 0, 0, 0);
+                for i in 0..requests {
+                    let eps = if warm {
+                        2.25
+                    } else {
+                        2.25 + 0.001 * (c * requests + i + 1) as f64
+                    };
+                    let body = format!(
+                        r#"{{"nx":{nx},"ny":{ny},"dx":0.05,"eps":{eps},"omega":4.05,"deadline_ms":{deadline_ms}}}"#
+                    );
+                    let started = Instant::now();
+                    match http_post(&addr, "/solve", &body) {
+                        Ok((200, resp)) => {
+                            latencies_ms.push(started.elapsed().as_secs_f64() * 1e3);
+                            if resp.contains("\"fidelity\":\"direct\"") {
+                                ok += 1;
+                            } else {
+                                degraded += 1;
+                            }
+                        }
+                        Ok((429 | 503, _)) => shed += 1,
+                        Ok((408, _)) => deadline += 1,
+                        Ok(_) | Err(_) => other += 1,
+                    }
+                }
+                (latencies_ms, ok, degraded, shed, deadline, other)
+            })
+        })
+        .collect();
+
+    let mut latencies = Vec::new();
+    let (mut ok, mut degraded, mut shed, mut deadline, mut other) = (0, 0, 0, 0, 0);
+    for h in handles {
+        let (l, o, dg, s, dl, ot) = h.join().expect("client thread");
+        latencies.extend(l);
+        ok += o;
+        degraded += dg;
+        shed += s;
+        deadline += dl;
+        other += ot;
+    }
+    let elapsed = wall.elapsed().as_secs_f64();
+
+    let total = opts.clients * opts.requests;
+    println!(
+        "loadgen: {total} requests in {elapsed:.2} s ({:.1} rps): {ok} ok, {degraded} degraded, {shed} shed, {deadline} deadline-rejected, {other} other",
+        total as f64 / elapsed
+    );
+    if !latencies.is_empty() {
+        latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let pct = |p: f64| latencies[((latencies.len() - 1) as f64 * p).round() as usize];
+        println!(
+            "loadgen: latency p50 {:.2} ms  p90 {:.2} ms  p99 {:.2} ms",
+            pct(0.50),
+            pct(0.90),
+            pct(0.99)
+        );
+    }
+
+    if let Ok((200, metrics)) = http_get(&addr, "/metrics") {
+        for line in metrics.lines() {
+            if line.starts_with("mapsd_coalesce") || line.starts_with("mapsd_shed") {
+                println!("loadgen: {line}");
+            }
+        }
+    }
+
+    if let Some(daemon) = own_daemon {
+        daemon.stop();
+        println!("loadgen: private daemon drained and stopped");
+    }
+}

@@ -1,21 +1,25 @@
 #!/usr/bin/env bash
-# Perf-regression harness: runs the factor_reuse and obs_overhead benches
-# and writes machine-readable BENCH_pr3.json (factorization reuse),
-# BENCH_pr4.json (batched vs sequential multi-RHS), BENCH_pr5.json
-# (flight-recorder span/exporter overhead), and BENCH_pr6.json (telemetry
-# server render + scrape overhead) at the repo root.
+# Perf-regression harness: runs the factor_reuse, obs_overhead, and
+# mapsd_load benches and writes machine-readable BENCH_pr3.json
+# (factorization reuse), BENCH_pr4.json (batched vs sequential multi-RHS),
+# BENCH_pr5.json (flight-recorder span/exporter overhead), BENCH_pr6.json
+# (telemetry server render + scrape overhead), and BENCH_pr7.json (mapsd
+# daemon latency/throughput + chaos run) at the repo root.
 #
 # Usage:
 #   scripts/bench.sh            # full mode (default bending-device grid)
 #   scripts/bench.sh --smoke    # small grid + few reps, finishes in seconds
-#   scripts/bench.sh --compare  # also diff fresh numbers against the
-#                               # committed baselines; warn on >10% drift
+#   scripts/bench.sh --compare  # also diff fresh numbers against the newest
+#                               # committed BENCH_pr*.json baseline; warn on
+#                               # >10% drift
 #
 # The benches themselves assert the headline invariants (cached re-solve
 # >= 3x faster than a cold factorize+solve; batched multi-RHS solves no
 # slower than sequential at K=2 and faster at K>=4; flight-recorder
 # overhead on a cached solve under 5%; a 10 Hz /metrics scrape within 5%
-# of an unscraped cached solve), so a perf regression fails the script.
+# of an unscraped cached solve; mapsd warm-cache p50 beats cold at every
+# concurrency; the chaos run answers every request with a bounded queue
+# and zero panics), so a perf regression fails the script.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 ROOT="$(pwd)"
@@ -26,6 +30,7 @@ OUT="$ROOT/BENCH_pr3.json"
 OUT_BATCHED="$ROOT/BENCH_pr4.json"
 OUT_OBS="$ROOT/BENCH_pr5.json"
 OUT_SCRAPE="$ROOT/BENCH_pr6.json"
+OUT_MAPSD="$ROOT/BENCH_pr7.json"
 COMPARE=0
 BENCH_ARGS=()
 for arg in "$@"; do
@@ -35,6 +40,7 @@ for arg in "$@"; do
       OUT_BATCHED="$ROOT/target/BENCH_pr4.smoke.json"
       OUT_OBS="$ROOT/target/BENCH_pr5.smoke.json"
       OUT_SCRAPE="$ROOT/target/BENCH_pr6.smoke.json"
+      OUT_MAPSD="$ROOT/target/BENCH_pr7.smoke.json"
       BENCH_ARGS+=("$arg")
       ;;
     --compare)
@@ -50,19 +56,37 @@ cargo bench -p maps-bench --bench factor_reuse -- "${BENCH_ARGS[@]+"${BENCH_ARGS
   --out "$OUT" --out-batched "$OUT_BATCHED"
 cargo bench -p maps-bench --bench obs_overhead -- "${BENCH_ARGS[@]+"${BENCH_ARGS[@]}"}" \
   --out "$OUT_OBS" --out-pr6 "$OUT_SCRAPE"
+cargo bench -p maps-bench --bench mapsd_load -- "${BENCH_ARGS[@]+"${BENCH_ARGS[@]}"}" \
+  --out-pr7 "$OUT_MAPSD"
 
-# --compare: diff the fresh BENCH_pr6.json numbers against the committed
-# prior baseline. The paired cached-solve measurement appears in both files
-# (BENCH_pr5 cached_solve_ns.recorder_off vs BENCH_pr6 scraped_solve_ns.idle,
-# same grid and solver path), so drift between them is a real regression
-# signal rather than a cross-machine artifact. Warn (not fail) on >10%:
-# the hard perf invariants already gate inside the benches themselves.
+# --compare: diff the fresh numbers against the newest *committed*
+# BENCH_pr*.json baseline (auto-detected, so new PR benches join the gate
+# without editing this script). Timing leaves (*_ns, *_ms) warn when they
+# grow >10%; throughput leaves (*_rps) warn when they shrink >10%. Warn,
+# not fail: the hard perf invariants already gate inside the benches.
 if [ "$COMPARE" = "1" ]; then
   if ! command -v python3 > /dev/null; then
     echo "bench compare: python3 unavailable, skipping baseline diff"
     exit 0
   fi
-  python3 - "$OUT_SCRAPE" "$ROOT/BENCH_pr5.json" <<'PY'
+  BASELINE="$(git ls-files 'BENCH_pr*.json' | sort -V | tail -n1 || true)"
+  if [ -z "$BASELINE" ]; then
+    echo "bench compare: no committed BENCH_pr*.json baseline, skipping"
+    exit 0
+  fi
+  # Map the baseline name to the matching freshly-written file.
+  case "$BASELINE" in
+    BENCH_pr3.json) FRESH="$OUT" ;;
+    BENCH_pr4.json) FRESH="$OUT_BATCHED" ;;
+    BENCH_pr5.json) FRESH="$OUT_OBS" ;;
+    BENCH_pr6.json) FRESH="$OUT_SCRAPE" ;;
+    BENCH_pr7.json) FRESH="$OUT_MAPSD" ;;
+    *)
+      echo "bench compare: no fresh output maps to baseline $BASELINE, skipping"
+      exit 0
+      ;;
+  esac
+  python3 - "$FRESH" "$ROOT/$BASELINE" <<'PY'
 import json
 import sys
 
@@ -81,25 +105,44 @@ if fresh.get("mode") != baseline.get("mode"):
     )
     sys.exit(0)
 
-idle = fresh["scraped_solve_ns"]["idle"]
-prior = baseline["cached_solve_ns"]["recorder_off"]
-drift = 100.0 * (idle - prior) / prior
-print(
-    f"bench compare: cached solve idle {idle} ns vs prior baseline {prior} ns "
-    f"({drift:+.1f}%)"
-)
-if drift > 10.0:
-    print(
-        f"bench compare: WARNING cached-solve baseline regressed {drift:.1f}% "
-        f"(>10%) against {baseline_path}"
-    )
 
-overhead = fresh["scraped_solve_ns"]["overhead_pct"]
-print(f"bench compare: 10 Hz scrape overhead on a cached solve {overhead:+.1f}%")
-if overhead > 10.0:
-    print(
-        f"bench compare: WARNING scrape overhead {overhead:.1f}% exceeds the "
-        f"10% comparison budget"
-    )
+def leaves(node, path=""):
+    """Yield (dotted-path, numeric value) for every numeric leaf."""
+    if isinstance(node, dict):
+        for k, v in node.items():
+            yield from leaves(v, f"{path}.{k}" if path else k)
+    elif isinstance(node, list):
+        for i, v in enumerate(node):
+            yield from leaves(v, f"{path}[{i}]")
+    elif isinstance(node, (int, float)) and not isinstance(node, bool):
+        yield path, float(node)
+
+
+base = dict(leaves(baseline))
+warned = 0
+compared = 0
+for path, now in leaves(fresh):
+    prior = base.get(path)
+    if prior is None or prior == 0:
+        continue
+    leaf = path.rsplit(".", 1)[-1]
+    drift = 100.0 * (now - prior) / abs(prior)
+    if leaf.endswith("_ns") or leaf.endswith("_ms"):
+        compared += 1
+        if drift > 10.0:
+            print(f"bench compare: WARNING {path} regressed {drift:+.1f}% "
+                  f"({prior:g} -> {now:g})")
+            warned += 1
+    elif leaf.endswith("_rps"):
+        compared += 1
+        if drift < -10.0:
+            print(f"bench compare: WARNING {path} throughput fell {drift:+.1f}% "
+                  f"({prior:g} -> {now:g})")
+            warned += 1
+
+print(
+    f"bench compare: {fresh_path} vs committed {baseline_path}: "
+    f"{compared} comparable leaves, {warned} over the 10% drift budget"
+)
 PY
 fi

@@ -72,6 +72,63 @@ wait "$SERVE_PID" || { cat "$SERVE_LOG"; echo "serve mode exited non-zero"; exit
 trap - EXIT
 grep -q 'telemetry: served 40 ticks' "$SERVE_LOG" || { cat "$SERVE_LOG"; echo "serve mode did not run to completion"; exit 1; }
 
+echo "==> mapsd smoke (ephemeral port, concurrent burst, coalesce + shed counters, drain)"
+MAPSD_LOG="target/mapsd_smoke.log"
+rm -f "$MAPSD_LOG"
+MAPS_D_ADDR=127.0.0.1:0 MAPS_D_WORKERS=1 MAPS_D_QUEUE=1 \
+  cargo run --release -p maps-mapsd --bin mapsd > "$MAPSD_LOG" 2>&1 &
+MAPSD_PID=$!
+trap 'kill "$MAPSD_PID" 2> /dev/null || true' EXIT
+# The daemon prints "mapsd listening on ADDR" once bound.
+DADDR=""
+for _ in $(seq 1 100); do
+  DADDR="$(sed -n 's|^mapsd listening on ||p' "$MAPSD_LOG" | head -n1)"
+  [ -n "$DADDR" ] && break
+  kill -0 "$MAPSD_PID" 2> /dev/null || { cat "$MAPSD_LOG"; echo "mapsd died before binding"; exit 1; }
+  sleep 0.1
+done
+test -n "$DADDR" || { cat "$MAPSD_LOG"; echo "mapsd never printed its address"; exit 1; }
+mapsd_get() {
+  exec 3<> "/dev/tcp/${DADDR%:*}/${DADDR##*:}"
+  printf 'GET %s HTTP/1.1\r\nHost: maps\r\nConnection: close\r\n\r\n' "$1" >&3
+  cat <&3
+  exec 3>&- 3<&-
+}
+mapsd_post() {
+  local body="$2"
+  exec 3<> "/dev/tcp/${DADDR%:*}/${DADDR##*:}"
+  printf 'POST %s HTTP/1.1\r\nHost: maps\r\nContent-Type: application/json\r\nContent-Length: %d\r\nConnection: close\r\n\r\n%s' \
+    "$1" "${#body}" "$body" >&3
+  cat <&3
+  exec 3>&- 3<&-
+}
+mapsd_get /readyz | head -n1 | grep -q '200 OK' || { echo "/readyz not ready on a fresh daemon"; exit 1; }
+# Concurrent burst of identical solves: 1 worker + queue depth 1, so the
+# burst must coalesce on the shared factorization AND shed the overflow.
+SOLVE_BODY='{"nx":80,"ny":80,"dx":0.05,"eps":2.25,"omega":4.05,"deadline_ms":30000}'
+BURST_DIR="target/mapsd_smoke_burst"
+rm -rf "$BURST_DIR"
+mkdir -p "$BURST_DIR"
+BURST_PIDS=()
+for i in $(seq 1 8); do
+  { mapsd_post /solve "$SOLVE_BODY" > "$BURST_DIR/resp_$i" 2> /dev/null || true; } &
+  BURST_PIDS+=("$!")
+done
+# Wait on the burst only — a bare `wait` would also wait on the daemon.
+wait "${BURST_PIDS[@]}"
+grep -l 'HTTP/1.1 200' "$BURST_DIR"/resp_* > /dev/null || { echo "no burst request succeeded"; exit 1; }
+if grep -l 'HTTP/1.1 500' "$BURST_DIR"/resp_* > /dev/null 2>&1; then
+  echo "burst produced a 500"; exit 1
+fi
+DMETRICS="$(mapsd_get /metrics)"
+echo "$DMETRICS" | awk '/^mapsd_coalesce_(leader|hit|follower)_total /{n+=$2} END{exit !(n>0)}' \
+  || { echo "$DMETRICS" | grep '^mapsd_' || true; echo "/metrics shows no coalescing on an identical burst"; exit 1; }
+echo "$DMETRICS" | awk '/^mapsd_shed_total /{n=$2} END{exit !(n>0)}' \
+  || { echo "$DMETRICS" | grep '^mapsd_' || true; echo "/metrics shows no shed on an oversubscribed burst"; exit 1; }
+mapsd_post /shutdown '' | head -n1 | grep -q '202' || { echo "/shutdown did not answer 202"; exit 1; }
+wait "$MAPSD_PID" || { cat "$MAPSD_LOG"; echo "mapsd exited non-zero after drain"; exit 1; }
+trap - EXIT
+
 echo "==> factor-reuse + flight-recorder perf smoke (cached re-solve >= 3x, obs overhead < 5%, scrape overhead bounded)"
 bash scripts/bench.sh --smoke --compare
 

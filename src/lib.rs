@@ -32,6 +32,8 @@ pub use maps_fdfd as fdfd;
 pub use maps_invdes as invdes;
 /// Numerical kernels: complex, banded LU, FFT, eigensolvers.
 pub use maps_linalg as linalg;
+/// The fault-tolerant persistent solve daemon (`mapsd`).
+pub use maps_mapsd as mapsd;
 /// Neural operator models and optimizers.
 pub use maps_nn as nn;
 /// Zero-dependency tracing, metrics, and convergence telemetry.
