@@ -133,6 +133,30 @@ pub trait FieldSolver {
             .collect()
     }
 
+    /// Solves one excitation across a spectrum of frequencies — the
+    /// wideband workload (WDM transmission spectra, S-parameter sweeps):
+    /// the same current density driven at every `omega`, one result per
+    /// frequency in input order.
+    ///
+    /// The default implementation assembles forward [`SolveRequest`]s and
+    /// routes them through [`FieldSolver::solve_ez_batch`], so direct
+    /// solvers amortize factorization reuse and blocked substitution
+    /// through their batch plane while implementors that only define
+    /// `solve_ez` still sweep correctly. Like the batch entry point, a
+    /// failed frequency fails only its own slot.
+    fn solve_ez_spectrum(
+        &self,
+        eps_r: &RealField2d,
+        source: &ComplexField2d,
+        omegas: &[f64],
+    ) -> Vec<Result<ComplexField2d, SolveFieldError>> {
+        let requests: Vec<SolveRequest<'_>> = omegas
+            .iter()
+            .map(|&omega| SolveRequest::forward(source, omega))
+            .collect();
+        self.solve_ez_batch(eps_r, &requests)
+    }
+
     /// Solves `solve_ez` with the backend's convergence tolerance relaxed by
     /// `tol_factor` (> 1 loosens). Retry policies use this to rescue
     /// slow-converging iterative solves; the relaxation applies to this one
@@ -322,6 +346,25 @@ mod tests {
         let adj = ZeroSolver.solve_adjoint_ez(&eps, &j, omega).unwrap();
         assert_eq!(batch[0].as_ref().unwrap().as_slice(), fwd.as_slice());
         assert_eq!(batch[1].as_ref().unwrap().as_slice(), adj.as_slice());
+    }
+
+    /// The default spectrum sweep is one forward solve per frequency, in
+    /// input order, routed through the batch plane.
+    #[test]
+    fn default_spectrum_routes_through_batch() {
+        let g = Grid2d::new(3, 3, 0.1);
+        let eps = RealField2d::constant(g, 1.0);
+        let mut j = ComplexField2d::zeros(g);
+        j.set(1, 1, Complex64::ONE);
+        let omegas = [1.0, 1.5, 2.0, 2.5];
+        let sweep = ZeroSolver.solve_ez_spectrum(&eps, &j, &omegas);
+        assert_eq!(sweep.len(), omegas.len());
+        for (omega, result) in omegas.iter().zip(&sweep) {
+            let direct = ZeroSolver.solve_ez(&eps, &j, *omega).unwrap();
+            assert_eq!(result.as_ref().unwrap().as_slice(), direct.as_slice());
+        }
+        // An empty sweep is a no-op, not an error.
+        assert!(ZeroSolver.solve_ez_spectrum(&eps, &j, &[]).is_empty());
     }
 
     #[test]

@@ -42,6 +42,7 @@ pub mod pml;
 pub mod simulation;
 pub mod source;
 pub mod sparams;
+pub mod spectrum;
 
 pub use adjoint::{gradient_from_fields, solve_with_adjoint, AdjointSolution, PowerObjective};
 pub use factor_cache::{
@@ -55,3 +56,4 @@ pub use pml::PmlConfig;
 pub use simulation::{Backend, FdfdSolver};
 pub use source::{point_source, ModeSource};
 pub use sparams::{SMatrix, SMatrixError};
+pub use spectrum::{linspace_wavelengths, transmission_spectrum, SpectrumPoint};

@@ -40,6 +40,7 @@ pub enum Backend {
 pub struct FdfdSolver {
     pml: PmlConfig,
     backend: Backend,
+    rhs_block: Option<usize>,
 }
 
 impl Default for FdfdSolver {
@@ -54,6 +55,7 @@ impl FdfdSolver {
         FdfdSolver {
             pml: PmlConfig::default(),
             backend: Backend::Direct,
+            rhs_block: None,
         }
     }
 
@@ -62,6 +64,7 @@ impl FdfdSolver {
         FdfdSolver {
             pml,
             backend: Backend::Direct,
+            rhs_block: None,
         }
     }
 
@@ -69,6 +72,24 @@ impl FdfdSolver {
     pub fn backend(mut self, backend: Backend) -> Self {
         self.backend = backend;
         self
+    }
+
+    /// Overrides the RHS block width used by the batched solve plane,
+    /// returning the modified solver. Zero is clamped to one.
+    pub fn rhs_block(mut self, block: usize) -> Self {
+        self.rhs_block = Some(block);
+        self
+    }
+
+    /// The RHS block width the batched plane will use: the builder override
+    /// if set, else the `MAPS_RHS_BLOCK` environment knob, else
+    /// [`maps_linalg::DEFAULT_RHS_BLOCK`].
+    pub fn effective_rhs_block(&self) -> usize {
+        self.rhs_block
+            .unwrap_or_else(|| {
+                maps_obs::parse_env_or("MAPS_RHS_BLOCK", maps_linalg::DEFAULT_RHS_BLOCK)
+            })
+            .max(1)
     }
 
     /// The PML configuration in use.
@@ -255,21 +276,27 @@ impl FieldSolver for FdfdSolver {
         Ok(field)
     }
 
-    /// Batched solves, grouped to amortize factorizations.
+    /// Batched solves, grouped to amortize factorizations *and* band sweeps.
     ///
     /// The whole batch shares one permittivity map, so the (ε-fingerprint,
     /// ω) grouping key reduces to ω: requests are bucketed by exact `omega`
-    /// bits, each bucket is answered by a single banded LU from the factor
-    /// cache, and the bucket's forward/adjoint right-hand sides sweep that
-    /// factorization in place through
-    /// [`maps_linalg::BandedLu::solve_in_place`] /
-    /// `solve_transposed_in_place` (the primitives behind
-    /// `solve_many_into`). A K-excitation batch over G distinct
-    /// frequencies therefore pays G factorizations (fewer on cache hits)
-    /// instead of K.
+    /// bits, and each bucket's forward and adjoint right-hand sides are
+    /// split into RHS blocks of [`FdfdSolver::effective_rhs_block`] width.
+    /// Every (ω-bucket × kind × RHS-block) work item fetches its banded LU
+    /// from the factor cache (single-flight coalescing makes concurrent
+    /// items of the same bucket share one factorization) and sweeps its
+    /// whole block through one pass over the factors via
+    /// [`maps_linalg::BandedLu::solve_many_into_blocked`] /
+    /// `solve_transposed_many_into_blocked`. A K-excitation batch over G
+    /// distinct frequencies therefore pays G factorizations (fewer on cache
+    /// hits) and ~K/block traversals of the band data instead of K.
     ///
-    /// The substitution sweeps are the exact operations of the scalar path,
-    /// so batched fields are bit-identical to one-by-one `solve_ez` /
+    /// Work items are independent (distinct result slots), so they run in
+    /// parallel across the vendored-rayon workers — RHS-block parallelism
+    /// *within* a bucket composing with the across-ω parallelism — and the
+    /// answers are scattered back into input order. The blocked sweeps
+    /// replay the exact scalar op sequence per right-hand side, so batched
+    /// fields are bit-identical to one-by-one `solve_ez` /
     /// `solve_adjoint_ez` calls. Validation is per request: a bad grid or
     /// frequency fails only its own slot.
     fn solve_ez_batch(
@@ -317,34 +344,60 @@ impl FieldSolver for FdfdSolver {
                 None => groups.push((key, vec![i])),
             }
         }
+        let block = self.effective_rhs_block();
         let group_sizes = groups
             .iter()
             .map(|(k, members)| format!("{:.4}x{}", f64::from_bits(*k), members.len()))
             .collect::<Vec<_>>()
             .join(",");
+        for (_, members) in &groups {
+            maps_obs::histogram("fdfd.solve_batch.group_size").record(members.len() as f64);
+        }
         let _span = maps_obs::span("fdfd.solve_batch")
             .field("backend", self.name())
             .field("cells", n)
             .field("requests", requests.len())
             .field("groups", groups.len())
-            .field("group_sizes", group_sizes);
+            .field("group_sizes", group_sizes)
+            .field("rhs_block", block);
         maps_obs::counter("fdfd.solve_batch.calls").inc();
         maps_obs::counter("fdfd.solve_batch.requests").add(requests.len() as u64);
-        // ω-buckets are independent (distinct operators, distinct result
-        // slots), so they run in parallel across the vendored-rayon
-        // workers; worker spans adopt this batch's flow, so the exported
-        // trace shows one stitched fan-out. Per-bucket answers come back
-        // as (request index, result) pairs and are scattered into input
-        // order below — the same determinism contract as the sequential
-        // loop.
+        // Split every ω-bucket into (kind × RHS-block) work items. Items are
+        // independent (distinct operators or distinct result slots), so they
+        // run in parallel across the vendored-rayon workers — same-bucket
+        // items share one factorization through the cache's single-flight
+        // coalescing; worker spans adopt this batch's flow, so the exported
+        // trace shows one stitched fan-out. Per-item answers come back as
+        // (request index, result) pairs and are scattered into input order
+        // below — the same determinism contract as the sequential loop.
+        let mut items: Vec<(f64, SolveKind, Vec<usize>)> = Vec::new();
+        for (_, members) in &groups {
+            let omega = requests[members[0]].omega;
+            for kind in [SolveKind::Forward, SolveKind::Adjoint] {
+                let of_kind: Vec<usize> = members
+                    .iter()
+                    .copied()
+                    .filter(|&i| requests[i].kind == kind)
+                    .collect();
+                for chunk in of_kind.chunks(block) {
+                    items.push((omega, kind, chunk.to_vec()));
+                }
+            }
+        }
         type Answer = (usize, Result<ComplexField2d, SolveFieldError>);
-        let group_answers: Vec<Vec<Answer>> = groups
+        let item_answers: Vec<Vec<Answer>> = items
             .par_iter()
-            .map(|(_, members)| {
-                let omega = requests[members[0]].omega;
+            .map(|(omega, kind, members)| {
+                let omega = *omega;
+                let kind_name = match kind {
+                    SolveKind::Forward => "forward",
+                    SolveKind::Adjoint => "adjoint",
+                };
                 let _span = maps_obs::span("fdfd.solve_group")
                     .field("omega", format!("{omega:.4}"))
-                    .field("requests", members.len());
+                    .field("kind", kind_name)
+                    .field("requests", members.len())
+                    .field("rhs_block", block);
                 let mut answers: Vec<Answer> = Vec::with_capacity(members.len());
                 let lu = match crate::factor_cache::factor(eps_r, omega, &self.pml, || {
                     self.operator(eps_r, omega).to_banded()
@@ -362,50 +415,42 @@ impl FieldSolver for FdfdSolver {
                         return answers;
                     }
                 };
-                let forward: Vec<usize> = members
+                let counter_name = match kind {
+                    SolveKind::Forward => "fdfd.forward_solves",
+                    SolveKind::Adjoint => "fdfd.adjoint_solves",
+                };
+                maps_obs::counter(counter_name).add(members.len() as u64);
+                // One pass over the L/U factors answers the whole block:
+                // the interleaved sweep reads the ~n·ldab band data once
+                // per block instead of once per right-hand side.
+                let _s = maps_obs::span("fdfd.backsub")
+                    .field("kind", kind_name)
+                    .field("rhs", members.len());
+                let rhs: Vec<Vec<Complex64>> = members
                     .iter()
-                    .copied()
-                    .filter(|&i| requests[i].kind == SolveKind::Forward)
+                    .map(|&i| match kind {
+                        SolveKind::Forward => Self::rhs(requests[i].source, omega),
+                        SolveKind::Adjoint => requests[i].source.as_slice().to_vec(),
+                    })
                     .collect();
-                let adjoint: Vec<usize> = members
-                    .iter()
-                    .copied()
-                    .filter(|&i| requests[i].kind == SolveKind::Adjoint)
-                    .collect();
-                maps_obs::counter("fdfd.forward_solves").add(forward.len() as u64);
-                maps_obs::counter("fdfd.adjoint_solves").add(adjoint.len() as u64);
-                // Each request's right-hand-side buffer becomes its solution
-                // in place (`solve_in_place` / `solve_transposed_in_place`
-                // are the primitives behind `solve_many_into`), so the batch
-                // pays no copies the scalar path would not.
-                if !forward.is_empty() {
-                    let _s = maps_obs::span("fdfd.backsub");
-                    for &i in &forward {
-                        let mut x = Self::rhs(requests[i].source, omega);
-                        lu.solve_in_place(&mut x);
-                        let field = ComplexField2d::from_vec(grid, x);
-                        answers.push((
-                            i,
-                            maps_core::ensure_finite(&field, self.name()).map(|()| field),
-                        ));
-                    }
-                }
-                if !adjoint.is_empty() {
-                    let _s = maps_obs::span("fdfd.backsub");
-                    for &i in &adjoint {
-                        let mut x = requests[i].source.as_slice().to_vec();
-                        lu.solve_transposed_in_place(&mut x);
-                        let field = ComplexField2d::from_vec(grid, x);
-                        answers.push((
-                            i,
-                            maps_core::ensure_finite(&field, self.name()).map(|()| field),
-                        ));
-                    }
+                // The owned-rows variant scatters each solution straight
+                // into the vector its field will own — no flat staging
+                // buffer to zero and re-copy.
+                let solutions = match kind {
+                    SolveKind::Forward => lu.solve_many_blocked(&rhs, block),
+                    SolveKind::Adjoint => lu.solve_transposed_many_blocked(&rhs, block),
+                };
+                for (x, &i) in solutions.into_iter().zip(members.iter()) {
+                    let field = ComplexField2d::from_vec(grid, x);
+                    answers.push((
+                        i,
+                        maps_core::ensure_finite(&field, self.name()).map(|()| field),
+                    ));
                 }
                 answers
             })
             .collect();
-        for (i, answer) in group_answers.into_iter().flatten() {
+        for (i, answer) in item_answers.into_iter().flatten() {
             results[i] = Some(answer);
         }
         results

@@ -1,0 +1,209 @@
+//! Wideband spectrum sweeps: one design, many wavelengths, one batch.
+//!
+//! The WDM/filter workloads the paper targets are judged on their
+//! *spectra* — transmission at K = 32–128 wavelengths per candidate
+//! design, re-evaluated after every design update. Solving those K
+//! frequencies one at a time pays K independent passes through the solve
+//! plane; this module assembles the whole sweep into a single
+//! [`FieldSolver::solve_ez_batch`] call so the frequencies ride the
+//! batched (ω-bucket × RHS-block) work items, the factor cache, and the
+//! blocked substitution kernels in one go. Repeat sweeps of an unchanged
+//! design hit the cache for every frequency and skip factorization
+//! entirely.
+//!
+//! Each wavelength gets its own eigenmode excitation (the port mode is
+//! frequency dependent), so the sweep is physical rather than a fixed
+//! current density replayed at shifted ω. For a fixed-source sweep use
+//! [`FieldSolver::solve_ez_spectrum`] directly.
+
+use crate::monitor::ModeMonitor;
+use crate::simulation::FdfdSolver;
+use crate::source::ModeSource;
+use crate::sparams::SMatrixError;
+use maps_core::{omega_for_wavelength, Axis, Direction, FieldSolver, Port, RealField2d};
+use maps_core::{ComplexField2d, SolveRequest};
+
+/// Transmission at one frequency of a sweep.
+#[derive(Debug, Clone)]
+pub struct SpectrumPoint {
+    /// Free-space wavelength in µm.
+    pub wavelength_um: f64,
+    /// Angular frequency (rad/s in normalized units).
+    pub omega: f64,
+    /// Power fraction coupled into each output port's outgoing mode,
+    /// in the order the ports were supplied.
+    pub transmission: Vec<f64>,
+}
+
+/// Evenly spaced wavelengths spanning `[lo_um, hi_um]`, inclusive.
+///
+/// The conventional way to pick a sweep's sample points; `k = 1` returns
+/// just `lo_um`.
+pub fn linspace_wavelengths(lo_um: f64, hi_um: f64, k: usize) -> Vec<f64> {
+    match k {
+        0 => Vec::new(),
+        1 => vec![lo_um],
+        _ => (0..k)
+            .map(|i| lo_um + (hi_um - lo_um) * i as f64 / (k - 1) as f64)
+            .collect(),
+    }
+}
+
+/// Sweeps the transmission spectrum of a structure: excites `input` with
+/// its port eigenmode at every wavelength and records the power fraction
+/// reaching each of the `outputs`, normalized by the launched power.
+///
+/// All K frequencies are issued as one forward batch, so distinct-ω
+/// factorizations coalesce through the factor cache and repeat sweeps of
+/// the same permittivity map skip factorization entirely. Ports follow
+/// the device convention: directions point *out* of the structure (the
+/// excitation is launched inward automatically).
+///
+/// # Errors
+///
+/// Returns [`SMatrixError`] when a port guides no eigenmode at some
+/// wavelength or a field solve fails. One bad frequency fails the whole
+/// sweep — a spectrum with holes is not a spectrum.
+pub fn transmission_spectrum(
+    solver: &FdfdSolver,
+    eps_r: &RealField2d,
+    input: &Port,
+    outputs: &[Port],
+    wavelengths_um: &[f64],
+) -> Result<Vec<SpectrumPoint>, SMatrixError> {
+    let grid = eps_r.grid();
+    let inward = Port {
+        direction: match input.direction {
+            Direction::Positive => Direction::Negative,
+            Direction::Negative => Direction::Positive,
+        },
+        ..*input
+    };
+    // The launched-power monitor sits a few cells inside the device, away
+    // from the source plane where the near field is non-modal (same
+    // placement the S-matrix extractor uses).
+    let offset = 4.0 * grid.dl;
+    let shifted_center = match (input.axis, input.direction) {
+        (Axis::X, Direction::Negative) => (input.center.0 + offset, input.center.1),
+        (Axis::X, Direction::Positive) => (input.center.0 - offset, input.center.1),
+        (Axis::Y, Direction::Negative) => (input.center.0, input.center.1 + offset),
+        (Axis::Y, Direction::Positive) => (input.center.0, input.center.1 - offset),
+    };
+    let self_port = Port {
+        center: shifted_center,
+        ..*input
+    };
+
+    // Per-wavelength excitations and monitors (the port mode disperses),
+    // then the whole sweep as one forward batch.
+    let mut omegas = Vec::with_capacity(wavelengths_um.len());
+    let mut sources: Vec<ComplexField2d> = Vec::with_capacity(wavelengths_um.len());
+    let mut launch_monitors = Vec::with_capacity(wavelengths_um.len());
+    let mut out_monitors = Vec::with_capacity(wavelengths_um.len());
+    for &lambda in wavelengths_um {
+        let omega = omega_for_wavelength(lambda);
+        sources.push(ModeSource::new(eps_r, &inward, omega)?.current_density(grid));
+        launch_monitors.push(ModeMonitor::new(eps_r, &self_port, omega)?);
+        out_monitors.push(
+            outputs
+                .iter()
+                .map(|p| ModeMonitor::new(eps_r, p, omega))
+                .collect::<Result<Vec<_>, _>>()?,
+        );
+        omegas.push(omega);
+    }
+    let requests: Vec<SolveRequest<'_>> = sources
+        .iter()
+        .zip(&omegas)
+        .map(|(j, &omega)| SolveRequest::forward(j, omega))
+        .collect();
+    let fields = solver.solve_ez_batch(eps_r, &requests);
+
+    let mut points = Vec::with_capacity(wavelengths_um.len());
+    for (i, field) in fields.into_iter().enumerate() {
+        let ez = field?;
+        let launched = launch_monitors[i].incoming_functional().eval(&ez);
+        let norm = launched.norm_sqr().max(1e-300);
+        let transmission = out_monitors[i]
+            .iter()
+            .map(|m| m.outgoing_functional().eval(&ez).norm_sqr() / norm)
+            .collect();
+        points.push(SpectrumPoint {
+            wavelength_um: wavelengths_um[i],
+            omega: omegas[i],
+            transmission,
+        });
+    }
+    Ok(points)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pml::PmlConfig;
+    use maps_core::{Grid2d, Rect, Shape};
+
+    fn straight_guide() -> (RealField2d, Port, Port) {
+        let grid = Grid2d::new(70, 44, 0.05);
+        let yc = grid.height() / 2.0;
+        let mut eps = RealField2d::constant(grid, 2.07);
+        maps_core::paint(
+            &mut eps,
+            &Shape::Rect(Rect::new(0.0, yc - 0.24, grid.width(), yc + 0.24)),
+            12.11,
+        );
+        let input = Port::new((1.2, yc), 0.48, Axis::X, Direction::Negative);
+        let output = Port::new((grid.width() - 1.2, yc), 0.48, Axis::X, Direction::Positive);
+        (eps, input, output)
+    }
+
+    #[test]
+    fn linspace_endpoints_and_degenerate_counts() {
+        assert!(linspace_wavelengths(1.5, 1.6, 0).is_empty());
+        assert_eq!(linspace_wavelengths(1.5, 1.6, 1), vec![1.5]);
+        let w = linspace_wavelengths(1.5, 1.6, 5);
+        assert_eq!(w.len(), 5);
+        assert!((w[0] - 1.5).abs() < 1e-12);
+        assert!((w[4] - 1.6).abs() < 1e-12);
+        assert!((w[2] - 1.55).abs() < 1e-12);
+    }
+
+    /// A straight waveguide passes all wavelengths: transmission near
+    /// unity across the sweep, and points come back in input order.
+    #[test]
+    fn straight_waveguide_is_broadband() {
+        let (eps, input, output) = straight_guide();
+        let solver = FdfdSolver::with_pml(PmlConfig::auto(eps.grid().dl));
+        let wavelengths = linspace_wavelengths(1.5, 1.6, 5);
+        let points = transmission_spectrum(&solver, &eps, &input, &[output], &wavelengths).unwrap();
+        assert_eq!(points.len(), wavelengths.len());
+        for (pt, &lambda) in points.iter().zip(&wavelengths) {
+            assert_eq!(pt.wavelength_um, lambda);
+            assert_eq!(pt.transmission.len(), 1);
+            assert!(
+                pt.transmission[0] > 0.7,
+                "T({lambda}) = {}",
+                pt.transmission[0]
+            );
+        }
+    }
+
+    /// The batched sweep matches solving each wavelength on its own —
+    /// the batch plane is bit-identical to scalar solves, so transmission
+    /// numbers must agree exactly.
+    #[test]
+    fn batched_sweep_matches_per_wavelength_sweeps() {
+        let (eps, input, output) = straight_guide();
+        let solver = FdfdSolver::with_pml(PmlConfig::auto(eps.grid().dl));
+        let wavelengths = linspace_wavelengths(1.52, 1.58, 3);
+        let batched =
+            transmission_spectrum(&solver, &eps, &input, &[output], &wavelengths).unwrap();
+        for (pt, &lambda) in batched.iter().zip(&wavelengths) {
+            let alone = transmission_spectrum(&solver, &eps, &input, &[output], &[lambda]).unwrap();
+            assert_eq!(
+                pt.transmission[0].to_bits(),
+                alone[0].transmission[0].to_bits()
+            );
+        }
+    }
+}

@@ -7,6 +7,15 @@
 
 use crate::{Complex64, LinalgError};
 
+/// Default number of right-hand sides swept per pass over the L/U factors.
+///
+/// The blocked substitution kernels traverse the band data once per *block*
+/// of right-hand sides instead of once per RHS. Eight lanes of `f64` fill one
+/// AVX-512 vector (two AVX2 vectors) per split plane, and the per-row lane
+/// strips stay within a cache line, so this width captures most of the
+/// bandwidth win without bloating the interleaved scratch planes.
+pub const DEFAULT_RHS_BLOCK: usize = 8;
+
 /// A complex banded matrix in LAPACK band storage (column-major).
 ///
 /// `kl` sub-diagonals and `ku` super-diagonals are stored; factorization with
@@ -220,6 +229,66 @@ impl BandedMatrix {
     }
 }
 
+/// Columns fused per deferred-update flush in the blocked forward sweeps.
+///
+/// The forward substitutions defer each column's updates to rows below the
+/// current panel and flush them as one multi-column gather pass: every row
+/// in the flush range is loaded into registers once, receives up to `PANEL`
+/// column contributions, and is stored once — instead of one read-modify-
+/// write round trip per column. L panels are additionally bounded by pivot
+/// swaps (a swap needs its rows current, which only holds at panel edges).
+const PANEL: usize = 8;
+
+/// Columns fused per flush in the pivot-free U sweep. Narrower panels than
+/// `PANEL` win here: each U column eagerly scatters into every in-panel row
+/// above it (an O(`PANEL_U`²) read-modify-write triangle per panel), and on
+/// this band profile the triangle cost overtakes the flush amortization
+/// before the L-side panel width does.
+const PANEL_U: usize = 8;
+
+/// Capacity of the per-panel scratch arrays shared by both sweeps: wide
+/// enough for whichever panel width is larger.
+const PANEL_MAX: usize = if PANEL > PANEL_U { PANEL } else { PANEL_U };
+
+/// `x − a·b` with a single rounding: the fused-negate-multiply-add primitive
+/// every substitution kernel (scalar and blocked) is built from. Sharing one
+/// op sequence between the scalar and blocked paths is what keeps the
+/// blocked sweeps bit-identical; on targets with hardware FMA
+/// (`-C target-cpu=native`, see `.cargo/config.toml`) it also halves the
+/// arithmetic per complex update.
+#[inline(always)]
+fn fnma(a: f64, b: f64, x: f64) -> f64 {
+    (-a).mul_add(b, x)
+}
+
+/// `x − m·z` for complex operands, as two fused ops per component.
+#[inline(always)]
+fn cmul_sub(x: Complex64, m: Complex64, z: Complex64) -> Complex64 {
+    Complex64::new(
+        m.im.mul_add(z.im, fnma(m.re, z.re, x.re)),
+        fnma(m.im, z.re, fnma(m.re, z.im, x.im)),
+    )
+}
+
+/// `x · inv` where `inv` is a precomputed reciprocal — the division step of
+/// the substitution sweeps, in the same fused form on both paths.
+#[inline(always)]
+fn cmul_recip(x: Complex64, inv: Complex64) -> Complex64 {
+    Complex64::new(
+        fnma(x.im, inv.im, x.re * inv.re),
+        x.im.mul_add(inv.re, x.re * inv.im),
+    )
+}
+
+/// Which substitution pair a blocked sweep runs.
+#[derive(Clone, Copy)]
+enum Sweep {
+    /// `P·L·U x = b` (forward + backward substitution).
+    Forward,
+    /// `Aᵀ x = b` (transposed substitution, shared factors).
+    Transposed,
+}
+
 /// The LU factorization of a [`BandedMatrix`] with partial pivoting.
 #[derive(Debug, Clone)]
 pub struct BandedLu {
@@ -235,6 +304,20 @@ impl BandedLu {
     /// Matrix dimension.
     pub fn dim(&self) -> usize {
         self.n
+    }
+
+    /// Number of columns whose partial-pivot step interchanged rows.
+    ///
+    /// A diagnostic for the blocked sweeps: the forward substitution fuses
+    /// columns into panels that end at swap columns, so a high swap density
+    /// bounds how much fusion (and therefore how much band-data reuse) the
+    /// L sweep can achieve on this factorization.
+    pub fn pivot_swaps(&self) -> usize {
+        self.ipiv
+            .iter()
+            .enumerate()
+            .filter(|&(j, &p)| p != j)
+            .count()
     }
 
     /// Solves `A x = b`, returning `x`.
@@ -254,15 +337,16 @@ impl BandedLu {
     }
 
     /// Solves `A X = B` for a batch of right-hand sides, returning one
-    /// solution per input. The factorization is traversed once per RHS but
-    /// paid for only once — the batched entry point for multi-source
-    /// problems (S-parameter columns, multi-excitation objectives).
+    /// solution per input. One pass over the L/U factors serves a whole
+    /// block of right-hand sides (see [`BandedLu::solve_many_into_blocked`])
+    /// — the batched entry point for multi-source problems (S-parameter
+    /// columns, multi-excitation objectives, spectrum sweeps).
     ///
     /// # Panics
     ///
     /// Panics if any `rhs.len() != self.dim()`.
     pub fn solve_many(&self, rhs: &[impl AsRef<[Complex64]>]) -> Vec<Vec<Complex64>> {
-        rhs.iter().map(|b| self.solve(b.as_ref())).collect()
+        self.solve_many_blocked(rhs, DEFAULT_RHS_BLOCK)
     }
 
     /// Solves `Aᵀ X = B` for a batch of right-hand sides (see
@@ -272,31 +356,52 @@ impl BandedLu {
     ///
     /// Panics if any `rhs.len() != self.dim()`.
     pub fn solve_transposed_many(&self, rhs: &[impl AsRef<[Complex64]>]) -> Vec<Vec<Complex64>> {
-        rhs.iter()
-            .map(|b| self.solve_transposed(b.as_ref()))
-            .collect()
+        self.solve_transposed_many_blocked(rhs, DEFAULT_RHS_BLOCK)
+    }
+
+    /// Solves `A X = B` with an explicit RHS block width, returning one
+    /// solution `Vec` per input. Identical sweeps (and therefore identical
+    /// bits) to [`BandedLu::solve_many_into_blocked`], but each solution is
+    /// scattered straight into its own freshly-allocated vector — no flat
+    /// staging buffer to zero and re-chop — which is the cheapest shape for
+    /// callers that hand each solution on as an owned field.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any `rhs.len() != self.dim()`.
+    pub fn solve_many_blocked(
+        &self,
+        rhs: &[impl AsRef<[Complex64]>],
+        block: usize,
+    ) -> Vec<Vec<Complex64>> {
+        self.sweep_blocked_rows(rhs, block, Sweep::Forward)
+    }
+
+    /// Solves `Aᵀ X = B` with an explicit RHS block width, one owned
+    /// solution `Vec` per input (see [`BandedLu::solve_many_blocked`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any `rhs.len() != self.dim()`.
+    pub fn solve_transposed_many_blocked(
+        &self,
+        rhs: &[impl AsRef<[Complex64]>],
+        block: usize,
+    ) -> Vec<Vec<Complex64>> {
+        self.sweep_blocked_rows(rhs, block, Sweep::Transposed)
     }
 
     /// Solves `A X = B` for a batch of right-hand sides into a caller-provided
     /// flat buffer, avoiding the `Vec<Vec<_>>` round trip on hot paths. The
-    /// solution to `rhs[i]` is written to `out[i·n .. (i+1)·n]`.
+    /// solution to `rhs[i]` is written to `out[i·n .. (i+1)·n]`. Sweeps
+    /// [`DEFAULT_RHS_BLOCK`] right-hand sides per pass over the factors.
     ///
     /// # Panics
     ///
     /// Panics if any `rhs.len() != self.dim()` or
     /// `out.len() != rhs.len() * self.dim()`.
     pub fn solve_many_into(&self, rhs: &[impl AsRef<[Complex64]>], out: &mut [Complex64]) {
-        assert_eq!(
-            out.len(),
-            rhs.len() * self.n,
-            "solve_many_into output buffer length mismatch"
-        );
-        for (b, chunk) in rhs.iter().zip(out.chunks_exact_mut(self.n)) {
-            let b = b.as_ref();
-            assert_eq!(b.len(), self.n, "solve dimension mismatch");
-            chunk.copy_from_slice(b);
-            self.solve_in_place(chunk);
-        }
+        self.solve_many_into_blocked(rhs, out, DEFAULT_RHS_BLOCK);
     }
 
     /// Solves `Aᵀ X = B` for a batch of right-hand sides into a
@@ -311,16 +416,603 @@ impl BandedLu {
         rhs: &[impl AsRef<[Complex64]>],
         out: &mut [Complex64],
     ) {
+        self.solve_transposed_many_into_blocked(rhs, out, DEFAULT_RHS_BLOCK);
+    }
+
+    /// Solves `A X = B` with an explicit RHS block width: each pass over the
+    /// L/U factors sweeps up to `block` right-hand sides stored interleaved
+    /// (RHS-major inner dimension), so the inner substitution loops run
+    /// contiguously over the RHS axis and autovectorize while the ~`n·ldab`
+    /// band data is read once per block instead of once per RHS.
+    ///
+    /// Per-RHS arithmetic order is unchanged from [`BandedLu::solve_in_place`]
+    /// — each right-hand side is an independent system, so interleaving
+    /// reorders nothing within a system and results are **bit-identical** to
+    /// the scalar path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any `rhs.len() != self.dim()` or
+    /// `out.len() != rhs.len() * self.dim()`.
+    pub fn solve_many_into_blocked(
+        &self,
+        rhs: &[impl AsRef<[Complex64]>],
+        out: &mut [Complex64],
+        block: usize,
+    ) {
+        assert_eq!(
+            out.len(),
+            rhs.len() * self.n,
+            "solve_many_into output buffer length mismatch"
+        );
+        self.sweep_blocked(rhs, out, block, Sweep::Forward);
+    }
+
+    /// Solves `Aᵀ X = B` with an explicit RHS block width (see
+    /// [`BandedLu::solve_many_into_blocked`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any `rhs.len() != self.dim()` or
+    /// `out.len() != rhs.len() * self.dim()`.
+    pub fn solve_transposed_many_into_blocked(
+        &self,
+        rhs: &[impl AsRef<[Complex64]>],
+        out: &mut [Complex64],
+        block: usize,
+    ) {
         assert_eq!(
             out.len(),
             rhs.len() * self.n,
             "solve_transposed_many_into output buffer length mismatch"
         );
-        for (b, chunk) in rhs.iter().zip(out.chunks_exact_mut(self.n)) {
-            let b = b.as_ref();
-            assert_eq!(b.len(), self.n, "solve dimension mismatch");
-            chunk.copy_from_slice(b);
-            self.solve_transposed_in_place(chunk);
+        self.sweep_blocked(rhs, out, block, Sweep::Transposed);
+    }
+
+    /// The one gather → blocked-substitution → scatter core behind every
+    /// batch entry point. Right-hand sides are split into split-plane
+    /// (re/im) scratch with lane-major rows: lane `r` of row `i` lives at
+    /// `plane[i·W + r]`, so the per-row inner loops touch `W` contiguous
+    /// `f64` per plane.
+    ///
+    /// The lane width is monomorphized (`W` const) so the strip kernels
+    /// compile with compile-time trip counts — fully unrolled SIMD with no
+    /// per-row slice bookkeeping. Each chunk picks the narrowest supported
+    /// physical width (2, 4, 8, 16, or 32; wider blocks are split at 32)
+    /// that covers it, so a tail block — or a whole small batch — never
+    /// pays for lanes it does not fill. Remaining padding lanes start at
+    /// zero and are computed and discarded; lanes never mix, so padding
+    /// cannot perturb real lanes. A single-RHS chunk skips the plane
+    /// machinery entirely and runs the scalar path, which the blocked
+    /// kernels are bit-identical to by construction.
+    fn sweep_blocked(
+        &self,
+        rhs: &[impl AsRef<[Complex64]>],
+        out: &mut [Complex64],
+        block: usize,
+        sweep: Sweep,
+    ) {
+        if self.n == 0 || rhs.is_empty() {
+            return;
+        }
+        let n = self.n;
+        let block = block.max(1).min(rhs.len()).min(32);
+        // One scratch pair serves every chunk (sliced to each chunk's
+        // physical width): full chunks overwrite every lane on gather, so
+        // only chunks with padding lanes pay a re-zero.
+        let wmax = phys_width(block);
+        let mut xr = vec![0.0f64; n * wmax];
+        let mut xi = vec![0.0f64; n * wmax];
+        for (chunk, out_chunk) in rhs.chunks(block).zip(out.chunks_mut(block * n)) {
+            let wp = phys_width(chunk.len());
+            let (xr, xi) = (&mut xr[..n * wp], &mut xi[..n * wp]);
+            match chunk.len() {
+                1 => {
+                    let b = chunk[0].as_ref();
+                    assert_eq!(b.len(), n, "solve dimension mismatch");
+                    let x = &mut out_chunk[..n];
+                    x.copy_from_slice(b);
+                    match sweep {
+                        Sweep::Forward => self.solve_in_place(x),
+                        Sweep::Transposed => self.solve_transposed_in_place(x),
+                    }
+                }
+                2 => self.solve_chunk::<2>(chunk, out_chunk, xr, xi, sweep),
+                3..=4 => self.solve_chunk::<4>(chunk, out_chunk, xr, xi, sweep),
+                5..=8 => self.solve_chunk::<8>(chunk, out_chunk, xr, xi, sweep),
+                9..=16 => self.solve_chunk::<16>(chunk, out_chunk, xr, xi, sweep),
+                _ => self.solve_chunk::<32>(chunk, out_chunk, xr, xi, sweep),
+            }
+        }
+    }
+
+    /// [`BandedLu::sweep_blocked`]'s twin for owned per-RHS outputs: same
+    /// chunking, same physical-width dispatch, same sweeps — the scatter
+    /// builds one `Vec` per right-hand side instead of filling a flat
+    /// buffer.
+    fn sweep_blocked_rows(
+        &self,
+        rhs: &[impl AsRef<[Complex64]>],
+        block: usize,
+        sweep: Sweep,
+    ) -> Vec<Vec<Complex64>> {
+        let n = self.n;
+        if n == 0 || rhs.is_empty() {
+            for b in rhs {
+                assert_eq!(b.as_ref().len(), n, "solve dimension mismatch");
+            }
+            return vec![Vec::new(); rhs.len()];
+        }
+        let block = block.max(1).min(rhs.len()).min(32);
+        let wmax = phys_width(block);
+        let mut xr = vec![0.0f64; n * wmax];
+        let mut xi = vec![0.0f64; n * wmax];
+        let mut outs: Vec<Vec<Complex64>> = Vec::with_capacity(rhs.len());
+        for chunk in rhs.chunks(block) {
+            let wp = phys_width(chunk.len());
+            let (xr, xi) = (&mut xr[..n * wp], &mut xi[..n * wp]);
+            match chunk.len() {
+                1 => {
+                    let b = chunk[0].as_ref();
+                    assert_eq!(b.len(), n, "solve dimension mismatch");
+                    let mut x = b.to_vec();
+                    match sweep {
+                        Sweep::Forward => self.solve_in_place(&mut x),
+                        Sweep::Transposed => self.solve_transposed_in_place(&mut x),
+                    }
+                    outs.push(x);
+                }
+                2 => self.solve_chunk_rows::<2>(chunk, &mut outs, xr, xi, sweep),
+                3..=4 => self.solve_chunk_rows::<4>(chunk, &mut outs, xr, xi, sweep),
+                5..=8 => self.solve_chunk_rows::<8>(chunk, &mut outs, xr, xi, sweep),
+                9..=16 => self.solve_chunk_rows::<16>(chunk, &mut outs, xr, xi, sweep),
+                _ => self.solve_chunk_rows::<32>(chunk, &mut outs, xr, xi, sweep),
+            }
+        }
+        outs
+    }
+
+    /// One chunk of [`BandedLu::sweep_blocked`] at a fixed physical lane
+    /// width `W ≥ chunk.len()`: gather into split planes, sweep, scatter.
+    /// `xr`/`xi` are caller-owned scratch of length `n·W`.
+    fn solve_chunk<const W: usize>(
+        &self,
+        chunk: &[impl AsRef<[Complex64]>],
+        out_chunk: &mut [Complex64],
+        xr: &mut [f64],
+        xi: &mut [f64],
+        sweep: Sweep,
+    ) {
+        let n = self.n;
+        let w = chunk.len();
+        // Re-slice to the exact `n·W` length so the optimizer sees the
+        // same compile-time size relation it had when the planes were
+        // allocated here, keeping the sweep loops free of bounds checks.
+        let xr = &mut xr[..n * W];
+        let xi = &mut xi[..n * W];
+        self.sweep_chunk_planes::<W>(chunk, xr, xi, sweep);
+        // Scatter back to RHS-major output rows, row-outer for the same
+        // streaming reason as the gather: plane reads stay contiguous and
+        // the `w` output streams each advance one element per row.
+        let mut outs: Vec<&mut [Complex64]> = out_chunk[..w * n].chunks_exact_mut(n).collect();
+        for i in 0..n {
+            let (row_r, row_i) = (&xr[i * W..(i + 1) * W], &xi[i * W..(i + 1) * W]);
+            for (r, out_row) in outs.iter_mut().enumerate() {
+                out_row[i] = Complex64::new(row_r[r], row_i[r]);
+            }
+        }
+    }
+
+    /// The gather + blocked-substitution front half shared by the flat and
+    /// per-`Vec` scatter paths: interleaves `chunk` into the `n·W` split
+    /// planes and runs the requested sweep, leaving the solutions in the
+    /// planes.
+    fn sweep_chunk_planes<const W: usize>(
+        &self,
+        chunk: &[impl AsRef<[Complex64]>],
+        xr: &mut [f64],
+        xi: &mut [f64],
+        sweep: Sweep,
+    ) {
+        let n = self.n;
+        let w = chunk.len();
+        debug_assert!(w >= 2 && w <= W);
+        if w < W {
+            // Padding lanes must start at zero; a full chunk overwrites
+            // every lane below, so only padded chunks pay this clear.
+            xr.fill(0.0);
+            xi.fill(0.0);
+        }
+        // Gather: interleave this block's right-hand sides. Row-outer
+        // order keeps the plane writes contiguous (one cache line per
+        // row per plane, written once) while the per-lane reads advance
+        // as `w` independent sequential streams the prefetcher tracks.
+        let bs: [&[Complex64]; W] = core::array::from_fn(|r| {
+            let b = chunk[r.min(w - 1)].as_ref();
+            assert_eq!(b.len(), n, "solve dimension mismatch");
+            b
+        });
+        for i in 0..n {
+            let (row_r, row_i) = (&mut xr[i * W..(i + 1) * W], &mut xi[i * W..(i + 1) * W]);
+            for r in 0..w {
+                let z = bs[r][i];
+                row_r[r] = z.re;
+                row_i[r] = z.im;
+            }
+        }
+        match sweep {
+            Sweep::Forward => self.blocked_solve_planes::<W>(xr, xi, w),
+            Sweep::Transposed => self.blocked_solve_transposed_planes::<W>(xr, xi),
+        }
+    }
+
+    /// One chunk solved straight into freshly-allocated per-RHS `Vec`s
+    /// appended to `outs`: the scatter fills each solution vector by
+    /// extension (no zero-fill of the destination and no flat-buffer round
+    /// trip), tiled so the strided plane reads stay inside a cache-resident
+    /// window while each output vector grows sequentially.
+    fn solve_chunk_rows<const W: usize>(
+        &self,
+        chunk: &[impl AsRef<[Complex64]>],
+        outs: &mut Vec<Vec<Complex64>>,
+        xr: &mut [f64],
+        xi: &mut [f64],
+        sweep: Sweep,
+    ) {
+        const SCATTER_TILE: usize = 512;
+        let n = self.n;
+        let w = chunk.len();
+        let xr = &mut xr[..n * W];
+        let xi = &mut xi[..n * W];
+        self.sweep_chunk_planes::<W>(chunk, xr, xi, sweep);
+        let base = outs.len();
+        outs.extend((0..w).map(|_| Vec::with_capacity(n)));
+        let mut t0 = 0;
+        while t0 < n {
+            let t1 = (t0 + SCATTER_TILE).min(n);
+            for (r, out) in outs[base..].iter_mut().enumerate() {
+                out.extend((t0..t1).map(|i| Complex64::new(xr[i * W + r], xi[i * W + r])));
+            }
+            t0 = t1;
+        }
+    }
+
+    /// Blocked `P·L·U x = b`: the split-plane counterpart of
+    /// [`BandedLu::solve_in_place`], sweeping `w` live lanes (padded to `W`)
+    /// per pass.
+    ///
+    /// Both substitutions run in column panels (≤ [`PANEL`] wide). Updates
+    /// to rows *inside* a panel stay eager — later panel columns read them —
+    /// while updates to rows beyond it are deferred and flushed as one
+    /// [`fused_update_rows`] gather pass, so each flushed row makes one
+    /// register round trip per panel instead of one per column. Per-element
+    /// update order is unchanged: the fused pass applies panel columns in
+    /// exactly the order the scalar path visits them, with the shared
+    /// [`cmul_sub`]/[`cmul_recip`] op sequences, so results stay
+    /// bit-identical. L panels end early at pivot-swap columns (a swap needs
+    /// both its rows current, which only the inter-panel flush guarantees).
+    ///
+    /// Zero-skip replication: the scalar path skips a column's update loop
+    /// when its `x[j]` is zero, and computing the update anyway could flip
+    /// IEEE zero signs (e.g. `−0.0 − 0·m = +0.0`). The fused flush therefore
+    /// requires every lane of every panel column to be live; otherwise the
+    /// flush falls back to per-column strips — vectorized when a column's
+    /// live lanes fill the block, per-lane scalar when mixed, skipped when
+    /// none (element updates are independent, so lane order is irrelevant).
+    fn blocked_solve_planes<const W: usize>(&self, xr: &mut [f64], xi: &mut [f64], w: usize) {
+        let (n, kl, ldab) = (self.n, self.kl, self.ldab);
+        let kv = self.kl + self.ku;
+        // Per-panel state: interleaved b values, liveness, the column's
+        // multiplier base offset (`data[offs + i]` is its factor for row
+        // `i`), and the far end of its update range.
+        let mut b_r = [[0.0f64; W]; PANEL_MAX];
+        let mut b_i = [[0.0f64; W]; PANEL_MAX];
+        let mut lives = [0usize; PANEL_MAX];
+        let mut offs = [0usize; PANEL_MAX];
+        let mut ends = [0usize; PANEL_MAX];
+        // Forward: apply L⁻¹ with the recorded pivots, in swap-bounded
+        // panels of ascending columns.
+        if kl > 0 && n > 1 {
+            let nm1 = n - 1;
+            let mut p0 = 0usize;
+            while p0 < nm1 {
+                // Extend the panel while columns carry no swap; a swap
+                // column starts the next panel so its rows are current.
+                let mut p1 = p0 + 1;
+                while p1 < nm1 && p1 - p0 < PANEL && self.ipiv[p1] == p1 {
+                    p1 += 1;
+                }
+                let pw = p1 - p0;
+                for idx in 0..pw {
+                    let c = p0 + idx;
+                    let p = self.ipiv[c];
+                    if p != c {
+                        let (co, po) = (c * W, p * W);
+                        for r in 0..W {
+                            xr.swap(co + r, po + r);
+                            xi.swap(co + r, po + r);
+                        }
+                    }
+                    let co = c * W;
+                    b_r[idx].copy_from_slice(&xr[co..co + W]);
+                    b_i[idx].copy_from_slice(&xi[co..co + W]);
+                    lives[idx] = live_lanes(&b_r[idx], &b_i[idx], w);
+                    offs[idx] = c * ldab + kv - c;
+                    ends[idx] = c + kl.min(n - 1 - c);
+                    // Eager narrow update of the rows still inside the panel.
+                    let t_end = ends[idx].min(p1 - 1);
+                    if lives[idx] > 0 && t_end > c {
+                        let cnt = t_end - c;
+                        let col = &self.data[offs[idx] + c + 1..offs[idx] + c + 1 + cnt];
+                        let ds = (c + 1) * W;
+                        let de = ds + cnt * W;
+                        if lives[idx] == w {
+                            update_strip::<W>(
+                                col,
+                                &mut xr[ds..de],
+                                &mut xi[ds..de],
+                                &b_r[idx],
+                                &b_i[idx],
+                            );
+                        } else {
+                            update_strip_lanes::<W>(
+                                col,
+                                &mut xr[ds..de],
+                                &mut xi[ds..de],
+                                &b_r[idx],
+                                &b_i[idx],
+                                w,
+                            );
+                        }
+                    }
+                }
+                // Flush rows ≥ p1. `ends` is nondecreasing over the panel,
+                // so rows [p1, ends[0]] receive every column.
+                let e0 = ends[0];
+                if lives[..pw].iter().all(|&l| l == w) && e0 >= p1 {
+                    fused_update_rows::<W>(
+                        &self.data,
+                        &offs[..pw],
+                        &b_r[..pw],
+                        &b_i[..pw],
+                        xr,
+                        xi,
+                        p1,
+                        e0,
+                    );
+                    // Tail rows past the common range, per column ascending
+                    // (each row still sees its columns in ascending order).
+                    for idx in 1..pw {
+                        if ends[idx] > e0 {
+                            let cnt = ends[idx] - e0;
+                            let col = &self.data[offs[idx] + e0 + 1..offs[idx] + e0 + 1 + cnt];
+                            let ds = (e0 + 1) * W;
+                            let de = ds + cnt * W;
+                            update_strip::<W>(
+                                col,
+                                &mut xr[ds..de],
+                                &mut xi[ds..de],
+                                &b_r[idx],
+                                &b_i[idx],
+                            );
+                        }
+                    }
+                } else {
+                    for idx in 0..pw {
+                        if lives[idx] == 0 || ends[idx] < p1 {
+                            continue;
+                        }
+                        let cnt = ends[idx] + 1 - p1;
+                        let col = &self.data[offs[idx] + p1..offs[idx] + p1 + cnt];
+                        let ds = p1 * W;
+                        let de = ds + cnt * W;
+                        if lives[idx] == w {
+                            update_strip::<W>(
+                                col,
+                                &mut xr[ds..de],
+                                &mut xi[ds..de],
+                                &b_r[idx],
+                                &b_i[idx],
+                            );
+                        } else {
+                            update_strip_lanes::<W>(
+                                col,
+                                &mut xr[ds..de],
+                                &mut xi[ds..de],
+                                &b_r[idx],
+                                &b_i[idx],
+                                w,
+                            );
+                        }
+                    }
+                }
+                p0 = p1;
+            }
+        }
+        // Backward: apply U⁻¹ (bandwidth kv, no pivots) in panels of
+        // descending columns. The scalar path divides via `diag.recip()`;
+        // the reciprocal is a pure function of the diagonal, so computing it
+        // once per column and sharing it across lanes is bit-identical.
+        let mut p0 = n;
+        while p0 > 0 {
+            let top = p0 - 1;
+            let pend = p0.saturating_sub(PANEL_U);
+            let pw = p0 - pend;
+            for idx in 0..pw {
+                let c = top - idx;
+                let inv = self.data[c * ldab + kv].recip();
+                let co = c * W;
+                for r in 0..W {
+                    let (bre, bim) = (xr[co + r], xi[co + r]);
+                    xr[co + r] = fnma(bim, inv.im, bre * inv.re);
+                    xi[co + r] = bim.mul_add(inv.re, bre * inv.im);
+                }
+                b_r[idx].copy_from_slice(&xr[co..co + W]);
+                b_i[idx].copy_from_slice(&xi[co..co + W]);
+                lives[idx] = live_lanes(&b_r[idx], &b_i[idx], w);
+                offs[idx] = c * ldab + kv - c;
+                ends[idx] = c.saturating_sub(kv);
+                // Eager narrow update of the panel rows below the diagonal.
+                let t_lo = pend.max(ends[idx]);
+                if lives[idx] > 0 && c > t_lo {
+                    let cnt = c - t_lo;
+                    let col = &self.data[offs[idx] + t_lo..offs[idx] + t_lo + cnt];
+                    let ds = t_lo * W;
+                    let de = ds + cnt * W;
+                    if lives[idx] == w {
+                        update_strip::<W>(
+                            col,
+                            &mut xr[ds..de],
+                            &mut xi[ds..de],
+                            &b_r[idx],
+                            &b_i[idx],
+                        );
+                    } else {
+                        update_strip_lanes::<W>(
+                            col,
+                            &mut xr[ds..de],
+                            &mut xi[ds..de],
+                            &b_r[idx],
+                            &b_i[idx],
+                            w,
+                        );
+                    }
+                }
+            }
+            // Flush rows < pend. `ends` is nonincreasing over the panel
+            // (descending columns), so rows [ends[0], pend−1] receive every
+            // column; `offs` is already in descending-column order, which is
+            // the scalar application order for the backward sweep.
+            if pend > 0 {
+                let e0 = ends[0];
+                if lives[..pw].iter().all(|&l| l == w) && e0 < pend {
+                    fused_update_rows::<W>(
+                        &self.data,
+                        &offs[..pw],
+                        &b_r[..pw],
+                        &b_i[..pw],
+                        xr,
+                        xi,
+                        e0,
+                        pend - 1,
+                    );
+                    for idx in 1..pw {
+                        if ends[idx] < e0 {
+                            let cnt = e0 - ends[idx];
+                            let col =
+                                &self.data[offs[idx] + ends[idx]..offs[idx] + ends[idx] + cnt];
+                            let ds = ends[idx] * W;
+                            let de = ds + cnt * W;
+                            update_strip::<W>(
+                                col,
+                                &mut xr[ds..de],
+                                &mut xi[ds..de],
+                                &b_r[idx],
+                                &b_i[idx],
+                            );
+                        }
+                    }
+                } else {
+                    for idx in 0..pw {
+                        if lives[idx] == 0 || ends[idx] >= pend {
+                            continue;
+                        }
+                        let cnt = pend - ends[idx];
+                        let col = &self.data[offs[idx] + ends[idx]..offs[idx] + ends[idx] + cnt];
+                        let ds = ends[idx] * W;
+                        let de = ds + cnt * W;
+                        if lives[idx] == w {
+                            update_strip::<W>(
+                                col,
+                                &mut xr[ds..de],
+                                &mut xi[ds..de],
+                                &b_r[idx],
+                                &b_i[idx],
+                            );
+                        } else {
+                            update_strip_lanes::<W>(
+                                col,
+                                &mut xr[ds..de],
+                                &mut xi[ds..de],
+                                &b_r[idx],
+                                &b_i[idx],
+                                w,
+                            );
+                        }
+                    }
+                }
+            }
+            p0 = pend;
+        }
+    }
+
+    /// Blocked `Aᵀ x = b`: the split-plane counterpart of
+    /// [`BandedLu::solve_transposed_in_place`]. The transposed sweeps are
+    /// pure per-lane accumulations with no zero-skips, so the blocked form
+    /// only needs to preserve the ascending accumulation order within each
+    /// lane to stay bit-identical.
+    fn blocked_solve_transposed_planes<const W: usize>(&self, xr: &mut [f64], xi: &mut [f64]) {
+        let (n, kl, ldab) = (self.n, self.kl, self.ldab);
+        let kv = self.kl + self.ku;
+        let mut accr = [0.0f64; W];
+        let mut acci = [0.0f64; W];
+        // Solve Uᵀ y = b by forward substitution. Row j accumulates from
+        // rows ilo..j into a register block: the same f64 op sequence as
+        // the scalar register accumulator, lane by lane.
+        for j in 0..n {
+            let ilo = j.saturating_sub(kv);
+            let jo = j * W;
+            accr.copy_from_slice(&xr[jo..jo + W]);
+            acci.copy_from_slice(&xi[jo..jo + W]);
+            let len = j - ilo;
+            if len > 0 {
+                let col = &self.data[j * ldab + kv - len..j * ldab + kv];
+                let ss = ilo * W;
+                accumulate_strip::<W>(
+                    col,
+                    &xr[ss..ss + len * W],
+                    &xi[ss..ss + len * W],
+                    &mut accr,
+                    &mut acci,
+                );
+            }
+            let inv = self.data[j * ldab + kv].recip();
+            for r in 0..W {
+                let (are, aim) = (accr[r], acci[r]);
+                xr[jo + r] = fnma(aim, inv.im, are * inv.re);
+                xi[jo + r] = aim.mul_add(inv.re, are * inv.im);
+            }
+        }
+        // Solve Lᵀ x = y, applying pivots in reverse.
+        if kl > 0 {
+            for j in (0..n.saturating_sub(1)).rev() {
+                let km = kl.min(n - 1 - j);
+                let jo = j * W;
+                if km > 0 {
+                    let colj = j * ldab;
+                    accr.copy_from_slice(&xr[jo..jo + W]);
+                    acci.copy_from_slice(&xi[jo..jo + W]);
+                    let col = &self.data[colj + kv + 1..colj + kv + 1 + km];
+                    let ss = (j + 1) * W;
+                    accumulate_strip::<W>(
+                        col,
+                        &xr[ss..ss + km * W],
+                        &xi[ss..ss + km * W],
+                        &mut accr,
+                        &mut acci,
+                    );
+                    xr[jo..jo + W].copy_from_slice(&accr);
+                    xi[jo..jo + W].copy_from_slice(&acci);
+                }
+                let p = self.ipiv[j];
+                if p != j {
+                    let po = p * W;
+                    for r in 0..W {
+                        xr.swap(jo + r, po + r);
+                        xi.swap(jo + r, po + r);
+                    }
+                }
+            }
         }
     }
 
@@ -352,14 +1044,14 @@ impl BandedLu {
                 let colj = j * ldab;
                 for i in 1..=km {
                     let m = self.data[colj + kv + i];
-                    x[j + i] -= m * xj;
+                    x[j + i] = cmul_sub(x[j + i], m, xj);
                 }
             }
         }
         // Backward: apply U⁻¹. U has bandwidth kv.
         for j in (0..n).rev() {
-            let diag = self.data[j * ldab + kv];
-            let xj = x[j] / diag;
+            let inv = self.data[j * ldab + kv].recip();
+            let xj = cmul_recip(x[j], inv);
             x[j] = xj;
             if xj == Complex64::ZERO {
                 continue;
@@ -367,7 +1059,7 @@ impl BandedLu {
             let ilo = j.saturating_sub(kv);
             for i in ilo..j {
                 let u = self.data[j * ldab + kv + i - j];
-                x[i] -= u * xj;
+                x[i] = cmul_sub(x[i], u, xj);
             }
         }
     }
@@ -405,9 +1097,9 @@ impl BandedLu {
             let mut acc = x[j];
             for i in ilo..j {
                 let u = self.data[j * ldab + kv + i - j];
-                acc -= u * x[i];
+                acc = cmul_sub(acc, u, x[i]);
             }
-            x[j] = acc / self.data[j * ldab + kv];
+            x[j] = cmul_recip(acc, self.data[j * ldab + kv].recip());
         }
         // Solve Lᵀ x = y, applying pivots in reverse.
         if kl > 0 {
@@ -417,7 +1109,7 @@ impl BandedLu {
                 let mut acc = x[j];
                 for i in 1..=km {
                     let m = self.data[colj + kv + i];
-                    acc -= m * x[j + i];
+                    acc = cmul_sub(acc, m, x[j + i]);
                 }
                 x[j] = acc;
                 let p = self.ipiv[j];
@@ -425,6 +1117,185 @@ impl BandedLu {
                     x.swap(j, p);
                 }
             }
+        }
+    }
+}
+
+/// The physical lane width a chunk of `len` right-hand sides is
+/// monomorphized at: the narrowest of the supported widths (2, 4, 8, 16,
+/// 32) that covers it. A single RHS takes the scalar path (width 0: no
+/// plane scratch needed).
+#[inline(always)]
+fn phys_width(len: usize) -> usize {
+    match len {
+        0 | 1 => 0,
+        2 => 2,
+        3..=4 => 4,
+        5..=8 => 8,
+        9..=16 => 16,
+        _ => 32,
+    }
+}
+
+/// Counts lanes among the first `w` whose complex value is nonzero
+/// (`-0.0` counts as zero, matching `Complex64::ZERO` equality).
+#[inline(always)]
+fn live_lanes(br: &[f64], bi: &[f64], w: usize) -> usize {
+    br[..w]
+        .iter()
+        .zip(&bi[..w])
+        .filter(|(re, im)| **re != 0.0 || **im != 0.0)
+        .count()
+}
+
+/// Rank-1 band-strip update `dst[k][r] -= col[k] · b[r]` in split planes:
+/// row `k` of the strip is `dst_?[k·W .. (k+1)·W]`. Each lane runs the exact
+/// [`cmul_sub`] op sequence of the scalar path.
+#[inline(always)]
+fn update_strip<const W: usize>(
+    col: &[Complex64],
+    dst_r: &mut [f64],
+    dst_i: &mut [f64],
+    b_r: &[f64; W],
+    b_i: &[f64; W],
+) {
+    assert_eq!(dst_r.len(), col.len() * W, "strip length mismatch");
+    assert_eq!(dst_i.len(), col.len() * W, "strip length mismatch");
+    for (k, m) in col.iter().enumerate() {
+        let o = k * W;
+        for r in 0..W {
+            dst_r[o + r] = m.im.mul_add(b_i[r], fnma(m.re, b_r[r], dst_r[o + r]));
+            dst_i[o + r] = fnma(m.im, b_r[r], fnma(m.re, b_i[r], dst_i[o + r]));
+        }
+    }
+}
+
+/// The fused flush of a deferred panel: every row in `lo..=hi` is loaded
+/// into registers once, receives the contributions of all panel columns in
+/// `offs` order (the caller passes them in scalar application order —
+/// ascending for the L sweep, descending for U), and is stored once. This
+/// is the gather form that replaces `panel-width` read-modify-write passes
+/// over the same rows with one.
+///
+/// Column `idx` must cover the whole range (`data[offs[idx] + i]` is its
+/// multiplier for row `i`) and every lane of every panel column must be
+/// live: the caller checks both, falling back to per-column strips
+/// otherwise so the scalar zero-skips stay replicated.
+#[inline(always)]
+fn fused_update_rows<const W: usize>(
+    data: &[Complex64],
+    offs: &[usize],
+    b_r: &[[f64; W]],
+    b_i: &[[f64; W]],
+    xr: &mut [f64],
+    xi: &mut [f64],
+    lo: usize,
+    hi: usize,
+) {
+    // Rows are independent, but within one row the column applications
+    // form a serial FMA chain (each depends on the previous accumulator).
+    // Processing four rows side by side interleaves four independent
+    // chains per plane, hiding the FMA latency a lone chain stalls on.
+    // The per-row column order — and therefore bit-identity — is
+    // untouched; only *which rows* run concurrently changes, and rows
+    // never read each other.
+    let mut i = lo;
+    while i < hi {
+        let mut a0r = [0.0f64; W];
+        let mut a0i = [0.0f64; W];
+        let mut a1r = [0.0f64; W];
+        let mut a1i = [0.0f64; W];
+        let ro = i * W;
+        a0r.copy_from_slice(&xr[ro..ro + W]);
+        a0i.copy_from_slice(&xi[ro..ro + W]);
+        a1r.copy_from_slice(&xr[ro + W..ro + 2 * W]);
+        a1i.copy_from_slice(&xi[ro + W..ro + 2 * W]);
+        for (idx, &off) in offs.iter().enumerate() {
+            let m0 = data[off + i];
+            let m1 = data[off + i + 1];
+            let br = &b_r[idx];
+            let bi = &b_i[idx];
+            for r in 0..W {
+                a0r[r] = m0.im.mul_add(bi[r], fnma(m0.re, br[r], a0r[r]));
+                a0i[r] = fnma(m0.im, br[r], fnma(m0.re, bi[r], a0i[r]));
+                a1r[r] = m1.im.mul_add(bi[r], fnma(m1.re, br[r], a1r[r]));
+                a1i[r] = fnma(m1.im, br[r], fnma(m1.re, bi[r], a1i[r]));
+            }
+        }
+        xr[ro..ro + W].copy_from_slice(&a0r);
+        xi[ro..ro + W].copy_from_slice(&a0i);
+        xr[ro + W..ro + 2 * W].copy_from_slice(&a1r);
+        xi[ro + W..ro + 2 * W].copy_from_slice(&a1i);
+        i += 2;
+    }
+    let mut ar = [0.0f64; W];
+    let mut ai = [0.0f64; W];
+    while i <= hi {
+        let ro = i * W;
+        ar.copy_from_slice(&xr[ro..ro + W]);
+        ai.copy_from_slice(&xi[ro..ro + W]);
+        for (idx, &off) in offs.iter().enumerate() {
+            let m = data[off + i];
+            let br = &b_r[idx];
+            let bi = &b_i[idx];
+            for r in 0..W {
+                ar[r] = m.im.mul_add(bi[r], fnma(m.re, br[r], ar[r]));
+                ai[r] = fnma(m.im, br[r], fnma(m.re, bi[r], ai[r]));
+            }
+        }
+        xr[ro..ro + W].copy_from_slice(&ar);
+        xi[ro..ro + W].copy_from_slice(&ai);
+        i += 1;
+    }
+}
+
+/// Per-lane variant of [`update_strip`] for columns where only some lanes
+/// are live: each zero lane is skipped exactly like the scalar path, and
+/// live lanes run the identical op sequence (elementwise updates are
+/// independent, so lane order is irrelevant).
+#[inline(always)]
+fn update_strip_lanes<const W: usize>(
+    col: &[Complex64],
+    dst_r: &mut [f64],
+    dst_i: &mut [f64],
+    b_r: &[f64; W],
+    b_i: &[f64; W],
+    w: usize,
+) {
+    assert_eq!(dst_r.len(), col.len() * W, "strip length mismatch");
+    assert_eq!(dst_i.len(), col.len() * W, "strip length mismatch");
+    for r in 0..w {
+        let (bre, bim) = (b_r[r], b_i[r]);
+        if bre == 0.0 && bim == 0.0 {
+            continue;
+        }
+        for (k, m) in col.iter().enumerate() {
+            let o = k * W + r;
+            dst_r[o] = m.im.mul_add(bim, fnma(m.re, bre, dst_r[o]));
+            dst_i[o] = fnma(m.im, bre, fnma(m.re, bim, dst_i[o]));
+        }
+    }
+}
+
+/// Band-strip accumulation `acc[r] -= col[k] · src[k][r]` over ascending `k`
+/// — the blocked form of the transposed sweeps' register accumulators. The
+/// loop-carried dependency is per lane, so the `W` lanes still vectorize.
+#[inline(always)]
+fn accumulate_strip<const W: usize>(
+    col: &[Complex64],
+    src_r: &[f64],
+    src_i: &[f64],
+    acc_r: &mut [f64; W],
+    acc_i: &mut [f64; W],
+) {
+    assert_eq!(src_r.len(), col.len() * W, "strip length mismatch");
+    assert_eq!(src_i.len(), col.len() * W, "strip length mismatch");
+    for (k, m) in col.iter().enumerate() {
+        let o = k * W;
+        for r in 0..W {
+            acc_r[r] =
+                m.im.mul_add(src_i[o + r], fnma(m.re, src_r[o + r], acc_r[r]));
+            acc_i[r] = fnma(m.im, src_r[o + r], fnma(m.re, src_i[o + r], acc_i[r]));
         }
     }
 }
@@ -613,6 +1484,125 @@ mod tests {
         lu.solve_transposed_many_into(&rhs, &mut flat);
         for (chunk, x) in flat.chunks_exact(n).zip(lu.solve_transposed_many(&rhs)) {
             assert_eq!(chunk, &x[..]);
+        }
+    }
+
+    /// Asserts two complex slices are equal down to the sign of zero.
+    fn assert_bits_eq(a: &[Complex64], b: &[Complex64], what: &str) {
+        assert_eq!(a.len(), b.len(), "{what}: length");
+        for (k, (x, y)) in a.iter().zip(b).enumerate() {
+            assert_eq!(x.re.to_bits(), y.re.to_bits(), "{what}: re at {k}");
+            assert_eq!(x.im.to_bits(), y.im.to_bits(), "{what}: im at {k}");
+        }
+    }
+
+    /// A batch of `count` right-hand sides with mixed sparsity: dense lanes,
+    /// mostly-zero lanes (mode-source-like), and lanes carrying negative
+    /// zeros, so the blocked kernel's zero-skip replication is exercised on
+    /// all-live, all-dead, and mixed columns.
+    fn mixed_rhs(n: usize, count: usize) -> Vec<Vec<Complex64>> {
+        (0..count)
+            .map(|r| {
+                (0..n)
+                    .map(|k| match r % 3 {
+                        0 => Complex64::new(
+                            ((k + r) as f64 * 0.7).sin(),
+                            ((k * 3 + r) as f64 * 0.3).cos(),
+                        ),
+                        1 if k % 5 == r % 5 => Complex64::new(1.0 + k as f64 * 0.1, -0.25),
+                        1 => Complex64::ZERO,
+                        _ if k % 4 == 0 => Complex64::new(-0.0, 0.0),
+                        _ => Complex64::new(0.5 - k as f64 * 0.05, (r as f64) * 0.125),
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Bitwise pin: the blocked multi-RHS sweep must reproduce the scalar
+    /// path exactly for every batch width K = 1..9 and K = 33 (odd tails
+    /// across the default block boundary), for both `solve` and
+    /// `solve_transposed`, at several explicit block widths.
+    #[test]
+    fn blocked_sweep_is_bit_identical_to_scalar_path() {
+        let n = 41;
+        let (band, _) = random_banded(n, 5, 3, 2024);
+        let lu = band.factorize().unwrap();
+        for k in (1..=9).chain([33]) {
+            let rhs = mixed_rhs(n, k);
+            let scalar: Vec<Vec<Complex64>> = rhs.iter().map(|b| lu.solve(b)).collect();
+            let scalar_t: Vec<Vec<Complex64>> =
+                rhs.iter().map(|b| lu.solve_transposed(b)).collect();
+            for block in [1, 2, 3, DEFAULT_RHS_BLOCK, 16, 64] {
+                let mut flat = vec![Complex64::ZERO; k * n];
+                lu.solve_many_into_blocked(&rhs, &mut flat, block);
+                for (chunk, x) in flat.chunks_exact(n).zip(&scalar) {
+                    assert_bits_eq(chunk, x, &format!("solve K={k} block={block}"));
+                }
+                lu.solve_transposed_many_into_blocked(&rhs, &mut flat, block);
+                for (chunk, x) in flat.chunks_exact(n).zip(&scalar_t) {
+                    assert_bits_eq(chunk, x, &format!("solve_t K={k} block={block}"));
+                }
+                // The owned-rows scatter rides the same sweep.
+                for (x, b) in lu.solve_many_blocked(&rhs, block).iter().zip(&scalar) {
+                    assert_bits_eq(x, b, &format!("solve_rows K={k} block={block}"));
+                }
+                for (x, b) in lu
+                    .solve_transposed_many_blocked(&rhs, block)
+                    .iter()
+                    .zip(&scalar_t)
+                {
+                    assert_bits_eq(x, b, &format!("solve_rows_t K={k} block={block}"));
+                }
+            }
+            // The allocating wrappers ride the same kernel.
+            for (x, b) in lu.solve_many(&rhs).iter().zip(&scalar) {
+                assert_bits_eq(x, b, &format!("solve_many K={k}"));
+            }
+            for (x, b) in lu.solve_transposed_many(&rhs).iter().zip(&scalar_t) {
+                assert_bits_eq(x, b, &format!("solve_transposed_many K={k}"));
+            }
+        }
+    }
+
+    /// Sign-of-zero stress: right-hand sides built entirely from ±0.0 must
+    /// come out of the blocked sweep with the exact zero signs the scalar
+    /// path produces (the zero-skip is what preserves them).
+    #[test]
+    fn blocked_sweep_preserves_zero_signs() {
+        let n = 17;
+        let (band, _) = random_banded(n, 3, 2, 77);
+        let lu = band.factorize().unwrap();
+        let rhs: Vec<Vec<Complex64>> = (0..5)
+            .map(|r| {
+                (0..n)
+                    .map(|k| match (k + r) % 4 {
+                        0 => Complex64::new(-0.0, 0.0),
+                        1 => Complex64::new(0.0, -0.0),
+                        2 => Complex64::new(-0.0, -0.0),
+                        _ => Complex64::ZERO,
+                    })
+                    .collect()
+            })
+            .collect();
+        let batched = lu.solve_many(&rhs);
+        let batched_t = lu.solve_transposed_many(&rhs);
+        for ((x, xt), b) in batched.iter().zip(&batched_t).zip(&rhs) {
+            assert_bits_eq(x, &lu.solve(b), "zero-sign solve");
+            assert_bits_eq(xt, &lu.solve_transposed(b), "zero-sign solve_t");
+        }
+    }
+
+    #[test]
+    fn blocked_sweep_handles_empty_batch_and_diagonal_only() {
+        let (band, _) = random_banded(9, 0, 0, 6);
+        let lu = band.factorize().unwrap();
+        let empty: Vec<Vec<Complex64>> = Vec::new();
+        assert!(lu.solve_many(&empty).is_empty());
+        assert!(lu.solve_transposed_many(&empty).is_empty());
+        let rhs = mixed_rhs(9, 3);
+        for (x, b) in lu.solve_many(&rhs).iter().zip(&rhs) {
+            assert_bits_eq(x, &lu.solve(b), "diagonal-only solve");
         }
     }
 

@@ -28,7 +28,7 @@ pub mod fft;
 pub mod iterative;
 pub mod sparse;
 
-pub use banded::{BandedLu, BandedMatrix};
+pub use banded::{BandedLu, BandedMatrix, DEFAULT_RHS_BLOCK};
 pub use complex::Complex64;
 pub use dense::{DMatrix, ZMatrix};
 pub use eigen::{symmetric_eigen, SymmetricEigen};

@@ -164,6 +164,13 @@ impl SolveService {
 
     /// Runs every spec in `envelope`, producing the job's results.
     ///
+    /// Multi-spec jobs (`/batch`, `/label` frequency sweeps) ride the
+    /// batched solve plane in one [`FieldSolver::solve_ez_batch`] call:
+    /// same-ω specs share a factorization *and* a blocked substitution
+    /// pass, distinct-ω specs coalesce through the factor cache. Specs the
+    /// batch cannot serve fall back to the per-spec degradation ladder, so
+    /// one sick frequency never fails its neighbours.
+    ///
     /// `queue_ms` is the time the job spent queued (accounted by the
     /// worker); `deadline` is the absolute per-request deadline.
     pub fn execute(
@@ -172,10 +179,15 @@ impl SolveService {
         queue_ms: f64,
         deadline: Option<Instant>,
     ) -> JobResult {
-        let mut results = Vec::with_capacity(envelope.specs.len());
-        for spec in &envelope.specs {
-            results.push(self.solve_one(&envelope.eps, spec, deadline, envelope.return_field));
-        }
+        let results = if envelope.specs.len() > 1 && self.breaker.allows() {
+            self.solve_batched(envelope, deadline)
+        } else {
+            envelope
+                .specs
+                .iter()
+                .map(|spec| self.solve_one(&envelope.eps, spec, deadline, envelope.return_field))
+                .collect()
+        };
         let status = results
             .iter()
             .find_map(|r| r.error_kind.map(|k| k.http_status()))
@@ -187,6 +199,100 @@ impl SolveService {
             results,
             error: None,
         }
+    }
+
+    /// The batched direct rung for multi-spec jobs: one
+    /// `solve_ez_batch` call over all specs. Slots the batch solves are
+    /// tagged `"direct"`; retryable per-slot failures re-enter
+    /// [`SolveService::run_ladder`] individually.
+    fn solve_batched(&self, envelope: &Envelope, deadline: Option<Instant>) -> Vec<SolveResult> {
+        let eps = &envelope.eps;
+        let grid = eps.grid();
+        let started = Instant::now();
+        if 2 * self.pml.thickness >= grid.nx || 2 * self.pml.thickness >= grid.ny {
+            let msg = format!(
+                "grid {}x{} too small for pml thickness {} (needs > {} cells per axis)",
+                grid.nx,
+                grid.ny,
+                self.pml.thickness,
+                2 * self.pml.thickness
+            );
+            return envelope
+                .specs
+                .iter()
+                .map(|_| SolveResult::failed(ErrorKind::Invalid, msg.clone(), 0.0))
+                .collect();
+        }
+        if deadline.is_some_and(|d| Instant::now() >= d) {
+            maps_obs::counter("mapsd.deadline.dropped_mid_job").inc();
+            return envelope
+                .specs
+                .iter()
+                .map(|_| {
+                    SolveResult::failed(
+                        ErrorKind::Deadline,
+                        "deadline passed before the solve started",
+                        0.0,
+                    )
+                })
+                .collect();
+        }
+
+        maps_obs::counter("mapsd.batch.jobs").inc();
+        // No explicit pre-warm: the batch plane coalesces factorizations
+        // through the same single-flight cache internally.
+        let sources: Vec<maps_core::ComplexField2d> = envelope
+            .specs
+            .iter()
+            .map(|s| s.source_field(grid))
+            .collect();
+        let requests: Vec<maps_core::SolveRequest<'_>> = envelope
+            .specs
+            .iter()
+            .zip(&sources)
+            .map(|(s, j)| match s.kind {
+                SolveKind::Forward => maps_core::SolveRequest::forward(j, s.omega),
+                SolveKind::Adjoint => maps_core::SolveRequest::adjoint(j, s.omega),
+            })
+            .collect();
+        let fields = self.direct.solve_ez_batch(eps, &requests);
+        // One traversal served the whole job; the per-slot cost is the
+        // shared batch time.
+        let batch_ms = ms_since(started);
+        fields
+            .into_iter()
+            .zip(&envelope.specs)
+            .map(|(solved, spec)| match solved {
+                Ok(field) => {
+                    self.breaker.record_success();
+                    SolveResult {
+                        field_norm: Some(field.norm()),
+                        field: envelope.return_field.then(|| interleave(&field)),
+                        fidelity: Some("direct"),
+                        served_by: Some(self.direct.name().to_string()),
+                        coalesce: None,
+                        solve_ms: batch_ms,
+                        error_kind: None,
+                        error: None,
+                    }
+                }
+                Err(e) if !e.is_retryable() => {
+                    SolveResult::failed(ErrorKind::Invalid, format!("{e}"), batch_ms)
+                }
+                Err(_) => {
+                    self.breaker.record_failure();
+                    maps_obs::counter("mapsd.direct.failed").inc();
+                    self.run_ladder(
+                        eps,
+                        spec,
+                        deadline,
+                        envelope.return_field,
+                        Instant::now(),
+                        None,
+                    )
+                }
+            })
+            .collect()
     }
 
     fn solve_one(
@@ -446,6 +552,51 @@ mod tests {
         let job = svc.execute(&env, 0.0, None);
         assert!(job.results[0].is_ok());
         assert!(maps_obs::counter("mapsd.direct.bypassed").get() > before);
+    }
+
+    /// A frequency-sweep job rides the batched plane and answers every
+    /// slot with the same numbers as solving each spec on its own.
+    #[test]
+    fn label_sweep_is_served_by_the_batch_plane() {
+        let svc = healthy_service(Breaker::new(5));
+        let sweep = parse_envelope(
+            JobKind::Label,
+            r#"{"nx":30,"ny":26,"dx":0.05,"eps":1.0,"omegas":[4.0,4.1,4.2,4.3]}"#,
+        )
+        .expect("label envelope");
+        let before = maps_obs::counter("mapsd.batch.jobs").get();
+        let job = svc.execute(&sweep, 0.0, None);
+        assert_eq!(job.status, 200);
+        assert_eq!(job.results.len(), 4);
+        assert!(maps_obs::counter("mapsd.batch.jobs").get() > before);
+        for (i, r) in job.results.iter().enumerate() {
+            assert!(r.is_ok(), "slot {i}: {:?}", r.error);
+            assert_eq!(r.fidelity, Some("direct"));
+            // Batched answers are bit-identical to the per-spec path.
+            let single = svc.solve_one(&sweep.eps, &sweep.specs[i], None, false);
+            assert_eq!(
+                r.field_norm.unwrap().to_bits(),
+                single.field_norm.unwrap().to_bits(),
+                "slot {i} diverges from the scalar path"
+            );
+        }
+    }
+
+    /// An expired deadline fails a sweep before any batch work starts.
+    #[test]
+    fn expired_deadline_fails_whole_sweep() {
+        let svc = healthy_service(Breaker::new(5));
+        let sweep = parse_envelope(
+            JobKind::Label,
+            r#"{"nx":30,"ny":26,"dx":0.05,"eps":1.0,"omegas":[4.0,4.1]}"#,
+        )
+        .expect("label envelope");
+        let job = svc.execute(&sweep, 0.0, Some(Instant::now()));
+        assert_eq!(job.status, 408);
+        assert!(job
+            .results
+            .iter()
+            .all(|r| r.error_kind == Some(ErrorKind::Deadline)));
     }
 
     #[test]

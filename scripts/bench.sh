@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
-# Perf-regression harness: runs the factor_reuse, obs_overhead, and
-# mapsd_load benches and writes machine-readable BENCH_pr3.json
-# (factorization reuse), BENCH_pr4.json (batched vs sequential multi-RHS),
-# BENCH_pr5.json (flight-recorder span/exporter overhead), BENCH_pr6.json
-# (telemetry server render + scrape overhead), and BENCH_pr7.json (mapsd
-# daemon latency/throughput + chaos run) at the repo root.
+# Perf-regression harness: runs the factor_reuse, obs_overhead,
+# mapsd_load, and spectrum_sweep benches and writes machine-readable
+# BENCH_pr3.json (factorization reuse), BENCH_pr4.json (batched vs
+# sequential multi-RHS), BENCH_pr5.json (flight-recorder span/exporter
+# overhead), BENCH_pr6.json (telemetry server render + scrape overhead),
+# BENCH_pr7.json (mapsd daemon latency/throughput + chaos run), and
+# BENCH_pr8.json (blocked multi-RHS kernel + wideband spectrum sweep) at
+# the repo root.
 #
 # Usage:
 #   scripts/bench.sh            # full mode (default bending-device grid)
@@ -31,6 +33,7 @@ OUT_BATCHED="$ROOT/BENCH_pr4.json"
 OUT_OBS="$ROOT/BENCH_pr5.json"
 OUT_SCRAPE="$ROOT/BENCH_pr6.json"
 OUT_MAPSD="$ROOT/BENCH_pr7.json"
+OUT_SPECTRUM="$ROOT/BENCH_pr8.json"
 COMPARE=0
 BENCH_ARGS=()
 for arg in "$@"; do
@@ -41,6 +44,7 @@ for arg in "$@"; do
       OUT_OBS="$ROOT/target/BENCH_pr5.smoke.json"
       OUT_SCRAPE="$ROOT/target/BENCH_pr6.smoke.json"
       OUT_MAPSD="$ROOT/target/BENCH_pr7.smoke.json"
+      OUT_SPECTRUM="$ROOT/target/BENCH_pr8.smoke.json"
       BENCH_ARGS+=("$arg")
       ;;
     --compare)
@@ -58,6 +62,8 @@ cargo bench -p maps-bench --bench obs_overhead -- "${BENCH_ARGS[@]+"${BENCH_ARGS
   --out "$OUT_OBS" --out-pr6 "$OUT_SCRAPE"
 cargo bench -p maps-bench --bench mapsd_load -- "${BENCH_ARGS[@]+"${BENCH_ARGS[@]}"}" \
   --out-pr7 "$OUT_MAPSD"
+cargo bench -p maps-bench --bench spectrum_sweep -- "${BENCH_ARGS[@]+"${BENCH_ARGS[@]}"}" \
+  --out "$OUT_SPECTRUM"
 
 # --compare: diff the fresh numbers against the newest *committed*
 # BENCH_pr*.json baseline (auto-detected, so new PR benches join the gate
@@ -81,6 +87,7 @@ if [ "$COMPARE" = "1" ]; then
     BENCH_pr5.json) FRESH="$OUT_OBS" ;;
     BENCH_pr6.json) FRESH="$OUT_SCRAPE" ;;
     BENCH_pr7.json) FRESH="$OUT_MAPSD" ;;
+    BENCH_pr8.json) FRESH="$OUT_SPECTRUM" ;;
     *)
       echo "bench compare: no fresh output maps to baseline $BASELINE, skipping"
       exit 0
@@ -145,4 +152,33 @@ print(
     f"{compared} comparable leaves, {warned} over the 10% drift budget"
 )
 PY
+
+  # Cross-PR kernel check: the pr8 blocked-sweep speedups against the
+  # committed pr4 baseline (same workload shape, pre-blocked kernels).
+  # The blocked kernels must never fall back below the pr4 numbers.
+  if [ -f "$OUT_SPECTRUM" ] && git ls-files --error-unmatch BENCH_pr4.json > /dev/null 2>&1; then
+    python3 - "$OUT_SPECTRUM" "$ROOT/BENCH_pr4.json" <<'PY'
+import json
+import sys
+
+fresh = json.load(open(sys.argv[1]))
+pr4 = json.load(open(sys.argv[2]))
+base = {e["k"]: e["speedup"] for e in pr4.get("multi_rhs", [])}
+note = "" if fresh.get("mode") == pr4.get("mode") else \
+    f" [{fresh.get('mode')} run vs {pr4.get('mode')} baseline]"
+bad = 0
+for e in fresh.get("multi_rhs", []):
+    k, now = e["k"], e["speedup"]
+    prior = base.get(k)
+    if prior is None:
+        continue
+    tag = "ok" if now >= prior else "WARNING: below pr4 baseline"
+    bad += now < prior
+    print(f"bench compare: multi_rhs K={k}: blocked {now:.3f}x vs "
+          f"pr4 {prior:.3f}x ({tag}){note}")
+if not base:
+    print("bench compare: BENCH_pr4.json has no multi_rhs entries, skipping")
+sys.exit(1 if bad else 0)
+PY
+  fi
 fi
