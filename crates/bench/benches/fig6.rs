@@ -13,14 +13,24 @@ use maps_core::FieldSolver;
 use maps_data::{DeviceKind, SamplingStrategy};
 use maps_fdfd::{FdfdSolver, PmlConfig};
 use maps_invdes::{FieldGradient, InitStrategy, InverseDesigner, OptimConfig};
-use maps_tensor::{Params, Tape, Var};
+use maps_tensor::{OwnedTape, Params, Tensor};
 use maps_train::NeuralFieldSolver;
 use std::time::Instant;
 
 struct Borrowed(TrainedModel);
 impl maps_nn::Model for Borrowed {
-    fn forward(&self, tape: &mut Tape, params: &Params, x: Var) -> Var {
-        self.0.model.forward(tape, params, x)
+    fn forward(
+        &self,
+        params: &Params,
+        x: Tensor<f64, OwnedTape<f64>>,
+    ) -> Tensor<f64, OwnedTape<f64>> {
+        self.0.model.forward(params, x)
+    }
+    fn infer(&self, params: &Params, x: Tensor) -> Tensor {
+        self.0.model.infer(params, x)
+    }
+    fn infer_f32(&self, params: &Params<f32>, x: Tensor<f32>) -> Tensor<f32> {
+        self.0.model.infer_f32(params, x)
     }
     fn in_channels(&self) -> usize {
         self.0.model.in_channels()

@@ -7,7 +7,7 @@ use maps_core::{ComplexField2d, FieldSolver, Grid2d, RealField2d};
 use maps_fdfd::{FdfdSolver, PmlConfig};
 use maps_linalg::{fft::fft2, BandedMatrix, Complex64};
 use maps_nn::{Fno, FnoConfig, Model};
-use maps_tensor::{Params, Tape, Tensor};
+use maps_tensor::{Params, Tensor};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -171,13 +171,16 @@ fn bench_fno_forward(c: &mut Criterion) {
         },
     );
     let x = Tensor::zeros(&[1, 4, 40, 40]);
-    group.bench_function("batch1_40x40", |b| {
-        b.iter(|| {
-            let mut tape = Tape::new();
-            let xv = tape.input(x.clone());
-            let y = model.forward(&mut tape, &params, xv);
-            tape.value(y).len()
-        });
+    group.bench_function("taped_f64_batch1_40x40", |b| {
+        b.iter(|| model.forward(&params, x.trace()).no_tape().len());
+    });
+    group.bench_function("infer_f64_batch1_40x40", |b| {
+        b.iter(|| model.infer(&params, x.clone()).len());
+    });
+    let params32 = params.cast::<f32>();
+    let x32 = x.cast::<f32>();
+    group.bench_function("infer_f32_batch1_40x40", |b| {
+        b.iter(|| model.infer_f32(&params32, x32.clone()).len());
     });
     group.finish();
 }

@@ -241,7 +241,6 @@ fn main() {
     let ssource = point_sources(sgrid, 1).pop().unwrap();
     let sks: &[usize] = if smoke { &[8] } else { &[32, 128] };
     let cache = factor_cache::global();
-    let prior_capacity = cache.capacity();
 
     eprintln!(
         "spectrum_sweep: spectrum on {}x{} grid (dl={})",
@@ -256,7 +255,10 @@ fn main() {
             .collect();
         // A wideband sweep only amortizes across repeats when the cache
         // can hold the whole spectrum (MAPS_FACTOR_CACHE in production).
-        cache.set_capacity(k);
+        // The guard confines the raise to this iteration — the process-wide
+        // capacity snaps back when it drops, so nothing that runs after the
+        // sweep inherits a K-factor memory footprint.
+        let _capacity = cache.scoped_capacity(k);
         cache.clear();
 
         let cold_reps = if smoke { 1 } else { 3 };
@@ -304,7 +306,6 @@ fn main() {
         );
         spectrum.push((k, cold_ns, warm_ns, warm_sequential_ns));
     }
-    cache.set_capacity(prior_capacity);
     cache.clear();
 
     // ---- Emit -------------------------------------------------------

@@ -16,7 +16,7 @@ use maps_bench::{build_dataset, calibrated_device, train_baseline, Baseline, Tra
 use maps_core::{FieldSolver, RealField2d};
 use maps_data::{DeviceKind, SamplingStrategy};
 use maps_nn::{Adam, BlackBoxConfig, BlackBoxNet, Model};
-use maps_tensor::{Params, Tape};
+use maps_tensor::{OwnedTape, Params, Tensor};
 use maps_train::{
     ad_black_box_gradient, ad_pred_field_gradient, encode_input, fwd_adj_field_gradient,
     gradient_similarity, mean, NeuralFieldSolver,
@@ -48,12 +48,9 @@ fn train_black_box(
             let omega = maps_core::omega_for_wavelength(sample.labels.wavelength);
             let input = encode_input(&sample.eps_r, &sample.source, omega, false);
             let target = sample.labels.total_transmission();
-            let mut tape = Tape::new();
-            let x = tape.input(input);
-            let y = model.forward(&mut tape, &params, x);
-            let t = tape.input(maps_tensor::Tensor::from_vec(&[1, 1], vec![target]));
-            let loss = tape.mse(y, t);
-            let grads = tape.backward(loss);
+            let y = model.forward(&params, input.trace());
+            let loss = y.mse(Tensor::from_vec(&[1, 1], vec![target]));
+            let grads = loss.backward();
             adam.step(&mut params, &grads);
         }
     }
@@ -86,11 +83,16 @@ fn score_methods(
     impl maps_nn::Model for Borrowed<'_> {
         fn forward(
             &self,
-            tape: &mut Tape,
             params: &Params,
-            x: maps_tensor::Var,
-        ) -> maps_tensor::Var {
-            self.0.model.forward(tape, params, x)
+            x: Tensor<f64, OwnedTape<f64>>,
+        ) -> Tensor<f64, OwnedTape<f64>> {
+            self.0.model.forward(params, x)
+        }
+        fn infer(&self, params: &Params, x: Tensor) -> Tensor {
+            self.0.model.infer(params, x)
+        }
+        fn infer_f32(&self, params: &Params<f32>, x: Tensor<f32>) -> Tensor<f32> {
+            self.0.model.infer_f32(params, x)
         }
         fn in_channels(&self) -> usize {
             self.0.model.in_channels()

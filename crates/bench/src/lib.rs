@@ -269,11 +269,20 @@ pub fn mean_grad_similarity(trained: &TrainedModel, dataset: &BenchDataset) -> f
     impl maps_nn::Model for Borrowed<'_> {
         fn forward(
             &self,
-            tape: &mut maps_tensor::Tape,
             params: &Params,
-            x: maps_tensor::Var,
-        ) -> maps_tensor::Var {
-            self.inner.model.forward(tape, params, x)
+            x: maps_tensor::Tensor<f64, maps_tensor::OwnedTape<f64>>,
+        ) -> maps_tensor::Tensor<f64, maps_tensor::OwnedTape<f64>> {
+            self.inner.model.forward(params, x)
+        }
+        fn infer(&self, params: &Params, x: maps_tensor::Tensor<f64>) -> maps_tensor::Tensor<f64> {
+            self.inner.model.infer(params, x)
+        }
+        fn infer_f32(
+            &self,
+            params: &maps_tensor::Params<f32>,
+            x: maps_tensor::Tensor<f32>,
+        ) -> maps_tensor::Tensor<f32> {
+            self.inner.model.infer_f32(params, x)
         }
         fn in_channels(&self) -> usize {
             self.inner.model.in_channels()

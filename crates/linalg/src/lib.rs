@@ -26,6 +26,7 @@ pub mod dense;
 pub mod eigen;
 pub mod fft;
 pub mod iterative;
+pub mod mixed;
 pub mod sparse;
 
 pub use banded::{BandedLu, BandedMatrix, DEFAULT_RHS_BLOCK};
@@ -33,6 +34,7 @@ pub use complex::Complex64;
 pub use dense::{DMatrix, ZMatrix};
 pub use eigen::{symmetric_eigen, SymmetricEigen};
 pub use iterative::{bicgstab, IterativeOptions, IterativeStats};
+pub use mixed::{Complex32, Factor, MixedBandedLu, RefineReport};
 pub use sparse::{CooMatrix, CsrMatrix};
 
 use std::fmt;

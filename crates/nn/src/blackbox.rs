@@ -6,7 +6,7 @@
 
 use crate::layers::Conv2d;
 use crate::model::Model;
-use maps_tensor::{Conv2dSpec, Params, Tape, Var};
+use maps_tensor::{Conv2dSpec, Dtype, Params, Tape, Tensor};
 use rand::Rng;
 
 /// Configuration of the [`BlackBoxNet`].
@@ -70,19 +70,18 @@ impl BlackBoxNet {
             head,
         }
     }
+
+    fn fwd<E: Dtype, T: Tape<E>>(&self, params: &Params<E>, x: Tensor<E, T>) -> Tensor<E, T> {
+        let mut h = x;
+        for conv in &self.convs {
+            h = conv.forward(params, h).gelu().avg_pool2();
+        }
+        self.head.forward(params, h).global_avg_pool() // [N, 1]
+    }
 }
 
 impl Model for BlackBoxNet {
-    fn forward(&self, tape: &mut Tape, params: &Params, x: Var) -> Var {
-        let mut h = x;
-        for conv in &self.convs {
-            h = conv.forward(tape, params, h);
-            h = tape.gelu(h);
-            h = tape.avg_pool2(h);
-        }
-        let h = self.head.forward(tape, params, h);
-        tape.global_avg_pool(h) // [N, 1]
-    }
+    crate::impl_model_forward!();
 
     fn in_channels(&self) -> usize {
         self.config.in_channels
@@ -113,17 +112,15 @@ mod tests {
                 stages: 2,
             },
         );
-        let mut tape = Tape::new();
-        let x = tape.input(Tensor::from_vec(
+        let x = Tensor::from_vec(
             &[1, 1, 16, 16],
             (0..256).map(|k| (k as f64 * 0.05).cos()).collect(),
-        ));
-        let y = model.forward(&mut tape, &params, x);
-        assert_eq!(tape.value(y).shape(), &[1, 1]);
+        );
+        let y = model.forward(&params, x.trace());
+        assert_eq!(y.shape(), &[1, 1]);
         // The whole point of the black-box baseline: d(output)/d(input).
-        let loss = tape.sum(y);
-        let grads = tape.backward(loss);
-        let gx = grads.wrt(x).expect("input gradient must exist");
+        let grads = y.sum().backward();
+        let gx = grads.wrt(&x).expect("input gradient must exist");
         assert_eq!(gx.shape(), &[1, 1, 16, 16]);
         assert!(gx.norm_sqr() > 0.0);
     }

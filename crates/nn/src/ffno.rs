@@ -7,7 +7,7 @@
 
 use crate::layers::{Conv2d, SpectralConv2d};
 use crate::model::Model;
-use maps_tensor::{Conv2dSpec, Params, Tape, Var};
+use maps_tensor::{Conv2dSpec, Dtype, Params, Tape, Tensor};
 use rand::Rng;
 
 /// Configuration of the [`Ffno`] baseline.
@@ -92,22 +92,23 @@ impl Ffno {
             proj,
         }
     }
+
+    fn fwd<E: Dtype, T: Tape<E>>(&self, params: &Params<E>, x: Tensor<E, T>) -> Tensor<E, T> {
+        let mut h = self.lift.forward(params, x);
+        for block in &self.blocks {
+            let sh = block.spec_h.forward(params, h.with_empty_tape());
+            let sw = block.spec_w.forward(params, h.with_empty_tape());
+            let s = sh.add(sw);
+            let m = block.mlp1.forward(params, s).gelu();
+            let m = block.mlp2.forward(params, m);
+            h = h.add(m); // residual
+        }
+        self.proj.forward(params, h)
+    }
 }
 
 impl Model for Ffno {
-    fn forward(&self, tape: &mut Tape, params: &Params, x: Var) -> Var {
-        let mut h = self.lift.forward(tape, params, x);
-        for block in &self.blocks {
-            let sh = block.spec_h.forward(tape, params, h);
-            let sw = block.spec_w.forward(tape, params, h);
-            let s = tape.add(sh, sw);
-            let m = block.mlp1.forward(tape, params, s);
-            let m = tape.gelu(m);
-            let m = block.mlp2.forward(tape, params, m);
-            h = tape.add(h, m); // residual
-        }
-        self.proj.forward(tape, params, h)
-    }
+    crate::impl_model_forward!();
 
     fn in_channels(&self) -> usize {
         self.config.in_channels
@@ -140,10 +141,8 @@ mod tests {
                 depth: 2,
             },
         );
-        let mut tape = Tape::new();
-        let x = tape.input(Tensor::zeros(&[1, 4, 16, 16]));
-        let y = model.forward(&mut tape, &params, x);
-        assert_eq!(tape.value(y).shape(), &[1, 2, 16, 16]);
+        let y = model.infer(&params, Tensor::zeros(&[1, 4, 16, 16]));
+        assert_eq!(y.shape(), &[1, 2, 16, 16]);
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use crate::layers::{Conv2d, SpectralConv2d};
 use crate::model::Model;
-use maps_tensor::{Conv2dSpec, Params, Tape, Var};
+use maps_tensor::{Conv2dSpec, Dtype, Params, Tape, Tensor};
 use rand::Rng;
 
 /// Configuration of the [`Fno`] baseline.
@@ -81,25 +81,25 @@ impl Fno {
     pub fn config(&self) -> FnoConfig {
         self.config
     }
+
+    fn fwd<E: Dtype, T: Tape<E>>(&self, params: &Params<E>, x: Tensor<E, T>) -> Tensor<E, T> {
+        let mut h = self.lift.forward(params, x);
+        let depth = self.blocks.len();
+        for (i, (spec, bypass)) in self.blocks.iter().enumerate() {
+            // One branch takes an empty tape; the merge in `add` splices
+            // both sub-graphs back together in sequence order.
+            let s = spec.forward(params, h.with_empty_tape());
+            let b = bypass.forward(params, h);
+            let sum = b.add(s);
+            h = if i + 1 < depth { sum.gelu() } else { sum };
+        }
+        let p = self.proj1.forward(params, h).gelu();
+        self.proj2.forward(params, p)
+    }
 }
 
 impl Model for Fno {
-    fn forward(&self, tape: &mut Tape, params: &Params, x: Var) -> Var {
-        let mut h = self.lift.forward(tape, params, x);
-        for (i, (spec, bypass)) in self.blocks.iter().enumerate() {
-            let s = spec.forward(tape, params, h);
-            let b = bypass.forward(tape, params, h);
-            let sum = tape.add(s, b);
-            h = if i + 1 < self.blocks.len() {
-                tape.gelu(sum)
-            } else {
-                sum
-            };
-        }
-        let p = self.proj1.forward(tape, params, h);
-        let p = tape.gelu(p);
-        self.proj2.forward(tape, params, p)
-    }
+    crate::impl_model_forward!();
 
     fn in_channels(&self) -> usize {
         self.config.in_channels
@@ -113,7 +113,7 @@ impl Model for Fno {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use maps_tensor::Tensor;
+
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -132,10 +132,37 @@ mod tests {
                 depth: 2,
             },
         );
-        let mut tape = Tape::new();
-        let x = tape.input(Tensor::zeros(&[2, 4, 16, 16]));
-        let y = model.forward(&mut tape, &params, x);
-        assert_eq!(tape.value(y).shape(), &[2, 2, 16, 16]);
+        let y = model.infer(&params, Tensor::zeros(&[2, 4, 16, 16]));
+        assert_eq!(y.shape(), &[2, 2, 16, 16]);
+    }
+
+    #[test]
+    fn infer_matches_forward_and_tracks_f32() {
+        let mut params = Params::new();
+        let mut rng = StdRng::seed_from_u64(7);
+        let model = Fno::new(
+            &mut params,
+            &mut rng,
+            FnoConfig {
+                in_channels: 2,
+                out_channels: 1,
+                width: 4,
+                modes: 2,
+                depth: 2,
+            },
+        );
+        let x = Tensor::from_vec(
+            &[1, 2, 8, 8],
+            (0..128).map(|k| (k as f64 * 0.13).sin()).collect(),
+        );
+        let taped = model.forward(&params, x.trace()).no_tape();
+        let plain = model.infer(&params, x.clone());
+        assert_eq!(taped.as_slice(), plain.as_slice());
+        let p32 = params.cast::<f32>();
+        let y32 = model.infer_f32(&p32, x.cast::<f32>());
+        for (a, b) in plain.as_slice().iter().zip(y32.as_slice()) {
+            assert!((a - *b as f64).abs() < 1e-4, "{a} vs {b}");
+        }
     }
 
     #[test]
@@ -164,15 +191,15 @@ mod tests {
             (0..64).map(|k| (k as f64 * 0.1).sin()).collect(),
         );
         let eval = |params: &Params| -> (f64, Vec<(maps_tensor::ParamId, Tensor)>) {
-            let mut tape = Tape::new();
-            let x = tape.input(x_data.clone());
-            let y = model.forward(&mut tape, params, x);
-            let t = tape.input(target.clone());
-            let loss = tape.mse(y, t);
-            let grads = tape.backward(loss);
+            let loss = model.forward(params, x_data.trace()).mse(target.clone());
+            let value = loss.item();
+            let grads = loss.backward();
             (
-                tape.value(loss).item(),
-                grads.param_grads().map(|(i, g)| (i, g.clone())).collect(),
+                value,
+                grads
+                    .param_grads(params)
+                    .map(|(i, g)| (i, g.clone()))
+                    .collect(),
             )
         };
         let (l0, grads) = eval(&params);

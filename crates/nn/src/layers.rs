@@ -1,7 +1,13 @@
-//! Reusable layers built on the autodiff tape.
+//! Reusable layers, generic over dtype and tape.
+//!
+//! A layer's `forward` takes the parameter store *of the matching dtype*
+//! (`Params<f64>` for training, a [`maps_tensor::Params::cast`] twin for
+//! `f32` inference) and any tape: on `OwnedTape` each op records its
+//! backward closure, on `NoneTape` the same code compiles down to pure
+//! value arithmetic.
 
 use crate::init::{kaiming_uniform, spectral_uniform};
-use maps_tensor::{Conv2dSpec, ParamId, Params, Tape, Tensor, Var};
+use maps_tensor::{Conv2dSpec, Dtype, ParamId, Params, Tape, Tensor};
 use rand::Rng;
 
 /// A 2-D convolution layer with bias.
@@ -28,11 +34,14 @@ impl Conv2d {
     }
 
     /// Applies the layer.
-    pub fn forward(&self, tape: &mut Tape, params: &Params, x: Var) -> Var {
-        let w = tape.param(params, self.weight);
-        let b = tape.param(params, self.bias);
-        let y = tape.conv2d(x, w, self.spec);
-        tape.add_bias_channel(y, b)
+    pub fn forward<E: Dtype, T: Tape<E>>(
+        &self,
+        params: &Params<E>,
+        x: Tensor<E, T>,
+    ) -> Tensor<E, T> {
+        let w = params.get(self.weight).clone();
+        let b = params.get(self.bias).clone();
+        x.conv2d(w, self.spec).add_bias_channel(b)
     }
 }
 
@@ -52,11 +61,14 @@ impl Linear {
     }
 
     /// Applies the layer.
-    pub fn forward(&self, tape: &mut Tape, params: &Params, x: Var) -> Var {
-        let w = tape.param(params, self.weight);
-        let b = tape.param(params, self.bias);
-        let y = tape.matmul(x, w);
-        tape.add_bias_cols(y, b)
+    pub fn forward<E: Dtype, T: Tape<E>>(
+        &self,
+        params: &Params<E>,
+        x: Tensor<E, T>,
+    ) -> Tensor<E, T> {
+        let w = params.get(self.weight).clone();
+        let b = params.get(self.bias).clone();
+        x.matmul(w).add_bias_cols(b)
     }
 }
 
@@ -91,10 +103,14 @@ impl SpectralConv2d {
     }
 
     /// Applies the layer.
-    pub fn forward(&self, tape: &mut Tape, params: &Params, x: Var) -> Var {
-        let wr = tape.param(params, self.w_re);
-        let wi = tape.param(params, self.w_im);
-        tape.spectral_conv(x, wr, wi, self.modes_h, self.modes_w)
+    pub fn forward<E: Dtype, T: Tape<E>>(
+        &self,
+        params: &Params<E>,
+        x: Tensor<E, T>,
+    ) -> Tensor<E, T> {
+        let wr = params.get(self.w_re).clone();
+        let wi = params.get(self.w_im).clone();
+        x.spectral_conv(wr, wi, self.modes_h, self.modes_w)
     }
 }
 
@@ -109,10 +125,8 @@ mod tests {
         let mut params = Params::new();
         let mut rng = StdRng::seed_from_u64(1);
         let layer = Conv2d::new(&mut params, &mut rng, 3, 8, 3, Conv2dSpec::default());
-        let mut tape = Tape::new();
-        let x = tape.input(Tensor::zeros(&[2, 3, 16, 16]));
-        let y = layer.forward(&mut tape, &params, x);
-        assert_eq!(tape.value(y).shape(), &[2, 8, 16, 16]);
+        let y = layer.forward(&params, Tensor::zeros(&[2, 3, 16, 16]));
+        assert_eq!(y.shape(), &[2, 8, 16, 16]);
     }
 
     #[test]
@@ -120,10 +134,8 @@ mod tests {
         let mut params = Params::new();
         let mut rng = StdRng::seed_from_u64(2);
         let layer = Linear::new(&mut params, &mut rng, 10, 4);
-        let mut tape = Tape::new();
-        let x = tape.input(Tensor::zeros(&[5, 10]));
-        let y = layer.forward(&mut tape, &params, x);
-        assert_eq!(tape.value(y).shape(), &[5, 4]);
+        let y = layer.forward(&params, Tensor::zeros(&[5, 10]));
+        assert_eq!(y.shape(), &[5, 4]);
     }
 
     #[test]
@@ -131,10 +143,25 @@ mod tests {
         let mut params = Params::new();
         let mut rng = StdRng::seed_from_u64(3);
         let layer = SpectralConv2d::new(&mut params, &mut rng, 4, 6, 3, 3);
-        let mut tape = Tape::new();
-        let x = tape.input(Tensor::zeros(&[1, 4, 16, 16]));
-        let y = layer.forward(&mut tape, &params, x);
-        assert_eq!(tape.value(y).shape(), &[1, 6, 16, 16]);
+        let y = layer.forward(&params, Tensor::zeros(&[1, 4, 16, 16]));
+        assert_eq!(y.shape(), &[1, 6, 16, 16]);
+    }
+
+    #[test]
+    fn f32_layer_matches_f64() {
+        let mut params = Params::new();
+        let mut rng = StdRng::seed_from_u64(5);
+        let layer = Conv2d::new(&mut params, &mut rng, 2, 3, 3, Conv2dSpec::default());
+        let p32 = params.cast::<f32>();
+        let x = Tensor::from_vec(
+            &[1, 2, 8, 8],
+            (0..128).map(|k| (k as f64 * 0.11).sin()).collect(),
+        );
+        let y64 = layer.forward(&params, x.clone());
+        let y32 = layer.forward(&p32, x.cast::<f32>());
+        for (a, b) in y64.as_slice().iter().zip(y32.as_slice()) {
+            assert!((a - *b as f64).abs() < 1e-5, "{a} vs {b}");
+        }
     }
 
     #[test]
@@ -146,14 +173,14 @@ mod tests {
         let x_data = Tensor::from_vec(&[1, 1, 4, 4], (0..16).map(|k| k as f64 * 0.1).collect());
         let target = Tensor::full(&[1, 1, 4, 4], 1.0);
         let loss_of = |params: &Params| -> (f64, Vec<(ParamId, Tensor)>) {
-            let mut tape = Tape::new();
-            let x = tape.input(x_data.clone());
-            let y = layer.forward(&mut tape, params, x);
-            let t = tape.input(target.clone());
-            let loss = tape.mse(y, t);
-            let grads = tape.backward(loss);
-            let pg = grads.param_grads().map(|(id, g)| (id, g.clone())).collect();
-            (tape.value(loss).item(), pg)
+            let loss = layer.forward(params, x_data.trace()).mse(target.clone());
+            let value = loss.item();
+            let grads = loss.backward();
+            let pg = grads
+                .param_grads(params)
+                .map(|(id, g)| (id, g.clone()))
+                .collect();
+            (value, pg)
         };
         let (l0, grads) = loss_of(&params);
         for (id, g) in grads {

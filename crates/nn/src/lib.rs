@@ -3,20 +3,31 @@
 //! The neural-operator model zoo of MAPS-Train: FNO, Factorized-FNO, UNet,
 //! and NeurOLight field predictors, a black-box response regressor, weight
 //! initializers, and SGD/Adam optimizers — all built on the `maps-tensor`
-//! autodiff tape.
+//! typestate autodiff tensors.
+//!
+//! Every model exposes three entry points via the [`Model`] trait:
+//! `forward` (training, `f64` on an `OwnedTape`), `infer` (`f64`, no tape),
+//! and `infer_f32` (`f32` storage, no tape):
 //!
 //! ```
 //! use maps_nn::{Fno, FnoConfig, Model};
-//! use maps_tensor::{Params, Tape, Tensor};
+//! use maps_tensor::{Params, Tensor};
 //! use rand::{rngs::StdRng, SeedableRng};
 //!
 //! let mut params = Params::new();
 //! let mut rng = StdRng::seed_from_u64(0);
 //! let model = Fno::new(&mut params, &mut rng, FnoConfig::default());
-//! let mut tape = Tape::new();
-//! let x = tape.input(Tensor::zeros(&[1, 4, 16, 16]));
-//! let field = model.forward(&mut tape, &params, x);
-//! assert_eq!(tape.value(field).shape(), &[1, 2, 16, 16]);
+//!
+//! // Training: traced input, gradients via backward().
+//! let x = Tensor::zeros(&[1, 4, 16, 16]);
+//! let field = model.forward(&params, x.trace());
+//! assert_eq!(field.shape(), &[1, 2, 16, 16]);
+//!
+//! // Inference: no tape, optionally f32 end to end.
+//! let field64 = model.infer(&params, x.clone());
+//! let params32 = params.cast::<f32>();
+//! let field32 = model.infer_f32(&params32, x.cast::<f32>());
+//! assert_eq!(field64.shape(), field32.shape());
 //! ```
 
 pub mod blackbox;

@@ -1,6 +1,6 @@
 //! The model abstraction shared by all predictive baselines.
 
-use maps_tensor::{Params, Tape, Var};
+use maps_tensor::{OwnedTape, Params, Tensor};
 
 /// A neural field/response predictor usable by MAPS-Train.
 ///
@@ -8,9 +8,32 @@ use maps_tensor::{Params, Tape, Var};
 /// wavelength encoding, optional physics priors); outputs are either
 /// `[N, 2, H, W]` field phasors (re/im of `Ez`) or `[N, 1]` scalar responses
 /// for black-box models.
+///
+/// The trait is object-safe, so it exposes three concrete entry points
+/// instead of one generic method:
+///
+/// * [`Model::forward`] — training: `f64` values on an [`OwnedTape`],
+///   every op recording its backward closure.
+/// * [`Model::infer`] — inference at training precision: `f64`, no tape,
+///   zero autodiff overhead.
+/// * [`Model::infer_f32`] — the hot path: `f32` storage (half the memory
+///   bandwidth) and no tape; pair with [`Params::cast`].
+///
+/// Implementors write a single dtype- and tape-generic inherent method
+/// `fwd` and derive all three entry points with [`impl_model_forward!`].
+///
+/// [`impl_model_forward!`]: crate::impl_model_forward
 pub trait Model {
-    /// Runs the forward pass on the tape.
-    fn forward(&self, tape: &mut Tape, params: &Params, x: Var) -> Var;
+    /// Runs the forward pass recording on an autodiff tape (training).
+    fn forward(
+        &self,
+        params: &Params,
+        x: Tensor<f64, OwnedTape<f64>>,
+    ) -> Tensor<f64, OwnedTape<f64>>;
+    /// Runs the forward pass tape-free in `f64` (inference).
+    fn infer(&self, params: &Params, x: Tensor<f64>) -> Tensor<f64>;
+    /// Runs the forward pass tape-free in `f32` (fast inference).
+    fn infer_f32(&self, params: &Params<f32>, x: Tensor<f32>) -> Tensor<f32>;
     /// Number of expected input channels.
     fn in_channels(&self) -> usize;
     /// Short name used in benchmark tables (e.g. `"FNO"`).
@@ -20,4 +43,42 @@ pub trait Model {
     fn wants_wave_prior(&self) -> bool {
         false
     }
+}
+
+/// Expands to the three [`Model`] entry points (`forward`, `infer`,
+/// `infer_f32`), each delegating to an inherent generic method on the
+/// implementing type:
+///
+/// ```ignore
+/// fn fwd<E: Dtype, T: Tape<E>>(&self, params: &Params<E>, x: Tensor<E, T>) -> Tensor<E, T>
+/// ```
+///
+/// Invoke inside the `impl Model for …` block.
+#[macro_export]
+macro_rules! impl_model_forward {
+    () => {
+        fn forward(
+            &self,
+            params: &::maps_tensor::Params<f64>,
+            x: ::maps_tensor::Tensor<f64, ::maps_tensor::OwnedTape<f64>>,
+        ) -> ::maps_tensor::Tensor<f64, ::maps_tensor::OwnedTape<f64>> {
+            self.fwd(params, x)
+        }
+
+        fn infer(
+            &self,
+            params: &::maps_tensor::Params<f64>,
+            x: ::maps_tensor::Tensor<f64>,
+        ) -> ::maps_tensor::Tensor<f64> {
+            self.fwd(params, x)
+        }
+
+        fn infer_f32(
+            &self,
+            params: &::maps_tensor::Params<f32>,
+            x: ::maps_tensor::Tensor<f32>,
+        ) -> ::maps_tensor::Tensor<f32> {
+            self.fwd(params, x)
+        }
+    };
 }

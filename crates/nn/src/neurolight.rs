@@ -10,7 +10,7 @@
 
 use crate::layers::{Conv2d, SpectralConv2d};
 use crate::model::Model;
-use maps_tensor::{Conv2dSpec, Params, Tape, Var};
+use maps_tensor::{Conv2dSpec, Dtype, Params, Tape, Tensor};
 use rand::Rng;
 
 /// Configuration of the [`NeurOLight`] baseline.
@@ -91,24 +91,23 @@ impl NeurOLight {
             proj2,
         }
     }
+
+    fn fwd<E: Dtype, T: Tape<E>>(&self, params: &Params<E>, x: Tensor<E, T>) -> Tensor<E, T> {
+        let mut h = self.lift.forward(params, x);
+        for block in &self.blocks {
+            let s = block.spectral.forward(params, h.with_empty_tape());
+            let l = block.local.forward(params, h.with_empty_tape());
+            let b = block.bypass.forward(params, h.with_empty_tape());
+            let act = s.add(l).add(b).gelu();
+            h = h.add(act); // residual keeps the wave prior flowing
+        }
+        let p = self.proj1.forward(params, h).gelu();
+        self.proj2.forward(params, p)
+    }
 }
 
 impl Model for NeurOLight {
-    fn forward(&self, tape: &mut Tape, params: &Params, x: Var) -> Var {
-        let mut h = self.lift.forward(tape, params, x);
-        for block in &self.blocks {
-            let s = block.spectral.forward(tape, params, h);
-            let l = block.local.forward(tape, params, h);
-            let b = block.bypass.forward(tape, params, h);
-            let sl = tape.add(s, l);
-            let sum = tape.add(sl, b);
-            let act = tape.gelu(sum);
-            h = tape.add(h, act); // residual keeps the wave prior flowing
-        }
-        let p = self.proj1.forward(tape, params, h);
-        let p = tape.gelu(p);
-        self.proj2.forward(tape, params, p)
-    }
+    crate::impl_model_forward!();
 
     fn in_channels(&self) -> usize {
         self.config.in_channels
@@ -145,10 +144,8 @@ mod tests {
                 depth: 2,
             },
         );
-        let mut tape = Tape::new();
-        let x = tape.input(Tensor::zeros(&[1, 6, 16, 16]));
-        let y = model.forward(&mut tape, &params, x);
-        assert_eq!(tape.value(y).shape(), &[1, 2, 16, 16]);
+        let y = model.infer(&params, Tensor::zeros(&[1, 6, 16, 16]));
+        assert_eq!(y.shape(), &[1, 2, 16, 16]);
         assert!(model.wants_wave_prior());
     }
 }

@@ -3,16 +3,13 @@
 use maps_tensor::{Gradients, ParamId, Params, Tensor};
 use std::collections::HashMap;
 
-/// Accumulates (possibly duplicated) parameter gradients from a backward
-/// pass into one tensor per parameter.
-pub fn collect_param_grads(grads: &Gradients) -> HashMap<ParamId, Tensor> {
-    let mut out: HashMap<ParamId, Tensor> = HashMap::new();
-    for (id, g) in grads.param_grads() {
-        out.entry(id)
-            .and_modify(|acc| acc.accumulate(g))
-            .or_insert_with(|| g.clone());
-    }
-    out
+/// Collects the accumulated gradient of every parameter of `params` that
+/// participated in the backward pass, keyed by [`ParamId`].
+pub fn collect_param_grads(grads: &Gradients, params: &Params) -> HashMap<ParamId, Tensor> {
+    grads
+        .param_grads(params)
+        .map(|(id, g)| (id, g.clone()))
+        .collect()
 }
 
 /// Plain stochastic gradient descent with optional momentum.
@@ -36,12 +33,10 @@ impl Sgd {
     }
 
     /// Applies one update step. Gradients for parameters of *other* stores
-    /// (e.g. a frozen forward model in a tandem) are ignored.
+    /// (e.g. a frozen forward model in a tandem) are ignored because
+    /// [`Gradients::param_grads`] only yields this store's leaves.
     pub fn step(&mut self, params: &mut Params, grads: &Gradients) {
-        for (id, g) in collect_param_grads(grads) {
-            if !params.owns(id) {
-                continue;
-            }
+        for (id, g) in collect_param_grads(grads, params) {
             let update = if self.momentum > 0.0 {
                 let v = self
                     .velocity
@@ -97,10 +92,7 @@ impl Adam {
         self.t += 1;
         let bc1 = 1.0 - self.beta1.powi(self.t as i32);
         let bc2 = 1.0 - self.beta2.powi(self.t as i32);
-        for (id, g) in collect_param_grads(grads) {
-            if !params.owns(id) {
-                continue;
-            }
+        for (id, g) in collect_param_grads(grads, params) {
             let m = self.m.entry(id).or_insert_with(|| Tensor::zeros(g.shape()));
             let v = self.v.entry(id).or_insert_with(|| Tensor::zeros(g.shape()));
             let p = params.get_mut(id);
@@ -121,7 +113,6 @@ impl Adam {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use maps_tensor::Tape;
 
     fn quadratic_step(
         params: &mut Params,
@@ -129,14 +120,11 @@ mod tests {
         opt: &mut dyn FnMut(&mut Params, &Gradients),
     ) -> f64 {
         // loss = Σ (p − 3)²
-        let mut tape = Tape::new();
-        let p = tape.param(params, id);
-        let t = tape.input(Tensor::full(params.get(id).shape(), 3.0));
-        let d = tape.sub(p, t);
-        let d2 = tape.mul(d, d);
-        let loss = tape.sum(d2);
-        let l = tape.value(loss).item();
-        let grads = tape.backward(loss);
+        let target = Tensor::full(params.get(id).shape(), 3.0);
+        let d = params.get(id).trace().sub(target);
+        let loss = d.with_empty_tape().mul(d).sum();
+        let l = loss.item();
+        let grads = loss.backward();
         opt(params, &grads);
         l
     }
@@ -183,17 +171,30 @@ mod tests {
 
     #[test]
     fn duplicate_leaves_accumulate() {
-        // The same parameter registered twice on the tape must receive the
-        // sum of both leaf gradients.
+        // The same parameter used twice in the graph must receive the
+        // sum of both branch gradients.
         let mut params = Params::new();
         let id = params.alloc(Tensor::from_vec(&[1], vec![2.0]));
-        let mut tape = Tape::new();
-        let a = tape.param(&params, id);
-        let b = tape.param(&params, id);
-        let s = tape.add(a, b); // 2p → d/dp = 2
-        let loss = tape.sum(s);
-        let grads = tape.backward(loss);
-        let collected = collect_param_grads(&grads);
+        let p = params.get(id).trace();
+        let loss = p.with_empty_tape().add(p).sum(); // 2p → d/dp = 2
+        let grads = loss.backward();
+        let collected = collect_param_grads(&grads, &params);
         assert_eq!(collected[&id].item(), 2.0);
+    }
+
+    #[test]
+    fn frozen_store_is_untouched() {
+        // Gradients flowing through a *different* store's parameters must
+        // not be applied when stepping this store.
+        let mut trainable = Params::new();
+        let mut frozen = Params::new();
+        let a = trainable.alloc(Tensor::from_vec(&[1], vec![1.0]));
+        let b = frozen.alloc(Tensor::from_vec(&[1], vec![5.0]));
+        let loss = trainable.get(a).trace().mul(frozen.get(b).clone()).sum();
+        let grads = loss.backward();
+        let mut sgd = Sgd::new(0.1, 0.0);
+        sgd.step(&mut trainable, &grads);
+        assert!((trainable.get(a).item() - 0.5).abs() < 1e-12);
+        assert_eq!(frozen.get(b).item(), 5.0);
     }
 }

@@ -9,7 +9,7 @@
 
 use crate::layers::Conv2d;
 use crate::model::Model;
-use maps_tensor::{Conv2dSpec, Params, Tape, Var};
+use maps_tensor::{Conv2dSpec, Dtype, OwnedTape, Params, Tape, Tensor};
 use rand::Rng;
 
 /// Configuration of the inverse generator head.
@@ -75,16 +75,20 @@ impl Generator {
     }
 
     /// Produces a density in `(0, 1)` via `0.5·(tanh + 1)`.
-    pub fn forward(&self, tape: &mut Tape, params: &Params, x: Var) -> Var {
+    pub fn forward<E: Dtype, T: Tape<E>>(
+        &self,
+        params: &Params<E>,
+        x: Tensor<E, T>,
+    ) -> Tensor<E, T> {
         let mut h = x;
         for layer in &self.layers {
-            h = layer.forward(tape, params, h);
-            h = tape.gelu(h);
+            h = layer.forward(params, h).gelu();
         }
-        let raw = self.head.forward(tape, params, h);
-        let t = tape.tanh(raw);
-        let t1 = tape.add_scalar(t, 1.0);
-        tape.scale(t1, 0.5)
+        self.head
+            .forward(params, h)
+            .tanh()
+            .add_scalar(E::ONE)
+            .scale(E::from_f64(0.5))
     }
 
     /// The configuration used at construction.
@@ -113,26 +117,27 @@ impl<F: Model> Tandem<F> {
         }
     }
 
-    /// Runs target-spec → generated density → predicted response.
+    /// Runs target-spec → generated density → predicted response, with the
+    /// target spec traced as the graph root.
     ///
-    /// `assemble` maps the generated density plus the target spec into the
-    /// forward model's input encoding (e.g. painting the density into a
-    /// permittivity channel); it must be built from tape ops so gradients
-    /// flow.
+    /// `assemble` maps the generated (taped) density plus the target spec
+    /// into the forward model's input encoding (e.g. painting the density
+    /// into a permittivity channel); it must be built from tensor ops so
+    /// gradients keep flowing.
     ///
-    /// Returns `(density, response)`.
+    /// Returns `(density value, taped response)`.
     pub fn forward(
         &self,
-        tape: &mut Tape,
         gen_params: &Params,
         fwd_params: &Params,
-        target_spec: Var,
-        assemble: impl FnOnce(&mut Tape, Var, Var) -> Var,
-    ) -> (Var, Var) {
-        let density = self.generator.forward(tape, gen_params, target_spec);
-        let fwd_input = assemble(tape, density, target_spec);
-        let response = self.forward_model.forward(tape, fwd_params, fwd_input);
-        (density, response)
+        target_spec: &Tensor,
+        assemble: impl FnOnce(Tensor<f64, OwnedTape<f64>>, &Tensor) -> Tensor<f64, OwnedTape<f64>>,
+    ) -> (Tensor, Tensor<f64, OwnedTape<f64>>) {
+        let density = self.generator.forward(gen_params, target_spec.trace());
+        let density_value = density.no_tape();
+        let fwd_input = assemble(density, target_spec);
+        let response = self.forward_model.forward(fwd_params, fwd_input);
+        (density_value, response)
     }
 }
 
@@ -150,14 +155,13 @@ mod tests {
         let mut params = Params::new();
         let mut rng = StdRng::seed_from_u64(0);
         let gen = Generator::new(&mut params, &mut rng, GeneratorConfig::default());
-        let mut tape = Tape::new();
-        let x = tape.input(Tensor::from_vec(
+        let x = Tensor::from_vec(
             &[1, 2, 8, 8],
             (0..128).map(|k| ((k % 9) as f64 - 4.0) * 0.3).collect(),
-        ));
-        let d = gen.forward(&mut tape, &params, x);
-        assert_eq!(tape.value(d).shape(), &[1, 1, 8, 8]);
-        for v in tape.value(d).as_slice() {
+        );
+        let d = gen.forward(&params, x);
+        assert_eq!(d.shape(), &[1, 1, 8, 8]);
+        for v in d.as_slice() {
             assert!((0.0..=1.0).contains(v), "density out of range: {v}");
         }
     }
@@ -201,12 +205,7 @@ mod tests {
                 .map(|k| 0.5 + 0.4 * (k as f64 * 0.7).sin())
                 .collect(),
         );
-        let target_response = {
-            let mut tape = Tape::new();
-            let d = tape.input(reference_density);
-            let r = fwd.forward(&mut tape, &fwd_params, d);
-            tape.value(r).clone()
-        };
+        let target_response = fwd.infer(&fwd_params, reference_density);
         let tandem = Tandem::new(gen, fwd);
         let fwd_snapshot: Vec<Vec<f64>> = fwd_params
             .ids()
@@ -220,19 +219,11 @@ mod tests {
         let mut adam = Adam::new(2e-2);
         let mut losses = Vec::new();
         for _ in 0..40 {
-            let mut tape = Tape::new();
-            let s = tape.input(spec.clone());
-            let (_density, response) = tandem.forward(
-                &mut tape,
-                &gen_params,
-                &fwd_params,
-                s,
-                |_tape, density, _spec| density,
-            );
-            let t = tape.input(target_response.clone());
-            let loss = tape.mse(response, t);
-            losses.push(tape.value(loss).item());
-            let grads = tape.backward(loss);
+            let (_density, response) =
+                tandem.forward(&gen_params, &fwd_params, &spec, |density, _spec| density);
+            let loss = response.mse(target_response.clone());
+            losses.push(loss.item());
+            let grads = loss.backward();
             adam.step(&mut gen_params, &grads);
         }
         assert!(

@@ -2,7 +2,7 @@
 
 use crate::layers::Conv2d;
 use crate::model::Model;
-use maps_tensor::{Conv2dSpec, Params, Tape, Var};
+use maps_tensor::{Conv2dSpec, Dtype, Params, Tape, Tensor};
 use rand::Rng;
 
 /// Configuration of the [`UNet`] baseline.
@@ -43,11 +43,9 @@ impl ConvBlock {
         }
     }
 
-    fn forward(&self, tape: &mut Tape, params: &Params, x: Var) -> Var {
-        let h = self.c1.forward(tape, params, x);
-        let h = tape.gelu(h);
-        let h = self.c2.forward(tape, params, h);
-        tape.gelu(h)
+    fn forward<E: Dtype, T: Tape<E>>(&self, params: &Params<E>, x: Tensor<E, T>) -> Tensor<E, T> {
+        let h = self.c1.forward(params, x).gelu();
+        self.c2.forward(params, h).gelu()
     }
 }
 
@@ -94,23 +92,26 @@ impl UNet {
             head,
         }
     }
+
+    fn fwd<E: Dtype, T: Tape<E>>(&self, params: &Params<E>, x: Tensor<E, T>) -> Tensor<E, T> {
+        // Skip tensors keep empty tapes; the downstream concat merges each
+        // encoder sub-graph back into the main tape exactly once.
+        let e1 = self.enc1.forward(params, x);
+        let p1 = e1.with_empty_tape().avg_pool2();
+        let e2 = self.enc2.forward(params, p1);
+        let b = self
+            .bottleneck
+            .forward(params, e2.with_empty_tape().avg_pool2());
+        let d2 = self.dec2.forward(params, b.upsample2().concat_channels(e2));
+        let d1 = self
+            .dec1
+            .forward(params, d2.upsample2().concat_channels(e1));
+        self.head.forward(params, d1)
+    }
 }
 
 impl Model for UNet {
-    fn forward(&self, tape: &mut Tape, params: &Params, x: Var) -> Var {
-        let e1 = self.enc1.forward(tape, params, x);
-        let p1 = tape.avg_pool2(e1);
-        let e2 = self.enc2.forward(tape, params, p1);
-        let p2 = tape.avg_pool2(e2);
-        let b = self.bottleneck.forward(tape, params, p2);
-        let u2 = tape.upsample2(b);
-        let cat2 = tape.concat_channels(&[u2, e2]);
-        let d2 = self.dec2.forward(tape, params, cat2);
-        let u1 = tape.upsample2(d2);
-        let cat1 = tape.concat_channels(&[u1, e1]);
-        let d1 = self.dec1.forward(tape, params, cat1);
-        self.head.forward(tape, params, d1)
-    }
+    crate::impl_model_forward!();
 
     fn in_channels(&self) -> usize {
         self.config.in_channels
@@ -141,10 +142,8 @@ mod tests {
                 width: 4,
             },
         );
-        let mut tape = Tape::new();
-        let x = tape.input(Tensor::zeros(&[1, 4, 16, 24]));
-        let y = model.forward(&mut tape, &params, x);
-        assert_eq!(tape.value(y).shape(), &[1, 2, 16, 24]);
+        let y = model.infer(&params, Tensor::zeros(&[1, 4, 16, 24]));
+        assert_eq!(y.shape(), &[1, 2, 16, 24]);
     }
 
     #[test]
@@ -160,15 +159,14 @@ mod tests {
                 width: 2,
             },
         );
-        let mut tape = Tape::new();
-        let x = tape.input(Tensor::from_vec(
+        let x = Tensor::from_vec(
             &[1, 1, 8, 8],
             (0..64).map(|k| (k as f64 * 0.2).sin()).collect(),
-        ));
-        let y = model.forward(&mut tape, &params, x);
-        let loss = tape.mean(y);
-        let grads = tape.backward(loss);
-        let reached: std::collections::HashSet<_> = grads.param_grads().map(|(id, _)| id).collect();
+        );
+        let loss = model.forward(&params, x.trace()).mean();
+        let grads = loss.backward();
+        let reached: std::collections::HashSet<_> =
+            grads.param_grads(&params).map(|(id, _)| id).collect();
         assert_eq!(reached.len(), params.len(), "all parameters must get grads");
     }
 }

@@ -3,17 +3,10 @@
 use maps_nn::{
     Ffno, FfnoConfig, Fno, FnoConfig, Model, NeurOLight, NeurOLightConfig, UNet, UNetConfig,
 };
-use maps_tensor::{Params, Tape, Tensor};
+use maps_tensor::{tape_nodes_recorded, Params, Tensor};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-
-fn forward(model: &dyn Model, params: &Params, x: Tensor) -> Tensor {
-    let mut tape = Tape::new();
-    let xv = tape.input(x);
-    let y = model.forward(&mut tape, params, xv);
-    tape.value(y).clone()
-}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(8))]
@@ -46,7 +39,7 @@ proptest! {
         ];
         for model in &models {
             let x = Tensor::zeros(&[n, model.in_channels(), h, w]);
-            let y = forward(model.as_ref(), &params, x);
+            let y = model.infer(&params, x);
             prop_assert_eq!(y.shape(), &[n, 2, h, w], "{}", model.name());
         }
     }
@@ -63,8 +56,8 @@ proptest! {
             &[1, 2, 8, 8],
             (0..128).map(|k| ((k * 31 % 23) as f64 - 11.0) * 0.1).collect(),
         );
-        let y1 = forward(&model, &params, x.clone());
-        let y2 = forward(&model, &params, x);
+        let y1 = model.infer(&params, x.clone());
+        let y2 = model.infer(&params, x);
         prop_assert_eq!(y1.as_slice(), y2.as_slice());
     }
 
@@ -82,14 +75,38 @@ proptest! {
         let mut batch = Tensor::zeros(&[2, 1, 8, 8]);
         batch.as_mut_slice()[..64].copy_from_slice(a.as_slice());
         batch.as_mut_slice()[64..].copy_from_slice(b.as_slice());
-        let y_batch = forward(&model, &params, batch);
-        let ya = forward(&model, &params, a);
-        let yb = forward(&model, &params, b);
+        let y_batch = model.infer(&params, batch);
+        let ya = model.infer(&params, a);
+        let yb = model.infer(&params, b);
         for (k, v) in ya.as_slice().iter().enumerate() {
             prop_assert!((y_batch.as_slice()[k] - v).abs() < 1e-10);
         }
         for (k, v) in yb.as_slice().iter().enumerate() {
             prop_assert!((y_batch.as_slice()[64 + k] - v).abs() < 1e-10);
+        }
+    }
+
+    /// Model inference through the `Model` trait records zero tape nodes,
+    /// in both dtypes — the typestate guarantee holds end to end.
+    #[test]
+    fn model_inference_is_tape_free(seed in 0u64..20) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut params = Params::new();
+        let model = Fno::new(&mut params, &mut rng, FnoConfig {
+            in_channels: 2, out_channels: 1, width: 4, modes: 2, depth: 2,
+        });
+        let params32 = params.cast::<f32>();
+        let x = Tensor::from_vec(
+            &[1, 2, 8, 8],
+            (0..128).map(|k| (k as f64 * 0.07).sin()).collect(),
+        );
+        let before = tape_nodes_recorded();
+        let y64 = model.infer(&params, x.clone());
+        let y32 = model.infer_f32(&params32, x.cast::<f32>());
+        prop_assert_eq!(tape_nodes_recorded(), before);
+        // And the f32 path tracks the f64 one.
+        for (a, b) in y64.as_slice().iter().zip(y32.as_slice()) {
+            prop_assert!((a - *b as f64).abs() < 1e-3, "{} vs {}", a, b);
         }
     }
 }

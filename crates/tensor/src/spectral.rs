@@ -5,7 +5,12 @@
 //! weight per (input-channel, output-channel) pair, and inverse-transforms,
 //! keeping the real part. The backward pass is derived analytically (the
 //! DFT matrix is symmetric, so its adjoint is a conjugated inverse FFT).
+//!
+//! The FFT butterflies always run in `f64` (the twiddle recurrences lose
+//! too much accuracy in single precision); dtype-generic callers pay one
+//! cast at the boundary, which is negligible next to the transform.
 
+use crate::dtype::Dtype;
 use crate::tensor::Tensor;
 use maps_linalg::fft::{fft2, ifft2};
 use maps_linalg::Complex64;
@@ -28,13 +33,13 @@ fn unpack4(shape: &[usize], what: &str) -> (usize, usize, usize, usize) {
 /// * `w_re`, `w_im`: `[Cin, Cout, 2mh, 2mw]` complex weight halves.
 ///
 /// Returns `[N, Cout, H, W]`.
-pub fn spectral_conv_forward(
-    x: &Tensor,
-    w_re: &Tensor,
-    w_im: &Tensor,
+pub fn spectral_conv_forward<E: Dtype>(
+    x: &Tensor<E>,
+    w_re: &Tensor<E>,
+    w_im: &Tensor<E>,
     mh: usize,
     mw: usize,
-) -> Tensor {
+) -> Tensor<E> {
     let (n, cin, h, w) = unpack4(x.shape(), "spectral input");
     let (cin2, cout, kh, kw) = unpack4(w_re.shape(), "spectral weight");
     assert_eq!(cin, cin2, "spectral channel mismatch");
@@ -50,7 +55,7 @@ pub fn spectral_conv_forward(
         let src = &x.as_slice()[nc * hw..(nc + 1) * hw];
         let dst = &mut xhat[nc * hw..(nc + 1) * hw];
         for (d, s) in dst.iter_mut().zip(src) {
-            *d = Complex64::from_re(*s);
+            *d = Complex64::from_re(s.to_f64());
         }
         fft2(dst, h, w);
     }
@@ -70,7 +75,7 @@ pub fn spectral_conv_forward(
                 for (ri, &r) in rows.iter().enumerate() {
                     for (ci2, &c) in cols.iter().enumerate() {
                         let widx = woff + ri * kw + ci2;
-                        let wv = Complex64::new(wr[widx], wi[widx]);
+                        let wv = Complex64::new(wr[widx].to_f64(), wi[widx].to_f64());
                         yhat[r * w + c] += xhat[xoff + r * w + c] * wv;
                     }
                 }
@@ -78,7 +83,7 @@ pub fn spectral_conv_forward(
             ifft2(&mut yhat, h, w);
             let dst = &mut out.as_mut_slice()[(in_ * cout + co) * hw..(in_ * cout + co + 1) * hw];
             for (d, z) in dst.iter_mut().zip(&yhat) {
-                *d = z.re;
+                *d = E::from_f64(z.re);
             }
         }
     }
@@ -88,14 +93,14 @@ pub fn spectral_conv_forward(
 /// Backward pass of [`spectral_conv_forward`].
 ///
 /// Returns `(grad_x, grad_w_re, grad_w_im)`.
-pub fn spectral_conv_backward(
-    grad_out: &Tensor,
-    x: &Tensor,
-    w_re: &Tensor,
-    w_im: &Tensor,
+pub fn spectral_conv_backward<E: Dtype>(
+    grad_out: &Tensor<E>,
+    x: &Tensor<E>,
+    w_re: &Tensor<E>,
+    w_im: &Tensor<E>,
     mh: usize,
     mw: usize,
-) -> (Tensor, Tensor, Tensor) {
+) -> (Tensor<E>, Tensor<E>, Tensor<E>) {
     let (n, cin, h, w) = unpack4(x.shape(), "spectral input");
     let (_, cout, kh, kw) = unpack4(w_re.shape(), "spectral weight");
     let rows = kept(h, mh);
@@ -109,7 +114,7 @@ pub fn spectral_conv_backward(
         let src = &x.as_slice()[nc * hw..(nc + 1) * hw];
         let dst = &mut xhat[nc * hw..(nc + 1) * hw];
         for (d, s) in dst.iter_mut().zip(src) {
-            *d = Complex64::from_re(*s);
+            *d = Complex64::from_re(s.to_f64());
         }
         fft2(dst, h, w);
     }
@@ -120,7 +125,7 @@ pub fn spectral_conv_backward(
         let src = &grad_out.as_slice()[nc * hw..(nc + 1) * hw];
         let dst = &mut gy[nc * hw..(nc + 1) * hw];
         for (d, s) in dst.iter_mut().zip(src) {
-            *d = Complex64::from_re(*s);
+            *d = Complex64::from_re(s.to_f64());
         }
         ifft2(dst, h, w);
         for z in dst.iter_mut() {
@@ -147,13 +152,13 @@ pub fn spectral_conv_backward(
                 for (ri, &r) in rows.iter().enumerate() {
                     for (ci2, &c) in cols.iter().enumerate() {
                         let widx = woff + ri * kw + ci2;
-                        let wv = Complex64::new(wr[widx], wi[widx]);
+                        let wv = Complex64::new(wr[widx].to_f64(), wi[widx].to_f64());
                         let g = gy[goff + r * w + c];
                         // G_X += conj(W)·G_Y ; G_W += conj(X)·G_Y
                         gx_hat[r * w + c] += wv.conj() * g;
                         let gw = xhat[xoff + r * w + c].conj() * g;
-                        grad_wr.as_mut_slice()[widx] += gw.re;
-                        grad_wi.as_mut_slice()[widx] += gw.im;
+                        grad_wr.as_mut_slice()[widx] += E::from_f64(gw.re);
+                        grad_wi.as_mut_slice()[widx] += E::from_f64(gw.im);
                     }
                 }
             }
@@ -161,7 +166,7 @@ pub fn spectral_conv_backward(
             ifft2(&mut gx_hat, h, w);
             let dst = &mut grad_x.as_mut_slice()[xoff..xoff + hw];
             for (d, z) in dst.iter_mut().zip(&gx_hat) {
-                *d = z.re * scale;
+                *d = E::from_f64(z.re * scale);
             }
         }
     }
@@ -207,7 +212,7 @@ mod tests {
 
     #[test]
     fn output_shape_has_cout_channels() {
-        let x = Tensor::zeros(&[2, 3, 8, 8]);
+        let x = Tensor::<f64>::zeros(&[2, 3, 8, 8]);
         let wr = Tensor::zeros(&[3, 5, 4, 4]);
         let wi = Tensor::zeros(&[3, 5, 4, 4]);
         let y = spectral_conv_forward(&x, &wr, &wi, 2, 2);
@@ -215,9 +220,32 @@ mod tests {
     }
 
     #[test]
+    fn f32_forward_tracks_f64() {
+        let (h, w) = (8, 8);
+        let x = Tensor::from_vec(
+            &[1, 2, h, w],
+            (0..2 * h * w).map(|k| (k as f64 * 0.29).cos()).collect(),
+        );
+        let wr = Tensor::from_vec(
+            &[2, 1, 4, 4],
+            (0..32).map(|k| (k as f64 * 0.11).sin() * 0.5).collect(),
+        );
+        let wi = Tensor::from_vec(
+            &[2, 1, 4, 4],
+            (0..32).map(|k| (k as f64 * 0.07).cos() * 0.5).collect(),
+        );
+        let y64 = spectral_conv_forward(&x, &wr, &wi, 2, 2);
+        let y32 =
+            spectral_conv_forward(&x.cast::<f32>(), &wr.cast::<f32>(), &wi.cast::<f32>(), 2, 2);
+        for (a, b) in y64.as_slice().iter().zip(y32.as_slice()) {
+            assert!((a - b.to_f64()).abs() < 1e-5, "{a} vs {b}");
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "exceeds extent")]
     fn too_many_modes_panics() {
-        let x = Tensor::zeros(&[1, 1, 4, 4]);
+        let x = Tensor::<f64>::zeros(&[1, 1, 4, 4]);
         let wr = Tensor::zeros(&[1, 1, 6, 6]);
         let wi = Tensor::zeros(&[1, 1, 6, 6]);
         spectral_conv_forward(&x, &wr, &wi, 3, 3);

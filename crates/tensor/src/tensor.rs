@@ -1,35 +1,83 @@
-//! Dense n-dimensional tensors of `f64`.
+//! Dense n-dimensional tensors, generic over element type and tape.
 //!
 //! The layout is row-major ("C order"); convolutional tensors use the
-//! `[N, C, H, W]` convention. These are the raw values the autodiff tape in
-//! [`crate::tape`] differentiates through.
+//! `[N, C, H, W]` convention. [`Tensor<E, T>`] carries its autodiff tape
+//! in the type: the default `T = NoneTape` records nothing and costs
+//! nothing, while `T = OwnedTape<E>` accumulates backward closures that
+//! [`Tensor::backward`] replays in reverse. Values share storage through
+//! an `Arc`, so cloning a tensor (or capturing it in a backward closure)
+//! is a reference-count bump, not a copy.
 
+use crate::dtype::Dtype;
+use crate::tape::{NoneTape, OwnedTape};
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
-/// A dense row-major tensor.
-#[derive(Debug, Clone, PartialEq)]
-pub struct Tensor {
-    shape: Vec<usize>,
-    data: Vec<f64>,
+static NEXT_UID: AtomicU64 = AtomicU64::new(1);
+
+/// Allocates a process-unique tensor id. Gradients are keyed by these
+/// ids, so two tensors with the same uid are "the same variable" to the
+/// autodiff engine (clones and re-tapings keep the uid; fresh values get
+/// fresh ids).
+pub(crate) fn new_uid() -> u64 {
+    NEXT_UID.fetch_add(1, Ordering::Relaxed)
 }
 
-impl Tensor {
+/// A dense row-major tensor of `E` carrying tape `T`.
+///
+/// `Tensor` (all defaults) is a plain `f64` value with no tape — exactly
+/// what data loading and inference use. `tensor.trace()` starts gradient
+/// recording; see [`crate::tape`] for the typestate rules.
+pub struct Tensor<E: Dtype = f64, T = NoneTape> {
+    pub(crate) shape: Vec<usize>,
+    pub(crate) data: Arc<Vec<E>>,
+    pub(crate) uid: u64,
+    pub(crate) tape: T,
+}
+
+impl<E: Dtype, T: Clone> Clone for Tensor<E, T> {
+    /// Clones share storage *and identity*: the clone has the same uid,
+    /// so gradients flow to the original through any op the clone enters.
+    fn clone(&self) -> Self {
+        Tensor {
+            shape: self.shape.clone(),
+            data: Arc::clone(&self.data),
+            uid: self.uid,
+            tape: self.tape.clone(),
+        }
+    }
+}
+
+impl<E: Dtype, T> fmt::Debug for Tensor<E, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Tensor<{}>{:?} ({} elements)",
+            E::NAME,
+            self.shape,
+            self.data.len()
+        )
+    }
+}
+
+impl<E: Dtype, T, U> PartialEq<Tensor<E, U>> for Tensor<E, T> {
+    fn eq(&self, other: &Tensor<E, U>) -> bool {
+        self.shape == other.shape && self.data == other.data
+    }
+}
+
+impl<E: Dtype> Tensor<E, NoneTape> {
     /// Creates a tensor of zeros.
     pub fn zeros(shape: &[usize]) -> Self {
         let len = shape.iter().product();
-        Tensor {
-            shape: shape.to_vec(),
-            data: vec![0.0; len],
-        }
+        Tensor::from_parts(shape.to_vec(), vec![E::ZERO; len])
     }
 
     /// Creates a tensor filled with `value`.
-    pub fn full(shape: &[usize], value: f64) -> Self {
+    pub fn full(shape: &[usize], value: E) -> Self {
         let len = shape.iter().product();
-        Tensor {
-            shape: shape.to_vec(),
-            data: vec![value; len],
-        }
+        Tensor::from_parts(shape.to_vec(), vec![value; len])
     }
 
     /// Creates a tensor from a shape and row-major data.
@@ -37,26 +85,79 @@ impl Tensor {
     /// # Panics
     ///
     /// Panics if the element count does not match the shape.
-    pub fn from_vec(shape: &[usize], data: Vec<f64>) -> Self {
+    pub fn from_vec(shape: &[usize], data: Vec<E>) -> Self {
         assert_eq!(
             shape.iter().product::<usize>(),
             data.len(),
             "tensor shape/data mismatch"
         );
-        Tensor {
-            shape: shape.to_vec(),
-            data,
-        }
+        Tensor::from_parts(shape.to_vec(), data)
     }
 
     /// A scalar (rank-0) tensor.
-    pub fn scalar(value: f64) -> Self {
+    pub fn scalar(value: E) -> Self {
+        Tensor::from_parts(vec![], vec![value])
+    }
+
+    pub(crate) fn from_parts(shape: Vec<usize>, data: Vec<E>) -> Self {
         Tensor {
-            shape: vec![],
-            data: vec![value],
+            shape,
+            data: Arc::new(data),
+            uid: new_uid(),
+            tape: NoneTape,
         }
     }
 
+    /// Mutable borrow of the row-major data (copy-on-write when shared).
+    ///
+    /// The uid is preserved: in-place edits update "the same variable",
+    /// which is what optimizers stepping parameters rely on.
+    pub fn as_mut_slice(&mut self) -> &mut [E] {
+        Arc::make_mut(&mut self.data).as_mut_slice()
+    }
+
+    /// Consumes the tensor, returning the data (cloning only if shared).
+    pub fn into_vec(self) -> Vec<E> {
+        Arc::try_unwrap(self.data).unwrap_or_else(|arc| (*arc).clone())
+    }
+
+    /// In-place accumulation `self += other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn accumulate(&mut self, other: &Tensor<E>) {
+        assert_eq!(self.shape, other.shape, "accumulate shape mismatch");
+        let dst = Arc::make_mut(&mut self.data);
+        for (a, b) in dst.iter_mut().zip(other.data.iter()) {
+            *a += *b;
+        }
+    }
+
+    /// Converts every element to another dtype. The result is a fresh
+    /// variable (new uid) — casting is not differentiable.
+    pub fn cast<F: Dtype>(&self) -> Tensor<F> {
+        Tensor::from_parts(
+            self.shape.clone(),
+            self.data.iter().map(|&v| F::from_f64(v.to_f64())).collect(),
+        )
+    }
+
+    /// Starts gradient recording: the traced tensor carries a fresh
+    /// [`OwnedTape`] and keeps this tensor's identity, so after
+    /// `backward()` the gradient is available via
+    /// [`crate::tape::Gradients::wrt`] on `self`.
+    pub fn trace(&self) -> Tensor<E, OwnedTape<E>> {
+        Tensor {
+            shape: self.shape.clone(),
+            data: Arc::clone(&self.data),
+            uid: self.uid,
+            tape: OwnedTape::default(),
+        }
+    }
+}
+
+impl<E: Dtype, T> Tensor<E, T> {
     /// The tensor's shape.
     pub fn shape(&self) -> &[usize] {
         &self.shape
@@ -73,18 +174,8 @@ impl Tensor {
     }
 
     /// Borrow of the row-major data.
-    pub fn as_slice(&self) -> &[f64] {
+    pub fn as_slice(&self) -> &[E] {
         &self.data
-    }
-
-    /// Mutable borrow of the row-major data.
-    pub fn as_mut_slice(&mut self) -> &mut [f64] {
-        &mut self.data
-    }
-
-    /// Consumes the tensor, returning the data.
-    pub fn into_vec(self) -> Vec<f64> {
-        self.data
     }
 
     /// The single value of a scalar or one-element tensor.
@@ -92,7 +183,7 @@ impl Tensor {
     /// # Panics
     ///
     /// Panics if the tensor has more than one element.
-    pub fn item(&self) -> f64 {
+    pub fn item(&self) -> E {
         assert_eq!(
             self.data.len(),
             1,
@@ -101,72 +192,134 @@ impl Tensor {
         self.data[0]
     }
 
-    /// Returns a reshaped view copy with the same number of elements.
+    /// Sum of all elements.
+    pub fn sum_value(&self) -> E {
+        self.data.iter().copied().sum()
+    }
+
+    /// Mean of all elements.
+    pub fn mean_value(&self) -> E {
+        self.sum_value() / E::from_usize(self.data.len())
+    }
+
+    /// Squared L2 norm.
+    pub fn norm_sqr(&self) -> E {
+        self.data.iter().map(|&x| x * x).sum()
+    }
+
+    /// Returns a reshaped value copy with the same number of elements
+    /// (tape-free: reshaping is data plumbing, not a differentiable op).
     ///
     /// # Panics
     ///
     /// Panics if the element counts disagree.
-    pub fn reshape(&self, shape: &[usize]) -> Tensor {
-        Tensor::from_vec(shape, self.data.clone())
+    pub fn reshape(&self, shape: &[usize]) -> Tensor<E> {
+        assert_eq!(
+            shape.iter().product::<usize>(),
+            self.data.len(),
+            "tensor shape/data mismatch"
+        );
+        Tensor {
+            shape: shape.to_vec(),
+            data: Arc::clone(&self.data),
+            uid: new_uid(),
+            tape: NoneTape,
+        }
     }
 
-    /// Elementwise binary map against a same-shape tensor.
+    /// Elementwise unary map, producing a fresh tape-free value.
+    pub fn map(&self, f: impl Fn(E) -> E) -> Tensor<E> {
+        Tensor::from_parts(
+            self.shape.clone(),
+            self.data.iter().map(|&a| f(a)).collect(),
+        )
+    }
+
+    /// Elementwise binary map against a same-shape tensor (tape-free).
     ///
     /// # Panics
     ///
     /// Panics if the shapes differ.
-    pub fn zip_map(&self, other: &Tensor, f: impl Fn(f64, f64) -> f64) -> Tensor {
+    pub fn zip_map<U>(&self, other: &Tensor<E, U>, f: impl Fn(E, E) -> E) -> Tensor<E> {
         assert_eq!(self.shape, other.shape, "zip_map shape mismatch");
-        Tensor {
-            shape: self.shape.clone(),
-            data: self
-                .data
+        Tensor::from_parts(
+            self.shape.clone(),
+            self.data
                 .iter()
-                .zip(&other.data)
-                .map(|(a, b)| f(*a, *b))
+                .zip(other.data.iter())
+                .map(|(&a, &b)| f(a, b))
                 .collect(),
-        }
+        )
     }
 
-    /// Elementwise unary map.
-    pub fn map(&self, f: impl Fn(f64) -> f64) -> Tensor {
+    /// A tape-free view of this tensor with the *same identity* (uid) —
+    /// the building block for using a value twice in one graph (residual
+    /// connections, skip paths) and for `Gradients::wrt` lookups after a
+    /// trace.
+    pub fn no_tape(&self) -> Tensor<E> {
         Tensor {
             shape: self.shape.clone(),
-            data: self.data.iter().map(|a| f(*a)).collect(),
+            data: Arc::clone(&self.data),
+            uid: self.uid,
+            tape: NoneTape,
         }
     }
 
-    /// Sum of all elements.
-    pub fn sum(&self) -> f64 {
-        self.data.iter().sum()
+    /// Splits the tensor into its tape-free value and its tape.
+    pub fn split_tape(self) -> (Tensor<E>, T) {
+        let Tensor {
+            shape,
+            data,
+            uid,
+            tape,
+        } = self;
+        (
+            Tensor {
+                shape,
+                data,
+                uid,
+                tape: NoneTape,
+            },
+            tape,
+        )
     }
 
-    /// Mean of all elements.
-    pub fn mean(&self) -> f64 {
-        self.sum() / self.data.len() as f64
+    /// Re-attaches a tape (the inverse of [`Tensor::split_tape`]).
+    pub fn put_tape<U>(self, tape: U) -> Tensor<E, U> {
+        Tensor {
+            shape: self.shape,
+            data: self.data,
+            uid: self.uid,
+            tape,
+        }
     }
 
-    /// Squared L2 norm.
-    pub fn norm_sqr(&self) -> f64 {
-        self.data.iter().map(|x| x * x).sum()
-    }
-
-    /// In-place accumulation `self += other`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the shapes differ.
-    pub fn accumulate(&mut self, other: &Tensor) {
-        assert_eq!(self.shape, other.shape, "accumulate shape mismatch");
-        for (a, b) in self.data.iter_mut().zip(&other.data) {
-            *a += b;
+    /// A copy with the same identity but a fresh (empty) tape of the same
+    /// type — dfdx's branching idiom. `x.with_empty_tape()` lets `x` feed
+    /// two sub-graphs whose tapes merge again at a later binary op, with
+    /// gradients from both paths accumulating on `x`.
+    pub fn with_empty_tape(&self) -> Tensor<E, T>
+    where
+        T: Default,
+    {
+        Tensor {
+            shape: self.shape.clone(),
+            data: Arc::clone(&self.data),
+            uid: self.uid,
+            tape: T::default(),
         }
     }
 }
 
-impl fmt::Display for Tensor {
+impl<E: Dtype, T> fmt::Display for Tensor<E, T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Tensor{:?} ({} elements)", self.shape, self.data.len())
+        write!(
+            f,
+            "Tensor<{}>{:?} ({} elements)",
+            E::NAME,
+            self.shape,
+            self.data.len()
+        )
     }
 }
 
@@ -175,29 +328,42 @@ impl fmt::Display for Tensor {
 /// # Panics
 ///
 /// Panics if either input is not rank-2 or inner dimensions disagree.
-pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+pub fn matmul<E: Dtype>(a: &Tensor<E>, b: &Tensor<E>) -> Tensor<E> {
     assert_eq!(a.shape().len(), 2, "matmul lhs must be rank 2");
     assert_eq!(b.shape().len(), 2, "matmul rhs must be rank 2");
     let (m, k) = (a.shape()[0], a.shape()[1]);
     let (k2, n) = (b.shape()[0], b.shape()[1]);
     assert_eq!(k, k2, "matmul inner dimension mismatch");
-    let mut out = vec![0.0; m * n];
+    let mut out = vec![E::ZERO; m * n];
     let ad = a.as_slice();
     let bd = b.as_slice();
     for i in 0..m {
         for p in 0..k {
             let av = ad[i * k + p];
-            if av == 0.0 {
+            if av == E::ZERO {
                 continue;
             }
             let brow = &bd[p * n..(p + 1) * n];
             let orow = &mut out[i * n..(i + 1) * n];
             for (o, bv) in orow.iter_mut().zip(brow) {
-                *o += av * bv;
+                *o += av * *bv;
             }
         }
     }
     Tensor::from_vec(&[m, n], out)
+}
+
+/// 2-D matrix transpose of a rank-2 tensor.
+pub fn transpose2<E: Dtype>(t: &Tensor<E>) -> Tensor<E> {
+    let (m, n) = (t.shape()[0], t.shape()[1]);
+    let mut out = Tensor::zeros(&[n, m]);
+    let od = out.as_mut_slice();
+    for i in 0..m {
+        for j in 0..n {
+            od[j * m + i] = t.as_slice()[i * n + j];
+        }
+    }
+    out
 }
 
 /// Parameters of a 2-D convolution.
@@ -231,7 +397,7 @@ impl Conv2dSpec {
 /// # Panics
 ///
 /// Panics on rank or channel mismatches.
-pub fn conv2d(x: &Tensor, w: &Tensor, spec: Conv2dSpec) -> Tensor {
+pub fn conv2d<E: Dtype>(x: &Tensor<E>, w: &Tensor<E>, spec: Conv2dSpec) -> Tensor<E> {
     let (n, cin, h, wd) = unpack4(x.shape(), "conv2d input");
     let (cout, cin2, kh, kw) = unpack4(w.shape(), "conv2d weight");
     assert_eq!(cin, cin2, "conv2d channel mismatch");
@@ -259,7 +425,7 @@ pub fn conv2d(x: &Tensor, w: &Tensor, spec: Conv2dSpec) -> Tensor {
                         let orow = ((in_ * cout + co) * ho + oy) * wo;
                         for ox in 0..wo {
                             let base_ix = (ox * spec.stride) as isize - pad;
-                            let mut acc = 0.0;
+                            let mut acc = E::ZERO;
                             for kx in 0..kw {
                                 let ix = base_ix + kx as isize;
                                 if ix < 0 || ix >= wd as isize {
@@ -278,12 +444,12 @@ pub fn conv2d(x: &Tensor, w: &Tensor, spec: Conv2dSpec) -> Tensor {
 }
 
 /// Gradient of [`conv2d`] with respect to the input.
-pub fn conv2d_backward_input(
-    grad_out: &Tensor,
-    w: &Tensor,
+pub fn conv2d_backward_input<E: Dtype>(
+    grad_out: &Tensor<E>,
+    w: &Tensor<E>,
     input_shape: &[usize],
     spec: Conv2dSpec,
-) -> Tensor {
+) -> Tensor<E> {
     let (n, cin, h, wd) = unpack4(input_shape, "conv2d input");
     let (cout, _cin, kh, kw) = unpack4(w.shape(), "conv2d weight");
     let (gn, gcout, ho, wo) = unpack4(grad_out.shape(), "conv2d grad");
@@ -310,7 +476,7 @@ pub fn conv2d_backward_input(
                         let wrow = woff + ky * kw;
                         for ox in 0..wo {
                             let g = god[orow + ox];
-                            if g == 0.0 {
+                            if g == E::ZERO {
                                 continue;
                             }
                             let base_ix = (ox * spec.stride) as isize - pad;
@@ -331,12 +497,12 @@ pub fn conv2d_backward_input(
 }
 
 /// Gradient of [`conv2d`] with respect to the weight.
-pub fn conv2d_backward_weight(
-    grad_out: &Tensor,
-    x: &Tensor,
+pub fn conv2d_backward_weight<E: Dtype>(
+    grad_out: &Tensor<E>,
+    x: &Tensor<E>,
     weight_shape: &[usize],
     spec: Conv2dSpec,
-) -> Tensor {
+) -> Tensor<E> {
     let (n, cin, h, wd) = unpack4(x.shape(), "conv2d input");
     let (cout, _cin, kh, kw) = unpack4(weight_shape, "conv2d weight");
     let (_, _, ho, wo) = unpack4(grad_out.shape(), "conv2d grad");
@@ -362,7 +528,7 @@ pub fn conv2d_backward_weight(
                         let wrow = woff + ky * kw;
                         for ox in 0..wo {
                             let g = god[orow + ox];
-                            if g == 0.0 {
+                            if g == E::ZERO {
                                 continue;
                             }
                             let base_ix = (ox * spec.stride) as isize - pad;
@@ -382,16 +548,17 @@ pub fn conv2d_backward_weight(
     gw
 }
 
-fn unpack4(shape: &[usize], what: &str) -> (usize, usize, usize, usize) {
+pub(crate) fn unpack4(shape: &[usize], what: &str) -> (usize, usize, usize, usize) {
     assert_eq!(shape.len(), 4, "{what} must be rank 4, got {shape:?}");
     (shape[0], shape[1], shape[2], shape[3])
 }
 
 /// 2×2 average pooling on `[N, C, H, W]` (H and W must be even).
-pub fn avg_pool2(x: &Tensor) -> Tensor {
+pub fn avg_pool2<E: Dtype>(x: &Tensor<E>) -> Tensor<E> {
     let (n, c, h, w) = unpack4(x.shape(), "avg_pool2 input");
     assert!(h % 2 == 0 && w % 2 == 0, "avg_pool2 requires even extents");
     let (ho, wo) = (h / 2, w / 2);
+    let quarter = E::from_f64(0.25);
     let mut out = Tensor::zeros(&[n, c, ho, wo]);
     let xd = x.as_slice();
     let od = out.as_mut_slice();
@@ -402,7 +569,7 @@ pub fn avg_pool2(x: &Tensor) -> Tensor {
             for ox in 0..wo {
                 let i0 = xoff + (2 * oy) * w + 2 * ox;
                 let s = xd[i0] + xd[i0 + 1] + xd[i0 + w] + xd[i0 + w + 1];
-                od[ooff + oy * wo + ox] = s * 0.25;
+                od[ooff + oy * wo + ox] = s * quarter;
             }
         }
     }
@@ -410,9 +577,10 @@ pub fn avg_pool2(x: &Tensor) -> Tensor {
 }
 
 /// Gradient of [`avg_pool2`].
-pub fn avg_pool2_backward(grad_out: &Tensor, input_shape: &[usize]) -> Tensor {
+pub fn avg_pool2_backward<E: Dtype>(grad_out: &Tensor<E>, input_shape: &[usize]) -> Tensor<E> {
     let (n, c, h, w) = unpack4(input_shape, "avg_pool2 input");
     let (ho, wo) = (h / 2, w / 2);
+    let quarter = E::from_f64(0.25);
     let mut gx = Tensor::zeros(input_shape);
     let gd = grad_out.as_slice();
     let gxd = gx.as_mut_slice();
@@ -421,7 +589,7 @@ pub fn avg_pool2_backward(grad_out: &Tensor, input_shape: &[usize]) -> Tensor {
         let ooff = nc * ho * wo;
         for oy in 0..ho {
             for ox in 0..wo {
-                let g = gd[ooff + oy * wo + ox] * 0.25;
+                let g = gd[ooff + oy * wo + ox] * quarter;
                 let i0 = xoff + (2 * oy) * w + 2 * ox;
                 gxd[i0] += g;
                 gxd[i0 + 1] += g;
@@ -434,7 +602,7 @@ pub fn avg_pool2_backward(grad_out: &Tensor, input_shape: &[usize]) -> Tensor {
 }
 
 /// Nearest-neighbour 2× upsampling on `[N, C, H, W]`.
-pub fn upsample2(x: &Tensor) -> Tensor {
+pub fn upsample2<E: Dtype>(x: &Tensor<E>) -> Tensor<E> {
     let (n, c, h, w) = unpack4(x.shape(), "upsample2 input");
     let (ho, wo) = (h * 2, w * 2);
     let mut out = Tensor::zeros(&[n, c, ho, wo]);
@@ -453,7 +621,7 @@ pub fn upsample2(x: &Tensor) -> Tensor {
 }
 
 /// Gradient of [`upsample2`].
-pub fn upsample2_backward(grad_out: &Tensor, input_shape: &[usize]) -> Tensor {
+pub fn upsample2_backward<E: Dtype>(grad_out: &Tensor<E>, input_shape: &[usize]) -> Tensor<E> {
     let (n, c, h, w) = unpack4(input_shape, "upsample2 input");
     let (ho, wo) = (h * 2, w * 2);
     let mut gx = Tensor::zeros(input_shape);
@@ -480,6 +648,17 @@ mod tests {
         let a = Tensor::from_vec(&[2, 2], vec![1.0, 0.0, 0.0, 1.0]);
         let b = Tensor::from_vec(&[2, 3], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
         assert_eq!(matmul(&a, &b), b);
+    }
+
+    #[test]
+    fn matmul_f32_matches_f64() {
+        let a = Tensor::from_vec(&[2, 3], vec![0.5, -1.0, 2.0, 1.5, 0.25, -0.75]);
+        let b = Tensor::from_vec(&[3, 2], vec![1.0, 2.0, -0.5, 0.5, 3.0, -1.0]);
+        let y64 = matmul(&a, &b);
+        let y32 = matmul(&a.cast::<f32>(), &b.cast::<f32>());
+        for (v64, v32) in y64.as_slice().iter().zip(y32.as_slice()) {
+            assert!((v64 - v32.to_f64()).abs() < 1e-6);
+        }
     }
 
     #[test]
@@ -519,8 +698,8 @@ mod tests {
 
     #[test]
     fn conv2d_stride_two_shape() {
-        let x = Tensor::zeros(&[2, 3, 8, 8]);
-        let w = Tensor::zeros(&[4, 3, 3, 3]);
+        let x = Tensor::<f64>::zeros(&[2, 3, 8, 8]);
+        let w = Tensor::<f64>::zeros(&[4, 3, 3, 3]);
         let y = conv2d(
             &x,
             &w,
@@ -541,8 +720,8 @@ mod tests {
         };
         let xs = [1usize, 2, 5, 4];
         let ws = [3usize, 2, 3, 3];
-        let mut x = Tensor::zeros(&xs);
-        let mut w = Tensor::zeros(&ws);
+        let mut x = Tensor::<f64>::zeros(&xs);
+        let mut w = Tensor::<f64>::zeros(&ws);
         for (k, v) in x.as_mut_slice().iter_mut().enumerate() {
             *v = ((k * 37 % 11) as f64 - 5.0) * 0.1;
         }
@@ -558,10 +737,10 @@ mod tests {
         for probe in [0usize, 7, 19] {
             let mut xp = x.clone();
             xp.as_mut_slice()[probe] += h;
-            let fp = conv2d(&xp, &w, spec).sum();
+            let fp = conv2d(&xp, &w, spec).sum_value();
             let mut xm = x.clone();
             xm.as_mut_slice()[probe] -= h;
-            let fm = conv2d(&xm, &w, spec).sum();
+            let fm = conv2d(&xm, &w, spec).sum_value();
             let fd = (fp - fm) / (2.0 * h);
             assert!(
                 (fd - gx.as_slice()[probe]).abs() < 1e-6,
@@ -571,10 +750,10 @@ mod tests {
         for probe in [0usize, 10, 26] {
             let mut wp = w.clone();
             wp.as_mut_slice()[probe] += h;
-            let fp = conv2d(&x, &wp, spec).sum();
+            let fp = conv2d(&x, &wp, spec).sum_value();
             let mut wm = w.clone();
             wm.as_mut_slice()[probe] -= h;
-            let fm = conv2d(&x, &wm, spec).sum();
+            let fm = conv2d(&x, &wm, spec).sum_value();
             let fd = (fp - fm) / (2.0 * h);
             assert!(
                 (fd - gw.as_slice()[probe]).abs() < 1e-6,
@@ -613,5 +792,27 @@ mod tests {
         let mut a = Tensor::full(&[3], 1.0);
         a.accumulate(&Tensor::full(&[3], 2.0));
         assert_eq!(a.as_slice(), &[3.0, 3.0, 3.0]);
+    }
+
+    #[test]
+    fn clone_shares_identity_and_storage() {
+        let a = Tensor::from_vec(&[2], vec![1.0, 2.0]);
+        let b = a.clone();
+        assert_eq!(a, b);
+        assert!(std::sync::Arc::ptr_eq(&a.data, &b.data));
+        assert_eq!(a.uid, b.uid);
+        // Copy-on-write: mutating the clone leaves the original intact.
+        let mut b = b;
+        b.as_mut_slice()[0] = 9.0;
+        assert_eq!(a.as_slice(), &[1.0, 2.0]);
+        assert_eq!(b.as_slice(), &[9.0, 2.0]);
+    }
+
+    #[test]
+    fn cast_roundtrip() {
+        let a = Tensor::from_vec(&[3], vec![1.5, -2.25, 0.125]);
+        let b = a.cast::<f32>().cast::<f64>();
+        // Dyadic values survive the f32 roundtrip exactly.
+        assert_eq!(a.as_slice(), b.as_slice());
     }
 }

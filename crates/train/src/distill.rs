@@ -8,7 +8,7 @@ use crate::metrics::mean;
 use crate::trainer::{EpochRecord, TrainReport};
 use maps_core::Sample;
 use maps_nn::{Adam, Model};
-use maps_tensor::{Params, Tape};
+use maps_tensor::Params;
 
 /// Distillation configuration.
 #[derive(Debug, Clone)]
@@ -57,16 +57,14 @@ pub fn distill_field_model(
     let normalizer = FieldNormalizer::fit(samples);
     let mut adam = Adam::new(config.learning_rate);
     let mut epochs = Vec::with_capacity(config.epochs);
-    // Precompute teacher predictions once (the teacher is frozen).
+    // Precompute teacher predictions once (the teacher is frozen, so they
+    // run tape-free).
     let teacher_preds: Vec<maps_tensor::Tensor> = samples
         .iter()
         .map(|s| {
             let omega = maps_core::omega_for_wavelength(s.labels.wavelength);
             let input = encode_input(&s.eps_r, &s.source, omega, teacher.wants_wave_prior());
-            let mut tape = Tape::new();
-            let x = tape.input(input);
-            let y = teacher.forward(&mut tape, teacher_params, x);
-            tape.value(y).clone()
+            teacher.infer(teacher_params, input)
         })
         .collect();
 
@@ -76,21 +74,20 @@ pub fn distill_field_model(
         for (sample, soft_target) in samples.iter().zip(&teacher_preds) {
             let (input, hard_target) =
                 crate::featurize::encode_sample(sample, student.wants_wave_prior(), normalizer);
-            let mut tape = Tape::new();
-            let x = tape.input(input);
-            let pred = student.forward(&mut tape, student_params, x);
-            let hard = tape.input(hard_target);
-            let l_hard = tape.nmse(pred, hard);
+            let pred = student.forward(student_params, input.trace());
+            let l_hard = pred
+                .with_empty_tape()
+                .nmse(hard_target)
+                .scale(config.hard_weight);
             // Teacher predictions share the student's target convention
             // only if their normalizers match; rescale via the sample's
             // source peak exactly like encode_sample does.
-            let soft = tape.input(soft_target.clone());
-            let l_soft = tape.nmse(pred, soft);
-            let wh = tape.scale(l_hard, config.hard_weight);
-            let ws = tape.scale(l_soft, 1.0 - config.hard_weight);
-            let loss = tape.add(wh, ws);
-            losses.push(tape.value(loss).item());
-            let grads = tape.backward(loss);
+            let l_soft = pred
+                .nmse(soft_target.clone())
+                .scale(1.0 - config.hard_weight);
+            let loss = l_soft.add(l_hard);
+            losses.push(loss.item());
+            let grads = loss.backward();
             adam.step(student_params, &grads);
         }
         epochs.push(EpochRecord {

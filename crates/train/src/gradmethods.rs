@@ -14,7 +14,7 @@ use crate::neural_solver::NeuralFieldSolver;
 use maps_core::{ComplexField2d, FieldSolver, RealField2d, SolveFieldError, SolveRequest};
 use maps_fdfd::{gradient_from_fields, LinearFunctional, PowerObjective};
 use maps_nn::Model;
-use maps_tensor::{Params, Tape, Tensor, Var};
+use maps_tensor::{Params, Tape, Tensor};
 
 /// Gradient of a black-box scalar-response model with respect to the
 /// permittivity map (method "AD-Black Box").
@@ -26,12 +26,9 @@ pub fn ad_black_box_gradient(
     omega: f64,
 ) -> RealField2d {
     let input = encode_input(eps_r, source, omega, model.wants_wave_prior());
-    let mut tape = Tape::new();
-    let x = tape.input(input);
-    let response = model.forward(&mut tape, params, x); // [1, 1]
-    let loss = tape.sum(response);
-    let grads = tape.backward(loss);
-    input_gradient_to_eps(grads.wrt(x).expect("input gradient"), eps_r)
+    let response = model.forward(params, input.trace()); // [1, 1]
+    let grads = response.sum().backward();
+    input_gradient_to_eps(grads.wrt(&input).expect("input gradient"), eps_r)
 }
 
 /// Gradient by differentiating through a field predictor *and* a
@@ -46,21 +43,19 @@ pub fn ad_pred_field_gradient(
 ) -> RealField2d {
     let grid = eps_r.grid();
     let input = encode_input(eps_r, source, omega, model.wants_wave_prior());
-    let mut tape = Tape::new();
-    let x = tape.input(input);
-    let pred = model.forward(&mut tape, params, x); // [1, 2, H, W]
-    let t = differentiable_modal_power(&mut tape, pred, functional, grid);
-    let grads = tape.backward(t);
-    input_gradient_to_eps(grads.wrt(x).expect("input gradient"), eps_r)
+    let pred = model.forward(params, input.trace()); // [1, 2, H, W]
+    let t = differentiable_modal_power(pred, functional, grid);
+    let grads = t.backward();
+    input_gradient_to_eps(grads.wrt(&input).expect("input gradient"), eps_r)
 }
 
-/// `|w·e|²` as a tape graph over a `[1, 2, H, W]` field prediction.
-pub fn differentiable_modal_power(
-    tape: &mut Tape,
-    pred: Var,
+/// `|w·e|²` as a differentiable graph over a `[1, 2, H, W]` field
+/// prediction (any tape; on `NoneTape` this is a plain evaluation).
+pub fn differentiable_modal_power<T: Tape<f64>>(
+    pred: Tensor<f64, T>,
     functional: &LinearFunctional,
     grid: maps_core::Grid2d,
-) -> Var {
+) -> Tensor<f64, T> {
     let (h, w) = (grid.ny, grid.nx);
     let mut wre = Tensor::zeros(&[1, 1, h, w]);
     let mut wim = Tensor::zeros(&[1, 1, h, w]);
@@ -68,23 +63,16 @@ pub fn differentiable_modal_power(
         wre.as_mut_slice()[k] += c.re;
         wim.as_mut_slice()[k] += c.im;
     }
-    let wre = tape.constant(wre);
-    let wim = tape.constant(wim);
-    let ere = tape.slice_channels(pred, 0, 1);
-    let eim = tape.slice_channels(pred, 1, 2);
+    let ere = pred.with_empty_tape().slice_channels(0, 1);
+    let eim = pred.slice_channels(1, 2);
     // a = Σ w·e (complex): a_re = Σ (w_re·e_re − w_im·e_im), etc.
-    let rr = tape.mul(wre, ere);
-    let ii = tape.mul(wim, eim);
-    let ri = tape.mul(wre, eim);
-    let ir = tape.mul(wim, ere);
-    let neg_ii = tape.scale(ii, -1.0);
-    let are_map = tape.add(rr, neg_ii);
-    let aim_map = tape.add(ri, ir);
-    let are = tape.sum(are_map);
-    let aim = tape.sum(aim_map);
-    let are2 = tape.mul(are, are);
-    let aim2 = tape.mul(aim, aim);
-    tape.add(are2, aim2)
+    let rr = ere.with_empty_tape().mul(wre.clone());
+    let ir = ere.mul(wim.clone());
+    let ii = eim.with_empty_tape().mul(wim);
+    let ri = eim.mul(wre);
+    let are = rr.add(ii.neg()).sum();
+    let aim = ri.add(ir).sum();
+    are.square().add(aim.square())
 }
 
 /// Gradient from NN-predicted forward and adjoint fields (method
@@ -214,16 +202,14 @@ mod tests {
                 (10, Complex64::new(-0.3, 0.2)),
             ],
         };
-        let mut tape = Tape::new();
-        let p = tape.input(pred.clone());
-        let t = differentiable_modal_power(&mut tape, p, &functional, grid);
+        let t = differentiable_modal_power(pred.clone(), &functional, grid);
         // Direct: decode and evaluate.
         let field = crate::featurize::decode_field(&pred, grid, FieldNormalizer::identity());
         let a = functional.eval(&field);
         assert!(
-            (tape.value(t).item() - a.norm_sqr()).abs() < 1e-12,
+            (t.item() - a.norm_sqr()).abs() < 1e-12,
             "{} vs {}",
-            tape.value(t).item(),
+            t.item(),
             a.norm_sqr()
         );
     }

@@ -1,7 +1,7 @@
 //! Data-driven and physics-driven loss construction (paper §III-B).
 
 use maps_core::RealField2d;
-use maps_tensor::{Conv2dSpec, Tape, Tensor, Var};
+use maps_tensor::{Conv2dSpec, Tape, Tensor};
 
 /// Which loss drives training.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -16,8 +16,8 @@ pub enum LossKind {
 }
 
 /// Data loss: normalized MSE between prediction and target.
-pub fn nmse_loss(tape: &mut Tape, pred: Var, target: Var) -> Var {
-    tape.nmse(pred, target)
+pub fn nmse_loss<T: Tape<f64>>(pred: Tensor<f64, T>, target: Tensor) -> Tensor<f64, T> {
+    pred.nmse(target)
 }
 
 /// Physics loss: squared residual of the interior Helmholtz equation
@@ -27,20 +27,18 @@ pub fn nmse_loss(tape: &mut Tape, pred: Var, target: Var) -> Var {
 /// `∇²u + ω²·ε·u + s·iω·J` and is evaluated away from the PML, where the
 /// plain 5-point Laplacian is exact.
 ///
-/// * `pred`: `[N, 2, H, W]` predicted field (re, im).
-/// * `eps`: `[N, 1, H, W]` relative permittivity (constant input).
-/// * `source_term`: `[N, 2, H, W]` precomputed `s·iω·J` channels
-///   (constant input).
+/// * `pred`: `[N, 2, H, W]` predicted field (re, im), carrying the tape.
+/// * `eps`: `[N, 1, H, W]` relative permittivity (constant).
+/// * `source_term`: `[N, 2, H, W]` precomputed `s·iω·J` channels (constant).
 /// * `mask`: `[N, 1, H, W]` interior mask, 1 inside / 0 near boundaries.
-pub fn physics_residual_loss(
-    tape: &mut Tape,
-    pred: Var,
-    eps: Var,
-    source_term: Var,
-    mask: Var,
+pub fn physics_residual_loss<T: Tape<f64>>(
+    pred: Tensor<f64, T>,
+    eps: Tensor,
+    source_term: Tensor,
+    mask: Tensor,
     omega: f64,
     dl: f64,
-) -> Var {
+) -> Tensor<f64, T> {
     // 5-point Laplacian as a fixed depthwise kernel applied per channel.
     let inv_dl2 = 1.0 / (dl * dl);
     let lap_kernel = Tensor::from_vec(
@@ -57,34 +55,28 @@ pub fn physics_residual_loss(
             0.0,
         ],
     );
-    let k = tape.constant(lap_kernel);
     let spec = Conv2dSpec {
         padding: 1,
         stride: 1,
     };
-    let re = tape.slice_channels(pred, 0, 1);
-    let im = tape.slice_channels(pred, 1, 2);
-    let lap_re = tape.conv2d(re, k, spec);
-    let lap_im = tape.conv2d(im, k, spec);
-    // ω²·ε·u per channel.
+    let re = pred.with_empty_tape().slice_channels(0, 1);
+    let im = pred.slice_channels(1, 2);
     let w2 = omega * omega;
-    let eps_re = tape.mul(eps, re);
-    let eps_im = tape.mul(eps, im);
-    let face_re = tape.scale(eps_re, w2);
-    let face_im = tape.scale(eps_im, w2);
-    let sum_re = tape.add(lap_re, face_re);
-    let sum_im = tape.add(lap_im, face_im);
-    let src_re = tape.slice_channels(source_term, 0, 1);
-    let src_im = tape.slice_channels(source_term, 1, 2);
-    let res_re = tape.add(sum_re, src_re);
-    let res_im = tape.add(sum_im, src_im);
+    let src_re = source_term.clone().slice_channels(0, 1);
+    let src_im = source_term.slice_channels(1, 2);
+    // Residual per channel: ∇²u + ω²·ε·u + s·iω·J.
+    let lap_re = re.with_empty_tape().conv2d(lap_kernel.clone(), spec);
+    let face_re = re.mul(eps.clone()).scale(w2);
+    let res_re = lap_re.add(face_re).add(src_re);
+    let lap_im = im.with_empty_tape().conv2d(lap_kernel, spec);
+    let face_im = im.mul(eps).scale(w2);
+    let res_im = lap_im.add(face_im).add(src_im);
     // Masked mean square.
-    let mre = tape.mul(res_re, mask);
-    let mim = tape.mul(res_im, mask);
-    let sre = tape.mul(mre, mre);
-    let sim = tape.mul(mim, mim);
-    let total = tape.add(sre, sim);
-    tape.mean(total)
+    let mre = res_re.mul(mask.clone());
+    let mim = res_im.mul(mask);
+    let sre = mre.with_empty_tape().mul(mre);
+    let sim = mim.with_empty_tape().mul(mim);
+    sre.add(sim).mean()
 }
 
 /// Builds the `s·iω·J` source-term channels for [`physics_residual_loss`]
@@ -161,8 +153,6 @@ mod tests {
         };
         let margin = pml.thickness + 2;
         let eval = |field: &ComplexField2d| -> f64 {
-            let mut tape = Tape::new();
-            let pred = tape.input(encode(field));
             let eps_t = {
                 let mut t = Tensor::zeros(&[1, 1, 40, 40]);
                 for iy in 0..40 {
@@ -170,12 +160,12 @@ mod tests {
                         t.as_mut_slice()[iy * 40 + ix] = eps.get(ix, iy);
                     }
                 }
-                tape.input(t)
+                t
             };
-            let src = tape.input(source_term_tensor(&[&j], omega, 1.0));
-            let mask = tape.input(interior_mask(1, &eps, margin));
-            let loss = physics_residual_loss(&mut tape, pred, eps_t, src, mask, omega, grid.dl);
-            tape.value(loss).item()
+            let src = source_term_tensor(&[&j], omega, 1.0);
+            let mask = interior_mask(1, &eps, margin);
+            // NoneTape: the physics loss is pure value code here.
+            physics_residual_loss(encode(field), eps_t, src, mask, omega, grid.dl).item()
         };
         let exact_loss = eval(&ez);
         // Corrupt the field.

@@ -4,30 +4,65 @@
 //! adjoint loop against this solver instead of the FDFD backend, getting
 //! NN-predicted forward *and* adjoint fields (the adjoint solve uses the
 //! reciprocity default of [`FieldSolver::solve_adjoint_ez`]).
+//!
+//! Inference runs tape-free. By default the model evaluates at training
+//! precision (`f64`); [`NeuralFieldSolver::with_f32_inference`] opts into
+//! `f32` storage — the parameters are cast once at construction and every
+//! solve then moves half the memory per element.
 
 use crate::featurize::{decode_field, encode_input, FieldNormalizer};
 use maps_core::{ComplexField2d, FieldSolver, RealField2d, SolveFieldError};
 use maps_nn::Model;
-use maps_tensor::{Params, Tape};
+use maps_tensor::Params;
+
+/// Numeric precision used for tape-free neural inference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum InferencePrecision {
+    /// Evaluate in `f64` (matches training arithmetic bit-for-bit).
+    #[default]
+    F64,
+    /// Evaluate in `f32` (half the memory traffic; ~1e-4 relative error).
+    F32,
+}
 
 /// A neural [`FieldSolver`].
 pub struct NeuralFieldSolver<M: Model> {
     model: M,
     params: Params,
+    /// `f32` twin of `params`, materialized once when `F32` is selected.
+    params32: Option<Params<f32>>,
     normalizer: FieldNormalizer,
     name: String,
 }
 
 impl<M: Model> NeuralFieldSolver<M> {
     /// Wraps a trained model with its parameters and the field normalizer
-    /// fitted during training.
+    /// fitted during training. Inference runs in `f64`.
     pub fn new(model: M, params: Params, normalizer: FieldNormalizer) -> Self {
         let name = format!("neural-{}", model.name());
         NeuralFieldSolver {
             model,
             params,
+            params32: None,
             normalizer,
             name,
+        }
+    }
+
+    /// Like [`NeuralFieldSolver::new`], but runs every solve in `f32`:
+    /// the parameter store is cast once here and reused across solves.
+    pub fn with_f32_inference(model: M, params: Params, normalizer: FieldNormalizer) -> Self {
+        let mut solver = Self::new(model, params, normalizer);
+        solver.params32 = Some(solver.params.cast::<f32>());
+        solver
+    }
+
+    /// The precision solves run at.
+    pub fn precision(&self) -> InferencePrecision {
+        if self.params32.is_some() {
+            InferencePrecision::F32
+        } else {
+            InferencePrecision::F64
         }
     }
 
@@ -60,9 +95,10 @@ impl<M: Model> FieldSolver for NeuralFieldSolver<M> {
             });
         }
         let input = encode_input(eps_r, source, omega, self.model.wants_wave_prior());
-        let mut tape = Tape::new();
-        let x = tape.input(input);
-        let pred = self.model.forward(&mut tape, &self.params, x);
+        let pred = match &self.params32 {
+            Some(p32) => self.model.infer_f32(p32, input.cast::<f32>()).cast::<f64>(),
+            None => self.model.infer(&self.params, input),
+        };
         // The model was trained on unit-peak sources; rescale its output
         // back to the physical source amplitude.
         let jmax = source
@@ -70,7 +106,7 @@ impl<M: Model> FieldSolver for NeuralFieldSolver<M> {
             .iter()
             .map(|z| z.abs())
             .fold(0.0f64, f64::max);
-        let field = decode_field(tape.value(pred), eps_r.grid(), self.normalizer);
+        let field = decode_field(&pred, eps_r.grid(), self.normalizer);
         let out = ComplexField2d::from_vec(
             eps_r.grid(),
             field.as_slice().iter().map(|z| *z * jmax).collect(),
@@ -95,12 +131,10 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
-    #[test]
-    fn neural_solver_implements_field_solver() {
-        let mut params = Params::new();
+    fn small_fno(params: &mut Params) -> Fno {
         let mut rng = StdRng::seed_from_u64(0);
-        let model = Fno::new(
-            &mut params,
+        Fno::new(
+            params,
             &mut rng,
             FnoConfig {
                 in_channels: 4,
@@ -109,8 +143,15 @@ mod tests {
                 modes: 2,
                 depth: 1,
             },
-        );
+        )
+    }
+
+    #[test]
+    fn neural_solver_implements_field_solver() {
+        let mut params = Params::new();
+        let model = small_fno(&mut params);
         let solver = NeuralFieldSolver::new(model, params, FieldNormalizer::identity());
+        assert_eq!(solver.precision(), InferencePrecision::F64);
         let grid = Grid2d::new(16, 16, 0.1);
         let eps = RealField2d::constant(grid, 2.0);
         let mut j = ComplexField2d::zeros(grid);
@@ -131,20 +172,36 @@ mod tests {
     }
 
     #[test]
+    fn f32_solver_tracks_f64_solution() {
+        let mut params = Params::new();
+        let model = small_fno(&mut params);
+        let mut params_b = Params::new();
+        let model_b = small_fno(&mut params_b);
+        let solver64 = NeuralFieldSolver::new(model, params, FieldNormalizer::identity());
+        let solver32 =
+            NeuralFieldSolver::with_f32_inference(model_b, params_b, FieldNormalizer::identity());
+        assert_eq!(solver32.precision(), InferencePrecision::F32);
+        let grid = Grid2d::new(16, 16, 0.1);
+        let eps = RealField2d::constant(grid, 2.0);
+        let mut j = ComplexField2d::zeros(grid);
+        j.set(8, 8, Complex64::ONE);
+        let omega = maps_core::omega_for_wavelength(1.55);
+        let e64 = solver64.solve_ez(&eps, &j, omega).unwrap();
+        let e32 = solver32.solve_ez(&eps, &j, omega).unwrap();
+        let num: f64 = e64
+            .as_slice()
+            .iter()
+            .zip(e32.as_slice())
+            .map(|(a, b)| (*a - *b).norm_sqr())
+            .sum();
+        let rel = num.sqrt() / e64.norm().max(1e-30);
+        assert!(rel < 1e-4, "f32 relative error {rel}");
+    }
+
+    #[test]
     fn poisoned_weights_surface_as_nonfinite_error() {
         let mut params = Params::new();
-        let mut rng = StdRng::seed_from_u64(0);
-        let model = Fno::new(
-            &mut params,
-            &mut rng,
-            FnoConfig {
-                in_channels: 4,
-                out_channels: 2,
-                width: 4,
-                modes: 2,
-                depth: 1,
-            },
-        );
+        let model = small_fno(&mut params);
         // Poison every parameter tensor.
         let ids: Vec<_> = params.ids().collect();
         for id in ids {

@@ -6,7 +6,7 @@ use crate::loss::{interior_mask, physics_residual_loss, source_term_tensor, Loss
 use crate::metrics::{mean, n_l2norm};
 use maps_core::{RealField2d, Sample};
 use maps_nn::{Adam, LrSchedule, Model};
-use maps_tensor::{Params, Tape, Tensor};
+use maps_tensor::{Params, Tensor};
 
 /// Training configuration.
 #[derive(Debug, Clone)]
@@ -119,7 +119,7 @@ fn train_impl(
     let loss_series = maps_obs::series("train.loss");
     let val_series = maps_obs::series("train.val_nl2");
     let grad_cos_series = maps_obs::series("train.grad_cosine");
-    // The previous epoch's summed parameter gradient, flattened in leaf
+    // The previous epoch's summed parameter gradient, flattened in store
     // order — compared against the current epoch's to measure how stable
     // the descent direction is across epochs.
     let mut prev_epoch_grad: Option<Vec<f64>> = None;
@@ -131,48 +131,57 @@ fn train_impl(
         let mut losses = Vec::with_capacity(batches.len());
         let mut epoch_grad: Vec<f64> = Vec::new();
         for batch in &batches {
-            let mut tape = Tape::new();
-            let x = tape.input(batch.input.clone());
-            let pred = model.forward(&mut tape, params, x);
-            let target = tape.input(batch.target.clone());
-            let mut loss = tape.nmse(pred, target);
-            if let LossKind::NmsePlusPhysics { weight } = config.loss {
-                // The physics term needs one frequency per batch; apply it
-                // only when the batch is single-frequency.
-                let omega0 = batch.omegas[0];
-                if batch.omegas.iter().all(|o| (o - omega0).abs() < 1e-12) {
-                    let grid = batch.sources[0].grid();
-                    let eps_field = RealField2d::constant(grid, 1.0); // mask template
-                                                                      // Per-sample scale: the targets were normalized by each
-                                                                      // sample's peak source amplitude.
-                    let scaled: Vec<maps_core::ComplexField2d> = batch
-                        .sources
+            let pred = model.forward(params, batch.input.trace());
+            // Decide whether the physics term applies before building the
+            // loss, so the prediction's tape branches cleanly. The term
+            // needs one frequency per batch; apply it only when the batch
+            // is single-frequency.
+            let physics = match config.loss {
+                LossKind::NmsePlusPhysics { weight } => {
+                    let omega0 = batch.omegas[0];
+                    batch
+                        .omegas
                         .iter()
-                        .map(|s| {
-                            let jmax = crate::featurize::source_peak(s);
-                            maps_core::ComplexField2d::from_vec(
-                                s.grid(),
-                                s.as_slice().iter().map(|z| *z / jmax).collect(),
-                            )
-                        })
-                        .collect();
-                    let refs: Vec<&maps_core::ComplexField2d> = scaled.iter().collect();
-                    let src = tape.input(source_term_tensor(&refs, omega0, normalizer.scale));
-                    let mask = tape.input(interior_mask(
-                        batch.sources.len(),
-                        &eps_field,
-                        config.physics_margin,
-                    ));
-                    let eps = tape.input(batch.eps.clone());
-                    let phys =
-                        physics_residual_loss(&mut tape, pred, eps, src, mask, omega0, grid.dl);
-                    // Normalize the scale gap between NMSE and the raw
-                    // residual magnitude.
-                    let phys_scaled = tape.scale(phys, weight);
-                    loss = tape.add(loss, phys_scaled);
+                        .all(|o| (o - omega0).abs() < 1e-12)
+                        .then_some((weight, omega0))
                 }
-            }
-            let loss_value = tape.value(loss).item();
+                LossKind::Nmse => None,
+            };
+            let loss = if let Some((weight, omega0)) = physics {
+                let grid = batch.sources[0].grid();
+                let eps_field = RealField2d::constant(grid, 1.0); // mask template
+                                                                  // Per-sample scale: the targets were normalized by each
+                                                                  // sample's peak source amplitude.
+                let scaled: Vec<maps_core::ComplexField2d> = batch
+                    .sources
+                    .iter()
+                    .map(|s| {
+                        let jmax = crate::featurize::source_peak(s);
+                        maps_core::ComplexField2d::from_vec(
+                            s.grid(),
+                            s.as_slice().iter().map(|z| *z / jmax).collect(),
+                        )
+                    })
+                    .collect();
+                let refs: Vec<&maps_core::ComplexField2d> = scaled.iter().collect();
+                let src = source_term_tensor(&refs, omega0, normalizer.scale);
+                let mask = interior_mask(batch.sources.len(), &eps_field, config.physics_margin);
+                // Normalize the scale gap between NMSE and the raw
+                // residual magnitude via `weight`.
+                let phys = physics_residual_loss(
+                    pred.with_empty_tape(),
+                    batch.eps.clone(),
+                    src,
+                    mask,
+                    omega0,
+                    grid.dl,
+                )
+                .scale(weight);
+                pred.nmse(batch.target.clone()).add(phys)
+            } else {
+                pred.nmse(batch.target.clone())
+            };
+            let loss_value = loss.item();
             if !loss_value.is_finite() {
                 skipped_batches += 1;
                 maps_obs::counter("train.batches_skipped").inc();
@@ -182,12 +191,12 @@ fn train_impl(
                 continue;
             }
             losses.push(loss_value);
-            let grads = tape.backward(loss);
-            // Accumulate the epoch's gradient fingerprint. Parameter leaves
-            // appear in the same (model-forward) order every batch, so
-            // flat concatenation is a consistent coordinate system.
+            let grads = loss.backward();
+            // Accumulate the epoch's gradient fingerprint. Parameters are
+            // yielded in store order every batch, so flat concatenation is
+            // a consistent coordinate system.
             let mut offset = 0;
-            for (_, g) in grads.param_grads() {
+            for (_, g) in grads.param_grads(params) {
                 let s = g.as_slice();
                 if epoch_grad.len() < offset + s.len() {
                     epoch_grad.resize(offset + s.len(), 0.0);
@@ -244,6 +253,9 @@ fn train_impl(
 }
 
 /// Predicts the field of one sample and returns it in physical units.
+///
+/// Runs tape-free ([`Model::infer`]): prediction allocates no autodiff
+/// state at all.
 pub fn predict_field(
     model: &dyn Model,
     params: &Params,
@@ -251,14 +263,12 @@ pub fn predict_field(
     normalizer: FieldNormalizer,
 ) -> maps_core::ComplexField2d {
     let (input, _) = encode_sample(sample, model.wants_wave_prior(), normalizer);
-    let mut tape = Tape::new();
-    let x = tape.input(input);
-    let pred = model.forward(&mut tape, params, x);
+    let pred = model.infer(params, input);
     // Undo the per-sample source normalization (see encode_sample).
     let per_sample = FieldNormalizer {
         scale: normalizer.scale / crate::featurize::source_peak(&sample.source),
     };
-    crate::featurize::decode_field(tape.value(pred), sample.eps_r.grid(), per_sample)
+    crate::featurize::decode_field(&pred, sample.eps_r.grid(), per_sample)
 }
 
 /// Mean N-L2norm of a model over samples.

@@ -4,9 +4,10 @@
 # BENCH_pr3.json (factorization reuse), BENCH_pr4.json (batched vs
 # sequential multi-RHS), BENCH_pr5.json (flight-recorder span/exporter
 # overhead), BENCH_pr6.json (telemetry server render + scrape overhead),
-# BENCH_pr7.json (mapsd daemon latency/throughput + chaos run), and
-# BENCH_pr8.json (blocked multi-RHS kernel + wideband spectrum sweep) at
-# the repo root.
+# BENCH_pr7.json (mapsd daemon latency/throughput + chaos run),
+# BENCH_pr8.json (blocked multi-RHS kernel + wideband spectrum sweep), and
+# BENCH_pr9.json (f32 tape-free inference + mixed-precision factorization)
+# at the repo root.
 #
 # Usage:
 #   scripts/bench.sh            # full mode (default bending-device grid)
@@ -21,7 +22,9 @@
 # overhead on a cached solve under 5%; a 10 Hz /metrics scrape within 5%
 # of an unscraped cached solve; mapsd warm-cache p50 beats cold at every
 # concurrency; the chaos run answers every request with a bounded queue
-# and zero panics), so a perf regression fails the script.
+# and zero panics; f32 tape-free inference beats the taped f64 forward
+# and mixed factorize+refine beats the full f64 LU at refined accuracy),
+# so a perf regression fails the script.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 ROOT="$(pwd)"
@@ -34,6 +37,7 @@ OUT_OBS="$ROOT/BENCH_pr5.json"
 OUT_SCRAPE="$ROOT/BENCH_pr6.json"
 OUT_MAPSD="$ROOT/BENCH_pr7.json"
 OUT_SPECTRUM="$ROOT/BENCH_pr8.json"
+OUT_PRECISION="$ROOT/BENCH_pr9.json"
 COMPARE=0
 BENCH_ARGS=()
 for arg in "$@"; do
@@ -45,6 +49,7 @@ for arg in "$@"; do
       OUT_SCRAPE="$ROOT/target/BENCH_pr6.smoke.json"
       OUT_MAPSD="$ROOT/target/BENCH_pr7.smoke.json"
       OUT_SPECTRUM="$ROOT/target/BENCH_pr8.smoke.json"
+      OUT_PRECISION="$ROOT/target/BENCH_pr9.smoke.json"
       BENCH_ARGS+=("$arg")
       ;;
     --compare)
@@ -64,6 +69,8 @@ cargo bench -p maps-bench --bench mapsd_load -- "${BENCH_ARGS[@]+"${BENCH_ARGS[@
   --out-pr7 "$OUT_MAPSD"
 cargo bench -p maps-bench --bench spectrum_sweep -- "${BENCH_ARGS[@]+"${BENCH_ARGS[@]}"}" \
   --out "$OUT_SPECTRUM"
+cargo bench -p maps-bench --bench precision -- "${BENCH_ARGS[@]+"${BENCH_ARGS[@]}"}" \
+  --out "$OUT_PRECISION"
 
 # --compare: diff the fresh numbers against the newest *committed*
 # BENCH_pr*.json baseline (auto-detected, so new PR benches join the gate
@@ -88,6 +95,7 @@ if [ "$COMPARE" = "1" ]; then
     BENCH_pr6.json) FRESH="$OUT_SCRAPE" ;;
     BENCH_pr7.json) FRESH="$OUT_MAPSD" ;;
     BENCH_pr8.json) FRESH="$OUT_SPECTRUM" ;;
+    BENCH_pr9.json) FRESH="$OUT_PRECISION" ;;
     *)
       echo "bench compare: no fresh output maps to baseline $BASELINE, skipping"
       exit 0
