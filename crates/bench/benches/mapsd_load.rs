@@ -170,6 +170,7 @@ fn run_chaos(grid: (usize, usize), clients: usize, per_client: usize) -> ChaosOu
                 depth: queue_bound,
                 client_quota: 64,
             },
+            tail: maps_mapsd::TailConfig::default(),
         },
         factory,
     )
@@ -280,6 +281,7 @@ fn main() {
             depth: 256,
             client_quota: 64,
         },
+        tail: maps_mapsd::TailConfig::default(),
     })
     .expect("load daemon");
     let addr = daemon.local_addr().to_string();

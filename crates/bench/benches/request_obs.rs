@@ -1,0 +1,161 @@
+//! Per-request observability overhead for `mapsd` (PR 10).
+//!
+//! Not a criterion bench: emits machine-readable JSON (`BENCH_pr10.json`
+//! by default) so CI can diff runs.
+//!
+//! Usage (via `scripts/bench.sh` or directly):
+//!
+//! ```text
+//! cargo bench --bench request_obs -- [--smoke] [--out-pr10 PATH]
+//! ```
+//!
+//! One experiment against an in-process daemon on an ephemeral port: the
+//! latency of a **warm-cache** `/solve` (the daemon's hot path — the
+//! factorization is a cache hit, so the request is mostly protocol and
+//! bookkeeping) with the tracing plane **off** (recorder disabled; wide
+//! events still on, as in production) versus **on** (flight recorder +
+//! tail-sampled flows + head sampling 1-in-16 + exemplars). Batches of
+//! the two variants are interleaved so container noise hits both arms.
+//!
+//! Invariants asserted here:
+//!
+//! - tracing-on p50 within 5% of tracing-off (full mode; smoke runs use a
+//!   relaxed bound because the grid is tiny and the hot path is short);
+//! - exactly one wide event per admission across the whole run.
+
+use maps_mapsd::{http_post, serve, DaemonConfig, QueueConfig, TailConfig};
+use std::io::Write as _;
+use std::time::Instant;
+
+struct Mode {
+    smoke: bool,
+    out: String,
+}
+
+fn parse_args() -> Mode {
+    let mut mode = Mode {
+        smoke: false,
+        out: "BENCH_pr10.json".to_string(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--smoke" => mode.smoke = true,
+            "--out-pr10" | "--out" => {
+                mode.out = args.next().expect("--out-pr10 needs a path");
+            }
+            // cargo bench passes `--bench`; ignore it and anything unknown.
+            _ => {}
+        }
+    }
+    mode
+}
+
+fn percentile_ms(samples: &mut [f64], p: f64) -> f64 {
+    assert!(!samples.is_empty());
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let idx = ((samples.len() - 1) as f64 * p).round() as usize;
+    samples[idx]
+}
+
+fn drive(addr: &str, body: &str, n: usize, latencies: &mut Vec<f64>) {
+    for _ in 0..n {
+        let started = Instant::now();
+        let (status, resp) = http_post(addr, "/solve", body).expect("daemon reachable");
+        assert_eq!(status, 200, "warm solve failed: {resp}");
+        latencies.push(started.elapsed().as_secs_f64() * 1e3);
+    }
+}
+
+fn main() {
+    let mode = parse_args();
+    let ((nx, ny), batches, per_batch) = if mode.smoke {
+        ((30, 26), 4, 6)
+    } else {
+        ((80, 80), 10, 25)
+    };
+    println!(
+        "request_obs: {nx}x{ny} grid, {batches} interleaved batches x {per_batch} requests/arm, mode={}",
+        if mode.smoke { "smoke" } else { "full" }
+    );
+
+    // Tail sampling configured as in a production deployment: a finite
+    // slow threshold nothing here should cross, plus 1-in-16 head
+    // sampling — so the tracing-on arm pays begin/close-flow on every
+    // request and full retention + exemplar on a trickle.
+    let daemon = serve(DaemonConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        max_body: 4 << 20,
+        queue: QueueConfig {
+            depth: 64,
+            client_quota: 64,
+        },
+        tail: TailConfig {
+            slow_ms: 60_000.0,
+            per_endpoint: Vec::new(),
+            sample: 16,
+        },
+    })
+    .expect("daemon");
+    let addr = daemon.local_addr().to_string();
+    let body =
+        format!(r#"{{"nx":{nx},"ny":{ny},"dx":0.05,"eps":2.25,"omega":4.05,"deadline_ms":60000}}"#);
+
+    let events_before = maps_obs::reqlog::total();
+    let mut issued = 0usize;
+
+    // Warm the factor cache so both arms measure the cache-hit path.
+    maps_obs::recorder::disable();
+    let mut warmup = Vec::new();
+    drive(&addr, &body, 2, &mut warmup);
+    issued += 2;
+
+    let mut off = Vec::with_capacity(batches * per_batch);
+    let mut on = Vec::with_capacity(batches * per_batch);
+    for _ in 0..batches {
+        maps_obs::recorder::disable();
+        drive(&addr, &body, per_batch, &mut off);
+        maps_obs::recorder::enable();
+        drive(&addr, &body, per_batch, &mut on);
+        issued += 2 * per_batch;
+    }
+    maps_obs::recorder::disable();
+    daemon.stop();
+
+    let off_p50 = percentile_ms(&mut off, 0.50);
+    let off_p99 = percentile_ms(&mut off, 0.99);
+    let on_p50 = percentile_ms(&mut on, 0.50);
+    let on_p99 = percentile_ms(&mut on, 0.99);
+    let overhead_pct = (on_p50 - off_p50) / off_p50.max(1e-9) * 100.0;
+    let wide_events = (maps_obs::reqlog::total() - events_before) as usize;
+
+    println!(
+        "request_obs: warm /solve p50 off {off_p50:.3} ms on {on_p50:.3} ms ({overhead_pct:+.2}%), p99 off {off_p99:.3} on {on_p99:.3}"
+    );
+    println!("request_obs: {wide_events} wide events for {issued} admissions");
+
+    let json = format!(
+        "{{\n  \"bench\": \"request_obs\",\n  \"mode\": \"{}\",\n  \"grid\": {{ \"nx\": {nx}, \"ny\": {ny} }},\n  \"batches\": {batches},\n  \"per_batch\": {per_batch},\n  \"tracing_off\": {{ \"p50_ms\": {off_p50:.4}, \"p99_ms\": {off_p99:.4} }},\n  \"tracing_on\": {{ \"p50_ms\": {on_p50:.4}, \"p99_ms\": {on_p99:.4} }},\n  \"overhead_pct\": {overhead_pct:.3},\n  \"wide_events\": {wide_events},\n  \"requests\": {issued}\n}}\n",
+        if mode.smoke { "smoke" } else { "full" },
+    );
+    let mut f = std::fs::File::create(&mode.out).expect("create output");
+    f.write_all(json.as_bytes()).expect("write output");
+    println!("request_obs: wrote {}", mode.out);
+
+    // One wide event per admission — the reconciliation contract.
+    assert_eq!(
+        wide_events, issued,
+        "every admission must produce exactly one wide event"
+    );
+    // The 5% contract is defined at the full-mode 80×80 grid; the smoke
+    // grid's solve is so short that fixed per-request cost is a larger
+    // fraction of it — the smoke bound only catches order-of-magnitude
+    // regressions.
+    let budget_pct = if mode.smoke { 25.0 } else { 5.0 };
+    assert!(
+        overhead_pct < budget_pct,
+        "per-request tracing overhead on a warm /solve must stay under {budget_pct}%: \
+         got {overhead_pct:.3}% (p50 {on_p50:.4} vs {off_p50:.4} ms)"
+    );
+}

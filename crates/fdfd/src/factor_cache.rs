@@ -103,6 +103,12 @@ impl Fingerprint {
     pub fn is_mixed(&self) -> bool {
         self.mixed
     }
+
+    /// The 128-bit digest as 32 hex chars — the stable operator identity
+    /// traces and logs use to say *which* factorization a span computed.
+    pub fn hex(&self) -> String {
+        format!("{:016x}{:016x}", self.h[0], self.h[1])
+    }
 }
 
 const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
@@ -513,7 +519,8 @@ impl FactorCache {
         let result = {
             let _s = maps_obs::span("fdfd.factorize")
                 .field("cells", key.cells)
-                .field("precision", if key.mixed { "mixed-f32" } else { "f64" });
+                .field("precision", if key.mixed { "mixed-f32" } else { "f64" })
+                .field("fingerprint", key.hex());
             let a = assemble();
             let factor = if key.mixed {
                 MixedBandedLu::new(a).map(Factor::Mixed)

@@ -37,5 +37,10 @@ fn main() -> std::io::Result<()> {
         }
         Err(e) => eprintln!("mapsd: telemetry export failed: {e}"),
     }
+    // Drain the access-log writer so the JSONL on disk reconciles with the
+    // requests served (MAPS_ACCESS_LOG; a no-op when unconfigured).
+    if !maps_obs::flush_access_log(std::time::Duration::from_secs(5)) {
+        eprintln!("mapsd: access log flush timed out");
+    }
     Ok(())
 }

@@ -55,8 +55,8 @@ pub mod service;
 pub use client::{http_get, http_post};
 pub use protocol::{
     parse_envelope, render_job_result, render_shed, Envelope, ErrorKind, JobKind, JobResult,
-    SolveResult, SolveSpec,
+    SolveResult, SolveSpec, Timings,
 };
 pub use queue::{ClientPermit, Job, QueueConfig, Shed, WorkQueue};
-pub use server::{serve, serve_with, Daemon, DaemonConfig};
+pub use server::{serve, serve_with, Daemon, DaemonConfig, TailConfig};
 pub use service::{Breaker, ServiceFactory, SolveService};

@@ -94,6 +94,12 @@ pub struct Envelope {
     pub deadline_ms: Option<u64>,
     /// Whether responses include the full complex field.
     pub return_field: bool,
+    /// Caller-supplied distributed-trace id, echoed back verbatim; the
+    /// daemon mints one when absent so every response carries a trace id.
+    pub trace_id: Option<String>,
+    /// Caller-side span id the daemon's root `mapsd.request` span should
+    /// parent under, stitching daemon spans into the caller's trace.
+    pub parent_span: Option<u64>,
 }
 
 /// Hard cap on cells per request: keeps a single envelope from pinning the
@@ -245,6 +251,16 @@ pub fn parse_envelope(job: JobKind, body: &str) -> Result<Envelope, String> {
         None => false,
         Some(v) => v.as_bool().map_err(|e| format!("return_field: {e}"))?,
     };
+    let trace_id = opt_field(&root, "trace_id")
+        .map(|v| {
+            v.as_str()
+                .map(str::to_string)
+                .map_err(|e| format!("trace_id: {e}"))
+        })
+        .transpose()?;
+    let parent_span = opt_field(&root, "parent_span")
+        .map(|v| as_usize(v, "parent_span").map(|x| x as u64))
+        .transpose()?;
 
     let specs = match job {
         JobKind::Solve => {
@@ -318,6 +334,8 @@ pub fn parse_envelope(job: JobKind, body: &str) -> Result<Envelope, String> {
         specs,
         deadline_ms,
         return_field,
+        trace_id,
+        parent_span,
     })
 }
 
@@ -353,6 +371,21 @@ impl ErrorKind {
     }
 }
 
+/// Server-side timing breakdown of one request, microseconds. Echoed in
+/// the response (`"timings"`) so clients see where their latency went
+/// without needing access to the daemon's trace plane.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Timings {
+    /// Queued before a worker picked the job up.
+    pub queue_us: f64,
+    /// Obtaining factorizations (cache hits cost ~0 here).
+    pub factorize_us: f64,
+    /// Solving against the factors (sum over excitations).
+    pub solve_us: f64,
+    /// Admission to response write, as seen by the daemon.
+    pub total_us: f64,
+}
+
 /// Outcome of one excitation.
 #[derive(Debug, Clone)]
 pub struct SolveResult {
@@ -368,6 +401,9 @@ pub struct SolveResult {
     pub served_by: Option<String>,
     /// How the factorization was obtained: `hit`, `leader`, `follower`.
     pub coalesce: Option<&'static str>,
+    /// Wall-clock time obtaining this excitation's factorization, ms
+    /// (0 when the fidelity ladder bypassed the prewarmed factor path).
+    pub factorize_ms: f64,
     /// Wall-clock solve time in milliseconds.
     pub solve_ms: f64,
     /// Failure class, when the excitation failed.
@@ -390,6 +426,7 @@ impl SolveResult {
             fidelity: None,
             served_by: None,
             coalesce: None,
+            factorize_ms: 0.0,
             solve_ms,
             error_kind: Some(kind),
             error: Some(error.into()),
@@ -412,6 +449,14 @@ pub struct JobResult {
     pub results: Vec<SolveResult>,
     /// Whole-job failure description (deadline at dequeue, drain).
     pub error: Option<String>,
+    /// Trace id of the request (client-supplied or daemon-minted),
+    /// echoed in the response body.
+    pub trace_id: Option<String>,
+    /// Server-side timing breakdown (total_us is filled in by the
+    /// connection handler, which sees the full admission-to-write window).
+    pub timings: Timings,
+    /// Fidelity-ladder retries spent serving this request.
+    pub retries: u64,
 }
 
 impl JobResult {
@@ -423,6 +468,12 @@ impl JobResult {
             queue_ms,
             results: Vec::new(),
             error: Some(error),
+            trace_id: None,
+            timings: Timings {
+                queue_us: queue_ms * 1e3,
+                ..Timings::default()
+            },
+            retries: 0,
         }
     }
 }
@@ -437,12 +488,27 @@ pub fn render_job_result(result: &JobResult) -> String {
     if let Some(id) = &result.id {
         root.push(("id".into(), Value::Str(id.clone())));
     }
+    if let Some(trace) = &result.trace_id {
+        root.push(("trace_id".into(), Value::Str(trace.clone())));
+    }
     let all_ok = result.error.is_none() && result.results.iter().all(SolveResult::is_ok);
     root.push((
         "status".into(),
         Value::Str(if all_ok { "ok" } else { "error" }.into()),
     ));
     root.push(("queue_ms".into(), num(result.queue_ms)));
+    root.push((
+        "timings".into(),
+        Value::Obj(vec![
+            ("queue_us".into(), num(result.timings.queue_us)),
+            ("factorize_us".into(), num(result.timings.factorize_us)),
+            ("solve_us".into(), num(result.timings.solve_us)),
+            ("total_us".into(), num(result.timings.total_us)),
+        ]),
+    ));
+    if result.retries > 0 {
+        root.push(("retries".into(), num(result.retries as f64)));
+    }
     if let Some(err) = &result.error {
         root.push(("error".into(), Value::Str(err.clone())));
     }
@@ -453,6 +519,9 @@ pub fn render_job_result(result: &JobResult) -> String {
             let mut obj: Vec<(String, Value)> = Vec::new();
             obj.push(("ok".into(), Value::Bool(r.is_ok())));
             obj.push(("solve_ms".into(), num(r.solve_ms)));
+            if r.factorize_ms > 0.0 {
+                obj.push(("factorize_ms".into(), num(r.factorize_ms)));
+            }
             if let Some(n) = r.field_norm {
                 obj.push(("field_norm".into(), num(n)));
             }
@@ -486,13 +555,18 @@ pub fn render_job_result(result: &JobResult) -> String {
     })
 }
 
-/// Renders a shed (admission-rejected) response body.
-pub fn render_shed(reason: &str) -> String {
-    serde_json::to_string(&Value::Obj(vec![
+/// Renders a shed (admission-rejected) response body. The trace id, when
+/// known, is echoed even on sheds so a client can correlate the rejection
+/// with its own trace.
+pub fn render_shed(reason: &str, trace_id: Option<&str>) -> String {
+    let mut obj = vec![
         ("status".into(), Value::Str("shed".into())),
         ("reason".into(), Value::Str(reason.into())),
-    ]))
-    .expect("shed body renders")
+    ];
+    if let Some(trace) = trace_id {
+        obj.push(("trace_id".into(), Value::Str(trace.into())));
+    }
+    serde_json::to_string(&Value::Obj(obj)).expect("shed body renders")
 }
 
 #[cfg(test)]
@@ -530,6 +604,26 @@ mod tests {
         assert_eq!(env.deadline_ms, None);
         assert!(!env.return_field);
         assert!(env.id.is_none());
+        assert!(env.trace_id.is_none());
+        assert!(env.parent_span.is_none());
+    }
+
+    #[test]
+    fn trace_context_round_trips_through_the_envelope() {
+        let body = r#"{
+            "nx": 8, "ny": 8, "dx": 0.1, "eps": 1.0, "omega": 4.0,
+            "trace_id": "client-trace-7", "parent_span": 12345
+        }"#;
+        let env = parse_envelope(JobKind::Solve, body).expect("parse");
+        assert_eq!(env.trace_id.as_deref(), Some("client-trace-7"));
+        assert_eq!(env.parent_span, Some(12345));
+
+        let err = parse_envelope(
+            JobKind::Solve,
+            r#"{"nx":8,"ny":8,"dx":0.1,"eps":1.0,"omega":4.0,"trace_id":42}"#,
+        )
+        .unwrap_err();
+        assert!(err.contains("trace_id"), "{err}");
     }
 
     #[test]
@@ -605,6 +699,7 @@ mod tests {
                     fidelity: Some("direct"),
                     served_by: Some("fdfd-direct".into()),
                     coalesce: Some("leader"),
+                    factorize_ms: 2.5,
                     solve_ms: 3.0,
                     error_kind: None,
                     error: None,
@@ -612,25 +707,42 @@ mod tests {
                 SolveResult::failed(ErrorKind::Deadline, "too slow", 0.1),
             ],
             error: None,
+            trace_id: Some("trace-t9".into()),
+            timings: Timings {
+                queue_us: 1250.0,
+                factorize_us: 2500.0,
+                solve_us: 3100.0,
+                total_us: 7000.0,
+            },
+            retries: 2,
         };
         let body = render_job_result(&jr);
         assert!(body.contains("\"id\":\"t9\""), "{body}");
+        assert!(body.contains("\"trace_id\":\"trace-t9\""), "{body}");
         assert!(body.contains("\"status\":\"error\""), "{body}");
         assert!(body.contains("\"fidelity\":\"direct\""), "{body}");
         assert!(body.contains("\"coalesce\":\"leader\""), "{body}");
+        assert!(body.contains("\"factorize_ms\":2.5"), "{body}");
+        assert!(body.contains("\"retries\":2"), "{body}");
         assert!(
             body.contains("\"error_kind\":\"deadline_exceeded\""),
             "{body}"
         );
-        // And it parses back as JSON.
+        // And it parses back as JSON, with the timings breakdown intact.
         let parsed: Value = serde_json::from_str(&body).expect("valid JSON");
         assert_eq!(parsed.field("results").unwrap().as_arr().unwrap().len(), 2);
+        let timings = parsed.field("timings").expect("timings object");
+        assert_eq!(timings.field("queue_us").unwrap().as_f64().unwrap(), 1250.0);
+        assert_eq!(timings.field("total_us").unwrap().as_f64().unwrap(), 7000.0);
     }
 
     #[test]
     fn shed_body_names_the_reason() {
-        let body = render_shed("queue_full");
+        let body = render_shed("queue_full", None);
         assert!(body.contains("\"status\":\"shed\""), "{body}");
         assert!(body.contains("\"reason\":\"queue_full\""), "{body}");
+        assert!(!body.contains("trace_id"), "{body}");
+        let body = render_shed("client_quota", Some("trace-s1"));
+        assert!(body.contains("\"trace_id\":\"trace-s1\""), "{body}");
     }
 }

@@ -95,6 +95,11 @@ pub struct Job {
     pub deadline: Option<Instant>,
     /// Client key (peer IP) for attribution in spans.
     pub client: String,
+    /// Trace context captured at admission (inside the root
+    /// `mapsd.request` span); workers adopt it so their spans — and
+    /// everything rayon fans out below them — stitch into the request's
+    /// flow.
+    pub ctx: maps_obs::TaskContext,
     /// Channel the worker answers on; the connection handler holds the
     /// receiving end.
     pub respond: SyncSender<JobResult>,
@@ -206,6 +211,7 @@ impl WorkQueue {
         client: &str,
         envelope: Envelope,
         deadline: Option<Instant>,
+        ctx: maps_obs::TaskContext,
     ) -> Result<(Receiver<JobResult>, ClientPermit), Shed> {
         let mut st = self.state.lock().expect("queue state");
         if st.draining {
@@ -236,6 +242,7 @@ impl WorkQueue {
             accepted: Instant::now(),
             deadline,
             client: client.to_string(),
+            ctx,
             respond: tx,
         });
         maps_obs::gauge("mapsd.queue.depth").set(st.jobs.len() as f64);
@@ -335,10 +342,14 @@ mod tests {
             depth: 2,
             client_quota: 10,
         });
-        let (_rx1, _p1) = q.submit_job("a", tiny_envelope(), None).expect("first");
-        let (_rx2, _p2) = q.submit_job("a", tiny_envelope(), None).expect("second");
+        let (_rx1, _p1) = q
+            .submit_job("a", tiny_envelope(), None, maps_obs::TaskContext::NONE)
+            .expect("first");
+        let (_rx2, _p2) = q
+            .submit_job("a", tiny_envelope(), None, maps_obs::TaskContext::NONE)
+            .expect("second");
         assert_eq!(
-            shed_of(q.submit_job("a", tiny_envelope(), None)),
+            shed_of(q.submit_job("a", tiny_envelope(), None, maps_obs::TaskContext::NONE)),
             Shed::QueueFull
         );
         assert_eq!(q.depth(), 2);
@@ -346,7 +357,7 @@ mod tests {
 
         q.drain();
         assert_eq!(
-            shed_of(q.submit_job("b", tiny_envelope(), None)),
+            shed_of(q.submit_job("b", tiny_envelope(), None, maps_obs::TaskContext::NONE)),
             Shed::Draining
         );
         // Workers can still run the queue dry after drain.
@@ -362,18 +373,26 @@ mod tests {
             depth: 100,
             client_quota: 2,
         });
-        let (_r1, p1) = q.submit_job("alice", tiny_envelope(), None).expect("1");
-        let (_r2, _p2) = q.submit_job("alice", tiny_envelope(), None).expect("2");
+        let (_r1, p1) = q
+            .submit_job("alice", tiny_envelope(), None, maps_obs::TaskContext::NONE)
+            .expect("1");
+        let (_r2, _p2) = q
+            .submit_job("alice", tiny_envelope(), None, maps_obs::TaskContext::NONE)
+            .expect("2");
         assert_eq!(
-            shed_of(q.submit_job("alice", tiny_envelope(), None)),
+            shed_of(q.submit_job("alice", tiny_envelope(), None, maps_obs::TaskContext::NONE)),
             Shed::Quota,
             "third concurrent job from one client sheds"
         );
         // A different client is unaffected.
-        let (_r3, _p3) = q.submit_job("bob", tiny_envelope(), None).expect("bob");
+        let (_r3, _p3) = q
+            .submit_job("bob", tiny_envelope(), None, maps_obs::TaskContext::NONE)
+            .expect("bob");
         // Releasing one of alice's permits re-admits her.
         drop(p1);
-        assert!(q.submit_job("alice", tiny_envelope(), None).is_ok());
+        assert!(q
+            .submit_job("alice", tiny_envelope(), None, maps_obs::TaskContext::NONE)
+            .is_ok());
     }
 
     #[test]
@@ -382,14 +401,18 @@ mod tests {
         let q2 = Arc::clone(&q);
         let popper = std::thread::spawn(move || q2.pop().map(|a| a.job.client.clone()));
         std::thread::sleep(Duration::from_millis(30));
-        let (_rx, _permit) = q.submit_job("carol", tiny_envelope(), None).expect("admit");
+        let (_rx, _permit) = q
+            .submit_job("carol", tiny_envelope(), None, maps_obs::TaskContext::NONE)
+            .expect("admit");
         assert_eq!(popper.join().expect("join").as_deref(), Some("carol"));
     }
 
     #[test]
     fn wait_idle_waits_for_active_jobs() {
         let q = WorkQueue::new(QueueConfig::default());
-        let (_rx, _permit) = q.submit_job("d", tiny_envelope(), None).expect("admit");
+        let (_rx, _permit) = q
+            .submit_job("d", tiny_envelope(), None, maps_obs::TaskContext::NONE)
+            .expect("admit");
         let active = q.pop().expect("pop");
         q.drain();
         assert!(

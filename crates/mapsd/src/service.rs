@@ -24,7 +24,7 @@
 //!    with the request deadline via `solve_ez_by`, so recovery never
 //!    outlives the caller's patience.
 
-use crate::protocol::{Envelope, ErrorKind, JobResult, SolveResult, SolveSpec};
+use crate::protocol::{Envelope, ErrorKind, JobResult, SolveResult, SolveSpec, Timings};
 use maps_core::{
     FieldSolver, RealField2d, RetryPolicy, RobustSolver, RobustStats, SolveFieldError, SolveKind,
 };
@@ -179,6 +179,9 @@ impl SolveService {
         queue_ms: f64,
         deadline: Option<Instant>,
     ) -> JobResult {
+        // Each worker owns its service, so the stats delta across this
+        // execute is attributable to exactly this request.
+        let ladder_before = self.ladder.stats();
         let results = if envelope.specs.len() > 1 && self.breaker.allows() {
             self.solve_batched(envelope, deadline)
         } else {
@@ -192,12 +195,32 @@ impl SolveService {
             .iter()
             .find_map(|r| r.error_kind.map(|k| k.http_status()))
             .unwrap_or(200);
+        let retries = self
+            .ladder
+            .stats()
+            .retries
+            .saturating_sub(ladder_before.retries);
+        let factorize_us: f64 = results.iter().map(|r| r.factorize_ms).sum::<f64>() * 1e3;
+        // Per-excitation solve_ms windows include the factor pre-warm;
+        // subtract it so the breakdown's parts are disjoint.
+        let solve_us =
+            (results.iter().map(|r| r.solve_ms).sum::<f64>() * 1e3 - factorize_us).max(0.0);
         JobResult {
             id: envelope.id.clone(),
             status,
             queue_ms,
             results,
             error: None,
+            trace_id: envelope.trace_id.clone(),
+            timings: Timings {
+                queue_us: queue_ms * 1e3,
+                factorize_us,
+                solve_us,
+                // The connection handler owns the admission-to-write
+                // window and fills total_us before rendering.
+                total_us: 0.0,
+            },
+            retries,
         }
     }
 
@@ -271,6 +294,7 @@ impl SolveService {
                         fidelity: Some("direct"),
                         served_by: Some(self.direct.name().to_string()),
                         coalesce: None,
+                        factorize_ms: 0.0,
                         solve_ms: batch_ms,
                         error_kind: None,
                         error: None,
@@ -289,6 +313,7 @@ impl SolveService {
                         envelope.return_field,
                         Instant::now(),
                         None,
+                        0.0,
                     )
                 }
             })
@@ -330,32 +355,37 @@ impl SolveService {
 
         // Pre-warm through the single-flight gate so concurrent requests
         // for the same design share one factorization instead of racing.
+        let mut factorize_ms = 0.0;
         let coalesce = if self.prewarm {
+            let factor_started = Instant::now();
             match factor_coalesced(eps, spec.omega, &self.pml, || {
                 FdfdSolver::with_pml(self.pml)
                     .operator(eps, spec.omega)
                     .to_banded()
             }) {
-                Ok((_, outcome)) => Some(match outcome {
-                    FactorOutcome::Hit => {
-                        maps_obs::counter("mapsd.coalesce.hit").inc();
-                        "hit"
-                    }
-                    FactorOutcome::Leader => {
-                        maps_obs::counter("mapsd.coalesce.leader").inc();
-                        "leader"
-                    }
-                    FactorOutcome::Follower => {
-                        maps_obs::counter("mapsd.coalesce.follower").inc();
-                        "follower"
-                    }
-                }),
+                Ok((_, outcome)) => {
+                    factorize_ms = ms_since(factor_started);
+                    Some(match outcome {
+                        FactorOutcome::Hit => {
+                            maps_obs::counter("mapsd.coalesce.hit").inc();
+                            "hit"
+                        }
+                        FactorOutcome::Leader => {
+                            maps_obs::counter("mapsd.coalesce.leader").inc();
+                            "leader"
+                        }
+                        FactorOutcome::Follower => {
+                            maps_obs::counter("mapsd.coalesce.follower").inc();
+                            "follower"
+                        }
+                    })
+                }
                 // A failed factorization is not fatal to the request: the
                 // iterative ladder solves without an LU. Skip the direct
                 // rung (it would pay the same failure again) and degrade.
                 Err(_) => {
                     maps_obs::counter("mapsd.prewarm.failed").inc();
-                    return self.run_ladder(eps, spec, deadline, return_field, started, None);
+                    return self.run_ladder(eps, spec, deadline, return_field, started, None, 0.0);
                 }
             }
         } else {
@@ -379,6 +409,7 @@ impl SolveService {
                         fidelity: Some("direct"),
                         served_by: Some(self.direct.name().to_string()),
                         coalesce,
+                        factorize_ms,
                         solve_ms: ms_since(started),
                         error_kind: None,
                         error: None,
@@ -400,7 +431,15 @@ impl SolveService {
             maps_obs::counter("mapsd.direct.bypassed").inc();
         }
 
-        self.run_ladder(eps, spec, deadline, return_field, started, coalesce)
+        self.run_ladder(
+            eps,
+            spec,
+            deadline,
+            return_field,
+            started,
+            coalesce,
+            factorize_ms,
+        )
     }
 
     /// The degradation ladder: relaxed iterative retries, then fallback,
@@ -414,6 +453,7 @@ impl SolveService {
         return_field: bool,
         started: Instant,
         coalesce: Option<&'static str>,
+        factorize_ms: f64,
     ) -> SolveResult {
         let source = spec.source_field(eps.grid());
         let before = self.ladder.stats();
@@ -437,6 +477,7 @@ impl SolveService {
                     fidelity: Some(fidelity),
                     served_by: Some(self.ladder.name().to_string()),
                     coalesce,
+                    factorize_ms,
                     solve_ms: ms_since(started),
                     error_kind: None,
                     error: None,

@@ -20,6 +20,7 @@ fn ephemeral(queue: QueueConfig, workers: usize) -> DaemonConfig {
         workers,
         max_body: 4 << 20,
         queue,
+        tail: maps_mapsd::TailConfig::default(),
     }
 }
 

@@ -12,6 +12,7 @@
 //! | `/snapshot`       | The JSON registry snapshot                          |
 //! | `/series/<name>`  | One convergence series as CSV (404 if unknown)      |
 //! | `/trace?last=N`   | Chrome trace JSON of the most recent `N` ring spans |
+//! | `/requests?last=N`| The most recent `N` wide events as a JSON array     |
 //! | `/healthz`        | `200 ok` while the process is alive                 |
 //! | `/readyz`         | `200 ready`, or `503` + stalled spans when wedged   |
 //!
@@ -276,7 +277,8 @@ fn handle_connection(mut stream: TcpStream) -> std::io::Result<()> {
 /// like `mapsd` can mount these routes *after* its own).
 ///
 /// Handles `/metrics`, `/snapshot`, `/healthz`, `/readyz` (watchdog-backed),
-/// `/trace?last=N`, and `/series/<name>`.
+/// `/trace?last=N`, `/requests?last=N` (canonical wide events), and
+/// `/series/<name>`.
 pub fn telemetry_response(req: &Request) -> Option<(u16, &'static str, String)> {
     match req.path.as_str() {
         "/metrics" => Some((
@@ -298,6 +300,13 @@ pub fn telemetry_response(req: &Request) -> Option<(u16, &'static str, String)> 
                 }
             }
             Some((200, "application/json", crate::chrome_trace(&spans)))
+        }
+        "/requests" => {
+            let last = req
+                .query_param("last")
+                .and_then(|v| v.parse::<usize>().ok())
+                .unwrap_or(100);
+            Some((200, "application/json", crate::reqlog::recent_json(last)))
         }
         path => {
             let name = path.strip_prefix("/series/")?;
@@ -414,6 +423,12 @@ mod tests {
         let (status, body) = get(addr, "/trace?last=5");
         assert_eq!(status, 200);
         assert!(body.starts_with("{\"traceEvents\":["), "{body}");
+
+        // The ring is shared test-global state, so assert shape, not count.
+        let (status, body) = get(addr, "/requests?last=3");
+        assert_eq!(status, 200);
+        let trimmed = body.trim_end();
+        assert!(trimmed.starts_with('[') && trimmed.ends_with(']'), "{body}");
 
         let (status, body) = get(addr, "/healthz");
         assert_eq!(status, 200);

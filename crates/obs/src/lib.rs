@@ -54,6 +54,13 @@
 //! - **Stall watchdog** ([`watchdog`], `MAPS_WATCHDOG_MS`): a sampling
 //!   thread that flags slow and stalled open spans by deadline class,
 //!   detects counter flatlines, and drives `/readyz`.
+//! - **Wide events** ([`reqlog`], [`WideEvent`]): one canonical JSON record
+//!   per served request in a bounded drop-oldest ring (`GET
+//!   /requests?last=N`), optionally mirrored to a JSONL access log
+//!   (`MAPS_ACCESS_LOG`) through a non-blocking writer. Paired with
+//!   tail-based trace sampling ([`recorder::begin_flow`] /
+//!   [`recorder::close_flow`]) and histogram [`Exemplar`]s that link
+//!   `/metrics` latency spikes back to retained trace ids.
 //!
 //! ```
 //! let _guard = maps_obs::span("solve").field("grid", 64);
@@ -71,6 +78,7 @@ mod level;
 mod metrics;
 pub mod recorder;
 mod report;
+pub mod reqlog;
 mod series;
 mod span;
 pub mod watchdog;
@@ -85,8 +93,9 @@ pub use http::{
     Request, TelemetryServer,
 };
 pub use level::{emit, enabled, level, set_level, Level};
-pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, Registry};
+pub use metrics::{Counter, Exemplar, Gauge, Histogram, HistogramSnapshot, Registry};
 pub use report::{RunReport, SeriesSummary, SpanStat};
+pub use reqlog::{flush_access_log, WideEvent};
 pub use series::{all_series, series, series_get, series_reset, write_series_csv, Series};
 pub use span::{current_thread_id, epoch, span, Span, SpanRecord};
 

@@ -105,6 +105,23 @@ impl Gauge {
     }
 }
 
+/// A trace pointer attached to a histogram: the most recent sample whose
+/// recorder kept the full span tree, in OpenMetrics exemplar spirit. One
+/// slot per histogram (last-retained-wins) is enough to navigate from a
+/// latency spike on `/metrics` to `GET /trace` for a representative
+/// request.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Exemplar {
+    /// Exemplar label name (conventionally `trace_id`).
+    pub label_key: String,
+    /// Exemplar label value (the trace id to look up in `/trace`).
+    pub label_value: String,
+    /// The sample value the exemplar annotates.
+    pub value: f64,
+    /// Wall-clock seconds since the Unix epoch when recorded.
+    pub unix_seconds: f64,
+}
+
 struct HistogramInner {
     buckets: Vec<AtomicU64>,
     count: AtomicU64,
@@ -112,6 +129,8 @@ struct HistogramInner {
     sum: AtomicU64,
     min: AtomicU64,
     max: AtomicU64,
+    /// Off the record path: written only for retained (traced) samples.
+    exemplar: Mutex<Option<Exemplar>>,
 }
 
 impl HistogramInner {
@@ -122,6 +141,7 @@ impl HistogramInner {
             sum: AtomicU64::new(0f64.to_bits()),
             min: AtomicU64::new(f64::INFINITY.to_bits()),
             max: AtomicU64::new(f64::NEG_INFINITY.to_bits()),
+            exemplar: Mutex::new(None),
         }
     }
 }
@@ -143,6 +163,32 @@ impl Histogram {
         atomic_f64_update(&inner.sum, |a, b| a + b, v);
         atomic_f64_update(&inner.min, f64::min, v);
         atomic_f64_update(&inner.max, f64::max, v);
+    }
+
+    /// Records one sample and attaches an [`Exemplar`] pointing at it
+    /// (last exemplar wins). Used for samples whose trace was retained, so
+    /// `/metrics` readers can jump from the distribution to a concrete
+    /// request in `/trace`. NaN is ignored entirely.
+    pub fn record_with_exemplar(&self, v: f64, label_key: &str, label_value: &str) {
+        if v.is_nan() {
+            return;
+        }
+        self.record(v);
+        let ts = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs_f64())
+            .unwrap_or(0.0);
+        *self.0.exemplar.lock().expect("histogram exemplar") = Some(Exemplar {
+            label_key: label_key.to_string(),
+            label_value: label_value.to_string(),
+            value: v,
+            unix_seconds: ts,
+        });
+    }
+
+    /// The most recent exemplar, if any sample was recorded with one.
+    pub fn exemplar(&self) -> Option<Exemplar> {
+        self.0.exemplar.lock().expect("histogram exemplar").clone()
     }
 
     /// Number of recorded samples.
@@ -401,7 +447,7 @@ impl Registry {
             let _ = writeln!(out, "# TYPE {s} gauge");
             let _ = writeln!(out, "{s} {}", num(v));
         }
-        for (name, snap) in self.histograms() {
+        for (name, snap, exemplar) in self.histogram_rows() {
             let s = sanitize(&name);
             let _ = writeln!(out, "# HELP {s} MAPS histogram {name}");
             let _ = writeln!(out, "# TYPE {s} summary");
@@ -409,9 +455,38 @@ impl Registry {
                 let _ = writeln!(out, "{s}{{quantile=\"{q}\"}} {}", num(v));
             }
             let _ = writeln!(out, "{s}_sum {}", num(snap.mean * snap.count as f64));
-            let _ = writeln!(out, "{s}_count {}", snap.count);
+            match exemplar {
+                // OpenMetrics-style exemplar attached to the _count sample:
+                // `name value # {label="trace"} exemplar_value timestamp`.
+                Some(e) => {
+                    let _ = writeln!(
+                        out,
+                        "{s}_count {} # {{{}=\"{}\"}} {} {}",
+                        snap.count,
+                        sanitize(&e.label_key),
+                        e.label_value.replace('\\', "\\\\").replace('"', "\\\""),
+                        num(e.value),
+                        num(e.unix_seconds),
+                    );
+                }
+                None => {
+                    let _ = writeln!(out, "{s}_count {}", snap.count);
+                }
+            }
         }
         out
+    }
+
+    /// Every histogram with its snapshot and current exemplar, in name
+    /// order (the exemplar-aware sibling of [`Registry::histograms`]).
+    fn histogram_rows(&self) -> Vec<(String, HistogramSnapshot, Option<Exemplar>)> {
+        let map = self.histograms.lock().expect("histogram map");
+        map.iter()
+            .map(|(k, v)| {
+                let h = Histogram(Arc::clone(v));
+                (k.clone(), h.snapshot(), h.exemplar())
+            })
+            .collect()
     }
 
     fn write_json(&self, pretty: bool) -> String {
@@ -619,10 +694,37 @@ mod tests {
         assert!(text.contains("solver_solve_seconds{quantile=\"0.5\"}"));
         assert!(text.contains("solver_solve_seconds_count 2"));
         assert!(text.contains("solver_solve_seconds_sum 2"));
-        // Every non-comment line is `name[{labels}] value`.
+        // Every non-comment line is `name[{labels}] value`, optionally
+        // followed by an ` # {...}` exemplar clause.
         for line in text.lines().filter(|l| !l.starts_with('#')) {
-            assert_eq!(line.split_whitespace().count(), 2, "tear in {line:?}");
+            let sample = line.split(" # ").next().unwrap_or(line);
+            assert_eq!(sample.split_whitespace().count(), 2, "tear in {line:?}");
         }
+    }
+
+    #[test]
+    fn histogram_exemplar_lands_on_the_count_line() {
+        let reg = Registry::new();
+        let h = reg.histogram("mapsd.request.total_ms");
+        h.record(1.0);
+        h.record_with_exemplar(9.5, "trace_id", "t-42");
+        let ex = h.exemplar().expect("exemplar recorded");
+        assert_eq!(ex.label_value, "t-42");
+        assert_eq!(ex.value, 9.5);
+        assert!(ex.unix_seconds > 0.0);
+        let text = reg.prometheus_text();
+        let count_line = text
+            .lines()
+            .find(|l| l.starts_with("mapsd_request_total_ms_count"))
+            .expect("count line");
+        assert!(
+            count_line.contains("2 # {trace_id=\"t-42\"} 9.5 "),
+            "{count_line}"
+        );
+        // NaN with an exemplar is still ignored wholesale.
+        h.record_with_exemplar(f64::NAN, "trace_id", "t-nan");
+        assert_eq!(h.exemplar().unwrap().label_value, "t-42");
+        assert_eq!(h.count(), 2);
     }
 
     #[test]

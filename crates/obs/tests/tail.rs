@@ -1,0 +1,105 @@
+//! Tail-based sampling: spans of a pending flow are buffered until
+//! `close_flow` decides retain-or-discard, and the pending set is bounded.
+//!
+//! These tests own the global recorder, so they serialize on a lock and
+//! live in their own test binary.
+
+use maps_obs::recorder;
+use std::sync::Mutex;
+
+static RECORDER_LOCK: Mutex<()> = Mutex::new(());
+
+#[test]
+fn retained_flow_flushes_into_the_ring_and_unretained_is_discarded() {
+    let _guard = RECORDER_LOCK.lock().unwrap();
+    recorder::enable();
+
+    // A "slow" request: root span opens a fresh flow, tail sampling parks
+    // the whole tree, and close_flow(.., true) flushes it.
+    let slow_flow = {
+        let root = maps_obs::span("req.slow");
+        let flow = root.flow();
+        assert_ne!(flow, 0, "root span must mint a flow id");
+        recorder::begin_flow(flow);
+        let _child = maps_obs::span("work.slow");
+        flow
+    };
+    assert_eq!(recorder::pending_spans(), 2, "child + root buffered");
+    assert!(
+        recorder::snapshot().is_empty(),
+        "pending spans must not be visible in the ring"
+    );
+    let flushed = recorder::close_flow(slow_flow, true);
+    assert_eq!(flushed, 2);
+
+    // A "fast" request: same shape, but the decision is to discard.
+    let fast_flow = {
+        let root = maps_obs::span("req.fast");
+        let flow = root.flow();
+        recorder::begin_flow(flow);
+        let _child = maps_obs::span("work.fast");
+        flow
+    };
+    let discarded = recorder::close_flow(fast_flow, false);
+    assert_eq!(discarded, 2);
+    assert_eq!(recorder::pending_flows(), 0);
+
+    let names: Vec<String> = recorder::snapshot()
+        .iter()
+        .map(|s| s.name.clone())
+        .collect();
+    assert!(names.contains(&"req.slow".to_string()), "{names:?}");
+    assert!(names.contains(&"work.slow".to_string()), "{names:?}");
+    assert!(!names.iter().any(|n| n.contains("fast")), "{names:?}");
+    // Closing an unknown or already-closed flow is a harmless no-op.
+    assert_eq!(recorder::close_flow(slow_flow, true), 0);
+    recorder::disable();
+}
+
+#[test]
+fn per_flow_span_buffer_is_capped() {
+    let _guard = RECORDER_LOCK.lock().unwrap();
+    recorder::enable();
+    let flow = {
+        let root = maps_obs::span("req.spanhappy");
+        let flow = root.flow();
+        recorder::begin_flow(flow);
+        for _ in 0..(recorder::MAX_SPANS_PER_FLOW + 16) {
+            let _child = maps_obs::span("work.tiny");
+        }
+        flow
+    };
+    assert!(
+        recorder::pending_spans() <= recorder::MAX_SPANS_PER_FLOW,
+        "pending occupancy {} exceeds the per-flow cap",
+        recorder::pending_spans()
+    );
+    assert!(recorder::dropped() > 0, "overflow must be counted");
+    let flushed = recorder::close_flow(flow, true);
+    assert!(flushed <= recorder::MAX_SPANS_PER_FLOW);
+    recorder::disable();
+}
+
+#[test]
+fn pending_flow_set_evicts_oldest_at_the_cap() {
+    let _guard = RECORDER_LOCK.lock().unwrap();
+    recorder::enable();
+    // Flow ids here are synthetic: begin_flow takes any nonzero id.
+    for flow in 1..=(recorder::MAX_PENDING_FLOWS as u64 + 8) {
+        recorder::begin_flow(flow);
+    }
+    assert_eq!(recorder::pending_flows(), recorder::MAX_PENDING_FLOWS);
+    // The oldest flows were evicted wholesale; closing them finds nothing.
+    assert_eq!(recorder::close_flow(1, true), 0);
+    // A survivor closes normally (it simply had no spans buffered).
+    let survivor = recorder::MAX_PENDING_FLOWS as u64 + 8;
+    assert_eq!(recorder::close_flow(survivor, false), 0);
+    assert_eq!(recorder::pending_flows(), recorder::MAX_PENDING_FLOWS - 1);
+    recorder::disable();
+    assert_eq!(recorder::pending_flows(), 0, "disable clears pending flows");
+
+    // With the recorder off, begin_flow is a no-op and spans flow straight
+    // through (and are then ignored by the disabled ring).
+    recorder::begin_flow(42);
+    assert_eq!(recorder::pending_flows(), 0);
+}

@@ -13,7 +13,7 @@
 //! port, drives it, and stops it — a self-contained demo of the full
 //! serve/shed/degrade lifecycle.
 
-use maps::mapsd::{http_get, http_post, serve, DaemonConfig, QueueConfig};
+use maps::mapsd::{http_get, http_post, serve, DaemonConfig, QueueConfig, TailConfig};
 use std::time::Instant;
 
 struct Opts {
@@ -24,6 +24,7 @@ struct Opts {
     nx: usize,
     ny: usize,
     deadline_ms: u64,
+    queue: Option<usize>,
 }
 
 fn parse_opts() -> Opts {
@@ -35,6 +36,7 @@ fn parse_opts() -> Opts {
         nx: 64,
         ny: 48,
         deadline_ms: 60_000,
+        queue: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -50,6 +52,7 @@ fn parse_opts() -> Opts {
             "--nx" => opts.nx = next_usize("--nx", &mut args),
             "--ny" => opts.ny = next_usize("--ny", &mut args),
             "--deadline-ms" => opts.deadline_ms = next_usize("--deadline-ms", &mut args) as u64,
+            "--queue" => opts.queue = Some(next_usize("--queue", &mut args)),
             "--warm" => opts.warm = true,
             "--cold" => opts.warm = false,
             other => panic!("unknown flag {other}"),
@@ -61,13 +64,20 @@ fn parse_opts() -> Opts {
 fn main() {
     let opts = parse_opts();
 
-    // No --addr: run a private daemon for a self-contained demo.
+    // No --addr: run a private daemon for a self-contained demo. The
+    // tail-sampling knobs (MAPS_TAIL_SLOW_MS, MAPS_TRACE_SAMPLE) and a
+    // --queue depth override apply so overload and tracing are drivable.
     let own_daemon = if opts.addr.is_none() {
+        let mut queue = QueueConfig::default();
+        if let Some(depth) = opts.queue {
+            queue.depth = depth;
+        }
         let daemon = serve(DaemonConfig {
             addr: "127.0.0.1:0".to_string(),
             workers: 4,
             max_body: 4 << 20,
-            queue: QueueConfig::default(),
+            queue,
+            tail: TailConfig::from_env(),
         })
         .expect("start daemon");
         println!("loadgen: started private mapsd on {}", daemon.local_addr());
@@ -104,7 +114,7 @@ fn main() {
                         2.25 + 0.001 * (c * requests + i + 1) as f64
                     };
                     let body = format!(
-                        r#"{{"nx":{nx},"ny":{ny},"dx":0.05,"eps":{eps},"omega":4.05,"deadline_ms":{deadline_ms}}}"#
+                        r#"{{"nx":{nx},"ny":{ny},"dx":0.05,"eps":{eps},"omega":4.05,"deadline_ms":{deadline_ms},"trace_id":"lg-{c}-{i}"}}"#
                     );
                     let started = Instant::now();
                     match http_post(&addr, "/solve", &body) {
@@ -157,14 +167,37 @@ fn main() {
 
     if let Ok((200, metrics)) = http_get(&addr, "/metrics") {
         for line in metrics.lines() {
-            if line.starts_with("mapsd_coalesce") || line.starts_with("mapsd_shed") {
+            // Exemplars on the latency histogram link a spike straight to a
+            // retained trace id — print them so the walkthrough has a
+            // starting point for /trace.
+            if line.starts_with("mapsd_coalesce")
+                || line.starts_with("mapsd_shed")
+                || line.contains("# {trace_id=")
+            {
                 println!("loadgen: {line}");
             }
         }
     }
 
+    // Reconciliation: every admission — ok, degraded, shed, or rejected —
+    // must have produced exactly one wide event. Against a private daemon
+    // the counts match exactly; against a shared one this still shows the
+    // request log is live.
+    if let Ok((200, events)) = http_get(&addr, &format!("/requests?last={}", 2 * total)) {
+        let seen = events.matches("\"endpoint\":").count();
+        println!(
+            "loadgen: wide events {seen} / {total} requests{}",
+            if seen == total { " (reconciled)" } else { "" }
+        );
+    }
+
     if let Some(daemon) = own_daemon {
         daemon.stop();
         println!("loadgen: private daemon drained and stopped");
+    }
+    // Drain the access-log writer (MAPS_ACCESS_LOG) so the JSONL on disk
+    // reconciles with the requests just issued; a no-op when unconfigured.
+    if !maps::obs::flush_access_log(std::time::Duration::from_secs(5)) {
+        eprintln!("loadgen: access log flush timed out");
     }
 }

@@ -1,7 +1,7 @@
 //! Post-hoc run report: slowest spans, cache hit rates, and convergence
 //! summaries for a finished MAPS run.
 //!
-//! Three modes:
+//! Four modes:
 //!
 //! ```text
 //! # Demo: run a small inverse design, export its artifacts, then read
@@ -10,6 +10,10 @@
 //!
 //! # Forensics: report on a previous run's exported artifacts.
 //! cargo run --release --example run_report -- snapshot.json [series_dir]
+//!
+//! # Request forensics: digest a mapsd access log (MAPS_ACCESS_LOG JSONL
+//! # of wide events) — dispositions, per-endpoint latency, slowest N.
+//! cargo run --release --example run_report -- --access-log access.jsonl
 //!
 //! # Live: start the telemetry server and keep a workload running so the
 //! # endpoints have something to serve. N ticks, or until killed when 0.
@@ -82,6 +86,131 @@ fn series_from_dir(dir: &Path) -> Result<Vec<SeriesSummary>, Box<dyn std::error:
         }
     }
     Ok(summaries)
+}
+
+/// One wide event pulled out of the access log, reduced to the fields the
+/// forensics table prints.
+struct LoggedRequest {
+    trace_id: String,
+    endpoint: String,
+    disposition: String,
+    status: u64,
+    total_ms: f64,
+    queue_ms: f64,
+    factorize_ms: f64,
+    solve_ms: f64,
+}
+
+/// Digests a `MAPS_ACCESS_LOG` JSONL file of wide events: disposition
+/// counters and per-endpoint latency aggregates rendered through the
+/// standard [`RunReport`] renderer, then a slowest-N table with the
+/// timing breakdown and trace ids to chase in `/trace` exports.
+fn access_log_mode(path: &Path) -> Result<(), Box<dyn std::error::Error>> {
+    let text = std::fs::read_to_string(path)?;
+    let mut requests = Vec::new();
+    let mut skipped = 0usize;
+    for line in text.lines() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let Ok(v) = serde_json::from_str::<Value>(line) else {
+            skipped += 1;
+            continue;
+        };
+        let str_of = |key: &str| {
+            v.field(key)
+                .ok()
+                .and_then(|x| x.as_str().ok())
+                .unwrap_or("?")
+                .to_string()
+        };
+        let num_of = |key: &str| {
+            v.field(key)
+                .ok()
+                .and_then(|x| x.as_f64().ok())
+                .unwrap_or(0.0)
+        };
+        requests.push(LoggedRequest {
+            trace_id: str_of("trace_id"),
+            endpoint: str_of("endpoint"),
+            disposition: str_of("disposition"),
+            status: num_of("status") as u64,
+            total_ms: num_of("total_us") / 1e3,
+            queue_ms: num_of("queue_us") / 1e3,
+            factorize_ms: num_of("factorize_us") / 1e3,
+            solve_ms: num_of("solve_us") / 1e3,
+        });
+    }
+    if requests.is_empty() {
+        return Err(format!("no wide events in {}", path.display()).into());
+    }
+
+    // Reuse the run-report renderer: dispositions as counters, endpoints
+    // as span aggregates (count + total time).
+    let mut report = RunReport::default();
+    let mut dispositions: Vec<(String, u64)> = Vec::new();
+    let mut endpoints: Vec<SpanStat> = Vec::new();
+    for r in &requests {
+        let key = format!("requests.{}", r.disposition);
+        match dispositions.iter_mut().find(|(k, _)| *k == key) {
+            Some(entry) => entry.1 += 1,
+            None => dispositions.push((key, 1)),
+        }
+        match endpoints.iter_mut().find(|s| s.name == r.endpoint) {
+            Some(stat) => {
+                stat.count += 1;
+                stat.total_seconds += r.total_ms / 1e3;
+            }
+            None => endpoints.push(SpanStat {
+                name: r.endpoint.clone(),
+                count: 1,
+                total_seconds: r.total_ms / 1e3,
+            }),
+        }
+    }
+    dispositions.sort();
+    report.counters = dispositions;
+    report.spans = endpoints;
+    println!(
+        "access log: {} requests ({skipped} unparsable lines skipped)",
+        requests.len()
+    );
+    println!("\n{}", report.render());
+
+    let shed = requests
+        .iter()
+        .filter(|r| r.disposition == "shed" || r.status == 429 || r.status == 503)
+        .count();
+    let degraded = requests
+        .iter()
+        .filter(|r| r.disposition == "degraded")
+        .count();
+    let deadline = requests
+        .iter()
+        .filter(|r| r.disposition == "deadline")
+        .count();
+    println!("sheds {shed}  degraded {degraded}  deadline-rejected {deadline}");
+
+    requests.sort_by(|a, b| b.total_ms.partial_cmp(&a.total_ms).expect("finite"));
+    println!("\nslowest requests:");
+    println!(
+        "  {:<20} {:<8} {:<10} {:>4} {:>10} {:>9} {:>9} {:>9}",
+        "trace_id", "endpoint", "disp", "st", "total_ms", "queue", "factor", "solve"
+    );
+    for r in requests.iter().take(10) {
+        println!(
+            "  {:<20} {:<8} {:<10} {:>4} {:>10.2} {:>9.2} {:>9.2} {:>9.2}",
+            r.trace_id,
+            r.endpoint,
+            r.disposition,
+            r.status,
+            r.total_ms,
+            r.queue_ms,
+            r.factorize_ms,
+            r.solve_ms
+        );
+    }
+    Ok(())
 }
 
 /// Runs a small instrumented inverse design so the demo has something to
@@ -185,6 +314,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         };
         return serve_mode(ticks);
     }
+    if args.first().map(String::as_str) == Some("--access-log") {
+        let path = args.get(1).ok_or("--access-log needs a path")?;
+        return access_log_mode(Path::new(path));
+    }
     let (snapshot_path, series_dir) = match args.as_slice() {
         [] => {
             // Demo mode: produce a run, then report on its own artifacts —
@@ -196,7 +329,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         [snapshot] => (snapshot.into(), None),
         [snapshot, series] => (snapshot.into(), Some(series.into())),
         _ => {
-            eprintln!("usage: run_report [snapshot.json] [series_dir]");
+            eprintln!(
+                "usage: run_report [snapshot.json] [series_dir] | --access-log FILE | --serve [N]"
+            );
             std::process::exit(2);
         }
     };

@@ -5,9 +5,10 @@
 # sequential multi-RHS), BENCH_pr5.json (flight-recorder span/exporter
 # overhead), BENCH_pr6.json (telemetry server render + scrape overhead),
 # BENCH_pr7.json (mapsd daemon latency/throughput + chaos run),
-# BENCH_pr8.json (blocked multi-RHS kernel + wideband spectrum sweep), and
-# BENCH_pr9.json (f32 tape-free inference + mixed-precision factorization)
-# at the repo root.
+# BENCH_pr8.json (blocked multi-RHS kernel + wideband spectrum sweep),
+# BENCH_pr9.json (f32 tape-free inference + mixed-precision factorization),
+# and BENCH_pr10.json (per-request tracing/wide-event overhead on a warm
+# mapsd /solve) at the repo root.
 #
 # Usage:
 #   scripts/bench.sh            # full mode (default bending-device grid)
@@ -38,6 +39,7 @@ OUT_SCRAPE="$ROOT/BENCH_pr6.json"
 OUT_MAPSD="$ROOT/BENCH_pr7.json"
 OUT_SPECTRUM="$ROOT/BENCH_pr8.json"
 OUT_PRECISION="$ROOT/BENCH_pr9.json"
+OUT_REQUEST_OBS="$ROOT/BENCH_pr10.json"
 COMPARE=0
 BENCH_ARGS=()
 for arg in "$@"; do
@@ -50,6 +52,7 @@ for arg in "$@"; do
       OUT_MAPSD="$ROOT/target/BENCH_pr7.smoke.json"
       OUT_SPECTRUM="$ROOT/target/BENCH_pr8.smoke.json"
       OUT_PRECISION="$ROOT/target/BENCH_pr9.smoke.json"
+      OUT_REQUEST_OBS="$ROOT/target/BENCH_pr10.smoke.json"
       BENCH_ARGS+=("$arg")
       ;;
     --compare)
@@ -71,6 +74,8 @@ cargo bench -p maps-bench --bench spectrum_sweep -- "${BENCH_ARGS[@]+"${BENCH_AR
   --out "$OUT_SPECTRUM"
 cargo bench -p maps-bench --bench precision -- "${BENCH_ARGS[@]+"${BENCH_ARGS[@]}"}" \
   --out "$OUT_PRECISION"
+cargo bench -p maps-bench --bench request_obs -- "${BENCH_ARGS[@]+"${BENCH_ARGS[@]}"}" \
+  --out-pr10 "$OUT_REQUEST_OBS"
 
 # --compare: diff the fresh numbers against the newest *committed*
 # BENCH_pr*.json baseline (auto-detected, so new PR benches join the gate
@@ -96,6 +101,7 @@ if [ "$COMPARE" = "1" ]; then
     BENCH_pr7.json) FRESH="$OUT_MAPSD" ;;
     BENCH_pr8.json) FRESH="$OUT_SPECTRUM" ;;
     BENCH_pr9.json) FRESH="$OUT_PRECISION" ;;
+    BENCH_pr10.json) FRESH="$OUT_REQUEST_OBS" ;;
     *)
       echo "bench compare: no fresh output maps to baseline $BASELINE, skipping"
       exit 0

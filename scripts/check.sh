@@ -135,6 +135,44 @@ mapsd_post /shutdown '' | head -n1 | grep -q '202' || { echo "/shutdown did not 
 wait "$MAPSD_PID" || { cat "$MAPSD_LOG"; echo "mapsd exited non-zero after drain"; exit 1; }
 trap - EXIT
 
+echo "==> request-tracing smoke (loadgen under load-shed, access-log JSONL, wide-event reconciliation, exemplars)"
+ACCESS_LOG="target/mapsd_access_smoke.jsonl"
+LOADGEN_OUT="target/mapsd_loadgen_smoke.log"
+rm -f "$ACCESS_LOG" "$LOADGEN_OUT"
+# 16 clients through a depth-2 queue: some requests shed, and every one —
+# served or shed — must still land as exactly one wide event. MAPS_TRACE
+# enables the recorder; slow-threshold 0 retains every span tree, so the
+# latency histogram carries an exemplar.
+MAPS_ACCESS_LOG="$ACCESS_LOG" MAPS_TRACE=target/mapsd_trace_smoke.json \
+MAPS_TAIL_SLOW_MS=0 MAPS_TRACE_SAMPLE=4 \
+  cargo run --release --example mapsd_loadgen -- \
+  --clients 16 --requests 3 --queue 2 --warm --nx 40 --ny 32 \
+  > "$LOADGEN_OUT" 2>&1 || { cat "$LOADGEN_OUT"; echo "loadgen failed"; exit 1; }
+grep -q ' (reconciled)' "$LOADGEN_OUT" \
+  || { cat "$LOADGEN_OUT"; echo "wide events did not reconcile with requests"; exit 1; }
+grep -q '# {trace_id=' "$LOADGEN_OUT" \
+  || { cat "$LOADGEN_OUT"; echo "no exemplar on the request latency histogram"; exit 1; }
+python3 - "$ACCESS_LOG" <<'PY'
+import json, sys
+
+n = 0
+for line in open(sys.argv[1]):
+    line = line.strip()
+    if not line:
+        continue
+    ev = json.loads(line)  # every line must be complete, valid JSON
+    for key in ("ts", "endpoint", "client", "trace_id", "status", "disposition"):
+        assert key in ev, f"wide event missing {key}: {ev}"
+    n += 1
+assert n == 48, f"access log has {n} events for 48 admissions"
+print(f"access log: {n} valid wide events, all reconciled")
+PY
+cargo run --release --example run_report -- --access-log "$ACCESS_LOG" \
+  > target/run_report_access_smoke.log 2>&1 \
+  || { cat target/run_report_access_smoke.log; echo "run_report --access-log failed"; exit 1; }
+grep -q 'slowest requests:' target/run_report_access_smoke.log \
+  || { cat target/run_report_access_smoke.log; echo "forensics report missing the slowest-N table"; exit 1; }
+
 echo "==> factor-reuse + flight-recorder perf smoke (cached re-solve >= 3x, obs overhead < 5%, scrape overhead bounded)"
 bash scripts/bench.sh --smoke --compare
 
